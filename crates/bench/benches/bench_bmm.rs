@@ -1,0 +1,39 @@
+//! E8 — Boolean matrix multiplication reductions (Theorems 4.4 / 4.6).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use omq_bench::generators::sparse_boolean_matrix;
+use omq_bench::reductions;
+use std::time::Duration;
+
+fn bench_bmm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bmm_reduction");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(300));
+    for n in [64usize, 128, 256] {
+        let m1 = sparse_boolean_matrix(n, 4 * n, 1);
+        let m2 = sparse_boolean_matrix(n, 4 * n, 2);
+        group.bench_with_input(BenchmarkId::new("direct_spbmm", n), &n, |b, _| {
+            b.iter(|| m1.multiply(&m2));
+        });
+        group.bench_with_input(BenchmarkId::new("via_enumeration", n), &n, |b, _| {
+            b.iter(|| reductions::multiply_via_enumeration(&m1, &m2));
+        });
+        let db = reductions::bmm_database(&m1, &m2);
+        group.bench_with_input(BenchmarkId::new("free_connex_variant", n), &n, |b, _| {
+            b.iter(|| {
+                let structure = omq_core::FreeConnexStructure::build(
+                    &reductions::bmm_full_query(),
+                    &db,
+                    false,
+                )
+                .expect("free-connex query");
+                omq_core::collect_answers(&structure).len()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bmm);
+criterion_main!(benches);

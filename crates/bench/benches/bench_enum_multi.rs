@@ -1,0 +1,40 @@
+//! E6 — Algorithm 2: enumeration of minimal partial answers with
+//! multi-wildcards (Theorem 6.1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use omq_bench::generators::{university, UniversityConfig};
+use omq_core::OmqEngine;
+use std::time::Duration;
+
+fn bench_enum_multi(c: &mut Criterion) {
+    let mut group = c.benchmark_group("enumerate_minimal_partial_multi");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(300));
+    for researchers in [500usize, 1_000, 2_000] {
+        let (omq, db) = university(&UniversityConfig {
+            researchers,
+            office_ratio: 0.6,
+            building_ratio: 0.6,
+            ..Default::default()
+        });
+        let engine = OmqEngine::preprocess(&omq, &db).expect("guarded OMQ");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(researchers),
+            &researchers,
+            |b, _| {
+                b.iter(|| {
+                    let mut count = 0usize;
+                    engine
+                        .stream_minimal_partial_multi(|_| count += 1)
+                        .expect("tractable");
+                    count
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_enum_multi);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! E7 — triangle reductions (Theorems 3.4 / 3.6 / 5.1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use omq_bench::generators::random_graph;
+use omq_bench::reductions;
+use std::time::Duration;
+
+fn bench_triangle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("triangle_reduction");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(300));
+    for n in [64usize, 128, 256] {
+        let graph = random_graph(n, 3 * n, 42);
+        group.bench_with_input(BenchmarkId::new("direct", n), &n, |b, _| {
+            b.iter(|| reductions::has_triangle_direct(&graph));
+        });
+        group.bench_with_input(BenchmarkId::new("via_omq", n), &n, |b, _| {
+            b.iter(|| reductions::has_triangle_via_omq(&graph));
+        });
+        group.bench_with_input(BenchmarkId::new("weakly_acyclic_single_test", n), &n, |b, _| {
+            b.iter(|| reductions::single_test_workload(&reductions::path_omq(), &graph));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_triangle);
+criterion_main!(benches);

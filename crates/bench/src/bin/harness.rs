@@ -1,0 +1,40 @@
+//! The experiment harness: regenerates every table of EXPERIMENTS.md.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p omq-bench --bin harness --release                # full suite
+//! cargo run -p omq-bench --bin harness --release -- --quick     # smaller sizes
+//! cargo run -p omq-bench --bin harness --release -- E3 E5       # selected experiments
+//! ```
+
+use omq_bench::experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick" || a == "-q");
+    let selected: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with('-'))
+        .cloned()
+        .collect();
+
+    let tables = if selected.is_empty() {
+        experiments::run_all(quick)
+    } else {
+        selected
+            .iter()
+            .filter_map(|id| {
+                let table = experiments::run_experiment(id, quick);
+                if table.is_none() {
+                    eprintln!("unknown experiment `{id}` (expected E1..E11)");
+                }
+                table
+            })
+            .collect()
+    };
+
+    for table in tables {
+        println!("{}", table.render());
+    }
+}

@@ -1,0 +1,208 @@
+//! Linear-time minimal models of propositional Horn formulas
+//! (Dowling–Gallier).
+//!
+//! Proposition 3.3 of the paper computes the query-directed chase by deriving
+//! a satisfiable propositional Horn formula from the database and the OMQ,
+//! computing its minimal model in linear time, and reading the chase off that
+//! model.  This module provides the required substrate: unit propagation with
+//! per-clause counters, which runs in time linear in the formula size.
+//!
+//! The solver supports definite clauses (`body → head`) and goal clauses
+//! (`body → ⊥`), so it can also decide satisfiability of general Horn
+//! formulas.
+
+/// A propositional Horn formula over variables `0..var_count`.
+#[derive(Debug, Clone, Default)]
+pub struct HornFormula {
+    var_count: usize,
+    /// Unit facts.
+    facts: Vec<usize>,
+    /// Definite clauses: (body, head).
+    rules: Vec<(Vec<usize>, usize)>,
+    /// Goal clauses: bodies implying ⊥.
+    goals: Vec<Vec<usize>>,
+}
+
+impl HornFormula {
+    /// Creates a formula over `var_count` variables with no clauses.
+    pub fn new(var_count: usize) -> Self {
+        HornFormula {
+            var_count,
+            ..Default::default()
+        }
+    }
+
+    /// Number of propositional variables.
+    pub fn var_count(&self) -> usize {
+        self.var_count
+    }
+
+    /// Ensures the formula has at least `var_count` variables.
+    pub fn grow_to(&mut self, var_count: usize) {
+        self.var_count = self.var_count.max(var_count);
+    }
+
+    /// Adds a unit fact `→ v`.
+    pub fn add_fact(&mut self, v: usize) {
+        self.grow_to(v + 1);
+        self.facts.push(v);
+    }
+
+    /// Adds a definite clause `body → head`.  An empty body is a fact.
+    pub fn add_rule(&mut self, body: impl IntoIterator<Item = usize>, head: usize) {
+        let body: Vec<usize> = body.into_iter().collect();
+        let max = body.iter().copied().max().unwrap_or(0).max(head);
+        self.grow_to(max + 1);
+        if body.is_empty() {
+            self.facts.push(head);
+        } else {
+            self.rules.push((body, head));
+        }
+    }
+
+    /// Adds a goal clause `body → ⊥`.
+    pub fn add_goal(&mut self, body: impl IntoIterator<Item = usize>) {
+        let body: Vec<usize> = body.into_iter().collect();
+        if let Some(&max) = body.iter().max() {
+            self.grow_to(max + 1);
+        }
+        self.goals.push(body);
+    }
+
+    /// Total size (number of literal occurrences), the measure the linear-time
+    /// bound refers to.
+    pub fn size(&self) -> usize {
+        self.facts.len()
+            + self
+                .rules
+                .iter()
+                .map(|(b, _)| b.len() + 1)
+                .sum::<usize>()
+            + self.goals.iter().map(Vec::len).sum::<usize>()
+    }
+
+    /// Computes the minimal model of the definite part (facts and rules) by
+    /// counter-based unit propagation, in time linear in [`HornFormula::size`].
+    pub fn minimal_model(&self) -> Vec<bool> {
+        let mut truth = vec![false; self.var_count];
+        // watch[v] = indices of rules whose body contains v.
+        let mut watch: Vec<Vec<usize>> = vec![Vec::new(); self.var_count];
+        let mut missing: Vec<usize> = Vec::with_capacity(self.rules.len());
+        for (idx, (body, _)) in self.rules.iter().enumerate() {
+            // Count distinct body variables; duplicates decrement only once
+            // because we deduplicate below.
+            let mut distinct: Vec<usize> = body.clone();
+            distinct.sort_unstable();
+            distinct.dedup();
+            missing.push(distinct.len());
+            for &v in &distinct {
+                watch[v].push(idx);
+            }
+        }
+        let mut queue: Vec<usize> = Vec::new();
+        for &f in &self.facts {
+            if !truth[f] {
+                truth[f] = true;
+                queue.push(f);
+            }
+        }
+        while let Some(v) = queue.pop() {
+            for &rule_idx in &watch[v] {
+                missing[rule_idx] -= 1;
+                if missing[rule_idx] == 0 {
+                    let head = self.rules[rule_idx].1;
+                    if !truth[head] {
+                        truth[head] = true;
+                        queue.push(head);
+                    }
+                }
+            }
+        }
+        truth
+    }
+
+    /// Decides satisfiability: the formula is satisfiable iff no goal clause
+    /// has its whole body true in the minimal model.
+    pub fn is_satisfiable(&self) -> bool {
+        let model = self.minimal_model();
+        !self
+            .goals
+            .iter()
+            .any(|body| body.iter().all(|&v| model[v]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_propagation() {
+        let mut f = HornFormula::new(4);
+        f.add_fact(0);
+        f.add_rule([0], 1);
+        f.add_rule([1, 0], 2);
+        f.add_rule([3], 0);
+        let model = f.minimal_model();
+        assert_eq!(model, vec![true, true, true, false]);
+    }
+
+    #[test]
+    fn minimality() {
+        let mut f = HornFormula::new(3);
+        f.add_rule([0], 1);
+        f.add_rule([1], 2);
+        // No facts: the minimal model is everything-false.
+        assert_eq!(f.minimal_model(), vec![false, false, false]);
+    }
+
+    #[test]
+    fn duplicate_body_variables() {
+        let mut f = HornFormula::new(2);
+        f.add_fact(0);
+        f.add_rule([0, 0, 0], 1);
+        assert_eq!(f.minimal_model(), vec![true, true]);
+    }
+
+    #[test]
+    fn empty_body_rule_is_a_fact() {
+        let mut f = HornFormula::new(1);
+        f.add_rule(Vec::<usize>::new(), 0);
+        assert_eq!(f.minimal_model(), vec![true]);
+    }
+
+    #[test]
+    fn satisfiability_with_goals() {
+        let mut f = HornFormula::new(3);
+        f.add_fact(0);
+        f.add_rule([0], 1);
+        f.add_goal([1, 2]);
+        assert!(f.is_satisfiable());
+        f.add_rule([1], 2);
+        assert!(!f.is_satisfiable());
+    }
+
+    #[test]
+    fn grow_to_extends_variable_space() {
+        let mut f = HornFormula::new(0);
+        f.add_rule([5], 7);
+        f.add_fact(5);
+        let model = f.minimal_model();
+        assert_eq!(model.len(), 8);
+        assert!(model[7]);
+    }
+
+    #[test]
+    fn chain_of_implications_scales() {
+        // A long chain exercises the propagation queue.
+        let n = 10_000;
+        let mut f = HornFormula::new(n);
+        f.add_fact(0);
+        for i in 0..n - 1 {
+            f.add_rule([i], i + 1);
+        }
+        let model = f.minimal_model();
+        assert!(model.iter().all(|&b| b));
+        assert_eq!(f.size(), 1 + 2 * (n - 1));
+    }
+}

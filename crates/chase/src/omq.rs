@@ -1,0 +1,161 @@
+//! Ontology-mediated queries `(O, S, q)`.
+
+use crate::error::ChaseError;
+use crate::ontology::Ontology;
+use crate::Result;
+use omq_cq::acyclicity::AcyclicityReport;
+use omq_cq::ConjunctiveQuery;
+use omq_data::Schema;
+
+/// An ontology-mediated query `Q = (O, S, q)`:
+///
+/// * `O` is an ontology (a finite set of TGDs),
+/// * `S` is the *data schema* — the relation symbols databases may use,
+/// * `q` is a conjunctive query.
+///
+/// Both `O` and `q` may use symbols beyond `S` (the ontology can "introduce"
+/// symbols available for querying but not for data).
+#[derive(Debug, Clone)]
+pub struct OntologyMediatedQuery {
+    ontology: Ontology,
+    data_schema: Schema,
+    query: ConjunctiveQuery,
+    /// Schema covering every symbol of `O`, `q` and `S` (the *full* schema of
+    /// instances produced by the chase).
+    full_schema: Schema,
+}
+
+impl OntologyMediatedQuery {
+    /// Creates an OMQ whose data schema contains every relation symbol used by
+    /// the ontology or the query (the paper's default assumption).
+    pub fn new(ontology: Ontology, query: ConjunctiveQuery) -> Result<Self> {
+        let full_schema = Self::full_schema_of(&ontology, &query)?;
+        Ok(OntologyMediatedQuery {
+            ontology,
+            data_schema: full_schema.clone(),
+            query,
+            full_schema,
+        })
+    }
+
+    /// Creates an OMQ with an explicit data schema `S`.  Symbols of `S` that
+    /// are used by neither `O` nor `q` are allowed but useless.
+    pub fn with_data_schema(
+        ontology: Ontology,
+        data_schema: Schema,
+        query: ConjunctiveQuery,
+    ) -> Result<Self> {
+        let mut full_schema = Self::full_schema_of(&ontology, &query)?;
+        full_schema.merge(&data_schema)?;
+        Ok(OntologyMediatedQuery {
+            ontology,
+            data_schema,
+            query,
+            full_schema,
+        })
+    }
+
+    fn full_schema_of(ontology: &Ontology, query: &ConjunctiveQuery) -> Result<Schema> {
+        let mut schema = ontology.schema()?;
+        let mut query_relations: Vec<(String, usize)> = query.relations()?.into_iter().collect();
+        query_relations.sort();
+        for (name, arity) in query_relations {
+            schema
+                .add_relation(&name, arity)
+                .map_err(ChaseError::Data)?;
+        }
+        Ok(schema)
+    }
+
+    /// The ontology `O`.
+    pub fn ontology(&self) -> &Ontology {
+        &self.ontology
+    }
+
+    /// The data schema `S`.
+    pub fn data_schema(&self) -> &Schema {
+        &self.data_schema
+    }
+
+    /// The schema covering all symbols of `O`, `q` and `S`.
+    pub fn full_schema(&self) -> &Schema {
+        &self.full_schema
+    }
+
+    /// The conjunctive query `q`.
+    pub fn query(&self) -> &ConjunctiveQuery {
+        &self.query
+    }
+
+    /// The arity of the OMQ (= arity of `q`).
+    pub fn arity(&self) -> usize {
+        self.query.arity()
+    }
+
+    /// Structural classification of the query (acyclicity notions are lifted
+    /// from the CQ to the OMQ, as in the paper).
+    pub fn classify(&self) -> AcyclicityReport {
+        AcyclicityReport::classify(&self.query)
+    }
+
+    /// Returns `true` iff the OMQ belongs to the language `(G, CQ)`.
+    pub fn is_guarded(&self) -> bool {
+        self.ontology.is_guarded()
+    }
+
+    /// Returns `true` iff the OMQ belongs to the language `(ELI, CQ)`.
+    pub fn is_eli(&self) -> bool {
+        self.ontology.is_eli()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn office_omq() -> OntologyMediatedQuery {
+        let ontology = Ontology::parse(
+            "Researcher(x) -> exists y. HasOffice(x, y)\n\
+             HasOffice(x, y) -> Office(y)\n\
+             Office(x) -> exists y. InBuilding(x, y)",
+        )
+        .unwrap();
+        let query =
+            ConjunctiveQuery::parse("q(x1, x2, x3) :- HasOffice(x1, x2), InBuilding(x2, x3)")
+                .unwrap();
+        OntologyMediatedQuery::new(ontology, query).unwrap()
+    }
+
+    #[test]
+    fn schema_covers_ontology_and_query() {
+        let omq = office_omq();
+        for name in ["Researcher", "HasOffice", "Office", "InBuilding"] {
+            assert!(omq.full_schema().relation_id(name).is_some());
+            assert!(omq.data_schema().relation_id(name).is_some());
+        }
+        assert_eq!(omq.arity(), 3);
+        assert!(omq.is_guarded());
+        assert!(omq.is_eli());
+        let report = omq.classify();
+        assert!(report.acyclic && report.free_connex_acyclic);
+    }
+
+    #[test]
+    fn explicit_data_schema_is_respected() {
+        let ontology = Ontology::parse("A(x) -> exists y. R(x, y)").unwrap();
+        let query = ConjunctiveQuery::parse("q(x) :- R(x, y)").unwrap();
+        let mut data_schema = Schema::new();
+        data_schema.add_relation("A", 1).unwrap();
+        let omq =
+            OntologyMediatedQuery::with_data_schema(ontology, data_schema, query).unwrap();
+        assert!(omq.data_schema().relation_id("R").is_none());
+        assert!(omq.full_schema().relation_id("R").is_some());
+    }
+
+    #[test]
+    fn arity_conflict_between_ontology_and_query() {
+        let ontology = Ontology::parse("A(x) -> R(x)").unwrap();
+        let query = ConjunctiveQuery::parse("q(x) :- R(x, y)").unwrap();
+        assert!(OntologyMediatedQuery::new(ontology, query).is_err());
+    }
+}

@@ -1,0 +1,266 @@
+//! Simulations between instances over unary/binary schemas (Appendix A.3 of
+//! the paper).
+//!
+//! A *simulation* from instance `I` to instance `J` is a relation
+//! `S ⊆ adom(I) × adom(J)` such that whenever `(c, c') ∈ S`:
+//!
+//! 1. `A(c) ∈ I` implies `A(c') ∈ J` for unary `A`;
+//! 2. `R(c, d) ∈ I` implies `R(c', d') ∈ J` for some `d'` with `(d, d') ∈ S`;
+//! 3. `R(d, c) ∈ I` implies `R(d', c') ∈ J` for some `d'` with `(d, d') ∈ S`.
+//!
+//! Simulations characterise the expressive power of ELI: if `(I, c) ⪯ (J, c')`
+//! then every ELI query satisfied at `c` in `I` is satisfied at `c'` in `J`
+//! (Lemma A.4), which is the key tool behind the paper's lower-bound
+//! constructions (the *completeness property* of the reduction databases).
+//!
+//! The greatest simulation is computed by the standard fixpoint refinement,
+//! which runs in time `O(|I| · |J|)` on the instances used here.
+
+use omq_data::{Database, Value};
+use rustc_hash::{FxHashMap, FxHashSet};
+
+/// The greatest simulation from `from` to `to`, as a set of value pairs.
+///
+/// Only unary and binary relation symbols participate (higher-arity facts are
+/// ignored, matching the ELI setting).  Relation symbols are matched by name.
+pub fn greatest_simulation(from: &Database, to: &Database) -> FxHashSet<(Value, Value)> {
+    // Pre-index `to` by (relation name, direction, value) for the successor
+    // checks, and collect unary labels per value for both instances.
+    let mut from_labels: FxHashMap<Value, FxHashSet<&str>> = FxHashMap::default();
+    let mut to_labels: FxHashMap<Value, FxHashSet<&str>> = FxHashMap::default();
+    let mut from_edges: Vec<(&str, Value, Value)> = Vec::new();
+    let mut to_out: FxHashMap<(&str, Value), Vec<Value>> = FxHashMap::default();
+    let mut to_in: FxHashMap<(&str, Value), Vec<Value>> = FxHashMap::default();
+
+    for fact in from.facts() {
+        let name = from.schema().name(fact.rel);
+        match fact.args.len() {
+            1 => {
+                from_labels.entry(fact.args[0]).or_default().insert(name);
+            }
+            2 => from_edges.push((name, fact.args[0], fact.args[1])),
+            _ => {}
+        }
+    }
+    for fact in to.facts() {
+        let name = to.schema().name(fact.rel);
+        match fact.args.len() {
+            1 => {
+                to_labels.entry(fact.args[0]).or_default().insert(name);
+            }
+            2 => {
+                to_out
+                    .entry((name, fact.args[0]))
+                    .or_default()
+                    .push(fact.args[1]);
+                to_in
+                    .entry((name, fact.args[1]))
+                    .or_default()
+                    .push(fact.args[0]);
+            }
+            _ => {}
+        }
+    }
+
+    // Start with all pairs satisfying the unary condition, then refine.
+    let empty: FxHashSet<&str> = FxHashSet::default();
+    let mut simulation: FxHashSet<(Value, Value)> = FxHashSet::default();
+    for &c in from.adom() {
+        let required = from_labels.get(&c).unwrap_or(&empty);
+        for &d in to.adom() {
+            let available = to_labels.get(&d).unwrap_or(&empty);
+            if required.is_subset(available) {
+                simulation.insert((c, d));
+            }
+        }
+    }
+
+    // Group the `from` edges by source and by target for the refinement.
+    let mut out_edges: FxHashMap<Value, Vec<(&str, Value)>> = FxHashMap::default();
+    let mut in_edges: FxHashMap<Value, Vec<(&str, Value)>> = FxHashMap::default();
+    for &(name, a, b) in &from_edges {
+        out_edges.entry(a).or_default().push((name, b));
+        in_edges.entry(b).or_default().push((name, a));
+    }
+
+    loop {
+        let mut to_remove: Vec<(Value, Value)> = Vec::new();
+        for &(c, d) in &simulation {
+            // Condition 2: every outgoing edge of c must be matched from d.
+            let ok_out = out_edges.get(&c).map(Vec::as_slice).unwrap_or(&[]).iter().all(
+                |&(name, c2)| {
+                    to_out
+                        .get(&(name, d))
+                        .map(Vec::as_slice)
+                        .unwrap_or(&[])
+                        .iter()
+                        .any(|&d2| simulation.contains(&(c2, d2)))
+                },
+            );
+            // Condition 3: every incoming edge of c must be matched into d.
+            let ok_in = in_edges.get(&c).map(Vec::as_slice).unwrap_or(&[]).iter().all(
+                |&(name, c2)| {
+                    to_in
+                        .get(&(name, d))
+                        .map(Vec::as_slice)
+                        .unwrap_or(&[])
+                        .iter()
+                        .any(|&d2| simulation.contains(&(c2, d2)))
+                },
+            );
+            if !ok_out || !ok_in {
+                to_remove.push((c, d));
+            }
+        }
+        if to_remove.is_empty() {
+            break;
+        }
+        for pair in to_remove {
+            simulation.remove(&pair);
+        }
+    }
+    simulation
+}
+
+/// Returns `true` iff `(from, c) ⪯ (to, d)`: some simulation from `from` to
+/// `to` contains `(c, d)`.
+pub fn simulates(from: &Database, c: Value, to: &Database, d: Value) -> bool {
+    greatest_simulation(from, to).contains(&(c, d))
+}
+
+/// Checks whether a given relation is a simulation (useful for tests and for
+/// validating hand-built relations).
+pub fn is_simulation(from: &Database, to: &Database, relation: &FxHashSet<(Value, Value)>) -> bool {
+    let greatest = greatest_simulation(from, to);
+    relation.iter().all(|pair| greatest.contains(pair))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omq_cq::{homomorphism, ConjunctiveQuery};
+    use omq_data::Schema;
+
+    fn schema() -> Schema {
+        let mut s = Schema::new();
+        s.add_relation("A", 1).unwrap();
+        s.add_relation("B", 1).unwrap();
+        s.add_relation("R", 2).unwrap();
+        s
+    }
+
+    fn value(db: &Database, name: &str) -> Value {
+        Value::Const(db.const_id(name).unwrap())
+    }
+
+    #[test]
+    fn path_simulates_into_cycle() {
+        // A path a -> b simulates into a single reflexive point with the same
+        // labels, but not vice versa when labels differ.
+        let path = Database::builder(schema())
+            .fact("A", ["a"])
+            .fact("R", ["a", "b"])
+            .build()
+            .unwrap();
+        let cycle = Database::builder(schema())
+            .fact("A", ["c"])
+            .fact("R", ["c", "c"])
+            .build()
+            .unwrap();
+        assert!(simulates(&path, value(&path, "a"), &cycle, value(&cycle, "c")));
+        // The cycle does NOT simulate into the path: c has an outgoing edge
+        // from its successor, b does not.
+        assert!(!simulates(&cycle, value(&cycle, "c"), &path, value(&path, "a")));
+    }
+
+    #[test]
+    fn unary_labels_must_be_preserved() {
+        let one = Database::builder(schema())
+            .fact("A", ["a"])
+            .fact("B", ["a"])
+            .build()
+            .unwrap();
+        let other = Database::builder(schema()).fact("A", ["b"]).build().unwrap();
+        assert!(!simulates(&one, value(&one, "a"), &other, value(&other, "b")));
+        assert!(simulates(&other, value(&other, "b"), &one, value(&one, "a")));
+    }
+
+    #[test]
+    fn incoming_edges_matter() {
+        let with_incoming = Database::builder(schema())
+            .fact("R", ["x", "a"])
+            .fact("A", ["a"])
+            .build()
+            .unwrap();
+        let without = Database::builder(schema()).fact("A", ["b"]).build().unwrap();
+        assert!(!simulates(
+            &with_incoming,
+            value(&with_incoming, "a"),
+            &without,
+            value(&without, "b")
+        ));
+    }
+
+    #[test]
+    fn simulation_preserves_eli_queries() {
+        // Lemma A.4: if (D1, c1) ⪯ (D2, c2) and c1 satisfies an ELI query
+        // (a tree-shaped unary CQ), then so does c2.  Check on a family of
+        // tree queries over two concrete databases.
+        let d1 = Database::builder(schema())
+            .fact("A", ["c1"])
+            .fact("R", ["c1", "m"])
+            .fact("B", ["m"])
+            .build()
+            .unwrap();
+        let d2 = Database::builder(schema())
+            .fact("A", ["c2"])
+            .fact("R", ["c2", "n1"])
+            .fact("B", ["n1"])
+            .fact("R", ["c2", "n2"])
+            .build()
+            .unwrap();
+        let c1 = value(&d1, "c1");
+        let c2 = value(&d2, "c2");
+        assert!(simulates(&d1, c1, &d2, c2));
+        for text in [
+            "q(x) :- A(x)",
+            "q(x) :- R(x, y)",
+            "q(x) :- R(x, y), B(y)",
+            "q(x) :- A(x), R(x, y), B(y)",
+        ] {
+            let q = ConjunctiveQuery::parse(text).unwrap();
+            let x = q.var_id("x").unwrap();
+            let holds_in_d1 = homomorphism::HomSearch::new(&q, &d1)
+                .exists(&[(x, c1)].into_iter().collect());
+            let holds_in_d2 = homomorphism::HomSearch::new(&q, &d2)
+                .exists(&[(x, c2)].into_iter().collect());
+            if holds_in_d1 {
+                assert!(holds_in_d2, "ELI query {text} not preserved");
+            }
+        }
+    }
+
+    #[test]
+    fn greatest_simulation_is_a_simulation() {
+        let d1 = Database::builder(schema())
+            .fact("R", ["a", "b"])
+            .fact("R", ["b", "c"])
+            .fact("A", ["a"])
+            .build()
+            .unwrap();
+        let d2 = Database::builder(schema())
+            .fact("R", ["u", "v"])
+            .fact("R", ["v", "w"])
+            .fact("A", ["u"])
+            .build()
+            .unwrap();
+        let simulation = greatest_simulation(&d1, &d2);
+        assert!(is_simulation(&d1, &d2, &simulation));
+        assert!(simulation.contains(&(value(&d1, "a"), value(&d2, "u"))));
+        // Reflexivity on identical instances.
+        let self_sim = greatest_simulation(&d1, &d1);
+        for &v in d1.adom() {
+            assert!(self_sim.contains(&(v, v)));
+        }
+    }
+}

@@ -1,0 +1,502 @@
+//! Tuple-generating dependencies, guardedness and the description logic ELI.
+//!
+//! A TGD is a sentence `∀x̄∀ȳ (φ(x̄, ȳ) → ∃z̄ ψ(x̄, z̄))` where `φ` (the *body*)
+//! and `ψ` (the *head*) are conjunctions of relational atoms without
+//! constants.  The variables shared between body and head are the *frontier*.
+//!
+//! * A TGD is **guarded** if its body is empty (`true`) or contains an atom
+//!   mentioning all body variables.
+//! * A TGD is an **ELI TGD** if it uses only unary and binary relation
+//!   symbols, has exactly one frontier variable, contains no reflexive loops
+//!   and no multi-edges in body or head, and its head is acyclic and
+//!   connected.  Up to normalisation this captures the description logic ELI.
+
+use crate::error::ChaseError;
+use crate::Result;
+use omq_cq::{Atom, ConjunctiveQuery, Term, VarId};
+use rustc_hash::{FxHashMap, FxHashSet};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A tuple-generating dependency.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Tgd {
+    /// Variable names; `VarId`s in the atoms index into this table.
+    vars: Vec<String>,
+    /// Body atoms (may be empty, representing logical truth).
+    body: Vec<Atom>,
+    /// Head atoms (never empty).
+    head: Vec<Atom>,
+}
+
+impl Tgd {
+    /// Parses a TGD from text, e.g.
+    ///
+    /// ```text
+    /// Researcher(x) -> exists y. HasOffice(x, y)
+    /// HasOffice(x, y) -> Office(y)
+    /// true -> Top(x)            (body `true` = empty body)
+    /// ```
+    ///
+    /// The `exists ... .` prefix of the head is optional: every head variable
+    /// that does not occur in the body is implicitly existentially quantified.
+    /// Constants are not allowed (as in the paper).
+    pub fn parse(text: &str) -> Result<Self> {
+        let text = text.trim();
+        let (body_text, head_text) = text
+            .split_once("->")
+            .ok_or_else(|| ChaseError::Parse(format!("missing `->` in `{text}`")))?;
+        let body_text = body_text.trim();
+        let head_text = head_text.trim();
+
+        // Strip an optional "exists v1, v2." prefix from the head.
+        let head_text = if let Some(rest) = head_text.strip_prefix("exists") {
+            match rest.split_once('.') {
+                Some((_vars, atoms)) => atoms.trim(),
+                None => {
+                    return Err(ChaseError::Parse(format!(
+                        "head `exists` prefix must be terminated by `.` in `{text}`"
+                    )))
+                }
+            }
+        } else {
+            head_text
+        };
+
+        let body_spec = if body_text.eq_ignore_ascii_case("true") || body_text.is_empty() {
+            String::new()
+        } else {
+            body_text.to_owned()
+        };
+
+        // Reuse the CQ parser by wrapping body and head into Boolean queries
+        // sharing one variable space: parse them jointly.
+        let joint = if body_spec.is_empty() {
+            format!("q() :- {head_text}")
+        } else {
+            format!("q() :- {body_spec}, {head_text}")
+        };
+        let joint_query =
+            ConjunctiveQuery::parse(&joint).map_err(|e| ChaseError::Parse(e.to_string()))?;
+        if !joint_query.constants().is_empty() {
+            return Err(ChaseError::Parse(format!(
+                "TGDs must not contain constants: `{text}`"
+            )));
+        }
+        let body_count = if body_spec.is_empty() {
+            0
+        } else {
+            // Count atoms of the body by parsing it alone (same splitter).
+            ConjunctiveQuery::parse(&format!("q() :- {body_spec}"))
+                .map_err(|e| ChaseError::Parse(e.to_string()))?
+                .atoms()
+                .len()
+        };
+        let vars: Vec<String> = joint_query
+            .body_vars()
+            .iter()
+            .map(|&v| joint_query.var_name(v).to_owned())
+            .collect();
+        // Variable ids in `joint_query` are interned in first-occurrence order,
+        // which may differ from `body_vars()` order; build an explicit remap.
+        let mut remap: FxHashMap<VarId, VarId> = FxHashMap::default();
+        for (new_idx, &v) in joint_query.body_vars().iter().enumerate() {
+            remap.insert(v, VarId(new_idx as u32));
+        }
+        let remap_atom = |a: &Atom| {
+            a.map_terms(|t| match t {
+                Term::Var(v) => Term::Var(remap[v]),
+                c => c.clone(),
+            })
+        };
+        let body: Vec<Atom> = joint_query.atoms()[..body_count]
+            .iter()
+            .map(remap_atom)
+            .collect();
+        let head: Vec<Atom> = joint_query.atoms()[body_count..]
+            .iter()
+            .map(remap_atom)
+            .collect();
+        if head.is_empty() {
+            return Err(ChaseError::Parse(format!("TGD has an empty head: `{text}`")));
+        }
+        Ok(Tgd { vars, body, head })
+    }
+
+    /// Constructs a TGD from parts.  `vars` are the variable names referenced
+    /// by the atoms' `VarId`s.
+    pub fn new(vars: Vec<String>, body: Vec<Atom>, head: Vec<Atom>) -> Self {
+        Tgd { vars, body, head }
+    }
+
+    /// The body atoms (empty = logical truth).
+    pub fn body(&self) -> &[Atom] {
+        &self.body
+    }
+
+    /// The head atoms.
+    pub fn head(&self) -> &[Atom] {
+        &self.head
+    }
+
+    /// The variable names.
+    pub fn var_names(&self) -> &[String] {
+        &self.vars
+    }
+
+    /// Name of one variable.
+    pub fn var_name(&self, v: VarId) -> &str {
+        &self.vars[v.0 as usize]
+    }
+
+    fn vars_of(atoms: &[Atom]) -> FxHashSet<VarId> {
+        atoms.iter().flat_map(|a| a.variables()).collect()
+    }
+
+    /// The body variables.
+    pub fn body_vars(&self) -> FxHashSet<VarId> {
+        Self::vars_of(&self.body)
+    }
+
+    /// The head variables.
+    pub fn head_vars(&self) -> FxHashSet<VarId> {
+        Self::vars_of(&self.head)
+    }
+
+    /// The frontier variables (shared between body and head), in index order.
+    pub fn frontier(&self) -> Vec<VarId> {
+        let body = self.body_vars();
+        let head = self.head_vars();
+        let mut frontier: Vec<VarId> = body.intersection(&head).copied().collect();
+        frontier.sort();
+        frontier
+    }
+
+    /// The existential variables (head variables not occurring in the body),
+    /// in index order.
+    pub fn existential_vars(&self) -> Vec<VarId> {
+        let body = self.body_vars();
+        let mut exist: Vec<VarId> = self
+            .head_vars()
+            .into_iter()
+            .filter(|v| !body.contains(v))
+            .collect();
+        exist.sort();
+        exist
+    }
+
+    /// Returns `true` iff the TGD is guarded: the body is empty or contains an
+    /// atom mentioning every body variable.
+    pub fn is_guarded(&self) -> bool {
+        if self.body.is_empty() {
+            return true;
+        }
+        let body_vars = self.body_vars();
+        self.body.iter().any(|a| {
+            let atom_vars: FxHashSet<VarId> = a.variables().into_iter().collect();
+            body_vars.is_subset(&atom_vars)
+        })
+    }
+
+    /// The guard atom, if any: the first body atom mentioning all body
+    /// variables.
+    pub fn guard(&self) -> Option<&Atom> {
+        let body_vars = self.body_vars();
+        self.body.iter().find(|a| {
+            let atom_vars: FxHashSet<VarId> = a.variables().into_iter().collect();
+            body_vars.is_subset(&atom_vars)
+        })
+    }
+
+    /// Returns `true` iff the TGD is an ELI TGD (see module docs).
+    pub fn is_eli(&self) -> bool {
+        // Only unary/binary symbols.
+        if self
+            .body
+            .iter()
+            .chain(&self.head)
+            .any(|a| a.arity() == 0 || a.arity() > 2)
+        {
+            return false;
+        }
+        // Exactly one frontier variable.
+        if self.frontier().len() != 1 {
+            return false;
+        }
+        // No reflexive loops and no multi-edges in body or head.
+        for atoms in [&self.body, &self.head] {
+            if Self::has_reflexive_loop(atoms) || Self::has_multi_edge(atoms) {
+                return false;
+            }
+        }
+        // Head is acyclic and connected (viewed as an undirected graph on its
+        // variables).
+        Self::atoms_form_tree(&self.head)
+    }
+
+    fn has_reflexive_loop(atoms: &[Atom]) -> bool {
+        atoms.iter().any(|a| {
+            a.arity() == 2
+                && a.terms[0].as_var().is_some()
+                && a.terms[0].as_var() == a.terms[1].as_var()
+        })
+    }
+
+    fn has_multi_edge(atoms: &[Atom]) -> bool {
+        let mut seen: FxHashSet<(VarId, VarId)> = FxHashSet::default();
+        for a in atoms {
+            if a.arity() != 2 {
+                continue;
+            }
+            if let (Some(x), Some(y)) = (a.terms[0].as_var(), a.terms[1].as_var()) {
+                let key = if x <= y { (x, y) } else { (y, x) };
+                if !seen.insert(key) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Returns `true` iff the binary atoms of `atoms` form a forest that,
+    /// together with the unary atoms, is connected (i.e. a single tree over
+    /// the variables).
+    fn atoms_form_tree(atoms: &[Atom]) -> bool {
+        let vars: Vec<VarId> = {
+            let mut v: Vec<VarId> = Self::vars_of(atoms).into_iter().collect();
+            v.sort();
+            v
+        };
+        if vars.is_empty() {
+            return false;
+        }
+        let mut edges: FxHashSet<(VarId, VarId)> = FxHashSet::default();
+        for a in atoms {
+            if a.arity() == 2 {
+                if let (Some(x), Some(y)) = (a.terms[0].as_var(), a.terms[1].as_var()) {
+                    if x != y {
+                        edges.insert(if x <= y { (x, y) } else { (y, x) });
+                    }
+                }
+            }
+        }
+        // Connected + acyclic ⇔ |edges| = |vars| - 1 and connected.
+        if edges.len() != vars.len() - 1 {
+            return false;
+        }
+        let mut adjacency: FxHashMap<VarId, Vec<VarId>> = FxHashMap::default();
+        for &(a, b) in &edges {
+            adjacency.entry(a).or_default().push(b);
+            adjacency.entry(b).or_default().push(a);
+        }
+        let mut seen: FxHashSet<VarId> = FxHashSet::default();
+        let mut stack = vec![vars[0]];
+        seen.insert(vars[0]);
+        while let Some(v) = stack.pop() {
+            for &n in adjacency.get(&v).map(Vec::as_slice).unwrap_or(&[]) {
+                if seen.insert(n) {
+                    stack.push(n);
+                }
+            }
+        }
+        seen.len() == vars.len()
+    }
+
+    /// The body viewed as a conjunctive query whose answer variables are the
+    /// frontier (used to find triggers via homomorphism search).  The variable
+    /// identifiers of the returned query coincide with this TGD's identifiers.
+    pub fn body_query(&self) -> ConjunctiveQuery {
+        let mut q = ConjunctiveQuery::empty("tgd_body");
+        for name in &self.vars {
+            q.var(name);
+        }
+        for atom in &self.body {
+            q.push_atom(atom.clone());
+        }
+        for v in self.frontier() {
+            q.push_answer_var(v);
+        }
+        q
+    }
+
+    /// Relation symbols used by this TGD, with arities.
+    pub fn relations(&self) -> Result<FxHashMap<String, usize>> {
+        let mut map: FxHashMap<String, usize> = FxHashMap::default();
+        for atom in self.body.iter().chain(&self.head) {
+            match map.get(&atom.relation) {
+                Some(&a) if a != atom.arity() => {
+                    return Err(ChaseError::ArityConflict {
+                        relation: atom.relation.clone(),
+                        first: a,
+                        second: atom.arity(),
+                    })
+                }
+                Some(_) => {}
+                None => {
+                    map.insert(atom.relation.clone(), atom.arity());
+                }
+            }
+        }
+        Ok(map)
+    }
+}
+
+impl fmt::Display for Tgd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let render_atoms = |atoms: &[Atom]| -> String {
+            atoms
+                .iter()
+                .map(|a| {
+                    let args: Vec<String> = a
+                        .terms
+                        .iter()
+                        .map(|t| match t {
+                            Term::Var(v) => self.var_name(*v).to_owned(),
+                            Term::Const(c) => format!("'{c}'"),
+                        })
+                        .collect();
+                    format!("{}({})", a.relation, args.join(", "))
+                })
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        let body = if self.body.is_empty() {
+            "true".to_owned()
+        } else {
+            render_atoms(&self.body)
+        };
+        let exist = self.existential_vars();
+        if exist.is_empty() {
+            write!(f, "{} -> {}", body, render_atoms(&self.head))
+        } else {
+            let names: Vec<&str> = exist.iter().map(|&v| self.var_name(v)).collect();
+            write!(
+                f,
+                "{} -> exists {}. {}",
+                body,
+                names.join(", "),
+                render_atoms(&self.head)
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_running_example() {
+        let t = Tgd::parse("Researcher(x) -> exists y. HasOffice(x, y)").unwrap();
+        assert_eq!(t.body().len(), 1);
+        assert_eq!(t.head().len(), 1);
+        assert_eq!(t.frontier().len(), 1);
+        assert_eq!(t.existential_vars().len(), 1);
+        assert!(t.is_guarded());
+        assert!(t.is_eli());
+    }
+
+    #[test]
+    fn parse_without_exists_prefix() {
+        let t = Tgd::parse("HasOffice(x, y) -> Office(y)").unwrap();
+        assert!(t.existential_vars().is_empty());
+        assert_eq!(t.frontier().len(), 1);
+        assert!(t.is_guarded());
+        assert!(t.is_eli());
+    }
+
+    #[test]
+    fn parse_true_body() {
+        let t = Tgd::parse("true -> exists x. Top(x)").unwrap();
+        assert!(t.body().is_empty());
+        assert!(t.is_guarded());
+        assert!(!t.is_eli()); // no frontier variable
+    }
+
+    #[test]
+    fn guardedness() {
+        let guarded = Tgd::parse("R(x, y), A(x) -> S(x, y)").unwrap();
+        assert!(guarded.is_guarded());
+        assert_eq!(guarded.guard().unwrap().relation, "R");
+        let unguarded = Tgd::parse("R(x, y), S(y, z) -> T(x, z)").unwrap();
+        assert!(!unguarded.is_guarded());
+        assert!(unguarded.guard().is_none());
+    }
+
+    #[test]
+    fn eli_restrictions() {
+        // Two frontier variables: not ELI.
+        let two_frontier = Tgd::parse("R(x, y) -> S(x, y)").unwrap();
+        assert!(!two_frontier.is_eli());
+        // Ternary relation: not ELI.
+        let ternary = Tgd::parse("T(x, y, z) -> A(x)").unwrap();
+        assert!(!ternary.is_eli());
+        // Reflexive loop in the head: not ELI.
+        let reflexive = Tgd::parse("A(x) -> R(x, x)").unwrap();
+        assert!(!reflexive.is_eli());
+        // Multi-edge in the head: not ELI.
+        let multi = Tgd::parse("A(x) -> exists y. R(x, y), S(x, y)").unwrap();
+        assert!(!multi.is_eli());
+        // Disconnected head: not ELI.
+        let disconnected = Tgd::parse("A(x) -> exists y, z. R(x, y), B(z)").unwrap();
+        assert!(!disconnected.is_eli());
+        // A proper ELI TGD with a head path.
+        let eli = Tgd::parse("A(x) -> exists y, z. R(x, y), S(y, z), B(z)").unwrap();
+        assert!(eli.is_eli());
+        assert!(eli.is_guarded());
+    }
+
+    #[test]
+    fn frontier_and_existentials() {
+        let t = Tgd::parse("R(x, y) -> exists z. S(y, z), T(z, w)").unwrap();
+        let frontier: Vec<String> = t
+            .frontier()
+            .iter()
+            .map(|&v| t.var_name(v).to_owned())
+            .collect();
+        assert_eq!(frontier, vec!["y".to_owned()]);
+        let exist: Vec<String> = t
+            .existential_vars()
+            .iter()
+            .map(|&v| t.var_name(v).to_owned())
+            .collect();
+        assert_eq!(exist, vec!["z".to_owned(), "w".to_owned()]);
+    }
+
+    #[test]
+    fn body_query_shares_variable_ids() {
+        let t = Tgd::parse("R(x, y), A(y) -> S(y, z)").unwrap();
+        let q = t.body_query();
+        assert_eq!(q.atoms().len(), 2);
+        assert_eq!(q.answer_vars().len(), 1);
+        let frontier = t.frontier()[0];
+        assert_eq!(q.answer_vars()[0], frontier);
+        assert_eq!(q.var_name(frontier), t.var_name(frontier));
+    }
+
+    #[test]
+    fn rejects_constants_and_empty_heads() {
+        assert!(Tgd::parse("R(x, 'a') -> S(x)").is_err());
+        assert!(Tgd::parse("R(x) -> ").is_err());
+        assert!(Tgd::parse("R(x) S(x)").is_err());
+        assert!(Tgd::parse("R(x) -> exists y S(x, y)").is_err());
+    }
+
+    #[test]
+    fn relations_collects_arities() {
+        let t = Tgd::parse("R(x, y) -> exists z. S(y, z), A(z)").unwrap();
+        let rels = t.relations().unwrap();
+        assert_eq!(rels["R"], 2);
+        assert_eq!(rels["S"], 2);
+        assert_eq!(rels["A"], 1);
+    }
+
+    #[test]
+    fn display_round_trips_meaning() {
+        let t = Tgd::parse("Researcher(x) -> exists y. HasOffice(x, y)").unwrap();
+        let rendered = format!("{t}");
+        let reparsed = Tgd::parse(&rendered).unwrap();
+        assert_eq!(reparsed.frontier().len(), 1);
+        assert_eq!(reparsed.existential_vars().len(), 1);
+    }
+}

@@ -1,0 +1,266 @@
+//! All-testing of complete answers (Theorem 4.1(2) and Proposition 4.2).
+//!
+//! An all-testing algorithm has a preprocessing phase (linear in the database)
+//! followed by a testing phase in which candidate tuples are answered
+//! `yes`/`no` in constant time each.  For *free-connex acyclic* queries (not
+//! necessarily acyclic!), the paper decomposes the query along the join tree
+//! of `q⁺` into components that are each acyclic and free-connex acyclic, and
+//! tests a candidate by testing its projection on every component
+//! (Proposition 4.2).
+
+use crate::error::CoreError;
+use crate::extension::Tuple;
+use crate::preprocess::FreeConnexStructure;
+use crate::Result;
+use omq_cq::acyclicity::{self, guard_node_id};
+use omq_cq::{ConjunctiveQuery, VarId};
+use omq_data::{Database, Value};
+use rustc_hash::{FxHashMap, FxHashSet};
+
+/// One decomposed component: the tuple sets of its `q₁` nodes.
+#[derive(Debug, Clone)]
+struct ComponentTester {
+    /// `(vars, tuples)` per node of the component's preprocessed structure.
+    nodes: Vec<(Vec<VarId>, FxHashSet<Tuple>)>,
+    /// `Some(false)` if the component is an unsatisfiable Boolean filter.
+    boolean: Option<bool>,
+    /// The component has no answer at all.
+    empty: bool,
+}
+
+/// A prepared all-tester for a free-connex acyclic query over a fixed
+/// database.
+#[derive(Debug, Clone)]
+pub struct AllTester {
+    query: ConjunctiveQuery,
+    components: Vec<ComponentTester>,
+    /// For Boolean queries: the query's truth value.
+    boolean: Option<bool>,
+}
+
+impl AllTester {
+    /// Preprocesses `query` over `db`.  Requires the query to be free-connex
+    /// acyclic.  When `complete_only` is set, candidate values are implicitly
+    /// restricted to constants (the `P_db` relativisation).
+    pub fn build(query: &ConjunctiveQuery, db: &Database, complete_only: bool) -> Result<Self> {
+        query.validate()?;
+        if !acyclicity::is_free_connex_acyclic(query) {
+            return Err(CoreError::NotFreeConnex(query.to_string()));
+        }
+        if query.is_boolean() {
+            let holds = crate::yannakakis::boolean_holds(query, db);
+            return Ok(AllTester {
+                query: query.clone(),
+                components: Vec::new(),
+                boolean: Some(holds),
+            });
+        }
+        let guard = guard_node_id(query);
+        let tree_plus = acyclicity::join_tree_plus(query)
+            .ok_or_else(|| CoreError::NotFreeConnex(query.to_string()))?;
+        let rooted = tree_plus.rooted_at(guard);
+        let answer_set: FxHashSet<VarId> = query.distinct_answer_vars().into_iter().collect();
+
+        let mut components = Vec::new();
+        for &child in rooted.children_of(guard) {
+            let atom_indices = rooted.subtree(child);
+            // Build the component query, reusing the original variable ids by
+            // interning the variable names in identical order.
+            let mut component = ConjunctiveQuery::empty(format!("{}_comp", query.name));
+            for v in 0..query.var_count() {
+                component.var(query.var_name(VarId(v as u32)));
+            }
+            let mut component_vars: FxHashSet<VarId> = FxHashSet::default();
+            for &ai in &atom_indices {
+                let atom = query.atoms()[ai].clone();
+                for v in atom.variables() {
+                    component_vars.insert(v);
+                }
+                component.push_atom(atom);
+            }
+            for v in query.distinct_answer_vars() {
+                if component_vars.contains(&v) && answer_set.contains(&v) {
+                    component.push_answer_var(v);
+                }
+            }
+            let structure = FreeConnexStructure::build(&component, db, complete_only)?;
+            let tester = ComponentTester {
+                nodes: structure
+                    .nodes
+                    .iter()
+                    .map(|n| (n.vars.clone(), n.extension.tuple_set()))
+                    .collect(),
+                boolean: structure.boolean_satisfiable,
+                empty: structure.empty,
+            };
+            components.push(tester);
+        }
+        Ok(AllTester {
+            query: query.clone(),
+            components,
+            boolean: None,
+        })
+    }
+
+    /// Tests a candidate tuple (over the query's answer positions) in time
+    /// independent of the database.
+    pub fn test(&self, candidate: &[Value]) -> Result<bool> {
+        if candidate.len() != self.query.arity() {
+            return Err(CoreError::ArityMismatch {
+                expected: self.query.arity(),
+                actual: candidate.len(),
+            });
+        }
+        if let Some(answer) = self.boolean {
+            return Ok(answer);
+        }
+        // Coherence: repeated answer variables must carry equal values.
+        let mut assignment: FxHashMap<VarId, Value> = FxHashMap::default();
+        for (&var, &value) in self.query.answer_vars().iter().zip(candidate) {
+            match assignment.get(&var) {
+                Some(&existing) if existing != value => return Ok(false),
+                Some(_) => {}
+                None => {
+                    assignment.insert(var, value);
+                }
+            }
+        }
+        for component in &self.components {
+            if component.empty {
+                return Ok(false);
+            }
+            if let Some(holds) = component.boolean {
+                if !holds {
+                    return Ok(false);
+                }
+                continue;
+            }
+            for (vars, tuples) in &component.nodes {
+                let projection: Tuple = vars.iter().map(|v| assignment[v]).collect();
+                if !tuples.contains(&projection) {
+                    return Ok(false);
+                }
+            }
+        }
+        Ok(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omq_cq::homomorphism;
+    use omq_data::Schema;
+
+    fn db() -> Database {
+        let mut s = Schema::new();
+        s.add_relation("R", 2).unwrap();
+        s.add_relation("S", 2).unwrap();
+        s.add_relation("T", 2).unwrap();
+        Database::builder(s)
+            .fact("R", ["a", "b"])
+            .fact("R", ["b", "c"])
+            .fact("R", ["c", "a"])
+            .fact("S", ["b", "c"])
+            .fact("S", ["c", "d"])
+            .fact("T", ["c", "a"])
+            .fact("T", ["d", "b"])
+            .build()
+            .unwrap()
+    }
+
+    fn assert_agrees_with_brute_force(query_text: &str, database: &Database) {
+        let q = ConjunctiveQuery::parse(query_text).unwrap();
+        let tester = AllTester::build(&q, database, false).unwrap();
+        let answers: FxHashSet<Vec<Value>> =
+            homomorphism::evaluate(&q, database).into_iter().collect();
+        // Test every tuple over the active domain of the right arity (the
+        // databases are tiny, so this is feasible).
+        let adom: Vec<Value> = database.adom().to_vec();
+        let arity = q.arity();
+        let mut tuples: Vec<Vec<Value>> = vec![Vec::new()];
+        for _ in 0..arity {
+            let mut next = Vec::new();
+            for t in &tuples {
+                for &v in &adom {
+                    let mut extended = t.clone();
+                    extended.push(v);
+                    next.push(extended);
+                }
+            }
+            tuples = next;
+        }
+        for t in tuples {
+            assert_eq!(
+                tester.test(&t).unwrap(),
+                answers.contains(&t),
+                "query {query_text}, tuple {t:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn full_triangle_query_not_acyclic_but_free_connex() {
+        // The triangle with all variables free is free-connex acyclic but not
+        // acyclic: all-testing works, enumeration preprocessing would not.
+        let q = "q(x, y, z) :- R(x, y), S(y, z), T(z, x)";
+        assert!(!acyclicity::is_acyclic(
+            &ConjunctiveQuery::parse(q).unwrap()
+        ));
+        assert_agrees_with_brute_force(q, &db());
+    }
+
+    #[test]
+    fn path_queries_agree_with_brute_force() {
+        let database = db();
+        for text in [
+            "q(x, y) :- R(x, y)",
+            "q(x, y, z) :- R(x, y), S(y, z)",
+            "q(x, x) :- R(x, x)",
+            "q(x, y, u, v) :- R(x, y), S(u, v)",
+        ] {
+            assert_agrees_with_brute_force(text, &database);
+        }
+    }
+
+    #[test]
+    fn non_free_connex_query_is_rejected() {
+        let q = ConjunctiveQuery::parse("q(x, z) :- R(x, y), S(y, z)").unwrap();
+        assert!(matches!(
+            AllTester::build(&q, &db(), false),
+            Err(CoreError::NotFreeConnex(_))
+        ));
+    }
+
+    #[test]
+    fn boolean_query_testing() {
+        let database = db();
+        let q = ConjunctiveQuery::parse("q() :- R(x, y), S(y, z)").unwrap();
+        let tester = AllTester::build(&q, &database, false).unwrap();
+        assert!(tester.test(&[]).unwrap());
+        let q2 = ConjunctiveQuery::parse("q() :- S(x, x)").unwrap();
+        let tester2 = AllTester::build(&q2, &database, false).unwrap();
+        assert!(!tester2.test(&[]).unwrap());
+    }
+
+    #[test]
+    fn arity_mismatch_is_reported() {
+        let q = ConjunctiveQuery::parse("q(x, y) :- R(x, y)").unwrap();
+        let tester = AllTester::build(&q, &db(), false).unwrap();
+        assert!(matches!(
+            tester.test(&[Value::Const(omq_data::ConstId(0))]),
+            Err(CoreError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn repeated_answer_vars_require_coherent_candidates() {
+        let database = db();
+        let q = ConjunctiveQuery::parse("q(x, x) :- R(x, y)").unwrap();
+        let tester = AllTester::build(&q, &database, false).unwrap();
+        let a = Value::Const(database.const_id("a").unwrap());
+        let b = Value::Const(database.const_id("b").unwrap());
+        assert!(tester.test(&[a, a]).unwrap());
+        assert!(!tester.test(&[a, b]).unwrap());
+    }
+}

@@ -1,0 +1,197 @@
+//! Brute-force baselines and oracles.
+//!
+//! These compute OMQ answers by materialising a (bounded) chase and running a
+//! backtracking homomorphism search — no constant-delay guarantees, no
+//! linear-time preprocessing.  They serve two purposes:
+//!
+//! * as the *baseline* the benchmarks compare the constant-delay engines
+//!   against (experiment E10);
+//! * as *test oracles*: the property tests check that the optimised engines
+//!   produce exactly the same answer sets.
+
+use crate::Result;
+use omq_chase::{chase, ChaseConfig, OntologyMediatedQuery};
+use omq_cq::{homomorphism, ConjunctiveQuery};
+use omq_data::{Database, MultiTuple, PartialTuple, Value};
+use rustc_hash::FxHashSet;
+
+/// All (deduplicated) answers of a CQ over an instance, including answers that
+/// mention labelled nulls.
+pub fn cq_answers(query: &ConjunctiveQuery, db: &Database) -> Vec<Vec<Value>> {
+    homomorphism::evaluate(query, db)
+}
+
+/// The complete answers of a CQ over an instance: answers without nulls.
+pub fn cq_complete_answers(query: &ConjunctiveQuery, db: &Database) -> Vec<Vec<Value>> {
+    cq_answers(query, db)
+        .into_iter()
+        .filter(|t| t.iter().all(|v| v.is_const()))
+        .collect()
+}
+
+/// The minimal partial answers `q(I)*_N` of a CQ over an instance.
+pub fn cq_minimal_partial(query: &ConjunctiveQuery, db: &Database) -> Vec<PartialTuple> {
+    let mut tuples: Vec<PartialTuple> = Vec::new();
+    let mut seen: FxHashSet<PartialTuple> = FxHashSet::default();
+    for answer in cq_answers(query, db) {
+        let partial = PartialTuple::from_answer(&answer);
+        if seen.insert(partial.clone()) {
+            tuples.push(partial);
+        }
+    }
+    PartialTuple::minimal(&tuples)
+}
+
+/// The minimal partial answers with multi-wildcards `q(I)^W_N` of a CQ over an
+/// instance.
+pub fn cq_minimal_partial_multi(query: &ConjunctiveQuery, db: &Database) -> Vec<MultiTuple> {
+    let mut tuples: Vec<MultiTuple> = Vec::new();
+    let mut seen: FxHashSet<MultiTuple> = FxHashSet::default();
+    for answer in cq_answers(query, db) {
+        let multi = MultiTuple::from_answer(&answer);
+        if seen.insert(multi.clone()) {
+            tuples.push(multi);
+        }
+    }
+    MultiTuple::minimal(&tuples)
+}
+
+/// A brute-force OMQ evaluator: materialises the bounded chase once and
+/// answers every evaluation mode by homomorphism search over it.
+#[derive(Debug)]
+pub struct BruteForce {
+    query: ConjunctiveQuery,
+    /// The chased instance.
+    pub chased: Database,
+    /// `true` iff the chase was truncated by its depth bound (answers may then
+    /// be under-approximated for pathological recursive ontologies).
+    pub truncated: bool,
+}
+
+impl BruteForce {
+    /// Chases `db` with the OMQ's ontology using `config`.
+    pub fn new(
+        omq: &OntologyMediatedQuery,
+        db: &Database,
+        config: &ChaseConfig,
+    ) -> Result<Self> {
+        let result = chase(db, omq.ontology(), config)?;
+        Ok(BruteForce {
+            query: omq.query().clone(),
+            chased: result.database,
+            truncated: result.truncated,
+        })
+    }
+
+    /// Complete (certain) answers.
+    pub fn complete_answers(&self) -> Vec<Vec<Value>> {
+        cq_complete_answers(&self.query, &self.chased)
+    }
+
+    /// Minimal partial answers (single wildcard).
+    pub fn minimal_partial(&self) -> Vec<PartialTuple> {
+        cq_minimal_partial(&self.query, &self.chased)
+    }
+
+    /// Minimal partial answers with multi-wildcards.
+    pub fn minimal_partial_multi(&self) -> Vec<MultiTuple> {
+        cq_minimal_partial_multi(&self.query, &self.chased)
+    }
+
+    /// Single-tests a complete candidate.
+    pub fn test_complete(&self, candidate: &[Value]) -> bool {
+        self.complete_answers().contains(&candidate.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omq_chase::Ontology;
+    use omq_data::{PartialValue, Schema};
+
+    fn office() -> (OntologyMediatedQuery, Database) {
+        let ontology = Ontology::parse(
+            "Researcher(x) -> exists y. HasOffice(x, y)\n\
+             HasOffice(x, y) -> Office(y)\n\
+             Office(x) -> exists y. InBuilding(x, y)",
+        )
+        .unwrap();
+        let query =
+            ConjunctiveQuery::parse("q(x1, x2, x3) :- HasOffice(x1, x2), InBuilding(x2, x3)")
+                .unwrap();
+        let omq = OntologyMediatedQuery::new(ontology, query).unwrap();
+        let mut s = Schema::new();
+        s.add_relation("Researcher", 1).unwrap();
+        s.add_relation("HasOffice", 2).unwrap();
+        s.add_relation("InBuilding", 2).unwrap();
+        let db = Database::builder(s)
+            .fact("Researcher", ["mary"])
+            .fact("Researcher", ["john"])
+            .fact("Researcher", ["mike"])
+            .fact("HasOffice", ["mary", "room1"])
+            .fact("HasOffice", ["john", "room4"])
+            .fact("InBuilding", ["room1", "main1"])
+            .build()
+            .unwrap();
+        (omq, db)
+    }
+
+    #[test]
+    fn running_example_answers() {
+        let (omq, db) = office();
+        let brute = BruteForce::new(&omq, &db, &ChaseConfig::default()).unwrap();
+        // Complete answers: only (mary, room1, main1).
+        let complete = brute.complete_answers();
+        assert_eq!(complete.len(), 1);
+        assert!(brute.test_complete(&complete[0]));
+
+        // Minimal partial answers: (mary,room1,main1), (john,room4,*), (mike,*,*).
+        let partial = brute.minimal_partial();
+        assert_eq!(partial.len(), 3);
+        let star_counts: Vec<usize> = {
+            let mut v: Vec<usize> = partial.iter().map(PartialTuple::star_count).collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(star_counts, vec![0, 1, 2]);
+
+        // Multi-wildcard versions have the same cardinality here (Example 2.2).
+        let multi = brute.minimal_partial_multi();
+        assert_eq!(multi.len(), 3);
+    }
+
+    #[test]
+    fn partial_answers_over_plain_database() {
+        let mut s = Schema::new();
+        s.add_relation("R", 2).unwrap();
+        let mut db = Database::new(s);
+        db.add_named_fact("R", &["a", "b"]).unwrap();
+        let null = db.fresh_null();
+        let rel = db.schema().relation_id("R").unwrap();
+        let a = Value::Const(db.const_id("a").unwrap());
+        db.add_fact(omq_data::Fact::new(rel, vec![a, Value::Null(null)]))
+            .unwrap();
+        let q = ConjunctiveQuery::parse("q(x, y) :- R(x, y)").unwrap();
+        let partial = cq_minimal_partial(&q, &db);
+        // (a,b) is minimal; (a,*) is dominated by it.
+        assert_eq!(partial.len(), 1);
+        assert_eq!(partial[0].0[1], PartialValue::Const(db.const_id("b").unwrap()));
+        let complete = cq_complete_answers(&q, &db);
+        assert_eq!(complete.len(), 1);
+    }
+
+    #[test]
+    fn empty_ontology_baseline_equals_cq_semantics() {
+        let ontology = Ontology::new();
+        let query = ConjunctiveQuery::parse("q(x) :- Researcher(x)").unwrap();
+        let omq = OntologyMediatedQuery::new(ontology, query.clone()).unwrap();
+        let (_, db) = office();
+        let brute = BruteForce::new(&omq, &db, &ChaseConfig::default()).unwrap();
+        assert_eq!(
+            brute.complete_answers().len(),
+            homomorphism::evaluate(&query, &db).len()
+        );
+        assert!(!brute.truncated);
+    }
+}

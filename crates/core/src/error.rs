@@ -1,0 +1,76 @@
+//! Error type for the core enumeration crate.
+
+use std::fmt;
+
+/// Errors raised by the enumeration engines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// The operation requires an acyclic query.
+    NotAcyclic(String),
+    /// The operation requires a free-connex acyclic query.
+    NotFreeConnex(String),
+    /// The operation requires both acyclicity and free-connex acyclicity.
+    NotEnumerationTractable(String),
+    /// The operation requires a guarded ontology.
+    NotGuarded(String),
+    /// A candidate tuple has the wrong arity.
+    ArityMismatch {
+        /// Expected arity.
+        expected: usize,
+        /// Supplied arity.
+        actual: usize,
+    },
+    /// A constant name supplied by the caller is unknown to the database.
+    UnknownConstant(String),
+    /// Internal invariant violation (indicates a bug; reported instead of
+    /// panicking so that callers can surface it).
+    Internal(String),
+    /// A query-layer error bubbled up.
+    Cq(omq_cq::CqError),
+    /// A chase-layer error bubbled up.
+    Chase(omq_chase::ChaseError),
+    /// A data-layer error bubbled up.
+    Data(omq_data::DataError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::NotAcyclic(q) => write!(f, "query is not acyclic: {q}"),
+            CoreError::NotFreeConnex(q) => write!(f, "query is not free-connex acyclic: {q}"),
+            CoreError::NotEnumerationTractable(q) => write!(
+                f,
+                "query is not both acyclic and free-connex acyclic, enumeration with constant delay is not supported: {q}"
+            ),
+            CoreError::NotGuarded(o) => write!(f, "ontology is not guarded: {o}"),
+            CoreError::ArityMismatch { expected, actual } => {
+                write!(f, "candidate has arity {actual}, expected {expected}")
+            }
+            CoreError::UnknownConstant(c) => write!(f, "unknown constant `{c}`"),
+            CoreError::Internal(msg) => write!(f, "internal invariant violated: {msg}"),
+            CoreError::Cq(e) => write!(f, "query error: {e}"),
+            CoreError::Chase(e) => write!(f, "chase error: {e}"),
+            CoreError::Data(e) => write!(f, "data error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<omq_cq::CqError> for CoreError {
+    fn from(e: omq_cq::CqError) -> Self {
+        CoreError::Cq(e)
+    }
+}
+
+impl From<omq_chase::ChaseError> for CoreError {
+    fn from(e: omq_chase::ChaseError) -> Self {
+        CoreError::Chase(e)
+    }
+}
+
+impl From<omq_data::DataError> for CoreError {
+    fn from(e: omq_data::DataError) -> Self {
+        CoreError::Data(e)
+    }
+}

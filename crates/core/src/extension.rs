@@ -1,0 +1,335 @@
+//! Atom extensions: materialised variable bindings with semijoin and
+//! projection operations.
+//!
+//! The preprocessing phases of the paper's algorithms manipulate, for each
+//! atom of the query, the set of variable bindings that match the database
+//! (its *extension*), reduced by semijoins along a join tree.  This module
+//! provides that machinery.
+
+use omq_cq::{Atom, Term, VarId};
+use omq_data::{Database, Value};
+use rustc_hash::{FxHashMap, FxHashSet};
+
+/// A tuple of values, ordered consistently with an [`Extension`]'s variables.
+pub type Tuple = Vec<Value>;
+
+/// The extension of an atom (or of a derived relation): a set of distinct
+/// tuples over an ordered list of variables.
+#[derive(Debug, Clone)]
+pub struct Extension {
+    /// The variables, in a fixed order.
+    pub vars: Vec<VarId>,
+    /// The distinct tuples.
+    pub tuples: Vec<Tuple>,
+}
+
+impl Extension {
+    /// Creates an empty extension over the given variables.
+    pub fn empty(vars: Vec<VarId>) -> Self {
+        Extension {
+            vars,
+            tuples: Vec::new(),
+        }
+    }
+
+    /// Materialises the extension of `atom` over `db`: the distinct bindings
+    /// of the atom's variables under which the atom is a fact of `db`.
+    /// Constants in the atom must match literally; repeated variables enforce
+    /// equality.
+    ///
+    /// When `drop_null_for` is non-empty, tuples that assign a labelled null
+    /// to any variable in that set are dropped — this implements the `P_db`
+    /// relativisation used for complete answers.
+    pub fn of_atom(atom: &Atom, db: &Database, drop_null_for: &FxHashSet<VarId>) -> Extension {
+        let vars = atom.variables();
+        let mut tuples: Vec<Tuple> = Vec::new();
+        let mut seen: FxHashSet<Tuple> = FxHashSet::default();
+        let Some(rel) = db.schema().relation_id(&atom.relation) else {
+            return Extension::empty(vars);
+        };
+        if db.schema().arity(rel) != atom.arity() {
+            return Extension::empty(vars);
+        }
+        // Resolve constants once.
+        let mut constant_binding: Vec<Option<Value>> = Vec::with_capacity(atom.arity());
+        for term in &atom.terms {
+            match term {
+                Term::Var(_) => constant_binding.push(None),
+                Term::Const(name) => match db.const_id(name) {
+                    Some(c) => constant_binding.push(Some(Value::Const(c))),
+                    None => return Extension::empty(vars),
+                },
+            }
+        }
+        'facts: for &fact_idx in db.facts_of(rel) {
+            let fact = db.fact(fact_idx);
+            let mut assignment: FxHashMap<VarId, Value> = FxHashMap::default();
+            for (pos, term) in atom.terms.iter().enumerate() {
+                match term {
+                    Term::Const(_) => {
+                        if constant_binding[pos] != Some(fact.args[pos]) {
+                            continue 'facts;
+                        }
+                    }
+                    Term::Var(v) => match assignment.get(v) {
+                        Some(&existing) if existing != fact.args[pos] => continue 'facts,
+                        Some(_) => {}
+                        None => {
+                            if fact.args[pos].is_null() && drop_null_for.contains(v) {
+                                continue 'facts;
+                            }
+                            assignment.insert(*v, fact.args[pos]);
+                        }
+                    },
+                }
+            }
+            let tuple: Tuple = vars.iter().map(|v| assignment[v]).collect();
+            if seen.insert(tuple.clone()) {
+                tuples.push(tuple);
+            }
+        }
+        Extension { vars, tuples }
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Returns `true` iff the extension has no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Position of a variable within [`Extension::vars`], if present.
+    pub fn position_of(&self, v: VarId) -> Option<usize> {
+        self.vars.iter().position(|&x| x == v)
+    }
+
+    /// Projects the extension onto `keep` (all of which must occur in
+    /// [`Extension::vars`]), deduplicating the resulting tuples.
+    pub fn project(&self, keep: &[VarId]) -> Extension {
+        let positions: Vec<usize> = keep
+            .iter()
+            .map(|v| self.position_of(*v).expect("projection variable present"))
+            .collect();
+        let mut seen: FxHashSet<Tuple> = FxHashSet::default();
+        let mut tuples = Vec::new();
+        for t in &self.tuples {
+            let projected: Tuple = positions.iter().map(|&p| t[p]).collect();
+            if seen.insert(projected.clone()) {
+                tuples.push(projected);
+            }
+        }
+        Extension {
+            vars: keep.to_vec(),
+            tuples,
+        }
+    }
+
+    /// The variables shared with another extension, in this extension's order.
+    pub fn shared_vars(&self, other: &Extension) -> Vec<VarId> {
+        self.vars
+            .iter()
+            .copied()
+            .filter(|v| other.vars.contains(v))
+            .collect()
+    }
+
+    /// Semijoin-reduces this extension by `other`: keeps only the tuples that
+    /// agree with some tuple of `other` on the shared variables.  Returns
+    /// `true` iff any tuple was removed.  If the extensions share no
+    /// variables, tuples are kept iff `other` is non-empty.
+    pub fn semijoin(&mut self, other: &Extension) -> bool {
+        let shared = self.shared_vars(other);
+        if shared.is_empty() {
+            if other.is_empty() && !self.tuples.is_empty() {
+                self.tuples.clear();
+                return true;
+            }
+            return false;
+        }
+        let other_positions: Vec<usize> = shared
+            .iter()
+            .map(|v| other.position_of(*v).expect("shared variable"))
+            .collect();
+        let my_positions: Vec<usize> = shared
+            .iter()
+            .map(|v| self.position_of(*v).expect("shared variable"))
+            .collect();
+        let keys: FxHashSet<Tuple> = other
+            .tuples
+            .iter()
+            .map(|t| other_positions.iter().map(|&p| t[p]).collect())
+            .collect();
+        let before = self.tuples.len();
+        self.tuples
+            .retain(|t| keys.contains(&my_positions.iter().map(|&p| t[p]).collect::<Tuple>()));
+        self.tuples.len() != before
+    }
+
+    /// Builds an index from the projection onto `key_vars` to the indices of
+    /// the matching tuples.
+    pub fn index_on(&self, key_vars: &[VarId]) -> FxHashMap<Tuple, Vec<usize>> {
+        let positions: Vec<usize> = key_vars
+            .iter()
+            .map(|v| self.position_of(*v).expect("key variable present"))
+            .collect();
+        let mut index: FxHashMap<Tuple, Vec<usize>> = FxHashMap::default();
+        for (i, t) in self.tuples.iter().enumerate() {
+            let key: Tuple = positions.iter().map(|&p| t[p]).collect();
+            index.entry(key).or_default().push(i);
+        }
+        index
+    }
+
+    /// A hash set of the tuples (for membership tests).
+    pub fn tuple_set(&self) -> FxHashSet<Tuple> {
+        self.tuples.iter().cloned().collect()
+    }
+
+    /// Looks up the value of `v` in tuple `idx`.
+    pub fn value_at(&self, idx: usize, v: VarId) -> Option<Value> {
+        self.position_of(v).map(|p| self.tuples[idx][p])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omq_cq::ConjunctiveQuery;
+    use omq_data::Schema;
+
+    fn db() -> Database {
+        let mut s = Schema::new();
+        s.add_relation("R", 2).unwrap();
+        s.add_relation("S", 2).unwrap();
+        Database::builder(s)
+            .fact("R", ["a", "b"])
+            .fact("R", ["a", "c"])
+            .fact("R", ["d", "d"])
+            .fact("S", ["b", "e"])
+            .build()
+            .unwrap()
+    }
+
+    fn atom_of(query: &str, idx: usize) -> (ConjunctiveQuery, Atom) {
+        let q = ConjunctiveQuery::parse(query).unwrap();
+        let atom = q.atoms()[idx].clone();
+        (q, atom)
+    }
+
+    #[test]
+    fn extension_of_plain_atom() {
+        let database = db();
+        let (_, atom) = atom_of("q(x, y) :- R(x, y)", 0);
+        let ext = Extension::of_atom(&atom, &database, &FxHashSet::default());
+        assert_eq!(ext.vars.len(), 2);
+        assert_eq!(ext.len(), 3);
+    }
+
+    #[test]
+    fn repeated_variable_enforces_equality() {
+        let database = db();
+        let (_, atom) = atom_of("q(x) :- R(x, x)", 0);
+        let ext = Extension::of_atom(&atom, &database, &FxHashSet::default());
+        assert_eq!(ext.len(), 1);
+        assert_eq!(ext.vars.len(), 1);
+    }
+
+    #[test]
+    fn constants_filter_facts() {
+        let database = db();
+        let (_, atom) = atom_of("q(y) :- R('a', y)", 0);
+        let ext = Extension::of_atom(&atom, &database, &FxHashSet::default());
+        assert_eq!(ext.len(), 2);
+        let (_, missing) = atom_of("q(y) :- R('zzz', y)", 0);
+        assert!(Extension::of_atom(&missing, &database, &FxHashSet::default()).is_empty());
+    }
+
+    #[test]
+    fn unknown_relation_is_empty() {
+        let database = db();
+        let (_, atom) = atom_of("q(x) :- T(x)", 0);
+        assert!(Extension::of_atom(&atom, &database, &FxHashSet::default()).is_empty());
+    }
+
+    #[test]
+    fn drop_null_filter() {
+        let mut s = Schema::new();
+        s.add_relation("R", 2).unwrap();
+        let mut database = Database::new(s);
+        database.add_named_fact("R", &["a", "b"]).unwrap();
+        let null = database.fresh_null();
+        let rel = database.schema().relation_id("R").unwrap();
+        let a = Value::Const(database.const_id("a").unwrap());
+        database
+            .add_fact(omq_data::Fact::new(rel, vec![a, Value::Null(null)]))
+            .unwrap();
+        let (q, atom) = atom_of("q(x, y) :- R(x, y)", 0);
+        let all = Extension::of_atom(&atom, &database, &FxHashSet::default());
+        assert_eq!(all.len(), 2);
+        let y = q.var_id("y").unwrap();
+        let filtered = Extension::of_atom(&atom, &database, &[y].into_iter().collect());
+        assert_eq!(filtered.len(), 1);
+    }
+
+    #[test]
+    fn projection_dedups() {
+        let database = db();
+        let (q, atom) = atom_of("q(x, y) :- R(x, y)", 0);
+        let ext = Extension::of_atom(&atom, &database, &FxHashSet::default());
+        let x = q.var_id("x").unwrap();
+        let projected = ext.project(&[x]);
+        assert_eq!(projected.len(), 2); // a, d
+    }
+
+    #[test]
+    fn semijoin_reduces() {
+        let database = db();
+        let (q, r_atom) = atom_of("q(x, y, z) :- R(x, y), S(y, z)", 0);
+        let s_atom = q.atoms()[1].clone();
+        let mut r_ext = Extension::of_atom(&r_atom, &database, &FxHashSet::default());
+        let s_ext = Extension::of_atom(&s_atom, &database, &FxHashSet::default());
+        let changed = r_ext.semijoin(&s_ext);
+        assert!(changed);
+        assert_eq!(r_ext.len(), 1); // only R(a,b) joins with S(b,e)
+        // Semijoin is idempotent.
+        assert!(!r_ext.semijoin(&s_ext));
+    }
+
+    #[test]
+    fn semijoin_without_shared_vars_checks_emptiness() {
+        let database = db();
+        let (_, r_atom) = atom_of("q(x, y) :- R(x, y)", 0);
+        let mut r_ext = Extension::of_atom(&r_atom, &database, &FxHashSet::default());
+        let empty = Extension::empty(vec![VarId(99)]);
+        assert!(r_ext.semijoin(&empty));
+        assert!(r_ext.is_empty());
+    }
+
+    #[test]
+    fn index_on_key() {
+        let database = db();
+        let (q, atom) = atom_of("q(x, y) :- R(x, y)", 0);
+        let ext = Extension::of_atom(&atom, &database, &FxHashSet::default());
+        let x = q.var_id("x").unwrap();
+        let index = ext.index_on(&[x]);
+        let a = Value::Const(database.const_id("a").unwrap());
+        assert_eq!(index[&vec![a]].len(), 2);
+        // Index on the empty key groups everything.
+        let all = ext.index_on(&[]);
+        assert_eq!(all[&Vec::new()].len(), 3);
+    }
+
+    #[test]
+    fn tuple_set_and_value_at() {
+        let database = db();
+        let (q, atom) = atom_of("q(x, y) :- R(x, y)", 0);
+        let ext = Extension::of_atom(&atom, &database, &FxHashSet::default());
+        assert_eq!(ext.tuple_set().len(), 3);
+        let x = q.var_id("x").unwrap();
+        assert!(ext.value_at(0, x).is_some());
+        assert_eq!(ext.value_at(0, VarId(42)), None);
+    }
+}

@@ -1,0 +1,50 @@
+//! Core of the OMQ enumeration library — the contribution of *Efficiently
+//! Enumerating Answers to Ontology-Mediated Queries* (Lutz & Przybyłko,
+//! PODS 2022).
+//!
+//! The crate provides, for ontology-mediated queries `(O, S, q)` with guarded
+//! (or ELI) ontologies:
+//!
+//! * **single-testing** of complete and (minimal) partial answers in linear
+//!   time (Theorem 3.1), see [`single_testing`];
+//! * **enumeration of complete answers** with linear-time preprocessing and
+//!   constant delay for acyclic, free-connex acyclic OMQs (Theorem 4.1(1)),
+//!   see [`enumerate`] and [`omq_eval`];
+//! * **all-testing of complete answers** for free-connex acyclic OMQs
+//!   (Theorem 4.1(2), Proposition 4.2), see [`all_testing`];
+//! * **enumeration of minimal partial answers** with a single wildcard
+//!   (Theorem 5.2, Algorithm 1), see [`progress`] and [`partial_enum`];
+//! * **enumeration of minimal partial answers with multi-wildcards**
+//!   (Theorem 6.1, Algorithm 2), see [`multi_enum`];
+//! * brute-force baselines used by tests and benchmarks, see [`baseline`].
+//!
+//! The top-level entry point is [`OmqEngine`] in [`omq_eval`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod all_testing;
+pub mod baseline;
+pub mod enumerate;
+pub mod error;
+pub mod extension;
+pub mod multi_enum;
+pub mod omq_eval;
+pub mod partial_enum;
+pub mod preprocess;
+pub mod progress;
+pub mod single_testing;
+pub mod yannakakis;
+
+pub use all_testing::AllTester;
+pub use baseline::BruteForce;
+pub use enumerate::{collect_answers, AnswerIter};
+pub use error::CoreError;
+pub use extension::{Extension, Tuple};
+pub use omq_eval::{EngineConfig, OmqEngine, PreprocessStats};
+pub use partial_enum::PartialEnumerator;
+pub use preprocess::FreeConnexStructure;
+pub use progress::{ProgressIndex, ProgressTree};
+
+/// Convenient `Result` alias for fallible operations in this crate.
+pub type Result<T> = std::result::Result<T, CoreError>;

@@ -1,0 +1,349 @@
+//! Algorithm 2: enumeration of minimal partial answers with multi-wildcards
+//! (Theorem 6.1 of the paper), plus the "complete answers first" ordering of
+//! Proposition 2.1.
+//!
+//! The algorithm combines the Algorithm 1 enumerator (minimal partial answers
+//! with a *single* wildcard) with a tester for (not necessarily minimal)
+//! partial answers with multi-wildcards.  For every single-wildcard answer
+//! `ā*` it inspects the constant-size *cone* of `ā*` (all multi-wildcard
+//! refinements of all weakenings of `ā*`), collects the refinements that are
+//! partial answers into a list `L`, prunes dominated tuples, outputs one
+//! minimal element of the *ball* of `ā*` right away, and flushes the remainder
+//! of `L` at the end (Lemma 6.3 shows this outputs exactly the minimal partial
+//! answers with multi-wildcards, without repetition).
+
+use crate::partial_enum::PartialEnumerator;
+use crate::single_testing;
+use crate::Result;
+use omq_cq::ConjunctiveQuery;
+use omq_data::wildcard::{multi_wildcard_ball, multi_wildcard_cone, set_partitions};
+use omq_data::{Database, MultiTuple, MultiValue, PartialTuple};
+use rustc_hash::{FxHashMap, FxHashSet};
+
+/// Enumerates the minimal partial answers with multi-wildcards of `query`
+/// over the chased instance `d0`, invoking `output` exactly once per answer.
+pub fn enumerate_minimal_partial_multi(
+    query: &ConjunctiveQuery,
+    d0: &Database,
+    mut output: impl FnMut(MultiTuple),
+) -> Result<()> {
+    // The list L (insertion order) with O(1) removal via an index map.
+    let mut l_order: Vec<MultiTuple> = Vec::new();
+    let mut l_alive: Vec<bool> = Vec::new();
+    let mut l_pos: FxHashMap<MultiTuple, usize> = FxHashMap::default();
+    // The lookup table F: tuples that have been added to L or ruled out.
+    let mut f_table: FxHashSet<MultiTuple> = FxHashSet::default();
+    // Cache of the partial-answer tester: cones of different answers overlap
+    // heavily in their constant-free candidates, which are exactly the ones
+    // whose homomorphism test cannot use an index — caching keeps the
+    // per-answer work constant (this plays the role of the paper's
+    // preprocessed all-testing structures A₂).
+    let mut tester_cache: FxHashMap<MultiTuple, bool> = FxHashMap::default();
+    let mut test = |candidate: &MultiTuple| -> Result<bool> {
+        if let Some(&cached) = tester_cache.get(candidate) {
+            return Ok(cached);
+        }
+        let result = single_testing::test_partial_multi(query, d0, candidate)?;
+        tester_cache.insert(candidate.clone(), result);
+        Ok(result)
+    };
+
+    // Collect the single-wildcard answers first (Algorithm 1 is itself a
+    // streaming enumerator; the per-answer work below is constant, so
+    // processing them in order preserves the delay bound).
+    let single_answers = PartialEnumerator::new(query, d0)?.collect()?;
+
+    for a_star in &single_answers {
+        // Candidates from the cone that are partial answers and not yet seen.
+        for candidate in multi_wildcard_cone(a_star) {
+            if f_table.contains(&candidate) {
+                continue;
+            }
+            if !test(&candidate)? {
+                continue;
+            }
+            f_table.insert(candidate.clone());
+            let pos = l_order.len();
+            l_order.push(candidate.clone());
+            l_alive.push(true);
+            l_pos.insert(candidate.clone(), pos);
+            // Prune: every tuple strictly dominated by `candidate` can never be
+            // a minimal answer; mark it in F and drop it from L.
+            for dominated in strictly_above(&candidate) {
+                f_table.insert(dominated.clone());
+                if let Some(&p) = l_pos.get(&dominated) {
+                    l_alive[p] = false;
+                }
+            }
+        }
+        // Output one minimal element of the ball of ā* right away.
+        let mut ball_answers: Vec<MultiTuple> = Vec::new();
+        for t in multi_wildcard_ball(a_star) {
+            if test(&t)? {
+                ball_answers.push(t);
+            }
+        }
+        ball_answers.sort();
+        let minimal = MultiTuple::minimal(&ball_answers);
+        if let Some(chosen) = minimal.first() {
+            output(chosen.clone());
+            if let Some(&p) = l_pos.get(chosen) {
+                l_alive[p] = false;
+            }
+        }
+    }
+    // Flush the remaining tuples of L.
+    for (pos, tuple) in l_order.into_iter().enumerate() {
+        if l_alive[pos] {
+            output(tuple);
+        }
+    }
+    Ok(())
+}
+
+/// Convenience: collects the minimal partial answers with multi-wildcards.
+pub fn minimal_partial_multi_answers(
+    query: &ConjunctiveQuery,
+    d0: &Database,
+) -> Result<Vec<MultiTuple>> {
+    let mut out = Vec::new();
+    enumerate_minimal_partial_multi(query, d0, |t| out.push(t))?;
+    Ok(out)
+}
+
+/// All multi-wildcard tuples strictly above `tuple` in the preference order
+/// `≺` (a constant-size set: weaken constant positions to wildcards and/or
+/// split wildcard groups, subject to the order's conditions).
+fn strictly_above(tuple: &MultiTuple) -> Vec<MultiTuple> {
+    let n = tuple.len();
+    let const_positions: Vec<usize> = (0..n)
+        .filter(|&i| matches!(tuple.0[i], MultiValue::Const(_)))
+        .collect();
+    let mut result: Vec<MultiTuple> = Vec::new();
+    let mut seen: FxHashSet<MultiTuple> = FxHashSet::default();
+    for mask in 0u64..(1u64 << const_positions.len().min(63)) {
+        // Positions that become wildcards in the candidate.
+        let mut wild_positions: Vec<usize> = (0..n)
+            .filter(|&i| matches!(tuple.0[i], MultiValue::Wild(_)))
+            .collect();
+        for (bit, &pos) in const_positions.iter().enumerate() {
+            if mask & (1 << bit) != 0 {
+                wild_positions.push(pos);
+            }
+        }
+        wild_positions.sort_unstable();
+        // Partition the wildcard positions into groups; a block is admissible
+        // only if all its positions carry the same value in `tuple`
+        // (condition (2) of the order).
+        for partition in set_partitions(&wild_positions) {
+            if !partition.iter().all(|block| {
+                block
+                    .iter()
+                    .all(|&i| tuple.0[i] == tuple.0[block[0]])
+            }) {
+                continue;
+            }
+            let mut values: Vec<MultiValue> = tuple.0.clone();
+            for (block_idx, block) in partition.iter().enumerate() {
+                for &pos in block {
+                    values[pos] = MultiValue::Wild(block_idx as u32 + 1);
+                }
+            }
+            let candidate = MultiTuple::from_values(&values);
+            if &candidate != tuple
+                && tuple.preferred_lt(&candidate)
+                && seen.insert(candidate.clone())
+            {
+                result.push(candidate);
+            }
+        }
+    }
+    result
+}
+
+/// Proposition 2.1: enumerate minimal partial answers (single wildcard) with
+/// all complete answers first.
+///
+/// Runs the complete-answer enumerator and the Algorithm 1 enumerator "in
+/// parallel": while complete answers remain, each step outputs one of them and
+/// stores any wildcard answer produced by Algorithm 1; afterwards, wildcard
+/// answers are output directly and stored answers replace the complete ones
+/// Algorithm 1 re-discovers.
+pub fn minimal_partial_answers_complete_first(
+    query: &ConjunctiveQuery,
+    d0: &Database,
+) -> Result<Vec<PartialTuple>> {
+    let complete_structure = crate::preprocess::FreeConnexStructure::build(query, d0, true)?;
+    let mut complete_iter = crate::enumerate::AnswerIter::new(&complete_structure);
+    let partial = PartialEnumerator::new(query, d0)?.collect()?;
+
+    let mut output: Vec<PartialTuple> = Vec::new();
+    let mut stored: Vec<PartialTuple> = Vec::new();
+    let mut complete_done = false;
+    for answer in partial {
+        if !complete_done {
+            match complete_iter.next() {
+                Some(complete) => {
+                    output.push(PartialTuple::from_answer(&complete));
+                    if !answer.is_complete() {
+                        stored.push(answer);
+                    }
+                    continue;
+                }
+                None => complete_done = true,
+            }
+        }
+        if answer.is_complete() {
+            // Replace by a stored wildcard answer (there is one for every
+            // complete answer re-discovered after the switch).
+            if let Some(replacement) = stored.pop() {
+                output.push(replacement);
+            } else {
+                output.push(answer);
+            }
+        } else {
+            output.push(answer);
+        }
+    }
+    // Any remaining stored answers (when Algorithm 1 finished before the
+    // complete enumerator did not happen — defensively flush).
+    output.extend(stored);
+    Ok(output)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline;
+    use omq_data::{ConstId, Fact, Schema, Value};
+
+    fn mt(spec: &[(bool, u32)]) -> MultiTuple {
+        MultiTuple(
+            spec.iter()
+                .map(|(is_const, i)| {
+                    if *is_const {
+                        MultiValue::Const(ConstId(*i))
+                    } else {
+                        MultiValue::Wild(*i)
+                    }
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn strictly_above_generates_the_order() {
+        // (a, *1) is below (*1, *2); it is not below (*1, *1) because the
+        // latter identifies the two positions while (a, *1) does not.
+        let t = mt(&[(true, 0), (false, 1)]);
+        let above = strictly_above(&t);
+        assert!(above.contains(&mt(&[(false, 1), (false, 2)])));
+        assert!(!above.contains(&mt(&[(false, 1), (false, 1)])));
+        assert!(!above.contains(&t));
+        for candidate in &above {
+            assert!(t.preferred_lt(candidate));
+        }
+        // (a, b): above it are (*1,b), (a,*1), (*1,*2), (*1,*1)... but (*1,*1)
+        // requires equal underlying values (condition 2), which fails for a≠b.
+        let ab = mt(&[(true, 0), (true, 1)]);
+        let above = strictly_above(&ab);
+        assert!(above.contains(&mt(&[(false, 1), (true, 1)])));
+        assert!(above.contains(&mt(&[(true, 0), (false, 1)])));
+        assert!(above.contains(&mt(&[(false, 1), (false, 2)])));
+        assert!(!above.contains(&mt(&[(false, 1), (false, 1)])));
+    }
+
+    fn check_against_oracle(query_text: &str, db: &Database) {
+        let q = ConjunctiveQuery::parse(query_text).unwrap();
+        let fast = minimal_partial_multi_answers(&q, db).unwrap();
+        let oracle = baseline::cq_minimal_partial_multi(&q, db);
+        let fast_set: FxHashSet<MultiTuple> = fast.iter().cloned().collect();
+        let oracle_set: FxHashSet<MultiTuple> = oracle.iter().cloned().collect();
+        assert_eq!(
+            fast_set, oracle_set,
+            "answer sets differ for {query_text}: fast={fast:?} oracle={oracle:?}"
+        );
+        assert_eq!(fast_set.len(), fast.len(), "duplicates for {query_text}");
+    }
+
+    /// The Example 6.2 database: A(c) spawns R(c, n1), T(c, n1), S(c, n2) and
+    /// the data additionally contains R(c, c').
+    fn example_6_2_db() -> Database {
+        let mut schema = Schema::new();
+        schema.add_relation("R", 2).unwrap();
+        schema.add_relation("S", 2).unwrap();
+        schema.add_relation("T", 2).unwrap();
+        let mut db = Database::new(schema);
+        db.add_named_fact("R", &["c", "cprime"]).unwrap();
+        let r = db.schema().relation_id("R").unwrap();
+        let s = db.schema().relation_id("S").unwrap();
+        let t = db.schema().relation_id("T").unwrap();
+        let c = Value::Const(db.const_id("c").unwrap());
+        let n1 = Value::Null(db.fresh_null());
+        let n2 = Value::Null(db.fresh_null());
+        db.add_fact(Fact::new(r, vec![c, n1])).unwrap();
+        db.add_fact(Fact::new(t, vec![c, n1])).unwrap();
+        db.add_fact(Fact::new(s, vec![c, n2])).unwrap();
+        db
+    }
+
+    #[test]
+    fn example_6_2_cone_is_needed() {
+        // q0(x0,x1,x2,x3) = R(x0,x1) ∧ S(x0,x2) ∧ T(x0,x3); the answer
+        // (c, *1, *2, *1) is only found through the cone (not the ball) of the
+        // single-wildcard answer (c, c', *, *).
+        let db = example_6_2_db();
+        let q = ConjunctiveQuery::parse("q(x0, x1, x2, x3) :- R(x0, x1), S(x0, x2), T(x0, x3)")
+            .unwrap();
+        let answers = minimal_partial_multi_answers(&q, &db).unwrap();
+        let c = db.const_id("c").unwrap();
+        let cprime = db.const_id("cprime").unwrap();
+        use MultiValue::{Const, Wild};
+        let through_cone = MultiTuple(vec![Const(c), Wild(1), Wild(2), Wild(1)]);
+        let through_ball = MultiTuple(vec![Const(c), Const(cprime), Wild(1), Wild(2)]);
+        assert!(answers.contains(&through_cone), "answers: {answers:?}");
+        assert!(answers.contains(&through_ball), "answers: {answers:?}");
+        check_against_oracle(
+            "q(x0, x1, x2, x3) :- R(x0, x1), S(x0, x2), T(x0, x3)",
+            &db,
+        );
+    }
+
+    #[test]
+    fn multi_wildcard_answers_match_oracle_on_chaselike_data() {
+        let db = example_6_2_db();
+        for text in [
+            "q(x, y) :- R(x, y)",
+            "q(x, y, z) :- R(x, y), S(x, z)",
+            "q(x, y, z) :- R(x, y), T(x, z)",
+            "q(x, y, z, w) :- R(x, y), S(x, z), T(x, w)",
+        ] {
+            check_against_oracle(text, &db);
+        }
+    }
+
+    #[test]
+    fn complete_answers_first_ordering() {
+        let db = example_6_2_db();
+        let q = ConjunctiveQuery::parse("q(x, y) :- R(x, y)").unwrap();
+        let ordered = minimal_partial_answers_complete_first(&q, &db).unwrap();
+        // Same set as Algorithm 1 ...
+        let plain = crate::partial_enum::minimal_partial_answers(&q, &db).unwrap();
+        let ordered_set: FxHashSet<PartialTuple> = ordered.iter().cloned().collect();
+        let plain_set: FxHashSet<PartialTuple> = plain.iter().cloned().collect();
+        assert_eq!(ordered_set, plain_set);
+        // ... but all complete answers come first.
+        let first_wildcard = ordered.iter().position(|t| !t.is_complete());
+        if let Some(cut) = first_wildcard {
+            assert!(ordered[cut..].iter().all(|t| !t.is_complete()));
+        }
+    }
+
+    #[test]
+    fn boolean_query_multi_wildcards() {
+        let db = example_6_2_db();
+        let q = ConjunctiveQuery::parse("q() :- R(x, y)").unwrap();
+        let answers = minimal_partial_multi_answers(&q, &db).unwrap();
+        assert_eq!(answers, vec![MultiTuple(Vec::new())]);
+    }
+}

@@ -1,0 +1,468 @@
+//! The top-level engine: ontology-mediated query evaluation end to end.
+//!
+//! [`OmqEngine::preprocess`] runs the linear-time preprocessing shared by all
+//! evaluation modes — the query-directed chase `ch^q_O(D)` — and the engine
+//! then exposes every mode studied in the paper:
+//!
+//! | mode                                   | paper result      | method |
+//! |----------------------------------------|-------------------|--------|
+//! | enumerate complete answers             | Theorem 4.1(1)    | [`OmqEngine::enumerate_complete`] |
+//! | all-test complete answers              | Theorem 4.1(2)    | [`OmqEngine::all_tester`] |
+//! | enumerate minimal partial answers      | Theorem 5.2       | [`OmqEngine::enumerate_minimal_partial`] |
+//! | … with complete answers first          | Proposition 2.1   | [`OmqEngine::enumerate_minimal_partial_complete_first`] |
+//! | enumerate minimal partial answers (multi-wildcard) | Theorem 6.1 | [`OmqEngine::enumerate_minimal_partial_multi`] |
+//! | single-test complete / partial answers | Theorem 3.1       | [`OmqEngine::test_complete_names`] and friends |
+
+use crate::all_testing::AllTester;
+use crate::error::CoreError;
+use crate::multi_enum;
+use crate::partial_enum::PartialEnumerator;
+use crate::preprocess::FreeConnexStructure;
+use crate::single_testing;
+use crate::Result;
+use omq_chase::{query_directed_chase, OntologyMediatedQuery, QchaseConfig};
+use omq_data::{ConstId, Database, MultiTuple, PartialTuple, Value};
+use std::time::Instant;
+
+/// Configuration of [`OmqEngine::preprocess_with`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EngineConfig {
+    /// Configuration of the query-directed chase.
+    pub qchase: QchaseConfig,
+}
+
+/// Statistics about the preprocessing phase.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PreprocessStats {
+    /// Facts in the input database.
+    pub input_facts: usize,
+    /// Facts in the query-directed chase.
+    pub chased_facts: usize,
+    /// Wall-clock microseconds spent computing the query-directed chase.
+    pub chase_micros: u128,
+    /// Number of grafted null trees.
+    pub grafts: usize,
+    /// Bag-memoisation hits during the chase.
+    pub memo_hits: usize,
+    /// Whether the guarded saturation reached a fixpoint.
+    pub saturation_converged: bool,
+}
+
+/// A fully preprocessed ontology-mediated query over a fixed database.
+#[derive(Debug)]
+pub struct OmqEngine {
+    omq: OntologyMediatedQuery,
+    d0: Database,
+    stats: PreprocessStats,
+}
+
+impl OmqEngine {
+    /// Runs the linear-time preprocessing (query-directed chase) with default
+    /// settings.
+    ///
+    /// Returns an error if the ontology is not guarded.
+    pub fn preprocess(omq: &OntologyMediatedQuery, db: &Database) -> Result<Self> {
+        Self::preprocess_with(omq, db, &EngineConfig::default())
+    }
+
+    /// Runs the linear-time preprocessing with an explicit configuration.
+    pub fn preprocess_with(
+        omq: &OntologyMediatedQuery,
+        db: &Database,
+        config: &EngineConfig,
+    ) -> Result<Self> {
+        if !omq.is_guarded() {
+            return Err(CoreError::NotGuarded(
+                omq.ontology()
+                    .first_unguarded()
+                    .map(|t| t.to_string())
+                    .unwrap_or_default(),
+            ));
+        }
+        let start = Instant::now();
+        let chased = query_directed_chase(db, omq, &config.qchase)?;
+        let stats = PreprocessStats {
+            input_facts: db.len(),
+            chased_facts: chased.database.len(),
+            chase_micros: start.elapsed().as_micros(),
+            grafts: chased.grafts,
+            memo_hits: chased.memo_hits,
+            saturation_converged: chased.saturation_converged,
+        };
+        Ok(OmqEngine {
+            omq: omq.clone(),
+            d0: chased.database,
+            stats,
+        })
+    }
+
+    /// The OMQ this engine evaluates.
+    pub fn omq(&self) -> &OntologyMediatedQuery {
+        &self.omq
+    }
+
+    /// The query-directed chase `ch^q_O(D)` the engine evaluates over.
+    pub fn chased_database(&self) -> &Database {
+        &self.d0
+    }
+
+    /// Preprocessing statistics.
+    pub fn stats(&self) -> &PreprocessStats {
+        &self.stats
+    }
+
+    // ------------------------------------------------------------------
+    // Complete answers.
+    // ------------------------------------------------------------------
+
+    /// Builds the constant-delay enumeration structure for complete answers
+    /// (Theorem 4.1(1)).  Requires the query to be acyclic and free-connex
+    /// acyclic.
+    pub fn complete_structure(&self) -> Result<FreeConnexStructure> {
+        FreeConnexStructure::build(self.omq.query(), &self.d0, true)
+    }
+
+    /// Enumerates all complete (certain) answers.
+    pub fn enumerate_complete(&self) -> Result<Vec<Vec<ConstId>>> {
+        let structure = self.complete_structure()?;
+        let mut out = Vec::new();
+        for answer in crate::enumerate::AnswerIter::new(&structure) {
+            out.push(
+                answer
+                    .into_iter()
+                    .map(|v| match v {
+                        Value::Const(c) => Ok(c),
+                        Value::Null(_) => Err(CoreError::Internal(
+                            "complete answer contains a null".to_owned(),
+                        )),
+                    })
+                    .collect::<Result<Vec<ConstId>>>()?,
+            );
+        }
+        Ok(out)
+    }
+
+    /// Streams the complete answers to a callback (useful for measuring the
+    /// per-answer delay).
+    pub fn stream_complete(&self, mut f: impl FnMut(&[Value])) -> Result<usize> {
+        let structure = self.complete_structure()?;
+        let mut count = 0usize;
+        for answer in crate::enumerate::AnswerIter::new(&structure) {
+            count += 1;
+            f(&answer);
+        }
+        Ok(count)
+    }
+
+    // ------------------------------------------------------------------
+    // Minimal partial answers.
+    // ------------------------------------------------------------------
+
+    /// Builds the Algorithm 1 enumerator (linear-time preprocessing of
+    /// Theorem 5.2).  The returned enumerator is consumed by a single
+    /// enumeration run; build a new one to re-enumerate.
+    pub fn partial_enumerator(&self) -> Result<PartialEnumerator> {
+        PartialEnumerator::new(self.omq.query(), &self.d0)
+    }
+
+    /// Enumerates the minimal partial answers (single wildcard, Theorem 5.2).
+    pub fn enumerate_minimal_partial(&self) -> Result<Vec<PartialTuple>> {
+        PartialEnumerator::new(self.omq.query(), &self.d0)?.collect()
+    }
+
+    /// Streams the minimal partial answers to a callback.
+    pub fn stream_minimal_partial(&self, mut f: impl FnMut(&PartialTuple)) -> Result<usize> {
+        let mut count = 0usize;
+        PartialEnumerator::new(self.omq.query(), &self.d0)?.enumerate(|t| {
+            count += 1;
+            f(&t);
+        })?;
+        Ok(count)
+    }
+
+    /// Enumerates the minimal partial answers with all complete answers first
+    /// (Proposition 2.1).
+    pub fn enumerate_minimal_partial_complete_first(&self) -> Result<Vec<PartialTuple>> {
+        multi_enum::minimal_partial_answers_complete_first(self.omq.query(), &self.d0)
+    }
+
+    /// Enumerates the minimal partial answers with multi-wildcards
+    /// (Theorem 6.1).
+    pub fn enumerate_minimal_partial_multi(&self) -> Result<Vec<MultiTuple>> {
+        multi_enum::minimal_partial_multi_answers(self.omq.query(), &self.d0)
+    }
+
+    /// Streams the minimal partial answers with multi-wildcards to a callback.
+    pub fn stream_minimal_partial_multi(&self, mut f: impl FnMut(&MultiTuple)) -> Result<usize> {
+        let mut count = 0usize;
+        multi_enum::enumerate_minimal_partial_multi(self.omq.query(), &self.d0, |t| {
+            count += 1;
+            f(&t);
+        })?;
+        Ok(count)
+    }
+
+    // ------------------------------------------------------------------
+    // Testing.
+    // ------------------------------------------------------------------
+
+    /// Builds the all-tester for complete answers (Theorem 4.1(2)); requires
+    /// the query to be free-connex acyclic (acyclicity is *not* required).
+    pub fn all_tester(&self) -> Result<AllTester> {
+        AllTester::build(self.omq.query(), &self.d0, true)
+    }
+
+    /// Single-tests a complete answer given by constant names.
+    pub fn test_complete_names(&self, names: &[&str]) -> Result<bool> {
+        let values = match single_testing::resolve_constants(&self.d0, names) {
+            Ok(v) => v,
+            // A name that does not occur in the data cannot be an answer.
+            Err(CoreError::UnknownConstant(_)) => return Ok(false),
+            Err(e) => return Err(e),
+        };
+        single_testing::test_complete(self.omq.query(), &self.d0, &values)
+    }
+
+    /// Single-tests a minimal partial answer (single wildcard).
+    pub fn test_minimal_partial(&self, candidate: &PartialTuple) -> Result<bool> {
+        single_testing::test_minimal_partial(self.omq.query(), &self.d0, candidate)
+    }
+
+    /// Single-tests a minimal partial answer with multi-wildcards.
+    pub fn test_minimal_partial_multi(&self, candidate: &MultiTuple) -> Result<bool> {
+        single_testing::test_minimal_partial_multi(self.omq.query(), &self.d0, candidate)
+    }
+
+    // ------------------------------------------------------------------
+    // Convenience / display.
+    // ------------------------------------------------------------------
+
+    /// Resolves constant names to identifiers of the chased database.
+    pub fn resolve(&self, names: &[&str]) -> Result<Vec<ConstId>> {
+        names
+            .iter()
+            .map(|n| {
+                self.d0
+                    .const_id(n)
+                    .ok_or_else(|| CoreError::UnknownConstant((*n).to_owned()))
+            })
+            .collect()
+    }
+
+    /// Builds a partial tuple from constant names and `*` wildcards.
+    pub fn parse_partial(&self, spec: &[&str]) -> Result<PartialTuple> {
+        let values = spec
+            .iter()
+            .map(|s| {
+                if *s == "*" {
+                    Ok(omq_data::PartialValue::Star)
+                } else {
+                    self.d0
+                        .const_id(s)
+                        .map(omq_data::PartialValue::Const)
+                        .ok_or_else(|| CoreError::UnknownConstant((*s).to_owned()))
+                }
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(PartialTuple(values))
+    }
+
+    /// Renders a complete answer with constant names.
+    pub fn format_complete(&self, answer: &[ConstId]) -> String {
+        let names: Vec<&str> = answer.iter().map(|&c| self.d0.const_name(c)).collect();
+        format!("({})", names.join(","))
+    }
+
+    /// Renders a partial answer with constant names.
+    pub fn format_partial(&self, answer: &PartialTuple) -> String {
+        answer.display_with(|c| self.d0.const_name(c).to_owned())
+    }
+
+    /// Renders a multi-wildcard answer with constant names.
+    pub fn format_multi(&self, answer: &MultiTuple) -> String {
+        answer.display_with(|c| self.d0.const_name(c).to_owned())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omq_chase::Ontology;
+    use omq_cq::ConjunctiveQuery;
+    use omq_data::Schema;
+    use rustc_hash::FxHashSet;
+
+    fn office() -> (OntologyMediatedQuery, Database) {
+        let ontology = Ontology::parse(
+            "Researcher(x) -> exists y. HasOffice(x, y)\n\
+             HasOffice(x, y) -> Office(y)\n\
+             Office(x) -> exists y. InBuilding(x, y)",
+        )
+        .unwrap();
+        let query =
+            ConjunctiveQuery::parse("q(x1, x2, x3) :- HasOffice(x1, x2), InBuilding(x2, x3)")
+                .unwrap();
+        let omq = OntologyMediatedQuery::new(ontology, query).unwrap();
+        let mut s = Schema::new();
+        s.add_relation("Researcher", 1).unwrap();
+        s.add_relation("HasOffice", 2).unwrap();
+        s.add_relation("InBuilding", 2).unwrap();
+        let db = Database::builder(s)
+            .fact("Researcher", ["mary"])
+            .fact("Researcher", ["john"])
+            .fact("Researcher", ["mike"])
+            .fact("HasOffice", ["mary", "room1"])
+            .fact("HasOffice", ["john", "room4"])
+            .fact("InBuilding", ["room1", "main1"])
+            .build()
+            .unwrap();
+        (omq, db)
+    }
+
+    #[test]
+    fn running_example_end_to_end() {
+        let (omq, db) = office();
+        let engine = OmqEngine::preprocess(&omq, &db).unwrap();
+        assert!(engine.stats().chased_facts >= engine.stats().input_facts);
+
+        // Complete answers: exactly (mary, room1, main1).
+        let complete = engine.enumerate_complete().unwrap();
+        assert_eq!(complete.len(), 1);
+        assert_eq!(engine.format_complete(&complete[0]), "(mary,room1,main1)");
+
+        // Minimal partial answers: the three tuples of Example 1.1.
+        let partial = engine.enumerate_minimal_partial().unwrap();
+        let rendered: FxHashSet<String> =
+            partial.iter().map(|t| engine.format_partial(t)).collect();
+        assert_eq!(
+            rendered,
+            ["(mary,room1,main1)", "(john,room4,*)", "(mike,*,*)"]
+                .into_iter()
+                .map(str::to_owned)
+                .collect()
+        );
+
+        // Multi-wildcard versions (Example 2.2): same three shapes, with
+        // distinct wildcards for mike.
+        let multi = engine.enumerate_minimal_partial_multi().unwrap();
+        let rendered: FxHashSet<String> =
+            multi.iter().map(|t| engine.format_multi(t)).collect();
+        assert_eq!(
+            rendered,
+            ["(mary,room1,main1)", "(john,room4,*1)", "(mike,*1,*2)"]
+                .into_iter()
+                .map(str::to_owned)
+                .collect()
+        );
+
+        // Complete-first ordering starts with the complete answer.
+        let ordered = engine.enumerate_minimal_partial_complete_first().unwrap();
+        assert_eq!(ordered.len(), 3);
+        assert!(ordered[0].is_complete());
+    }
+
+    #[test]
+    fn testing_modes_agree_with_enumeration() {
+        let (omq, db) = office();
+        let engine = OmqEngine::preprocess(&omq, &db).unwrap();
+        // Single-testing.
+        assert!(engine
+            .test_complete_names(&["mary", "room1", "main1"])
+            .unwrap());
+        assert!(!engine
+            .test_complete_names(&["john", "room4", "main1"])
+            .unwrap());
+        assert!(!engine.test_complete_names(&["nobody", "x", "y"]).unwrap());
+        // All-testing.
+        let tester = engine.all_tester().unwrap();
+        for answer in engine.enumerate_complete().unwrap() {
+            let values: Vec<Value> = answer.iter().map(|&c| Value::Const(c)).collect();
+            assert!(tester.test(&values).unwrap());
+        }
+        let wrong = engine.resolve(&["john", "room4", "main1"]).unwrap();
+        let wrong: Vec<Value> = wrong.into_iter().map(Value::Const).collect();
+        assert!(!tester.test(&wrong).unwrap());
+        // Partial single-testing agrees with enumeration.
+        for answer in engine.enumerate_minimal_partial().unwrap() {
+            assert!(engine.test_minimal_partial(&answer).unwrap());
+        }
+        let not_minimal = engine.parse_partial(&["mary", "room1", "*"]).unwrap();
+        assert!(!engine.test_minimal_partial(&not_minimal).unwrap());
+        // Multi-wildcard single-testing agrees with enumeration.
+        for answer in engine.enumerate_minimal_partial_multi().unwrap() {
+            assert!(engine.test_minimal_partial_multi(&answer).unwrap());
+        }
+    }
+
+    #[test]
+    fn streaming_counts_match_collection() {
+        let (omq, db) = office();
+        let engine = OmqEngine::preprocess(&omq, &db).unwrap();
+        let mut n = 0;
+        engine.stream_minimal_partial(|_| n += 1).unwrap();
+        assert_eq!(n, engine.enumerate_minimal_partial().unwrap().len());
+        let mut m = 0;
+        engine.stream_complete(|_| m += 1).unwrap();
+        assert_eq!(m, engine.enumerate_complete().unwrap().len());
+        let mut k = 0;
+        engine.stream_minimal_partial_multi(|_| k += 1).unwrap();
+        assert_eq!(k, engine.enumerate_minimal_partial_multi().unwrap().len());
+    }
+
+    #[test]
+    fn unguarded_ontology_is_rejected() {
+        let ontology = Ontology::parse("R(x, y), S(y, z) -> T(x, z)").unwrap();
+        let query = ConjunctiveQuery::parse("q(x, z) :- T(x, z)").unwrap();
+        let omq = OntologyMediatedQuery::new(ontology, query).unwrap();
+        let db = Database::new(omq.data_schema().clone());
+        assert!(matches!(
+            OmqEngine::preprocess(&omq, &db),
+            Err(CoreError::NotGuarded(_))
+        ));
+    }
+
+    #[test]
+    fn agrees_with_brute_force_baseline() {
+        let (omq, db) = office();
+        let engine = OmqEngine::preprocess(&omq, &db).unwrap();
+        let brute =
+            crate::baseline::BruteForce::new(&omq, &db, &omq_chase::ChaseConfig::default())
+                .unwrap();
+        // Complete answers coincide (compare by rendered names to be robust
+        // against different constant interning).
+        let fast: FxHashSet<String> = engine
+            .enumerate_complete()
+            .unwrap()
+            .iter()
+            .map(|a| engine.format_complete(a))
+            .collect();
+        let slow: FxHashSet<String> = brute
+            .complete_answers()
+            .iter()
+            .map(|a| {
+                let names: Vec<&str> = a
+                    .iter()
+                    .map(|v| match v {
+                        Value::Const(c) => brute.chased.const_name(*c),
+                        Value::Null(_) => unreachable!(),
+                    })
+                    .collect();
+                format!("({})", names.join(","))
+            })
+            .collect();
+        assert_eq!(fast, slow);
+        // Minimal partial answers coincide.
+        let fast: FxHashSet<String> = engine
+            .enumerate_minimal_partial()
+            .unwrap()
+            .iter()
+            .map(|t| engine.format_partial(t))
+            .collect();
+        let slow: FxHashSet<String> = brute
+            .minimal_partial()
+            .iter()
+            .map(|t| t.display_with(|c| brute.chased.const_name(c).to_owned()))
+            .collect();
+        assert_eq!(fast, slow);
+    }
+}

@@ -1,0 +1,371 @@
+//! Algorithm 1: enumeration of minimal partial answers with a single wildcard
+//! (Theorem 5.2 of the paper).
+//!
+//! After the linear-time preprocessing ([`crate::preprocess`] and
+//! [`crate::progress`]), the enumeration phase performs a pre-order traversal
+//! of the join tree `T₁`.  At every atom it iterates over the progress trees
+//! compatible with the bindings made so far, in *database-preferring order*
+//! (answers with constants before answers with wildcards).  After each output
+//! the `prune` step removes, from every `trees` list, the progress trees that
+//! are strictly dominated by the pattern just output — this is what guarantees
+//! that only *minimal* partial answers are produced, without repetition.
+
+use crate::error::CoreError;
+use crate::preprocess::FreeConnexStructure;
+use crate::progress::{ProgressIndex, ProgressTree};
+use crate::Result;
+use omq_cq::{ConjunctiveQuery, VarId};
+use omq_data::{Database, PartialTuple, PartialValue, Value};
+use rustc_hash::FxHashMap;
+
+/// The Algorithm 1 enumerator.
+///
+/// The enumeration phase mutates the preprocessed `trees` lists (pruning), so
+/// an enumerator is consumed by [`PartialEnumerator::enumerate`]; build a new
+/// one (linear time) to re-enumerate.
+#[derive(Debug)]
+pub struct PartialEnumerator {
+    structure: FreeConnexStructure,
+    index: ProgressIndex,
+}
+
+impl PartialEnumerator {
+    /// Preprocesses `query` over the chased instance `d0`.
+    ///
+    /// Requires the query to be acyclic and free-connex acyclic.
+    pub fn new(query: &ConjunctiveQuery, d0: &Database) -> Result<Self> {
+        let structure = FreeConnexStructure::build(query, d0, false)?;
+        let index = ProgressIndex::build(&structure)?;
+        Ok(PartialEnumerator { structure, index })
+    }
+
+    /// Builds an enumerator from an existing structure (must have been built
+    /// with `complete_only = false`).
+    pub fn from_structure(structure: FreeConnexStructure) -> Result<Self> {
+        let index = ProgressIndex::build(&structure)?;
+        Ok(PartialEnumerator { structure, index })
+    }
+
+    /// The underlying preprocessed structure.
+    pub fn structure(&self) -> &FreeConnexStructure {
+        &self.structure
+    }
+
+    /// Runs the enumeration, invoking `output` for every minimal partial
+    /// answer (exactly once each).
+    pub fn enumerate(mut self, mut output: impl FnMut(PartialTuple)) -> Result<()> {
+        if self.structure.empty {
+            return Ok(());
+        }
+        if let Some(satisfiable) = self.structure.boolean_satisfiable {
+            if satisfiable {
+                output(PartialTuple(Vec::new()));
+            }
+            return Ok(());
+        }
+        let mut assignment: FxHashMap<VarId, PartialValue> = FxHashMap::default();
+        self.enum_at(0, &mut assignment, &mut output)?;
+        Ok(())
+    }
+
+    /// Convenience: collects all minimal partial answers.
+    pub fn collect(self) -> Result<Vec<PartialTuple>> {
+        let mut out = Vec::new();
+        self.enumerate(|t| out.push(t))?;
+        Ok(out)
+    }
+
+    /// The `nextat` helper: the first pre-order position `≥ from` whose node
+    /// has an unassigned variable, or `None` for "end of atoms".
+    fn next_open(
+        &self,
+        from: usize,
+        assignment: &FxHashMap<VarId, PartialValue>,
+    ) -> Option<usize> {
+        (from..self.structure.preorder.len()).find(|&pos| {
+            let node = self.structure.preorder[pos];
+            self.structure.nodes[node]
+                .vars
+                .iter()
+                .any(|v| !assignment.contains_key(v))
+        })
+    }
+
+    /// The recursive `enum` procedure of Algorithm 1.
+    fn enum_at(
+        &mut self,
+        from: usize,
+        assignment: &mut FxHashMap<VarId, PartialValue>,
+        output: &mut impl FnMut(PartialTuple),
+    ) -> Result<()> {
+        let Some(pos) = self.next_open(from, assignment) else {
+            // End of atoms: output the answer and prune.
+            let answer = PartialTuple(
+                self.structure
+                    .answer_positions
+                    .iter()
+                    .map(|v| assignment[v])
+                    .collect(),
+            );
+            output(answer);
+            self.prune(assignment);
+            return Ok(());
+        };
+        let node = self.structure.preorder[pos];
+        // Predecessor binding: all predecessor variables are bound to
+        // constants at this point (a wildcard predecessor would have forced
+        // this node into its parent's progress tree, leaving no variable
+        // open).
+        let mut pred_binding: Vec<Value> = Vec::with_capacity(
+            self.structure.nodes[node].pred_vars.len(),
+        );
+        for v in &self.structure.nodes[node].pred_vars {
+            match assignment.get(v) {
+                Some(PartialValue::Const(c)) => pred_binding.push(Value::Const(*c)),
+                Some(PartialValue::Star) => {
+                    return Err(CoreError::Internal(
+                        "open node with wildcard predecessor binding".to_owned(),
+                    ))
+                }
+                None => {
+                    return Err(CoreError::Internal(
+                        "open node with unbound predecessor variable".to_owned(),
+                    ))
+                }
+            }
+        }
+        let Some(list_id) = self.index.list_for(node, &pred_binding) else {
+            // No progress tree for this binding: nothing to enumerate below it
+            // (Lemma 5.4 rules this out; handled defensively).
+            return Ok(());
+        };
+        let mut cursor = self.index.head(list_id);
+        while let Some(entry) = cursor {
+            let tree = self.index.tree(entry).clone();
+            // Merge the tree's pattern into the assignment.
+            let mut newly_bound: Vec<VarId> = Vec::new();
+            for (var, value) in &tree.pattern {
+                if !assignment.contains_key(var) {
+                    assignment.insert(*var, *value);
+                    newly_bound.push(*var);
+                }
+            }
+            self.enum_at(pos + 1, assignment, output)?;
+            for var in newly_bound {
+                assignment.remove(&var);
+            }
+            cursor = self.index.next_of(entry);
+        }
+        Ok(())
+    }
+
+    /// The `prune` procedure: after outputting the answer described by
+    /// `assignment`, remove from every `trees` list the progress trees that
+    /// are strictly dominated (same nodes, strictly more wildcards compatible
+    /// with the output pattern).
+    fn prune(&mut self, assignment: &FxHashMap<VarId, PartialValue>) {
+        let mut removals: Vec<ProgressTree> = Vec::new();
+        for (root, nodes, vars) in self.index.subtrees() {
+            // Base pattern: the output restricted to the subtree's variables.
+            let base: Vec<(VarId, PartialValue)> = vars
+                .iter()
+                .map(|v| (*v, assignment[v]))
+                .collect();
+            // Predecessor variables of the subtree root must stay non-wildcard
+            // (condition (1) of progress trees), so only the other constant
+            // positions may be weakened.
+            let pred_vars = &self.structure.nodes[root].pred_vars;
+            let weakenable: Vec<usize> = base
+                .iter()
+                .enumerate()
+                .filter(|(_, (v, value))| {
+                    matches!(value, PartialValue::Const(_)) && !pred_vars.contains(v)
+                })
+                .map(|(i, _)| i)
+                .collect();
+            if weakenable.is_empty() {
+                continue;
+            }
+            // All non-empty subsets of weakenable positions.
+            let subset_count: u64 = 1u64 << weakenable.len().min(63);
+            for mask in 1..subset_count {
+                let mut pattern = base.clone();
+                for (bit, &pos) in weakenable.iter().enumerate() {
+                    if mask & (1 << bit) != 0 {
+                        pattern[pos].1 = PartialValue::Star;
+                    }
+                }
+                removals.push(ProgressTree {
+                    root,
+                    nodes: nodes.to_vec(),
+                    pattern,
+                });
+            }
+        }
+        for tree in removals {
+            self.index.remove(&tree);
+        }
+    }
+}
+
+/// Convenience function: enumerates the minimal partial answers of `query`
+/// over the chased instance `d0`.
+pub fn minimal_partial_answers(
+    query: &ConjunctiveQuery,
+    d0: &Database,
+) -> Result<Vec<PartialTuple>> {
+    PartialEnumerator::new(query, d0)?.collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline;
+    use omq_data::{Fact, Schema};
+    use rustc_hash::FxHashSet;
+
+    fn check_against_oracle(query_text: &str, db: &Database) {
+        let q = ConjunctiveQuery::parse(query_text).unwrap();
+        let fast = minimal_partial_answers(&q, db).unwrap();
+        let oracle = baseline::cq_minimal_partial(&q, db);
+        let fast_set: FxHashSet<PartialTuple> = fast.iter().cloned().collect();
+        let oracle_set: FxHashSet<PartialTuple> = oracle.iter().cloned().collect();
+        assert_eq!(
+            fast_set, oracle_set,
+            "answer sets differ for {query_text}: fast={fast:?} oracle={oracle:?}"
+        );
+        assert_eq!(fast_set.len(), fast.len(), "duplicate answers for {query_text}");
+    }
+
+    /// A chase-like database: constants a,b,c,d,e and a few nulls attached to
+    /// them.
+    fn chaselike_db() -> Database {
+        let mut s = Schema::new();
+        s.add_relation("R", 2).unwrap();
+        s.add_relation("S", 2).unwrap();
+        s.add_relation("A", 1).unwrap();
+        let mut db = Database::new(s);
+        db.add_named_fact("R", &["a", "b"]).unwrap();
+        db.add_named_fact("R", &["d", "e"]).unwrap();
+        db.add_named_fact("S", &["b", "c"]).unwrap();
+        db.add_named_fact("A", &["a"]).unwrap();
+        db.add_named_fact("A", &["d"]).unwrap();
+        let r = db.schema().relation_id("R").unwrap();
+        let s_rel = db.schema().relation_id("S").unwrap();
+        let e = Value::Const(db.const_id("e").unwrap());
+        db.add_named_fact("A", &["f"]).unwrap();
+        // d's office chain ends in a null building: S(e, n1).
+        let n1 = Value::Null(db.fresh_null());
+        db.add_fact(Fact::new(s_rel, vec![e, n1])).unwrap();
+        // f has an entirely anonymous chain: R(f, n2), S(n2, n3).
+        let f = Value::Const(db.const_id("f").unwrap());
+        let n2 = Value::Null(db.fresh_null());
+        let n3 = Value::Null(db.fresh_null());
+        db.add_fact(Fact::new(r, vec![f, n2])).unwrap();
+        db.add_fact(Fact::new(s_rel, vec![n2, n3])).unwrap();
+        db
+    }
+
+    #[test]
+    fn running_shape_matches_oracle() {
+        let db = chaselike_db();
+        for text in [
+            "q(x, y, z) :- R(x, y), S(y, z)",
+            "q(x, y) :- R(x, y)",
+            "q(x, y, z) :- A(x), R(x, y), S(y, z)",
+            "q(x) :- R(x, y), S(y, z)",
+            "q(y, z) :- R(x, y), S(y, z), A(x)",
+            "q(x, z) :- A(x), S(y, z)",
+            "q(x, x, y) :- R(x, y)",
+        ] {
+            check_against_oracle(text, &db);
+        }
+    }
+
+    #[test]
+    fn running_example_shape() {
+        // Exactly the structure of Example 1.1 after the query-directed chase.
+        let db = chaselike_db();
+        let q = ConjunctiveQuery::parse("q(x, y, z) :- A(x), R(x, y), S(y, z)").unwrap();
+        let answers = minimal_partial_answers(&q, &db).unwrap();
+        // a: complete chain a-b-c; d: chain ending in a null; f: fully
+        // anonymous chain.
+        assert_eq!(answers.len(), 3);
+        let mut star_counts: Vec<usize> =
+            answers.iter().map(PartialTuple::star_count).collect();
+        star_counts.sort_unstable();
+        assert_eq!(star_counts, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn complete_answers_dominate_wildcards() {
+        // If a constant continuation exists, the wildcard variant must not be
+        // produced.
+        let mut s = Schema::new();
+        s.add_relation("R", 2).unwrap();
+        let mut db = Database::new(s);
+        db.add_named_fact("R", &["a", "b"]).unwrap();
+        let r = db.schema().relation_id("R").unwrap();
+        let a = Value::Const(db.const_id("a").unwrap());
+        let n = Value::Null(db.fresh_null());
+        db.add_fact(Fact::new(r, vec![a, n])).unwrap();
+        let q = ConjunctiveQuery::parse("q(x, y) :- R(x, y)").unwrap();
+        let answers = minimal_partial_answers(&q, &db).unwrap();
+        assert_eq!(answers.len(), 1);
+        assert!(answers[0].is_complete());
+        check_against_oracle("q(x, y) :- R(x, y)", &db);
+    }
+
+    #[test]
+    fn disconnected_query_products() {
+        let db = chaselike_db();
+        for text in [
+            "q(x, y) :- A(x), R(y, w)",
+            "q(x, u, v) :- A(x), S(u, v)",
+        ] {
+            check_against_oracle(text, &db);
+        }
+    }
+
+    #[test]
+    fn boolean_and_empty_cases() {
+        let db = chaselike_db();
+        let boolean = ConjunctiveQuery::parse("q() :- R(x, y), S(y, z)").unwrap();
+        let answers = minimal_partial_answers(&boolean, &db).unwrap();
+        assert_eq!(answers, vec![PartialTuple(Vec::new())]);
+
+        let unsat = ConjunctiveQuery::parse("q(x) :- Missing(x)").unwrap();
+        assert!(minimal_partial_answers(&unsat, &db).unwrap().is_empty());
+    }
+
+    #[test]
+    fn non_tractable_query_is_rejected() {
+        let db = chaselike_db();
+        let q = ConjunctiveQuery::parse("q(x, z) :- R(x, y), S(y, z)").unwrap();
+        assert!(matches!(
+            PartialEnumerator::new(&q, &db),
+            Err(CoreError::NotEnumerationTractable(_))
+        ));
+    }
+
+    #[test]
+    fn shared_null_forces_consistent_wildcards() {
+        // Example 6.2 shape: R(c, n), S(c, n) with the same null — the partial
+        // answer machinery (single wildcard) reports (c, *, *) for
+        // q(x, y, z) :- R(x, y), S(x, z), and the complete/partial distinction
+        // is handled by the multi-wildcard layer.
+        let mut s = Schema::new();
+        s.add_relation("R", 2).unwrap();
+        s.add_relation("S", 2).unwrap();
+        let mut db = Database::new(s);
+        db.add_named_fact("R", &["c", "c1"]).unwrap();
+        let r = db.schema().relation_id("R").unwrap();
+        let s_rel = db.schema().relation_id("S").unwrap();
+        let c = Value::Const(db.const_id("c").unwrap());
+        let n = Value::Null(db.fresh_null());
+        db.add_fact(Fact::new(r, vec![c, n])).unwrap();
+        db.add_fact(Fact::new(s_rel, vec![c, n])).unwrap();
+        check_against_oracle("q(x, y, z) :- R(x, y), S(x, z)", &db);
+        check_against_oracle("q(x, y) :- R(x, y), S(x, y)", &db);
+    }
+}

@@ -1,0 +1,398 @@
+//! The shared preprocessing of the constant-delay engines: from an acyclic,
+//! free-connex acyclic query `q₀` and a (possibly chased) database `D₀`,
+//! construct a *full*, acyclic, self-join-free query `q₁` over reduced
+//! extensions `D₁` satisfying the conditions (i)–(iv) of Section 5 of the
+//! paper:
+//!
+//! * (i) `q₁` has no quantified variables and has a join tree `T₁`;
+//! * (ii) every tuple of `D₁` stems from a fact of `D₀`;
+//! * (iii) `q₀(D₀) = q₁(D₁)` (as sets of tuples, including labelled nulls),
+//!   hence the minimal partial answers coincide as well;
+//! * (iv) the *progress condition*: every tuple of a node has a matching tuple
+//!   in each of its children, so a pre-order traversal never gets stuck.
+//!
+//! Construction: root the join tree `T⁺` of `q⁺ = q₀ ∧ R₀(x̄)` at the virtual
+//! guard atom `R₀`, reduce every subtree bottom-up by semijoins, and project
+//! the children of the guard onto their answer variables.  Every answer
+//! variable occurring in a subtree also occurs in the subtree's top node (by
+//! the join-tree connectivity condition), so no answer information is lost,
+//! and the semijoins fold the satisfiability of the quantified part of each
+//! subtree into its top node — including the distinction between constants
+//! and labelled nulls that the partial-answer machinery needs.
+
+use crate::error::CoreError;
+use crate::extension::{Extension, Tuple};
+use crate::Result;
+use omq_cq::acyclicity::{self, guard_node_id};
+use omq_cq::hypergraph::Hypergraph;
+use omq_cq::{ConjunctiveQuery, VarId};
+use omq_data::{Database, Value};
+use rustc_hash::{FxHashMap, FxHashSet};
+
+/// One node of the preprocessed structure (an atom of `q₁`).
+#[derive(Debug, Clone)]
+pub struct NodeData {
+    /// The original `q₀` atom (child of the guard in `T⁺`) this node stems
+    /// from.
+    pub atom_index: usize,
+    /// The node's variables (answer variables of `q₀`, in a fixed order).
+    pub vars: Vec<VarId>,
+    /// The reduced extension over [`NodeData::vars`].
+    pub extension: Extension,
+    /// Parent node in `T₁` (`None` for the root).
+    pub parent: Option<usize>,
+    /// Children in `T₁`.
+    pub children: Vec<usize>,
+    /// The predecessor variables: variables shared with the parent (empty for
+    /// the root).
+    pub pred_vars: Vec<VarId>,
+    /// Index from the projection onto [`NodeData::pred_vars`] to the matching
+    /// tuple indices of [`NodeData::extension`].
+    pub index: FxHashMap<Tuple, Vec<usize>>,
+}
+
+/// The preprocessed structure shared by the constant-delay enumerators and
+/// testers.
+#[derive(Debug, Clone)]
+pub struct FreeConnexStructure {
+    /// The original query `q₀`.
+    pub query: ConjunctiveQuery,
+    /// The distinct answer variables, in first-occurrence order.
+    pub distinct_answer_vars: Vec<VarId>,
+    /// The answer tuple `x̄` (possibly with repeated variables).
+    pub answer_positions: Vec<VarId>,
+    /// The `q₁` nodes.
+    pub nodes: Vec<NodeData>,
+    /// Node indices in pre-order (roots of `T₁` first).
+    pub preorder: Vec<usize>,
+    /// `true` iff the answer set is empty (detected during preprocessing).
+    pub empty: bool,
+    /// For Boolean queries: whether the query holds (`None` for non-Boolean
+    /// queries).
+    pub boolean_satisfiable: Option<bool>,
+}
+
+impl FreeConnexStructure {
+    /// Builds the structure.  `complete_only` drops tuples that assign a
+    /// labelled null to an answer variable (the `P_db` relativisation used for
+    /// complete answers); the partial-answer engines pass `false`.
+    ///
+    /// Returns an error if the query is not both acyclic and free-connex
+    /// acyclic.
+    pub fn build(
+        query: &ConjunctiveQuery,
+        db: &Database,
+        complete_only: bool,
+    ) -> Result<FreeConnexStructure> {
+        query.validate()?;
+        let report = acyclicity::AcyclicityReport::classify(query);
+        if !report.acyclic || !report.free_connex_acyclic {
+            return Err(CoreError::NotEnumerationTractable(query.to_string()));
+        }
+
+        let distinct_answer_vars = query.distinct_answer_vars();
+        let answer_positions = query.answer_vars().to_vec();
+
+        let mut structure = FreeConnexStructure {
+            query: query.clone(),
+            distinct_answer_vars: distinct_answer_vars.clone(),
+            answer_positions,
+            nodes: Vec::new(),
+            preorder: Vec::new(),
+            empty: false,
+            boolean_satisfiable: None,
+        };
+
+        if query.is_boolean() {
+            let holds = crate::yannakakis::boolean_holds_acyclic(query, db)?;
+            structure.boolean_satisfiable = Some(holds);
+            structure.empty = !holds;
+            return Ok(structure);
+        }
+        if query.atoms().is_empty() {
+            // Non-Boolean query with no atoms cannot have bound answer
+            // variables; `validate` already rejected this.
+            structure.empty = true;
+            return Ok(structure);
+        }
+
+        // ---- Extensions of the original atoms. ----
+        let answer_set: FxHashSet<VarId> = distinct_answer_vars.iter().copied().collect();
+        let drop_nulls: FxHashSet<VarId> = if complete_only {
+            answer_set.clone()
+        } else {
+            FxHashSet::default()
+        };
+        let mut extensions: Vec<Extension> = query
+            .atoms()
+            .iter()
+            .map(|a| Extension::of_atom(a, db, &drop_nulls))
+            .collect();
+        if extensions.iter().any(Extension::is_empty) {
+            structure.empty = true;
+            return Ok(structure);
+        }
+
+        // ---- Join tree of q⁺ rooted at the guard; bottom-up reduction. ----
+        let guard = guard_node_id(query);
+        let tree_plus = acyclicity::join_tree_plus(query)
+            .ok_or_else(|| CoreError::NotFreeConnex(query.to_string()))?;
+        let rooted = tree_plus.rooted_at(guard);
+        for &node in &rooted.bottom_up() {
+            if node == guard {
+                continue;
+            }
+            for &child in rooted.children_of(node) {
+                let child_ext = extensions[child].clone();
+                extensions[node].semijoin(&child_ext);
+            }
+            if extensions[node].is_empty() {
+                structure.empty = true;
+                return Ok(structure);
+            }
+        }
+
+        // ---- q₁: children of the guard projected onto answer variables. ----
+        struct ProtoNode {
+            atom_index: usize,
+            vars: Vec<VarId>,
+            extension: Extension,
+        }
+        let mut protos: Vec<ProtoNode> = Vec::new();
+        for &child in rooted.children_of(guard) {
+            let vars: Vec<VarId> = extensions[child]
+                .vars
+                .iter()
+                .copied()
+                .filter(|v| answer_set.contains(v))
+                .collect();
+            if vars.is_empty() {
+                // Purely quantified subtree: it acts as a Boolean filter.  Its
+                // extension is non-empty (checked above), so it can be
+                // dropped.
+                continue;
+            }
+            let projected = extensions[child].project(&vars);
+            protos.push(ProtoNode {
+                atom_index: child,
+                vars,
+                extension: projected,
+            });
+        }
+        // Every answer variable must be covered (it occurs in some atom and
+        // therefore in some child of the guard).
+        let covered: FxHashSet<VarId> = protos.iter().flat_map(|p| p.vars.clone()).collect();
+        if !distinct_answer_vars.iter().all(|v| covered.contains(v)) {
+            return Err(CoreError::Internal(
+                "answer variable not covered by q1 nodes".to_owned(),
+            ));
+        }
+
+        // ---- Join tree T₁ of q₁. ----
+        let mut hypergraph = Hypergraph::new();
+        for (i, p) in protos.iter().enumerate() {
+            hypergraph.add_edge(i, p.vars.iter().copied());
+        }
+        let t1 = hypergraph.gyo().ok_or_else(|| {
+            CoreError::Internal("q1 hypergraph unexpectedly cyclic".to_owned())
+        })?;
+        // Root at the node with the largest variable set (any root is valid).
+        let root = (0..protos.len())
+            .max_by_key(|&i| protos[i].vars.len())
+            .expect("q1 has at least one node");
+        let rooted1 = t1.rooted_at(root);
+
+        // ---- Bottom-up semijoin reduction of q₁ (progress condition). ----
+        let mut q1_exts: Vec<Extension> = protos.iter().map(|p| p.extension.clone()).collect();
+        for &node in &rooted1.bottom_up() {
+            for &child in rooted1.children_of(node) {
+                let child_ext = q1_exts[child].clone();
+                q1_exts[node].semijoin(&child_ext);
+            }
+            if q1_exts[node].is_empty() {
+                structure.empty = true;
+                return Ok(structure);
+            }
+        }
+
+        // ---- Assemble nodes with parent/children/pred-vars and indexes. ----
+        let mut nodes: Vec<NodeData> = Vec::with_capacity(protos.len());
+        for (i, p) in protos.iter().enumerate() {
+            let parent = rooted1.parent_of(i);
+            let pred_vars: Vec<VarId> = match parent {
+                Some(parent_idx) => p
+                    .vars
+                    .iter()
+                    .copied()
+                    .filter(|v| protos[parent_idx].vars.contains(v))
+                    .collect(),
+                None => Vec::new(),
+            };
+            let index = q1_exts[i].index_on(&pred_vars);
+            nodes.push(NodeData {
+                atom_index: p.atom_index,
+                vars: p.vars.clone(),
+                extension: q1_exts[i].clone(),
+                parent,
+                children: rooted1.children_of(i).to_vec(),
+                pred_vars,
+                index,
+            });
+        }
+
+        structure.nodes = nodes;
+        structure.preorder = rooted1.preorder.clone();
+        Ok(structure)
+    }
+
+    /// Expands an assignment of the distinct answer variables to the full
+    /// answer tuple (repeated answer variables repeat their value).
+    pub fn expand_answer(&self, assignment: &FxHashMap<VarId, Value>) -> Vec<Value> {
+        self.answer_positions
+            .iter()
+            .map(|v| assignment[v])
+            .collect()
+    }
+
+    /// The number of `q₁` nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` if the structure describes a Boolean query.
+    pub fn is_boolean(&self) -> bool {
+        self.boolean_satisfiable.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omq_data::Schema;
+
+    fn db() -> Database {
+        let mut s = Schema::new();
+        s.add_relation("R", 2).unwrap();
+        s.add_relation("S", 2).unwrap();
+        s.add_relation("T", 2).unwrap();
+        Database::builder(s)
+            .fact("R", ["a", "b"])
+            .fact("R", ["a", "c"])
+            .fact("S", ["b", "x"])
+            .fact("S", ["c", "y"])
+            .fact("T", ["x", "t1"])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn full_path_query_structure() {
+        let q = ConjunctiveQuery::parse("q(x, y, z) :- R(x, y), S(y, z)").unwrap();
+        let s = FreeConnexStructure::build(&q, &db(), true).unwrap();
+        assert!(!s.empty);
+        assert_eq!(s.node_count(), 2);
+        // Progress condition: every root tuple has a matching child tuple.
+        let root = s.preorder[0];
+        let root_node = &s.nodes[root];
+        for child in &root_node.children {
+            let child_node = &s.nodes[*child];
+            for t in &root_node.extension.tuples {
+                let key: Vec<Value> = child_node
+                    .pred_vars
+                    .iter()
+                    .map(|v| t[root_node.extension.position_of(*v).unwrap()])
+                    .collect();
+                assert!(child_node.index.contains_key(&key));
+            }
+        }
+    }
+
+    #[test]
+    fn projection_with_quantified_middle_is_rejected() {
+        let q = ConjunctiveQuery::parse("q(x, z) :- R(x, y), S(y, z)").unwrap();
+        assert!(matches!(
+            FreeConnexStructure::build(&q, &db(), true),
+            Err(CoreError::NotEnumerationTractable(_))
+        ));
+    }
+
+    #[test]
+    fn semijoin_reduction_prunes_dangling_tuples() {
+        // R(a,c) has no S(c, _) continuation matching T, so with q over
+        // R, S, T only the chain a-b-x-t1 survives.
+        let q = ConjunctiveQuery::parse("q(x, y, z, w) :- R(x, y), S(y, z), T(z, w)").unwrap();
+        let s = FreeConnexStructure::build(&q, &db(), true).unwrap();
+        assert!(!s.empty);
+        // The root extension is fully reduced: every root tuple extends to a
+        // complete answer, and only the single chain a-b-x-t1 survives.
+        let root = s.preorder[0];
+        assert_eq!(s.nodes[root].extension.len(), 1);
+    }
+
+    #[test]
+    fn boolean_query_shortcut() {
+        let q = ConjunctiveQuery::parse("q() :- R(x, y), S(y, z)").unwrap();
+        let s = FreeConnexStructure::build(&q, &db(), true).unwrap();
+        assert!(s.is_boolean());
+        assert_eq!(s.boolean_satisfiable, Some(true));
+        let q2 = ConjunctiveQuery::parse("q() :- T(x, y), T(y, z)").unwrap();
+        let s2 = FreeConnexStructure::build(&q2, &db(), true).unwrap();
+        assert_eq!(s2.boolean_satisfiable, Some(false));
+        assert!(s2.empty);
+    }
+
+    #[test]
+    fn empty_extension_short_circuits() {
+        let q = ConjunctiveQuery::parse("q(x) :- Missing(x)").unwrap();
+        let s = FreeConnexStructure::build(&q, &db(), true).unwrap();
+        assert!(s.empty);
+    }
+
+    #[test]
+    fn quantified_only_component_acts_as_filter() {
+        // The S-T part shares nothing with the answer part.
+        let q = ConjunctiveQuery::parse("q(x, y) :- R(x, y), T(u, v)").unwrap();
+        let s = FreeConnexStructure::build(&q, &db(), true).unwrap();
+        assert!(!s.empty);
+        // Only the R node carries answer variables.
+        assert_eq!(s.node_count(), 1);
+
+        // With an unsatisfiable filter the structure is empty.
+        let q2 = ConjunctiveQuery::parse("q(x, y) :- R(x, y), T(u, u)").unwrap();
+        let s2 = FreeConnexStructure::build(&q2, &db(), true).unwrap();
+        assert!(s2.empty);
+    }
+
+    #[test]
+    fn nulls_are_kept_unless_complete_only() {
+        let mut s = Schema::new();
+        s.add_relation("R", 2).unwrap();
+        let mut database = Database::new(s);
+        database.add_named_fact("R", &["a", "b"]).unwrap();
+        let a = Value::Const(database.const_id("a").unwrap());
+        let null = database.fresh_null();
+        let rel = database.schema().relation_id("R").unwrap();
+        database
+            .add_fact(omq_data::Fact::new(rel, vec![a, Value::Null(null)]))
+            .unwrap();
+        let q = ConjunctiveQuery::parse("q(x, y) :- R(x, y)").unwrap();
+        let partial = FreeConnexStructure::build(&q, &database, false).unwrap();
+        assert_eq!(partial.nodes[0].extension.len(), 2);
+        let complete = FreeConnexStructure::build(&q, &database, true).unwrap();
+        assert_eq!(complete.nodes[0].extension.len(), 1);
+    }
+
+    #[test]
+    fn answer_expansion_handles_repeats() {
+        let q = ConjunctiveQuery::parse("q(x, x, y) :- R(x, y)").unwrap();
+        let s = FreeConnexStructure::build(&q, &db(), true).unwrap();
+        let x = q.var_id("x").unwrap();
+        let y = q.var_id("y").unwrap();
+        let a = Value::Const(db().const_id("a").unwrap());
+        let b = Value::Const(db().const_id("b").unwrap());
+        let mut assignment = FxHashMap::default();
+        assignment.insert(x, a);
+        assignment.insert(y, b);
+        assert_eq!(s.expand_answer(&assignment), vec![a, a, b]);
+    }
+}

@@ -1,0 +1,581 @@
+//! Progress trees and the `trees(v, h)` lists (Section 5 of the paper).
+//!
+//! A *progress tree* `(p, g)` describes an "excursion" that a homomorphism
+//! from the full query `q₁` into the chased database may make into the null
+//! part of the data: `p` is a connected subtree of the join tree `T₁` and `g`
+//! assigns to every variable of `p` either a database constant or the
+//! wildcard `*` (meaning "a labelled null").  The enumeration algorithm jumps
+//! over such excursions in one step, outputting `*` for the affected answer
+//! positions.
+//!
+//! For every node `v` and every *predecessor map* `h` (an assignment of the
+//! variables shared with `v`'s parent to constants), the list `trees(v, h)`
+//! holds all progress trees rooted at `v` that agree with `h`, sorted in
+//! *database-preferring order*: trees with fewer nodes first, and among trees
+//! with the same node set, trees with fewer wildcards first.  The lists are
+//! stored in an arena-backed doubly-linked structure so that Algorithm 1 can
+//! remove arbitrary entries in constant time while other iterations are in
+//! flight (the `prune` step).
+
+use crate::preprocess::FreeConnexStructure;
+use crate::Result;
+use omq_cq::VarId;
+use omq_data::{PartialValue, Value};
+use rustc_hash::{FxHashMap, FxHashSet};
+
+/// One expansion of an extension tuple: the included nodes and the wildcard
+/// pattern over their variables.
+type Expansion = (Vec<usize>, Vec<(VarId, PartialValue)>);
+
+/// Memoisation table of [`expand`], keyed by `(node, tuple index)`.
+type ExpansionMemo = FxHashMap<(usize, usize), Vec<Expansion>>;
+
+/// A progress tree `(p, g)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ProgressTree {
+    /// The root node (index into the preprocessed structure's nodes).
+    pub root: usize,
+    /// The included nodes, sorted ascending (always contains `root`).
+    pub nodes: Vec<usize>,
+    /// The assignment `g` of the included nodes' variables, sorted by
+    /// variable identifier; values are database constants or `*`.
+    pub pattern: Vec<(VarId, PartialValue)>,
+}
+
+impl ProgressTree {
+    /// Number of wildcard positions of the pattern.
+    pub fn star_count(&self) -> usize {
+        self.pattern
+            .iter()
+            .filter(|(_, v)| matches!(v, PartialValue::Star))
+            .count()
+    }
+
+    /// Looks up the pattern value of a variable.
+    pub fn value_of(&self, var: VarId) -> Option<PartialValue> {
+        self.pattern
+            .iter()
+            .find(|(v, _)| *v == var)
+            .map(|(_, value)| *value)
+    }
+}
+
+/// Converts a database value into a pattern value (`null ↦ *`).
+pub fn pattern_of_value(value: Value) -> PartialValue {
+    match value {
+        Value::Const(c) => PartialValue::Const(c),
+        Value::Null(_) => PartialValue::Star,
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    tree: ProgressTree,
+    prev: Option<usize>,
+    next: Option<usize>,
+    list: usize,
+    removed: bool,
+}
+
+#[derive(Debug, Clone, Default)]
+struct ListHead {
+    head: Option<usize>,
+    live: usize,
+}
+
+/// The global `trees(v, h)` data structure.
+#[derive(Debug, Clone)]
+pub struct ProgressIndex {
+    arena: Vec<Entry>,
+    lists: Vec<ListHead>,
+    /// `(node, predecessor binding)` → list id.
+    list_ids: FxHashMap<(usize, Vec<Value>), usize>,
+    /// Progress tree → arena entry (every tree occurs in exactly one list).
+    locations: FxHashMap<ProgressTree, usize>,
+    /// All connected subtrees of `T₁`, grouped by root: `(root, node set)`.
+    subtrees: Vec<(usize, Vec<usize>)>,
+    /// Variables of each subtree (union over its nodes), parallel to
+    /// [`ProgressIndex::subtrees`].
+    subtree_vars: Vec<Vec<VarId>>,
+}
+
+impl ProgressIndex {
+    /// Builds the progress-tree lists for a preprocessed structure (which must
+    /// have been built *without* the `complete_only` relativisation, so that
+    /// labelled nulls are visible).
+    pub fn build(structure: &FreeConnexStructure) -> Result<Self> {
+        let node_count = structure.nodes.len();
+        let mut index = ProgressIndex {
+            arena: Vec::new(),
+            lists: Vec::new(),
+            list_ids: FxHashMap::default(),
+            locations: FxHashMap::default(),
+            subtrees: Vec::new(),
+            subtree_vars: Vec::new(),
+        };
+        if node_count == 0 {
+            return Ok(index);
+        }
+
+        // ---- All connected subtrees of T₁ (for the prune procedure). ----
+        for root in 0..node_count {
+            for nodes in connected_subtrees_rooted_at(structure, root) {
+                let mut vars: Vec<VarId> = nodes
+                    .iter()
+                    .flat_map(|&n| structure.nodes[n].vars.clone())
+                    .collect();
+                vars.sort();
+                vars.dedup();
+                index.subtrees.push((root, nodes));
+                index.subtree_vars.push(vars);
+            }
+        }
+
+        // ---- Expand every extension tuple into its progress trees. ----
+        let mut memo: ExpansionMemo = FxHashMap::default();
+        let mut per_list: FxHashMap<(usize, Vec<Value>), Vec<ProgressTree>> = FxHashMap::default();
+        let mut seen: FxHashSet<ProgressTree> = FxHashSet::default();
+        for node in 0..node_count {
+            let node_data = &structure.nodes[node];
+            for tuple_idx in 0..node_data.extension.len() {
+                // Predecessor binding: the projection onto the variables shared
+                // with the parent.  Tuples whose predecessor binding contains a
+                // null can only be reached as the interior of a larger
+                // progress tree, never as a root.
+                let pred: Vec<Value> = node_data
+                    .pred_vars
+                    .iter()
+                    .map(|v| {
+                        node_data
+                            .extension
+                            .value_at(tuple_idx, *v)
+                            .expect("pred var present")
+                    })
+                    .collect();
+                if pred.iter().any(|v| v.is_null()) {
+                    continue;
+                }
+                let expansions = expand(structure, node, tuple_idx, &mut memo)?;
+                for (nodes, pattern) in expansions {
+                    let tree = ProgressTree {
+                        root: node,
+                        nodes,
+                        pattern,
+                    };
+                    if seen.insert(tree.clone()) {
+                        per_list
+                            .entry((node, pred.clone()))
+                            .or_default()
+                            .push(tree);
+                    }
+                }
+            }
+        }
+
+        // ---- Sort each list in database-preferring order and link it. ----
+        let mut keys: Vec<(usize, Vec<Value>)> = per_list.keys().cloned().collect();
+        keys.sort();
+        for key in keys {
+            let mut trees = per_list.remove(&key).expect("key present");
+            trees.sort_by(|a, b| {
+                (a.nodes.len(), a.star_count(), &a.pattern, &a.nodes).cmp(&(
+                    b.nodes.len(),
+                    b.star_count(),
+                    &b.pattern,
+                    &b.nodes,
+                ))
+            });
+            let list_id = index.lists.len();
+            index.lists.push(ListHead {
+                head: None,
+                live: trees.len(),
+            });
+            index.list_ids.insert(key, list_id);
+            let mut previous: Option<usize> = None;
+            for tree in trees {
+                let entry_id = index.arena.len();
+                index.locations.insert(tree.clone(), entry_id);
+                index.arena.push(Entry {
+                    tree,
+                    prev: previous,
+                    next: None,
+                    list: list_id,
+                    removed: false,
+                });
+                match previous {
+                    Some(p) => index.arena[p].next = Some(entry_id),
+                    None => index.lists[list_id].head = Some(entry_id),
+                }
+                previous = Some(entry_id);
+            }
+        }
+        Ok(index)
+    }
+
+    /// The list id for `(node, predecessor binding)`, if any tree exists.
+    pub fn list_for(&self, node: usize, pred_binding: &[Value]) -> Option<usize> {
+        self.list_ids
+            .get(&(node, pred_binding.to_vec()))
+            .copied()
+    }
+
+    /// The first live entry of a list.
+    pub fn head(&self, list_id: usize) -> Option<usize> {
+        let mut cursor = self.lists[list_id].head;
+        while let Some(entry) = cursor {
+            if !self.arena[entry].removed {
+                return Some(entry);
+            }
+            cursor = self.arena[entry].next;
+        }
+        None
+    }
+
+    /// The next live entry after `entry` in its list.
+    pub fn next_of(&self, entry: usize) -> Option<usize> {
+        let mut cursor = self.arena[entry].next;
+        while let Some(e) = cursor {
+            if !self.arena[e].removed {
+                return Some(e);
+            }
+            cursor = self.arena[e].next;
+        }
+        None
+    }
+
+    /// The progress tree stored at an entry.
+    pub fn tree(&self, entry: usize) -> &ProgressTree {
+        &self.arena[entry].tree
+    }
+
+    /// Number of live entries in a list.
+    pub fn live_len(&self, list_id: usize) -> usize {
+        self.lists[list_id].live
+    }
+
+    /// Total number of progress trees.
+    pub fn total_trees(&self) -> usize {
+        self.arena.len()
+    }
+
+    /// Removes a progress tree (wherever it is stored).  Returns `true` iff it
+    /// was present and live.
+    pub fn remove(&mut self, tree: &ProgressTree) -> bool {
+        let Some(&entry_id) = self.locations.get(tree) else {
+            return false;
+        };
+        if self.arena[entry_id].removed {
+            return false;
+        }
+        let (prev, next, list) = {
+            let entry = &self.arena[entry_id];
+            (entry.prev, entry.next, entry.list)
+        };
+        self.arena[entry_id].removed = true;
+        match prev {
+            Some(p) => self.arena[p].next = next,
+            None => self.lists[list].head = next,
+        }
+        if let Some(n) = next {
+            self.arena[n].prev = prev;
+        }
+        self.lists[list].live -= 1;
+        true
+    }
+
+    /// All connected subtrees of `T₁` as `(root, nodes)` pairs, together with
+    /// their variables (used by the prune procedure).
+    pub fn subtrees(&self) -> impl Iterator<Item = (usize, &[usize], &[VarId])> {
+        self.subtrees
+            .iter()
+            .zip(&self.subtree_vars)
+            .map(|((root, nodes), vars)| (*root, nodes.as_slice(), vars.as_slice()))
+    }
+}
+
+/// Enumerates the node sets of all connected subtrees of `T₁` rooted at
+/// `root`: `{root}` unioned with subtrees rooted at any subset of the
+/// children.
+fn connected_subtrees_rooted_at(structure: &FreeConnexStructure, root: usize) -> Vec<Vec<usize>> {
+    let children = &structure.nodes[root].children;
+    // Options per child: either exclude the child or include one of its
+    // subtrees.
+    let mut result: Vec<Vec<usize>> = vec![vec![root]];
+    for &child in children {
+        let child_subtrees = connected_subtrees_rooted_at(structure, child);
+        let mut extended = Vec::new();
+        for base in &result {
+            extended.push(base.clone());
+            for cs in &child_subtrees {
+                let mut merged = base.clone();
+                merged.extend_from_slice(cs);
+                extended.push(merged);
+            }
+        }
+        result = extended;
+    }
+    for nodes in &mut result {
+        nodes.sort_unstable();
+        nodes.dedup();
+    }
+    result
+}
+
+/// Expands a tuple of a node's extension into the progress trees it generates:
+/// the node itself plus, recursively, every child whose shared variables carry
+/// a labelled null (which forces the excursion to continue into that child).
+fn expand(
+    structure: &FreeConnexStructure,
+    node: usize,
+    tuple_idx: usize,
+    memo: &mut ExpansionMemo,
+) -> Result<Vec<Expansion>> {
+    if let Some(cached) = memo.get(&(node, tuple_idx)) {
+        return Ok(cached.clone());
+    }
+    let node_data = &structure.nodes[node];
+    let tuple = &node_data.extension.tuples[tuple_idx];
+    let own_pattern: Vec<(VarId, PartialValue)> = node_data
+        .extension
+        .vars
+        .iter()
+        .zip(tuple)
+        .map(|(&v, &value)| (v, pattern_of_value(value)))
+        .collect();
+
+    // Children forced into the excursion: those sharing a null-valued
+    // variable with this tuple.
+    let mut required: Vec<usize> = Vec::new();
+    for &child in &node_data.children {
+        let child_data = &structure.nodes[child];
+        let shares_null = child_data.pred_vars.iter().any(|v| {
+            node_data
+                .extension
+                .value_at(tuple_idx, *v)
+                .map(|value| value.is_null())
+                .unwrap_or(false)
+        });
+        if shares_null {
+            required.push(child);
+        }
+    }
+
+    let mut partials: Vec<(Vec<usize>, FxHashMap<VarId, PartialValue>)> = vec![(
+        vec![node],
+        own_pattern.iter().copied().collect::<FxHashMap<_, _>>(),
+    )];
+    for child in required {
+        let child_data = &structure.nodes[child];
+        // Candidate child tuples: those agreeing with this tuple on the shared
+        // variables (including the concrete null identities).
+        let key: Vec<Value> = child_data
+            .pred_vars
+            .iter()
+            .map(|v| {
+                node_data
+                    .extension
+                    .value_at(tuple_idx, *v)
+                    .expect("shared var present in parent")
+            })
+            .collect();
+        let candidates = child_data.index.get(&key).cloned().unwrap_or_default();
+        if candidates.is_empty() {
+            // The excursion cannot be completed through this child: the tuple
+            // generates no progress tree.  (This cannot happen after the
+            // bottom-up reduction, but is handled defensively.)
+            memo.insert((node, tuple_idx), Vec::new());
+            return Ok(Vec::new());
+        }
+        let mut child_options: Vec<Expansion> = Vec::new();
+        let mut seen_child: FxHashSet<Expansion> = FxHashSet::default();
+        for candidate in candidates {
+            for option in expand(structure, child, candidate, memo)? {
+                if seen_child.insert(option.clone()) {
+                    child_options.push(option);
+                }
+            }
+        }
+        let mut extended = Vec::new();
+        for (nodes, pattern) in &partials {
+            for (child_nodes, child_pattern) in &child_options {
+                let mut merged_nodes = nodes.clone();
+                merged_nodes.extend_from_slice(child_nodes);
+                let mut merged_pattern = pattern.clone();
+                let mut consistent = true;
+                for (v, value) in child_pattern {
+                    match merged_pattern.get(v) {
+                        Some(existing) if existing != value => {
+                            consistent = false;
+                            break;
+                        }
+                        _ => {
+                            merged_pattern.insert(*v, *value);
+                        }
+                    }
+                }
+                if consistent {
+                    extended.push((merged_nodes, merged_pattern));
+                }
+            }
+        }
+        partials = extended;
+    }
+
+    let mut result: Vec<Expansion> = Vec::new();
+    let mut seen: FxHashSet<Expansion> = FxHashSet::default();
+    for (mut nodes, pattern) in partials {
+        nodes.sort_unstable();
+        nodes.dedup();
+        let mut pattern: Vec<(VarId, PartialValue)> = pattern.into_iter().collect();
+        pattern.sort();
+        let item = (nodes, pattern);
+        if seen.insert(item.clone()) {
+            result.push(item);
+        }
+    }
+    // `result` may legitimately be empty for dangling tuples (tuples whose
+    // forced excursion cannot be completed); those simply generate no progress
+    // tree.
+    memo.insert((node, tuple_idx), result.clone());
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omq_cq::ConjunctiveQuery;
+    use omq_data::{Database, Fact, Schema};
+
+    /// A database over R/2, S/2 with a mix of constants and nulls, shaped like
+    /// a query-directed chase: nulls only co-occur with constants of "their"
+    /// fact.
+    fn nullful_db() -> Database {
+        let mut s = Schema::new();
+        s.add_relation("R", 2).unwrap();
+        s.add_relation("S", 2).unwrap();
+        let mut db = Database::new(s);
+        db.add_named_fact("R", &["a", "b"]).unwrap();
+        db.add_named_fact("S", &["b", "c"]).unwrap();
+        db.add_named_fact("R", &["d", "e"]).unwrap();
+        let r = db.schema().relation_id("R").unwrap();
+        let s_rel = db.schema().relation_id("S").unwrap();
+        let e = Value::Const(db.const_id("e").unwrap());
+        let d = Value::Const(db.const_id("d").unwrap());
+        let n1 = Value::Null(db.fresh_null());
+        let n2 = Value::Null(db.fresh_null());
+        // d's excursion: S(e, n1)
+        db.add_fact(Fact::new(s_rel, vec![e, n1])).unwrap();
+        // a fully anonymous chain R(d, n2), S(n2, n1) is *not* added; instead a
+        // second anonymous R successor for d:
+        db.add_fact(Fact::new(r, vec![d, n2])).unwrap();
+        db
+    }
+
+    fn structure() -> FreeConnexStructure {
+        let q = ConjunctiveQuery::parse("q(x, y, z) :- R(x, y), S(y, z)").unwrap();
+        FreeConnexStructure::build(&q, &nullful_db(), false).unwrap()
+    }
+
+    #[test]
+    fn builds_lists_for_every_constant_predecessor_binding() {
+        let s = structure();
+        let index = ProgressIndex::build(&s).unwrap();
+        assert!(index.total_trees() > 0);
+        // The root node has an empty predecessor binding.
+        let root = s.preorder[0];
+        let list = index.list_for(root, &[]).expect("root list exists");
+        assert!(index.live_len(list) > 0);
+        // Lists are sorted in database-preferring order (stars increase).
+        let mut cursor = index.head(list);
+        let mut last_key = (0usize, 0usize);
+        while let Some(entry) = cursor {
+            let tree = index.tree(entry);
+            let key = (tree.nodes.len(), tree.star_count());
+            assert!(key >= last_key, "database-preferring order violated");
+            last_key = key;
+            cursor = index.next_of(entry);
+        }
+    }
+
+    #[test]
+    fn excursions_are_captured_as_multi_node_trees() {
+        let s = structure();
+        let index = ProgressIndex::build(&s).unwrap();
+        // The tuple R(d, n?) with a null shared variable forces the S node into
+        // the excursion when S is a child of R in T1 (or vice versa); in either
+        // case some progress tree with 2 nodes must exist if the shared
+        // variable can be null... The d/e chain has S(e, n1), so the R-rooted
+        // tree for (d, e) is single-node, while a 2-node tree exists for the
+        // R(d, n2) tuple only if S(n2, _) exists — it does not, so that tuple
+        // is dangling and removed by the bottom-up reduction or yields no
+        // tree.  We simply check structural invariants here; behavioural
+        // correctness is covered by the Algorithm 1 tests.
+        for (root, nodes, vars) in index.subtrees() {
+            assert!(nodes.contains(&root));
+            assert!(!vars.is_empty());
+        }
+        // Every tree is discoverable through `locations` (removal round-trip).
+        let root = s.preorder[0];
+        let list = index.list_for(root, &[]).unwrap();
+        let entry = index.head(list).unwrap();
+        let tree = index.tree(entry).clone();
+        let mut index = index;
+        assert!(index.remove(&tree));
+        assert!(!index.remove(&tree));
+        // The head moved on.
+        if let Some(new_head) = index.head(list) {
+            assert_ne!(index.tree(new_head), &tree);
+        }
+    }
+
+    #[test]
+    fn removal_relinks_neighbours() {
+        let s = structure();
+        let mut index = ProgressIndex::build(&s).unwrap();
+        let root = s.preorder[0];
+        let list = index.list_for(root, &[]).unwrap();
+        let live_before = index.live_len(list);
+        // Collect the full list, remove the middle element, re-collect.
+        let mut entries = Vec::new();
+        let mut cursor = index.head(list);
+        while let Some(e) = cursor {
+            entries.push(e);
+            cursor = index.next_of(e);
+        }
+        assert_eq!(entries.len(), live_before);
+        if entries.len() >= 3 {
+            let middle = index.tree(entries[1]).clone();
+            assert!(index.remove(&middle));
+            let mut survivors = Vec::new();
+            let mut cursor = index.head(list);
+            while let Some(e) = cursor {
+                survivors.push(e);
+                cursor = index.next_of(e);
+            }
+            assert_eq!(survivors.len(), live_before - 1);
+            assert!(!survivors.contains(&entries[1]));
+        }
+    }
+
+    #[test]
+    fn subtree_enumeration_counts() {
+        // A path R - S in T1 has subtrees {R}, {R,S} rooted at R and {S}
+        // rooted at S (assuming R is the root); a star has more.
+        let s = structure();
+        let index = ProgressIndex::build(&s).unwrap();
+        let count = index.subtrees().count();
+        assert!(count >= s.nodes.len());
+    }
+
+    #[test]
+    fn empty_structure_yields_empty_index() {
+        let q = ConjunctiveQuery::parse("q(x) :- Missing(x)").unwrap();
+        let mut schema = Schema::new();
+        schema.add_relation("R", 1).unwrap();
+        let db = Database::new(schema);
+        let s = FreeConnexStructure::build(&q, &db, false).unwrap();
+        assert!(s.empty);
+        let index = ProgressIndex::build(&s).unwrap();
+        assert_eq!(index.total_trees(), 0);
+    }
+}

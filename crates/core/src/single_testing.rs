@@ -1,0 +1,500 @@
+//! Single-testing of complete and (minimal) partial answers (Theorem 3.1).
+//!
+//! All functions in this module evaluate over an already-chased instance
+//! (typically the query-directed chase `ch^q_O(D)` of
+//! [`omq_chase::query_directed_chase`]); combined with the linear-time
+//! construction of that instance this yields the linear-time single-testing
+//! results of the paper:
+//!
+//! * complete answers for weakly acyclic OMQs — ground the query with the
+//!   candidate and run Yannakakis' algorithm;
+//! * minimal partial answers (single wildcard) for acyclic OMQs — test
+//!   partial-answerhood, then test that no wildcard position can be improved
+//!   to a database constant;
+//! * minimal partial answers with multi-wildcards for acyclic ELI OMQs — as
+//!   above, additionally testing that no two wildcard groups can be merged.
+
+use crate::error::CoreError;
+use crate::Result;
+use omq_cq::{Assignment, ConjunctiveQuery, HomSearch, VarId};
+use omq_data::{Database, MultiTuple, MultiValue, PartialTuple, PartialValue, Value};
+use rustc_hash::FxHashMap;
+#[cfg(test)]
+use rustc_hash::FxHashSet;
+
+/// Checks that a candidate respects repeated answer variables (`x_i = x_j`
+/// implies equal candidate values) and returns the induced assignment of the
+/// *constant* positions.
+fn coherent_constants<T: Copy + Eq>(
+    query: &ConjunctiveQuery,
+    values: &[T],
+) -> Option<FxHashMap<VarId, T>> {
+    let mut assignment: FxHashMap<VarId, T> = FxHashMap::default();
+    for (&var, &value) in query.answer_vars().iter().zip(values) {
+        match assignment.get(&var) {
+            Some(&existing) if existing != value => return None,
+            Some(_) => {}
+            None => {
+                assignment.insert(var, value);
+            }
+        }
+    }
+    Some(assignment)
+}
+
+fn check_arity(query: &ConjunctiveQuery, len: usize) -> Result<()> {
+    if len != query.arity() {
+        return Err(CoreError::ArityMismatch {
+            expected: query.arity(),
+            actual: len,
+        });
+    }
+    Ok(())
+}
+
+/// Single-tests a complete candidate answer of `query` over the chased
+/// instance `d0`.
+pub fn test_complete(query: &ConjunctiveQuery, d0: &Database, candidate: &[Value]) -> Result<bool> {
+    check_arity(query, candidate.len())?;
+    if candidate.iter().any(|v| v.is_null()) {
+        return Ok(false);
+    }
+    let Some(assignment) = coherent_constants(query, candidate) else {
+        return Ok(false);
+    };
+    // Ground the query and decide the Boolean query (Yannakakis when acyclic,
+    // backtracking otherwise).
+    let names: Vec<String> = candidate
+        .iter()
+        .map(|v| match v {
+            Value::Const(c) => d0.const_name(*c).to_owned(),
+            Value::Null(_) => unreachable!("checked above"),
+        })
+        .collect();
+    let _ = assignment;
+    crate::yannakakis::single_test_cq(query, d0, &names)
+}
+
+/// Tests whether `candidate` is a (not necessarily minimal) partial answer of
+/// `query` over `d0`: some homomorphism maps the constant positions to their
+/// constants (wildcard positions are unconstrained).
+pub fn test_partial(
+    query: &ConjunctiveQuery,
+    d0: &Database,
+    candidate: &PartialTuple,
+) -> Result<bool> {
+    check_arity(query, candidate.len())?;
+    let values: Vec<Option<Value>> = candidate
+        .0
+        .iter()
+        .map(|p| match p {
+            PartialValue::Const(c) => Some(Value::Const(*c)),
+            PartialValue::Star => None,
+        })
+        .collect();
+    // Coherence over *all* positions: a repeated variable with a constant at
+    // one position and a wildcard at another is satisfiable only if the
+    // wildcard can take that constant — which contradicts neither; but two
+    // different constants are incoherent.
+    let mut fixed: Assignment = Assignment::default();
+    for (&var, value) in query.answer_vars().iter().zip(&values) {
+        if let Some(v) = value {
+            match fixed.get(&var) {
+                Some(&existing) if existing != *v => return Ok(false),
+                Some(_) => {}
+                None => {
+                    fixed.insert(var, *v);
+                }
+            }
+        }
+    }
+    Ok(HomSearch::new(query, d0).exists(&fixed))
+}
+
+/// Single-tests a *minimal* partial answer with a single wildcard
+/// (Theorem 3.1(2)).
+pub fn test_minimal_partial(
+    query: &ConjunctiveQuery,
+    d0: &Database,
+    candidate: &PartialTuple,
+) -> Result<bool> {
+    check_arity(query, candidate.len())?;
+    if coherent_constants(query, &candidate.0).is_none() {
+        return Ok(false);
+    }
+    if !test_partial(query, d0, candidate)? {
+        return Ok(false);
+    }
+    // Minimality: no wildcard position can be improved to a database
+    // constant while the rest stays fixed.
+    let mut fixed: Assignment = Assignment::default();
+    let mut starred_vars: Vec<VarId> = Vec::new();
+    for (&var, value) in query.answer_vars().iter().zip(&candidate.0) {
+        match value {
+            PartialValue::Const(c) => {
+                fixed.insert(var, Value::Const(*c));
+            }
+            PartialValue::Star => {
+                if !starred_vars.contains(&var) {
+                    starred_vars.push(var);
+                }
+            }
+        }
+    }
+    let search = HomSearch::new(query, d0);
+    for &y in &starred_vars {
+        let mut improvable = false;
+        search.for_each(&fixed, |hom| {
+            if hom[&y].is_const() {
+                improvable = true;
+                false
+            } else {
+                true
+            }
+        });
+        if improvable {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+/// Groups the answer positions of a multi-wildcard candidate by wildcard, and
+/// returns the identified query `q̂` together with the representative variable
+/// of each wildcard group and the fixed constant positions.
+fn identified_query(
+    query: &ConjunctiveQuery,
+    candidate: &MultiTuple,
+) -> Option<(ConjunctiveQuery, FxHashMap<u32, VarId>, Assignment)> {
+    // Coherence: repeated answer variables need equal candidate values.
+    coherent_constants(query, &candidate.0)?;
+    let mut groups: FxHashMap<u32, Vec<VarId>> = FxHashMap::default();
+    let mut fixed_by_var: FxHashMap<VarId, Value> = FxHashMap::default();
+    for (&var, value) in query.answer_vars().iter().zip(&candidate.0) {
+        match value {
+            MultiValue::Wild(w) => {
+                let group = groups.entry(*w).or_default();
+                if !group.contains(&var) {
+                    group.push(var);
+                }
+            }
+            MultiValue::Const(c) => {
+                fixed_by_var.insert(var, Value::Const(*c));
+            }
+        }
+    }
+    // A variable cannot be both fixed and wildcarded coherently.
+    for group in groups.values() {
+        for v in group {
+            if fixed_by_var.contains_key(v) {
+                return None;
+            }
+        }
+    }
+    let group_list: Vec<Vec<VarId>> = groups.values().cloned().collect();
+    let identified = query.identify_vars(&group_list);
+    let representatives: FxHashMap<u32, VarId> = groups
+        .iter()
+        .map(|(w, members)| (*w, members[0]))
+        .collect();
+    let fixed: Assignment = fixed_by_var.into_iter().collect();
+    Some((identified, representatives, fixed))
+}
+
+/// Tests whether `candidate` is a (not necessarily minimal) partial answer
+/// with multi-wildcards over `d0`: some homomorphism maps constant positions
+/// to their constants and maps positions carrying the same wildcard to the
+/// same value.
+pub fn test_partial_multi(
+    query: &ConjunctiveQuery,
+    d0: &Database,
+    candidate: &MultiTuple,
+) -> Result<bool> {
+    check_arity(query, candidate.len())?;
+    candidate.validate().map_err(CoreError::Data)?;
+    let Some((identified, _representatives, fixed)) = identified_query(query, candidate) else {
+        return Ok(false);
+    };
+    Ok(HomSearch::new(&identified, d0).exists(&fixed))
+}
+
+/// Single-tests a *minimal* partial answer with multi-wildcards
+/// (Theorem 3.1(3)).
+pub fn test_minimal_partial_multi(
+    query: &ConjunctiveQuery,
+    d0: &Database,
+    candidate: &MultiTuple,
+) -> Result<bool> {
+    check_arity(query, candidate.len())?;
+    candidate.validate().map_err(CoreError::Data)?;
+    let Some((identified, representatives, fixed)) = identified_query(query, candidate) else {
+        return Ok(false);
+    };
+    let search = HomSearch::new(&identified, d0);
+    if !search.exists(&fixed) {
+        return Ok(false);
+    }
+    let wildcards: Vec<u32> = {
+        let mut w: Vec<u32> = representatives.keys().copied().collect();
+        w.sort_unstable();
+        w
+    };
+    // (a) A wildcard group can be realised by a database constant: the
+    //     candidate is improvable by replacing that group with the constant.
+    for &w in &wildcards {
+        let y = representatives[&w];
+        let mut improvable = false;
+        search.for_each(&fixed, |hom| {
+            if hom[&y].is_const() {
+                improvable = true;
+                false
+            } else {
+                true
+            }
+        });
+        if improvable {
+            return Ok(false);
+        }
+    }
+    // (b) Two distinct wildcard groups can be mapped to a common value: the
+    //     candidate is improvable by merging them.
+    for i in 0..wildcards.len() {
+        for j in (i + 1)..wildcards.len() {
+            let yi = representatives[&wildcards[i]];
+            let yj = representatives[&wildcards[j]];
+            let mut mergeable = false;
+            search.for_each(&fixed, |hom| {
+                if hom[&yi] == hom[&yj] {
+                    mergeable = true;
+                    false
+                } else {
+                    true
+                }
+            });
+            if mergeable {
+                return Ok(false);
+            }
+        }
+    }
+    Ok(true)
+}
+
+/// Convenience: converts a tuple of constant names to values of `db`.
+pub fn resolve_constants(db: &Database, names: &[&str]) -> Result<Vec<Value>> {
+    names
+        .iter()
+        .map(|n| {
+            db.const_id(n)
+                .map(Value::Const)
+                .ok_or_else(|| CoreError::UnknownConstant((*n).to_owned()))
+        })
+        .collect()
+}
+
+/// Brute-force reference implementations used by the tests below and by the
+/// property tests at the workspace root.
+#[cfg(test)]
+mod oracle {
+    use super::*;
+    use crate::baseline;
+
+    pub fn minimal_partial(query: &ConjunctiveQuery, d0: &Database) -> FxHashSet<PartialTuple> {
+        baseline::cq_minimal_partial(query, d0).into_iter().collect()
+    }
+
+    pub fn minimal_partial_multi(query: &ConjunctiveQuery, d0: &Database) -> FxHashSet<MultiTuple> {
+        baseline::cq_minimal_partial_multi(query, d0)
+            .into_iter()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omq_chase::{query_directed_chase, Ontology, OntologyMediatedQuery, QchaseConfig};
+    use omq_data::Schema;
+
+    fn office() -> (OntologyMediatedQuery, Database) {
+        let ontology = Ontology::parse(
+            "Researcher(x) -> exists y. HasOffice(x, y)\n\
+             HasOffice(x, y) -> Office(y)\n\
+             Office(x) -> exists y. InBuilding(x, y)",
+        )
+        .unwrap();
+        let query =
+            ConjunctiveQuery::parse("q(x1, x2, x3) :- HasOffice(x1, x2), InBuilding(x2, x3)")
+                .unwrap();
+        let omq = OntologyMediatedQuery::new(ontology, query).unwrap();
+        let mut s = Schema::new();
+        s.add_relation("Researcher", 1).unwrap();
+        s.add_relation("HasOffice", 2).unwrap();
+        s.add_relation("InBuilding", 2).unwrap();
+        let db = Database::builder(s)
+            .fact("Researcher", ["mary"])
+            .fact("Researcher", ["john"])
+            .fact("Researcher", ["mike"])
+            .fact("HasOffice", ["mary", "room1"])
+            .fact("HasOffice", ["john", "room4"])
+            .fact("InBuilding", ["room1", "main1"])
+            .build()
+            .unwrap();
+        (omq, db)
+    }
+
+    fn chased() -> (OntologyMediatedQuery, Database) {
+        let (omq, db) = office();
+        let q = query_directed_chase(&db, &omq, &QchaseConfig::default()).unwrap();
+        (omq, q.database)
+    }
+
+    #[test]
+    fn complete_answer_testing() {
+        let (omq, d0) = chased();
+        let yes = resolve_constants(&d0, &["mary", "room1", "main1"]).unwrap();
+        let no = resolve_constants(&d0, &["john", "room4", "main1"]).unwrap();
+        assert!(test_complete(omq.query(), &d0, &yes).unwrap());
+        assert!(!test_complete(omq.query(), &d0, &no).unwrap());
+        assert!(matches!(
+            test_complete(omq.query(), &d0, &yes[..2]),
+            Err(CoreError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn partial_answer_testing_running_example() {
+        let (omq, d0) = chased();
+        let mary = d0.const_id("mary").unwrap();
+        let room1 = d0.const_id("room1").unwrap();
+        let main1 = d0.const_id("main1").unwrap();
+        let john = d0.const_id("john").unwrap();
+        let room4 = d0.const_id("room4").unwrap();
+        let mike = d0.const_id("mike").unwrap();
+        use PartialValue::{Const, Star};
+
+        // (mary, room1, main1) is a minimal partial answer (it is complete).
+        let complete = PartialTuple(vec![Const(mary), Const(room1), Const(main1)]);
+        assert!(test_minimal_partial(omq.query(), &d0, &complete).unwrap());
+        // (mary, room1, *) is a partial answer but not minimal.
+        let improvable = PartialTuple(vec![Const(mary), Const(room1), Star]);
+        assert!(test_partial(omq.query(), &d0, &improvable).unwrap());
+        assert!(!test_minimal_partial(omq.query(), &d0, &improvable).unwrap());
+        // (john, room4, *) is minimal.
+        let john_t = PartialTuple(vec![Const(john), Const(room4), Star]);
+        assert!(test_minimal_partial(omq.query(), &d0, &john_t).unwrap());
+        // (mike, *, *) is minimal.
+        let mike_t = PartialTuple(vec![Const(mike), Star, Star]);
+        assert!(test_minimal_partial(omq.query(), &d0, &mike_t).unwrap());
+        // (mike, room1, *) is not even a partial answer.
+        let wrong = PartialTuple(vec![Const(mike), Const(room1), Star]);
+        assert!(!test_partial(omq.query(), &d0, &wrong).unwrap());
+        // (*, *, *) is a partial answer but not minimal.
+        let all_star = PartialTuple(vec![Star, Star, Star]);
+        assert!(test_partial(omq.query(), &d0, &all_star).unwrap());
+        assert!(!test_minimal_partial(omq.query(), &d0, &all_star).unwrap());
+    }
+
+    #[test]
+    fn minimal_partial_testing_agrees_with_oracle() {
+        let (omq, d0) = chased();
+        let oracle = super::oracle::minimal_partial(omq.query(), &d0);
+        // Every oracle answer passes the test.
+        for answer in &oracle {
+            assert!(
+                test_minimal_partial(omq.query(), &d0, answer).unwrap(),
+                "oracle answer rejected: {answer}"
+            );
+        }
+        // A few candidates outside the oracle fail the test.
+        let mary = d0.const_id("mary").unwrap();
+        use PartialValue::{Const, Star};
+        for candidate in [
+            PartialTuple(vec![Const(mary), Star, Star]),
+            PartialTuple(vec![Star, Star, Star]),
+        ] {
+            assert_eq!(
+                test_minimal_partial(omq.query(), &d0, &candidate).unwrap(),
+                oracle.contains(&candidate)
+            );
+        }
+    }
+
+    #[test]
+    fn multi_wildcard_testing_example_2_2() {
+        // Example 2.2 with the OfficeMate extension: Q''(x1,x2,x3,x4) asks for
+        // two people with offices in the same building.
+        let ontology = Ontology::parse(
+            "Researcher(x) -> exists y. HasOffice(x, y)\n\
+             HasOffice(x, y) -> Office(y)\n\
+             Office(x) -> exists y. InBuilding(x, y)\n\
+             OfficeMate(x, y) -> exists z. HasOffice(x, z), HasOffice(y, z)",
+        )
+        .unwrap();
+        let query = ConjunctiveQuery::parse(
+            "q(x1, x2, x3, x4) :- HasOffice(x1, x3), HasOffice(x2, x4), InBuilding(x3, w), InBuilding(x4, w)",
+        )
+        .unwrap();
+        let omq = OntologyMediatedQuery::new(ontology, query).unwrap();
+        let mut s = Schema::new();
+        s.add_relation("Researcher", 1).unwrap();
+        s.add_relation("HasOffice", 2).unwrap();
+        s.add_relation("InBuilding", 2).unwrap();
+        s.add_relation("OfficeMate", 2).unwrap();
+        let db = Database::builder(s)
+            .fact("Researcher", ["mary"])
+            .fact("Researcher", ["mike"])
+            .fact("HasOffice", ["mary", "room1"])
+            .fact("InBuilding", ["room1", "main1"])
+            .fact("OfficeMate", ["mary", "mike"])
+            .build()
+            .unwrap();
+        let chased = query_directed_chase(&db, &omq, &QchaseConfig::default()).unwrap();
+        let d0 = chased.database;
+        let mary = d0.const_id("mary").unwrap();
+        let mike = d0.const_id("mike").unwrap();
+        use MultiValue::{Const, Wild};
+        // (mary, mike, *1, *1): they share an (anonymous) office, hence the
+        // same building — and the shared office cannot be improved to a named
+        // room.
+        let shared = MultiTuple(vec![Const(mary), Const(mike), Wild(1), Wild(1)]);
+        assert!(test_partial_multi(omq.query(), &d0, &shared).unwrap());
+        assert!(test_minimal_partial_multi(omq.query(), &d0, &shared).unwrap());
+        // (mary, mike, *1, *2) is a partial answer but not minimal (the two
+        // wildcards can be merged).
+        let split = MultiTuple(vec![Const(mary), Const(mike), Wild(1), Wild(2)]);
+        assert!(test_partial_multi(omq.query(), &d0, &split).unwrap());
+        assert!(!test_minimal_partial_multi(omq.query(), &d0, &split).unwrap());
+    }
+
+    #[test]
+    fn multi_wildcard_oracle_agreement() {
+        let (omq, d0) = chased();
+        let oracle = super::oracle::minimal_partial_multi(omq.query(), &d0);
+        for answer in &oracle {
+            assert!(
+                test_minimal_partial_multi(omq.query(), &d0, answer).unwrap(),
+                "oracle answer rejected: {answer}"
+            );
+        }
+        // (mike, *1, *1) claims office = building, which no model is forced to
+        // satisfy — hence not a partial answer at all.
+        let mike = d0.const_id("mike").unwrap();
+        use MultiValue::{Const, Wild};
+        let bogus = MultiTuple(vec![Const(mike), Wild(1), Wild(1)]);
+        assert!(!test_partial_multi(omq.query(), &d0, &bogus).unwrap());
+        assert!(!test_minimal_partial_multi(omq.query(), &d0, &bogus).unwrap());
+        // (mike, *1, *2) is the genuine minimal partial answer.
+        let genuine = MultiTuple(vec![Const(mike), Wild(1), Wild(2)]);
+        assert!(oracle.contains(&genuine));
+        assert!(test_minimal_partial_multi(omq.query(), &d0, &genuine).unwrap());
+    }
+
+    #[test]
+    fn unknown_constant_resolution() {
+        let (_, d0) = chased();
+        assert!(matches!(
+            resolve_constants(&d0, &["nobody"]),
+            Err(CoreError::UnknownConstant(_))
+        ));
+    }
+}

@@ -1,0 +1,165 @@
+//! Yannakakis-style evaluation of acyclic conjunctive queries.
+//!
+//! The paper uses Yannakakis' algorithm as a black box for linear-time
+//! single-testing (Theorem 3.1): ground the (weakly acyclic) query with the
+//! candidate answer, obtain an acyclic Boolean query, and evaluate it with a
+//! bottom-up semijoin pass over a join tree.
+
+use crate::error::CoreError;
+use crate::extension::Extension;
+use crate::Result;
+use omq_cq::acyclicity;
+use omq_cq::homomorphism;
+use omq_cq::ConjunctiveQuery;
+use omq_data::Database;
+use rustc_hash::FxHashSet;
+
+/// Decides a Boolean acyclic query by a bottom-up semijoin pass.
+///
+/// Returns an error if the query is not acyclic.
+pub fn boolean_holds_acyclic(query: &ConjunctiveQuery, db: &Database) -> Result<bool> {
+    if query.atoms().is_empty() {
+        return Ok(true);
+    }
+    let tree = acyclicity::join_tree(query)
+        .ok_or_else(|| CoreError::NotAcyclic(query.to_string()))?;
+    let mut extensions: Vec<Extension> = query
+        .atoms()
+        .iter()
+        .map(|a| Extension::of_atom(a, db, &FxHashSet::default()))
+        .collect();
+    if extensions.iter().any(Extension::is_empty) {
+        return Ok(false);
+    }
+    let root = tree.nodes()[0];
+    let rooted = tree.rooted_at(root);
+    for &node in &rooted.bottom_up() {
+        for &child in rooted.children_of(node) {
+            // Split the borrow: children and parents are distinct indices.
+            let child_ext = extensions[child].clone();
+            let changed = extensions[node].semijoin(&child_ext);
+            if changed && extensions[node].is_empty() {
+                return Ok(false);
+            }
+        }
+    }
+    Ok(!extensions[root].is_empty())
+}
+
+/// Decides a Boolean query: uses the linear-time acyclic procedure when the
+/// query is acyclic and falls back to backtracking homomorphism search
+/// otherwise.
+pub fn boolean_holds(query: &ConjunctiveQuery, db: &Database) -> bool {
+    match boolean_holds_acyclic(query, db) {
+        Ok(answer) => answer,
+        Err(_) => homomorphism::holds(query, db),
+    }
+}
+
+/// Single-tests a complete candidate answer of a plain CQ (no ontology):
+/// substitutes the candidate constants for the answer variables and decides
+/// the resulting Boolean query.
+pub fn single_test_cq(
+    query: &ConjunctiveQuery,
+    db: &Database,
+    candidate: &[String],
+) -> Result<bool> {
+    if candidate.len() != query.arity() {
+        return Err(CoreError::ArityMismatch {
+            expected: query.arity(),
+            actual: candidate.len(),
+        });
+    }
+    let grounded = query.substitute_answer_constants(candidate)?;
+    Ok(boolean_holds(&grounded, db))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omq_data::Schema;
+
+    fn db() -> Database {
+        let mut s = Schema::new();
+        s.add_relation("R", 2).unwrap();
+        s.add_relation("S", 2).unwrap();
+        s.add_relation("T", 2).unwrap();
+        Database::builder(s)
+            .fact("R", ["a", "b"])
+            .fact("S", ["b", "c"])
+            .fact("T", ["c", "a"])
+            .fact("R", ["x", "y"])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn acyclic_boolean_path() {
+        let q = ConjunctiveQuery::parse("q() :- R(x, y), S(y, z)").unwrap();
+        assert!(boolean_holds_acyclic(&q, &db()).unwrap());
+        let q2 = ConjunctiveQuery::parse("q() :- S(x, y), R(y, z)").unwrap();
+        assert!(!boolean_holds_acyclic(&q2, &db()).unwrap());
+    }
+
+    #[test]
+    fn cyclic_query_is_rejected_then_falls_back() {
+        let q = ConjunctiveQuery::parse("q() :- R(x, y), S(y, z), T(z, x)").unwrap();
+        assert!(matches!(
+            boolean_holds_acyclic(&q, &db()),
+            Err(CoreError::NotAcyclic(_))
+        ));
+        // The triangle a -> b -> c -> a exists.
+        assert!(boolean_holds(&q, &db()));
+    }
+
+    #[test]
+    fn empty_body_is_trivially_true() {
+        let q = ConjunctiveQuery::parse("q() :- ").unwrap();
+        assert!(boolean_holds_acyclic(&q, &db()).unwrap());
+    }
+
+    #[test]
+    fn disconnected_boolean_query() {
+        let q = ConjunctiveQuery::parse("q() :- R(x, y), T(u, v)").unwrap();
+        assert!(boolean_holds_acyclic(&q, &db()).unwrap());
+        let q2 = ConjunctiveQuery::parse("q() :- R(x, y), Missing(u)").unwrap();
+        assert!(!boolean_holds_acyclic(&q2, &db()).unwrap());
+    }
+
+    #[test]
+    fn single_test_complete_candidates() {
+        let q = ConjunctiveQuery::parse("q(x, z) :- R(x, y), S(y, z)").unwrap();
+        assert!(single_test_cq(&q, &db(), &["a".into(), "c".into()]).unwrap());
+        assert!(!single_test_cq(&q, &db(), &["a".into(), "a".into()]).unwrap());
+        assert!(!single_test_cq(&q, &db(), &["zzz".into(), "c".into()]).unwrap());
+        assert!(matches!(
+            single_test_cq(&q, &db(), &["a".into()]),
+            Err(CoreError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn single_test_with_repeated_answer_vars() {
+        let q = ConjunctiveQuery::parse("q(x, x) :- R(x, y)").unwrap();
+        assert!(single_test_cq(&q, &db(), &["a".into(), "a".into()]).unwrap());
+        assert!(!single_test_cq(&q, &db(), &["a".into(), "x".into()]).unwrap());
+    }
+
+    #[test]
+    fn agrees_with_brute_force_on_examples() {
+        let database = db();
+        for text in [
+            "q() :- R(x, y), S(y, z), T(z, x)",
+            "q() :- R(x, y), S(y, z)",
+            "q() :- R(x, x)",
+            "q() :- R(x, y), R(y, z)",
+        ] {
+            let q = ConjunctiveQuery::parse(text).unwrap();
+            assert_eq!(
+                boolean_holds(&q, &database),
+                homomorphism::holds(&q, &database),
+                "{text}"
+            );
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! The canonical database `D_q` of a conjunctive query.
+//!
+//! Every CQ `q` can be viewed as a database obtained by treating its variables
+//! as fresh constants.  The canonical database is used by the chase (TGD heads
+//! are instantiated from their canonical databases) and by the brute-force
+//! baselines.
+
+use crate::query::ConjunctiveQuery;
+use crate::term::{Term, VarId};
+use crate::Result;
+use omq_data::{ConstId, Database, Fact, Schema, Value};
+use rustc_hash::FxHashMap;
+
+/// The canonical database of a query, together with the mapping from query
+/// variables to the constants that represent them.
+#[derive(Debug, Clone)]
+pub struct CanonicalDatabase {
+    /// The database `D_q`.
+    pub database: Database,
+    /// Mapping from query variables to their representing constants.
+    pub var_constants: FxHashMap<VarId, ConstId>,
+}
+
+/// Builds the canonical database of `query`.
+///
+/// Variables are represented by constants named `_v:<name>`; query constants
+/// keep their own names.
+pub fn canonical_database(query: &ConjunctiveQuery) -> Result<CanonicalDatabase> {
+    let mut schema = Schema::new();
+    for (name, arity) in query.relations()? {
+        schema.add_relation(&name, arity)?;
+    }
+    let mut db = Database::new(schema);
+    let mut var_constants: FxHashMap<VarId, ConstId> = FxHashMap::default();
+    for v in query.body_vars() {
+        let c = db.intern_const(&format!("_v:{}", query.var_name(v)));
+        var_constants.insert(v, c);
+    }
+    for atom in query.atoms() {
+        let rel = db.schema().require(&atom.relation)?;
+        let args: Vec<Value> = atom
+            .terms
+            .iter()
+            .map(|t| match t {
+                Term::Var(v) => Value::Const(var_constants[v]),
+                // Placeholder; constants are interned in the second pass below.
+                Term::Const(c) => Value::Const(db.const_id(c).unwrap_or(ConstId(u32::MAX))),
+            })
+            .collect();
+        // Second pass to intern constants (cannot intern while immutably
+        // borrowing above).
+        let args: Vec<Value> = atom
+            .terms
+            .iter()
+            .zip(args)
+            .map(|(t, v)| match t {
+                Term::Const(c) => Value::Const(db.intern_const(c)),
+                Term::Var(_) => v,
+            })
+            .collect();
+        db.add_fact(Fact::new(rel, args))?;
+    }
+    Ok(CanonicalDatabase {
+        database: db,
+        var_constants,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_database_of_path_query() {
+        let q = ConjunctiveQuery::parse("q(x) :- R(x, y), S(y, 'alice')").unwrap();
+        let canonical = canonical_database(&q).unwrap();
+        let db = &canonical.database;
+        assert_eq!(db.len(), 2);
+        assert_eq!(db.adom().len(), 3); // x, y, alice
+        let x = q.var_id("x").unwrap();
+        let cx = canonical.var_constants[&x];
+        assert_eq!(db.const_name(cx), "_v:x");
+        assert!(db.const_id("alice").is_some());
+    }
+
+    #[test]
+    fn repeated_variables_share_a_constant() {
+        let q = ConjunctiveQuery::parse("q() :- R(x, x)").unwrap();
+        let canonical = canonical_database(&q).unwrap();
+        let fact = &canonical.database.facts()[0];
+        assert_eq!(fact.args[0], fact.args[1]);
+    }
+
+    #[test]
+    fn arity_conflicts_are_reported() {
+        use crate::atom::Atom;
+        use crate::term::Term;
+        let mut q = ConjunctiveQuery::empty("q");
+        let x = q.var("x");
+        let y = q.var("y");
+        q.push_atom(Atom::new("R", vec![Term::Var(x)]));
+        q.push_atom(Atom::new("R", vec![Term::Var(x), Term::Var(y)]));
+        assert!(canonical_database(&q).is_err());
+    }
+}

@@ -1,0 +1,55 @@
+//! Error type for the conjunctive-query crate.
+
+use std::fmt;
+
+/// Errors raised while parsing or manipulating conjunctive queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CqError {
+    /// The textual syntax could not be parsed.
+    Parse(String),
+    /// An answer variable does not occur in the query body.
+    UnboundAnswerVariable(String),
+    /// A relation symbol is used with two different arities inside the query.
+    ArityConflict {
+        /// Relation symbol.
+        relation: String,
+        /// First arity seen.
+        first: usize,
+        /// Conflicting arity.
+        second: usize,
+    },
+    /// An operation required an acyclic query but the query is not acyclic.
+    NotAcyclic(String),
+    /// A data-layer error bubbled up (e.g. while building a canonical
+    /// database).
+    Data(omq_data::DataError),
+}
+
+impl fmt::Display for CqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CqError::Parse(msg) => write!(f, "parse error: {msg}"),
+            CqError::UnboundAnswerVariable(v) => {
+                write!(f, "answer variable `{v}` does not occur in the query body")
+            }
+            CqError::ArityConflict {
+                relation,
+                first,
+                second,
+            } => write!(
+                f,
+                "relation `{relation}` used with conflicting arities {first} and {second}"
+            ),
+            CqError::NotAcyclic(what) => write!(f, "query is not acyclic: {what}"),
+            CqError::Data(e) => write!(f, "data error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CqError {}
+
+impl From<omq_data::DataError> for CqError {
+    fn from(e: omq_data::DataError) -> Self {
+        CqError::Data(e)
+    }
+}

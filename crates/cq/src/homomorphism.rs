@@ -1,0 +1,365 @@
+//! Homomorphism search from a conjunctive query into a database.
+//!
+//! A homomorphism maps the query's variables to active-domain values such that
+//! every atom becomes a fact of the database; query constants must map to
+//! themselves.  This module implements a straightforward backtracking search
+//! over the database indexes.  It is *not* the constant-delay machinery of the
+//! paper — it serves as:
+//!
+//! * the evaluation oracle used by brute-force baselines and tests,
+//! * the single-testing workhorse for small (fixed) queries, where its running
+//!   time is linear in the database for acyclic-shaped bindings,
+//! * a building block of the chase (applicability of TGDs).
+
+use crate::query::ConjunctiveQuery;
+use crate::term::{Term, VarId};
+use omq_data::{Database, RelId, Value};
+use rustc_hash::{FxHashMap, FxHashSet};
+
+/// A (partial) assignment of query variables to database values.
+pub type Assignment = FxHashMap<VarId, Value>;
+
+/// A prepared homomorphism search from a fixed query into a fixed database.
+#[derive(Debug)]
+pub struct HomSearch<'a> {
+    query: &'a ConjunctiveQuery,
+    db: &'a Database,
+    /// Relation id per atom (`None` if the relation does not exist in the
+    /// database schema, in which case no homomorphism exists).
+    rel_ids: Vec<Option<RelId>>,
+    /// Resolved constant values per atom position (`None` for variables).
+    const_args: Vec<Vec<Option<Value>>>,
+    /// `true` if some query constant does not occur in the database: in that
+    /// case, atoms mentioning it can never be matched.
+    unresolved_constant: Vec<bool>,
+}
+
+impl<'a> HomSearch<'a> {
+    /// Prepares a search of `query` into `db`.
+    pub fn new(query: &'a ConjunctiveQuery, db: &'a Database) -> Self {
+        let mut rel_ids = Vec::with_capacity(query.atoms().len());
+        let mut const_args = Vec::with_capacity(query.atoms().len());
+        let mut unresolved_constant = Vec::with_capacity(query.atoms().len());
+        for atom in query.atoms() {
+            rel_ids.push(db.schema().relation_id(&atom.relation));
+            let mut unresolved = false;
+            let resolved: Vec<Option<Value>> = atom
+                .terms
+                .iter()
+                .map(|t| match t {
+                    Term::Var(_) => None,
+                    Term::Const(c) => match db.const_id(c) {
+                        Some(id) => Some(Value::Const(id)),
+                        None => {
+                            unresolved = true;
+                            None
+                        }
+                    },
+                })
+                .collect();
+            const_args.push(resolved);
+            unresolved_constant.push(unresolved);
+        }
+        HomSearch {
+            query,
+            db,
+            rel_ids,
+            const_args,
+            unresolved_constant,
+        }
+    }
+
+    /// The underlying query.
+    pub fn query(&self) -> &ConjunctiveQuery {
+        self.query
+    }
+
+    /// The underlying database.
+    pub fn database(&self) -> &Database {
+        self.db
+    }
+
+    /// Returns `true` iff a homomorphism extending `partial` exists.
+    pub fn exists(&self, partial: &Assignment) -> bool {
+        let mut found = false;
+        self.search(partial, &mut |_| {
+            found = true;
+            false // stop
+        });
+        found
+    }
+
+    /// Collects all homomorphisms extending `partial`.
+    pub fn find_all(&self, partial: &Assignment) -> Vec<Assignment> {
+        let mut out = Vec::new();
+        self.search(partial, &mut |assignment| {
+            out.push(assignment.clone());
+            true
+        });
+        out
+    }
+
+    /// Visits every homomorphism extending `partial`; the callback returns
+    /// `false` to stop the search early.
+    pub fn for_each(&self, partial: &Assignment, mut f: impl FnMut(&Assignment) -> bool) {
+        self.search(partial, &mut f);
+    }
+
+    /// All answers of the query on the database (deduplicated answer tuples,
+    /// possibly containing nulls when the database does).
+    pub fn answers(&self) -> Vec<Vec<Value>> {
+        self.answers_extending(&Assignment::default())
+    }
+
+    /// All answers extending a partial assignment.
+    pub fn answers_extending(&self, partial: &Assignment) -> Vec<Vec<Value>> {
+        let mut set: FxHashSet<Vec<Value>> = FxHashSet::default();
+        let mut out = Vec::new();
+        self.search(partial, &mut |assignment| {
+            let tuple: Vec<Value> = self
+                .query
+                .answer_vars()
+                .iter()
+                .map(|v| assignment[v])
+                .collect();
+            if set.insert(tuple.clone()) {
+                out.push(tuple);
+            }
+            true
+        });
+        out
+    }
+
+    /// Core backtracking search.  The callback returns `false` to abort.
+    fn search(&self, partial: &Assignment, f: &mut dyn FnMut(&Assignment) -> bool) {
+        // An atom over a missing relation or an unresolved constant can never
+        // be satisfied.
+        for (idx, rel) in self.rel_ids.iter().enumerate() {
+            if rel.is_none() || self.unresolved_constant[idx] {
+                return;
+            }
+        }
+        let mut assignment = partial.clone();
+        let mut remaining: Vec<usize> = (0..self.query.atoms().len()).collect();
+        self.go(&mut assignment, &mut remaining, f);
+    }
+
+    fn go(
+        &self,
+        assignment: &mut Assignment,
+        remaining: &mut Vec<usize>,
+        f: &mut dyn FnMut(&Assignment) -> bool,
+    ) -> bool {
+        if remaining.is_empty() {
+            // All atoms matched; make sure every answer variable is bound (it
+            // must occur in the body, so it is).
+            return f(assignment);
+        }
+        // Choose the most constrained atom: maximal number of bound positions,
+        // breaking ties towards fewer candidate facts.
+        let (pick_idx, _) = remaining
+            .iter()
+            .enumerate()
+            .map(|(i, &atom_idx)| {
+                let bound = self.bound_positions(atom_idx, assignment);
+                (i, bound)
+            })
+            .max_by_key(|&(_, bound)| bound)
+            .expect("non-empty remaining");
+        let atom_idx = remaining.swap_remove(pick_idx);
+        let atom = &self.query.atoms()[atom_idx];
+        let rel = self.rel_ids[atom_idx].expect("checked in search()");
+
+        let binding: Vec<Option<Value>> = atom
+            .terms
+            .iter()
+            .enumerate()
+            .map(|(pos, t)| match t {
+                Term::Var(v) => assignment.get(v).copied(),
+                Term::Const(_) => self.const_args[atom_idx][pos],
+            })
+            .collect();
+        let candidates = self.db.facts_matching(rel, &binding);
+        let mut keep_going = true;
+        'facts: for fact_idx in candidates {
+            let fact = self.db.fact(fact_idx);
+            // Extend the assignment; record which variables we newly bound so
+            // we can undo on backtracking.
+            let mut newly_bound: Vec<VarId> = Vec::new();
+            for (pos, term) in atom.terms.iter().enumerate() {
+                if let Term::Var(v) = term {
+                    match assignment.get(v) {
+                        Some(&existing) => {
+                            if existing != fact.args[pos] {
+                                for nb in newly_bound.drain(..) {
+                                    assignment.remove(&nb);
+                                }
+                                continue 'facts;
+                            }
+                        }
+                        None => {
+                            assignment.insert(*v, fact.args[pos]);
+                            newly_bound.push(*v);
+                        }
+                    }
+                }
+            }
+            keep_going = self.go(assignment, remaining, f);
+            for nb in newly_bound {
+                assignment.remove(&nb);
+            }
+            if !keep_going {
+                break;
+            }
+        }
+        remaining.push(atom_idx);
+        // Restore `remaining` order irrelevant; only membership matters.
+        keep_going
+    }
+
+    fn bound_positions(&self, atom_idx: usize, assignment: &Assignment) -> usize {
+        let atom = &self.query.atoms()[atom_idx];
+        atom.terms
+            .iter()
+            .enumerate()
+            .filter(|(pos, t)| match t {
+                Term::Var(v) => assignment.contains_key(v),
+                Term::Const(_) => self.const_args[atom_idx][*pos].is_some(),
+            })
+            .count()
+    }
+}
+
+/// Evaluates a query on a database, returning the deduplicated answer tuples.
+/// Convenience wrapper around [`HomSearch`].
+pub fn evaluate(query: &ConjunctiveQuery, db: &Database) -> Vec<Vec<Value>> {
+    HomSearch::new(query, db).answers()
+}
+
+/// Decides whether the Boolean query holds on the database.
+pub fn holds(query: &ConjunctiveQuery, db: &Database) -> bool {
+    HomSearch::new(query, db).exists(&Assignment::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omq_data::Schema;
+
+    fn office_db() -> Database {
+        let mut s = Schema::new();
+        s.add_relation("Researcher", 1).unwrap();
+        s.add_relation("HasOffice", 2).unwrap();
+        s.add_relation("InBuilding", 2).unwrap();
+        Database::builder(s)
+            .fact("Researcher", ["mary"])
+            .fact("Researcher", ["john"])
+            .fact("HasOffice", ["mary", "room1"])
+            .fact("HasOffice", ["john", "room4"])
+            .fact("InBuilding", ["room1", "main1"])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn evaluate_path_query() {
+        let db = office_db();
+        let q = ConjunctiveQuery::parse("q(x, y, z) :- HasOffice(x, y), InBuilding(y, z)").unwrap();
+        let answers = evaluate(&q, &db);
+        assert_eq!(answers.len(), 1);
+        let mary = Value::Const(db.const_id("mary").unwrap());
+        assert_eq!(answers[0][0], mary);
+    }
+
+    #[test]
+    fn evaluate_with_projection_dedups() {
+        let db = office_db();
+        let q = ConjunctiveQuery::parse("q(x) :- HasOffice(x, y)").unwrap();
+        let answers = evaluate(&q, &db);
+        assert_eq!(answers.len(), 2);
+    }
+
+    #[test]
+    fn boolean_queries() {
+        let db = office_db();
+        let yes = ConjunctiveQuery::parse("q() :- Researcher(x), HasOffice(x, y)").unwrap();
+        let no = ConjunctiveQuery::parse("q() :- InBuilding(x, y), InBuilding(y, z)").unwrap();
+        assert!(holds(&yes, &db));
+        assert!(!holds(&no, &db));
+    }
+
+    #[test]
+    fn constants_must_match() {
+        let db = office_db();
+        let q = ConjunctiveQuery::parse("q(y) :- HasOffice('mary', y)").unwrap();
+        let answers = evaluate(&q, &db);
+        assert_eq!(answers.len(), 1);
+        assert_eq!(answers[0][0], Value::Const(db.const_id("room1").unwrap()));
+
+        let missing = ConjunctiveQuery::parse("q(y) :- HasOffice('zoe', y)").unwrap();
+        assert!(evaluate(&missing, &db).is_empty());
+    }
+
+    #[test]
+    fn unknown_relation_yields_no_answers() {
+        let db = office_db();
+        let q = ConjunctiveQuery::parse("q(x) :- Unknown(x)").unwrap();
+        assert!(evaluate(&q, &db).is_empty());
+        assert!(!HomSearch::new(&q, &db).exists(&Assignment::default()));
+    }
+
+    #[test]
+    fn partial_assignment_restricts_search() {
+        let db = office_db();
+        let q = ConjunctiveQuery::parse("q(x, y) :- HasOffice(x, y)").unwrap();
+        let x = q.var_id("x").unwrap();
+        let john = Value::Const(db.const_id("john").unwrap());
+        let mut partial = Assignment::default();
+        partial.insert(x, john);
+        let search = HomSearch::new(&q, &db);
+        let answers = search.answers_extending(&partial);
+        assert_eq!(answers.len(), 1);
+        assert_eq!(answers[0][0], john);
+        assert!(search.exists(&partial));
+    }
+
+    #[test]
+    fn repeated_variables_enforce_equality() {
+        let mut s = Schema::new();
+        s.add_relation("E", 2).unwrap();
+        let db = Database::builder(s)
+            .fact("E", ["a", "a"])
+            .fact("E", ["a", "b"])
+            .build()
+            .unwrap();
+        let q = ConjunctiveQuery::parse("q(x) :- E(x, x)").unwrap();
+        let answers = evaluate(&q, &db);
+        assert_eq!(answers.len(), 1);
+        assert_eq!(answers[0][0], Value::Const(db.const_id("a").unwrap()));
+    }
+
+    #[test]
+    fn early_stop_via_for_each() {
+        let db = office_db();
+        let q = ConjunctiveQuery::parse("q(x) :- Researcher(x)").unwrap();
+        let search = HomSearch::new(&q, &db);
+        let mut count = 0;
+        search.for_each(&Assignment::default(), |_| {
+            count += 1;
+            false
+        });
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn find_all_returns_full_assignments() {
+        let db = office_db();
+        let q = ConjunctiveQuery::parse("q() :- HasOffice(x, y)").unwrap();
+        let search = HomSearch::new(&q, &db);
+        let homs = search.find_all(&Assignment::default());
+        assert_eq!(homs.len(), 2);
+        for h in homs {
+            assert_eq!(h.len(), 2);
+        }
+    }
+}

@@ -1,0 +1,490 @@
+//! Hypergraphs, the GYO reduction and join trees.
+//!
+//! A conjunctive query is *acyclic* iff it has a *join tree*: an undirected
+//! tree over its atoms such that, for every variable, the atoms containing the
+//! variable form a connected subtree.  The classical GYO (Graham /
+//! Yu–Özsoyoğlu) reduction decides acyclicity and produces a join tree as a
+//! by-product.
+
+use crate::term::VarId;
+use rustc_hash::{FxHashMap, FxHashSet};
+use std::collections::BTreeSet;
+
+/// A hypergraph whose hyperedges are identified by caller-chosen `usize` ids
+/// (typically atom indices) and whose vertices are query variables.
+#[derive(Debug, Clone, Default)]
+pub struct Hypergraph {
+    edges: Vec<(usize, BTreeSet<VarId>)>,
+}
+
+impl Hypergraph {
+    /// Creates an empty hypergraph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a hyperedge with the given id and vertex set.
+    pub fn add_edge(&mut self, id: usize, vertices: impl IntoIterator<Item = VarId>) {
+        self.edges.push((id, vertices.into_iter().collect()));
+    }
+
+    /// Number of hyperedges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The vertex set of the hypergraph.
+    pub fn vertices(&self) -> BTreeSet<VarId> {
+        self.edges.iter().flat_map(|(_, vs)| vs.iter().copied()).collect()
+    }
+
+    /// Runs the GYO reduction.  Returns a join tree if the hypergraph is
+    /// acyclic and `None` otherwise.
+    ///
+    /// If the hypergraph is disconnected, the components are joined by
+    /// arbitrary tree edges: this is sound because the join-tree connectivity
+    /// condition is vacuous for variables that do not occur in both endpoints.
+    pub fn gyo(&self) -> Option<JoinTree> {
+        if self.edges.is_empty() {
+            return Some(JoinTree::default());
+        }
+        let ids: Vec<usize> = self.edges.iter().map(|(id, _)| *id).collect();
+        let mut working: FxHashMap<usize, BTreeSet<VarId>> = self
+            .edges
+            .iter()
+            .map(|(id, vs)| (*id, vs.clone()))
+            .collect();
+        // If the same id was added twice the later edge wins; callers use
+        // distinct atom indices so this does not occur in practice.
+        let mut alive: Vec<usize> = working.keys().copied().collect();
+        alive.sort_unstable();
+        let mut tree_edges: Vec<(usize, usize)> = Vec::new();
+
+        loop {
+            let mut changed = false;
+
+            // Rule 1: drop vertices that occur in exactly one alive edge.
+            let mut occurrence: FxHashMap<VarId, usize> = FxHashMap::default();
+            for id in &alive {
+                for v in &working[id] {
+                    *occurrence.entry(*v).or_insert(0) += 1;
+                }
+            }
+            for id in &alive {
+                let set = working.get_mut(id).expect("alive edge present");
+                let before = set.len();
+                set.retain(|v| occurrence[v] > 1);
+                if set.len() != before {
+                    changed = true;
+                }
+            }
+
+            // Rule 2: drop an edge whose vertex set is contained in another
+            // alive edge (an "ear"), recording the witness as its tree parent.
+            if alive.len() > 1 {
+                let mut removal: Option<(usize, usize)> = None;
+                'outer: for (i, &e) in alive.iter().enumerate() {
+                    for (j, &f) in alive.iter().enumerate() {
+                        if i == j {
+                            continue;
+                        }
+                        let ve = &working[&e];
+                        let vf = &working[&f];
+                        let subset = ve.is_subset(vf);
+                        if subset && (ve.len() < vf.len() || i < j) {
+                            // Tie-break equal sets by index so only one of the
+                            // two is removed per pass.
+                            removal = Some((e, f));
+                            break 'outer;
+                        }
+                    }
+                }
+                if let Some((e, f)) = removal {
+                    alive.retain(|&x| x != e);
+                    tree_edges.push((e, f));
+                    changed = true;
+                }
+            }
+
+            if !changed {
+                break;
+            }
+        }
+
+        if alive.len() > 1 {
+            return None;
+        }
+
+        let mut tree = JoinTree::default();
+        for id in &ids {
+            tree.add_node(*id);
+        }
+        for (a, b) in tree_edges {
+            tree.add_edge(a, b);
+        }
+        // Connect remaining forest components arbitrarily (possible only when
+        // the hypergraph was disconnected before vertex elimination).
+        let components = tree.components();
+        if components.len() > 1 {
+            let anchors: Vec<usize> = components.iter().map(|c| c[0]).collect();
+            for pair in anchors.windows(2) {
+                tree.add_edge(pair[0], pair[1]);
+            }
+        }
+        Some(tree)
+    }
+}
+
+/// An undirected join tree over hyperedge/atom ids.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct JoinTree {
+    nodes: Vec<usize>,
+    adjacency: FxHashMap<usize, Vec<usize>>,
+}
+
+impl JoinTree {
+    /// Adds a node.
+    pub fn add_node(&mut self, id: usize) {
+        if !self.adjacency.contains_key(&id) {
+            self.nodes.push(id);
+            self.adjacency.insert(id, Vec::new());
+        }
+    }
+
+    /// Adds an undirected edge (nodes are created if missing).
+    pub fn add_edge(&mut self, a: usize, b: usize) {
+        self.add_node(a);
+        self.add_node(b);
+        self.adjacency.get_mut(&a).expect("node a").push(b);
+        self.adjacency.get_mut(&b).expect("node b").push(a);
+    }
+
+    /// All node ids, in insertion order.
+    pub fn nodes(&self) -> &[usize] {
+        &self.nodes
+    }
+
+    /// Neighbours of a node.
+    pub fn neighbours(&self, id: usize) -> &[usize] {
+        self.adjacency.get(&id).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` iff the tree has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Connected components (lists of node ids, each sorted).
+    pub fn components(&self) -> Vec<Vec<usize>> {
+        let mut seen: FxHashSet<usize> = FxHashSet::default();
+        let mut components = Vec::new();
+        for &start in &self.nodes {
+            if seen.contains(&start) {
+                continue;
+            }
+            let mut component = Vec::new();
+            let mut stack = vec![start];
+            seen.insert(start);
+            while let Some(v) = stack.pop() {
+                component.push(v);
+                for &n in self.neighbours(v) {
+                    if seen.insert(n) {
+                        stack.push(n);
+                    }
+                }
+            }
+            component.sort_unstable();
+            components.push(component);
+        }
+        components
+    }
+
+    /// Roots the tree at `root`, producing parent/children maps and a
+    /// pre-order traversal.
+    ///
+    /// # Panics
+    /// Panics if `root` is not a node of the tree.
+    pub fn rooted_at(&self, root: usize) -> RootedJoinTree {
+        assert!(
+            self.adjacency.contains_key(&root),
+            "root {root} is not a node of the join tree"
+        );
+        let mut parent: FxHashMap<usize, usize> = FxHashMap::default();
+        let mut children: FxHashMap<usize, Vec<usize>> = FxHashMap::default();
+        let mut preorder: Vec<usize> = Vec::with_capacity(self.nodes.len());
+        let mut visited: FxHashSet<usize> = FxHashSet::default();
+        let mut stack = vec![root];
+        visited.insert(root);
+        children.entry(root).or_default();
+        while let Some(v) = stack.pop() {
+            preorder.push(v);
+            // Sort neighbours for determinism.
+            let mut ns: Vec<usize> = self.neighbours(v).to_vec();
+            ns.sort_unstable();
+            ns.reverse(); // so that the smaller id is popped/visited first
+            for n in ns {
+                if visited.insert(n) {
+                    parent.insert(n, v);
+                    children.entry(v).or_default().push(n);
+                    children.entry(n).or_default();
+                    stack.push(n);
+                }
+            }
+        }
+        // Children lists were pushed in reverse order; normalise.
+        for list in children.values_mut() {
+            list.sort_unstable();
+        }
+        // Recompute the pre-order from the normalised children lists so that
+        // the traversal matches `children` exactly.
+        let mut ordered = Vec::with_capacity(preorder.len());
+        let mut stack = vec![root];
+        while let Some(v) = stack.pop() {
+            ordered.push(v);
+            for &c in children[&v].iter().rev() {
+                stack.push(c);
+            }
+        }
+        RootedJoinTree {
+            root,
+            parent,
+            children,
+            preorder: ordered,
+        }
+    }
+
+    /// Checks the join-tree property for the given atoms: for every variable,
+    /// the nodes whose vertex sets contain it form a connected subtree.  The
+    /// `vertex_sets` map assigns to each node id its variable set.
+    pub fn is_valid_for(&self, vertex_sets: &FxHashMap<usize, BTreeSet<VarId>>) -> bool {
+        if self.nodes.len() != vertex_sets.len()
+            || !self.nodes.iter().all(|n| vertex_sets.contains_key(n))
+        {
+            return false;
+        }
+        // Must be a tree: connected with n-1 edges.
+        let edge_count: usize = self
+            .adjacency
+            .values()
+            .map(Vec::len)
+            .sum::<usize>()
+            / 2;
+        if !self.nodes.is_empty()
+            && (edge_count != self.nodes.len() - 1 || self.components().len() != 1)
+        {
+            return false;
+        }
+        let all_vars: BTreeSet<VarId> = vertex_sets
+            .values()
+            .flat_map(|s| s.iter().copied())
+            .collect();
+        for v in all_vars {
+            let holders: FxHashSet<usize> = self
+                .nodes
+                .iter()
+                .copied()
+                .filter(|n| vertex_sets[n].contains(&v))
+                .collect();
+            if holders.is_empty() {
+                continue;
+            }
+            // BFS within holders.
+            let start = *holders.iter().next().expect("non-empty");
+            let mut seen: FxHashSet<usize> = FxHashSet::default();
+            let mut stack = vec![start];
+            seen.insert(start);
+            while let Some(x) = stack.pop() {
+                for &n in self.neighbours(x) {
+                    if holders.contains(&n) && seen.insert(n) {
+                        stack.push(n);
+                    }
+                }
+            }
+            if seen.len() != holders.len() {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// A join tree rooted at a designated node.
+#[derive(Debug, Clone)]
+pub struct RootedJoinTree {
+    /// The root node id.
+    pub root: usize,
+    /// Parent of each non-root node.
+    pub parent: FxHashMap<usize, usize>,
+    /// Children of each node (possibly empty).
+    pub children: FxHashMap<usize, Vec<usize>>,
+    /// Pre-order traversal starting at the root.
+    pub preorder: Vec<usize>,
+}
+
+impl RootedJoinTree {
+    /// Children of a node.
+    pub fn children_of(&self, id: usize) -> &[usize] {
+        self.children.get(&id).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Parent of a node (`None` for the root).
+    pub fn parent_of(&self, id: usize) -> Option<usize> {
+        self.parent.get(&id).copied()
+    }
+
+    /// Nodes in bottom-up order (reverse pre-order: children before parents).
+    pub fn bottom_up(&self) -> Vec<usize> {
+        let mut order = self.preorder.clone();
+        order.reverse();
+        order
+    }
+
+    /// The node ids of the subtree rooted at `id`, in pre-order.
+    pub fn subtree(&self, id: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut stack = vec![id];
+        while let Some(v) = stack.pop() {
+            out.push(v);
+            for &c in self.children_of(v).iter().rev() {
+                stack.push(c);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> VarId {
+        VarId(i)
+    }
+
+    #[test]
+    fn path_query_is_acyclic() {
+        // R(x,y), S(y,z)
+        let mut h = Hypergraph::new();
+        h.add_edge(0, [v(0), v(1)]);
+        h.add_edge(1, [v(1), v(2)]);
+        let tree = h.gyo().expect("acyclic");
+        assert_eq!(tree.len(), 2);
+        let sets: FxHashMap<usize, BTreeSet<VarId>> = [
+            (0, [v(0), v(1)].into_iter().collect()),
+            (1, [v(1), v(2)].into_iter().collect()),
+        ]
+        .into_iter()
+        .collect();
+        assert!(tree.is_valid_for(&sets));
+    }
+
+    #[test]
+    fn triangle_is_cyclic() {
+        // R(x,y), S(y,z), T(z,x)
+        let mut h = Hypergraph::new();
+        h.add_edge(0, [v(0), v(1)]);
+        h.add_edge(1, [v(1), v(2)]);
+        h.add_edge(2, [v(2), v(0)]);
+        assert!(h.gyo().is_none());
+    }
+
+    #[test]
+    fn triangle_with_guard_is_acyclic() {
+        let mut h = Hypergraph::new();
+        h.add_edge(0, [v(0), v(1)]);
+        h.add_edge(1, [v(1), v(2)]);
+        h.add_edge(2, [v(2), v(0)]);
+        h.add_edge(3, [v(0), v(1), v(2)]);
+        let tree = h.gyo().expect("acyclic with guard");
+        assert_eq!(tree.len(), 4);
+    }
+
+    #[test]
+    fn disconnected_hypergraph_gets_a_tree() {
+        let mut h = Hypergraph::new();
+        h.add_edge(0, [v(0), v(1)]);
+        h.add_edge(1, [v(2), v(3)]);
+        let tree = h.gyo().expect("acyclic");
+        assert_eq!(tree.len(), 2);
+        assert_eq!(tree.components().len(), 1);
+    }
+
+    #[test]
+    fn empty_hypergraph() {
+        let h = Hypergraph::new();
+        let tree = h.gyo().expect("trivially acyclic");
+        assert!(tree.is_empty());
+    }
+
+    #[test]
+    fn single_edge() {
+        let mut h = Hypergraph::new();
+        h.add_edge(7, [v(0), v(1), v(2)]);
+        let tree = h.gyo().expect("acyclic");
+        assert_eq!(tree.nodes(), &[7]);
+    }
+
+    #[test]
+    fn duplicate_vertex_sets_are_handled() {
+        let mut h = Hypergraph::new();
+        h.add_edge(0, [v(0), v(1)]);
+        h.add_edge(1, [v(0), v(1)]);
+        h.add_edge(2, [v(1), v(2)]);
+        let tree = h.gyo().expect("acyclic");
+        assert_eq!(tree.len(), 3);
+    }
+
+    #[test]
+    fn cycle_of_length_four_is_cyclic() {
+        let mut h = Hypergraph::new();
+        h.add_edge(0, [v(0), v(1)]);
+        h.add_edge(1, [v(1), v(2)]);
+        h.add_edge(2, [v(2), v(3)]);
+        h.add_edge(3, [v(3), v(0)]);
+        assert!(h.gyo().is_none());
+    }
+
+    #[test]
+    fn rooted_traversal() {
+        let mut h = Hypergraph::new();
+        h.add_edge(0, [v(0), v(1)]);
+        h.add_edge(1, [v(1), v(2)]);
+        h.add_edge(2, [v(2), v(3)]);
+        let tree = h.gyo().expect("acyclic");
+        let rooted = tree.rooted_at(0);
+        assert_eq!(rooted.root, 0);
+        assert_eq!(rooted.preorder.len(), 3);
+        assert_eq!(rooted.preorder[0], 0);
+        assert_eq!(rooted.parent_of(0), None);
+        // Each non-root node has a parent.
+        for &n in &rooted.preorder[1..] {
+            assert!(rooted.parent_of(n).is_some());
+        }
+        let bottom_up = rooted.bottom_up();
+        assert_eq!(bottom_up.last(), Some(&0));
+        assert_eq!(rooted.subtree(0).len(), 3);
+    }
+
+    #[test]
+    fn is_valid_rejects_bad_tree() {
+        // Star tree where the connectivity of variable v1 fails.
+        let mut tree = JoinTree::default();
+        tree.add_edge(0, 1);
+        tree.add_edge(1, 2);
+        let sets: FxHashMap<usize, BTreeSet<VarId>> = [
+            (0, [v(0), v(5)].into_iter().collect()),
+            (1, [v(0), v(1)].into_iter().collect()),
+            (2, [v(5)].into_iter().collect()),
+        ]
+        .into_iter()
+        .collect();
+        // v5 occurs in nodes 0 and 2 which are not adjacent and node 1 does not
+        // contain it.
+        assert!(!tree.is_valid_for(&sets));
+    }
+}

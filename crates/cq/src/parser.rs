@@ -1,0 +1,220 @@
+//! Text syntax for conjunctive queries.
+//!
+//! Grammar (whitespace-insensitive):
+//!
+//! ```text
+//! query := head ":-" body
+//! head  := NAME "(" [term ("," term)*] ")"
+//! body  := atom ("," atom)*           (may be empty for trivially true queries)
+//! atom  := NAME "(" [term ("," term)*] ")"
+//! term  := NAME            -- a variable
+//!        | "'" chars "'"   -- a constant
+//!        | '"' chars '"'   -- a constant
+//! ```
+//!
+//! The head terms must be variables occurring in the body.
+
+use crate::atom::Atom;
+use crate::error::CqError;
+use crate::query::ConjunctiveQuery;
+use crate::term::Term;
+use crate::Result;
+
+/// Parses a conjunctive query from its textual syntax.
+pub fn parse_query(text: &str) -> Result<ConjunctiveQuery> {
+    let text = text.trim();
+    let (head, body) = match text.split_once(":-") {
+        Some((h, b)) => (h.trim(), b.trim()),
+        None => (text, ""),
+    };
+    let (name, head_args) = parse_predicate(head)?;
+    let mut query = ConjunctiveQuery::empty(name);
+
+    let body_atoms = split_atoms(body)?;
+    // Intern head variables *after* parsing them as raw names so that answer
+    // variables keep their written order.
+    let mut head_vars: Vec<String> = Vec::with_capacity(head_args.len());
+    for arg in head_args {
+        match parse_term_spec(&arg)? {
+            RawTerm::Var(v) => head_vars.push(v),
+            RawTerm::Const(_) => {
+                return Err(CqError::Parse(format!(
+                    "head arguments must be variables, found constant in `{head}`"
+                )))
+            }
+        }
+    }
+    for spec in &body_atoms {
+        let (rel, args) = parse_predicate(spec)?;
+        let mut terms = Vec::with_capacity(args.len());
+        for arg in args {
+            match parse_term_spec(&arg)? {
+                RawTerm::Var(v) => terms.push(Term::Var(query.var(&v))),
+                RawTerm::Const(c) => terms.push(Term::Const(c)),
+            }
+        }
+        query.push_atom(Atom::new(rel, terms));
+    }
+    for v in head_vars {
+        match query.var_id(&v) {
+            Some(id) => query.push_answer_var(id),
+            None => return Err(CqError::UnboundAnswerVariable(v)),
+        }
+    }
+    query.validate()?;
+    Ok(query)
+}
+
+enum RawTerm {
+    Var(String),
+    Const(String),
+}
+
+fn parse_term_spec(spec: &str) -> Result<RawTerm> {
+    let spec = spec.trim();
+    if spec.is_empty() {
+        return Err(CqError::Parse("empty term".to_owned()));
+    }
+    let bytes = spec.as_bytes();
+    if (bytes[0] == b'\'' || bytes[0] == b'"') && bytes.len() >= 2 && bytes[bytes.len() - 1] == bytes[0]
+    {
+        return Ok(RawTerm::Const(spec[1..spec.len() - 1].to_owned()));
+    }
+    if !is_identifier(spec) {
+        return Err(CqError::Parse(format!("invalid term `{spec}`")));
+    }
+    Ok(RawTerm::Var(spec.to_owned()))
+}
+
+fn is_identifier(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '\'')
+        && s.chars().next().map(|c| c.is_ascii_alphabetic() || c == '_').unwrap_or(false)
+}
+
+/// Parses `Name(arg, arg, ...)` into the name and the raw argument strings.
+fn parse_predicate(spec: &str) -> Result<(String, Vec<String>)> {
+    let spec = spec.trim();
+    let open = spec
+        .find('(')
+        .ok_or_else(|| CqError::Parse(format!("expected `(...)` in `{spec}`")))?;
+    if !spec.ends_with(')') {
+        return Err(CqError::Parse(format!("expected closing `)` in `{spec}`")));
+    }
+    let name = spec[..open].trim();
+    if name.is_empty() || !is_identifier(name) {
+        return Err(CqError::Parse(format!("invalid predicate name in `{spec}`")));
+    }
+    let inner = spec[open + 1..spec.len() - 1].trim();
+    let args = if inner.is_empty() {
+        Vec::new()
+    } else {
+        inner.split(',').map(|s| s.trim().to_owned()).collect()
+    };
+    Ok((name.to_owned(), args))
+}
+
+/// Splits a comma-separated list of atoms, respecting parentheses.
+fn split_atoms(body: &str) -> Result<Vec<String>> {
+    let body = body.trim();
+    if body.is_empty() {
+        return Ok(Vec::new());
+    }
+    let mut atoms = Vec::new();
+    let mut depth = 0usize;
+    let mut current = String::new();
+    for c in body.chars() {
+        match c {
+            '(' => {
+                depth += 1;
+                current.push(c);
+            }
+            ')' => {
+                depth = depth
+                    .checked_sub(1)
+                    .ok_or_else(|| CqError::Parse("unbalanced parentheses".to_owned()))?;
+                current.push(c);
+            }
+            ',' if depth == 0 => {
+                if !current.trim().is_empty() {
+                    atoms.push(current.trim().to_owned());
+                }
+                current.clear();
+            }
+            _ => current.push(c),
+        }
+    }
+    if depth != 0 {
+        return Err(CqError::Parse("unbalanced parentheses".to_owned()));
+    }
+    if !current.trim().is_empty() {
+        atoms.push(current.trim().to_owned());
+    }
+    Ok(atoms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_running_example() {
+        let q = parse_query("q(x1, x2, x3) :- HasOffice(x1, x2), InBuilding(x2, x3)").unwrap();
+        assert_eq!(q.arity(), 3);
+        assert_eq!(q.atoms().len(), 2);
+        assert_eq!(q.atoms()[0].relation, "HasOffice");
+    }
+
+    #[test]
+    fn parses_boolean_query() {
+        let q = parse_query("q() :- R(x, y), S(y, z)").unwrap();
+        assert!(q.is_boolean());
+        assert_eq!(q.atoms().len(), 2);
+    }
+
+    #[test]
+    fn parses_constants() {
+        let q = parse_query("q(x) :- R(x, 'a'), S(\"b\", x)").unwrap();
+        assert_eq!(q.constants(), vec!["a".to_owned(), "b".to_owned()]);
+        assert_eq!(q.body_vars().len(), 1);
+    }
+
+    #[test]
+    fn parses_nullary_atoms() {
+        let q = parse_query("q() :- Flag()").unwrap();
+        assert_eq!(q.atoms()[0].arity(), 0);
+    }
+
+    #[test]
+    fn rejects_constant_in_head() {
+        assert!(parse_query("q('a') :- R('a')").is_err());
+    }
+
+    #[test]
+    fn rejects_unbound_head_variable() {
+        let err = parse_query("q(x) :- R(y, z)").unwrap_err();
+        assert!(matches!(err, CqError::UnboundAnswerVariable(_)));
+    }
+
+    #[test]
+    fn rejects_malformed_atoms() {
+        assert!(parse_query("q(x) :- R(x").is_err());
+        assert!(parse_query("q(x) :- (x)").is_err());
+        assert!(parse_query("q(x :- R(x)").is_err());
+        assert!(parse_query("q(x) :- R(x,)").is_err());
+    }
+
+    #[test]
+    fn repeated_answer_variables_allowed() {
+        let q = parse_query("q(x, x) :- R(x, y)").unwrap();
+        assert_eq!(q.arity(), 2);
+        assert_eq!(q.distinct_answer_vars().len(), 1);
+    }
+
+    #[test]
+    fn whitespace_is_irrelevant() {
+        let q = parse_query("  q ( x , y )   :-   R ( x , y ) ").unwrap();
+        assert_eq!(q.arity(), 2);
+    }
+}

@@ -1,0 +1,61 @@
+//! Terms of conjunctive queries: variables and constants.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a variable within one [`crate::ConjunctiveQuery`].
+///
+/// Variables are interned per query; the query stores the original names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct VarId(pub u32);
+
+/// A term: a variable or a constant (referred to by name; constants are
+/// resolved against a concrete database only at evaluation time).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Term {
+    /// A query variable.
+    Var(VarId),
+    /// A constant, by name.
+    Const(String),
+}
+
+impl Term {
+    /// Returns the variable identifier, if this term is a variable.
+    pub fn as_var(&self) -> Option<VarId> {
+        match self {
+            Term::Var(v) => Some(*v),
+            Term::Const(_) => None,
+        }
+    }
+
+    /// Returns `true` iff this term is a variable.
+    pub fn is_var(&self) -> bool {
+        matches!(self, Term::Var(_))
+    }
+
+    /// Returns `true` iff this term is a constant.
+    pub fn is_const(&self) -> bool {
+        matches!(self, Term::Const(_))
+    }
+}
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn term_classification() {
+        let v = Term::Var(VarId(0));
+        let c = Term::Const("mary".to_owned());
+        assert!(v.is_var() && !v.is_const());
+        assert!(c.is_const() && !c.is_var());
+        assert_eq!(v.as_var(), Some(VarId(0)));
+        assert_eq!(c.as_var(), None);
+    }
+}

@@ -1,0 +1,536 @@
+//! Finite instances and databases with RAM-model style lookup indexes.
+
+use crate::error::DataError;
+use crate::fact::Fact;
+use crate::interner::Interner;
+use crate::schema::{RelId, Schema};
+use crate::value::{ConstId, NullId, Value};
+use crate::Result;
+use rustc_hash::{FxHashMap, FxHashSet};
+
+/// A finite instance over a [`Schema`].
+///
+/// Following the paper, an *S-database* is a finite instance that uses only
+/// constants; instances produced by the chase may also contain labelled nulls.
+/// `Database` represents both: [`Database::has_nulls`] distinguishes them.
+///
+/// The structure maintains several hash indexes that play the role of the
+/// constant-time lookup tables of the RAM model used in the paper:
+///
+/// * facts grouped by relation symbol,
+/// * facts indexed by `(relation, position, value)`,
+/// * facts indexed by value (any position),
+/// * the active domain.
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    schema: Schema,
+    consts: Interner,
+    facts: Vec<Fact>,
+    fact_set: FxHashSet<Fact>,
+    by_relation: Vec<Vec<usize>>,
+    pos_index: FxHashMap<(RelId, u32, Value), Vec<usize>>,
+    value_index: FxHashMap<Value, Vec<usize>>,
+    adom: Vec<Value>,
+    adom_set: FxHashSet<Value>,
+    next_null: u32,
+}
+
+impl Database {
+    /// Creates an empty database over `schema`.
+    pub fn new(schema: Schema) -> Self {
+        let relation_count = schema.len();
+        Database {
+            schema,
+            consts: Interner::new(),
+            facts: Vec::new(),
+            fact_set: FxHashSet::default(),
+            by_relation: vec![Vec::new(); relation_count],
+            pos_index: FxHashMap::default(),
+            value_index: FxHashMap::default(),
+            adom: Vec::new(),
+            adom_set: FxHashSet::default(),
+            next_null: 0,
+        }
+    }
+
+    /// Starts a fluent [`DatabaseBuilder`] over `schema`.
+    pub fn builder(schema: Schema) -> DatabaseBuilder {
+        DatabaseBuilder {
+            db: Database::new(schema),
+            error: None,
+        }
+    }
+
+    /// The schema of this database.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Declares an additional relation symbol (used when extending a database
+    /// with auxiliary relations such as the `P_db` relativisation predicate).
+    pub fn add_relation(&mut self, name: &str, arity: usize) -> Result<RelId> {
+        let id = self.schema.add_relation(name, arity)?;
+        while self.by_relation.len() < self.schema.len() {
+            self.by_relation.push(Vec::new());
+        }
+        Ok(id)
+    }
+
+    /// Interns a constant name, returning its identifier.
+    pub fn intern_const(&mut self, name: &str) -> ConstId {
+        ConstId(self.consts.intern(name))
+    }
+
+    /// Looks up a constant by name without interning it.
+    pub fn const_id(&self, name: &str) -> Option<ConstId> {
+        self.consts.get(name).map(ConstId)
+    }
+
+    /// Returns the name of an interned constant.
+    pub fn const_name(&self, id: ConstId) -> &str {
+        self.consts.resolve(id.0)
+    }
+
+    /// Renders a value for display: constant names, or `*k` style nulls.
+    pub fn display_value(&self, v: Value) -> String {
+        match v {
+            Value::Const(c) => self
+                .consts
+                .try_resolve(c.0)
+                .map(str::to_owned)
+                .unwrap_or_else(|| format!("c{}", c.0)),
+            Value::Null(NullId(n)) => format!("_:n{n}"),
+        }
+    }
+
+    /// Creates a fresh labelled null that does not occur in this database.
+    pub fn fresh_null(&mut self) -> NullId {
+        let id = NullId(self.next_null);
+        self.next_null += 1;
+        id
+    }
+
+    /// Number of labelled nulls allocated so far (fresh-null counter).
+    pub fn null_counter(&self) -> u32 {
+        self.next_null
+    }
+
+    /// Bumps the fresh-null counter so that it exceeds `n`.  Used when copying
+    /// facts from another instance.
+    pub fn reserve_null(&mut self, n: NullId) {
+        self.next_null = self.next_null.max(n.0 + 1);
+    }
+
+    /// Adds a fact constructed from a relation name and constant names,
+    /// interning the constants on the fly.
+    pub fn add_named_fact<S: AsRef<str>>(&mut self, relation: &str, args: &[S]) -> Result<bool> {
+        let rel = self.schema.require(relation)?;
+        let arity = self.schema.arity(rel);
+        if arity != args.len() {
+            return Err(DataError::ArityMismatch {
+                relation: relation.to_owned(),
+                expected: arity,
+                actual: args.len(),
+            });
+        }
+        let values: Vec<Value> = args
+            .iter()
+            .map(|a| Value::Const(self.intern_const(a.as_ref())))
+            .collect();
+        self.add_fact(Fact::new(rel, values))
+    }
+
+    /// Adds a fact, returning `Ok(true)` if it was new and `Ok(false)` if it
+    /// was already present.
+    pub fn add_fact(&mut self, fact: Fact) -> Result<bool> {
+        let arity = self.schema.arity(fact.rel);
+        if arity != fact.args.len() {
+            return Err(DataError::ArityMismatch {
+                relation: self.schema.name(fact.rel).to_owned(),
+                expected: arity,
+                actual: fact.args.len(),
+            });
+        }
+        if self.fact_set.contains(&fact) {
+            return Ok(false);
+        }
+        let idx = self.facts.len();
+        for (pos, &v) in fact.args.iter().enumerate() {
+            self.pos_index
+                .entry((fact.rel, pos as u32, v))
+                .or_default()
+                .push(idx);
+            if self.adom_set.insert(v) {
+                self.adom.push(v);
+            }
+            if let Value::Null(n) = v {
+                self.reserve_null(n);
+            }
+        }
+        for v in fact.distinct_values() {
+            self.value_index.entry(v).or_default().push(idx);
+        }
+        self.by_relation[fact.rel.0 as usize].push(idx);
+        self.fact_set.insert(fact.clone());
+        self.facts.push(fact);
+        Ok(true)
+    }
+
+    /// Returns `true` iff the fact is present.
+    pub fn contains_fact(&self, fact: &Fact) -> bool {
+        self.fact_set.contains(fact)
+    }
+
+    /// Total number of facts.
+    pub fn len(&self) -> usize {
+        self.facts.len()
+    }
+
+    /// Returns `true` iff the database has no facts.
+    pub fn is_empty(&self) -> bool {
+        self.facts.is_empty()
+    }
+
+    /// The total size `‖D‖`: number of facts weighted by arity (plus one per
+    /// fact for the relation symbol).  This is the size measure used by the
+    /// paper's linear-time claims.
+    pub fn size(&self) -> usize {
+        self.facts.iter().map(|f| f.args.len() + 1).sum()
+    }
+
+    /// All facts, in insertion order.
+    pub fn facts(&self) -> &[Fact] {
+        &self.facts
+    }
+
+    /// Fact at a given index.
+    pub fn fact(&self, idx: usize) -> &Fact {
+        &self.facts[idx]
+    }
+
+    /// Indices of the facts over a relation symbol.
+    pub fn facts_of(&self, rel: RelId) -> &[usize] {
+        self.by_relation
+            .get(rel.0 as usize)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Indices of the facts over `rel` whose argument at `pos` equals `value`.
+    pub fn facts_with(&self, rel: RelId, pos: usize, value: Value) -> &[usize] {
+        self.pos_index
+            .get(&(rel, pos as u32, value))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Indices of the facts mentioning `value` in any position.
+    pub fn facts_mentioning(&self, value: Value) -> &[usize] {
+        self.value_index
+            .get(&value)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Iterates over fact indices of `rel` matching a partial binding: the
+    /// binding assigns a concrete value to some positions (`Some`) and leaves
+    /// others free (`None`).  The most selective bound position's index is
+    /// used when available.
+    pub fn facts_matching(&self, rel: RelId, binding: &[Option<Value>]) -> Vec<usize> {
+        debug_assert_eq!(binding.len(), self.schema.arity(rel));
+        let mut best: Option<&[usize]> = None;
+        for (pos, b) in binding.iter().enumerate() {
+            if let Some(v) = b {
+                let candidates = self.facts_with(rel, pos, *v);
+                if best.map(|b| candidates.len() < b.len()).unwrap_or(true) {
+                    best = Some(candidates);
+                }
+            }
+        }
+        let candidates = best.unwrap_or_else(|| self.facts_of(rel));
+        candidates
+            .iter()
+            .copied()
+            .filter(|&idx| {
+                let fact = &self.facts[idx];
+                binding
+                    .iter()
+                    .zip(&fact.args)
+                    .all(|(b, &actual)| b.map(|expected| expected == actual).unwrap_or(true))
+            })
+            .collect()
+    }
+
+    /// The active domain `adom(D)` in first-occurrence order.
+    pub fn adom(&self) -> &[Value] {
+        &self.adom
+    }
+
+    /// Returns `true` iff `value` occurs in the database.
+    pub fn in_adom(&self, value: Value) -> bool {
+        self.adom_set.contains(&value)
+    }
+
+    /// The constants of the active domain.
+    pub fn adom_consts(&self) -> Vec<ConstId> {
+        self.adom.iter().filter_map(|v| v.as_const()).collect()
+    }
+
+    /// The labelled nulls of the active domain.
+    pub fn adom_nulls(&self) -> Vec<NullId> {
+        self.adom.iter().filter_map(|v| v.as_null()).collect()
+    }
+
+    /// Returns `true` iff the instance mentions at least one labelled null.
+    pub fn has_nulls(&self) -> bool {
+        self.adom.iter().any(|v| v.is_null())
+    }
+
+    /// Restriction `D|_S`: the facts that mention only values from `keep`.
+    pub fn restrict_to(&self, keep: &FxHashSet<Value>) -> Database {
+        let mut out = Database::new(self.schema.clone());
+        out.consts = self.consts.clone();
+        out.next_null = self.next_null;
+        for fact in &self.facts {
+            if fact.args.iter().all(|v| keep.contains(v)) {
+                out.add_fact(fact.clone()).expect("schema preserved");
+            }
+        }
+        out
+    }
+
+    /// Returns `true` iff `values` is a *guarded set*: some fact mentions all
+    /// of them.
+    pub fn is_guarded_set(&self, values: &[Value]) -> bool {
+        if values.is_empty() {
+            return true;
+        }
+        let candidates = self.facts_mentioning(values[0]);
+        candidates.iter().any(|&idx| {
+            let fact = &self.facts[idx];
+            values.iter().all(|v| fact.args.contains(v))
+        })
+    }
+
+    /// Copies all facts of `other` into `self` (schemas are merged).
+    pub fn absorb(&mut self, other: &Database) -> Result<()> {
+        self.schema.merge(other.schema())?;
+        while self.by_relation.len() < self.schema.len() {
+            self.by_relation.push(Vec::new());
+        }
+        // Relation ids may differ between the two schemas; remap by name.
+        for fact in other.facts() {
+            let name = other.schema().name(fact.rel).to_owned();
+            let rel = self.schema.require(&name)?;
+            // Constants are also interned by name to keep identifiers coherent.
+            let args = fact
+                .args
+                .iter()
+                .map(|&v| match v {
+                    Value::Const(c) => Value::Const(self.intern_const(other.const_name(c))),
+                    Value::Null(n) => Value::Null(n),
+                })
+                .collect();
+            self.add_fact(Fact::new(rel, args))?;
+        }
+        Ok(())
+    }
+
+    /// Shares this database's constant interner with a fresh empty database
+    /// over the same schema.  Useful for derived instances (e.g. the chase)
+    /// that must agree on constant identifiers.
+    pub fn derived_empty(&self) -> Database {
+        let mut out = Database::new(self.schema.clone());
+        out.consts = self.consts.clone();
+        out.next_null = self.next_null;
+        out
+    }
+
+    /// Renders a fact for display.
+    pub fn display_fact(&self, fact: &Fact) -> String {
+        let args: Vec<String> = fact.args.iter().map(|&v| self.display_value(v)).collect();
+        format!("{}({})", self.schema.name(fact.rel), args.join(","))
+    }
+}
+
+/// Fluent builder for [`Database`], collecting the first error and reporting
+/// it at [`DatabaseBuilder::build`] time.
+#[derive(Debug)]
+pub struct DatabaseBuilder {
+    db: Database,
+    error: Option<DataError>,
+}
+
+impl DatabaseBuilder {
+    /// Adds a fact given by relation name and constant names.
+    pub fn fact<S: AsRef<str>>(mut self, relation: &str, args: impl AsRef<[S]>) -> Self {
+        if self.error.is_none() {
+            if let Err(e) = self.db.add_named_fact(relation, args.as_ref()) {
+                self.error = Some(e);
+            }
+        }
+        self
+    }
+
+    /// Finishes building, returning the database or the first error.
+    pub fn build(self) -> Result<Database> {
+        match self.error {
+            Some(e) => Err(e),
+            None => Ok(self.db),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn office_schema() -> Schema {
+        let mut s = Schema::new();
+        s.add_relation("Researcher", 1).unwrap();
+        s.add_relation("HasOffice", 2).unwrap();
+        s.add_relation("InBuilding", 2).unwrap();
+        s
+    }
+
+    fn office_db() -> Database {
+        Database::builder(office_schema())
+            .fact("Researcher", ["mary"])
+            .fact("Researcher", ["john"])
+            .fact("Researcher", ["mike"])
+            .fact("HasOffice", ["mary", "room1"])
+            .fact("HasOffice", ["john", "room4"])
+            .fact("InBuilding", ["room1", "main1"])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_and_basic_queries() {
+        let db = office_db();
+        assert_eq!(db.len(), 6);
+        assert!(db.size() > db.len());
+        let has_office = db.schema().relation_id("HasOffice").unwrap();
+        assert_eq!(db.facts_of(has_office).len(), 2);
+        let mary = Value::Const(db.const_id("mary").unwrap());
+        assert_eq!(db.facts_with(has_office, 0, mary).len(), 1);
+        assert_eq!(db.facts_mentioning(mary).len(), 2);
+        assert!(!db.has_nulls());
+    }
+
+    #[test]
+    fn duplicate_facts_are_ignored() {
+        let mut db = office_db();
+        let before = db.len();
+        let added = db.add_named_fact("Researcher", &["mary"]).unwrap();
+        assert!(!added);
+        assert_eq!(db.len(), before);
+    }
+
+    #[test]
+    fn arity_mismatch_is_error() {
+        let mut db = office_db();
+        let err = db.add_named_fact("Researcher", &["a", "b"]).unwrap_err();
+        assert!(matches!(err, DataError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn unknown_relation_is_error() {
+        let err = Database::builder(office_schema())
+            .fact("Nope", ["x"])
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, DataError::UnknownRelation(_)));
+    }
+
+    #[test]
+    fn adom_and_guarded_sets() {
+        let db = office_db();
+        // mary, john, mike, room1, room4, main1
+        assert_eq!(db.adom().len(), 6);
+        let mary = Value::Const(db.const_id("mary").unwrap());
+        let room1 = Value::Const(db.const_id("room1").unwrap());
+        let main1 = Value::Const(db.const_id("main1").unwrap());
+        assert!(db.is_guarded_set(&[mary, room1]));
+        assert!(db.is_guarded_set(&[room1]));
+        assert!(db.is_guarded_set(&[]));
+        assert!(!db.is_guarded_set(&[mary, main1]));
+    }
+
+    #[test]
+    fn facts_matching_partial_binding() {
+        let db = office_db();
+        let has_office = db.schema().relation_id("HasOffice").unwrap();
+        let john = Value::Const(db.const_id("john").unwrap());
+        let matches = db.facts_matching(has_office, &[Some(john), None]);
+        assert_eq!(matches.len(), 1);
+        let all = db.facts_matching(has_office, &[None, None]);
+        assert_eq!(all.len(), 2);
+        let none = db.facts_matching(
+            has_office,
+            &[Some(john), Some(Value::Const(db.const_id("room1").unwrap()))],
+        );
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn restrict_to_subset() {
+        let db = office_db();
+        let mary = Value::Const(db.const_id("mary").unwrap());
+        let room1 = Value::Const(db.const_id("room1").unwrap());
+        let keep: FxHashSet<Value> = [mary, room1].into_iter().collect();
+        let restricted = db.restrict_to(&keep);
+        assert_eq!(restricted.len(), 2); // Researcher(mary), HasOffice(mary,room1)
+    }
+
+    #[test]
+    fn fresh_nulls_are_distinct_and_reserved() {
+        let mut db = office_db();
+        let n1 = db.fresh_null();
+        let n2 = db.fresh_null();
+        assert_ne!(n1, n2);
+        let rel = db.schema().relation_id("Researcher").unwrap();
+        db.add_fact(Fact::new(rel, vec![Value::Null(NullId(100))]))
+            .unwrap();
+        let n3 = db.fresh_null();
+        assert!(n3.0 > 100);
+        assert!(db.has_nulls());
+        // Only NullId(100) was inserted into a fact; fresh_null() alone does not
+        // extend the active domain.
+        assert_eq!(db.adom_nulls().len(), 1);
+    }
+
+    #[test]
+    fn absorb_merges_by_name() {
+        let mut s2 = Schema::new();
+        s2.add_relation("Extra", 1).unwrap();
+        s2.add_relation("Researcher", 1).unwrap();
+        let mut other = Database::new(s2);
+        other.add_named_fact("Extra", &["zoe"]).unwrap();
+        other.add_named_fact("Researcher", &["zoe"]).unwrap();
+
+        let mut db = office_db();
+        db.absorb(&other).unwrap();
+        assert!(db.schema().relation_id("Extra").is_some());
+        let zoe = db.const_id("zoe").unwrap();
+        let researcher = db.schema().relation_id("Researcher").unwrap();
+        assert!(db.contains_fact(&Fact::new(researcher, vec![Value::Const(zoe)])));
+        assert_eq!(db.len(), 8);
+    }
+
+    #[test]
+    fn derived_empty_shares_constants() {
+        let db = office_db();
+        let derived = db.derived_empty();
+        assert!(derived.is_empty());
+        assert_eq!(derived.const_id("mary"), db.const_id("mary"));
+    }
+
+    #[test]
+    fn display_helpers() {
+        let db = office_db();
+        let has_office = db.schema().relation_id("HasOffice").unwrap();
+        let f = &db.facts()[db.facts_of(has_office)[0]];
+        assert_eq!(db.display_fact(f), "HasOffice(mary,room1)");
+    }
+}

@@ -1,0 +1,75 @@
+//! Error type for the data-model substrate.
+
+use std::fmt;
+
+/// Errors raised while constructing or manipulating schemas and databases.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataError {
+    /// A relation symbol was used that is not part of the schema.
+    UnknownRelation(String),
+    /// A fact was constructed with the wrong number of arguments for its
+    /// relation symbol.
+    ArityMismatch {
+        /// Relation symbol name.
+        relation: String,
+        /// Arity declared in the schema.
+        expected: usize,
+        /// Number of arguments supplied.
+        actual: usize,
+    },
+    /// The same relation symbol was declared twice with different arities.
+    ConflictingArity {
+        /// Relation symbol name.
+        relation: String,
+        /// First declared arity.
+        first: usize,
+        /// Conflicting arity.
+        second: usize,
+    },
+    /// A tuple of the wrong length was supplied to an operation that expects a
+    /// specific length (e.g. answer testing).
+    TupleLengthMismatch {
+        /// Expected length.
+        expected: usize,
+        /// Supplied length.
+        actual: usize,
+    },
+    /// A multi-wildcard tuple violated the canonical numbering condition
+    /// (a wildcard `*_j` with `j > 1` must be preceded by `*_{j-1}`).
+    NonCanonicalWildcards,
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::UnknownRelation(name) => {
+                write!(f, "unknown relation symbol `{name}`")
+            }
+            DataError::ArityMismatch {
+                relation,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "relation `{relation}` has arity {expected} but {actual} arguments were supplied"
+            ),
+            DataError::ConflictingArity {
+                relation,
+                first,
+                second,
+            } => write!(
+                f,
+                "relation `{relation}` declared with conflicting arities {first} and {second}"
+            ),
+            DataError::TupleLengthMismatch { expected, actual } => write!(
+                f,
+                "tuple length mismatch: expected {expected}, got {actual}"
+            ),
+            DataError::NonCanonicalWildcards => {
+                write!(f, "multi-wildcard tuple does not use canonical wildcard numbering")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DataError {}

@@ -1,0 +1,84 @@
+//! Facts: relation symbols applied to tuples of values.
+
+use crate::schema::RelId;
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+
+/// A fact `R(c₁, …, cₙ)` over a schema.
+///
+/// Facts of input databases only mention constants; facts of chased instances
+/// may also mention labelled nulls.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Fact {
+    /// The relation symbol.
+    pub rel: RelId,
+    /// The argument tuple (length = arity of `rel`).
+    pub args: Vec<Value>,
+}
+
+impl Fact {
+    /// Creates a new fact.
+    pub fn new(rel: RelId, args: Vec<Value>) -> Self {
+        Fact { rel, args }
+    }
+
+    /// Returns `true` iff the fact mentions at least one labelled null.
+    pub fn has_null(&self) -> bool {
+        self.args.iter().any(|v| v.is_null())
+    }
+
+    /// Returns `true` iff the fact mentions only constants.
+    pub fn is_ground(&self) -> bool {
+        !self.has_null()
+    }
+
+    /// Iterates over the distinct values mentioned by this fact, in first
+    /// occurrence order.
+    pub fn distinct_values(&self) -> Vec<Value> {
+        let mut seen = Vec::new();
+        for &v in &self.args {
+            if !seen.contains(&v) {
+                seen.push(v);
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::{ConstId, NullId};
+
+    #[test]
+    fn null_detection() {
+        let ground = Fact::new(
+            RelId(0),
+            vec![Value::Const(ConstId(0)), Value::Const(ConstId(1))],
+        );
+        let nully = Fact::new(
+            RelId(0),
+            vec![Value::Const(ConstId(0)), Value::Null(NullId(0))],
+        );
+        assert!(ground.is_ground());
+        assert!(!ground.has_null());
+        assert!(nully.has_null());
+        assert!(!nully.is_ground());
+    }
+
+    #[test]
+    fn distinct_values_preserves_order() {
+        let f = Fact::new(
+            RelId(1),
+            vec![
+                Value::Const(ConstId(3)),
+                Value::Const(ConstId(1)),
+                Value::Const(ConstId(3)),
+            ],
+        );
+        assert_eq!(
+            f.distinct_values(),
+            vec![Value::Const(ConstId(3)), Value::Const(ConstId(1))]
+        );
+    }
+}

@@ -1,0 +1,194 @@
+//! The Gaifman graph of a database and connectivity helpers.
+
+use crate::database::Database;
+use crate::value::Value;
+use rustc_hash::{FxHashMap, FxHashSet};
+
+/// The Gaifman graph of a database: vertices are the active-domain values and
+/// there is an edge between two values whenever they co-occur in some fact.
+#[derive(Debug, Clone, Default)]
+pub struct GaifmanGraph {
+    adjacency: FxHashMap<Value, FxHashSet<Value>>,
+}
+
+impl GaifmanGraph {
+    /// Builds the Gaifman graph of `db`.
+    pub fn of_database(db: &Database) -> Self {
+        let mut graph = GaifmanGraph::default();
+        for v in db.adom() {
+            graph.adjacency.entry(*v).or_default();
+        }
+        for fact in db.facts() {
+            let values = fact.distinct_values();
+            for (i, &a) in values.iter().enumerate() {
+                for &b in &values[i + 1..] {
+                    graph.add_edge(a, b);
+                }
+            }
+        }
+        graph
+    }
+
+    /// Adds an undirected edge.
+    pub fn add_edge(&mut self, a: Value, b: Value) {
+        if a == b {
+            self.adjacency.entry(a).or_default();
+            return;
+        }
+        self.adjacency.entry(a).or_default().insert(b);
+        self.adjacency.entry(b).or_default().insert(a);
+    }
+
+    /// Adds an isolated vertex.
+    pub fn add_vertex(&mut self, v: Value) {
+        self.adjacency.entry(v).or_default();
+    }
+
+    /// Returns the neighbours of `v`.
+    pub fn neighbours(&self, v: Value) -> impl Iterator<Item = Value> + '_ {
+        self.adjacency
+            .get(&v)
+            .into_iter()
+            .flat_map(|s| s.iter().copied())
+    }
+
+    /// Returns `true` iff `a` and `b` are adjacent.
+    pub fn adjacent(&self, a: Value, b: Value) -> bool {
+        self.adjacency
+            .get(&a)
+            .map(|s| s.contains(&b))
+            .unwrap_or(false)
+    }
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.adjacency.values().map(FxHashSet::len).sum::<usize>() / 2
+    }
+
+    /// All vertices.
+    pub fn vertices(&self) -> impl Iterator<Item = Value> + '_ {
+        self.adjacency.keys().copied()
+    }
+
+    /// Computes the connected components, each returned as a sorted vector.
+    pub fn connected_components(&self) -> Vec<Vec<Value>> {
+        let mut seen: FxHashSet<Value> = FxHashSet::default();
+        let mut components = Vec::new();
+        let mut vertices: Vec<Value> = self.adjacency.keys().copied().collect();
+        vertices.sort();
+        for start in vertices {
+            if seen.contains(&start) {
+                continue;
+            }
+            let mut component = Vec::new();
+            let mut stack = vec![start];
+            seen.insert(start);
+            while let Some(v) = stack.pop() {
+                component.push(v);
+                for n in self.neighbours(v) {
+                    if seen.insert(n) {
+                        stack.push(n);
+                    }
+                }
+            }
+            component.sort();
+            components.push(component);
+        }
+        components
+    }
+
+    /// Returns `true` iff the graph is connected (or empty).
+    pub fn is_connected(&self) -> bool {
+        self.connected_components().len() <= 1
+    }
+
+    /// Returns `true` iff the graph contains a triangle (3-clique).  Used by
+    /// the lower-bound experiments; runs in `O(Σ_v deg(v)²)`.
+    pub fn contains_triangle(&self) -> bool {
+        for (&v, neighbours) in &self.adjacency {
+            let ns: Vec<Value> = neighbours.iter().copied().collect();
+            for (i, &a) in ns.iter().enumerate() {
+                if a == v {
+                    continue;
+                }
+                for &b in &ns[i + 1..] {
+                    if b != v && self.adjacent(a, b) {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::value::ConstId;
+
+    fn v(i: u32) -> Value {
+        Value::Const(ConstId(i))
+    }
+
+    fn path_db() -> Database {
+        let mut schema = Schema::new();
+        schema.add_relation("R", 2).unwrap();
+        Database::builder(schema)
+            .fact("R", ["a", "b"])
+            .fact("R", ["b", "c"])
+            .fact("R", ["d", "e"])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn gaifman_of_database() {
+        let db = path_db();
+        let g = GaifmanGraph::of_database(&db);
+        assert_eq!(g.vertex_count(), 5);
+        assert_eq!(g.edge_count(), 3);
+        let a = Value::Const(db.const_id("a").unwrap());
+        let b = Value::Const(db.const_id("b").unwrap());
+        let c = Value::Const(db.const_id("c").unwrap());
+        assert!(g.adjacent(a, b));
+        assert!(g.adjacent(b, c));
+        assert!(!g.adjacent(a, c));
+        assert!(!g.is_connected());
+        assert_eq!(g.connected_components().len(), 2);
+    }
+
+    #[test]
+    fn triangle_detection() {
+        let mut g = GaifmanGraph::default();
+        g.add_edge(v(0), v(1));
+        g.add_edge(v(1), v(2));
+        assert!(!g.contains_triangle());
+        g.add_edge(v(2), v(0));
+        assert!(g.contains_triangle());
+    }
+
+    #[test]
+    fn self_loops_do_not_create_edges() {
+        let mut g = GaifmanGraph::default();
+        g.add_edge(v(0), v(0));
+        assert_eq!(g.vertex_count(), 1);
+        assert_eq!(g.edge_count(), 0);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn isolated_vertices_count_as_components() {
+        let mut g = GaifmanGraph::default();
+        g.add_vertex(v(0));
+        g.add_vertex(v(1));
+        g.add_edge(v(2), v(3));
+        assert_eq!(g.connected_components().len(), 3);
+    }
+}

@@ -1,0 +1,118 @@
+//! String interner mapping symbol names to dense `u32` identifiers.
+//!
+//! The RAM model of the paper assumes that constants can be stored in single
+//! registers and used as indexes into lookup tables.  Interning all symbol
+//! names (constants and relation symbols) into dense integers gives exactly
+//! that representation.
+
+use rustc_hash::FxHashMap;
+
+/// A simple append-only string interner.
+///
+/// Identifiers are dense (`0..len`) and stable for the lifetime of the
+/// interner, which makes them suitable as indexes into `Vec`-based side
+/// tables.
+#[derive(Debug, Default, Clone)]
+pub struct Interner {
+    names: Vec<String>,
+    ids: FxHashMap<String, u32>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning its identifier.  Repeated calls with the same
+    /// string return the same identifier.
+    pub fn intern(&mut self, name: &str) -> u32 {
+        if let Some(&id) = self.ids.get(name) {
+            return id;
+        }
+        let id = u32::try_from(self.names.len()).expect("interner overflow");
+        self.names.push(name.to_owned());
+        self.ids.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Looks up an already-interned string.
+    pub fn get(&self, name: &str) -> Option<u32> {
+        self.ids.get(name).copied()
+    }
+
+    /// Returns the string for `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` was not produced by this interner.
+    pub fn resolve(&self, id: u32) -> &str {
+        &self.names[id as usize]
+    }
+
+    /// Returns the string for `id`, if valid.
+    pub fn try_resolve(&self, id: u32) -> Option<&str> {
+        self.names.get(id as usize).map(String::as_str)
+    }
+
+    /// Number of interned symbols.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Returns `true` if nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over `(id, name)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i as u32, s.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut interner = Interner::new();
+        let a = interner.intern("mary");
+        let b = interner.intern("john");
+        let a2 = interner.intern("mary");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(interner.resolve(a), "mary");
+        assert_eq!(interner.resolve(b), "john");
+        assert_eq!(interner.len(), 2);
+    }
+
+    #[test]
+    fn get_without_intern() {
+        let mut interner = Interner::new();
+        assert_eq!(interner.get("x"), None);
+        let id = interner.intern("x");
+        assert_eq!(interner.get("x"), Some(id));
+        assert!(!interner.is_empty());
+    }
+
+    #[test]
+    fn ids_are_dense() {
+        let mut interner = Interner::new();
+        for i in 0..100 {
+            let id = interner.intern(&format!("c{i}"));
+            assert_eq!(id, i);
+        }
+        let collected: Vec<_> = interner.iter().map(|(id, _)| id).collect();
+        assert_eq!(collected, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn try_resolve_out_of_range() {
+        let interner = Interner::new();
+        assert_eq!(interner.try_resolve(3), None);
+    }
+}

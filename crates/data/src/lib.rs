@@ -1,0 +1,43 @@
+//! Relational data-model substrate for the OMQ enumeration library.
+//!
+//! This crate provides the "databases" half of the formal setup of
+//! *Efficiently Enumerating Answers to Ontology-Mediated Queries*
+//! (Lutz & Przybyłko, PODS 2022):
+//!
+//! * interned **constants** (the countably infinite set `C` of the paper) and
+//!   **nulls** (the set `N`), see [`Value`];
+//! * **schemas** of relation symbols with arities, see [`Schema`];
+//! * **facts** and finite **instances / databases** with hash indexes that play
+//!   the role of the RAM-model lookup tables assumed by the paper, see
+//!   [`Database`];
+//! * the **Gaifman graph** of a database and guarded sets, see [`gaifman`];
+//! * **wildcard tuples** for partial answers — both the single-wildcard variant
+//!   (`*`) and the multi-wildcard variant (`*1, *2, …`) together with their
+//!   preference orders `⪯` / `≺`, minimality filters, balls and cones, see
+//!   [`wildcard`].
+//!
+//! Everything downstream (conjunctive queries, the chase, the enumeration
+//! engines) is built on top of these types.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod database;
+pub mod error;
+pub mod fact;
+pub mod gaifman;
+pub mod interner;
+pub mod schema;
+pub mod value;
+pub mod wildcard;
+
+pub use database::{Database, DatabaseBuilder};
+pub use error::DataError;
+pub use fact::Fact;
+pub use interner::Interner;
+pub use schema::{RelId, Relation, Schema};
+pub use value::{ConstId, NullId, Value};
+pub use wildcard::{MultiTuple, MultiValue, PartialTuple, PartialValue};
+
+/// Convenient `Result` alias for fallible operations in this crate.
+pub type Result<T> = std::result::Result<T, DataError>;

@@ -1,0 +1,129 @@
+//! Domain values: constants from `C` and labelled nulls from `N`.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of an interned constant (an element of the set `C` of the
+/// paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ConstId(pub u32);
+
+/// Identifier of a labelled null (an element of the set `N` of the paper).
+///
+/// Nulls are introduced by existential quantifiers during the chase; they never
+/// occur in input databases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NullId(pub u32);
+
+/// A domain value: either a constant or a labelled null.
+///
+/// Input databases only contain [`Value::Const`]; instances produced by the
+/// chase may additionally contain [`Value::Null`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Value {
+    /// A constant from `C`.
+    Const(ConstId),
+    /// A labelled null from `N`.
+    Null(NullId),
+}
+
+impl Value {
+    /// Returns `true` iff this value is a labelled null.
+    #[inline]
+    pub fn is_null(self) -> bool {
+        matches!(self, Value::Null(_))
+    }
+
+    /// Returns `true` iff this value is a constant.
+    #[inline]
+    pub fn is_const(self) -> bool {
+        matches!(self, Value::Const(_))
+    }
+
+    /// Returns the constant identifier if this value is a constant.
+    #[inline]
+    pub fn as_const(self) -> Option<ConstId> {
+        match self {
+            Value::Const(c) => Some(c),
+            Value::Null(_) => None,
+        }
+    }
+
+    /// Returns the null identifier if this value is a null.
+    #[inline]
+    pub fn as_null(self) -> Option<NullId> {
+        match self {
+            Value::Null(n) => Some(n),
+            Value::Const(_) => None,
+        }
+    }
+}
+
+impl From<ConstId> for Value {
+    fn from(c: ConstId) -> Self {
+        Value::Const(c)
+    }
+}
+
+impl From<NullId> for Value {
+    fn from(n: NullId) -> Self {
+        Value::Null(n)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Const(ConstId(c)) => write!(f, "c{c}"),
+            Value::Null(NullId(n)) => write!(f, "⊥{n}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification() {
+        let c = Value::Const(ConstId(3));
+        let n = Value::Null(NullId(7));
+        assert!(c.is_const() && !c.is_null());
+        assert!(n.is_null() && !n.is_const());
+        assert_eq!(c.as_const(), Some(ConstId(3)));
+        assert_eq!(c.as_null(), None);
+        assert_eq!(n.as_null(), Some(NullId(7)));
+        assert_eq!(n.as_const(), None);
+    }
+
+    #[test]
+    fn ordering_separates_consts_and_nulls() {
+        // The derived order is only used for canonical sorting; it just has to
+        // be a total order.
+        let mut values = vec![
+            Value::Null(NullId(1)),
+            Value::Const(ConstId(2)),
+            Value::Const(ConstId(0)),
+            Value::Null(NullId(0)),
+        ];
+        values.sort();
+        assert_eq!(
+            values,
+            vec![
+                Value::Const(ConstId(0)),
+                Value::Const(ConstId(2)),
+                Value::Null(NullId(0)),
+                Value::Null(NullId(1)),
+            ]
+        );
+    }
+
+    #[test]
+    fn conversions() {
+        let v: Value = ConstId(5).into();
+        assert_eq!(v, Value::Const(ConstId(5)));
+        let v: Value = NullId(9).into();
+        assert_eq!(v, Value::Null(NullId(9)));
+        assert_eq!(format!("{v}"), "⊥9");
+    }
+}

@@ -1,0 +1,70 @@
+//! Quickstart: the running example of the paper (Examples 1.1 and 2.2).
+//!
+//! Run with `cargo run --example quickstart`.
+
+use omq::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The ontology: every researcher has an office, offices are offices, and
+    // every office is in some building.
+    let ontology = Ontology::parse(
+        "Researcher(x) -> exists y. HasOffice(x, y)\n\
+         HasOffice(x, y) -> Office(y)\n\
+         Office(x) -> exists y. InBuilding(x, y)",
+    )?;
+    let query = ConjunctiveQuery::parse(
+        "q(x1, x2, x3) :- HasOffice(x1, x2), InBuilding(x2, x3)",
+    )?;
+    let omq = OntologyMediatedQuery::new(ontology, query)?;
+    println!("ontology is guarded: {}", omq.is_guarded());
+    println!("ontology is ELI:     {}", omq.is_eli());
+    println!("query classification: {:?}", omq.classify());
+
+    // The database of Example 1.1: mike has no listed office, john's office
+    // has no listed building.
+    let db = Database::builder(omq.data_schema().clone())
+        .fact("Researcher", ["mary"])
+        .fact("Researcher", ["john"])
+        .fact("Researcher", ["mike"])
+        .fact("HasOffice", ["mary", "room1"])
+        .fact("HasOffice", ["john", "room4"])
+        .fact("InBuilding", ["room1", "main1"])
+        .build()?;
+
+    // Linear-time preprocessing: the query-directed chase.
+    let engine = OmqEngine::preprocess(&omq, &db)?;
+    println!(
+        "\npreprocessing: {} input facts -> {} chased facts in {} µs",
+        engine.stats().input_facts,
+        engine.stats().chased_facts,
+        engine.stats().chase_micros
+    );
+
+    println!("\ncomplete (certain) answers:");
+    for answer in engine.enumerate_complete()? {
+        println!("  {}", engine.format_complete(&answer));
+    }
+
+    println!("\nminimal partial answers (single wildcard, Algorithm 1):");
+    for answer in engine.enumerate_minimal_partial()? {
+        println!("  {}", engine.format_partial(&answer));
+    }
+
+    println!("\nminimal partial answers with multi-wildcards (Algorithm 2):");
+    for answer in engine.enumerate_minimal_partial_multi()? {
+        println!("  {}", engine.format_multi(&answer));
+    }
+
+    // Single-testing (Theorem 3.1).
+    println!("\nsingle tests:");
+    println!(
+        "  (mary, room1, main1) complete?  {}",
+        engine.test_complete_names(&["mary", "room1", "main1"])?
+    );
+    let candidate = engine.parse_partial(&["john", "room4", "*"])?;
+    println!(
+        "  (john, room4, *) minimal partial?  {}",
+        engine.test_minimal_partial(&candidate)?
+    );
+    Ok(())
+}

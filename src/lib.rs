@@ -1,0 +1,107 @@
+//! # omq — efficiently enumerating answers to ontology-mediated queries
+//!
+//! A Rust implementation of *Efficiently Enumerating Answers to
+//! Ontology-Mediated Queries* (Carsten Lutz, Marcin Przybyłko, PODS 2022).
+//!
+//! An **ontology-mediated query** (OMQ) `Q = (O, S, q)` pairs a conjunctive
+//! query `q` with an ontology `O` — here a set of guarded tuple-generating
+//! dependencies (TGDs) or an ELI description-logic ontology — that injects
+//! domain knowledge when querying incomplete data.  This crate provides:
+//!
+//! * **complete (certain) answers**: single-testing in linear time,
+//!   all-testing with constant-time tests, and enumeration with linear-time
+//!   preprocessing and constant delay for acyclic, free-connex acyclic OMQs;
+//! * **minimal partial answers**: answers that may contain the wildcard `*`
+//!   (or multi-wildcards `*1, *2, …`) standing for objects whose existence is
+//!   implied by the ontology but whose identity is unknown — enumerated with
+//!   linear-time preprocessing and constant delay (Algorithms 1 and 2 of the
+//!   paper);
+//! * all the substrates required along the way: a relational data model with
+//!   RAM-style indexes, conjunctive-query machinery (join trees, acyclicity
+//!   notions), the chase, the query-directed chase, and a linear-time Horn
+//!   minimal-model solver.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use omq::prelude::*;
+//!
+//! // The running example of the paper (Example 1.1).
+//! let ontology = Ontology::parse(
+//!     "Researcher(x) -> exists y. HasOffice(x, y)\n\
+//!      HasOffice(x, y) -> Office(y)\n\
+//!      Office(x) -> exists y. InBuilding(x, y)",
+//! )?;
+//! let query = ConjunctiveQuery::parse(
+//!     "q(x1, x2, x3) :- HasOffice(x1, x2), InBuilding(x2, x3)",
+//! )?;
+//! let omq = OntologyMediatedQuery::new(ontology, query)?;
+//!
+//! let db = Database::builder(omq.data_schema().clone())
+//!     .fact("Researcher", ["mary"])
+//!     .fact("Researcher", ["john"])
+//!     .fact("Researcher", ["mike"])
+//!     .fact("HasOffice", ["mary", "room1"])
+//!     .fact("HasOffice", ["john", "room4"])
+//!     .fact("InBuilding", ["room1", "main1"])
+//!     .build()?;
+//!
+//! // Linear-time preprocessing (query-directed chase), then constant-delay
+//! // enumeration.
+//! let engine = OmqEngine::preprocess(&omq, &db)?;
+//! let complete = engine.enumerate_complete()?;
+//! assert_eq!(complete.len(), 1);
+//!
+//! let partial = engine.enumerate_minimal_partial()?;
+//! let rendered: Vec<String> = partial.iter().map(|t| engine.format_partial(t)).collect();
+//! assert_eq!(partial.len(), 3); // (mary,room1,main1), (john,room4,*), (mike,*,*)
+//! # let _ = rendered;
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! experimental validation of the paper's theorems.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use omq_chase as chase;
+pub use omq_core as core;
+pub use omq_cq as cq;
+pub use omq_data as data;
+
+/// The most commonly used types, re-exported for convenient glob imports.
+pub mod prelude {
+    pub use omq_chase::{
+        chase, query_directed_chase, ChaseConfig, Ontology, OntologyMediatedQuery, QchaseConfig,
+        Tgd,
+    };
+    pub use omq_core::{
+        all_testing::AllTester, baseline::BruteForce, single_testing, EngineConfig, OmqEngine,
+        PartialEnumerator, PreprocessStats,
+    };
+    pub use omq_cq::{acyclicity::AcyclicityReport, Atom, ConjunctiveQuery, Term, VarId};
+    pub use omq_data::{
+        ConstId, Database, Fact, MultiTuple, MultiValue, NullId, PartialTuple, PartialValue,
+        RelId, Schema, Value,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn facade_reexports_work_together() {
+        let ontology = Ontology::parse("A(x) -> exists y. R(x, y)").unwrap();
+        let query = ConjunctiveQuery::parse("q(x, y) :- R(x, y)").unwrap();
+        let omq = OntologyMediatedQuery::new(ontology, query).unwrap();
+        let db = Database::builder(omq.data_schema().clone())
+            .fact("A", ["a"])
+            .build()
+            .unwrap();
+        let engine = OmqEngine::preprocess(&omq, &db).unwrap();
+        assert!(engine.enumerate_complete().unwrap().is_empty());
+        assert_eq!(engine.enumerate_minimal_partial().unwrap().len(), 1);
+    }
+}

@@ -1,0 +1,186 @@
+//! Randomised integration tests: the constant-delay engines must agree with
+//! the brute-force chase-and-join baseline on every evaluation mode.
+
+use omq::prelude::*;
+use omq_bench::generators::{university, UniversityConfig};
+use std::collections::BTreeSet;
+
+fn render_partial(answers: &[PartialTuple], db: &Database) -> BTreeSet<String> {
+    answers
+        .iter()
+        .map(|t| t.display_with(|c| db.const_name(c).to_owned()))
+        .collect()
+}
+
+fn render_multi(answers: &[MultiTuple], db: &Database) -> BTreeSet<String> {
+    answers
+        .iter()
+        .map(|t| t.display_with(|c| db.const_name(c).to_owned()))
+        .collect()
+}
+
+fn render_complete(answers: &[Vec<Value>], db: &Database) -> BTreeSet<String> {
+    answers
+        .iter()
+        .map(|a| {
+            let names: Vec<&str> = a
+                .iter()
+                .map(|v| match v {
+                    Value::Const(c) => db.const_name(*c),
+                    Value::Null(_) => "<null>",
+                })
+                .collect();
+            format!("({})", names.join(","))
+        })
+        .collect()
+}
+
+fn check_workload(config: &UniversityConfig) {
+    let (omq, db) = university(config);
+    let engine = OmqEngine::preprocess(&omq, &db).expect("guarded OMQ");
+    let brute = BruteForce::new(&omq, &db, &ChaseConfig::default()).expect("chase runs");
+
+    // Complete answers.
+    let fast_complete: BTreeSet<String> = engine
+        .enumerate_complete()
+        .unwrap()
+        .iter()
+        .map(|a| engine.format_complete(a))
+        .collect();
+    let slow_complete = render_complete(&brute.complete_answers(), &brute.chased);
+    assert_eq!(fast_complete, slow_complete, "complete answers, {config:?}");
+
+    // Minimal partial answers.
+    let fast_partial: BTreeSet<String> = engine
+        .enumerate_minimal_partial()
+        .unwrap()
+        .iter()
+        .map(|t| engine.format_partial(t))
+        .collect();
+    let slow_partial = render_partial(&brute.minimal_partial(), &brute.chased);
+    assert_eq!(fast_partial, slow_partial, "partial answers, {config:?}");
+
+    // Multi-wildcard answers.
+    let fast_multi: BTreeSet<String> = engine
+        .enumerate_minimal_partial_multi()
+        .unwrap()
+        .iter()
+        .map(|t| engine.format_multi(t))
+        .collect();
+    let slow_multi = render_multi(&brute.minimal_partial_multi(), &brute.chased);
+    assert_eq!(fast_multi, slow_multi, "multi answers, {config:?}");
+
+    // All-testing agrees with the enumerated complete answers, and
+    // single-testing accepts exactly the enumerated minimal partial answers
+    // among a small candidate pool.
+    let tester = engine.all_tester().unwrap();
+    for answer in engine.enumerate_complete().unwrap().iter().take(50) {
+        let values: Vec<Value> = answer.iter().map(|&c| Value::Const(c)).collect();
+        assert!(tester.test(&values).unwrap());
+    }
+    for answer in engine.enumerate_minimal_partial().unwrap().iter().take(50) {
+        assert!(engine.test_minimal_partial(answer).unwrap());
+    }
+    for answer in engine
+        .enumerate_minimal_partial_multi()
+        .unwrap()
+        .iter()
+        .take(50)
+    {
+        assert!(engine.test_minimal_partial_multi(answer).unwrap());
+    }
+}
+
+#[test]
+fn small_workloads_all_modes_agree() {
+    for seed in 0..4u64 {
+        check_workload(&UniversityConfig {
+            researchers: 30,
+            office_ratio: 0.6,
+            building_ratio: 0.5,
+            buildings: 4,
+            seed,
+        });
+    }
+}
+
+#[test]
+fn fully_complete_data_has_no_wildcards() {
+    let config = UniversityConfig {
+        researchers: 40,
+        office_ratio: 1.0,
+        building_ratio: 1.0,
+        buildings: 3,
+        seed: 11,
+    };
+    let (omq, db) = university(&config);
+    let engine = OmqEngine::preprocess(&omq, &db).unwrap();
+    let partial = engine.enumerate_minimal_partial().unwrap();
+    assert!(partial.iter().all(PartialTuple::is_complete));
+    assert_eq!(
+        partial.len(),
+        engine.enumerate_complete().unwrap().len()
+    );
+    check_workload(&config);
+}
+
+#[test]
+fn fully_incomplete_data_is_all_wildcards() {
+    let config = UniversityConfig {
+        researchers: 25,
+        office_ratio: 0.0,
+        building_ratio: 0.0,
+        buildings: 2,
+        seed: 3,
+    };
+    let (omq, db) = university(&config);
+    let engine = OmqEngine::preprocess(&omq, &db).unwrap();
+    assert!(engine.enumerate_complete().unwrap().is_empty());
+    let partial = engine.enumerate_minimal_partial().unwrap();
+    // One answer per researcher, with both the office and the building
+    // anonymous.
+    assert_eq!(partial.len(), 25);
+    assert!(partial.iter().all(|t| t.star_count() == 2));
+    check_workload(&config);
+}
+
+#[test]
+fn star_shaped_query_with_shared_nulls() {
+    // A query with three atoms sharing the answer variable x; the OfficeMate
+    // style ontology introduces shared nulls, exercising multi-wildcard
+    // minimality.
+    let ontology = Ontology::parse(
+        "Seed(x) -> exists y. R(x, y), S(x, y)\n\
+         Seed(x) -> exists z. T(x, z)",
+    )
+    .unwrap();
+    let query =
+        ConjunctiveQuery::parse("q(x, a, b, c) :- R(x, a), S(x, b), T(x, c)").unwrap();
+    let omq = OntologyMediatedQuery::new(ontology, query).unwrap();
+    let db = Database::builder(omq.data_schema().clone())
+        .fact("Seed", ["s1"])
+        .fact("Seed", ["s2"])
+        .fact("R", ["s2", "r"])
+        .build()
+        .unwrap();
+    let engine = OmqEngine::preprocess(&omq, &db).unwrap();
+    let brute = BruteForce::new(&omq, &db, &ChaseConfig::default()).unwrap();
+    assert_eq!(
+        engine
+            .enumerate_minimal_partial_multi()
+            .unwrap()
+            .iter()
+            .map(|t| engine.format_multi(t))
+            .collect::<BTreeSet<_>>(),
+        render_multi(&brute.minimal_partial_multi(), &brute.chased)
+    );
+    assert_eq!(
+        engine
+            .enumerate_minimal_partial()
+            .unwrap()
+            .iter()
+            .map(|t| engine.format_partial(t))
+            .collect::<BTreeSet<_>>(),
+        render_partial(&brute.minimal_partial(), &brute.chased)
+    );
+}
