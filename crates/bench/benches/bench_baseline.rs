@@ -16,18 +16,26 @@ fn bench_baseline(c: &mut Criterion) {
             researchers,
             ..Default::default()
         });
-        group.bench_with_input(BenchmarkId::new("engine_partial", researchers), &researchers, |b, _| {
-            b.iter(|| {
-                let engine = OmqEngine::preprocess(&omq, &db).expect("guarded OMQ");
-                engine.enumerate_minimal_partial().expect("tractable").len()
-            });
-        });
-        group.bench_with_input(BenchmarkId::new("baseline_partial", researchers), &researchers, |b, _| {
-            b.iter(|| {
-                let brute = BruteForce::new(&omq, &db, &ChaseConfig::default()).expect("chase");
-                brute.minimal_partial().len()
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("engine_partial", researchers),
+            &researchers,
+            |b, _| {
+                b.iter(|| {
+                    let engine = OmqEngine::preprocess(&omq, &db).expect("guarded OMQ");
+                    engine.enumerate_minimal_partial().expect("tractable").len()
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("baseline_partial", researchers),
+            &researchers,
+            |b, _| {
+                b.iter(|| {
+                    let brute = BruteForce::new(&omq, &db, &ChaseConfig::default()).expect("chase");
+                    brute.minimal_partial().len()
+                });
+            },
+        );
     }
     group.finish();
 }

@@ -22,12 +22,9 @@ fn bench_bmm(c: &mut Criterion) {
         let db = reductions::bmm_database(&m1, &m2);
         group.bench_with_input(BenchmarkId::new("free_connex_variant", n), &n, |b, _| {
             b.iter(|| {
-                let structure = omq_core::FreeConnexStructure::build(
-                    &reductions::bmm_full_query(),
-                    &db,
-                    false,
-                )
-                .expect("free-connex query");
+                let structure =
+                    omq_core::FreeConnexStructure::build(&reductions::bmm_full_query(), &db, false)
+                        .expect("free-connex query");
                 omq_core::collect_answers(&structure).len()
             });
         });

@@ -18,9 +18,13 @@ fn bench_triangle(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("via_omq", n), &n, |b, _| {
             b.iter(|| reductions::has_triangle_via_omq(&graph));
         });
-        group.bench_with_input(BenchmarkId::new("weakly_acyclic_single_test", n), &n, |b, _| {
-            b.iter(|| reductions::single_test_workload(&reductions::path_omq(), &graph));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("weakly_acyclic_single_test", n),
+            &n,
+            |b, _| {
+                b.iter(|| reductions::single_test_workload(&reductions::path_omq(), &graph));
+            },
+        );
     }
     group.finish();
 }

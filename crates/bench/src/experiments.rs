@@ -363,7 +363,13 @@ pub fn e7_triangle(quick: bool) -> Table {
     let sizes: Vec<(usize, usize)> = if quick {
         vec![(64, 192), (128, 384), (256, 768)]
     } else {
-        vec![(128, 384), (256, 768), (512, 1536), (1024, 3072), (2048, 6144)]
+        vec![
+            (128, 384),
+            (256, 768),
+            (512, 1536),
+            (1024, 3072),
+            (2048, 6144),
+        ]
     };
     for (i, (n, m)) in sizes.into_iter().enumerate() {
         // Alternate between general graphs and triangle-free graphs.
@@ -570,7 +576,11 @@ pub fn e11_ablation(quick: bool) -> Table {
             "depth 4 facts",
         ],
     );
-    let sizes = if quick { vec![500, 1_000] } else { vec![1_000, 4_000, 16_000] };
+    let sizes = if quick {
+        vec![500, 1_000]
+    } else {
+        vec![1_000, 4_000, 16_000]
+    };
     for researchers in sizes {
         let (omq, db) = university(&UniversityConfig {
             researchers,

@@ -171,10 +171,7 @@ impl SparseMatrix {
         }
         let mut ones: Vec<(u32, u32)> = ones.into_iter().collect();
         ones.sort_unstable();
-        SparseMatrix {
-            n: self.n,
-            ones,
-        }
+        SparseMatrix { n: self.n, ones }
     }
 }
 

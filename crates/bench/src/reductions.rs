@@ -19,9 +19,9 @@
 
 use crate::generators::{EdgeList, SparseMatrix};
 use omq_chase::{Ontology, OntologyMediatedQuery};
+use omq_core::single_testing;
 use omq_cq::ConjunctiveQuery;
 use omq_data::{Database, PartialTuple, PartialValue, Schema, Value};
-use omq_core::single_testing;
 
 /// The OMQ of the Theorem 3.6(1) construction: the ontology creates an
 /// anonymous triangle below every edge, and the query asks for a triangle.
@@ -111,8 +111,15 @@ pub fn has_triangle_direct(graph: &EdgeList) -> bool {
     }
     for &(a, b) in &graph.edges {
         let (na, nb) = (&adjacency[&a], &adjacency[&b]);
-        let (small, large) = if na.len() <= nb.len() { (na, nb) } else { (nb, na) };
-        if small.iter().any(|c| *c != a && *c != b && large.contains(c)) {
+        let (small, large) = if na.len() <= nb.len() {
+            (na, nb)
+        } else {
+            (nb, na)
+        };
+        if small
+            .iter()
+            .any(|c| *c != a && *c != b && large.contains(c))
+        {
             return true;
         }
     }
@@ -275,4 +282,3 @@ mod tests {
         let _ = single_test_workload(&triangle_omq(), &graph);
     }
 }
-

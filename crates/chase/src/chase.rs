@@ -86,8 +86,7 @@ pub fn chase(db: &Database, ontology: &Ontology, config: &ChaseConfig) -> Result
                 HomSearch::new(body_query, &result).find_all(&Assignment::default())
             };
             for hom in triggers {
-                let mut key: Vec<(u32, Value)> =
-                    hom.iter().map(|(v, val)| (v.0, *val)).collect();
+                let mut key: Vec<(u32, Value)> = hom.iter().map(|(v, val)| (v.0, *val)).collect();
                 key.sort_unstable();
                 if applied.contains(&(tgd_idx, key.clone())) {
                     continue;
@@ -173,11 +172,7 @@ pub fn satisfies(db: &Database, ontology: &Ontology) -> bool {
         for hom in triggers {
             // Restrict the trigger to the frontier: the head must be
             // satisfiable with the frontier fixed.
-            let frontier: Assignment = tgd
-                .frontier()
-                .into_iter()
-                .map(|v| (v, hom[&v]))
-                .collect();
+            let frontier: Assignment = tgd.frontier().into_iter().map(|v| (v, hom[&v])).collect();
             if !head_search.exists(&frontier) {
                 return false;
             }
@@ -256,10 +251,7 @@ mod tests {
         let result = chase(&db, &ontology, &ChaseConfig::with_depth(3)).unwrap();
         assert!(result.truncated);
         // Depth bound 3: nulls at depth 1, 2, 3 exist.
-        assert_eq!(
-            result.null_depth.values().copied().max().unwrap_or(0),
-            3
-        );
+        assert_eq!(result.null_depth.values().copied().max().unwrap_or(0), 3);
     }
 
     #[test]

@@ -73,11 +73,7 @@ impl HornFormula {
     /// bound refers to.
     pub fn size(&self) -> usize {
         self.facts.len()
-            + self
-                .rules
-                .iter()
-                .map(|(b, _)| b.len() + 1)
-                .sum::<usize>()
+            + self.rules.iter().map(|(b, _)| b.len() + 1).sum::<usize>()
             + self.goals.iter().map(Vec::len).sum::<usize>()
     }
 
@@ -125,10 +121,7 @@ impl HornFormula {
     /// has its whole body true in the minimal model.
     pub fn is_satisfiable(&self) -> bool {
         let model = self.minimal_model();
-        !self
-            .goals
-            .iter()
-            .any(|body| body.iter().all(|&v| model[v]))
+        !self.goals.iter().any(|body| body.iter().all(|&v| model[v]))
     }
 }
 

@@ -146,8 +146,7 @@ mod tests {
         let query = ConjunctiveQuery::parse("q(x) :- R(x, y)").unwrap();
         let mut data_schema = Schema::new();
         data_schema.add_relation("A", 1).unwrap();
-        let omq =
-            OntologyMediatedQuery::with_data_schema(ontology, data_schema, query).unwrap();
+        let omq = OntologyMediatedQuery::with_data_schema(ontology, data_schema, query).unwrap();
         assert!(omq.data_schema().relation_id("R").is_none());
         assert!(omq.full_schema().relation_id("R").is_some());
     }

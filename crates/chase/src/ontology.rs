@@ -170,10 +170,8 @@ mod tests {
 
     #[test]
     fn guardedness_and_eli_classification() {
-        let mixed = Ontology::parse(
-            "R(x, y), S(y, z) -> T(x, z)\nA(x) -> exists y. R(x, y)",
-        )
-        .unwrap();
+        let mixed =
+            Ontology::parse("R(x, y), S(y, z) -> T(x, z)\nA(x) -> exists y. R(x, y)").unwrap();
         assert!(!mixed.is_guarded());
         assert!(!mixed.is_eli());
         assert!(mixed.first_unguarded().is_some());

@@ -250,11 +250,8 @@ fn sorted_values(args: &[Value]) -> Vec<Value> {
 /// ordering of the bag domain used by the signature.
 fn bag_signature(db: &Database, values: &[Value]) -> (BagSignature, Vec<Value>) {
     let ordering: Vec<Value> = values.to_vec();
-    let index: FxHashMap<Value, usize> = ordering
-        .iter()
-        .enumerate()
-        .map(|(i, &v)| (v, i))
-        .collect();
+    let index: FxHashMap<Value, usize> =
+        ordering.iter().enumerate().map(|(i, &v)| (v, i)).collect();
     let keep: FxHashSet<Value> = ordering.iter().copied().collect();
     let mut signature: BagSignature = Vec::new();
     // Collect the facts over the bag domain via the value index of the
@@ -286,11 +283,8 @@ fn derive_ground(
     let keep: FxHashSet<Value> = ordering.iter().copied().collect();
     let bag = db.restrict_to(&keep);
     let chased = chase(&bag, ontology, config)?;
-    let index: FxHashMap<Value, usize> = ordering
-        .iter()
-        .enumerate()
-        .map(|(i, &v)| (v, i))
-        .collect();
+    let index: FxHashMap<Value, usize> =
+        ordering.iter().enumerate().map(|(i, &v)| (v, i)).collect();
     let mut out = Vec::new();
     for fact in chased.database.facts() {
         if fact.is_ground() && fact.args.iter().all(|a| index.contains_key(a)) {
@@ -319,11 +313,8 @@ fn derive_template(
     let keep: FxHashSet<Value> = ordering.iter().copied().collect();
     let bag = db.restrict_to(&keep);
     let chased = chase(&bag, ontology, config)?;
-    let index: FxHashMap<Value, usize> = ordering
-        .iter()
-        .enumerate()
-        .map(|(i, &v)| (v, i))
-        .collect();
+    let index: FxHashMap<Value, usize> =
+        ordering.iter().enumerate().map(|(i, &v)| (v, i)).collect();
     let mut null_ids: FxHashMap<NullId, usize> = FxHashMap::default();
     let mut out: GraftTemplate = Vec::new();
     for fact in chased.database.facts() {
@@ -402,10 +393,7 @@ mod tests {
         let d0 = &q.database;
         // Original facts are preserved.
         for fact in db.facts() {
-            let rel = d0
-                .schema()
-                .relation_id(db.schema().name(fact.rel))
-                .unwrap();
+            let rel = d0.schema().relation_id(db.schema().name(fact.rel)).unwrap();
             let args: Vec<Value> = fact
                 .args
                 .iter()

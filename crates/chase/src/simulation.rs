@@ -87,27 +87,33 @@ pub fn greatest_simulation(from: &Database, to: &Database) -> FxHashSet<(Value, 
         let mut to_remove: Vec<(Value, Value)> = Vec::new();
         for &(c, d) in &simulation {
             // Condition 2: every outgoing edge of c must be matched from d.
-            let ok_out = out_edges.get(&c).map(Vec::as_slice).unwrap_or(&[]).iter().all(
-                |&(name, c2)| {
+            let ok_out = out_edges
+                .get(&c)
+                .map(Vec::as_slice)
+                .unwrap_or(&[])
+                .iter()
+                .all(|&(name, c2)| {
                     to_out
                         .get(&(name, d))
                         .map(Vec::as_slice)
                         .unwrap_or(&[])
                         .iter()
                         .any(|&d2| simulation.contains(&(c2, d2)))
-                },
-            );
+                });
             // Condition 3: every incoming edge of c must be matched into d.
-            let ok_in = in_edges.get(&c).map(Vec::as_slice).unwrap_or(&[]).iter().all(
-                |&(name, c2)| {
+            let ok_in = in_edges
+                .get(&c)
+                .map(Vec::as_slice)
+                .unwrap_or(&[])
+                .iter()
+                .all(|&(name, c2)| {
                     to_in
                         .get(&(name, d))
                         .map(Vec::as_slice)
                         .unwrap_or(&[])
                         .iter()
                         .any(|&d2| simulation.contains(&(c2, d2)))
-                },
-            );
+                });
             if !ok_out || !ok_in {
                 to_remove.push((c, d));
             }
@@ -167,10 +173,20 @@ mod tests {
             .fact("R", ["c", "c"])
             .build()
             .unwrap();
-        assert!(simulates(&path, value(&path, "a"), &cycle, value(&cycle, "c")));
+        assert!(simulates(
+            &path,
+            value(&path, "a"),
+            &cycle,
+            value(&cycle, "c")
+        ));
         // The cycle does NOT simulate into the path: c has an outgoing edge
         // from its successor, b does not.
-        assert!(!simulates(&cycle, value(&cycle, "c"), &path, value(&path, "a")));
+        assert!(!simulates(
+            &cycle,
+            value(&cycle, "c"),
+            &path,
+            value(&path, "a")
+        ));
     }
 
     #[test]
@@ -180,9 +196,22 @@ mod tests {
             .fact("B", ["a"])
             .build()
             .unwrap();
-        let other = Database::builder(schema()).fact("A", ["b"]).build().unwrap();
-        assert!(!simulates(&one, value(&one, "a"), &other, value(&other, "b")));
-        assert!(simulates(&other, value(&other, "b"), &one, value(&one, "a")));
+        let other = Database::builder(schema())
+            .fact("A", ["b"])
+            .build()
+            .unwrap();
+        assert!(!simulates(
+            &one,
+            value(&one, "a"),
+            &other,
+            value(&other, "b")
+        ));
+        assert!(simulates(
+            &other,
+            value(&other, "b"),
+            &one,
+            value(&one, "a")
+        ));
     }
 
     #[test]
@@ -192,7 +221,10 @@ mod tests {
             .fact("A", ["a"])
             .build()
             .unwrap();
-        let without = Database::builder(schema()).fact("A", ["b"]).build().unwrap();
+        let without = Database::builder(schema())
+            .fact("A", ["b"])
+            .build()
+            .unwrap();
         assert!(!simulates(
             &with_incoming,
             value(&with_incoming, "a"),
@@ -230,10 +262,10 @@ mod tests {
         ] {
             let q = ConjunctiveQuery::parse(text).unwrap();
             let x = q.var_id("x").unwrap();
-            let holds_in_d1 = homomorphism::HomSearch::new(&q, &d1)
-                .exists(&[(x, c1)].into_iter().collect());
-            let holds_in_d2 = homomorphism::HomSearch::new(&q, &d2)
-                .exists(&[(x, c2)].into_iter().collect());
+            let holds_in_d1 =
+                homomorphism::HomSearch::new(&q, &d1).exists(&[(x, c1)].into_iter().collect());
+            let holds_in_d2 =
+                homomorphism::HomSearch::new(&q, &d2).exists(&[(x, c2)].into_iter().collect());
             if holds_in_d1 {
                 assert!(holds_in_d2, "ELI query {text} not preserved");
             }

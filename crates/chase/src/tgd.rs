@@ -118,7 +118,9 @@ impl Tgd {
             .map(remap_atom)
             .collect();
         if head.is_empty() {
-            return Err(ChaseError::Parse(format!("TGD has an empty head: `{text}`")));
+            return Err(ChaseError::Parse(format!(
+                "TGD has an empty head: `{text}`"
+            )));
         }
         Ok(Tgd { vars, body, head })
     }

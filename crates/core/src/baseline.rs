@@ -70,11 +70,7 @@ pub struct BruteForce {
 
 impl BruteForce {
     /// Chases `db` with the OMQ's ontology using `config`.
-    pub fn new(
-        omq: &OntologyMediatedQuery,
-        db: &Database,
-        config: &ChaseConfig,
-    ) -> Result<Self> {
+    pub fn new(omq: &OntologyMediatedQuery, db: &Database, config: &ChaseConfig) -> Result<Self> {
         let result = chase(db, omq.ontology(), config)?;
         Ok(BruteForce {
             query: omq.query().clone(),
@@ -176,7 +172,10 @@ mod tests {
         let partial = cq_minimal_partial(&q, &db);
         // (a,b) is minimal; (a,*) is dominated by it.
         assert_eq!(partial.len(), 1);
-        assert_eq!(partial[0].0[1], PartialValue::Const(db.const_id("b").unwrap()));
+        assert_eq!(
+            partial[0].0[1],
+            PartialValue::Const(db.const_id("b").unwrap())
+        );
         let complete = cq_complete_answers(&q, &db);
         assert_eq!(complete.len(), 1);
     }

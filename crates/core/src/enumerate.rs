@@ -181,7 +181,11 @@ impl Iterator for AnswerIter<'_> {
                 if done {
                     return None;
                 }
-                let produced = if started { self.advance() } else { self.descend(0) };
+                let produced = if started {
+                    self.advance()
+                } else {
+                    self.descend(0)
+                };
                 self.state = IterState::Running {
                     started: true,
                     done: !produced,

@@ -294,7 +294,7 @@ mod tests {
         let changed = r_ext.semijoin(&s_ext);
         assert!(changed);
         assert_eq!(r_ext.len(), 1); // only R(a,b) joins with S(b,e)
-        // Semijoin is idempotent.
+                                    // Semijoin is idempotent.
         assert!(!r_ext.semijoin(&s_ext));
     }
 

@@ -136,11 +136,10 @@ fn strictly_above(tuple: &MultiTuple) -> Vec<MultiTuple> {
         // only if all its positions carry the same value in `tuple`
         // (condition (2) of the order).
         for partition in set_partitions(&wild_positions) {
-            if !partition.iter().all(|block| {
-                block
-                    .iter()
-                    .all(|&i| tuple.0[i] == tuple.0[block[0]])
-            }) {
+            if !partition
+                .iter()
+                .all(|block| block.iter().all(|&i| tuple.0[i] == tuple.0[block[0]]))
+            {
                 continue;
             }
             let mut values: Vec<MultiValue> = tuple.0.clone();
@@ -303,10 +302,7 @@ mod tests {
         let through_ball = MultiTuple(vec![Const(c), Const(cprime), Wild(1), Wild(2)]);
         assert!(answers.contains(&through_cone), "answers: {answers:?}");
         assert!(answers.contains(&through_ball), "answers: {answers:?}");
-        check_against_oracle(
-            "q(x0, x1, x2, x3) :- R(x0, x1), S(x0, x2), T(x0, x3)",
-            &db,
-        );
+        check_against_oracle("q(x0, x1, x2, x3) :- R(x0, x1), S(x0, x2), T(x0, x3)", &db);
     }
 
     #[test]

@@ -345,8 +345,7 @@ mod tests {
         // Multi-wildcard versions (Example 2.2): same three shapes, with
         // distinct wildcards for mike.
         let multi = engine.enumerate_minimal_partial_multi().unwrap();
-        let rendered: FxHashSet<String> =
-            multi.iter().map(|t| engine.format_multi(t)).collect();
+        let rendered: FxHashSet<String> = multi.iter().map(|t| engine.format_multi(t)).collect();
         assert_eq!(
             rendered,
             ["(mary,room1,main1)", "(john,room4,*1)", "(mike,*1,*2)"]
@@ -425,9 +424,8 @@ mod tests {
     fn agrees_with_brute_force_baseline() {
         let (omq, db) = office();
         let engine = OmqEngine::preprocess(&omq, &db).unwrap();
-        let brute =
-            crate::baseline::BruteForce::new(&omq, &db, &omq_chase::ChaseConfig::default())
-                .unwrap();
+        let brute = crate::baseline::BruteForce::new(&omq, &db, &omq_chase::ChaseConfig::default())
+            .unwrap();
         // Complete answers coincide (compare by rendered names to be robust
         // against different constant interning).
         let fast: FxHashSet<String> = engine

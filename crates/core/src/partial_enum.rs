@@ -77,11 +77,7 @@ impl PartialEnumerator {
 
     /// The `nextat` helper: the first pre-order position `≥ from` whose node
     /// has an unassigned variable, or `None` for "end of atoms".
-    fn next_open(
-        &self,
-        from: usize,
-        assignment: &FxHashMap<VarId, PartialValue>,
-    ) -> Option<usize> {
+    fn next_open(&self, from: usize, assignment: &FxHashMap<VarId, PartialValue>) -> Option<usize> {
         (from..self.structure.preorder.len()).find(|&pos| {
             let node = self.structure.preorder[pos];
             self.structure.nodes[node]
@@ -116,9 +112,8 @@ impl PartialEnumerator {
         // constants at this point (a wildcard predecessor would have forced
         // this node into its parent's progress tree, leaving no variable
         // open).
-        let mut pred_binding: Vec<Value> = Vec::with_capacity(
-            self.structure.nodes[node].pred_vars.len(),
-        );
+        let mut pred_binding: Vec<Value> =
+            Vec::with_capacity(self.structure.nodes[node].pred_vars.len());
         for v in &self.structure.nodes[node].pred_vars {
             match assignment.get(v) {
                 Some(PartialValue::Const(c)) => pred_binding.push(Value::Const(*c)),
@@ -167,10 +162,8 @@ impl PartialEnumerator {
         let mut removals: Vec<ProgressTree> = Vec::new();
         for (root, nodes, vars) in self.index.subtrees() {
             // Base pattern: the output restricted to the subtree's variables.
-            let base: Vec<(VarId, PartialValue)> = vars
-                .iter()
-                .map(|v| (*v, assignment[v]))
-                .collect();
+            let base: Vec<(VarId, PartialValue)> =
+                vars.iter().map(|v| (*v, assignment[v])).collect();
             // Predecessor variables of the subtree root must stay non-wildcard
             // (condition (1) of progress trees), so only the other constant
             // positions may be weakened.
@@ -234,7 +227,11 @@ mod tests {
             fast_set, oracle_set,
             "answer sets differ for {query_text}: fast={fast:?} oracle={oracle:?}"
         );
-        assert_eq!(fast_set.len(), fast.len(), "duplicate answers for {query_text}");
+        assert_eq!(
+            fast_set.len(),
+            fast.len(),
+            "duplicate answers for {query_text}"
+        );
     }
 
     /// A chase-like database: constants a,b,c,d,e and a few nulls attached to
@@ -291,8 +288,7 @@ mod tests {
         // a: complete chain a-b-c; d: chain ending in a null; f: fully
         // anonymous chain.
         assert_eq!(answers.len(), 3);
-        let mut star_counts: Vec<usize> =
-            answers.iter().map(PartialTuple::star_count).collect();
+        let mut star_counts: Vec<usize> = answers.iter().map(PartialTuple::star_count).collect();
         star_counts.sort_unstable();
         assert_eq!(star_counts, vec![0, 1, 2]);
     }
@@ -319,10 +315,7 @@ mod tests {
     #[test]
     fn disconnected_query_products() {
         let db = chaselike_db();
-        for text in [
-            "q(x, y) :- A(x), R(y, w)",
-            "q(x, u, v) :- A(x), S(u, v)",
-        ] {
+        for text in ["q(x, y) :- A(x), R(y, w)", "q(x, u, v) :- A(x), S(u, v)"] {
             check_against_oracle(text, &db);
         }
     }

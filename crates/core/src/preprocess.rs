@@ -193,9 +193,9 @@ impl FreeConnexStructure {
         for (i, p) in protos.iter().enumerate() {
             hypergraph.add_edge(i, p.vars.iter().copied());
         }
-        let t1 = hypergraph.gyo().ok_or_else(|| {
-            CoreError::Internal("q1 hypergraph unexpectedly cyclic".to_owned())
-        })?;
+        let t1 = hypergraph
+            .gyo()
+            .ok_or_else(|| CoreError::Internal("q1 hypergraph unexpectedly cyclic".to_owned()))?;
         // Root at the node with the largest variable set (any root is valid).
         let root = (0..protos.len())
             .max_by_key(|&i| protos[i].vars.len())

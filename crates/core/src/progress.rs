@@ -163,10 +163,7 @@ impl ProgressIndex {
                         pattern,
                     };
                     if seen.insert(tree.clone()) {
-                        per_list
-                            .entry((node, pred.clone()))
-                            .or_default()
-                            .push(tree);
+                        per_list.entry((node, pred.clone())).or_default().push(tree);
                     }
                 }
             }
@@ -214,9 +211,7 @@ impl ProgressIndex {
 
     /// The list id for `(node, predecessor binding)`, if any tree exists.
     pub fn list_for(&self, node: usize, pred_binding: &[Value]) -> Option<usize> {
-        self.list_ids
-            .get(&(node, pred_binding.to_vec()))
-            .copied()
+        self.list_ids.get(&(node, pred_binding.to_vec())).copied()
     }
 
     /// The first live entry of a list.

@@ -193,10 +193,8 @@ fn identified_query(
     }
     let group_list: Vec<Vec<VarId>> = groups.values().cloned().collect();
     let identified = query.identify_vars(&group_list);
-    let representatives: FxHashMap<u32, VarId> = groups
-        .iter()
-        .map(|(w, members)| (*w, members[0]))
-        .collect();
+    let representatives: FxHashMap<u32, VarId> =
+        groups.iter().map(|(w, members)| (*w, members[0])).collect();
     let fixed: Assignment = fixed_by_var.into_iter().collect();
     Some((identified, representatives, fixed))
 }
@@ -299,7 +297,9 @@ mod oracle {
     use crate::baseline;
 
     pub fn minimal_partial(query: &ConjunctiveQuery, d0: &Database) -> FxHashSet<PartialTuple> {
-        baseline::cq_minimal_partial(query, d0).into_iter().collect()
+        baseline::cq_minimal_partial(query, d0)
+            .into_iter()
+            .collect()
     }
 
     pub fn minimal_partial_multi(query: &ConjunctiveQuery, d0: &Database) -> FxHashSet<MultiTuple> {

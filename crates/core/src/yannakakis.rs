@@ -21,8 +21,8 @@ pub fn boolean_holds_acyclic(query: &ConjunctiveQuery, db: &Database) -> Result<
     if query.atoms().is_empty() {
         return Ok(true);
     }
-    let tree = acyclicity::join_tree(query)
-        .ok_or_else(|| CoreError::NotAcyclic(query.to_string()))?;
+    let tree =
+        acyclicity::join_tree(query).ok_or_else(|| CoreError::NotAcyclic(query.to_string()))?;
     let mut extensions: Vec<Extension> = query
         .atoms()
         .iter()

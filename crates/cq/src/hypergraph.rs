@@ -35,7 +35,10 @@ impl Hypergraph {
 
     /// The vertex set of the hypergraph.
     pub fn vertices(&self) -> BTreeSet<VarId> {
-        self.edges.iter().flat_map(|(_, vs)| vs.iter().copied()).collect()
+        self.edges
+            .iter()
+            .flat_map(|(_, vs)| vs.iter().copied())
+            .collect()
     }
 
     /// Runs the GYO reduction.  Returns a join tree if the hypergraph is
@@ -268,12 +271,7 @@ impl JoinTree {
             return false;
         }
         // Must be a tree: connected with n-1 edges.
-        let edge_count: usize = self
-            .adjacency
-            .values()
-            .map(Vec::len)
-            .sum::<usize>()
-            / 2;
+        let edge_count: usize = self.adjacency.values().map(Vec::len).sum::<usize>() / 2;
         if !self.nodes.is_empty()
             && (edge_count != self.nodes.len() - 1 || self.components().len() != 1)
         {

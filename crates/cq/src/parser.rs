@@ -76,7 +76,9 @@ fn parse_term_spec(spec: &str) -> Result<RawTerm> {
         return Err(CqError::Parse("empty term".to_owned()));
     }
     let bytes = spec.as_bytes();
-    if (bytes[0] == b'\'' || bytes[0] == b'"') && bytes.len() >= 2 && bytes[bytes.len() - 1] == bytes[0]
+    if (bytes[0] == b'\'' || bytes[0] == b'"')
+        && bytes.len() >= 2
+        && bytes[bytes.len() - 1] == bytes[0]
     {
         return Ok(RawTerm::Const(spec[1..spec.len() - 1].to_owned()));
     }
@@ -90,7 +92,10 @@ fn is_identifier(s: &str) -> bool {
     !s.is_empty()
         && s.chars()
             .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '\'')
-        && s.chars().next().map(|c| c.is_ascii_alphabetic() || c == '_').unwrap_or(false)
+        && s.chars()
+            .next()
+            .map(|c| c.is_ascii_alphabetic() || c == '_')
+            .unwrap_or(false)
 }
 
 /// Parses `Name(arg, arg, ...)` into the name and the raw argument strings.
@@ -104,7 +109,9 @@ fn parse_predicate(spec: &str) -> Result<(String, Vec<String>)> {
     }
     let name = spec[..open].trim();
     if name.is_empty() || !is_identifier(name) {
-        return Err(CqError::Parse(format!("invalid predicate name in `{spec}`")));
+        return Err(CqError::Parse(format!(
+            "invalid predicate name in `{spec}`"
+        )));
     }
     let inner = spec[open + 1..spec.len() - 1].trim();
     let args = if inner.is_empty() {

@@ -189,9 +189,7 @@ impl ConjunctiveQuery {
         let body: FxHashSet<VarId> = self.body_vars().into_iter().collect();
         for &v in &self.answer_vars {
             if !body.contains(&v) {
-                return Err(CqError::UnboundAnswerVariable(
-                    self.var_name(v).to_owned(),
-                ));
+                return Err(CqError::UnboundAnswerVariable(self.var_name(v).to_owned()));
             }
         }
         self.relations().map(|_| ())
@@ -383,17 +381,13 @@ impl ConjunctiveQuery {
             // then the rest.
             for &pos in &answer_positions {
                 let av = self.answer_vars[pos];
-                let id = *remap
-                    .entry(av)
-                    .or_insert_with(|| q.var(self.var_name(av)));
+                let id = *remap.entry(av).or_insert_with(|| q.var(self.var_name(av)));
                 q.push_answer_var(id);
             }
             for &ai in &atom_indices {
                 let mapped = self.atoms[ai].map_terms(|t| match t {
                     Term::Var(v) => {
-                        let id = *remap
-                            .entry(*v)
-                            .or_insert_with(|| q.var(self.var_name(*v)));
+                        let id = *remap.entry(*v).or_insert_with(|| q.var(self.var_name(*v)));
                         Term::Var(id)
                     }
                     c => c.clone(),
@@ -434,11 +428,7 @@ impl ConjunctiveQuery {
 
 impl fmt::Display for ConjunctiveQuery {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let head_args: Vec<&str> = self
-            .answer_vars
-            .iter()
-            .map(|&v| self.var_name(v))
-            .collect();
+        let head_args: Vec<&str> = self.answer_vars.iter().map(|&v| self.var_name(v)).collect();
         write!(f, "{}({}) :- ", self.name, head_args.join(", "))?;
         let atoms: Vec<String> = self
             .atoms

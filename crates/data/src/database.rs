@@ -468,7 +468,10 @@ mod tests {
         assert_eq!(all.len(), 2);
         let none = db.facts_matching(
             has_office,
-            &[Some(john), Some(Value::Const(db.const_id("room1").unwrap()))],
+            &[
+                Some(john),
+                Some(Value::Const(db.const_id("room1").unwrap())),
+            ],
         );
         assert!(none.is_empty());
     }

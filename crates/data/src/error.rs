@@ -66,7 +66,10 @@ impl fmt::Display for DataError {
                 "tuple length mismatch: expected {expected}, got {actual}"
             ),
             DataError::NonCanonicalWildcards => {
-                write!(f, "multi-wildcard tuple does not use canonical wildcard numbering")
+                write!(
+                    f,
+                    "multi-wildcard tuple does not use canonical wildcard numbering"
+                )
             }
         }
     }

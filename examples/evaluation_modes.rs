@@ -14,10 +14,8 @@ fn build_workload(researchers: usize) -> (OntologyMediatedQuery, Database) {
          Office(x) -> exists y. InBuilding(x, y)",
     )
     .expect("static ontology");
-    let query = ConjunctiveQuery::parse(
-        "q(x1, x2, x3) :- HasOffice(x1, x2), InBuilding(x2, x3)",
-    )
-    .expect("static query");
+    let query = ConjunctiveQuery::parse("q(x1, x2, x3) :- HasOffice(x1, x2), InBuilding(x2, x3)")
+        .expect("static query");
     let omq = OntologyMediatedQuery::new(ontology, query).expect("well-formed OMQ");
     let mut db = Database::new(omq.data_schema().clone());
     for i in 0..researchers {

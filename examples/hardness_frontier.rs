@@ -61,6 +61,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let product = m1.multiply(&m2);
     let via_enum = reductions::multiply_via_enumeration(&m1, &m2);
     println!("\nBMM reduction on 64x64 sparse matrices:");
-    println!("  |M1·M2| = {} ones, enumeration agrees: {}", product.ones.len(), product.ones == via_enum.ones);
+    println!(
+        "  |M1·M2| = {} ones, enumeration agrees: {}",
+        product.ones.len(),
+        product.ones == via_enum.ones
+    );
     Ok(())
 }

@@ -12,9 +12,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          HasOffice(x, y) -> Office(y)\n\
          Office(x) -> exists y. InBuilding(x, y)",
     )?;
-    let query = ConjunctiveQuery::parse(
-        "q(x1, x2, x3) :- HasOffice(x1, x2), InBuilding(x2, x3)",
-    )?;
+    let query = ConjunctiveQuery::parse("q(x1, x2, x3) :- HasOffice(x1, x2), InBuilding(x2, x3)")?;
     let omq = OntologyMediatedQuery::new(ontology, query)?;
     println!("ontology is guarded: {}", omq.is_guarded());
     println!("ontology is ELI:     {}", omq.is_eli());

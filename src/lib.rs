@@ -82,8 +82,8 @@ pub mod prelude {
     };
     pub use omq_cq::{acyclicity::AcyclicityReport, Atom, ConjunctiveQuery, Term, VarId};
     pub use omq_data::{
-        ConstId, Database, Fact, MultiTuple, MultiValue, NullId, PartialTuple, PartialValue,
-        RelId, Schema, Value,
+        ConstId, Database, Fact, MultiTuple, MultiValue, NullId, PartialTuple, PartialValue, RelId,
+        Schema, Value,
     };
 }
 

@@ -117,10 +117,7 @@ fn fully_complete_data_has_no_wildcards() {
     let engine = OmqEngine::preprocess(&omq, &db).unwrap();
     let partial = engine.enumerate_minimal_partial().unwrap();
     assert!(partial.iter().all(PartialTuple::is_complete));
-    assert_eq!(
-        partial.len(),
-        engine.enumerate_complete().unwrap().len()
-    );
+    assert_eq!(partial.len(), engine.enumerate_complete().unwrap().len());
     check_workload(&config);
 }
 
@@ -154,8 +151,7 @@ fn star_shaped_query_with_shared_nulls() {
          Seed(x) -> exists z. T(x, z)",
     )
     .unwrap();
-    let query =
-        ConjunctiveQuery::parse("q(x, a, b, c) :- R(x, a), S(x, b), T(x, c)").unwrap();
+    let query = ConjunctiveQuery::parse("q(x, a, b, c) :- R(x, a), S(x, b), T(x, c)").unwrap();
     let omq = OntologyMediatedQuery::new(ontology, query).unwrap();
     let db = Database::builder(omq.data_schema().clone())
         .fact("Seed", ["s1"])

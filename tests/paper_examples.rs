@@ -195,12 +195,9 @@ fn example_3_5_self_join_free_rewriting() {
     )
     .unwrap();
     let query2 = ConjunctiveQuery::parse("q(x, y, z) :- R1(x, y), R2(y, z)").unwrap();
-    let omq2 = OntologyMediatedQuery::with_data_schema(
-        ontology2,
-        omq.data_schema().clone(),
-        query2,
-    )
-    .unwrap();
+    let omq2 =
+        OntologyMediatedQuery::with_data_schema(ontology2, omq.data_schema().clone(), query2)
+            .unwrap();
     assert!(omq2.query().is_self_join_free());
 
     let db = Database::builder(omq.data_schema().clone())
@@ -229,8 +226,7 @@ fn example_3_5_self_join_free_rewriting() {
 /// query — the triangle exists below every A-element.
 #[test]
 fn example_c_6_guarded_triangle_is_easy() {
-    let ontology =
-        Ontology::parse("A(x) -> exists y, z. R(x, y), S(y, z), T(z, x)").unwrap();
+    let ontology = Ontology::parse("A(x) -> exists y, z. R(x, y), S(y, z), T(z, x)").unwrap();
     let query = ConjunctiveQuery::parse("q(x) :- R(x, y), S(y, z), T(z, x)").unwrap();
     let omq = OntologyMediatedQuery::new(ontology, query).unwrap();
     assert!(!omq.classify().acyclic);
@@ -251,10 +247,7 @@ fn example_c_6_guarded_triangle_is_easy() {
 /// answers.
 #[test]
 fn disconnected_queries_are_supported() {
-    let ontology = Ontology::parse(
-        "A1(x) -> A2(x)\nB1(x) -> B2(x)\nC1(x) -> C2(x)",
-    )
-    .unwrap();
+    let ontology = Ontology::parse("A1(x) -> A2(x)\nB1(x) -> B2(x)\nC1(x) -> C2(x)").unwrap();
     let query = ConjunctiveQuery::parse(
         "q(x1, y1, x2, y2, z2) :- L(x1, y1), A1(x1), A2(x2), B2(y2), C2(z2)",
     )

@@ -1,0 +1,262 @@
+//! Offline stub of the `criterion` benchmarking crate.
+//!
+//! Implements the subset of the criterion 0.5 API that the `omq-bench`
+//! benchmark targets use: [`criterion_group!`] / [`criterion_main!`],
+//! [`Criterion::benchmark_group`], group configuration
+//! (`sample_size`, `measurement_time`, `warm_up_time`, `throughput`),
+//! [`BenchmarkId`] and [`Bencher::iter`]. Each benchmark really runs and a
+//! mean wall-clock time per iteration is printed; there are no statistics,
+//! baselines, or HTML reports.
+//!
+//! Passing `--quick-stub` (or setting `OMQ_BENCH_QUICK=1`) caps every
+//! measurement at one sample so that `cargo test --benches` stays fast.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimiser from discarding a value. Mirrors
+/// `criterion::black_box`.
+#[inline]
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// The benchmark manager: entry point handed to every benchmark function.
+pub struct Criterion {
+    quick: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let quick = std::env::args().any(|a| a == "--quick-stub")
+            || std::env::var_os("OMQ_BENCH_QUICK").is_some();
+        Criterion { quick }
+    }
+}
+
+impl Criterion {
+    /// Parses command-line configuration. The stub only recognises
+    /// `--quick-stub`; everything else (criterion's own flags, the filter
+    /// positional argument) is accepted and ignored.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\nbenchmark group: {name}");
+        let quick = self.quick;
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 10,
+            measurement_time: Duration::from_secs(1),
+            warm_up_time: Duration::from_millis(100),
+            quick,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function(&mut self, id: impl Into<String>, mut f: impl FnMut(&mut Bencher)) {
+        let mut group = self.benchmark_group(id.into());
+        group.bench_with_input(BenchmarkId::from_parameter("default"), &(), |b, _| f(b));
+        group.finish();
+    }
+}
+
+/// Identifies one benchmark within a group, optionally parameterised.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter, rendered `name/param`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id carrying only a parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Throughput annotation for a measurement; recorded and echoed, not charted.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Number of logical elements processed per iteration.
+    Elements(u64),
+    /// Number of bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    quick: bool,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Caps the total time spent measuring one benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Caps the time spent warming up before measuring.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Declares the per-iteration throughput of subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        match t {
+            Throughput::Elements(n) => println!("  throughput: {n} elements/iter"),
+            Throughput::Bytes(n) => println!("  throughput: {n} bytes/iter"),
+        }
+        self
+    }
+
+    /// Benchmarks `f` with the given input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let (samples, measurement, warm_up) = if self.quick {
+            (1, Duration::ZERO, Duration::ZERO)
+        } else {
+            (self.sample_size, self.measurement_time, self.warm_up_time)
+        };
+        let mut bencher = Bencher {
+            samples,
+            measurement,
+            warm_up,
+            iterations: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher, input);
+        let mean = if bencher.iterations == 0 {
+            Duration::ZERO
+        } else {
+            bencher.elapsed / bencher.iterations
+        };
+        println!(
+            "  {}/{}: {:>12.3?} per iter ({} iterations)",
+            self.name, id.id, mean, bencher.iterations
+        );
+        self
+    }
+
+    /// Benchmarks `f` without an input value.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        self.bench_with_input(BenchmarkId::from_parameter(id.into()), &(), |b, _| f(b))
+    }
+
+    /// Ends the group. (The stub has no deferred reporting; this is a no-op
+    /// kept for API compatibility.)
+    pub fn finish(&mut self) {}
+}
+
+/// Drives the timed iterations of one benchmark.
+pub struct Bencher {
+    samples: usize,
+    measurement: Duration,
+    warm_up: Duration,
+    iterations: u32,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly — a warm-up phase, then up to
+    /// `sample_size` timed iterations bounded by the measurement time — and
+    /// records the total elapsed time.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let warm_up_deadline = Instant::now() + self.warm_up;
+        loop {
+            black_box(routine());
+            if Instant::now() >= warm_up_deadline {
+                break;
+            }
+        }
+        let started = Instant::now();
+        let deadline = started + self.measurement;
+        for done in 0..self.samples {
+            black_box(routine());
+            self.iterations += 1;
+            if done + 1 < self.samples && Instant::now() >= deadline {
+                break;
+            }
+        }
+        self.elapsed += started.elapsed();
+    }
+}
+
+/// Declares a benchmark group function, mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $config.configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main` function, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_run_and_measure() {
+        let mut c = Criterion { quick: true };
+        let mut group = c.benchmark_group("stub");
+        group.sample_size(3);
+        let mut runs = 0u32;
+        group.bench_with_input(BenchmarkId::new("count", 1), &(), |b, _| {
+            b.iter(|| runs += 1);
+        });
+        group.finish();
+        assert!(runs >= 1);
+    }
+}

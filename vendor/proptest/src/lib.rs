@@ -1,0 +1,90 @@
+//! Offline stub of the `proptest` property-testing crate.
+//!
+//! Implements the subset of the proptest 1.x API used by this workspace's
+//! property tests:
+//!
+//! * the [`Strategy`] trait with `prop_map` and `boxed`, implemented for
+//!   half-open integer ranges, 2- and 3-tuples of strategies, and [`Just`];
+//! * `prop::collection::vec` with both exact and ranged sizes;
+//! * the [`proptest!`], [`prop_oneof!`], [`prop_assert!`] and
+//!   [`prop_assert_eq!`] macros;
+//! * [`ProptestConfig`] (`with_cases`) and a deterministic test runner.
+//!
+//! Differences from the real crate: case generation is seeded from the test
+//! name (fully reproducible, no `PROPTEST_*` environment handling), and a
+//! failing case is reported as-generated — there is **no shrinking**.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// The admissible sizes of a generated collection.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(exact: usize) -> Self {
+            SizeRange {
+                lo: exact,
+                hi: exact + 1,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(range: Range<usize>) -> Self {
+            assert!(range.start < range.end, "empty size range");
+            SizeRange {
+                lo: range.start,
+                hi: range.end,
+            }
+        }
+    }
+
+    /// A strategy producing `Vec`s of values drawn from `element`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Creates a strategy generating vectors whose length lies in `size` and
+    /// whose elements are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.usize_in(self.size.lo, self.size.hi);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// The most commonly used items, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Namespace alias mirroring `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}

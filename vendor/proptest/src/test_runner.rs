@@ -1,0 +1,256 @@
+//! Runner configuration, error type, and the deterministic RNG.
+
+use std::fmt;
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A failed property-test assertion.
+#[derive(Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Creates a failure carrying `message`.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Deterministic RNG driving case generation (splitmix64 seeded by hashing
+/// the test name, so every test has its own reproducible stream).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator whose stream is a pure function of `name`.
+    pub fn deterministic(name: &str) -> Self {
+        // FNV-1a over the test name gives a stable, well-mixed seed.
+        let mut seed = 0xcbf2_9ce4_8422_2325u64;
+        for byte in name.bytes() {
+            seed ^= byte as u64;
+            seed = seed.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng { state: seed }
+    }
+
+    /// Returns the next 64 random bits (splitmix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `lo..hi` (half-open; `hi` must exceed `lo`).
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "empty range");
+        let span = (hi - lo) as u64;
+        lo + (((self.next_u64() as u128 * span as u128) >> 64) as usize)
+    }
+}
+
+/// Runs `cases` samples of a property, panicking on the first failure.
+///
+/// This is the engine behind the [`crate::proptest!`] macro; it is public so
+/// that generated code can call it.
+pub fn run_cases(
+    name: &str,
+    config: &ProptestConfig,
+    mut case: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+) {
+    let mut rng = TestRng::deterministic(name);
+    for index in 0..config.cases {
+        if let Err(error) = case(&mut rng) {
+            panic!("property `{name}` failed on case {index}: {error}");
+        }
+    }
+}
+
+/// Property-test declaration macro mirroring `proptest::proptest!`.
+///
+/// Supports an optional leading `#![proptest_config(expr)]` followed by any
+/// number of `#[test] fn name(pat in strategy, ...) { ... }` items. Bodies
+/// may use `prop_assert*!` and `return Ok(())` exactly as with the real
+/// crate.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($config:expr)
+      $( $(#[$meta:meta])*
+         fn $name:ident ( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block
+      )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $config;
+                $crate::test_runner::run_cases(
+                    stringify!($name),
+                    &config,
+                    |__rng| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $(
+                            let $arg = $crate::strategy::Strategy::sample(&($strategy), __rng);
+                        )+
+                        $body
+                        ::std::result::Result::Ok(())
+                    },
+                );
+            }
+        )*
+    };
+}
+
+/// Uniform choice among strategies, mirroring `proptest::prop_oneof!`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( $crate::strategy::Strategy::boxed($strategy) ),+
+        ])
+    };
+}
+
+/// Assertion returning a [`TestCaseError`], mirroring
+/// `proptest::prop_assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Equality assertion, mirroring `proptest::prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), left, right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("{}\n  left: {:?}\n right: {:?}", format!($($fmt)+), left, right),
+            ));
+        }
+    }};
+}
+
+/// Inequality assertion, mirroring `proptest::prop_assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 0..10usize, y in 5u32..7) {
+            prop_assert!(x < 10);
+            prop_assert!((5..7).contains(&y));
+        }
+
+        #[test]
+        fn map_oneof_and_vec_compose(
+            values in crate::collection::vec(
+                prop_oneof![(0..3usize).prop_map(|v| v * 2), Just(99usize)],
+                1..5,
+            )
+        ) {
+            prop_assert!(!values.is_empty() && values.len() < 5);
+            for v in values {
+                prop_assert!(v == 99 || (v % 2 == 0 && v <= 4), "bad value {v}");
+            }
+        }
+
+        #[test]
+        fn early_return_is_supported(x in 0..100u64) {
+            if x > 1000 {
+                return Ok(());
+            }
+            prop_assert_eq!(x, x);
+            prop_assert_ne!(x + 1, x);
+        }
+    }
+
+    // Declared without `#[test]` so it is not collected; the should_panic
+    // test below drives it by hand.
+    proptest! {
+        fn always_fails(x in 0..5u32) {
+            prop_assert!(x > 100, "x was {}", x);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property `always_fails` failed on case 0")]
+    fn failures_panic_with_case_number() {
+        always_fails();
+    }
+}

@@ -1,0 +1,20 @@
+//! Offline stub of the `serde` crate.
+//!
+//! Exposes `Serialize` and `Deserialize` in both the trait and the derive
+//! macro namespace, exactly like the real crate with the `derive` feature, so
+//! `use serde::{Deserialize, Serialize};` followed by
+//! `#[derive(Serialize, Deserialize)]` compiles unchanged. The derives emit
+//! no impls (see `vendor/README.md`).
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`.
+///
+/// The stub derive does not implement it; it exists so that generic code can
+/// name the bound.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,21 @@
+//! Offline stub of `serde_derive`.
+//!
+//! The derive macros accept the same surface syntax as the real crate —
+//! including `#[serde(...)]` helper attributes such as `#[serde(skip)]` — but
+//! emit no trait impls. They exist so that `#[derive(Serialize, Deserialize)]`
+//! annotations across the workspace compile without network access; nothing in
+//! the workspace serialises values yet.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
