@@ -1,4 +1,5 @@
-//! The experiment harness: regenerates every table of EXPERIMENTS.md.
+//! The experiment harness: regenerates every table of EXPERIMENTS.md and
+//! writes machine-readable `BENCH_<exp>.json` reports.
 //!
 //! Usage:
 //!
@@ -6,18 +7,45 @@
 //! cargo run -p omq-bench --bin harness --release                # full suite
 //! cargo run -p omq-bench --bin harness --release -- --quick     # smaller sizes
 //! cargo run -p omq-bench --bin harness --release -- E3 E5       # selected experiments
+//! cargo run -p omq-bench --bin harness --release -- --json-dir out E12
+//! cargo run -p omq-bench --bin harness --release -- --no-json   # tables only
 //! ```
+//!
+//! One `BENCH_<exp>.json` file is written per experiment (default directory:
+//! the working directory), carrying the table cells plus the experiment's
+//! summary metrics, so the performance trajectory can be tracked by tooling.
 
-use omq_bench::experiments;
+use omq_bench::{experiments, report};
+use std::path::PathBuf;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick" || a == "-q");
-    let selected: Vec<String> = args
-        .iter()
-        .filter(|a| !a.starts_with('-'))
-        .cloned()
-        .collect();
+    let no_json = args.iter().any(|a| a == "--no-json");
+    let mut json_dir = PathBuf::from(".");
+    let mut selected: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--json-dir" => {
+                i += 1;
+                match args.get(i) {
+                    Some(dir) => json_dir = PathBuf::from(dir),
+                    None => {
+                        eprintln!("--json-dir requires a directory argument");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--quick" | "-q" | "--no-json" => {}
+            a if a.starts_with('-') => {
+                eprintln!("unknown flag `{a}` (expected --quick/-q, --no-json, --json-dir DIR)");
+                std::process::exit(2);
+            }
+            a => selected.push(a.to_owned()),
+        }
+        i += 1;
+    }
 
     let tables = if selected.is_empty() {
         experiments::run_all(quick)
@@ -27,14 +55,28 @@ fn main() {
             .filter_map(|id| {
                 let table = experiments::run_experiment(id, quick);
                 if table.is_none() {
-                    eprintln!("unknown experiment `{id}` (expected E1..E11)");
+                    eprintln!("unknown experiment `{id}` (expected E1..E12)");
                 }
                 table
             })
             .collect()
     };
 
-    for table in tables {
+    for table in &tables {
         println!("{}", table.render());
+    }
+
+    if !no_json {
+        match report::write_json_reports(&tables, &json_dir) {
+            Ok(written) => {
+                for path in written {
+                    eprintln!("wrote {}", path.display());
+                }
+            }
+            Err(e) => {
+                eprintln!("failed to write JSON reports: {e}");
+                std::process::exit(1);
+            }
+        }
     }
 }

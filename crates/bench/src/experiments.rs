@@ -1,8 +1,9 @@
-//! The experiment suite (E1–E11) and its table output.
+//! The experiment suite (E1–E12) and its table output.
 //!
-//! Every experiment returns a [`Table`]; the harness binary prints them and
-//! `EXPERIMENTS.md` records a reference run together with the paper claim the
-//! experiment validates.
+//! Every experiment returns a [`Table`]; the harness binary prints them,
+//! writes the machine-readable `BENCH_<exp>.json` counterparts (see
+//! [`crate::report`]), and `EXPERIMENTS.md` records a reference run together
+//! with the paper claim the experiment validates.
 
 use crate::generators::{
     random_bipartite_graph, random_graph, sparse_boolean_matrix, university, UniversityConfig,
@@ -10,7 +11,7 @@ use crate::generators::{
 use crate::measure::{linear_fit, measure_stream, DelayStats};
 use crate::reductions;
 use omq_chase::{ChaseConfig, QchaseConfig};
-use omq_core::{baseline::BruteForce, EngineConfig, OmqEngine};
+use omq_core::{baseline::BruteForce, EngineConfig, OmqEngine, QueryPlan};
 use omq_cq::acyclicity::AcyclicityReport;
 use omq_cq::ConjunctiveQuery;
 use std::time::Instant;
@@ -26,20 +27,30 @@ pub struct Table {
     pub headers: Vec<String>,
     /// Rows.
     pub rows: Vec<Vec<String>>,
+    /// Summary scalars exported to the JSON report (name → value).
+    pub metrics: Vec<(String, f64)>,
 }
 
 impl Table {
-    fn new(id: &str, title: &str, headers: &[&str]) -> Self {
+    /// Creates an empty table.
+    pub fn new(id: &str, title: &str, headers: &[&str]) -> Self {
         Table {
             id: id.to_owned(),
             title: title.to_owned(),
             headers: headers.iter().map(|s| (*s).to_owned()).collect(),
             rows: Vec::new(),
+            metrics: Vec::new(),
         }
     }
 
-    fn push_row(&mut self, row: Vec<String>) {
+    /// Appends a row.
+    pub fn push_row(&mut self, row: Vec<String>) {
         self.rows.push(row);
+    }
+
+    /// Records a summary scalar for the JSON report.
+    pub fn push_metric(&mut self, name: &str, value: f64) {
+        self.metrics.push((name.to_owned(), value));
     }
 
     /// Renders the table as aligned plain text.
@@ -636,6 +647,232 @@ pub fn e11_ablation(quick: bool) -> Table {
     table
 }
 
+/// Reference enumerator for E12: the pre-refactor per-answer loop, walking
+/// the hash index (`FxHashMap<Tuple, Vec<usize>>`) of every node with a
+/// hash-map variable assignment, instead of the dense CSR parent joins.
+fn enumerate_via_hash_index(
+    structure: &omq_core::FreeConnexStructure,
+    tick: &mut dyn FnMut(&rustc_hash::FxHashMap<omq_cq::VarId, omq_data::Value>),
+) {
+    use omq_cq::VarId;
+    use omq_data::Value;
+    use rustc_hash::FxHashMap;
+    if structure.boolean_satisfiable == Some(true) {
+        tick(&FxHashMap::default());
+        return;
+    }
+    if structure.empty || structure.boolean_satisfiable.is_some() {
+        return;
+    }
+    fn go(
+        structure: &omq_core::FreeConnexStructure,
+        depth: usize,
+        assignment: &mut FxHashMap<VarId, Value>,
+        tick: &mut dyn FnMut(&FxHashMap<VarId, Value>),
+    ) {
+        if depth == structure.preorder.len() {
+            tick(assignment);
+            return;
+        }
+        let node = structure.preorder[depth];
+        let node_data = &structure.nodes[node];
+        let key: Vec<Value> = node_data.pred_vars.iter().map(|v| assignment[v]).collect();
+        let Some(candidates) = node_data.index.get(&key) else {
+            return;
+        };
+        for &tuple_idx in candidates {
+            let tuple = &node_data.extension.tuples[tuple_idx];
+            let mut newly_bound: Vec<VarId> = Vec::new();
+            for (pos, &var) in node_data.extension.vars.iter().enumerate() {
+                if let std::collections::hash_map::Entry::Vacant(e) = assignment.entry(var) {
+                    e.insert(tuple[pos]);
+                    newly_bound.push(var);
+                }
+            }
+            go(structure, depth + 1, assignment, tick);
+            for var in newly_bound {
+                assignment.remove(&var);
+            }
+        }
+    }
+    let mut assignment = FxHashMap::default();
+    go(structure, 0, &mut assignment, tick);
+}
+
+/// E12 — the plan/instance split: plan-reuse amortisation (one compiled
+/// `QueryPlan` executed over many databases, chase memo shared) and the
+/// delay distributions of the columnar (dense CSR) enumeration loop versus
+/// the old hash-index loop.  Also cross-checks, per database, that the plan
+/// path agrees answer-for-answer with a fresh per-database engine.
+pub fn e12_plan_columnar(quick: bool) -> Table {
+    let mut table = Table::new(
+        "E12",
+        "Plan reuse amortisation and columnar-vs-hash per-answer delay",
+        &[
+            "researchers",
+            "|D| facts",
+            "plan exec µs",
+            "fresh engine µs",
+            "memo hits",
+            "answers",
+            "dense mean ns",
+            "dense p99 ns",
+            "hash mean ns",
+            "partial mean ns",
+            "answers equal",
+        ],
+    );
+    let (omq, _) = university(&UniversityConfig {
+        researchers: 1,
+        ..Default::default()
+    });
+    let compile_start = Instant::now();
+    let plan = QueryPlan::compile(&omq).expect("guarded OMQ");
+    let compile_micros = compile_start.elapsed().as_micros() as f64;
+
+    let mut facts_axis: Vec<f64> = Vec::new();
+    let mut dense_means: Vec<f64> = Vec::new();
+    let mut exec_micros_total = 0f64;
+    let mut fresh_micros_total = 0f64;
+    for researchers in university_sizes(quick) {
+        let (_, db) = university(&UniversityConfig {
+            researchers,
+            ..Default::default()
+        });
+        let facts = db.len();
+        // Fresh per-database engine: recompiles the plan and starts with a
+        // cold chase memo every time.
+        let start = Instant::now();
+        let engine = OmqEngine::preprocess(&omq, &db).expect("guarded OMQ");
+        let fresh_micros = start.elapsed().as_micros();
+        // The compiled plan: query artefacts and chase memo amortised.
+        let start = Instant::now();
+        let instance = plan.execute(&db).expect("guarded OMQ");
+        let exec_micros = start.elapsed().as_micros();
+        exec_micros_total += exec_micros as f64;
+        fresh_micros_total += fresh_micros as f64;
+
+        // Delay distribution of the dense columnar enumeration loop.
+        let dense = measure_stream(
+            || instance.complete_structure().expect("tractable query"),
+            |structure, tick| {
+                for _ in omq_core::AnswerIter::new(structure) {
+                    tick();
+                }
+            },
+        );
+        // The same answers through the old hash-index loop.
+        let hash = measure_stream(
+            || instance.complete_structure().expect("tractable query"),
+            |structure, tick| {
+                enumerate_via_hash_index(structure, &mut |_| tick());
+            },
+        );
+        // Minimal partial answers through the dense Algorithm 1 loop.
+        let partial = measure_stream(
+            || Some(instance.partial_enumerator().expect("tractable query")),
+            |enumerator, tick| {
+                enumerator
+                    .take()
+                    .expect("enumerator built in preprocessing")
+                    .enumerate(|_| tick())
+                    .expect("tractable query");
+            },
+        );
+
+        // Answer-for-answer agreement of the plan path with the fresh
+        // engine, on all three semantics (multi-wildcards only at the
+        // smaller sizes to keep the experiment's runtime bounded).
+        let mut equal = plan_agrees_with_engine(&instance, &engine, researchers <= 1_000);
+        equal &= dense.answers == hash.answers;
+
+        facts_axis.push(facts as f64);
+        dense_means.push(dense.mean_delay_nanos as f64);
+        table.push_row(vec![
+            researchers.to_string(),
+            facts.to_string(),
+            exec_micros.to_string(),
+            fresh_micros.to_string(),
+            instance.stats().memo_hits.to_string(),
+            dense.answers.to_string(),
+            dense.mean_delay_nanos.to_string(),
+            dense.p99_delay_nanos.to_string(),
+            hash.mean_delay_nanos.to_string(),
+            partial.mean_delay_nanos.to_string(),
+            equal.to_string(),
+        ]);
+    }
+    let (delay_slope, _) = linear_fit(&facts_axis, &dense_means);
+    table.push_metric("plan_compile_micros", compile_micros);
+    table.push_metric("plan_exec_micros_total", exec_micros_total);
+    table.push_metric("fresh_engine_micros_total", fresh_micros_total);
+    table.push_metric(
+        "amortisation_speedup",
+        fresh_micros_total / exec_micros_total.max(1.0),
+    );
+    // Flat per-answer delay ⟺ slope ≈ 0 ns per fact.
+    table.push_metric("dense_delay_slope_ns_per_fact", delay_slope);
+    table
+}
+
+/// Compares every semantics of the plan-produced instance with a fresh
+/// engine over the same database.
+fn plan_agrees_with_engine(
+    instance: &omq_core::PreparedInstance,
+    engine: &OmqEngine,
+    include_multi: bool,
+) -> bool {
+    use std::collections::BTreeSet;
+    let complete_plan: BTreeSet<String> = instance
+        .enumerate_complete()
+        .expect("tractable")
+        .iter()
+        .map(|a| instance.format_complete(a))
+        .collect();
+    let complete_engine: BTreeSet<String> = engine
+        .enumerate_complete()
+        .expect("tractable")
+        .iter()
+        .map(|a| engine.format_complete(a))
+        .collect();
+    if complete_plan != complete_engine {
+        return false;
+    }
+    let partial_plan: BTreeSet<String> = instance
+        .enumerate_minimal_partial()
+        .expect("tractable")
+        .iter()
+        .map(|t| instance.format_partial(t))
+        .collect();
+    let partial_engine: BTreeSet<String> = engine
+        .enumerate_minimal_partial()
+        .expect("tractable")
+        .iter()
+        .map(|t| engine.format_partial(t))
+        .collect();
+    if partial_plan != partial_engine {
+        return false;
+    }
+    if include_multi {
+        let multi_plan: BTreeSet<String> = instance
+            .enumerate_minimal_partial_multi()
+            .expect("tractable")
+            .iter()
+            .map(|t| instance.format_multi(t))
+            .collect();
+        let multi_engine: BTreeSet<String> = engine
+            .enumerate_minimal_partial_multi()
+            .expect("tractable")
+            .iter()
+            .map(|t| engine.format_multi(t))
+            .collect();
+        if multi_plan != multi_engine {
+            return false;
+        }
+    }
+    true
+}
+
 /// Runs one experiment by identifier.
 pub fn run_experiment(id: &str, quick: bool) -> Option<Table> {
     match id.to_ascii_uppercase().as_str() {
@@ -650,6 +887,7 @@ pub fn run_experiment(id: &str, quick: bool) -> Option<Table> {
         "E9" => Some(e9_running_example()),
         "E10" => Some(e10_baseline(quick)),
         "E11" => Some(e11_ablation(quick)),
+        "E12" => Some(e12_plan_columnar(quick)),
         _ => None,
     }
 }
@@ -657,7 +895,7 @@ pub fn run_experiment(id: &str, quick: bool) -> Option<Table> {
 /// Runs the full suite.
 pub fn run_all(quick: bool) -> Vec<Table> {
     [
-        "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11",
+        "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12",
     ]
     .iter()
     .filter_map(|id| run_experiment(id, quick))
@@ -705,5 +943,19 @@ mod tests {
     #[test]
     fn unknown_experiment_is_none() {
         assert!(run_experiment("E99", true).is_none());
+    }
+
+    #[test]
+    fn e12_plan_agrees_and_exports_metrics() {
+        let table = e12_plan_columnar(true);
+        assert!(table.rows.len() >= 4);
+        // The plan path agrees with the fresh engine (and the dense loop
+        // with the hash loop) on every database.
+        let equal_col = table.headers.len() - 1;
+        assert!(table.rows.iter().all(|r| r[equal_col] == "true"));
+        let names: Vec<&str> = table.metrics.iter().map(|(k, _)| k.as_str()).collect();
+        assert!(names.contains(&"plan_compile_micros"));
+        assert!(names.contains(&"dense_delay_slope_ns_per_fact"));
+        assert!(names.contains(&"amortisation_speedup"));
     }
 }

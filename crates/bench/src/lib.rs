@@ -16,11 +16,14 @@
 //! * E8 — Theorems 4.4/4.6 (Boolean matrix multiplication reductions);
 //! * E9 — Proposition 2.1 and the running example;
 //! * E10 — comparison against the brute-force baseline;
-//! * E11 — ablations (chase depth, memoisation).
+//! * E11 — ablations (chase depth, memoisation);
+//! * E12 — the plan/instance split: plan-reuse amortisation and
+//!   columnar-vs-hash per-answer delay distributions.
 //!
 //! See `EXPERIMENTS.md` at the workspace root for the paper-vs-measured
 //! discussion and `cargo run -p omq-bench --bin harness --release` to
-//! regenerate every table.
+//! regenerate every table.  The harness also writes machine-readable
+//! `BENCH_<exp>.json` reports (see [`report`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,7 +32,9 @@ pub mod experiments;
 pub mod generators;
 pub mod measure;
 pub mod reductions;
+pub mod report;
 
 pub use experiments::{run_all, run_experiment, Table};
 pub use generators::{university, UniversityConfig};
 pub use measure::{measure_stream, DelayStats};
+pub use report::write_json_reports;

@@ -1,0 +1,133 @@
+//! Machine-readable experiment reports: `BENCH_<exp>.json` files.
+//!
+//! The harness prints human-readable tables *and* writes one JSON document
+//! per experiment so that the performance trajectory (preprocessing times,
+//! delay statistics) can be tracked across commits by tooling.  The JSON is
+//! hand-rolled — the build environment has no real `serde` — and kept to a
+//! stable, easily parsed shape:
+//!
+//! ```json
+//! {
+//!   "id": "E3",
+//!   "title": "...",
+//!   "headers": ["researchers", ...],
+//!   "rows": [["1000", ...], ...],
+//!   "metrics": {"delay_slope_ns_per_fact": 0.0012, ...}
+//! }
+//! ```
+//!
+//! `rows` mirror the printed table cell-for-cell (all strings); `metrics`
+//! carries the experiment's summary scalars as numbers.
+
+use crate::experiments::Table;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Escapes a string for inclusion in a JSON document.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_string_array(items: &[String]) -> String {
+    let cells: Vec<String> = items
+        .iter()
+        .map(|c| format!("\"{}\"", json_escape(c)))
+        .collect();
+    format!("[{}]", cells.join(","))
+}
+
+/// Renders a finite `f64` as JSON (non-finite values become `null`).
+fn json_number(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+impl Table {
+    /// Serialises the table (and its metrics) as a JSON document.
+    pub fn to_json(&self) -> String {
+        let rows: Vec<String> = self.rows.iter().map(|r| json_string_array(r)).collect();
+        let metrics: Vec<String> = self
+            .metrics
+            .iter()
+            .map(|(k, v)| format!("\"{}\":{}", json_escape(k), json_number(*v)))
+            .collect();
+        format!(
+            "{{\"id\":\"{}\",\"title\":\"{}\",\"headers\":{},\"rows\":[{}],\"metrics\":{{{}}}}}\n",
+            json_escape(&self.id),
+            json_escape(&self.title),
+            json_string_array(&self.headers),
+            rows.join(","),
+            metrics.join(",")
+        )
+    }
+}
+
+/// Writes `BENCH_<id>.json` for every table into `dir` (created if missing).
+/// Returns the written paths.
+pub fn write_json_reports(tables: &[Table], dir: &Path) -> std::io::Result<Vec<PathBuf>> {
+    std::fs::create_dir_all(dir)?;
+    let mut written = Vec::with_capacity(tables.len());
+    for table in tables {
+        let path = dir.join(format!("BENCH_{}.json", table.id));
+        let mut file = std::fs::File::create(&path)?;
+        file.write_all(table.to_json().as_bytes())?;
+        written.push(path);
+    }
+    Ok(written)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut table = Table::new("E0", "A \"quoted\" title", &["a", "b"]);
+        table.push_row(vec!["1".to_owned(), "x\ny".to_owned()]);
+        table.push_metric("slope", 0.25);
+        table.push_metric("bad", f64::NAN);
+        table
+    }
+
+    #[test]
+    fn json_shape_and_escaping() {
+        let json = sample().to_json();
+        assert!(json.starts_with("{\"id\":\"E0\""));
+        assert!(json.contains("\\\"quoted\\\""));
+        assert!(json.contains("\"x\\ny\""));
+        assert!(json.contains("\"slope\":0.25"));
+        assert!(json.contains("\"bad\":null"));
+        assert!(json.ends_with("}\n"));
+        // Balanced braces/brackets (cheap well-formedness check).
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "{json}"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn reports_are_written_to_disk() {
+        let dir = std::env::temp_dir().join(format!("omq_bench_report_{}", std::process::id()));
+        let written = write_json_reports(&[sample()], &dir).unwrap();
+        assert_eq!(written.len(), 1);
+        let content = std::fs::read_to_string(&written[0]).unwrap();
+        assert_eq!(content, sample().to_json());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

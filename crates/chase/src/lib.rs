@@ -8,7 +8,7 @@
 //!   logic **ELI** (as syntactically restricted guarded TGDs), see [`tgd`];
 //! * **ontologies** (finite sets of TGDs) and **ontology-mediated queries**
 //!   `(O, S, q)`, see [`ontology`] and [`omq`];
-//! * the (bounded, fair, oblivious) **chase**, see [`chase`];
+//! * the (bounded, fair, oblivious) **chase**, see [`mod@chase`];
 //! * the **guarded saturation** of the database part and the **query-directed
 //!   chase** `ch^q_O(D)` of Section 3 of the paper, computable in time linear
 //!   in `‖D‖`, see [`qchase`];
@@ -36,7 +36,7 @@ pub use error::ChaseError;
 pub use horn::HornFormula;
 pub use omq::OntologyMediatedQuery;
 pub use ontology::Ontology;
-pub use qchase::{query_directed_chase, QchaseConfig, QueryDirectedChase};
+pub use qchase::{query_directed_chase, QchaseConfig, QchasePlan, QueryDirectedChase};
 pub use simulation::{greatest_simulation, simulates};
 pub use tgd::Tgd;
 

@@ -34,6 +34,7 @@ use crate::omq::OntologyMediatedQuery;
 use crate::Result;
 use omq_data::{Database, Fact, NullId, RelId, Value};
 use rustc_hash::{FxHashMap, FxHashSet};
+use std::sync::Mutex;
 
 /// Configuration of the query-directed chase.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -98,145 +99,273 @@ enum TemplateArg {
 
 type GraftTemplate = Vec<(RelId, Vec<TemplateArg>)>;
 
+/// The memoised, data-independent state of a [`QchasePlan`]: the bag-type →
+/// derived-facts tables discovered so far, valid for every database whose
+/// extended schema matches `fingerprint`.
+#[derive(Debug, Default)]
+struct PlanMemo {
+    /// Extended-schema layout (`(name, arity)` in [`RelId`] order) the cached
+    /// tables were computed under.  Bag signatures embed `RelId`s, so the
+    /// tables are only sound for databases producing the same layout.
+    fingerprint: Option<Vec<(String, usize)>>,
+    ground: FxHashMap<BagSignature, Vec<(RelId, Vec<usize>)>>,
+    graft: FxHashMap<BagSignature, GraftTemplate>,
+}
+
+/// A compiled, reusable query-directed chase for one OMQ.
+///
+/// The chase's linear-time trick is memoising bag chases by the isomorphism
+/// type of the bag — a table that depends only on the ontology, not on the
+/// data.  `QchasePlan` makes that table *persistent across databases*: the
+/// first [`QchasePlan::chase`] call pays for every bag type it encounters,
+/// subsequent calls over further databases reuse the rule-trigger tables and
+/// only do the linear copy work.  This is the chase half of the
+/// compile-once/execute-many architecture (`omq-core`'s `QueryPlan` owns one
+/// of these).
+#[derive(Debug)]
+pub struct QchasePlan {
+    omq: OntologyMediatedQuery,
+    config: QchaseConfig,
+    /// Relations to add to every input database, sorted by name: ontology
+    /// relations first, then query relations (precomputed once).
+    relations: Vec<(String, usize)>,
+    tree_depth: usize,
+    saturation_depth: usize,
+    memo: Mutex<PlanMemo>,
+}
+
+impl QchasePlan {
+    /// Compiles the data-independent part of the query-directed chase.
+    pub fn new(omq: &OntologyMediatedQuery, config: &QchaseConfig) -> Result<Self> {
+        let query_vars = omq.query().body_vars().len();
+        let tree_depth = config.tree_depth.unwrap_or_else(|| query_vars.max(2));
+        let saturation_depth = config.saturation_depth.unwrap_or_else(|| tree_depth.max(4));
+        let mut relations: Vec<(String, usize)> = omq.ontology().relations()?.into_iter().collect();
+        relations.sort();
+        // Also make sure the query's relations exist (they might be absent
+        // from both the data and the ontology).
+        let mut query_relations: Vec<(String, usize)> =
+            omq.query().relations()?.into_iter().collect();
+        query_relations.sort();
+        relations.extend(query_relations);
+        Ok(QchasePlan {
+            omq: omq.clone(),
+            config: *config,
+            relations,
+            tree_depth,
+            saturation_depth,
+            memo: Mutex::new(PlanMemo::default()),
+        })
+    }
+
+    /// The OMQ this plan chases for.
+    pub fn omq(&self) -> &OntologyMediatedQuery {
+        &self.omq
+    }
+
+    /// The chase configuration the plan was compiled with.
+    pub fn config(&self) -> &QchaseConfig {
+        &self.config
+    }
+
+    /// Number of memoised bag types accumulated so far (both tables).
+    pub fn memoized_bag_types(&self) -> usize {
+        let memo = self.memo.lock().expect("qchase memo poisoned");
+        memo.ground.len() + memo.graft.len()
+    }
+
+    /// Computes the query-directed chase of `db`, reusing the rule-trigger
+    /// tables accumulated by earlier calls whenever the extended schema
+    /// matches (otherwise the run falls back to a private table).
+    pub fn chase(&self, db: &Database) -> Result<QueryDirectedChase> {
+        let mut result = db.clone();
+        for (name, arity) in &self.relations {
+            result.add_relation(name, *arity)?;
+        }
+        let fingerprint: Vec<(String, usize)> = result
+            .schema()
+            .iter()
+            .map(|(_, rel)| (rel.name.clone(), rel.arity))
+            .collect();
+
+        // Snapshot the shared tables instead of holding the lock across the
+        // (data-linear) chase: concurrent executions of a shared plan run in
+        // parallel, each on its own copy, and publish new bag types at the
+        // end.  The tables are bounded by the ontology's bag types, so the
+        // copies are small compared to the chase itself.
+        let (shareable, mut local) = {
+            let mut memo = self.memo.lock().expect("qchase memo poisoned");
+            let matches = match &memo.fingerprint {
+                Some(existing) => *existing == fingerprint,
+                None => {
+                    memo.fingerprint = Some(fingerprint);
+                    true
+                }
+            };
+            if matches && self.config.memoize {
+                let snapshot = PlanMemo {
+                    fingerprint: None,
+                    ground: memo.ground.clone(),
+                    graft: memo.graft.clone(),
+                };
+                (true, snapshot)
+            } else {
+                (false, PlanMemo::default())
+            }
+        };
+        let chased = self.chase_prepared(db, result, &mut local.ground, &mut local.graft)?;
+        if shareable {
+            let mut memo = self.memo.lock().expect("qchase memo poisoned");
+            for (signature, derived) in local.ground {
+                memo.ground.entry(signature).or_insert(derived);
+            }
+            for (signature, template) in local.graft {
+                memo.graft.entry(signature).or_insert(template);
+            }
+        }
+        Ok(chased)
+    }
+
+    /// The chase proper, over a `result` database that already contains the
+    /// input facts and the full extended schema.
+    fn chase_prepared(
+        &self,
+        db: &Database,
+        mut result: Database,
+        ground_memo: &mut FxHashMap<BagSignature, Vec<(RelId, Vec<usize>)>>,
+        graft_memo: &mut FxHashMap<BagSignature, GraftTemplate>,
+    ) -> Result<QueryDirectedChase> {
+        let ontology = self.omq.ontology();
+        let config = &self.config;
+        let original_adom: FxHashSet<Value> = db.adom().iter().copied().collect();
+
+        let mut memo_hits = 0usize;
+
+        // -------- Phase 1: guarded saturation of the database part. --------
+        let mut saturation_rounds = 0usize;
+        let mut saturation_converged = false;
+        let saturation_config = ChaseConfig {
+            max_depth: self.saturation_depth,
+            max_facts: config.max_bag_facts,
+        };
+        while saturation_rounds < config.max_saturation_rounds {
+            saturation_rounds += 1;
+            let mut new_facts: Vec<Fact> = Vec::new();
+            let mut seen_bags: FxHashSet<Vec<Value>> = FxHashSet::default();
+            let fact_count = result.len();
+            for idx in 0..fact_count {
+                let guard_values = sorted_values(&result.fact(idx).args);
+                if !seen_bags.insert(guard_values.clone()) {
+                    continue;
+                }
+                let (signature, ordering) = bag_signature(&result, &guard_values);
+                let derived = if config.memoize {
+                    if let Some(cached) = ground_memo.get(&signature) {
+                        memo_hits += 1;
+                        cached.clone()
+                    } else {
+                        let derived =
+                            derive_ground(&result, &ordering, ontology, &saturation_config)?;
+                        ground_memo.insert(signature, derived.clone());
+                        derived
+                    }
+                } else {
+                    derive_ground(&result, &ordering, ontology, &saturation_config)?
+                };
+                for (rel, positions) in derived {
+                    let args: Vec<Value> = positions.iter().map(|&i| ordering[i]).collect();
+                    let fact = Fact::new(rel, args);
+                    if !result.contains_fact(&fact) {
+                        new_facts.push(fact);
+                    }
+                }
+            }
+            if new_facts.is_empty() {
+                saturation_converged = true;
+                break;
+            }
+            for fact in new_facts {
+                result.add_fact(fact)?;
+            }
+            // Adding facts can change bag types, so the memo must be kept
+            // keyed by full bag signatures (it is) — no invalidation needed.
+        }
+
+        // -------- Phase 2: graft null trees below every guarded set. --------
+        let graft_config = ChaseConfig {
+            max_depth: self.tree_depth,
+            max_facts: config.max_bag_facts,
+        };
+        let mut grafted_sets: FxHashSet<Vec<Value>> = FxHashSet::default();
+        let mut grafts = 0usize;
+        let fact_count = result.len();
+        let mut pending: Vec<Fact> = Vec::new();
+        for idx in 0..fact_count {
+            let guard_values = sorted_values(&result.fact(idx).args);
+            if !grafted_sets.insert(guard_values.clone()) {
+                continue;
+            }
+            let (signature, ordering) = bag_signature(&result, &guard_values);
+            let template = if config.memoize {
+                if let Some(cached) = graft_memo.get(&signature) {
+                    memo_hits += 1;
+                    cached.clone()
+                } else {
+                    let template = derive_template(&result, &ordering, ontology, &graft_config)?;
+                    graft_memo.insert(signature, template.clone());
+                    template
+                }
+            } else {
+                derive_template(&result, &ordering, ontology, &graft_config)?
+            };
+            if template.is_empty() {
+                continue;
+            }
+            grafts += 1;
+            // Instantiate the template with fresh nulls.
+            let mut null_map: FxHashMap<usize, NullId> = FxHashMap::default();
+            for (rel, args) in &template {
+                let values: Vec<Value> = args
+                    .iter()
+                    .map(|a| match a {
+                        TemplateArg::BagConst(i) => ordering[*i],
+                        TemplateArg::LocalNull(n) => {
+                            let id = *null_map.entry(*n).or_insert_with(|| result.fresh_null());
+                            Value::Null(id)
+                        }
+                    })
+                    .collect();
+                pending.push(Fact::new(*rel, values));
+            }
+        }
+        for fact in pending {
+            result.add_fact(fact)?;
+        }
+
+        Ok(QueryDirectedChase {
+            database: result,
+            original_adom,
+            grafts,
+            saturation_rounds,
+            memo_hits,
+            saturation_converged,
+            tree_depth: self.tree_depth,
+        })
+    }
+}
+
 /// Computes the query-directed chase of `db` for `omq`.
+///
+/// One-shot convenience wrapper: compiles a throwaway [`QchasePlan`] and runs
+/// it.  Callers evaluating one OMQ over many databases should hold on to a
+/// [`QchasePlan`] (or an `omq-core` `QueryPlan`) instead, which amortises the
+/// bag-type tables across runs.
 pub fn query_directed_chase(
     db: &Database,
     omq: &OntologyMediatedQuery,
     config: &QchaseConfig,
 ) -> Result<QueryDirectedChase> {
-    let ontology = omq.ontology();
-    let query_vars = omq.query().body_vars().len();
-    let tree_depth = config.tree_depth.unwrap_or_else(|| query_vars.max(2));
-    let saturation_depth = config.saturation_depth.unwrap_or_else(|| tree_depth.max(4));
-
-    let mut result = db.clone();
-    let mut relations: Vec<(String, usize)> = ontology.relations()?.into_iter().collect();
-    relations.sort();
-    for (name, arity) in &relations {
-        result.add_relation(name, *arity)?;
-    }
-    // Also make sure the query's relations exist (they might be absent from
-    // both the data and the ontology).
-    let mut query_relations: Vec<(String, usize)> = omq.query().relations()?.into_iter().collect();
-    query_relations.sort();
-    for (name, arity) in &query_relations {
-        result.add_relation(name, *arity)?;
-    }
-    let original_adom: FxHashSet<Value> = db.adom().iter().copied().collect();
-
-    let mut memo_hits = 0usize;
-
-    // -------- Phase 1: guarded saturation of the database part. --------
-    let mut saturation_rounds = 0usize;
-    let mut saturation_converged = false;
-    let mut ground_memo: FxHashMap<BagSignature, Vec<(RelId, Vec<usize>)>> = FxHashMap::default();
-    let saturation_config = ChaseConfig {
-        max_depth: saturation_depth,
-        max_facts: config.max_bag_facts,
-    };
-    while saturation_rounds < config.max_saturation_rounds {
-        saturation_rounds += 1;
-        let mut new_facts: Vec<Fact> = Vec::new();
-        let mut seen_bags: FxHashSet<Vec<Value>> = FxHashSet::default();
-        let fact_count = result.len();
-        for idx in 0..fact_count {
-            let guard_values = sorted_values(&result.fact(idx).args);
-            if !seen_bags.insert(guard_values.clone()) {
-                continue;
-            }
-            let (signature, ordering) = bag_signature(&result, &guard_values);
-            let derived = if config.memoize {
-                if let Some(cached) = ground_memo.get(&signature) {
-                    memo_hits += 1;
-                    cached.clone()
-                } else {
-                    let derived = derive_ground(&result, &ordering, ontology, &saturation_config)?;
-                    ground_memo.insert(signature, derived.clone());
-                    derived
-                }
-            } else {
-                derive_ground(&result, &ordering, ontology, &saturation_config)?
-            };
-            for (rel, positions) in derived {
-                let args: Vec<Value> = positions.iter().map(|&i| ordering[i]).collect();
-                let fact = Fact::new(rel, args);
-                if !result.contains_fact(&fact) {
-                    new_facts.push(fact);
-                }
-            }
-        }
-        if new_facts.is_empty() {
-            saturation_converged = true;
-            break;
-        }
-        for fact in new_facts {
-            result.add_fact(fact)?;
-        }
-        // Adding facts can change bag types, so the memo must be kept keyed by
-        // full bag signatures (it is) — no invalidation necessary.
-    }
-
-    // -------- Phase 2: graft null trees below every guarded set. --------
-    let graft_config = ChaseConfig {
-        max_depth: tree_depth,
-        max_facts: config.max_bag_facts,
-    };
-    let mut graft_memo: FxHashMap<BagSignature, GraftTemplate> = FxHashMap::default();
-    let mut grafted_sets: FxHashSet<Vec<Value>> = FxHashSet::default();
-    let mut grafts = 0usize;
-    let fact_count = result.len();
-    let mut pending: Vec<Fact> = Vec::new();
-    for idx in 0..fact_count {
-        let guard_values = sorted_values(&result.fact(idx).args);
-        if !grafted_sets.insert(guard_values.clone()) {
-            continue;
-        }
-        let (signature, ordering) = bag_signature(&result, &guard_values);
-        let template = if config.memoize {
-            if let Some(cached) = graft_memo.get(&signature) {
-                memo_hits += 1;
-                cached.clone()
-            } else {
-                let template = derive_template(&result, &ordering, ontology, &graft_config)?;
-                graft_memo.insert(signature, template.clone());
-                template
-            }
-        } else {
-            derive_template(&result, &ordering, ontology, &graft_config)?
-        };
-        if template.is_empty() {
-            continue;
-        }
-        grafts += 1;
-        // Instantiate the template with fresh nulls.
-        let mut null_map: FxHashMap<usize, NullId> = FxHashMap::default();
-        for (rel, args) in &template {
-            let values: Vec<Value> = args
-                .iter()
-                .map(|a| match a {
-                    TemplateArg::BagConst(i) => ordering[*i],
-                    TemplateArg::LocalNull(n) => {
-                        let id = *null_map.entry(*n).or_insert_with(|| result.fresh_null());
-                        Value::Null(id)
-                    }
-                })
-                .collect();
-            pending.push(Fact::new(*rel, values));
-        }
-    }
-    for fact in pending {
-        result.add_fact(fact)?;
-    }
-
-    Ok(QueryDirectedChase {
-        database: result,
-        original_adom,
-        grafts,
-        saturation_rounds,
-        memo_hits,
-        saturation_converged,
-        tree_depth,
-    })
+    QchasePlan::new(omq, config)?.chase(db)
 }
 
 fn sorted_values(args: &[Value]) -> Vec<Value> {
@@ -500,6 +629,63 @@ mod tests {
                 assert!(in_original, "fact {names:?} spans guarded sets");
             }
         }
+    }
+
+    #[test]
+    fn plan_reuses_memo_across_databases() {
+        let omq = office_omq();
+        let plan = QchasePlan::new(&omq, &QchaseConfig::default()).unwrap();
+        let mut first_db = Database::new(omq.data_schema().clone());
+        for i in 0..10 {
+            first_db
+                .add_named_fact("Researcher", &[format!("r{i}")])
+                .unwrap();
+        }
+        let first = plan.chase(&first_db).unwrap();
+        let types_after_first = plan.memoized_bag_types();
+        assert!(types_after_first > 0);
+        // A second database with the same shape: every bag type is already
+        // memoised, so the run is all hits and discovers no new types.
+        let mut second_db = Database::new(omq.data_schema().clone());
+        for i in 0..25 {
+            second_db
+                .add_named_fact("Researcher", &[format!("s{i}")])
+                .unwrap();
+        }
+        let second = plan.chase(&second_db).unwrap();
+        assert_eq!(plan.memoized_bag_types(), types_after_first);
+        assert!(second.memo_hits >= 25);
+        // Results agree with the one-shot path.
+        let fresh = query_directed_chase(&second_db, &omq, &QchaseConfig::default()).unwrap();
+        assert_eq!(second.database.len(), fresh.database.len());
+        assert_eq!(second.grafts, fresh.grafts);
+        let _ = first;
+    }
+
+    #[test]
+    fn plan_handles_schema_layout_changes() {
+        let omq = office_omq();
+        let plan = QchasePlan::new(&omq, &QchaseConfig::default()).unwrap();
+        let baseline = plan.chase(&office_db()).unwrap();
+        // A database whose schema declares the relations in a different order
+        // (different RelId layout) must not reuse the shared tables unsoundly.
+        let mut s = Schema::new();
+        s.add_relation("InBuilding", 2).unwrap();
+        s.add_relation("Researcher", 1).unwrap();
+        s.add_relation("HasOffice", 2).unwrap();
+        let reordered = Database::builder(s)
+            .fact("Researcher", ["mary"])
+            .fact("Researcher", ["john"])
+            .fact("Researcher", ["mike"])
+            .fact("HasOffice", ["mary", "room1"])
+            .fact("HasOffice", ["john", "room4"])
+            .fact("InBuilding", ["room1", "main1"])
+            .build()
+            .unwrap();
+        let via_plan = plan.chase(&reordered).unwrap();
+        let fresh = query_directed_chase(&reordered, &omq, &QchaseConfig::default()).unwrap();
+        assert_eq!(via_plan.database.len(), fresh.database.len());
+        assert_eq!(via_plan.database.len(), baseline.database.len());
     }
 
     #[test]

@@ -9,11 +9,20 @@
 //! join tree that extends the current partial answer never gets stuck and
 //! never produces duplicates; the work per answer is bounded by the query
 //! size, independent of the database.
+//!
+//! The per-answer loop is **hash-free and allocation-free** (beyond the
+//! output tuple itself): candidates at each level are a dense CSR slice of
+//! the node's [`JoinCsr`] keyed by the parent's current tuple index — by the
+//! join-tree connectivity condition, any variable a node shares with an
+//! earlier node occurs in its parent, so matching the predecessor variables
+//! through the CSR is all the filtering the traversal needs.  Answer tuples
+//! are materialised from the per-node current tuples through the
+//! precompiled `answer_sources` columns.
+//!
+//! [`JoinCsr`]: crate::preprocess::JoinCsr
 
 use crate::preprocess::FreeConnexStructure;
-use omq_cq::VarId;
 use omq_data::Value;
-use rustc_hash::FxHashMap;
 
 /// A constant-delay iterator over the answers of a preprocessed query.
 ///
@@ -22,18 +31,36 @@ use rustc_hash::FxHashMap;
 /// built without the `complete_only` relativisation.
 pub struct AnswerIter<'a> {
     structure: &'a FreeConnexStructure,
-    /// One entry per pre-order position: (candidate tuple indices, cursor,
-    /// variables bound at this level).
-    levels: Vec<LevelState>,
-    assignment: FxHashMap<VarId, Value>,
+    /// One entry per pre-order position reached so far.
+    levels: Vec<Level>,
+    /// Current tuple index per node (valid for nodes on the level stack).
+    cur_tuple: Vec<usize>,
     state: IterState,
 }
 
-struct LevelState {
+/// Candidate cursor of one pre-order level.
+struct Level {
     node: usize,
-    candidates: Vec<usize>,
+    /// Candidate source: either all tuples of the node, or a CSR slice of the
+    /// node's parent join.
+    cands: Cands,
     cursor: usize,
-    bound_here: Vec<VarId>,
+}
+
+enum Cands {
+    /// All tuples `0..len` (root or no predecessor variables).
+    All { len: usize },
+    /// CSR slice `start..start + len` of the node's `parent_join.tuples`.
+    Csr { start: usize, len: usize },
+}
+
+impl Cands {
+    #[inline]
+    fn len(&self) -> usize {
+        match self {
+            Cands::All { len } | Cands::Csr { len, .. } => *len,
+        }
+    }
 }
 
 #[derive(Clone, Copy)]
@@ -65,53 +92,54 @@ impl<'a> AnswerIter<'a> {
         };
         AnswerIter {
             structure,
-            levels: Vec::new(),
-            assignment: FxHashMap::default(),
+            levels: Vec::with_capacity(structure.preorder.len()),
+            cur_tuple: vec![0; structure.nodes.len()],
             state,
         }
     }
 
-    /// Binds the candidate currently selected at `level`.
-    fn bind(&mut self, level: usize) {
-        let LevelState {
-            node,
-            ref candidates,
-            cursor,
-            ..
-        } = self.levels[level];
-        let node_data = &self.structure.nodes[node];
-        let tuple_idx = candidates[cursor];
-        let tuple = &node_data.extension.tuples[tuple_idx];
-        let mut bound_here = Vec::new();
-        for (pos, &var) in node_data.extension.vars.iter().enumerate() {
-            if let std::collections::hash_map::Entry::Vacant(entry) = self.assignment.entry(var) {
-                entry.insert(tuple[pos]);
-                bound_here.push(var);
-            }
-        }
-        self.levels[level].bound_here = bound_here;
-    }
-
-    /// Unbinds the variables bound at `level`.
-    fn unbind(&mut self, level: usize) {
-        let vars = std::mem::take(&mut self.levels[level].bound_here);
-        for var in vars {
-            self.assignment.remove(&var);
-        }
-    }
-
-    /// Computes the candidate list for the node at pre-order position `depth`
-    /// under the current assignment.
-    fn candidates_for(&self, depth: usize) -> (usize, Vec<usize>) {
+    /// Computes the candidate source for the node at pre-order position
+    /// `depth` under the current per-node tuple choices.
+    #[inline]
+    fn candidates_for(&self, depth: usize) -> (usize, Cands) {
         let node = self.structure.preorder[depth];
         let node_data = &self.structure.nodes[node];
-        let key: Vec<Value> = node_data
-            .pred_vars
-            .iter()
-            .map(|v| self.assignment[v])
-            .collect();
-        let candidates = node_data.index.get(&key).cloned().unwrap_or_default();
-        (node, candidates)
+        let cands = match (&node_data.parent_join, node_data.parent) {
+            (Some(join), Some(parent)) => {
+                let parent_tuple = self.cur_tuple[parent];
+                let start = join.offsets[parent_tuple] as usize;
+                let end = join.offsets[parent_tuple + 1] as usize;
+                Cands::Csr {
+                    start,
+                    len: end - start,
+                }
+            }
+            _ => Cands::All {
+                len: node_data.extension.len(),
+            },
+        };
+        (node, cands)
+    }
+
+    /// Records the tuple selected by the cursor of `level`.
+    #[inline]
+    fn bind(&mut self, level: usize) {
+        let Level {
+            node,
+            ref cands,
+            cursor,
+        } = self.levels[level];
+        let tuple_idx = match cands {
+            Cands::All { .. } => cursor,
+            Cands::Csr { start, .. } => {
+                let join = self.structure.nodes[node]
+                    .parent_join
+                    .as_ref()
+                    .expect("CSR candidates imply a parent join");
+                join.tuples[start + cursor] as usize
+            }
+        };
+        self.cur_tuple[node] = tuple_idx;
     }
 
     /// Descends from pre-order position `depth` to the last level, binding the
@@ -120,15 +148,14 @@ impl<'a> AnswerIter<'a> {
     /// defensively).
     fn descend(&mut self, mut depth: usize) -> bool {
         while depth < self.structure.preorder.len() {
-            let (node, candidates) = self.candidates_for(depth);
-            if candidates.is_empty() {
+            let (node, cands) = self.candidates_for(depth);
+            if cands.len() == 0 {
                 return false;
             }
-            self.levels.push(LevelState {
+            self.levels.push(Level {
                 node,
-                candidates,
+                cands,
                 cursor: 0,
-                bound_here: Vec::new(),
             });
             self.bind(depth);
             depth += 1;
@@ -142,9 +169,8 @@ impl<'a> AnswerIter<'a> {
             let Some(level) = self.levels.len().checked_sub(1) else {
                 return false;
             };
-            self.unbind(level);
             self.levels[level].cursor += 1;
-            if self.levels[level].cursor < self.levels[level].candidates.len() {
+            if self.levels[level].cursor < self.levels[level].cands.len() {
                 self.bind(level);
                 if self.descend(level + 1) {
                     return true;
@@ -158,8 +184,15 @@ impl<'a> AnswerIter<'a> {
         }
     }
 
+    /// Materialises the current answer through the precompiled sources.
     fn current_answer(&self) -> Vec<Value> {
-        self.structure.expand_answer(&self.assignment)
+        self.structure
+            .answer_sources
+            .iter()
+            .map(|&(node, col)| {
+                self.structure.nodes[node].extension.tuples[self.cur_tuple[node]][col]
+            })
+            .collect()
     }
 }
 

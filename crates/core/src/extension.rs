@@ -40,52 +40,91 @@ impl Extension {
     /// When `drop_null_for` is non-empty, tuples that assign a labelled null
     /// to any variable in that set are dropped — this implements the `P_db`
     /// relativisation used for complete answers.
+    ///
+    /// The scan compiles the atom into per-position *slots* once and then
+    /// iterates over a columnar fact slice: constant positions narrow the
+    /// candidate slice through the most selective column, and the inner loop
+    /// performs no hash lookups.
     pub fn of_atom(atom: &Atom, db: &Database, drop_null_for: &FxHashSet<VarId>) -> Extension {
+        /// What to do with one argument position of a candidate fact.
+        enum Slot {
+            /// Must equal this literal constant.
+            Check(Value),
+            /// First occurrence of a variable: bind column `col`; `true` if
+            /// tuples binding this column to a null must be dropped.
+            First(usize, bool),
+            /// Repeated variable: must equal the value bound at column `col`.
+            Repeat(usize),
+        }
+
         let vars = atom.variables();
-        let mut tuples: Vec<Tuple> = Vec::new();
-        let mut seen: FxHashSet<Tuple> = FxHashSet::default();
         let Some(rel) = db.schema().relation_id(&atom.relation) else {
             return Extension::empty(vars);
         };
         if db.schema().arity(rel) != atom.arity() {
             return Extension::empty(vars);
         }
-        // Resolve constants once.
-        let mut constant_binding: Vec<Option<Value>> = Vec::with_capacity(atom.arity());
+        // Compile the atom: resolve constants once and map every position to
+        // a slot over the dense column layout `vars`.
+        let mut slots: Vec<Slot> = Vec::with_capacity(atom.arity());
+        let mut first_of: Vec<Option<usize>> = vec![None; vars.len()];
         for term in &atom.terms {
             match term {
-                Term::Var(_) => constant_binding.push(None),
                 Term::Const(name) => match db.const_id(name) {
-                    Some(c) => constant_binding.push(Some(Value::Const(c))),
+                    Some(c) => slots.push(Slot::Check(Value::Const(c))),
                     None => return Extension::empty(vars),
                 },
+                Term::Var(v) => {
+                    let col = vars.iter().position(|x| x == v).expect("var listed");
+                    match first_of[col] {
+                        Some(_) => slots.push(Slot::Repeat(col)),
+                        None => {
+                            first_of[col] = Some(slots.len());
+                            slots.push(Slot::First(col, drop_null_for.contains(v)));
+                        }
+                    }
+                }
             }
         }
-        'facts: for &fact_idx in db.facts_of(rel) {
+        // Narrow the candidates through the most selective constant column.
+        let mut candidates: &[usize] = db.facts_of(rel);
+        for (pos, slot) in slots.iter().enumerate() {
+            if let Slot::Check(value) = slot {
+                let narrowed = db.facts_with(rel, pos, *value);
+                if narrowed.len() < candidates.len() {
+                    candidates = narrowed;
+                }
+            }
+        }
+
+        let mut tuples: Vec<Tuple> = Vec::new();
+        let mut seen: FxHashSet<Tuple> = FxHashSet::default();
+        let mut scratch: Tuple = vec![Value::Const(omq_data::ConstId(0)); vars.len()];
+        'facts: for &fact_idx in candidates {
             let fact = db.fact(fact_idx);
-            let mut assignment: FxHashMap<VarId, Value> = FxHashMap::default();
-            for (pos, term) in atom.terms.iter().enumerate() {
-                match term {
-                    Term::Const(_) => {
-                        if constant_binding[pos] != Some(fact.args[pos]) {
+            for (pos, slot) in slots.iter().enumerate() {
+                let actual = fact.args[pos];
+                match slot {
+                    Slot::Check(expected) => {
+                        if *expected != actual {
                             continue 'facts;
                         }
                     }
-                    Term::Var(v) => match assignment.get(v) {
-                        Some(&existing) if existing != fact.args[pos] => continue 'facts,
-                        Some(_) => {}
-                        None => {
-                            if fact.args[pos].is_null() && drop_null_for.contains(v) {
-                                continue 'facts;
-                            }
-                            assignment.insert(*v, fact.args[pos]);
+                    Slot::First(col, drop_null) => {
+                        if *drop_null && actual.is_null() {
+                            continue 'facts;
                         }
-                    },
+                        scratch[*col] = actual;
+                    }
+                    Slot::Repeat(col) => {
+                        if scratch[*col] != actual {
+                            continue 'facts;
+                        }
+                    }
                 }
             }
-            let tuple: Tuple = vars.iter().map(|v| assignment[v]).collect();
-            if seen.insert(tuple.clone()) {
-                tuples.push(tuple);
+            if seen.insert(scratch.clone()) {
+                tuples.push(scratch.clone());
             }
         }
         Extension { vars, tuples }

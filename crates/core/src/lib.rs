@@ -31,6 +31,7 @@ pub mod extension;
 pub mod multi_enum;
 pub mod omq_eval;
 pub mod partial_enum;
+pub mod plan;
 pub mod preprocess;
 pub mod progress;
 pub mod single_testing;
@@ -43,7 +44,8 @@ pub use error::CoreError;
 pub use extension::{Extension, Tuple};
 pub use omq_eval::{EngineConfig, OmqEngine, PreprocessStats};
 pub use partial_enum::PartialEnumerator;
-pub use preprocess::FreeConnexStructure;
+pub use plan::{PreparedInstance, QueryPlan};
+pub use preprocess::{FreeConnexStructure, JoinCsr, PlanSkeleton};
 pub use progress::{ProgressIndex, ProgressTree};
 
 /// Convenient `Result` alias for fallible operations in this crate.

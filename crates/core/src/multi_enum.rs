@@ -13,32 +13,52 @@
 //! answers with multi-wildcards, without repetition).
 
 use crate::partial_enum::PartialEnumerator;
+use crate::preprocess::PlanSkeleton;
 use crate::single_testing;
 use crate::Result;
 use omq_cq::ConjunctiveQuery;
 use omq_data::wildcard::{multi_wildcard_ball, multi_wildcard_cone, set_partitions};
 use omq_data::{Database, MultiTuple, MultiValue, PartialTuple};
-use rustc_hash::{FxHashMap, FxHashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Enumerates the minimal partial answers with multi-wildcards of `query`
 /// over the chased instance `d0`, invoking `output` exactly once per answer.
 pub fn enumerate_minimal_partial_multi(
     query: &ConjunctiveQuery,
     d0: &Database,
+    output: impl FnMut(MultiTuple),
+) -> Result<()> {
+    let skeleton = PlanSkeleton::compile(query)?;
+    enumerate_minimal_partial_multi_prepared(&skeleton, d0, output)
+}
+
+/// [`enumerate_minimal_partial_multi`] over a precompiled skeleton, reusing
+/// the query-side artefacts across databases.
+pub fn enumerate_minimal_partial_multi_prepared(
+    skeleton: &PlanSkeleton,
+    d0: &Database,
     mut output: impl FnMut(MultiTuple),
 ) -> Result<()> {
-    // The list L (insertion order) with O(1) removal via an index map.
+    let query = &skeleton.query;
+    // The list L (insertion order) with O(1) removal via an index map.  The
+    // side tables are ordered maps rather than hash maps, keeping the loop
+    // hash-free.  Honest trade-off: `f_table`/`l_pos` accumulate candidates
+    // across the whole run, so these lookups are log-bounded in the number
+    // of answers seen so far (the paper's F table is a RAM-model
+    // constant-time dictionary); in practice the cost is dominated by the
+    // homomorphism tester behind `test`, which is what a future
+    // preprocessed A₂ all-tester would remove.
     let mut l_order: Vec<MultiTuple> = Vec::new();
     let mut l_alive: Vec<bool> = Vec::new();
-    let mut l_pos: FxHashMap<MultiTuple, usize> = FxHashMap::default();
+    let mut l_pos: BTreeMap<MultiTuple, usize> = BTreeMap::new();
     // The lookup table F: tuples that have been added to L or ruled out.
-    let mut f_table: FxHashSet<MultiTuple> = FxHashSet::default();
+    let mut f_table: BTreeSet<MultiTuple> = BTreeSet::new();
     // Cache of the partial-answer tester: cones of different answers overlap
     // heavily in their constant-free candidates, which are exactly the ones
     // whose homomorphism test cannot use an index — caching keeps the
     // per-answer work constant (this plays the role of the paper's
     // preprocessed all-testing structures A₂).
-    let mut tester_cache: FxHashMap<MultiTuple, bool> = FxHashMap::default();
+    let mut tester_cache: BTreeMap<MultiTuple, bool> = BTreeMap::new();
     let mut test = |candidate: &MultiTuple| -> Result<bool> {
         if let Some(&cached) = tester_cache.get(candidate) {
             return Ok(cached);
@@ -51,7 +71,7 @@ pub fn enumerate_minimal_partial_multi(
     // Collect the single-wildcard answers first (Algorithm 1 is itself a
     // streaming enumerator; the per-answer work below is constant, so
     // processing them in order preserves the delay bound).
-    let single_answers = PartialEnumerator::new(query, d0)?.collect()?;
+    let single_answers = PartialEnumerator::with_skeleton(skeleton, d0)?.collect()?;
 
     for a_star in &single_answers {
         // Candidates from the cone that are partial answers and not yet seen.
@@ -120,7 +140,7 @@ fn strictly_above(tuple: &MultiTuple) -> Vec<MultiTuple> {
         .filter(|&i| matches!(tuple.0[i], MultiValue::Const(_)))
         .collect();
     let mut result: Vec<MultiTuple> = Vec::new();
-    let mut seen: FxHashSet<MultiTuple> = FxHashSet::default();
+    let mut seen: BTreeSet<MultiTuple> = BTreeSet::new();
     for mask in 0u64..(1u64 << const_positions.len().min(63)) {
         // Positions that become wildcards in the candidate.
         let mut wild_positions: Vec<usize> = (0..n)
@@ -172,9 +192,19 @@ pub fn minimal_partial_answers_complete_first(
     query: &ConjunctiveQuery,
     d0: &Database,
 ) -> Result<Vec<PartialTuple>> {
-    let complete_structure = crate::preprocess::FreeConnexStructure::build(query, d0, true)?;
+    let skeleton = PlanSkeleton::compile(query)?;
+    minimal_partial_answers_complete_first_prepared(&skeleton, d0)
+}
+
+/// [`minimal_partial_answers_complete_first`] over a precompiled skeleton.
+pub fn minimal_partial_answers_complete_first_prepared(
+    skeleton: &PlanSkeleton,
+    d0: &Database,
+) -> Result<Vec<PartialTuple>> {
+    let complete_structure =
+        crate::preprocess::FreeConnexStructure::materialize(skeleton, d0, true)?;
     let mut complete_iter = crate::enumerate::AnswerIter::new(&complete_structure);
-    let partial = PartialEnumerator::new(query, d0)?.collect()?;
+    let partial = PartialEnumerator::with_skeleton(skeleton, d0)?.collect()?;
 
     let mut output: Vec<PartialTuple> = Vec::new();
     let mut stored: Vec<PartialTuple> = Vec::new();
@@ -215,6 +245,7 @@ mod tests {
     use super::*;
     use crate::baseline;
     use omq_data::{ConstId, Fact, Schema, Value};
+    use rustc_hash::FxHashSet;
 
     fn mt(spec: &[(bool, u32)]) -> MultiTuple {
         MultiTuple(

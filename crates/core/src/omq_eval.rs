@@ -14,15 +14,12 @@
 //! | single-test complete / partial answers | Theorem 3.1       | [`OmqEngine::test_complete_names`] and friends |
 
 use crate::all_testing::AllTester;
-use crate::error::CoreError;
-use crate::multi_enum;
 use crate::partial_enum::PartialEnumerator;
+use crate::plan::{PreparedInstance, QueryPlan};
 use crate::preprocess::FreeConnexStructure;
-use crate::single_testing;
 use crate::Result;
-use omq_chase::{query_directed_chase, OntologyMediatedQuery, QchaseConfig};
+use omq_chase::{OntologyMediatedQuery, QchaseConfig};
 use omq_data::{ConstId, Database, MultiTuple, PartialTuple, Value};
-use std::time::Instant;
 
 /// Configuration of [`OmqEngine::preprocess_with`].
 #[derive(Debug, Clone, Copy, Default)]
@@ -49,11 +46,15 @@ pub struct PreprocessStats {
 }
 
 /// A fully preprocessed ontology-mediated query over a fixed database.
+///
+/// Since the plan/instance split, this is a thin facade that compiles a
+/// [`QueryPlan`] and executes it over one database.  Workloads evaluating
+/// one OMQ over many databases should compile the plan once with
+/// [`QueryPlan::compile`] and call [`QueryPlan::execute`] per database
+/// instead — the engine pays the plan compilation on every `preprocess`.
 #[derive(Debug)]
 pub struct OmqEngine {
-    omq: OntologyMediatedQuery,
-    d0: Database,
-    stats: PreprocessStats,
+    instance: PreparedInstance,
 }
 
 impl OmqEngine {
@@ -71,44 +72,39 @@ impl OmqEngine {
         db: &Database,
         config: &EngineConfig,
     ) -> Result<Self> {
-        if !omq.is_guarded() {
-            return Err(CoreError::NotGuarded(
-                omq.ontology()
-                    .first_unguarded()
-                    .map(|t| t.to_string())
-                    .unwrap_or_default(),
-            ));
-        }
-        let start = Instant::now();
-        let chased = query_directed_chase(db, omq, &config.qchase)?;
-        let stats = PreprocessStats {
-            input_facts: db.len(),
-            chased_facts: chased.database.len(),
-            chase_micros: start.elapsed().as_micros(),
-            grafts: chased.grafts,
-            memo_hits: chased.memo_hits,
-            saturation_converged: chased.saturation_converged,
-        };
-        Ok(OmqEngine {
-            omq: omq.clone(),
-            d0: chased.database,
-            stats,
-        })
+        let plan = QueryPlan::compile_with(omq, config)?;
+        let instance = plan.execute(db)?;
+        Ok(OmqEngine { instance })
+    }
+
+    /// Wraps an already-executed plan instance in the engine facade.
+    pub fn from_instance(instance: PreparedInstance) -> Self {
+        OmqEngine { instance }
+    }
+
+    /// The compiled plan behind this engine.
+    pub fn plan(&self) -> &QueryPlan {
+        self.instance.plan()
+    }
+
+    /// The executed instance behind this engine.
+    pub fn instance(&self) -> &PreparedInstance {
+        &self.instance
     }
 
     /// The OMQ this engine evaluates.
     pub fn omq(&self) -> &OntologyMediatedQuery {
-        &self.omq
+        self.instance.omq()
     }
 
     /// The query-directed chase `ch^q_O(D)` the engine evaluates over.
     pub fn chased_database(&self) -> &Database {
-        &self.d0
+        self.instance.chased_database()
     }
 
     /// Preprocessing statistics.
     pub fn stats(&self) -> &PreprocessStats {
-        &self.stats
+        self.instance.stats()
     }
 
     // ------------------------------------------------------------------
@@ -119,39 +115,18 @@ impl OmqEngine {
     /// (Theorem 4.1(1)).  Requires the query to be acyclic and free-connex
     /// acyclic.
     pub fn complete_structure(&self) -> Result<FreeConnexStructure> {
-        FreeConnexStructure::build(self.omq.query(), &self.d0, true)
+        self.instance.complete_structure()
     }
 
     /// Enumerates all complete (certain) answers.
     pub fn enumerate_complete(&self) -> Result<Vec<Vec<ConstId>>> {
-        let structure = self.complete_structure()?;
-        let mut out = Vec::new();
-        for answer in crate::enumerate::AnswerIter::new(&structure) {
-            out.push(
-                answer
-                    .into_iter()
-                    .map(|v| match v {
-                        Value::Const(c) => Ok(c),
-                        Value::Null(_) => Err(CoreError::Internal(
-                            "complete answer contains a null".to_owned(),
-                        )),
-                    })
-                    .collect::<Result<Vec<ConstId>>>()?,
-            );
-        }
-        Ok(out)
+        self.instance.enumerate_complete()
     }
 
     /// Streams the complete answers to a callback (useful for measuring the
     /// per-answer delay).
-    pub fn stream_complete(&self, mut f: impl FnMut(&[Value])) -> Result<usize> {
-        let structure = self.complete_structure()?;
-        let mut count = 0usize;
-        for answer in crate::enumerate::AnswerIter::new(&structure) {
-            count += 1;
-            f(&answer);
-        }
-        Ok(count)
+    pub fn stream_complete(&self, f: impl FnMut(&[Value])) -> Result<usize> {
+        self.instance.stream_complete(f)
     }
 
     // ------------------------------------------------------------------
@@ -162,44 +137,34 @@ impl OmqEngine {
     /// Theorem 5.2).  The returned enumerator is consumed by a single
     /// enumeration run; build a new one to re-enumerate.
     pub fn partial_enumerator(&self) -> Result<PartialEnumerator> {
-        PartialEnumerator::new(self.omq.query(), &self.d0)
+        self.instance.partial_enumerator()
     }
 
     /// Enumerates the minimal partial answers (single wildcard, Theorem 5.2).
     pub fn enumerate_minimal_partial(&self) -> Result<Vec<PartialTuple>> {
-        PartialEnumerator::new(self.omq.query(), &self.d0)?.collect()
+        self.instance.enumerate_minimal_partial()
     }
 
     /// Streams the minimal partial answers to a callback.
-    pub fn stream_minimal_partial(&self, mut f: impl FnMut(&PartialTuple)) -> Result<usize> {
-        let mut count = 0usize;
-        PartialEnumerator::new(self.omq.query(), &self.d0)?.enumerate(|t| {
-            count += 1;
-            f(&t);
-        })?;
-        Ok(count)
+    pub fn stream_minimal_partial(&self, f: impl FnMut(&PartialTuple)) -> Result<usize> {
+        self.instance.stream_minimal_partial(f)
     }
 
     /// Enumerates the minimal partial answers with all complete answers first
     /// (Proposition 2.1).
     pub fn enumerate_minimal_partial_complete_first(&self) -> Result<Vec<PartialTuple>> {
-        multi_enum::minimal_partial_answers_complete_first(self.omq.query(), &self.d0)
+        self.instance.enumerate_minimal_partial_complete_first()
     }
 
     /// Enumerates the minimal partial answers with multi-wildcards
     /// (Theorem 6.1).
     pub fn enumerate_minimal_partial_multi(&self) -> Result<Vec<MultiTuple>> {
-        multi_enum::minimal_partial_multi_answers(self.omq.query(), &self.d0)
+        self.instance.enumerate_minimal_partial_multi()
     }
 
     /// Streams the minimal partial answers with multi-wildcards to a callback.
-    pub fn stream_minimal_partial_multi(&self, mut f: impl FnMut(&MultiTuple)) -> Result<usize> {
-        let mut count = 0usize;
-        multi_enum::enumerate_minimal_partial_multi(self.omq.query(), &self.d0, |t| {
-            count += 1;
-            f(&t);
-        })?;
-        Ok(count)
+    pub fn stream_minimal_partial_multi(&self, f: impl FnMut(&MultiTuple)) -> Result<usize> {
+        self.instance.stream_minimal_partial_multi(f)
     }
 
     // ------------------------------------------------------------------
@@ -209,28 +174,22 @@ impl OmqEngine {
     /// Builds the all-tester for complete answers (Theorem 4.1(2)); requires
     /// the query to be free-connex acyclic (acyclicity is *not* required).
     pub fn all_tester(&self) -> Result<AllTester> {
-        AllTester::build(self.omq.query(), &self.d0, true)
+        self.instance.all_tester()
     }
 
     /// Single-tests a complete answer given by constant names.
     pub fn test_complete_names(&self, names: &[&str]) -> Result<bool> {
-        let values = match single_testing::resolve_constants(&self.d0, names) {
-            Ok(v) => v,
-            // A name that does not occur in the data cannot be an answer.
-            Err(CoreError::UnknownConstant(_)) => return Ok(false),
-            Err(e) => return Err(e),
-        };
-        single_testing::test_complete(self.omq.query(), &self.d0, &values)
+        self.instance.test_complete_names(names)
     }
 
     /// Single-tests a minimal partial answer (single wildcard).
     pub fn test_minimal_partial(&self, candidate: &PartialTuple) -> Result<bool> {
-        single_testing::test_minimal_partial(self.omq.query(), &self.d0, candidate)
+        self.instance.test_minimal_partial(candidate)
     }
 
     /// Single-tests a minimal partial answer with multi-wildcards.
     pub fn test_minimal_partial_multi(&self, candidate: &MultiTuple) -> Result<bool> {
-        single_testing::test_minimal_partial_multi(self.omq.query(), &self.d0, candidate)
+        self.instance.test_minimal_partial_multi(candidate)
     }
 
     // ------------------------------------------------------------------
@@ -239,54 +198,34 @@ impl OmqEngine {
 
     /// Resolves constant names to identifiers of the chased database.
     pub fn resolve(&self, names: &[&str]) -> Result<Vec<ConstId>> {
-        names
-            .iter()
-            .map(|n| {
-                self.d0
-                    .const_id(n)
-                    .ok_or_else(|| CoreError::UnknownConstant((*n).to_owned()))
-            })
-            .collect()
+        self.instance.resolve(names)
     }
 
     /// Builds a partial tuple from constant names and `*` wildcards.
     pub fn parse_partial(&self, spec: &[&str]) -> Result<PartialTuple> {
-        let values = spec
-            .iter()
-            .map(|s| {
-                if *s == "*" {
-                    Ok(omq_data::PartialValue::Star)
-                } else {
-                    self.d0
-                        .const_id(s)
-                        .map(omq_data::PartialValue::Const)
-                        .ok_or_else(|| CoreError::UnknownConstant((*s).to_owned()))
-                }
-            })
-            .collect::<Result<Vec<_>>>()?;
-        Ok(PartialTuple(values))
+        self.instance.parse_partial(spec)
     }
 
     /// Renders a complete answer with constant names.
     pub fn format_complete(&self, answer: &[ConstId]) -> String {
-        let names: Vec<&str> = answer.iter().map(|&c| self.d0.const_name(c)).collect();
-        format!("({})", names.join(","))
+        self.instance.format_complete(answer)
     }
 
     /// Renders a partial answer with constant names.
     pub fn format_partial(&self, answer: &PartialTuple) -> String {
-        answer.display_with(|c| self.d0.const_name(c).to_owned())
+        self.instance.format_partial(answer)
     }
 
     /// Renders a multi-wildcard answer with constant names.
     pub fn format_multi(&self, answer: &MultiTuple) -> String {
-        answer.display_with(|c| self.d0.const_name(c).to_owned())
+        self.instance.format_multi(answer)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::CoreError;
     use omq_chase::Ontology;
     use omq_cq::ConjunctiveQuery;
     use omq_data::Schema;

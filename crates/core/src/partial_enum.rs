@@ -10,23 +10,40 @@
 //! are strictly dominated by the pattern just output — this is what guarantees
 //! that only *minimal* partial answers are produced, without repetition.
 
-use crate::error::CoreError;
-use crate::preprocess::FreeConnexStructure;
-use crate::progress::{ProgressIndex, ProgressTree};
+use crate::preprocess::{FreeConnexStructure, PlanSkeleton};
+use crate::progress::ProgressIndex;
 use crate::Result;
 use omq_cq::{ConjunctiveQuery, VarId};
-use omq_data::{Database, PartialTuple, PartialValue, Value};
-use rustc_hash::FxHashMap;
+use omq_data::{Database, PartialTuple, PartialValue};
 
 /// The Algorithm 1 enumerator.
 ///
 /// The enumeration phase mutates the preprocessed `trees` lists (pruning), so
 /// an enumerator is consumed by [`PartialEnumerator::enumerate`]; build a new
 /// one (linear time) to re-enumerate.
+///
+/// The per-answer loop is hash-free: the variable assignment is a dense
+/// array indexed by [`VarId`], the `trees(v, h)` list for an open node is
+/// read from precomputed *continuation sites* (see
+/// [`ProgressIndex::sites_of`]) instead of hashing the predecessor binding,
+/// and the `prune` step locates dominated trees by binary search over
+/// presorted lists.
 #[derive(Debug)]
 pub struct PartialEnumerator {
     structure: FreeConnexStructure,
     index: ProgressIndex,
+    /// Dense assignment, indexed by `VarId`.
+    assignment: Vec<Option<PartialValue>>,
+    /// Per node: the list id to enumerate when the node opens (maintained
+    /// from the sites of the applied trees).
+    open_list: Vec<Option<usize>>,
+    /// Reusable undo stack for `open_list` updates (one frame per applied
+    /// tree, delimited by the stack length at application time), so the
+    /// per-answer loop performs no heap allocations.
+    site_undo: Vec<(usize, Option<usize>)>,
+    /// Reusable undo stack for variables bound by applied trees, with the
+    /// same frame discipline as `site_undo`.
+    var_undo: Vec<VarId>,
 }
 
 impl PartialEnumerator {
@@ -35,15 +52,33 @@ impl PartialEnumerator {
     /// Requires the query to be acyclic and free-connex acyclic.
     pub fn new(query: &ConjunctiveQuery, d0: &Database) -> Result<Self> {
         let structure = FreeConnexStructure::build(query, d0, false)?;
-        let index = ProgressIndex::build(&structure)?;
-        Ok(PartialEnumerator { structure, index })
+        Self::from_structure(structure)
+    }
+
+    /// Preprocesses a compiled skeleton over the chased instance `d0`.
+    pub fn with_skeleton(skeleton: &PlanSkeleton, d0: &Database) -> Result<Self> {
+        let structure = FreeConnexStructure::materialize(skeleton, d0, false)?;
+        Self::from_structure(structure)
     }
 
     /// Builds an enumerator from an existing structure (must have been built
     /// with `complete_only = false`).
     pub fn from_structure(structure: FreeConnexStructure) -> Result<Self> {
         let index = ProgressIndex::build(&structure)?;
-        Ok(PartialEnumerator { structure, index })
+        let var_count = structure.query.var_count();
+        let node_count = structure.nodes.len();
+        let mut open_list = vec![None; node_count];
+        for &(node, list) in index.root_sites() {
+            open_list[node] = list;
+        }
+        Ok(PartialEnumerator {
+            structure,
+            index,
+            assignment: vec![None; var_count],
+            open_list,
+            site_undo: Vec::new(),
+            var_undo: Vec::new(),
+        })
     }
 
     /// The underlying preprocessed structure.
@@ -63,8 +98,7 @@ impl PartialEnumerator {
             }
             return Ok(());
         }
-        let mut assignment: FxHashMap<VarId, PartialValue> = FxHashMap::default();
-        self.enum_at(0, &mut assignment, &mut output)?;
+        self.enum_at(0, &mut output)?;
         Ok(())
     }
 
@@ -77,97 +111,108 @@ impl PartialEnumerator {
 
     /// The `nextat` helper: the first pre-order position `≥ from` whose node
     /// has an unassigned variable, or `None` for "end of atoms".
-    fn next_open(&self, from: usize, assignment: &FxHashMap<VarId, PartialValue>) -> Option<usize> {
+    fn next_open(&self, from: usize) -> Option<usize> {
         (from..self.structure.preorder.len()).find(|&pos| {
             let node = self.structure.preorder[pos];
             self.structure.nodes[node]
                 .vars
                 .iter()
-                .any(|v| !assignment.contains_key(v))
+                .any(|v| self.assignment[v.0 as usize].is_none())
         })
     }
 
     /// The recursive `enum` procedure of Algorithm 1.
-    fn enum_at(
-        &mut self,
-        from: usize,
-        assignment: &mut FxHashMap<VarId, PartialValue>,
-        output: &mut impl FnMut(PartialTuple),
-    ) -> Result<()> {
-        let Some(pos) = self.next_open(from, assignment) else {
+    fn enum_at(&mut self, from: usize, output: &mut impl FnMut(PartialTuple)) -> Result<()> {
+        let Some(pos) = self.next_open(from) else {
             // End of atoms: output the answer and prune.
             let answer = PartialTuple(
                 self.structure
                     .answer_positions
                     .iter()
-                    .map(|v| assignment[v])
+                    .map(|v| self.assignment[v.0 as usize].expect("answer variable bound"))
                     .collect(),
             );
             output(answer);
-            self.prune(assignment);
+            self.prune();
             return Ok(());
         };
         let node = self.structure.preorder[pos];
-        // Predecessor binding: all predecessor variables are bound to
-        // constants at this point (a wildcard predecessor would have forced
-        // this node into its parent's progress tree, leaving no variable
-        // open).
-        let mut pred_binding: Vec<Value> =
-            Vec::with_capacity(self.structure.nodes[node].pred_vars.len());
-        for v in &self.structure.nodes[node].pred_vars {
-            match assignment.get(v) {
-                Some(PartialValue::Const(c)) => pred_binding.push(Value::Const(*c)),
-                Some(PartialValue::Star) => {
-                    return Err(CoreError::Internal(
-                        "open node with wildcard predecessor binding".to_owned(),
-                    ))
-                }
-                None => {
-                    return Err(CoreError::Internal(
-                        "open node with unbound predecessor variable".to_owned(),
-                    ))
-                }
-            }
-        }
-        let Some(list_id) = self.index.list_for(node, &pred_binding) else {
-            // No progress tree for this binding: nothing to enumerate below it
-            // (Lemma 5.4 rules this out; handled defensively).
+        // The list for this node under the current predecessor binding was
+        // precomputed as a site of the tree that bound the predecessors (or
+        // as a root site).  `None` means no progress tree exists for the
+        // binding: nothing to enumerate below it (Lemma 5.4 rules this out;
+        // handled defensively).
+        let Some(list_id) = self.open_list[node] else {
             return Ok(());
         };
         let mut cursor = self.index.head(list_id);
         while let Some(entry) = cursor {
-            let tree = self.index.tree(entry).clone();
-            // Merge the tree's pattern into the assignment.
-            let mut newly_bound: Vec<VarId> = Vec::new();
-            for (var, value) in &tree.pattern {
-                if !assignment.contains_key(var) {
-                    assignment.insert(*var, *value);
-                    newly_bound.push(*var);
+            // Merge the tree's pattern into the assignment (already-bound
+            // variables keep their value; by join-tree connectivity they are
+            // predecessor variables of the tree's root and agree with the
+            // pattern).
+            let var_base = self.var_undo.len();
+            for i in 0..self.index.tree(entry).pattern.len() {
+                let (var, value) = self.index.tree(entry).pattern[i];
+                let slot = &mut self.assignment[var.0 as usize];
+                if slot.is_none() {
+                    *slot = Some(value);
+                    self.var_undo.push(var);
                 }
             }
-            self.enum_at(pos + 1, assignment, output)?;
-            for var in newly_bound {
-                assignment.remove(&var);
+            // Publish the tree's continuation sites (undo frame delimited by
+            // the stack length — no per-tree allocation).
+            let undo_base = self.site_undo.len();
+            for i in 0..self.index.sites_of(entry).len() {
+                let (site_node, list) = self.index.sites_of(entry)[i];
+                self.site_undo.push((site_node, self.open_list[site_node]));
+                self.open_list[site_node] = list;
+            }
+            self.enum_at(pos + 1, output)?;
+            while self.site_undo.len() > undo_base {
+                let (site_node, old) = self.site_undo.pop().expect("frame non-empty");
+                self.open_list[site_node] = old;
+            }
+            while self.var_undo.len() > var_base {
+                let var = self.var_undo.pop().expect("frame non-empty");
+                self.assignment[var.0 as usize] = None;
             }
             cursor = self.index.next_of(entry);
         }
         Ok(())
     }
 
-    /// The `prune` procedure: after outputting the answer described by
-    /// `assignment`, remove from every `trees` list the progress trees that
-    /// are strictly dominated (same nodes, strictly more wildcards compatible
-    /// with the output pattern).
-    fn prune(&mut self, assignment: &FxHashMap<VarId, PartialValue>) {
-        let mut removals: Vec<ProgressTree> = Vec::new();
+    /// The `prune` procedure: after outputting the answer described by the
+    /// current assignment, remove from every `trees` list the progress trees
+    /// that are strictly dominated (same nodes, strictly more wildcards
+    /// compatible with the output pattern).  Lookups go through the
+    /// node's active list and binary search — no hashing.
+    fn prune(&mut self) {
+        let mut removals: Vec<usize> = Vec::new();
         for (root, nodes, vars) in self.index.subtrees() {
+            // Progress trees carry constants on the predecessor variables of
+            // their root; if the output assigns a wildcard there, no tree in
+            // any list can match a weakening of this output.
+            let pred_vars = &self.structure.nodes[root].pred_vars;
+            if pred_vars
+                .iter()
+                .any(|w| matches!(self.assignment[w.0 as usize], Some(PartialValue::Star)))
+            {
+                continue;
+            }
+            // The list holding trees rooted here under the output's
+            // predecessor binding is the node's active list.
+            let Some(list_id) = self.open_list[root] else {
+                continue;
+            };
             // Base pattern: the output restricted to the subtree's variables.
-            let base: Vec<(VarId, PartialValue)> =
-                vars.iter().map(|v| (*v, assignment[v])).collect();
+            let base: Vec<(VarId, PartialValue)> = vars
+                .iter()
+                .map(|v| (*v, self.assignment[v.0 as usize].expect("variable bound")))
+                .collect();
             // Predecessor variables of the subtree root must stay non-wildcard
             // (condition (1) of progress trees), so only the other constant
             // positions may be weakened.
-            let pred_vars = &self.structure.nodes[root].pred_vars;
             let weakenable: Vec<usize> = base
                 .iter()
                 .enumerate()
@@ -181,22 +226,21 @@ impl PartialEnumerator {
             }
             // All non-empty subsets of weakenable positions.
             let subset_count: u64 = 1u64 << weakenable.len().min(63);
+            let mut pattern = base.clone();
             for mask in 1..subset_count {
-                let mut pattern = base.clone();
+                pattern.copy_from_slice(&base);
                 for (bit, &pos) in weakenable.iter().enumerate() {
                     if mask & (1 << bit) != 0 {
                         pattern[pos].1 = PartialValue::Star;
                     }
                 }
-                removals.push(ProgressTree {
-                    root,
-                    nodes: nodes.to_vec(),
-                    pattern,
-                });
+                if let Some(entry) = self.index.find_in_list(list_id, nodes, &pattern) {
+                    removals.push(entry);
+                }
             }
         }
-        for tree in removals {
-            self.index.remove(&tree);
+        for entry in removals {
+            self.index.remove_entry(entry);
         }
     }
 }
@@ -214,7 +258,8 @@ pub fn minimal_partial_answers(
 mod tests {
     use super::*;
     use crate::baseline;
-    use omq_data::{Fact, Schema};
+    use crate::error::CoreError;
+    use omq_data::{Fact, Schema, Value};
     use rustc_hash::FxHashSet;
 
     fn check_against_oracle(query_text: &str, db: &Database) {

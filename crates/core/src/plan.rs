@@ -1,0 +1,517 @@
+//! The compile-once/execute-many evaluation pipeline: [`QueryPlan`] and
+//! [`PreparedInstance`].
+//!
+//! Everything the engines derive from the *query* side of an OMQ — the
+//! guardedness check, the acyclicity classification, the GYO join tree and
+//! reduced-relation layout ([`PlanSkeleton`]), and the query-directed chase's
+//! rule-trigger tables ([`omq_chase::QchasePlan`]) — depends only on the OMQ,
+//! not on the data.  A [`QueryPlan`] compiles all of it exactly once;
+//! [`QueryPlan::execute`] then evaluates the plan over any number of
+//! databases, each call producing a [`PreparedInstance`] that exposes every
+//! evaluation mode of the paper over that database's query-directed chase.
+//!
+//! This is the architectural seam for serving workloads: a fixed catalogue of
+//! OMQs is compiled up front, and per-request databases are only charged the
+//! data-linear work (chase copy + columnar extension scans), with the chase's
+//! bag-type memo amortised across requests.  [`crate::OmqEngine`] remains as
+//! a thin per-database facade over a plan plus one instance.
+
+use crate::all_testing::AllTester;
+use crate::error::CoreError;
+use crate::multi_enum;
+use crate::partial_enum::PartialEnumerator;
+use crate::preprocess::{FreeConnexStructure, PlanSkeleton};
+use crate::single_testing;
+use crate::{EngineConfig, PreprocessStats, Result};
+use omq_chase::{OntologyMediatedQuery, QchasePlan};
+use omq_cq::acyclicity::AcyclicityReport;
+use omq_data::{ConstId, Database, MultiTuple, PartialTuple, Value};
+use std::sync::Arc;
+use std::time::Instant;
+
+#[derive(Debug)]
+struct PlanInner {
+    omq: OntologyMediatedQuery,
+    config: EngineConfig,
+    report: AcyclicityReport,
+    /// The reduced-relation layout; `None` when the query is not
+    /// enumeration-tractable (testing modes still work).
+    skeleton: Option<PlanSkeleton>,
+    /// Why skeleton compilation failed, for error reporting on demand.
+    skeleton_error: Option<String>,
+    chase: QchasePlan,
+}
+
+/// A compiled evaluation plan for one OMQ, reusable across databases.
+///
+/// Cheap to clone (the compiled state is shared behind an [`Arc`]).
+#[derive(Debug, Clone)]
+pub struct QueryPlan {
+    inner: Arc<PlanInner>,
+}
+
+impl QueryPlan {
+    /// Compiles a plan with the default configuration.
+    ///
+    /// Returns an error if the ontology is not guarded.
+    pub fn compile(omq: &OntologyMediatedQuery) -> Result<QueryPlan> {
+        Self::compile_with(omq, &EngineConfig::default())
+    }
+
+    /// Compiles a plan with an explicit configuration.
+    pub fn compile_with(omq: &OntologyMediatedQuery, config: &EngineConfig) -> Result<QueryPlan> {
+        if !omq.is_guarded() {
+            return Err(CoreError::NotGuarded(
+                omq.ontology()
+                    .first_unguarded()
+                    .map(|t| t.to_string())
+                    .unwrap_or_default(),
+            ));
+        }
+        let report = omq.classify();
+        let (skeleton, skeleton_error) = match PlanSkeleton::compile(omq.query()) {
+            Ok(skeleton) => (Some(skeleton), None),
+            Err(e) => (None, Some(e.to_string())),
+        };
+        let chase = QchasePlan::new(omq, &config.qchase)?;
+        Ok(QueryPlan {
+            inner: Arc::new(PlanInner {
+                omq: omq.clone(),
+                config: *config,
+                report,
+                skeleton,
+                skeleton_error,
+                chase,
+            }),
+        })
+    }
+
+    /// The OMQ this plan evaluates.
+    pub fn omq(&self) -> &OntologyMediatedQuery {
+        &self.inner.omq
+    }
+
+    /// The configuration the plan was compiled with.
+    pub fn config(&self) -> &EngineConfig {
+        &self.inner.config
+    }
+
+    /// The acyclicity classification of the query.
+    pub fn report(&self) -> &AcyclicityReport {
+        &self.inner.report
+    }
+
+    /// The compiled reduced-relation layout, or an error if the query is not
+    /// both acyclic and free-connex acyclic.
+    pub fn skeleton(&self) -> Result<&PlanSkeleton> {
+        self.inner.skeleton.as_ref().ok_or_else(|| {
+            CoreError::NotEnumerationTractable(
+                self.inner
+                    .skeleton_error
+                    .clone()
+                    .unwrap_or_else(|| self.inner.omq.query().to_string()),
+            )
+        })
+    }
+
+    /// The reusable query-directed chase plan.
+    pub fn chase_plan(&self) -> &QchasePlan {
+        &self.inner.chase
+    }
+
+    /// Executes the plan over a database: runs the linear-time preprocessing
+    /// (query-directed chase, reusing the plan's memoised bag-type tables)
+    /// and returns a [`PreparedInstance`] exposing every evaluation mode.
+    pub fn execute(&self, db: &Database) -> Result<PreparedInstance> {
+        let start = Instant::now();
+        let chased = self.inner.chase.chase(db)?;
+        let stats = PreprocessStats {
+            input_facts: db.len(),
+            chased_facts: chased.database.len(),
+            chase_micros: start.elapsed().as_micros(),
+            grafts: chased.grafts,
+            memo_hits: chased.memo_hits,
+            saturation_converged: chased.saturation_converged,
+        };
+        Ok(PreparedInstance {
+            plan: self.clone(),
+            d0: chased.database,
+            stats,
+        })
+    }
+}
+
+/// A plan executed over one database: the query-directed chase `ch^q_O(D)`
+/// plus every evaluation mode of the paper over it.
+#[derive(Debug)]
+pub struct PreparedInstance {
+    plan: QueryPlan,
+    d0: Database,
+    stats: PreprocessStats,
+}
+
+impl PreparedInstance {
+    /// The plan this instance was produced by.
+    pub fn plan(&self) -> &QueryPlan {
+        &self.plan
+    }
+
+    /// The OMQ being evaluated.
+    pub fn omq(&self) -> &OntologyMediatedQuery {
+        self.plan.omq()
+    }
+
+    /// The query-directed chase `ch^q_O(D)` the instance evaluates over.
+    pub fn chased_database(&self) -> &Database {
+        &self.d0
+    }
+
+    /// Preprocessing statistics of this execution.
+    pub fn stats(&self) -> &PreprocessStats {
+        &self.stats
+    }
+
+    // ------------------------------------------------------------------
+    // Complete answers.
+    // ------------------------------------------------------------------
+
+    /// Builds the constant-delay enumeration structure for complete answers
+    /// (Theorem 4.1(1)).  Requires the query to be acyclic and free-connex
+    /// acyclic.
+    pub fn complete_structure(&self) -> Result<FreeConnexStructure> {
+        FreeConnexStructure::materialize(self.plan.skeleton()?, &self.d0, true)
+    }
+
+    /// Builds the enumeration structure for partial answers (labelled nulls
+    /// kept), shared by the wildcard engines.
+    pub fn partial_structure(&self) -> Result<FreeConnexStructure> {
+        FreeConnexStructure::materialize(self.plan.skeleton()?, &self.d0, false)
+    }
+
+    /// Enumerates all complete (certain) answers.
+    pub fn enumerate_complete(&self) -> Result<Vec<Vec<ConstId>>> {
+        let structure = self.complete_structure()?;
+        let mut out = Vec::new();
+        for answer in crate::enumerate::AnswerIter::new(&structure) {
+            out.push(
+                answer
+                    .into_iter()
+                    .map(|v| match v {
+                        Value::Const(c) => Ok(c),
+                        Value::Null(_) => Err(CoreError::Internal(
+                            "complete answer contains a null".to_owned(),
+                        )),
+                    })
+                    .collect::<Result<Vec<ConstId>>>()?,
+            );
+        }
+        Ok(out)
+    }
+
+    /// Streams the complete answers to a callback (useful for measuring the
+    /// per-answer delay).
+    pub fn stream_complete(&self, mut f: impl FnMut(&[Value])) -> Result<usize> {
+        let structure = self.complete_structure()?;
+        let mut count = 0usize;
+        for answer in crate::enumerate::AnswerIter::new(&structure) {
+            count += 1;
+            f(&answer);
+        }
+        Ok(count)
+    }
+
+    // ------------------------------------------------------------------
+    // Minimal partial answers.
+    // ------------------------------------------------------------------
+
+    /// Builds the Algorithm 1 enumerator (linear-time preprocessing of
+    /// Theorem 5.2).  The returned enumerator is consumed by a single
+    /// enumeration run; build a new one to re-enumerate.
+    pub fn partial_enumerator(&self) -> Result<PartialEnumerator> {
+        PartialEnumerator::with_skeleton(self.plan.skeleton()?, &self.d0)
+    }
+
+    /// Enumerates the minimal partial answers (single wildcard, Theorem 5.2).
+    pub fn enumerate_minimal_partial(&self) -> Result<Vec<PartialTuple>> {
+        self.partial_enumerator()?.collect()
+    }
+
+    /// Streams the minimal partial answers to a callback.
+    pub fn stream_minimal_partial(&self, mut f: impl FnMut(&PartialTuple)) -> Result<usize> {
+        let mut count = 0usize;
+        self.partial_enumerator()?.enumerate(|t| {
+            count += 1;
+            f(&t);
+        })?;
+        Ok(count)
+    }
+
+    /// Enumerates the minimal partial answers with all complete answers first
+    /// (Proposition 2.1).
+    pub fn enumerate_minimal_partial_complete_first(&self) -> Result<Vec<PartialTuple>> {
+        multi_enum::minimal_partial_answers_complete_first_prepared(self.plan.skeleton()?, &self.d0)
+    }
+
+    /// Enumerates the minimal partial answers with multi-wildcards
+    /// (Theorem 6.1).
+    pub fn enumerate_minimal_partial_multi(&self) -> Result<Vec<MultiTuple>> {
+        let mut out = Vec::new();
+        self.stream_minimal_partial_multi(|t| out.push(t.clone()))?;
+        Ok(out)
+    }
+
+    /// Streams the minimal partial answers with multi-wildcards to a callback.
+    pub fn stream_minimal_partial_multi(&self, mut f: impl FnMut(&MultiTuple)) -> Result<usize> {
+        let mut count = 0usize;
+        multi_enum::enumerate_minimal_partial_multi_prepared(
+            self.plan.skeleton()?,
+            &self.d0,
+            |t| {
+                count += 1;
+                f(&t);
+            },
+        )?;
+        Ok(count)
+    }
+
+    // ------------------------------------------------------------------
+    // Testing.
+    // ------------------------------------------------------------------
+
+    /// Builds the all-tester for complete answers (Theorem 4.1(2)); requires
+    /// the query to be free-connex acyclic (acyclicity is *not* required).
+    pub fn all_tester(&self) -> Result<AllTester> {
+        AllTester::build(self.omq().query(), &self.d0, true)
+    }
+
+    /// Single-tests a complete answer given by constant names.
+    pub fn test_complete_names(&self, names: &[&str]) -> Result<bool> {
+        let values = match single_testing::resolve_constants(&self.d0, names) {
+            Ok(v) => v,
+            // A name that does not occur in the data cannot be an answer.
+            Err(CoreError::UnknownConstant(_)) => return Ok(false),
+            Err(e) => return Err(e),
+        };
+        single_testing::test_complete(self.omq().query(), &self.d0, &values)
+    }
+
+    /// Single-tests a minimal partial answer (single wildcard).
+    pub fn test_minimal_partial(&self, candidate: &PartialTuple) -> Result<bool> {
+        single_testing::test_minimal_partial(self.omq().query(), &self.d0, candidate)
+    }
+
+    /// Single-tests a minimal partial answer with multi-wildcards.
+    pub fn test_minimal_partial_multi(&self, candidate: &MultiTuple) -> Result<bool> {
+        single_testing::test_minimal_partial_multi(self.omq().query(), &self.d0, candidate)
+    }
+
+    // ------------------------------------------------------------------
+    // Convenience / display.
+    // ------------------------------------------------------------------
+
+    /// Resolves constant names to identifiers of the chased database.
+    pub fn resolve(&self, names: &[&str]) -> Result<Vec<ConstId>> {
+        names
+            .iter()
+            .map(|n| {
+                self.d0
+                    .const_id(n)
+                    .ok_or_else(|| CoreError::UnknownConstant((*n).to_owned()))
+            })
+            .collect()
+    }
+
+    /// Builds a partial tuple from constant names and `*` wildcards.
+    pub fn parse_partial(&self, spec: &[&str]) -> Result<PartialTuple> {
+        let values = spec
+            .iter()
+            .map(|s| {
+                if *s == "*" {
+                    Ok(omq_data::PartialValue::Star)
+                } else {
+                    self.d0
+                        .const_id(s)
+                        .map(omq_data::PartialValue::Const)
+                        .ok_or_else(|| CoreError::UnknownConstant((*s).to_owned()))
+                }
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(PartialTuple(values))
+    }
+
+    /// Renders a complete answer with constant names.
+    pub fn format_complete(&self, answer: &[ConstId]) -> String {
+        let names: Vec<&str> = answer.iter().map(|&c| self.d0.const_name(c)).collect();
+        format!("({})", names.join(","))
+    }
+
+    /// Renders a partial answer with constant names.
+    pub fn format_partial(&self, answer: &PartialTuple) -> String {
+        answer.display_with(|c| self.d0.const_name(c).to_owned())
+    }
+
+    /// Renders a multi-wildcard answer with constant names.
+    pub fn format_multi(&self, answer: &MultiTuple) -> String {
+        answer.display_with(|c| self.d0.const_name(c).to_owned())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::OmqEngine;
+    use omq_chase::Ontology;
+    use omq_cq::ConjunctiveQuery;
+    use omq_data::Schema;
+    use rustc_hash::FxHashSet;
+
+    fn office_omq() -> OntologyMediatedQuery {
+        let ontology = Ontology::parse(
+            "Researcher(x) -> exists y. HasOffice(x, y)\n\
+             HasOffice(x, y) -> Office(y)\n\
+             Office(x) -> exists y. InBuilding(x, y)",
+        )
+        .unwrap();
+        let query =
+            ConjunctiveQuery::parse("q(x1, x2, x3) :- HasOffice(x1, x2), InBuilding(x2, x3)")
+                .unwrap();
+        OntologyMediatedQuery::new(ontology, query).unwrap()
+    }
+
+    fn schema() -> Schema {
+        let mut s = Schema::new();
+        s.add_relation("Researcher", 1).unwrap();
+        s.add_relation("HasOffice", 2).unwrap();
+        s.add_relation("InBuilding", 2).unwrap();
+        s
+    }
+
+    fn db_one() -> Database {
+        Database::builder(schema())
+            .fact("Researcher", ["mary"])
+            .fact("Researcher", ["john"])
+            .fact("Researcher", ["mike"])
+            .fact("HasOffice", ["mary", "room1"])
+            .fact("HasOffice", ["john", "room4"])
+            .fact("InBuilding", ["room1", "main1"])
+            .build()
+            .unwrap()
+    }
+
+    fn db_two() -> Database {
+        Database::builder(schema())
+            .fact("Researcher", ["ada"])
+            .fact("Researcher", ["bob"])
+            .fact("HasOffice", ["ada", "lab2"])
+            .fact("InBuilding", ["lab2", "west"])
+            .fact("InBuilding", ["lab9", "east"])
+            .build()
+            .unwrap()
+    }
+
+    fn rendered_partial(instance: &PreparedInstance) -> FxHashSet<String> {
+        instance
+            .enumerate_minimal_partial()
+            .unwrap()
+            .iter()
+            .map(|t| instance.format_partial(t))
+            .collect()
+    }
+
+    #[test]
+    fn one_plan_many_databases_matches_fresh_engines() {
+        let omq = office_omq();
+        let plan = QueryPlan::compile(&omq).unwrap();
+        for db in [db_one(), db_two()] {
+            let instance = plan.execute(&db).unwrap();
+            let engine = OmqEngine::preprocess(&omq, &db).unwrap();
+            // Complete answers.
+            let via_plan: FxHashSet<String> = instance
+                .enumerate_complete()
+                .unwrap()
+                .iter()
+                .map(|a| instance.format_complete(a))
+                .collect();
+            let via_engine: FxHashSet<String> = engine
+                .enumerate_complete()
+                .unwrap()
+                .iter()
+                .map(|a| engine.format_complete(a))
+                .collect();
+            assert_eq!(via_plan, via_engine);
+            // Minimal partial answers.
+            let engine_partial: FxHashSet<String> = engine
+                .enumerate_minimal_partial()
+                .unwrap()
+                .iter()
+                .map(|t| engine.format_partial(t))
+                .collect();
+            assert_eq!(rendered_partial(&instance), engine_partial);
+            // Multi-wildcard answers.
+            let via_plan: FxHashSet<String> = instance
+                .enumerate_minimal_partial_multi()
+                .unwrap()
+                .iter()
+                .map(|t| instance.format_multi(t))
+                .collect();
+            let via_engine: FxHashSet<String> = engine
+                .enumerate_minimal_partial_multi()
+                .unwrap()
+                .iter()
+                .map(|t| engine.format_multi(t))
+                .collect();
+            assert_eq!(via_plan, via_engine);
+        }
+    }
+
+    #[test]
+    fn second_execution_reuses_chase_memo() {
+        let omq = office_omq();
+        let plan = QueryPlan::compile(&omq).unwrap();
+        let first = plan.execute(&db_one()).unwrap();
+        let types = plan.chase_plan().memoized_bag_types();
+        assert!(types > 0);
+        let second = plan.execute(&db_one()).unwrap();
+        // Same shape, so the second run hits the memo for every bag.
+        assert!(second.stats().memo_hits >= first.stats().memo_hits);
+        assert_eq!(plan.chase_plan().memoized_bag_types(), types);
+    }
+
+    #[test]
+    fn unguarded_ontology_is_rejected_at_compile_time() {
+        let ontology = Ontology::parse("R(x, y), S(y, z) -> T(x, z)").unwrap();
+        let query = ConjunctiveQuery::parse("q(x, z) :- T(x, z)").unwrap();
+        let omq = OntologyMediatedQuery::new(ontology, query).unwrap();
+        assert!(matches!(
+            QueryPlan::compile(&omq),
+            Err(CoreError::NotGuarded(_))
+        ));
+    }
+
+    #[test]
+    fn intractable_query_compiles_but_enumeration_errors() {
+        // Projected path: weakly acyclic (testing works), not
+        // enumeration-tractable.
+        let ontology = Ontology::new();
+        let query = ConjunctiveQuery::parse("q(x, z) :- R(x, y), S(y, z)").unwrap();
+        let omq = OntologyMediatedQuery::new(ontology, query).unwrap();
+        let plan = QueryPlan::compile(&omq).unwrap();
+        assert!(plan.skeleton().is_err());
+        let mut s = Schema::new();
+        s.add_relation("R", 2).unwrap();
+        s.add_relation("S", 2).unwrap();
+        let db = Database::builder(s)
+            .fact("R", ["a", "b"])
+            .fact("S", ["b", "c"])
+            .build()
+            .unwrap();
+        let instance = plan.execute(&db).unwrap();
+        assert!(matches!(
+            instance.enumerate_complete(),
+            Err(CoreError::NotEnumerationTractable(_))
+        ));
+        // Single-testing still works.
+        assert!(instance.test_complete_names(&["a", "c"]).unwrap());
+        assert!(!instance.test_complete_names(&["a", "b"]).unwrap());
+    }
+}

@@ -83,6 +83,13 @@ struct ListHead {
     live: usize,
 }
 
+/// A continuation site of a progress tree: after the tree is applied, the
+/// pre-order traversal will next need the `trees(node, h)` list with the
+/// statically known binding `h` — `list` is its id (`None` if no tree exists
+/// for that binding).  Sites are precomputed at build time so that the
+/// enumeration phase never hashes a predecessor binding.
+pub type Site = (usize, Option<usize>);
+
 /// The global `trees(v, h)` data structure.
 #[derive(Debug, Clone)]
 pub struct ProgressIndex {
@@ -97,6 +104,15 @@ pub struct ProgressIndex {
     /// Variables of each subtree (union over its nodes), parallel to
     /// [`ProgressIndex::subtrees`].
     subtree_vars: Vec<Vec<VarId>>,
+    /// Per arena entry: the continuation sites its pattern enables (frontier
+    /// nodes of the tree, transitively through pass-through nodes whose
+    /// variables are all predecessor variables).
+    entry_sites: Vec<Vec<Site>>,
+    /// Sites available before any tree is applied (the root of `T₁`).
+    root_sites: Vec<Site>,
+    /// Per list: its entry ids sorted by `(nodes, pattern)` — the binary
+    /// search structure behind hash-free removals.
+    list_sorted: Vec<Vec<usize>>,
 }
 
 impl ProgressIndex {
@@ -112,6 +128,9 @@ impl ProgressIndex {
             locations: FxHashMap::default(),
             subtrees: Vec::new(),
             subtree_vars: Vec::new(),
+            entry_sites: Vec::new(),
+            root_sites: Vec::new(),
+            list_sorted: Vec::new(),
         };
         if node_count == 0 {
             return Ok(index);
@@ -206,7 +225,144 @@ impl ProgressIndex {
                 previous = Some(entry_id);
             }
         }
+
+        // ---- Precompute the hash-free enumeration-phase structures. ----
+        // A node is *pass-through* if all its variables are predecessor
+        // variables: when the traversal reaches it, everything is already
+        // bound and it opens no list of its own.
+        let binds_new: Vec<bool> = (0..node_count)
+            .map(|n| {
+                let node = &structure.nodes[n];
+                node.vars.iter().any(|v| !node.pred_vars.contains(v))
+            })
+            .collect();
+        for entry_id in 0..index.arena.len() {
+            let sites = index.sites_of_tree(structure, &binds_new, entry_id);
+            index.entry_sites.push(sites);
+        }
+        let root = structure.preorder.first().copied();
+        if let Some(root) = root {
+            let list = index.list_ids.get(&(root, Vec::new())).copied();
+            index.root_sites.push((root, list));
+        }
+        index.list_sorted = vec![Vec::new(); index.lists.len()];
+        for (entry_id, entry) in index.arena.iter().enumerate() {
+            index.list_sorted[entry.list].push(entry_id);
+        }
+        for sorted in &mut index.list_sorted {
+            sorted.sort_by(|&a, &b| {
+                let ta = &index.arena[a].tree;
+                let tb = &index.arena[b].tree;
+                (&ta.nodes, &ta.pattern).cmp(&(&tb.nodes, &tb.pattern))
+            });
+        }
         Ok(index)
+    }
+
+    /// Computes the continuation sites of one tree: the `T₁` children of its
+    /// nodes that are outside the tree, transitively through pass-through
+    /// nodes, each with the list id determined by the tree's pattern.  All
+    /// predecessor variables of such a frontier node carry constants in the
+    /// pattern — a labelled null would have forced the node *into* the tree —
+    /// so the binding is statically known.
+    fn sites_of_tree(
+        &self,
+        structure: &FreeConnexStructure,
+        binds_new: &[bool],
+        entry_id: usize,
+    ) -> Vec<Site> {
+        let tree = &self.arena[entry_id].tree;
+        let pattern: FxHashMap<VarId, PartialValue> = tree.pattern.iter().copied().collect();
+        let mut sites: Vec<Site> = Vec::new();
+        let mut stack: Vec<usize> = Vec::new();
+        for &n in &tree.nodes {
+            for &child in &structure.nodes[n].children {
+                if !tree.nodes.contains(&child) {
+                    stack.push(child);
+                }
+            }
+        }
+        while let Some(v) = stack.pop() {
+            let mut binding: Vec<Value> = Vec::with_capacity(structure.nodes[v].pred_vars.len());
+            let mut constant = true;
+            for w in &structure.nodes[v].pred_vars {
+                match pattern.get(w) {
+                    Some(PartialValue::Const(c)) => binding.push(Value::Const(*c)),
+                    _ => {
+                        // A wildcard predecessor would have forced `v` into
+                        // the tree; defensively record a dead site.
+                        constant = false;
+                        break;
+                    }
+                }
+            }
+            let list = if constant {
+                self.list_ids.get(&(v, binding)).copied()
+            } else {
+                None
+            };
+            sites.push((v, list));
+            if !binds_new[v] {
+                // Pass-through: its children's predecessor variables are all
+                // within `v.vars ⊆ v.pred_vars`, hence still covered by the
+                // tree's pattern.
+                for &child in &structure.nodes[v].children {
+                    stack.push(child);
+                }
+            }
+        }
+        sites
+    }
+
+    /// The continuation sites of an entry's tree.
+    pub fn sites_of(&self, entry: usize) -> &[Site] {
+        &self.entry_sites[entry]
+    }
+
+    /// The sites available before any tree is applied (the root of `T₁`).
+    pub fn root_sites(&self) -> &[Site] {
+        &self.root_sites
+    }
+
+    /// Finds the entry in `list_id` whose tree has exactly the given node set
+    /// and pattern, by binary search over the presorted list — no hashing.
+    /// Returns removed entries too (removal is idempotent).
+    pub fn find_in_list(
+        &self,
+        list_id: usize,
+        nodes: &[usize],
+        pattern: &[(VarId, PartialValue)],
+    ) -> Option<usize> {
+        let sorted = &self.list_sorted[list_id];
+        sorted
+            .binary_search_by(|&e| {
+                let t = &self.arena[e].tree;
+                (t.nodes.as_slice(), t.pattern.as_slice()).cmp(&(nodes, pattern))
+            })
+            .ok()
+            .map(|pos| sorted[pos])
+    }
+
+    /// Removes an entry by id (constant-time unlink).  Returns `true` iff it
+    /// was live.
+    pub fn remove_entry(&mut self, entry_id: usize) -> bool {
+        if self.arena[entry_id].removed {
+            return false;
+        }
+        let (prev, next, list) = {
+            let entry = &self.arena[entry_id];
+            (entry.prev, entry.next, entry.list)
+        };
+        self.arena[entry_id].removed = true;
+        match prev {
+            Some(p) => self.arena[p].next = next,
+            None => self.lists[list].head = next,
+        }
+        if let Some(n) = next {
+            self.arena[n].prev = prev;
+        }
+        self.lists[list].live -= 1;
+        true
     }
 
     /// The list id for `(node, predecessor binding)`, if any tree exists.
@@ -259,23 +415,7 @@ impl ProgressIndex {
         let Some(&entry_id) = self.locations.get(tree) else {
             return false;
         };
-        if self.arena[entry_id].removed {
-            return false;
-        }
-        let (prev, next, list) = {
-            let entry = &self.arena[entry_id];
-            (entry.prev, entry.next, entry.list)
-        };
-        self.arena[entry_id].removed = true;
-        match prev {
-            Some(p) => self.arena[p].next = next,
-            None => self.lists[list].head = next,
-        }
-        if let Some(n) = next {
-            self.arena[n].prev = prev;
-        }
-        self.lists[list].live -= 1;
-        true
+        self.remove_entry(entry_id)
     }
 
     /// All connected subtrees of `T₁` as `(root, nodes)` pairs, together with

@@ -1,0 +1,300 @@
+//! Dense columnar indexes: the hash-free lookup layer of [`Database`].
+//!
+//! The paper's `DelayC_lin` bounds assume RAM-model constant-time lookups.
+//! Earlier versions of this crate realised them with
+//! `FxHashMap<(RelId, u32, Value), Vec<usize>>`, which costs a hash and a
+//! pointer chase per probe and a small allocation per key.  The
+//! [`ColumnarIndex`] replaces those maps with dense CSR (compressed sparse
+//! row) arrays, built in one linear pass over the fact table:
+//!
+//! * every active-domain value carries a dense **value code** (its index in
+//!   `adom(D)`, maintained incrementally by the database);
+//! * for every `(relation, position)` pair there is a [`Column`]: a remap
+//!   from value codes to contiguous **column-local ids** plus a CSR layout
+//!   `offsets`/`facts` grouping the fact indices by column-local id;
+//! * one global mention CSR groups fact indices by value code (any position),
+//!   replacing the old by-value hash index.
+//!
+//! # Invariants
+//!
+//! 1. The index is a pure function of the fact table: it is (re)built from
+//!    scratch by a linear pass and never mutated incrementally.  The owning
+//!    [`Database`] invalidates it on every mutation (`add_fact`,
+//!    `add_relation`, `absorb`) and rebuilds lazily on the next lookup, so a
+//!    lookup can never observe a stale index.
+//! 2. `columns[r][p].offsets` has `distinct + 1` entries where `distinct` is
+//!    the number of distinct values in column `(r, p)`; the fact ids in
+//!    `facts[offsets[l]..offsets[l + 1]]` are exactly the facts whose
+//!    argument at position `p` has column-local id `l`, in insertion order.
+//! 3. `local_of_code[code]` is `NONE` iff the value with that code never
+//!    occurs in the column; otherwise it is a valid local id `< distinct`.
+//! 4. The mention CSR satisfies the same layout keyed by global value code,
+//!    with each fact listed **once** per mentioned value (duplicated
+//!    positions collapse), in insertion order.
+//! 5. All lookups after the build are array indexing — no hashing.
+//!
+//! [`Database`]: crate::database::Database
+
+use crate::database::Database;
+use crate::schema::RelId;
+use crate::value::Value;
+
+/// Sentinel for "value does not occur in this column".
+const NONE: u32 = u32::MAX;
+
+/// The per-`(relation, position)` CSR column of a [`ColumnarIndex`].
+#[derive(Debug, Clone, Default)]
+pub struct Column {
+    /// Global value code → column-local id (`NONE` if absent).
+    local_of_code: Vec<u32>,
+    /// Column-local id → the value it encodes (dense, in first-seen order).
+    values: Vec<Value>,
+    /// CSR offsets over [`Column::facts`], one entry per local id plus one.
+    offsets: Vec<u32>,
+    /// Fact indices grouped by column-local id.
+    facts: Vec<usize>,
+}
+
+impl Column {
+    /// Number of distinct values occurring in the column.
+    pub fn distinct(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The column-local id of a global value code, if the value occurs here.
+    #[inline]
+    pub fn local_of_code(&self, code: u32) -> Option<u32> {
+        match self.local_of_code.get(code as usize) {
+            Some(&l) if l != NONE => Some(l),
+            _ => None,
+        }
+    }
+
+    /// The value encoded by a column-local id.
+    pub fn value_of_local(&self, local: u32) -> Value {
+        self.values[local as usize]
+    }
+
+    /// The fact indices whose argument in this column has local id `local`.
+    #[inline]
+    pub fn facts_of_local(&self, local: u32) -> &[usize] {
+        let lo = self.offsets[local as usize] as usize;
+        let hi = self.offsets[local as usize + 1] as usize;
+        &self.facts[lo..hi]
+    }
+
+    /// The fact indices whose argument in this column has value code `code`
+    /// (empty if the value does not occur in the column).
+    #[inline]
+    pub fn facts_of_code(&self, code: u32) -> &[usize] {
+        match self.local_of_code(code) {
+            Some(local) => self.facts_of_local(local),
+            None => &[],
+        }
+    }
+
+    /// Iterates over `(value, facts)` groups in first-seen order.
+    pub fn groups(&self) -> impl Iterator<Item = (Value, &[usize])> {
+        (0..self.values.len() as u32).map(|l| (self.value_of_local(l), self.facts_of_local(l)))
+    }
+}
+
+/// The dense columnar index of a [`Database`]; see the module docs for the
+/// layout and its invariants.
+#[derive(Debug, Clone, Default)]
+pub struct ColumnarIndex {
+    /// `columns[rel][pos]`, sized by the schema at build time.
+    columns: Vec<Vec<Column>>,
+    /// Mention CSR: value code → fact indices mentioning the value.
+    mention_offsets: Vec<u32>,
+    mention_facts: Vec<usize>,
+}
+
+impl ColumnarIndex {
+    /// Builds the index in one linear pass over the fact table of `db`.
+    pub(crate) fn build(db: &Database) -> ColumnarIndex {
+        let adom_len = db.adom().len();
+        let schema = db.schema();
+        let mut columns: Vec<Vec<Column>> = Vec::with_capacity(schema.len());
+        for (rel, relation) in schema.iter() {
+            let mut per_pos: Vec<Column> = Vec::with_capacity(relation.arity);
+            for pos in 0..relation.arity {
+                per_pos.push(Self::build_column(db, rel, pos, adom_len));
+            }
+            columns.push(per_pos);
+        }
+
+        // Mention CSR over global value codes: count, prefix-sum, fill.
+        let mut counts = vec![0u32; adom_len];
+        for fact in db.facts() {
+            for value in fact.distinct_values() {
+                let code = db.value_code(value).expect("adom value has a code");
+                counts[code as usize] += 1;
+            }
+        }
+        let mut mention_offsets = Vec::with_capacity(adom_len + 1);
+        let mut total = 0u32;
+        mention_offsets.push(0);
+        for &c in &counts {
+            total += c;
+            mention_offsets.push(total);
+        }
+        let mut cursor: Vec<u32> = mention_offsets[..adom_len].to_vec();
+        let mut mention_facts = vec![0usize; total as usize];
+        for (idx, fact) in db.facts().iter().enumerate() {
+            for value in fact.distinct_values() {
+                let code = db.value_code(value).expect("adom value has a code") as usize;
+                mention_facts[cursor[code] as usize] = idx;
+                cursor[code] += 1;
+            }
+        }
+
+        ColumnarIndex {
+            columns,
+            mention_offsets,
+            mention_facts,
+        }
+    }
+
+    fn build_column(db: &Database, rel: RelId, pos: usize, adom_len: usize) -> Column {
+        let mut local_of_code = vec![NONE; adom_len];
+        let mut values: Vec<Value> = Vec::new();
+        let mut counts: Vec<u32> = Vec::new();
+        for &idx in db.facts_of(rel) {
+            let value = db.fact(idx).args[pos];
+            let code = db.value_code(value).expect("adom value has a code") as usize;
+            let local = if local_of_code[code] == NONE {
+                let l = values.len() as u32;
+                local_of_code[code] = l;
+                values.push(value);
+                counts.push(0);
+                l
+            } else {
+                local_of_code[code]
+            };
+            counts[local as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(values.len() + 1);
+        let mut total = 0u32;
+        offsets.push(0);
+        for &c in &counts {
+            total += c;
+            offsets.push(total);
+        }
+        let mut cursor: Vec<u32> = offsets[..values.len()].to_vec();
+        let mut facts = vec![0usize; total as usize];
+        for &idx in db.facts_of(rel) {
+            let value = db.fact(idx).args[pos];
+            let code = db.value_code(value).expect("adom value has a code") as usize;
+            let local = local_of_code[code] as usize;
+            facts[cursor[local] as usize] = idx;
+            cursor[local] += 1;
+        }
+        Column {
+            local_of_code,
+            values,
+            offsets,
+            facts,
+        }
+    }
+
+    /// The column of `(rel, pos)` (empty column if out of range).
+    pub fn column(&self, rel: RelId, pos: usize) -> Option<&Column> {
+        self.columns.get(rel.0 as usize).and_then(|c| c.get(pos))
+    }
+
+    /// Fact indices of `rel` whose argument at `pos` has value code `code`.
+    #[inline]
+    pub fn facts_with_code(&self, rel: RelId, pos: usize, code: u32) -> &[usize] {
+        match self.column(rel, pos) {
+            Some(column) => column.facts_of_code(code),
+            None => &[],
+        }
+    }
+
+    /// Fact indices mentioning the value with code `code` in any position.
+    #[inline]
+    pub fn facts_mentioning_code(&self, code: u32) -> &[usize] {
+        let Some(&hi) = self.mention_offsets.get(code as usize + 1) else {
+            return &[];
+        };
+        let lo = self.mention_offsets[code as usize];
+        &self.mention_facts[lo as usize..hi as usize]
+    }
+
+    /// Number of relation symbols covered by the index.
+    pub fn relation_count(&self) -> usize {
+        self.columns.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+
+    fn db() -> Database {
+        let mut s = Schema::new();
+        s.add_relation("R", 2).unwrap();
+        s.add_relation("A", 1).unwrap();
+        Database::builder(s)
+            .fact("R", ["a", "b"])
+            .fact("R", ["a", "c"])
+            .fact("R", ["b", "b"])
+            .fact("A", ["a"])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn csr_groups_match_hash_semantics() {
+        let db = db();
+        let r = db.schema().relation_id("R").unwrap();
+        let a = Value::Const(db.const_id("a").unwrap());
+        let b = Value::Const(db.const_id("b").unwrap());
+        assert_eq!(db.facts_with(r, 0, a), &[0, 1]);
+        assert_eq!(db.facts_with(r, 0, b), &[2]);
+        assert_eq!(db.facts_with(r, 1, b), &[0, 2]);
+        assert_eq!(db.facts_with(r, 1, a), &[] as &[usize]);
+        assert_eq!(db.facts_mentioning(a), &[0, 1, 3]);
+        // A fact with a repeated value is mentioned once.
+        assert_eq!(db.facts_mentioning(b), &[0, 2]);
+    }
+
+    #[test]
+    fn column_accessors_and_invariants() {
+        let db = db();
+        let r = db.schema().relation_id("R").unwrap();
+        let index = db.columnar();
+        let col0 = index.column(r, 0).unwrap();
+        assert_eq!(col0.distinct(), 2); // a, b
+        let total: usize = col0.groups().map(|(_, facts)| facts.len()).sum();
+        assert_eq!(total, 3);
+        // Every local id round-trips through its value's code.
+        for local in 0..col0.distinct() as u32 {
+            let value = col0.value_of_local(local);
+            let code = db.value_code(value).unwrap();
+            assert_eq!(col0.local_of_code(code), Some(local));
+        }
+        // Out-of-range lookups are empty, not panics — including the exact
+        // boundary code (== adom size), whose offset slot exists but whose
+        // successor slot does not.
+        assert!(index.facts_with_code(RelId(99), 0, 0).is_empty());
+        let adom_len = db.adom().len() as u32;
+        assert!(index.facts_mentioning_code(adom_len).is_empty());
+        assert!(index.facts_mentioning_code(adom_len + 1).is_empty());
+        assert!(index.facts_mentioning_code(u32::MAX - 1).is_empty());
+    }
+
+    #[test]
+    fn rebuild_after_mutation_is_consistent() {
+        let mut db = db();
+        let r = db.schema().relation_id("R").unwrap();
+        let a = Value::Const(db.const_id("a").unwrap());
+        assert_eq!(db.facts_with(r, 0, a).len(), 2); // builds the index
+        db.add_named_fact("R", &["a", "z"]).unwrap(); // invalidates it
+        assert_eq!(db.facts_with(r, 0, a).len(), 3); // rebuilt lazily
+        let z = Value::Const(db.const_id("z").unwrap());
+        assert_eq!(db.facts_mentioning(z).len(), 1);
+    }
+}

@@ -1,12 +1,17 @@
 //! Finite instances and databases with RAM-model style lookup indexes.
 
+use crate::columnar::ColumnarIndex;
 use crate::error::DataError;
 use crate::fact::Fact;
 use crate::interner::Interner;
 use crate::schema::{RelId, Schema};
 use crate::value::{ConstId, NullId, Value};
 use crate::Result;
-use rustc_hash::{FxHashMap, FxHashSet};
+use rustc_hash::FxHashSet;
+use std::sync::OnceLock;
+
+/// Sentinel for "value has no code yet" in the dense code tables.
+const NO_CODE: u32 = u32::MAX;
 
 /// A finite instance over a [`Schema`].
 ///
@@ -14,25 +19,51 @@ use rustc_hash::{FxHashMap, FxHashSet};
 /// constants; instances produced by the chase may also contain labelled nulls.
 /// `Database` represents both: [`Database::has_nulls`] distinguishes them.
 ///
-/// The structure maintains several hash indexes that play the role of the
-/// constant-time lookup tables of the RAM model used in the paper:
+/// The structure maintains the constant-time lookup tables of the RAM model
+/// used in the paper as **dense columnar indexes** rather than hash maps:
 ///
-/// * facts grouped by relation symbol,
-/// * facts indexed by `(relation, position, value)`,
-/// * facts indexed by value (any position),
-/// * the active domain.
-#[derive(Debug, Clone, Default)]
+/// * facts grouped by relation symbol (`by_relation`),
+/// * every active-domain value carries a dense *value code* (its index in
+///   `adom(D)`), maintained incrementally via per-kind code tables,
+/// * a [`ColumnarIndex`] — CSR arrays keyed by `(relation, position)` and by
+///   value code — built lazily in one linear pass and invalidated by every
+///   mutation, see [`crate::columnar`] for the invariants.
+#[derive(Debug, Default)]
 pub struct Database {
     schema: Schema,
     consts: Interner,
     facts: Vec<Fact>,
     fact_set: FxHashSet<Fact>,
     by_relation: Vec<Vec<usize>>,
-    pos_index: FxHashMap<(RelId, u32, Value), Vec<usize>>,
-    value_index: FxHashMap<Value, Vec<usize>>,
     adom: Vec<Value>,
-    adom_set: FxHashSet<Value>,
+    /// `ConstId` → value code (`NO_CODE` if the constant is not in the adom).
+    const_code: Vec<u32>,
+    /// `NullId` → value code (`NO_CODE` if the null is not in the adom).
+    null_code: Vec<u32>,
+    /// Lazily built columnar index; reset on every mutation.
+    columnar: OnceLock<ColumnarIndex>,
     next_null: u32,
+}
+
+impl Clone for Database {
+    /// Clones the data but not the lazily built columnar index: clones are
+    /// usually taken to be extended (chase, absorb), which would invalidate
+    /// the index immediately, and a read-only clone simply rebuilds it on
+    /// first lookup for the same linear cost the copy would have paid.
+    fn clone(&self) -> Self {
+        Database {
+            schema: self.schema.clone(),
+            consts: self.consts.clone(),
+            facts: self.facts.clone(),
+            fact_set: self.fact_set.clone(),
+            by_relation: self.by_relation.clone(),
+            adom: self.adom.clone(),
+            const_code: self.const_code.clone(),
+            null_code: self.null_code.clone(),
+            columnar: OnceLock::new(),
+            next_null: self.next_null,
+        }
+    }
 }
 
 impl Database {
@@ -45,10 +76,10 @@ impl Database {
             facts: Vec::new(),
             fact_set: FxHashSet::default(),
             by_relation: vec![Vec::new(); relation_count],
-            pos_index: FxHashMap::default(),
-            value_index: FxHashMap::default(),
             adom: Vec::new(),
-            adom_set: FxHashSet::default(),
+            const_code: Vec::new(),
+            null_code: Vec::new(),
+            columnar: OnceLock::new(),
             next_null: 0,
         }
     }
@@ -68,11 +99,18 @@ impl Database {
 
     /// Declares an additional relation symbol (used when extending a database
     /// with auxiliary relations such as the `P_db` relativisation predicate).
+    ///
+    /// Relations may be declared after facts exist: the per-relation fact
+    /// lists are extended and the columnar index is invalidated so that the
+    /// next lookup sees columns for the new symbol as well.
     pub fn add_relation(&mut self, name: &str, arity: usize) -> Result<RelId> {
         let id = self.schema.add_relation(name, arity)?;
         while self.by_relation.len() < self.schema.len() {
             self.by_relation.push(Vec::new());
         }
+        // A previously built index has no columns for the new relation;
+        // rebuild on the next lookup.
+        self.columnar = OnceLock::new();
         Ok(id)
     }
 
@@ -155,25 +193,60 @@ impl Database {
             return Ok(false);
         }
         let idx = self.facts.len();
-        for (pos, &v) in fact.args.iter().enumerate() {
-            self.pos_index
-                .entry((fact.rel, pos as u32, v))
-                .or_default()
-                .push(idx);
-            if self.adom_set.insert(v) {
-                self.adom.push(v);
-            }
+        for &v in &fact.args {
+            self.assign_code(v);
             if let Value::Null(n) = v {
                 self.reserve_null(n);
             }
         }
-        for v in fact.distinct_values() {
-            self.value_index.entry(v).or_default().push(idx);
-        }
         self.by_relation[fact.rel.0 as usize].push(idx);
         self.fact_set.insert(fact.clone());
         self.facts.push(fact);
+        self.columnar = OnceLock::new();
         Ok(true)
+    }
+
+    /// Assigns a dense value code to `v` if it does not have one yet,
+    /// extending the active domain.
+    fn assign_code(&mut self, v: Value) {
+        let table = match v {
+            Value::Const(ConstId(c)) => {
+                if self.const_code.len() <= c as usize {
+                    self.const_code.resize(c as usize + 1, NO_CODE);
+                }
+                &mut self.const_code[c as usize]
+            }
+            Value::Null(NullId(n)) => {
+                if self.null_code.len() <= n as usize {
+                    self.null_code.resize(n as usize + 1, NO_CODE);
+                }
+                &mut self.null_code[n as usize]
+            }
+        };
+        if *table == NO_CODE {
+            *table = u32::try_from(self.adom.len()).expect("adom overflow");
+            self.adom.push(v);
+        }
+    }
+
+    /// The dense value code of `v` (its index in [`Database::adom`]), if the
+    /// value occurs in the database.  A dense-array lookup, no hashing.
+    #[inline]
+    pub fn value_code(&self, v: Value) -> Option<u32> {
+        let code = match v {
+            Value::Const(ConstId(c)) => self.const_code.get(c as usize),
+            Value::Null(NullId(n)) => self.null_code.get(n as usize),
+        };
+        match code {
+            Some(&c) if c != NO_CODE => Some(c),
+            _ => None,
+        }
+    }
+
+    /// The columnar index of this database, building it in one linear pass if
+    /// a mutation invalidated (or nothing yet requested) it.
+    pub fn columnar(&self) -> &ColumnarIndex {
+        self.columnar.get_or_init(|| ColumnarIndex::build(self))
     }
 
     /// Returns `true` iff the fact is present.
@@ -217,19 +290,22 @@ impl Database {
     }
 
     /// Indices of the facts over `rel` whose argument at `pos` equals `value`.
+    ///
+    /// Served from the dense [`ColumnarIndex`]: a value-code array lookup
+    /// followed by a CSR slice — no hashing.
     pub fn facts_with(&self, rel: RelId, pos: usize, value: Value) -> &[usize] {
-        self.pos_index
-            .get(&(rel, pos as u32, value))
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        match self.value_code(value) {
+            Some(code) => self.columnar().facts_with_code(rel, pos, code),
+            None => &[],
+        }
     }
 
     /// Indices of the facts mentioning `value` in any position.
     pub fn facts_mentioning(&self, value: Value) -> &[usize] {
-        self.value_index
-            .get(&value)
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        match self.value_code(value) {
+            Some(code) => self.columnar().facts_mentioning_code(code),
+            None => &[],
+        }
     }
 
     /// Iterates over fact indices of `rel` matching a partial binding: the
@@ -268,7 +344,7 @@ impl Database {
 
     /// Returns `true` iff `value` occurs in the database.
     pub fn in_adom(&self, value: Value) -> bool {
-        self.adom_set.contains(&value)
+        self.value_code(value).is_some()
     }
 
     /// The constants of the active domain.
@@ -318,6 +394,7 @@ impl Database {
         while self.by_relation.len() < self.schema.len() {
             self.by_relation.push(Vec::new());
         }
+        self.columnar = OnceLock::new();
         // Relation ids may differ between the two schemas; remap by name.
         for fact in other.facts() {
             let name = other.schema().name(fact.rel).to_owned();
@@ -535,5 +612,52 @@ mod tests {
         let has_office = db.schema().relation_id("HasOffice").unwrap();
         let f = &db.facts()[db.facts_of(has_office)[0]];
         assert_eq!(db.display_fact(f), "HasOffice(mary,room1)");
+    }
+
+    #[test]
+    fn value_codes_are_dense_and_stable() {
+        let db = office_db();
+        for (expected, &v) in db.adom().iter().enumerate() {
+            assert_eq!(db.value_code(v), Some(expected as u32));
+        }
+        assert_eq!(db.value_code(Value::Const(ConstId(9999))), None);
+        assert_eq!(db.value_code(Value::Null(NullId(0))), None);
+    }
+
+    /// Regression test for the `P_db` relativisation path: relations declared
+    /// *after* facts exist (and after the columnar index was built) must be
+    /// fully indexed.
+    #[test]
+    fn add_relation_after_facts_keeps_indexes_consistent() {
+        let mut db = office_db();
+        let mary = Value::Const(db.const_id("mary").unwrap());
+        // Force the columnar index to be built with the original schema.
+        assert_eq!(db.facts_mentioning(mary).len(), 2);
+        // Declare the relativisation predicate afterwards and populate it.
+        let p_db = db.add_relation("P_db", 1).unwrap();
+        assert_eq!(db.by_relation.len(), db.schema().len());
+        for value in ["mary", "john", "mike"] {
+            db.add_named_fact("P_db", &[value]).unwrap();
+        }
+        assert_eq!(db.facts_of(p_db).len(), 3);
+        assert_eq!(db.facts_with(p_db, 0, mary).len(), 1);
+        // The new facts also show up in the mention index.
+        assert_eq!(db.facts_mentioning(mary).len(), 3);
+        // Declaring a relation and never adding facts is also consistent.
+        let empty = db.add_relation("Q_db", 2).unwrap();
+        assert!(db.facts_of(empty).is_empty());
+        assert!(db.facts_with(empty, 0, mary).is_empty());
+    }
+
+    #[test]
+    fn lookups_reflect_mutations_interleaved_with_reads() {
+        let mut db = office_db();
+        let researcher = db.schema().relation_id("Researcher").unwrap();
+        let mary = Value::Const(db.const_id("mary").unwrap());
+        assert_eq!(db.facts_with(researcher, 0, mary).len(), 1);
+        db.add_named_fact("Researcher", &["zoe"]).unwrap();
+        let zoe = Value::Const(db.const_id("zoe").unwrap());
+        assert_eq!(db.facts_with(researcher, 0, zoe).len(), 1);
+        assert_eq!(db.facts_of(researcher).len(), 4);
     }
 }

@@ -7,9 +7,9 @@
 //! * interned **constants** (the countably infinite set `C` of the paper) and
 //!   **nulls** (the set `N`), see [`Value`];
 //! * **schemas** of relation symbols with arities, see [`Schema`];
-//! * **facts** and finite **instances / databases** with hash indexes that play
-//!   the role of the RAM-model lookup tables assumed by the paper, see
-//!   [`Database`];
+//! * **facts** and finite **instances / databases** with dense columnar
+//!   indexes that play the role of the RAM-model lookup tables assumed by the
+//!   paper, see [`Database`] and [`columnar::ColumnarIndex`];
 //! * the **Gaifman graph** of a database and guarded sets, see [`gaifman`];
 //! * **wildcard tuples** for partial answers — both the single-wildcard variant
 //!   (`*`) and the multi-wildcard variant (`*1, *2, …`) together with their
@@ -22,6 +22,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod columnar;
 pub mod database;
 pub mod error;
 pub mod fact;
@@ -31,6 +32,7 @@ pub mod schema;
 pub mod value;
 pub mod wildcard;
 
+pub use columnar::{Column, ColumnarIndex};
 pub use database::{Database, DatabaseBuilder};
 pub use error::DataError;
 pub use fact::Fact;

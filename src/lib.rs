@@ -16,10 +16,15 @@
 //!   implied by the ontology but whose identity is unknown — enumerated with
 //!   linear-time preprocessing and constant delay (Algorithms 1 and 2 of the
 //!   paper);
+//! * a **compile-once/execute-many pipeline**: `QueryPlan` compiles the
+//!   query-side artefacts (acyclicity classification, join trees, reduced
+//!   relation layout, chase rule-trigger tables) once per OMQ and evaluates
+//!   them over any number of databases via `QueryPlan::execute` — see
+//!   `examples/plan_reuse.rs`;
 //! * all the substrates required along the way: a relational data model with
-//!   RAM-style indexes, conjunctive-query machinery (join trees, acyclicity
-//!   notions), the chase, the query-directed chase, and a linear-time Horn
-//!   minimal-model solver.
+//!   dense columnar indexes, conjunctive-query machinery (join trees,
+//!   acyclicity notions), the chase, the query-directed chase, and a
+//!   linear-time Horn minimal-model solver.
 //!
 //! ## Quick start
 //!
@@ -74,16 +79,16 @@ pub use omq_data as data;
 pub mod prelude {
     pub use omq_chase::{
         chase, query_directed_chase, ChaseConfig, Ontology, OntologyMediatedQuery, QchaseConfig,
-        Tgd,
+        QchasePlan, Tgd,
     };
     pub use omq_core::{
         all_testing::AllTester, baseline::BruteForce, single_testing, EngineConfig, OmqEngine,
-        PartialEnumerator, PreprocessStats,
+        PartialEnumerator, PlanSkeleton, PreparedInstance, PreprocessStats, QueryPlan,
     };
     pub use omq_cq::{acyclicity::AcyclicityReport, Atom, ConjunctiveQuery, Term, VarId};
     pub use omq_data::{
-        ConstId, Database, Fact, MultiTuple, MultiValue, NullId, PartialTuple, PartialValue, RelId,
-        Schema, Value,
+        ColumnarIndex, ConstId, Database, Fact, MultiTuple, MultiValue, NullId, PartialTuple,
+        PartialValue, RelId, Schema, Value,
     };
 }
 

@@ -3,12 +3,14 @@
 //! Implements the subset of the proptest 1.x API used by this workspace's
 //! property tests:
 //!
-//! * the [`Strategy`] trait with `prop_map` and `boxed`, implemented for
-//!   half-open integer ranges, 2- and 3-tuples of strategies, and [`Just`];
+//! * the [`strategy::Strategy`] trait with `prop_map` and `boxed`,
+//!   implemented for half-open integer ranges, 2- and 3-tuples of
+//!   strategies, and [`strategy::Just`];
 //! * `prop::collection::vec` with both exact and ranged sizes;
 //! * the [`proptest!`], [`prop_oneof!`], [`prop_assert!`] and
 //!   [`prop_assert_eq!`] macros;
-//! * [`ProptestConfig`] (`with_cases`) and a deterministic test runner.
+//! * [`test_runner::ProptestConfig`] (`with_cases`) and a deterministic test
+//!   runner.
 //!
 //! Differences from the real crate: case generation is seeded from the test
 //! name (fully reproducible, no `PROPTEST_*` environment handling), and a
