@@ -1,4 +1,4 @@
-//! The experiment suite (E1–E12) and its table output.
+//! The experiment suite (E1–E13) and its table output.
 //!
 //! Every experiment returns a [`Table`]; the harness binary prints them,
 //! writes the machine-readable `BENCH_<exp>.json` counterparts (see
@@ -6,7 +6,8 @@
 //! with the paper claim the experiment validates.
 
 use crate::generators::{
-    random_bipartite_graph, random_graph, sparse_boolean_matrix, university, UniversityConfig,
+    clustered_university, random_bipartite_graph, random_graph, sparse_boolean_matrix, university,
+    ClusteredConfig, UniversityConfig,
 };
 use crate::measure::{linear_fit, measure_stream, DelayStats};
 use crate::reductions;
@@ -873,6 +874,111 @@ fn plan_agrees_with_engine(
     true
 }
 
+/// E13 — shared-nothing parallel execution: speedup of
+/// `QueryPlan::execute_parallel` versus thread count on a component-rich
+/// clustered workload, plus the per-answer delay of the merged (chained)
+/// enumeration, which must stay flat as threads are added.
+///
+/// The chase memo is warmed before the sweep so that every run measures the
+/// steady-state serving path (sharding + parallel chase + merge), not the
+/// first-run bag-type discovery.  Every parallel run is cross-checked
+/// answer-for-answer (as multisets) against the sequential baseline on both
+/// the complete and the minimal-partial semantics.
+pub fn e13_parallel_speedup(quick: bool) -> Table {
+    use std::collections::BTreeMap;
+    let mut table = Table::new(
+        "E13",
+        "Parallel execution: Gaifman-sharded chase, speedup vs thread count",
+        &[
+            "threads",
+            "shards",
+            "exec µs",
+            "speedup",
+            "answers",
+            "mean delay ns",
+            "p99 delay ns",
+            "answers equal",
+        ],
+    );
+    let config = if quick {
+        ClusteredConfig {
+            clusters: 8,
+            researchers_per_cluster: 125,
+            ..Default::default()
+        }
+    } else {
+        ClusteredConfig {
+            clusters: 16,
+            researchers_per_cluster: 500,
+            ..Default::default()
+        }
+    };
+    let (omq, db) = clustered_university(&config);
+    let plan = QueryPlan::compile(&omq).expect("guarded OMQ");
+    // Warm the shared chase memo (bag-type tables are data-independent).
+    let _ = plan.execute(&db).expect("guarded OMQ");
+    let start = Instant::now();
+    let sequential = plan.execute(&db).expect("guarded OMQ");
+    let sequential_micros = start.elapsed().as_micros().max(1);
+    let answer_multisets = |instance: &omq_core::PreparedInstance| {
+        let mut complete: BTreeMap<Vec<omq_data::ConstId>, usize> = BTreeMap::new();
+        for a in instance.enumerate_complete().expect("tractable query") {
+            *complete.entry(a).or_default() += 1;
+        }
+        let mut partial: BTreeMap<omq_data::PartialTuple, usize> = BTreeMap::new();
+        for t in instance
+            .enumerate_minimal_partial()
+            .expect("tractable query")
+        {
+            *partial.entry(t).or_default() += 1;
+        }
+        (complete, partial)
+    };
+    let baseline = answer_multisets(&sequential);
+
+    let mut mean_delay_1t = 0f64;
+    for threads in [1usize, 2, 4, 8] {
+        let stats = measure_stream(
+            || plan.execute_parallel(&db, threads).expect("guarded OMQ"),
+            |instance, tick| {
+                instance
+                    .stream_minimal_partial(|_| tick())
+                    .expect("tractable query");
+            },
+        );
+        let exec_micros = stats.preprocess_micros.max(1);
+        let speedup = sequential_micros as f64 / exec_micros as f64;
+        // Untimed verification run.
+        let instance = plan.execute_parallel(&db, threads).expect("guarded OMQ");
+        let equal = answer_multisets(&instance) == baseline;
+        if threads == 1 {
+            mean_delay_1t = stats.mean_delay_nanos as f64;
+        } else {
+            table.push_metric(&format!("speedup_{threads}_threads"), speedup);
+        }
+        if threads == 4 {
+            table.push_metric(
+                "delay_ratio_4_threads_vs_1",
+                stats.mean_delay_nanos as f64 / mean_delay_1t.max(1.0),
+            );
+        }
+        table.push_row(vec![
+            threads.to_string(),
+            instance.shard_count().to_string(),
+            exec_micros.to_string(),
+            format!("{speedup:.2}x"),
+            stats.answers.to_string(),
+            stats.mean_delay_nanos.to_string(),
+            stats.p99_delay_nanos.to_string(),
+            equal.to_string(),
+        ]);
+    }
+    table.push_metric("sequential_exec_micros", sequential_micros as f64);
+    table.push_metric("input_facts", db.len() as f64);
+    table.push_metric("components", db.component_count() as f64);
+    table
+}
+
 /// Runs one experiment by identifier.
 pub fn run_experiment(id: &str, quick: bool) -> Option<Table> {
     match id.to_ascii_uppercase().as_str() {
@@ -888,6 +994,7 @@ pub fn run_experiment(id: &str, quick: bool) -> Option<Table> {
         "E10" => Some(e10_baseline(quick)),
         "E11" => Some(e11_ablation(quick)),
         "E12" => Some(e12_plan_columnar(quick)),
+        "E13" => Some(e13_parallel_speedup(quick)),
         _ => None,
     }
 }
@@ -895,7 +1002,7 @@ pub fn run_experiment(id: &str, quick: bool) -> Option<Table> {
 /// Runs the full suite.
 pub fn run_all(quick: bool) -> Vec<Table> {
     [
-        "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12",
+        "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13",
     ]
     .iter()
     .filter_map(|id| run_experiment(id, quick))
@@ -943,6 +1050,22 @@ mod tests {
     #[test]
     fn unknown_experiment_is_none() {
         assert!(run_experiment("E99", true).is_none());
+    }
+
+    #[test]
+    fn e13_parallel_agrees_and_exports_metrics() {
+        let table = e13_parallel_speedup(true);
+        assert_eq!(table.rows.len(), 4);
+        // Every thread count reproduces the sequential answer multisets.
+        let equal_col = table.headers.len() - 1;
+        assert!(table.rows.iter().all(|r| r[equal_col] == "true"));
+        // The same number of answers at every thread count.
+        let answers: Vec<&str> = table.rows.iter().map(|r| r[4].as_str()).collect();
+        assert!(answers.windows(2).all(|w| w[0] == w[1]));
+        let names: Vec<&str> = table.metrics.iter().map(|(k, _)| k.as_str()).collect();
+        assert!(names.contains(&"speedup_4_threads"));
+        assert!(names.contains(&"delay_ratio_4_threads_vs_1"));
+        assert!(names.contains(&"components"));
     }
 
     #[test]

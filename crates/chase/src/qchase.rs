@@ -34,7 +34,7 @@ use crate::omq::OntologyMediatedQuery;
 use crate::Result;
 use omq_data::{Database, Fact, NullId, RelId, Value};
 use rustc_hash::{FxHashMap, FxHashSet};
-use std::sync::Mutex;
+use std::sync::RwLock;
 
 /// Configuration of the query-directed chase.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -131,7 +131,11 @@ pub struct QchasePlan {
     relations: Vec<(String, usize)>,
     tree_depth: usize,
     saturation_depth: usize,
-    memo: Mutex<PlanMemo>,
+    /// Read-mostly: the warm path (every bag type already memoised) only ever
+    /// takes the read lock, so concurrent executions of a shared plan do not
+    /// serialize; the write lock is taken only to set the fingerprint on the
+    /// first run and to publish newly discovered bag types.
+    memo: RwLock<PlanMemo>,
 }
 
 impl QchasePlan {
@@ -154,7 +158,7 @@ impl QchasePlan {
             relations,
             tree_depth,
             saturation_depth,
-            memo: Mutex::new(PlanMemo::default()),
+            memo: RwLock::new(PlanMemo::default()),
         })
     }
 
@@ -170,7 +174,7 @@ impl QchasePlan {
 
     /// Number of memoised bag types accumulated so far (both tables).
     pub fn memoized_bag_types(&self) -> usize {
-        let memo = self.memo.lock().expect("qchase memo poisoned");
+        let memo = self.memo.read().expect("qchase memo poisoned");
         memo.ground.len() + memo.graft.len()
     }
 
@@ -188,34 +192,55 @@ impl QchasePlan {
             .map(|(_, rel)| (rel.name.clone(), rel.arity))
             .collect();
 
-        // Snapshot the shared tables instead of holding the lock across the
+        // Snapshot the shared tables instead of holding a lock across the
         // (data-linear) chase: concurrent executions of a shared plan run in
         // parallel, each on its own copy, and publish new bag types at the
         // end.  The tables are bounded by the ontology's bag types, so the
         // copies are small compared to the chase itself.
-        let (shareable, mut local) = {
-            let mut memo = self.memo.lock().expect("qchase memo poisoned");
-            let matches = match &memo.fingerprint {
-                Some(existing) => *existing == fingerprint,
-                None => {
-                    memo.fingerprint = Some(fingerprint);
-                    true
+        //
+        // Locking protocol (read-mostly): the fingerprint check and the
+        // snapshot only take the *read* lock, so warm executions — every bag
+        // type already memoised — never contend with each other.  The write
+        // lock is taken in exactly two cold situations: to set the
+        // fingerprint on the very first run (double-checked under the write
+        // lock), and to publish bag types this run discovered beyond its
+        // snapshot.
+        let matches = {
+            let memo = self.memo.read().expect("qchase memo poisoned");
+            memo.fingerprint.as_ref().map(|f| *f == fingerprint)
+        };
+        let matches = match matches {
+            Some(m) => m,
+            None => {
+                let mut memo = self.memo.write().expect("qchase memo poisoned");
+                match &memo.fingerprint {
+                    Some(existing) => *existing == fingerprint,
+                    None => {
+                        memo.fingerprint = Some(fingerprint);
+                        true
+                    }
                 }
-            };
-            if matches && self.config.memoize {
-                let snapshot = PlanMemo {
-                    fingerprint: None,
-                    ground: memo.ground.clone(),
-                    graft: memo.graft.clone(),
-                };
-                (true, snapshot)
-            } else {
-                (false, PlanMemo::default())
             }
         };
+        let (shareable, mut local) = if matches && self.config.memoize {
+            let memo = self.memo.read().expect("qchase memo poisoned");
+            let snapshot = PlanMemo {
+                fingerprint: None,
+                ground: memo.ground.clone(),
+                graft: memo.graft.clone(),
+            };
+            (true, snapshot)
+        } else {
+            (false, PlanMemo::default())
+        };
+        let snapshot_ground = local.ground.len();
+        let snapshot_graft = local.graft.len();
         let chased = self.chase_prepared(db, result, &mut local.ground, &mut local.graft)?;
-        if shareable {
-            let mut memo = self.memo.lock().expect("qchase memo poisoned");
+        // Publish only on a miss: a fully warm run leaves the tables at their
+        // snapshot size and never upgrades to the write lock.
+        if shareable && (local.ground.len() > snapshot_ground || local.graft.len() > snapshot_graft)
+        {
+            let mut memo = self.memo.write().expect("qchase memo poisoned");
             for (signature, derived) in local.ground {
                 memo.ground.entry(signature).or_insert(derived);
             }
@@ -686,6 +711,73 @@ mod tests {
         let fresh = query_directed_chase(&reordered, &omq, &QchaseConfig::default()).unwrap();
         assert_eq!(via_plan.database.len(), fresh.database.len());
         assert_eq!(via_plan.database.len(), baseline.database.len());
+    }
+
+    #[test]
+    fn concurrent_warm_executions_share_the_memo_without_blocking() {
+        // Regression test for the warm-path contention bug: the memo used to
+        // sit behind a `Mutex`, so read-only memo hits of concurrent
+        // executions serialized.  With the `RwLock` write-only-on-miss
+        // protocol, warm runs take only the read lock; this test drives many
+        // concurrent warm executions through one shared plan and checks that
+        // they all complete with the correct result, all hit the memo, and
+        // that none of them grows the tables (i.e. none took the publish
+        // path, which is the only write-lock site after warm-up).
+        let omq = office_omq();
+        let plan = QchasePlan::new(&omq, &QchaseConfig::default()).unwrap();
+        // Warm the memo with every bag type of the workload shape.
+        let warmup = plan.chase(&office_db()).unwrap();
+        let types = plan.memoized_bag_types();
+        assert!(types > 0);
+        let barrier = std::sync::Barrier::new(8);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for _ in 0..8 {
+                handles.push(scope.spawn(|| {
+                    barrier.wait();
+                    let mut results = Vec::new();
+                    for _ in 0..16 {
+                        results.push(plan.chase(&office_db()).unwrap());
+                    }
+                    results
+                }));
+            }
+            for handle in handles {
+                for chased in handle.join().unwrap() {
+                    assert_eq!(chased.database.len(), warmup.database.len());
+                    assert_eq!(chased.grafts, warmup.grafts);
+                    // Every bag lookup was a memo hit.
+                    assert!(chased.memo_hits > 0);
+                }
+            }
+        });
+        assert_eq!(plan.memoized_bag_types(), types);
+    }
+
+    #[test]
+    fn concurrent_cold_executions_agree_with_sequential() {
+        // Cold-start race: several threads populate the memo of a fresh plan
+        // at once.  Whichever publish wins, every result must equal the
+        // sequential chase.
+        let omq = office_omq();
+        let plan = QchasePlan::new(&omq, &QchaseConfig::default()).unwrap();
+        let reference = query_directed_chase(&office_db(), &omq, &QchaseConfig::default()).unwrap();
+        let barrier = std::sync::Barrier::new(4);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for _ in 0..4 {
+                handles.push(scope.spawn(|| {
+                    barrier.wait();
+                    plan.chase(&office_db()).unwrap()
+                }));
+            }
+            for handle in handles {
+                let chased = handle.join().unwrap();
+                assert_eq!(chased.database.len(), reference.database.len());
+                assert_eq!(chased.grafts, reference.grafts);
+            }
+        });
+        assert!(plan.memoized_bag_types() > 0);
     }
 
     #[test]

@@ -22,6 +22,11 @@ pub enum CoreError {
     },
     /// A constant name supplied by the caller is unknown to the database.
     UnknownConstant(String),
+    /// The operation is only defined on single-shard instances (sequential
+    /// executions); the instance at hand was produced by a sharded parallel
+    /// execution.  Use the shard-aware `enumerate_*`/`stream_*`/`test_*`
+    /// methods, or evaluate per shard.
+    ShardedInstance(String),
     /// Internal invariant violation (indicates a bug; reported instead of
     /// panicking so that callers can surface it).
     Internal(String),
@@ -47,6 +52,11 @@ impl fmt::Display for CoreError {
                 write!(f, "candidate has arity {actual}, expected {expected}")
             }
             CoreError::UnknownConstant(c) => write!(f, "unknown constant `{c}`"),
+            CoreError::ShardedInstance(op) => write!(
+                f,
+                "`{op}` exposes a single chased database and is only defined on single-shard \
+                 instances; this instance is sharded — use the shard-aware methods"
+            ),
             CoreError::Internal(msg) => write!(f, "internal invariant violated: {msg}"),
             CoreError::Cq(e) => write!(f, "query error: {e}"),
             CoreError::Chase(e) => write!(f, "chase error: {e}"),

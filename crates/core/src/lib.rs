@@ -16,9 +16,14 @@
 //!   (Theorem 5.2, Algorithm 1), see [`progress`] and [`partial_enum`];
 //! * **enumeration of minimal partial answers with multi-wildcards**
 //!   (Theorem 6.1, Algorithm 2), see [`multi_enum`];
+//! * **shared-nothing parallel execution**: Gaifman-component sharding of
+//!   the chase and the enumeration pipeline across scoped threads
+//!   (`QueryPlan::execute_parallel`), see [`parallel`];
 //! * brute-force baselines used by tests and benchmarks, see [`baseline`].
 //!
-//! The top-level entry point is [`OmqEngine`] in [`omq_eval`].
+//! The top-level entry point is [`OmqEngine`] in [`omq_eval`]; serving
+//! workloads should use the compile-once/execute-many [`QueryPlan`] (and the
+//! `omq-serve` crate's batch front end) instead.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -30,6 +35,7 @@ pub mod error;
 pub mod extension;
 pub mod multi_enum;
 pub mod omq_eval;
+pub mod parallel;
 pub mod partial_enum;
 pub mod plan;
 pub mod preprocess;

@@ -43,6 +43,8 @@ pub struct PreprocessStats {
     pub memo_hits: usize,
     /// Whether the guarded saturation reached a fixpoint.
     pub saturation_converged: bool,
+    /// Number of Gaifman shards the execution ran over (1 for sequential).
+    pub shards: usize,
 }
 
 /// A fully preprocessed ontology-mediated query over a fixed database.

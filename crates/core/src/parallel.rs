@@ -1,0 +1,451 @@
+//! Shared-nothing parallel execution of a [`QueryPlan`] over the Gaifman
+//! components of the database.
+//!
+//! # Why sharding is sound
+//!
+//! The paper's locality property (Proposition 3.3 and Lemma A.2) makes the
+//! query-directed chase of a *guarded* ontology act independently per
+//! connected component of the database's Gaifman graph: every TGD trigger is
+//! guarded, so all frontier values of a trigger co-occur in one fact and
+//! therefore lie in a single component, and the nulls a trigger generates
+//! attach below that component.  Components never merge during the chase,
+//! hence
+//!
+//! ```text
+//! ch^q_O(D)  =  ⊎_i ch^q_O(D_i)        (D_i the Gaifman components of D)
+//! ```
+//!
+//! and chasing the components independently — on separate threads, with the
+//! plan's bag-type memo shared behind a read-mostly lock — produces exactly
+//! the sequential chase, partitioned.
+//!
+//! For a *connected* query (atoms connected via shared variables or
+//! constants), every homomorphic image of the body is connected and thus
+//! falls inside one component, so the answer set over `D` is the union of
+//! the per-shard answer sets.  [`QueryPlan::execute_parallel`] checks the
+//! connectivity gate and falls back to the sequential path when it fails.
+//!
+//! # Cross-shard minimality of wildcard answers
+//!
+//! Minimal partial answers need one extra merge step.  The preference order
+//! `⪯` requires a dominating tuple to *agree on every constant position* of
+//! the dominated tuple, so for an answer carrying at least one constant, all
+//! of its dominators live in the same shard (constants are partitioned by
+//! component) and shard-local minimality is already global.  The only
+//! tuples whose minimality is a cross-shard property are the **wildcard-only
+//! tuples** — `(*, …, *)` for the single-wildcard semantics and the
+//! canonical wildcard-identification patterns (one per set partition of the
+//! positions, a number depending only on the query arity) for
+//! multi-wildcards.  The crate-private `WildcardMerge` filter enumerates
+//! those patterns up front,
+//! parks them as they stream by, marks each pattern dominated as soon as
+//! *any* emitted answer strictly dominates it, and flushes the surviving
+//! ones after the shard streams are exhausted.  The bookkeeping per emitted
+//! answer is bounded by the (query-constant) number of patterns, so the
+//! chained enumeration keeps its constant delay.
+
+use crate::plan::{PreparedInstance, QueryPlan};
+use crate::{PreprocessStats, Result};
+use omq_data::{multi_wildcard_ball, Database, MultiTuple, PartialTuple, PartialValue};
+use std::time::Instant;
+
+impl QueryPlan {
+    /// Executes the plan over `db` with up to `threads` worker threads,
+    /// sharding the database by Gaifman connected component.
+    ///
+    /// The shards are chased concurrently (scoped threads, no extra
+    /// dependencies) against the plan's shared bag-type memo, and the
+    /// resulting [`PreparedInstance`] keeps one chased database per shard;
+    /// its enumerators chain the shard streams and re-filter the
+    /// wildcard-only answers, so every evaluation mode agrees with the
+    /// sequential [`QueryPlan::execute`] (see the module docs for the
+    /// soundness argument and `tests/parallel_equivalence.rs` for the
+    /// property tests).
+    ///
+    /// Falls back to the sequential path when `threads <= 1`, when the
+    /// query's body is not connected (answers could combine values from
+    /// several components), or when the database has a single component.
+    pub fn execute_parallel(&self, db: &Database, threads: usize) -> Result<PreparedInstance> {
+        if threads <= 1 || !self.omq().query().is_connected() {
+            return self.execute(db);
+        }
+        // `try_shard_into` hands back `None` without copying a single fact
+        // when there is nothing to split — the common single-component
+        // request must not pay for a database clone it would throw away.
+        let Some(shards) = db.try_shard_into(threads) else {
+            return self.execute(db);
+        };
+        let start = Instant::now();
+        let chase = self.chase_plan();
+        let results: Vec<_> = std::thread::scope(|scope| {
+            let handles: Vec<_> = shards
+                .iter()
+                .map(|shard| scope.spawn(move || chase.chase(shard)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("chase worker panicked"))
+                .collect()
+        });
+        let mut stats = PreprocessStats {
+            input_facts: db.len(),
+            saturation_converged: true,
+            shards: results.len(),
+            ..PreprocessStats::default()
+        };
+        let mut shard_dbs = Vec::with_capacity(results.len());
+        for result in results {
+            let chased = result?;
+            stats.chased_facts += chased.database.len();
+            stats.grafts += chased.grafts;
+            stats.memo_hits += chased.memo_hits;
+            stats.saturation_converged &= chased.saturation_converged;
+            shard_dbs.push(chased.database);
+        }
+        stats.chase_micros = start.elapsed().as_micros();
+        Ok(self.instance_from_shards(shard_dbs, stats))
+    }
+}
+
+/// A tuple kind that can flow through the cross-shard wildcard merge.
+pub(crate) trait MergeTuple: Clone + PartialEq {
+    /// `true` iff the tuple carries no constant (its minimality is a
+    /// cross-shard property).
+    fn constant_free(&self) -> bool;
+    /// The strict preference order `≺`: `self` carries strictly more
+    /// information than `other`.
+    fn dominates(&self, other: &Self) -> bool;
+}
+
+impl MergeTuple for PartialTuple {
+    fn constant_free(&self) -> bool {
+        self.0.iter().all(|v| v.is_star())
+    }
+    fn dominates(&self, other: &Self) -> bool {
+        self.preferred_lt(other)
+    }
+}
+
+impl MergeTuple for MultiTuple {
+    fn constant_free(&self) -> bool {
+        self.0.iter().all(|v| v.is_wild())
+    }
+    fn dominates(&self, other: &Self) -> bool {
+        self.preferred_lt(other)
+    }
+}
+
+/// One wildcard-only candidate pattern tracked by the merge.
+#[derive(Debug)]
+struct Pattern<T> {
+    tuple: T,
+    /// Some shard emitted this exact tuple as a shard-minimal answer.
+    seen: bool,
+    /// Some answer (from any shard) strictly dominates the tuple, so it is
+    /// not globally minimal.
+    dominated: bool,
+}
+
+/// The cross-shard minimality filter for chained shard enumerations.
+///
+/// Feed every per-shard minimal answer through [`WildcardMerge::offer`]:
+/// answers with constants are emitted immediately (their shard-local
+/// minimality is global — see the module docs), wildcard-only answers are
+/// parked against the precomputed pattern list.  [`WildcardMerge::flush`]
+/// then emits the wildcard-only tuples that were produced by some shard and
+/// dominated by no answer.
+#[derive(Debug)]
+pub(crate) struct WildcardMerge<T> {
+    patterns: Vec<Pattern<T>>,
+}
+
+impl WildcardMerge<PartialTuple> {
+    /// Merge state for the single-wildcard semantics: the only wildcard-only
+    /// tuple of arity `n` is `(*, …, *)`.
+    pub(crate) fn partial(arity: usize) -> Self {
+        WildcardMerge {
+            patterns: vec![Pattern {
+                tuple: PartialTuple(vec![PartialValue::Star; arity]),
+                seen: false,
+                dominated: false,
+            }],
+        }
+    }
+}
+
+impl WildcardMerge<MultiTuple> {
+    /// Merge state for the multi-wildcard semantics: one pattern per way of
+    /// identifying wildcards across the positions (the multi-wildcard ball
+    /// of `(*, …, *)`, one canonical tuple per set partition).
+    pub(crate) fn multi(arity: usize) -> Self {
+        let all_star = PartialTuple(vec![PartialValue::Star; arity]);
+        WildcardMerge {
+            patterns: multi_wildcard_ball(&all_star)
+                .into_iter()
+                .map(|tuple| Pattern {
+                    tuple,
+                    seen: false,
+                    dominated: false,
+                })
+                .collect(),
+        }
+    }
+}
+
+impl<T: MergeTuple> WildcardMerge<T> {
+    /// Offers one per-shard minimal answer to the merge; constant-bearing
+    /// answers are forwarded to `emit` unchanged.
+    pub(crate) fn offer(&mut self, t: T, emit: &mut impl FnMut(T)) {
+        for pattern in &mut self.patterns {
+            if !pattern.dominated && t.dominates(&pattern.tuple) {
+                pattern.dominated = true;
+            }
+        }
+        if t.constant_free() {
+            self.patterns
+                .iter_mut()
+                .find(|p| p.tuple == t)
+                .expect("the pattern list covers every wildcard-only tuple of the arity")
+                .seen = true;
+        } else {
+            emit(t);
+        }
+    }
+
+    /// Emits the globally minimal wildcard-only answers.  Call once, after
+    /// every shard stream has been drained.
+    pub(crate) fn flush(self, emit: &mut impl FnMut(T)) {
+        for pattern in self.patterns {
+            if pattern.seen && !pattern.dominated {
+                emit(pattern.tuple);
+            }
+        }
+    }
+}
+
+// `QueryPlan` and `PreparedInstance` are the artefacts shared across the
+// worker threads; keep them `Send + Sync` by construction (the facade crate
+// re-asserts this for the whole public surface).
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<QueryPlan>();
+    assert_send_sync::<PreparedInstance>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omq_chase::{Ontology, OntologyMediatedQuery};
+    use omq_cq::ConjunctiveQuery;
+    use omq_data::{ConstId, MultiValue, Schema};
+    use std::collections::BTreeSet;
+
+    fn office_omq() -> OntologyMediatedQuery {
+        let ontology = Ontology::parse(
+            "Researcher(x) -> exists y. HasOffice(x, y)\n\
+             HasOffice(x, y) -> Office(y)\n\
+             Office(x) -> exists y. InBuilding(x, y)",
+        )
+        .unwrap();
+        let query =
+            ConjunctiveQuery::parse("q(x1, x2, x3) :- HasOffice(x1, x2), InBuilding(x2, x3)")
+                .unwrap();
+        OntologyMediatedQuery::new(ontology, query).unwrap()
+    }
+
+    fn schema() -> Schema {
+        let mut s = Schema::new();
+        s.add_relation("Researcher", 1).unwrap();
+        s.add_relation("HasOffice", 2).unwrap();
+        s.add_relation("InBuilding", 2).unwrap();
+        s
+    }
+
+    /// Three components: mary's complete chain, john's office, lone mike.
+    fn component_db() -> Database {
+        Database::builder(schema())
+            .fact("Researcher", ["mary"])
+            .fact("Researcher", ["john"])
+            .fact("Researcher", ["mike"])
+            .fact("HasOffice", ["mary", "room1"])
+            .fact("HasOffice", ["john", "room4"])
+            .fact("InBuilding", ["room1", "main1"])
+            .build()
+            .unwrap()
+    }
+
+    fn partial_set(instance: &PreparedInstance) -> BTreeSet<String> {
+        instance
+            .enumerate_minimal_partial()
+            .unwrap()
+            .iter()
+            .map(|t| instance.format_partial(t))
+            .collect()
+    }
+
+    #[test]
+    fn parallel_execution_matches_sequential_on_running_example() {
+        let omq = office_omq();
+        let plan = QueryPlan::compile(&omq).unwrap();
+        let db = component_db();
+        let sequential = plan.execute(&db).unwrap();
+        for threads in [2, 3, 8] {
+            let parallel = plan.execute_parallel(&db, threads).unwrap();
+            assert!(parallel.shard_count() > 1);
+            assert_eq!(parallel.shard_count(), parallel.stats().shards);
+            assert_eq!(
+                parallel.stats().chased_facts,
+                sequential.stats().chased_facts
+            );
+            // Complete answers.
+            let seq: BTreeSet<String> = sequential
+                .enumerate_complete()
+                .unwrap()
+                .iter()
+                .map(|a| sequential.format_complete(a))
+                .collect();
+            let par: BTreeSet<String> = parallel
+                .enumerate_complete()
+                .unwrap()
+                .iter()
+                .map(|a| parallel.format_complete(a))
+                .collect();
+            assert_eq!(seq, par);
+            // Minimal partial answers.
+            assert_eq!(partial_set(&sequential), partial_set(&parallel));
+            // Multi-wildcard answers.
+            let seq: BTreeSet<String> = sequential
+                .enumerate_minimal_partial_multi()
+                .unwrap()
+                .iter()
+                .map(|t| sequential.format_multi(t))
+                .collect();
+            let par: BTreeSet<String> = parallel
+                .enumerate_minimal_partial_multi()
+                .unwrap()
+                .iter()
+                .map(|t| parallel.format_multi(t))
+                .collect();
+            assert_eq!(seq, par);
+        }
+    }
+
+    #[test]
+    fn all_star_answers_are_filtered_across_shards() {
+        // Query answering only the building; researchers without any office
+        // produce the all-star answer `(*)` in their own component.  With
+        // another component holding a real building, `(*)` is dominated
+        // cross-shard and must not survive the merge.
+        let ontology = Ontology::parse(
+            "Researcher(x) -> exists y. HasOffice(x, y)\n\
+             HasOffice(x, y) -> Office(y)\n\
+             Office(x) -> exists y. InBuilding(x, y)",
+        )
+        .unwrap();
+        let query =
+            ConjunctiveQuery::parse("q(x3) :- HasOffice(x1, x2), InBuilding(x2, x3)").unwrap();
+        let omq = OntologyMediatedQuery::new(ontology, query).unwrap();
+        let plan = QueryPlan::compile(&omq).unwrap();
+        let db = Database::builder(schema())
+            .fact("Researcher", ["ada"]) // component 1: chase-only office
+            .fact("Researcher", ["bob"]) // component 2: listed building
+            .fact("HasOffice", ["bob", "lab"])
+            .fact("InBuilding", ["lab", "west"])
+            .build()
+            .unwrap();
+        let sequential = plan.execute(&db).unwrap();
+        let parallel = plan.execute_parallel(&db, 2).unwrap();
+        assert_eq!(parallel.shard_count(), 2);
+        assert_eq!(partial_set(&sequential), partial_set(&parallel));
+        // And the merged set is exactly {(west)} — the all-star was dropped.
+        assert_eq!(
+            partial_set(&parallel),
+            BTreeSet::from(["(west)".to_owned()])
+        );
+        // With no building anywhere, the all-star is the unique minimal
+        // answer and must survive (deduplicated across shards).
+        let lonely = Database::builder(schema())
+            .fact("Researcher", ["ada"])
+            .fact("Researcher", ["bob"])
+            .build()
+            .unwrap();
+        let sequential = plan.execute(&lonely).unwrap();
+        let parallel = plan.execute_parallel(&lonely, 2).unwrap();
+        assert_eq!(parallel.shard_count(), 2);
+        assert_eq!(partial_set(&sequential), partial_set(&parallel));
+        assert_eq!(partial_set(&parallel), BTreeSet::from(["(*)".to_owned()]));
+    }
+
+    #[test]
+    fn disconnected_queries_fall_back_to_sequential() {
+        let ontology = Ontology::new();
+        let query = ConjunctiveQuery::parse("q(x, y) :- Researcher(x), Office(y)").unwrap();
+        let omq = OntologyMediatedQuery::new(ontology, query).unwrap();
+        let plan = QueryPlan::compile(&omq).unwrap();
+        let mut s = Schema::new();
+        s.add_relation("Researcher", 1).unwrap();
+        s.add_relation("Office", 1).unwrap();
+        let db = Database::builder(s)
+            .fact("Researcher", ["a"])
+            .fact("Office", ["o"])
+            .build()
+            .unwrap();
+        // Two components, but the disconnected query must not be sharded:
+        // the answer (a, o) combines values from both.
+        let parallel = plan.execute_parallel(&db, 4).unwrap();
+        assert_eq!(parallel.shard_count(), 1);
+        assert_eq!(parallel.enumerate_complete().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn single_shard_structure_apis_error_on_sharded_instances() {
+        let omq = office_omq();
+        let plan = QueryPlan::compile(&omq).unwrap();
+        let parallel = plan.execute_parallel(&component_db(), 2).unwrap();
+        assert!(parallel.shard_count() > 1);
+        assert!(matches!(
+            parallel.complete_structure(),
+            Err(crate::CoreError::ShardedInstance(_))
+        ));
+        assert!(matches!(
+            parallel.partial_enumerator().map(|_| ()),
+            Err(crate::CoreError::ShardedInstance(_))
+        ));
+        // The shard-aware testers still work.
+        assert!(parallel
+            .test_complete_names(&["mary", "room1", "main1"])
+            .unwrap());
+        assert!(!parallel
+            .test_complete_names(&["mike", "room1", "main1"])
+            .unwrap());
+        let mike_partial = parallel.parse_partial(&["mike", "*", "*"]).unwrap();
+        assert!(parallel.test_minimal_partial(&mike_partial).unwrap());
+    }
+
+    #[test]
+    fn wildcard_merge_multi_patterns_track_domination() {
+        // Arity 2: patterns (*1,*2) and (*1,*1).
+        let mut merge = WildcardMerge::multi(2);
+        assert_eq!(merge.patterns.len(), 2);
+        let mut emitted: Vec<MultiTuple> = Vec::new();
+        let distinct = MultiTuple(vec![MultiValue::Wild(1), MultiValue::Wild(2)]);
+        let identified = MultiTuple(vec![MultiValue::Wild(1), MultiValue::Wild(1)]);
+        // Shard 1 yields (*1,*2); shard 2 yields (*1,*1), which dominates it.
+        merge.offer(distinct.clone(), &mut |t| emitted.push(t));
+        merge.offer(identified.clone(), &mut |t| emitted.push(t));
+        assert!(emitted.is_empty());
+        merge.flush(&mut |t| emitted.push(t));
+        assert_eq!(emitted, vec![identified]);
+        // A constant-bearing answer kills every pattern it dominates, even if
+        // the pattern streams by later.
+        let mut merge = WildcardMerge::multi(2);
+        let mut emitted: Vec<MultiTuple> = Vec::new();
+        let constant = MultiTuple(vec![MultiValue::Const(ConstId(0)), MultiValue::Wild(1)]);
+        merge.offer(constant.clone(), &mut |t| emitted.push(t));
+        merge.offer(distinct.clone(), &mut |t| emitted.push(t));
+        assert_eq!(emitted, vec![constant]);
+        merge.flush(&mut |t| emitted.push(t));
+        // (*1,*2) was dominated by (c0,*1); (*1,*1) was never seen.
+        assert_eq!(emitted.len(), 1);
+    }
+}

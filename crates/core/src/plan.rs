@@ -122,6 +122,9 @@ impl QueryPlan {
     /// Executes the plan over a database: runs the linear-time preprocessing
     /// (query-directed chase, reusing the plan's memoised bag-type tables)
     /// and returns a [`PreparedInstance`] exposing every evaluation mode.
+    ///
+    /// For multi-core execution over component-rich databases see
+    /// [`QueryPlan::execute_parallel`].
     pub fn execute(&self, db: &Database) -> Result<PreparedInstance> {
         let start = Instant::now();
         let chased = self.inner.chase.chase(db)?;
@@ -132,21 +135,47 @@ impl QueryPlan {
             grafts: chased.grafts,
             memo_hits: chased.memo_hits,
             saturation_converged: chased.saturation_converged,
+            shards: 1,
         };
         Ok(PreparedInstance {
             plan: self.clone(),
-            d0: chased.database,
+            shards: vec![chased.database],
             stats,
         })
+    }
+
+    /// Builds a [`PreparedInstance`] from already-chased shard databases
+    /// (used by the parallel executor).
+    pub(crate) fn instance_from_shards(
+        &self,
+        shards: Vec<Database>,
+        stats: PreprocessStats,
+    ) -> PreparedInstance {
+        debug_assert!(!shards.is_empty());
+        PreparedInstance {
+            plan: self.clone(),
+            shards,
+            stats,
+        }
     }
 }
 
 /// A plan executed over one database: the query-directed chase `ch^q_O(D)`
 /// plus every evaluation mode of the paper over it.
+///
+/// A sequential [`QueryPlan::execute`] produces exactly one *shard* (the
+/// whole chase); [`QueryPlan::execute_parallel`] produces one shard per
+/// Gaifman component group, chased independently.  Every `enumerate_*`,
+/// `stream_*` and `test_*` method is shard-aware and agrees with the
+/// sequential result (see `crate::parallel` for why sharding is sound);
+/// the structure-level accessors ([`PreparedInstance::complete_structure`]
+/// and friends) expose a single chased database and therefore require a
+/// single-shard instance.
 #[derive(Debug)]
 pub struct PreparedInstance {
     plan: QueryPlan,
-    d0: Database,
+    /// The chased database(s), one per shard; never empty.
+    shards: Vec<Database>,
     stats: PreprocessStats,
 }
 
@@ -162,8 +191,43 @@ impl PreparedInstance {
     }
 
     /// The query-directed chase `ch^q_O(D)` the instance evaluates over.
+    ///
+    /// For sharded instances this is the *first* shard only; use
+    /// [`PreparedInstance::shards`] to see all of them.
     pub fn chased_database(&self) -> &Database {
-        &self.d0
+        &self.shards[0]
+    }
+
+    /// The chased shard databases (exactly one for sequential executions).
+    ///
+    /// Shards share one constant-interner snapshot (constant ids coincide
+    /// everywhere), but **labelled nulls are shard-local**: independently
+    /// chased shards mint `NullId`s from the same counter, so equal ids in
+    /// different shards denote *different* nulls.  Do not union shard fact
+    /// sets naively — remap each shard's nulls into a disjoint range first
+    /// (e.g. via [`Database::null_counter`] offsets).  The answer semantics
+    /// are unaffected: no enumerator or tester ever exposes a raw null.
+    pub fn shards(&self) -> &[Database] {
+        &self.shards
+    }
+
+    /// Number of shards of this instance.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The database used for symbol resolution and formatting.  All shards
+    /// share one interner snapshot, so any of them resolves every constant.
+    fn symbols(&self) -> &Database {
+        &self.shards[0]
+    }
+
+    /// The sole shard, or an error naming the single-shard-only operation.
+    fn single_shard(&self, op: &str) -> Result<&Database> {
+        match self.shards.as_slice() {
+            [single] => Ok(single),
+            _ => Err(CoreError::ShardedInstance(op.to_owned())),
+        }
     }
 
     /// Preprocessing statistics of this execution.
@@ -177,45 +241,72 @@ impl PreparedInstance {
 
     /// Builds the constant-delay enumeration structure for complete answers
     /// (Theorem 4.1(1)).  Requires the query to be acyclic and free-connex
-    /// acyclic.
+    /// acyclic, and the instance to be single-shard.
     pub fn complete_structure(&self) -> Result<FreeConnexStructure> {
-        FreeConnexStructure::materialize(self.plan.skeleton()?, &self.d0, true)
+        let shard = self.single_shard("complete_structure")?;
+        FreeConnexStructure::materialize(self.plan.skeleton()?, shard, true)
     }
 
     /// Builds the enumeration structure for partial answers (labelled nulls
-    /// kept), shared by the wildcard engines.
+    /// kept), shared by the wildcard engines.  Single-shard instances only.
     pub fn partial_structure(&self) -> Result<FreeConnexStructure> {
-        FreeConnexStructure::materialize(self.plan.skeleton()?, &self.d0, false)
+        let shard = self.single_shard("partial_structure")?;
+        FreeConnexStructure::materialize(self.plan.skeleton()?, shard, false)
+    }
+
+    /// Builds the per-shard complete-answer structures (the preprocessing
+    /// phase of the chained enumeration).
+    fn complete_structures(&self) -> Result<Vec<FreeConnexStructure>> {
+        let skeleton = self.plan.skeleton()?;
+        self.shards
+            .iter()
+            .map(|shard| FreeConnexStructure::materialize(skeleton, shard, true))
+            .collect()
     }
 
     /// Enumerates all complete (certain) answers.
     pub fn enumerate_complete(&self) -> Result<Vec<Vec<ConstId>>> {
-        let structure = self.complete_structure()?;
-        let mut out = Vec::new();
-        for answer in crate::enumerate::AnswerIter::new(&structure) {
-            out.push(
-                answer
-                    .into_iter()
-                    .map(|v| match v {
-                        Value::Const(c) => Ok(c),
-                        Value::Null(_) => Err(CoreError::Internal(
-                            "complete answer contains a null".to_owned(),
-                        )),
-                    })
-                    .collect::<Result<Vec<ConstId>>>()?,
-            );
+        let mut out: Vec<Vec<ConstId>> = Vec::new();
+        let mut bad = false;
+        self.stream_complete(|answer| {
+            let mut tuple = Vec::with_capacity(answer.len());
+            for v in answer {
+                match v {
+                    Value::Const(c) => tuple.push(*c),
+                    Value::Null(_) => bad = true,
+                }
+            }
+            out.push(tuple);
+        })?;
+        if bad {
+            return Err(CoreError::Internal(
+                "complete answer contains a null".to_owned(),
+            ));
         }
         Ok(out)
     }
 
     /// Streams the complete answers to a callback (useful for measuring the
     /// per-answer delay).
+    ///
+    /// On sharded instances the per-shard structures are all built during
+    /// preprocessing and their answer iterators chained, so the per-answer
+    /// delay stays constant.  A connected query's answers use constants of a
+    /// single Gaifman component, so the chained streams are disjoint; the
+    /// one exception is the Boolean query's empty tuple, which is emitted at
+    /// most once.
     pub fn stream_complete(&self, mut f: impl FnMut(&[Value])) -> Result<usize> {
-        let structure = self.complete_structure()?;
+        let structures = self.complete_structures()?;
+        let boolean = self.omq().query().is_boolean();
         let mut count = 0usize;
-        for answer in crate::enumerate::AnswerIter::new(&structure) {
-            count += 1;
-            f(&answer);
+        'shards: for structure in &structures {
+            for answer in crate::enumerate::AnswerIter::new(structure) {
+                count += 1;
+                f(&answer);
+                if boolean {
+                    break 'shards;
+                }
+            }
         }
         Ok(count)
     }
@@ -226,30 +317,61 @@ impl PreparedInstance {
 
     /// Builds the Algorithm 1 enumerator (linear-time preprocessing of
     /// Theorem 5.2).  The returned enumerator is consumed by a single
-    /// enumeration run; build a new one to re-enumerate.
+    /// enumeration run; build a new one to re-enumerate.  Single-shard
+    /// instances only; sharded instances stream via
+    /// [`PreparedInstance::stream_minimal_partial`].
     pub fn partial_enumerator(&self) -> Result<PartialEnumerator> {
-        PartialEnumerator::with_skeleton(self.plan.skeleton()?, &self.d0)
+        let shard = self.single_shard("partial_enumerator")?;
+        PartialEnumerator::with_skeleton(self.plan.skeleton()?, shard)
     }
 
     /// Enumerates the minimal partial answers (single wildcard, Theorem 5.2).
     pub fn enumerate_minimal_partial(&self) -> Result<Vec<PartialTuple>> {
-        self.partial_enumerator()?.collect()
+        let mut out = Vec::new();
+        self.stream_minimal_partial(|t| out.push(t.clone()))?;
+        Ok(out)
     }
 
     /// Streams the minimal partial answers to a callback.
+    ///
+    /// On sharded instances the per-shard Algorithm 1 enumerators are all
+    /// built during preprocessing and chained; shard-local minimality equals
+    /// global minimality for every answer carrying at least one constant,
+    /// and the constant-many wildcard-only tuples are re-filtered across
+    /// shards (see the `parallel` module docs).
     pub fn stream_minimal_partial(&self, mut f: impl FnMut(&PartialTuple)) -> Result<usize> {
+        let skeleton = self.plan.skeleton()?;
+        let mut enumerators = Vec::with_capacity(self.shards.len());
+        for shard in &self.shards {
+            enumerators.push(PartialEnumerator::with_skeleton(skeleton, shard)?);
+        }
+        let mut merge = crate::parallel::WildcardMerge::partial(self.omq().arity());
         let mut count = 0usize;
-        self.partial_enumerator()?.enumerate(|t| {
+        let mut emit = |t: PartialTuple| {
             count += 1;
             f(&t);
-        })?;
+        };
+        for enumerator in enumerators {
+            enumerator.enumerate(|t| merge.offer(t, &mut emit))?;
+        }
+        merge.flush(&mut emit);
         Ok(count)
     }
 
     /// Enumerates the minimal partial answers with all complete answers first
     /// (Proposition 2.1).
     pub fn enumerate_minimal_partial_complete_first(&self) -> Result<Vec<PartialTuple>> {
-        multi_enum::minimal_partial_answers_complete_first_prepared(self.plan.skeleton()?, &self.d0)
+        if self.shards.len() == 1 {
+            return multi_enum::minimal_partial_answers_complete_first_prepared(
+                self.plan.skeleton()?,
+                &self.shards[0],
+            );
+        }
+        // Sharded: merge, then stable-partition the complete answers first.
+        let merged = self.enumerate_minimal_partial()?;
+        let (complete, partial): (Vec<_>, Vec<_>) =
+            merged.into_iter().partition(PartialTuple::is_complete);
+        Ok(complete.into_iter().chain(partial).collect())
     }
 
     /// Enumerates the minimal partial answers with multi-wildcards
@@ -261,16 +383,23 @@ impl PreparedInstance {
     }
 
     /// Streams the minimal partial answers with multi-wildcards to a callback.
+    ///
+    /// Shard-aware with the same cross-shard wildcard-only filter as
+    /// [`PreparedInstance::stream_minimal_partial`].
     pub fn stream_minimal_partial_multi(&self, mut f: impl FnMut(&MultiTuple)) -> Result<usize> {
+        let skeleton = self.plan.skeleton()?;
+        let mut merge = crate::parallel::WildcardMerge::multi(self.omq().arity());
         let mut count = 0usize;
-        multi_enum::enumerate_minimal_partial_multi_prepared(
-            self.plan.skeleton()?,
-            &self.d0,
-            |t| {
-                count += 1;
-                f(&t);
-            },
-        )?;
+        let mut emit = |t: MultiTuple| {
+            count += 1;
+            f(&t);
+        };
+        for shard in &self.shards {
+            multi_enum::enumerate_minimal_partial_multi_prepared(skeleton, shard, |t| {
+                merge.offer(t, &mut emit)
+            })?;
+        }
+        merge.flush(&mut emit);
         Ok(count)
     }
 
@@ -280,29 +409,86 @@ impl PreparedInstance {
 
     /// Builds the all-tester for complete answers (Theorem 4.1(2)); requires
     /// the query to be free-connex acyclic (acyclicity is *not* required).
+    /// Single-shard instances only; on sharded instances use
+    /// [`PreparedInstance::test_complete_names`], which tests across shards.
     pub fn all_tester(&self) -> Result<AllTester> {
-        AllTester::build(self.omq().query(), &self.d0, true)
+        let shard = self.single_shard("all_tester")?;
+        AllTester::build(self.omq().query(), shard, true)
     }
 
     /// Single-tests a complete answer given by constant names.
+    ///
+    /// Shard-aware: a connected query's witnessing homomorphism lies within
+    /// one Gaifman component, so the candidate is an answer iff it is an
+    /// answer of some shard.
     pub fn test_complete_names(&self, names: &[&str]) -> Result<bool> {
-        let values = match single_testing::resolve_constants(&self.d0, names) {
+        let values = match single_testing::resolve_constants(self.symbols(), names) {
             Ok(v) => v,
             // A name that does not occur in the data cannot be an answer.
             Err(CoreError::UnknownConstant(_)) => return Ok(false),
             Err(e) => return Err(e),
         };
-        single_testing::test_complete(self.omq().query(), &self.d0, &values)
+        for shard in &self.shards {
+            if single_testing::test_complete(self.omq().query(), shard, &values)? {
+                return Ok(true);
+            }
+        }
+        Ok(false)
     }
 
     /// Single-tests a minimal partial answer (single wildcard).
+    ///
+    /// Shard-aware: a candidate carrying at least one constant is an answer
+    /// only in the shard owning its constants, and every tuple dominating it
+    /// shares those constants, so the shard-local test is exact.  A
+    /// wildcard-only candidate's minimality is a cross-shard property; it is
+    /// resolved against the merged enumeration (constant-many candidates
+    /// exist, so this stays cheap relative to an enumeration pass).
     pub fn test_minimal_partial(&self, candidate: &PartialTuple) -> Result<bool> {
-        single_testing::test_minimal_partial(self.omq().query(), &self.d0, candidate)
+        if self.shards.len() == 1 {
+            return single_testing::test_minimal_partial(
+                self.omq().query(),
+                &self.shards[0],
+                candidate,
+            );
+        }
+        if candidate.0.iter().any(|v| !v.is_star()) {
+            for shard in &self.shards {
+                if single_testing::test_minimal_partial(self.omq().query(), shard, candidate)? {
+                    return Ok(true);
+                }
+            }
+            return Ok(false);
+        }
+        let mut found = false;
+        self.stream_minimal_partial(|t| found |= t == candidate)?;
+        Ok(found)
     }
 
     /// Single-tests a minimal partial answer with multi-wildcards.
+    ///
+    /// Shard-aware with the same split as
+    /// [`PreparedInstance::test_minimal_partial`].
     pub fn test_minimal_partial_multi(&self, candidate: &MultiTuple) -> Result<bool> {
-        single_testing::test_minimal_partial_multi(self.omq().query(), &self.d0, candidate)
+        if self.shards.len() == 1 {
+            return single_testing::test_minimal_partial_multi(
+                self.omq().query(),
+                &self.shards[0],
+                candidate,
+            );
+        }
+        if candidate.0.iter().any(|v| !v.is_wild()) {
+            for shard in &self.shards {
+                if single_testing::test_minimal_partial_multi(self.omq().query(), shard, candidate)?
+                {
+                    return Ok(true);
+                }
+            }
+            return Ok(false);
+        }
+        let mut found = false;
+        self.stream_minimal_partial_multi(|t| found |= t == candidate)?;
+        Ok(found)
     }
 
     // ------------------------------------------------------------------
@@ -314,7 +500,7 @@ impl PreparedInstance {
         names
             .iter()
             .map(|n| {
-                self.d0
+                self.symbols()
                     .const_id(n)
                     .ok_or_else(|| CoreError::UnknownConstant((*n).to_owned()))
             })
@@ -329,7 +515,7 @@ impl PreparedInstance {
                 if *s == "*" {
                     Ok(omq_data::PartialValue::Star)
                 } else {
-                    self.d0
+                    self.symbols()
                         .const_id(s)
                         .map(omq_data::PartialValue::Const)
                         .ok_or_else(|| CoreError::UnknownConstant((*s).to_owned()))
@@ -341,18 +527,21 @@ impl PreparedInstance {
 
     /// Renders a complete answer with constant names.
     pub fn format_complete(&self, answer: &[ConstId]) -> String {
-        let names: Vec<&str> = answer.iter().map(|&c| self.d0.const_name(c)).collect();
+        let names: Vec<&str> = answer
+            .iter()
+            .map(|&c| self.symbols().const_name(c))
+            .collect();
         format!("({})", names.join(","))
     }
 
     /// Renders a partial answer with constant names.
     pub fn format_partial(&self, answer: &PartialTuple) -> String {
-        answer.display_with(|c| self.d0.const_name(c).to_owned())
+        answer.display_with(|c| self.symbols().const_name(c).to_owned())
     }
 
     /// Renders a multi-wildcard answer with constant names.
     pub fn format_multi(&self, answer: &MultiTuple) -> String {
-        answer.display_with(|c| self.d0.const_name(c).to_owned())
+        answer.display_with(|c| self.symbols().const_name(c).to_owned())
     }
 }
 

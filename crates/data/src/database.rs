@@ -8,7 +8,7 @@ use crate::schema::{RelId, Schema};
 use crate::value::{ConstId, NullId, Value};
 use crate::Result;
 use rustc_hash::FxHashSet;
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 /// Sentinel for "value has no code yet" in the dense code tables.
 const NO_CODE: u32 = u32::MAX;
@@ -31,7 +31,10 @@ const NO_CODE: u32 = u32::MAX;
 #[derive(Debug, Default)]
 pub struct Database {
     schema: Schema,
-    consts: Interner,
+    /// The constant interner, shared copy-on-write: read-only clones (shards,
+    /// derived instances, chase copies) all point at the same snapshot, and
+    /// only a database that interns a *new* constant pays for a private copy.
+    consts: Arc<Interner>,
     facts: Vec<Fact>,
     fact_set: FxHashSet<Fact>,
     by_relation: Vec<Vec<usize>>,
@@ -72,7 +75,7 @@ impl Database {
         let relation_count = schema.len();
         Database {
             schema,
-            consts: Interner::new(),
+            consts: Arc::new(Interner::new()),
             facts: Vec::new(),
             fact_set: FxHashSet::default(),
             by_relation: vec![Vec::new(); relation_count],
@@ -115,8 +118,21 @@ impl Database {
     }
 
     /// Interns a constant name, returning its identifier.
+    ///
+    /// If the interner snapshot is shared with other databases (clones,
+    /// shards) and `name` is new, this copies the snapshot first
+    /// (copy-on-write); readers of the shared snapshot are unaffected.
     pub fn intern_const(&mut self, name: &str) -> ConstId {
-        ConstId(self.consts.intern(name))
+        if let Some(id) = self.consts.get(name) {
+            return ConstId(id);
+        }
+        ConstId(Arc::make_mut(&mut self.consts).intern(name))
+    }
+
+    /// Returns `true` iff `self` and `other` share the same interner
+    /// snapshot (no constant was interned in either since they diverged).
+    pub fn shares_interner_with(&self, other: &Database) -> bool {
+        Arc::ptr_eq(&self.consts, &other.consts)
     }
 
     /// Looks up a constant by name without interning it.
@@ -423,6 +439,138 @@ impl Database {
         out
     }
 
+    // ------------------------------------------------------------------
+    // Gaifman-component sharding.
+    // ------------------------------------------------------------------
+
+    /// Assigns every fact the (dense) id of its Gaifman connected component.
+    ///
+    /// Two values are connected when they co-occur in a fact, so all values
+    /// of one fact share a component and the label of any argument labels the
+    /// fact.  Nullary facts (propositional relations) have no values; they
+    /// are grouped into one pseudo-component of their own.  Returns the
+    /// per-fact labels and the number of components; labels are dense
+    /// (`0..count`) in order of first appearance in the fact table.
+    pub fn fact_components(&self) -> (Vec<u32>, usize) {
+        // Union-find over dense value codes.
+        let mut parent: Vec<u32> = (0..self.adom.len() as u32).collect();
+        fn find(parent: &mut [u32], mut i: u32) -> u32 {
+            while parent[i as usize] != i {
+                let grand = parent[parent[i as usize] as usize];
+                parent[i as usize] = grand;
+                i = grand;
+            }
+            i
+        }
+        for fact in &self.facts {
+            let mut args = fact.args.iter();
+            if let Some(&head) = args.next() {
+                let head = self.value_code(head).expect("fact values are in the adom");
+                for &v in args {
+                    let code = self.value_code(v).expect("fact values are in the adom");
+                    let (a, b) = (find(&mut parent, head), find(&mut parent, code));
+                    parent[a as usize] = b;
+                }
+            }
+        }
+        const UNLABELLED: u32 = u32::MAX;
+        let mut label_of_root: Vec<u32> = vec![UNLABELLED; self.adom.len()];
+        let mut nullary_label = UNLABELLED;
+        let mut count = 0u32;
+        let mut labels = Vec::with_capacity(self.facts.len());
+        for fact in &self.facts {
+            let label = match fact.args.first() {
+                Some(&v) => {
+                    let code = self.value_code(v).expect("fact values are in the adom");
+                    let root = find(&mut parent, code) as usize;
+                    if label_of_root[root] == UNLABELLED {
+                        label_of_root[root] = count;
+                        count += 1;
+                    }
+                    label_of_root[root]
+                }
+                None => {
+                    if nullary_label == UNLABELLED {
+                        nullary_label = count;
+                        count += 1;
+                    }
+                    nullary_label
+                }
+            };
+            labels.push(label);
+        }
+        (labels, count as usize)
+    }
+
+    /// Number of connected components of the Gaifman graph (values that
+    /// occur in no fact do not count; nullary facts contribute at most one
+    /// pseudo-component).
+    pub fn component_count(&self) -> usize {
+        self.fact_components().1
+    }
+
+    /// Partitions the facts by Gaifman connected component into independent
+    /// sub-databases: one database per component, each over a clone of the
+    /// schema and **sharing this database's interner snapshot** (see
+    /// [`Database::shares_interner_with`]), so constant identifiers coincide
+    /// across all shards and with the parent.
+    ///
+    /// The union of the shards' fact sets is exactly this database's fact
+    /// set, and no fact mentions values from two shards.  An empty database
+    /// yields a single empty shard.
+    pub fn shard_by_component(&self) -> Vec<Database> {
+        self.shard_into(usize::MAX)
+    }
+
+    /// Like [`Database::shard_by_component`], but groups the components into
+    /// at most `max_shards` sub-databases, balanced by fact count (greedy
+    /// largest-component-first bin packing).  Grouping preserves the sharding
+    /// invariant — no fact spans two shards — because every group is a union
+    /// of whole components.  Always returns at least one database.
+    pub fn shard_into(&self, max_shards: usize) -> Vec<Database> {
+        self.try_shard_into(max_shards)
+            .unwrap_or_else(|| vec![self.clone()])
+    }
+
+    /// Like [`Database::shard_into`], but returns `None` — without copying
+    /// any fact — when there is nothing to split (a single component, a
+    /// single requested shard, or an empty database).  This is the form the
+    /// parallel executor probes on its hot path, where the single-shard case
+    /// must not pay for a database clone it would immediately discard.
+    pub fn try_shard_into(&self, max_shards: usize) -> Option<Vec<Database>> {
+        let (labels, count) = self.fact_components();
+        let bins = max_shards.max(1).min(count.max(1));
+        if count <= 1 || bins == 1 {
+            return None;
+        }
+        // Component sizes, then greedy assignment of components to bins.
+        let mut sizes = vec![0usize; count];
+        for &label in &labels {
+            sizes[label as usize] += 1;
+        }
+        let mut order: Vec<usize> = (0..count).collect();
+        order.sort_by_key(|&c| std::cmp::Reverse(sizes[c]));
+        let mut load = vec![0usize; bins];
+        let mut bin_of_component = vec![0u32; count];
+        for c in order {
+            let bin = (0..bins).min_by_key(|&b| (load[b], b)).expect("bins >= 1");
+            bin_of_component[c] = bin as u32;
+            load[bin] += sizes[c];
+        }
+        let mut shards: Vec<Database> = (0..bins).map(|_| self.derived_empty()).collect();
+        for (fact, &label) in self.facts.iter().zip(&labels) {
+            shards[bin_of_component[label as usize] as usize]
+                .add_fact(fact.clone())
+                .expect("shard schema is a clone of the parent schema");
+        }
+        // Drop bins that received no component (more bins than needed).
+        shards.retain(|s| !s.is_empty());
+        if shards.is_empty() {
+            shards.push(self.derived_empty());
+        }
+        Some(shards)
+    }
+
     /// Renders a fact for display.
     pub fn display_fact(&self, fact: &Fact) -> String {
         let args: Vec<String> = fact.args.iter().map(|&v| self.display_value(v)).collect();
@@ -647,6 +795,77 @@ mod tests {
         let empty = db.add_relation("Q_db", 2).unwrap();
         assert!(db.facts_of(empty).is_empty());
         assert!(db.facts_with(empty, 0, mary).is_empty());
+    }
+
+    #[test]
+    fn shard_by_component_partitions_facts() {
+        let db = office_db();
+        // Components: {mary, room1, main1}, {john, room4}, {mike}.
+        assert_eq!(db.component_count(), 3);
+        let shards = db.shard_by_component();
+        assert_eq!(shards.len(), 3);
+        assert_eq!(shards.iter().map(Database::len).sum::<usize>(), db.len());
+        for shard in &shards {
+            assert!(shard.shares_interner_with(&db));
+            assert_eq!(shard.schema().len(), db.schema().len());
+            for fact in shard.facts() {
+                assert!(db.contains_fact(fact));
+            }
+        }
+        // No value occurs in two shards.
+        for (i, a) in shards.iter().enumerate() {
+            for b in &shards[i + 1..] {
+                for v in a.adom() {
+                    assert!(!b.in_adom(*v), "value {v:?} spans shards");
+                }
+            }
+        }
+        // Every shard resolves every constant name (shared snapshot).
+        assert!(shards.iter().all(|s| s.const_id("mike").is_some()));
+    }
+
+    #[test]
+    fn shard_into_respects_bounds_and_balances() {
+        let db = office_db();
+        assert_eq!(db.shard_into(1).len(), 1);
+        assert_eq!(db.shard_into(0).len(), 1); // clamped to one bin
+        let two = db.shard_into(2);
+        assert_eq!(two.len(), 2);
+        assert_eq!(two.iter().map(Database::len).sum::<usize>(), db.len());
+        // More bins than components collapses to one shard per component.
+        assert_eq!(db.shard_into(64).len(), 3);
+        // The empty database still yields one (empty) shard.
+        let empty = Database::new(office_schema());
+        assert_eq!(empty.shard_by_component().len(), 1);
+        assert_eq!(empty.component_count(), 0);
+    }
+
+    #[test]
+    fn nullary_facts_form_one_pseudo_component() {
+        let mut db = office_db();
+        db.add_relation("Flag", 0).unwrap();
+        db.add_fact(Fact::new(db.schema().relation_id("Flag").unwrap(), vec![]))
+            .unwrap();
+        assert_eq!(db.component_count(), 4);
+        let shards = db.shard_by_component();
+        assert_eq!(shards.iter().map(Database::len).sum::<usize>(), db.len());
+    }
+
+    #[test]
+    fn interner_snapshot_is_copy_on_write() {
+        let db = office_db();
+        let mut clone = db.clone();
+        assert!(clone.shares_interner_with(&db));
+        // Re-interning an existing constant keeps the shared snapshot.
+        let mary = clone.intern_const("mary");
+        assert_eq!(Some(mary), db.const_id("mary"));
+        assert!(clone.shares_interner_with(&db));
+        // A genuinely new constant copies the snapshot; the parent's ids are
+        // unchanged and still coherent with the clone's.
+        clone.intern_const("zoe");
+        assert!(!clone.shares_interner_with(&db));
+        assert_eq!(db.const_id("zoe"), None);
+        assert_eq!(clone.const_id("mary"), db.const_id("mary"));
     }
 
     #[test]

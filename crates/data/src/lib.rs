@@ -39,7 +39,9 @@ pub use fact::Fact;
 pub use interner::Interner;
 pub use schema::{RelId, Relation, Schema};
 pub use value::{ConstId, NullId, Value};
-pub use wildcard::{MultiTuple, MultiValue, PartialTuple, PartialValue};
+pub use wildcard::{
+    multi_wildcard_ball, multi_wildcard_cone, MultiTuple, MultiValue, PartialTuple, PartialValue,
+};
 
 /// Convenient `Result` alias for fallible operations in this crate.
 pub type Result<T> = std::result::Result<T, DataError>;

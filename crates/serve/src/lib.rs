@@ -1,0 +1,492 @@
+//! A concurrent batch-serving front end over compiled OMQ query plans.
+//!
+//! The compile-once/execute-many split of `omq-core` (`QueryPlan` /
+//! `PreparedInstance`) was built for serving workloads: a fixed catalogue of
+//! ontology-mediated queries compiled up front, per-request databases only
+//! charged the data-linear work.  [`ServingEngine`] is that front end:
+//!
+//! * a **catalogue** of named, compiled [`QueryPlan`]s ([`ServingEngine::register`]);
+//! * [`ServingEngine::serve_batch`] evaluates a batch of
+//!   (query-id, database, answer-mode) [`Request`]s across a fixed pool of
+//!   scoped worker threads (shared-nothing: workers pull requests off an
+//!   atomic cursor and never exchange state beyond the immutable catalogue);
+//! * per-request **data parallelism** can be layered on top via
+//!   [`ServingEngine::with_data_parallelism`], which routes executions
+//!   through `QueryPlan::execute_parallel` (Gaifman-component sharding).
+//!
+//! All catalogue state is immutable during serving and `ServingEngine` is
+//! `Send + Sync`, so one engine can be shared by any number of callers.
+//!
+//! ```
+//! use omq_chase::{Ontology, OntologyMediatedQuery};
+//! use omq_cq::ConjunctiveQuery;
+//! use omq_data::Database;
+//! use omq_serve::{AnswerMode, Request, ServingEngine};
+//!
+//! let ontology = Ontology::parse("Researcher(x) -> exists y. HasOffice(x, y)")?;
+//! let query = ConjunctiveQuery::parse("q(x, y) :- HasOffice(x, y)")?;
+//! let omq = OntologyMediatedQuery::new(ontology, query)?;
+//!
+//! let mut engine = ServingEngine::new(4);
+//! let offices = engine.register("offices", &omq)?;
+//!
+//! let db = Database::builder(omq.data_schema().clone())
+//!     .fact("Researcher", ["mary"])
+//!     .build()?;
+//! let responses = engine.serve_batch(&[
+//!     Request::new(offices, &db, AnswerMode::MinimalPartial),
+//! ]);
+//! assert_eq!(responses[0].as_ref().unwrap().answers.len(), 1); // (mary, *)
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use omq_chase::OntologyMediatedQuery;
+use omq_core::{CoreError, EngineConfig, PreprocessStats, QueryPlan};
+use omq_data::{ConstId, Database, MultiTuple, PartialTuple};
+use rustc_hash::FxHashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Errors raised by the serving front end.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// A query name was registered twice.
+    DuplicateQuery(String),
+    /// A request referenced a query id that is not in the catalogue.
+    UnknownQuery(usize),
+    /// A compilation or execution error bubbled up from the core engine.
+    Core(CoreError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::DuplicateQuery(name) => {
+                write!(f, "query `{name}` is already registered")
+            }
+            ServeError::UnknownQuery(id) => write!(f, "unknown query id {id}"),
+            ServeError::Core(e) => write!(f, "core engine error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<CoreError> for ServeError {
+    fn from(e: CoreError) -> Self {
+        ServeError::Core(e)
+    }
+}
+
+/// Convenient `Result` alias for fallible operations in this crate.
+pub type Result<T> = std::result::Result<T, ServeError>;
+
+/// Handle to a compiled plan in a [`ServingEngine`] catalogue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct QueryId(usize);
+
+/// Which answer semantics a request asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnswerMode {
+    /// Complete (certain) answers — Theorem 4.1(1).
+    Complete,
+    /// Minimal partial answers, single wildcard — Theorem 5.2.
+    MinimalPartial,
+    /// Minimal partial answers with multi-wildcards — Theorem 6.1.
+    MinimalPartialMulti,
+}
+
+/// The answers of one served request, in the semantics the request asked for.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnswerSet {
+    /// Complete answers as constant tuples.
+    Complete(Vec<Vec<ConstId>>),
+    /// Minimal partial answers.
+    Partial(Vec<PartialTuple>),
+    /// Minimal partial answers with multi-wildcards.
+    Multi(Vec<MultiTuple>),
+}
+
+impl AnswerSet {
+    /// Number of answers.
+    pub fn len(&self) -> usize {
+        match self {
+            AnswerSet::Complete(a) => a.len(),
+            AnswerSet::Partial(a) => a.len(),
+            AnswerSet::Multi(a) => a.len(),
+        }
+    }
+
+    /// Returns `true` iff the request produced no answers.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// One unit of serving work: evaluate a catalogued query over a database.
+#[derive(Debug, Clone, Copy)]
+pub struct Request<'a> {
+    /// The catalogued query to evaluate.
+    pub query: QueryId,
+    /// The database to evaluate it over.
+    pub database: &'a Database,
+    /// The answer semantics to produce.
+    pub mode: AnswerMode,
+}
+
+impl<'a> Request<'a> {
+    /// Builds a request.
+    pub fn new(query: QueryId, database: &'a Database, mode: AnswerMode) -> Self {
+        Request {
+            query,
+            database,
+            mode,
+        }
+    }
+}
+
+/// The response to one [`Request`].
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// The query that was evaluated.
+    pub query: QueryId,
+    /// The answers, in the requested semantics.
+    pub answers: AnswerSet,
+    /// Preprocessing statistics of the execution behind this response.
+    pub stats: PreprocessStats,
+}
+
+/// A catalogue of compiled plans plus a fixed-size worker pool serving
+/// batches of (query, database) requests.  See the crate docs for an
+/// end-to-end example.
+#[derive(Debug)]
+pub struct ServingEngine {
+    plans: Vec<(String, QueryPlan)>,
+    by_name: FxHashMap<String, usize>,
+    workers: usize,
+    data_parallelism: usize,
+}
+
+impl ServingEngine {
+    /// Creates an engine with a pool of `workers` threads for batch serving
+    /// (clamped to at least one).  Requests are evaluated sequentially
+    /// within a worker; see [`ServingEngine::with_data_parallelism`] to also
+    /// shard individual executions.
+    pub fn new(workers: usize) -> Self {
+        ServingEngine {
+            plans: Vec::new(),
+            by_name: FxHashMap::default(),
+            workers: workers.max(1),
+            data_parallelism: 1,
+        }
+    }
+
+    /// Additionally shards every execution over up to `threads` threads via
+    /// `QueryPlan::execute_parallel` (Gaifman-component sharding).  Useful
+    /// when batches are small but the databases are large and
+    /// component-rich; for large batches the request-level pool already
+    /// saturates the cores.
+    pub fn with_data_parallelism(mut self, threads: usize) -> Self {
+        self.data_parallelism = threads.max(1);
+        self
+    }
+
+    /// Number of worker threads used by [`ServingEngine::serve_batch`].
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Compiles `omq` with default configuration and adds it to the
+    /// catalogue under `name`.
+    pub fn register(&mut self, name: &str, omq: &OntologyMediatedQuery) -> Result<QueryId> {
+        let plan = QueryPlan::compile(omq)?;
+        self.register_plan(name, plan)
+    }
+
+    /// Compiles `omq` with an explicit configuration and catalogues it.
+    pub fn register_with(
+        &mut self,
+        name: &str,
+        omq: &OntologyMediatedQuery,
+        config: &EngineConfig,
+    ) -> Result<QueryId> {
+        let plan = QueryPlan::compile_with(omq, config)?;
+        self.register_plan(name, plan)
+    }
+
+    /// Adds an already-compiled plan to the catalogue under `name`.
+    pub fn register_plan(&mut self, name: &str, plan: QueryPlan) -> Result<QueryId> {
+        if self.by_name.contains_key(name) {
+            return Err(ServeError::DuplicateQuery(name.to_owned()));
+        }
+        let id = self.plans.len();
+        self.plans.push((name.to_owned(), plan));
+        self.by_name.insert(name.to_owned(), id);
+        Ok(QueryId(id))
+    }
+
+    /// Looks up a catalogued query by name.
+    pub fn query_id(&self, name: &str) -> Option<QueryId> {
+        self.by_name.get(name).copied().map(QueryId)
+    }
+
+    /// The compiled plan behind a query id.
+    pub fn plan(&self, id: QueryId) -> Result<&QueryPlan> {
+        self.plans
+            .get(id.0)
+            .map(|(_, plan)| plan)
+            .ok_or(ServeError::UnknownQuery(id.0))
+    }
+
+    /// Number of catalogued queries.
+    pub fn len(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// Returns `true` iff the catalogue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.plans.is_empty()
+    }
+
+    /// Serves one request on the calling thread.
+    pub fn serve_one(&self, request: &Request) -> Result<Response> {
+        let plan = self.plan(request.query)?;
+        let instance = if self.data_parallelism > 1 {
+            plan.execute_parallel(request.database, self.data_parallelism)?
+        } else {
+            plan.execute(request.database)?
+        };
+        let answers = match request.mode {
+            AnswerMode::Complete => AnswerSet::Complete(instance.enumerate_complete()?),
+            AnswerMode::MinimalPartial => AnswerSet::Partial(instance.enumerate_minimal_partial()?),
+            AnswerMode::MinimalPartialMulti => {
+                AnswerSet::Multi(instance.enumerate_minimal_partial_multi()?)
+            }
+        };
+        Ok(Response {
+            query: request.query,
+            answers,
+            stats: *instance.stats(),
+        })
+    }
+
+    /// Serves a batch of requests across the worker pool, returning one
+    /// result per request in request order.
+    ///
+    /// Shared-nothing scheduling: workers claim request indices off an
+    /// atomic cursor, evaluate against the immutable catalogue (warming the
+    /// plans' shared chase memos as a side effect), and only the collected
+    /// results are merged at the end.  A failed request does not affect the
+    /// others.
+    pub fn serve_batch(&self, requests: &[Request]) -> Vec<Result<Response>> {
+        let n = requests.len();
+        let workers = self.workers.min(n.max(1));
+        if workers <= 1 {
+            return requests.iter().map(|r| self.serve_one(r)).collect();
+        }
+        let cursor = AtomicUsize::new(0);
+        let collected: Vec<Vec<(usize, Result<Response>)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local = Vec::new();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            local.push((i, self.serve_one(&requests[i])));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("serving worker panicked"))
+                .collect()
+        });
+        let mut out: Vec<Option<Result<Response>>> = (0..n).map(|_| None).collect();
+        for batch in collected {
+            for (i, result) in batch {
+                out[i] = Some(result);
+            }
+        }
+        out.into_iter()
+            .map(|r| r.expect("every request index was claimed exactly once"))
+            .collect()
+    }
+}
+
+// The whole point of the engine is to be shared across request threads.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<ServingEngine>();
+    assert_send_sync::<Request<'static>>();
+    assert_send_sync::<Response>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omq_chase::Ontology;
+    use omq_core::OmqEngine;
+    use omq_cq::ConjunctiveQuery;
+    use std::collections::BTreeSet;
+
+    fn office_omq() -> OntologyMediatedQuery {
+        let ontology = Ontology::parse(
+            "Researcher(x) -> exists y. HasOffice(x, y)\n\
+             HasOffice(x, y) -> Office(y)\n\
+             Office(x) -> exists y. InBuilding(x, y)",
+        )
+        .unwrap();
+        let query =
+            ConjunctiveQuery::parse("q(x1, x2, x3) :- HasOffice(x1, x2), InBuilding(x2, x3)")
+                .unwrap();
+        OntologyMediatedQuery::new(ontology, query).unwrap()
+    }
+
+    fn researcher_omq() -> OntologyMediatedQuery {
+        let ontology = Ontology::parse("Researcher(x) -> exists y. HasOffice(x, y)").unwrap();
+        let query = ConjunctiveQuery::parse("q(x, y) :- HasOffice(x, y)").unwrap();
+        OntologyMediatedQuery::new(ontology, query).unwrap()
+    }
+
+    fn db(i: usize, omq: &OntologyMediatedQuery) -> Database {
+        let has_buildings = omq.data_schema().relation_id("InBuilding").is_some();
+        let mut builder = Database::builder(omq.data_schema().clone());
+        for r in 0..=i {
+            builder = builder.fact("Researcher", [format!("p{i}_{r}")]);
+            if r % 2 == 0 {
+                builder = builder.fact("HasOffice", [format!("p{i}_{r}"), format!("o{i}_{r}")]);
+            }
+            if has_buildings && r % 4 == 0 {
+                builder = builder.fact("InBuilding", [format!("o{i}_{r}"), format!("b{i}")]);
+            }
+        }
+        builder.build().unwrap()
+    }
+
+    #[test]
+    fn batch_serving_matches_per_request_engines() {
+        let office = office_omq();
+        let mut engine = ServingEngine::new(4);
+        let office_id = engine.register("office", &office).unwrap();
+        assert_eq!(engine.query_id("office"), Some(office_id));
+        assert_eq!(engine.len(), 1);
+
+        let dbs: Vec<Database> = (0..12).map(|i| db(i, &office)).collect();
+        let requests: Vec<Request> = dbs
+            .iter()
+            .enumerate()
+            .map(|(i, d)| {
+                let mode = match i % 3 {
+                    0 => AnswerMode::Complete,
+                    1 => AnswerMode::MinimalPartial,
+                    _ => AnswerMode::MinimalPartialMulti,
+                };
+                Request::new(office_id, d, mode)
+            })
+            .collect();
+        let responses = engine.serve_batch(&requests);
+        assert_eq!(responses.len(), requests.len());
+        for (request, response) in requests.iter().zip(&responses) {
+            let response = response.as_ref().unwrap();
+            let reference = OmqEngine::preprocess(&office, request.database).unwrap();
+            match (&response.answers, request.mode) {
+                (AnswerSet::Complete(got), AnswerMode::Complete) => {
+                    let want = reference.enumerate_complete().unwrap();
+                    let got: BTreeSet<_> = got.iter().collect();
+                    let want: BTreeSet<_> = want.iter().collect();
+                    assert_eq!(got, want);
+                }
+                (AnswerSet::Partial(got), AnswerMode::MinimalPartial) => {
+                    let want = reference.enumerate_minimal_partial().unwrap();
+                    let got: BTreeSet<_> = got.iter().collect();
+                    let want: BTreeSet<_> = want.iter().collect();
+                    assert_eq!(got, want);
+                }
+                (AnswerSet::Multi(got), AnswerMode::MinimalPartialMulti) => {
+                    let want = reference.enumerate_minimal_partial_multi().unwrap();
+                    let got: BTreeSet<_> = got.iter().collect();
+                    let want: BTreeSet<_> = want.iter().collect();
+                    assert_eq!(got, want);
+                }
+                (answers, mode) => panic!("mode {mode:?} produced {answers:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn catalogue_names_are_unique_and_ids_checked() {
+        let mut engine = ServingEngine::new(2);
+        let id = engine.register("q", &researcher_omq()).unwrap();
+        assert!(matches!(
+            engine.register("q", &researcher_omq()),
+            Err(ServeError::DuplicateQuery(_))
+        ));
+        assert!(engine.plan(id).is_ok());
+        assert!(matches!(
+            engine.plan(QueryId(99)),
+            Err(ServeError::UnknownQuery(99))
+        ));
+        let db = db(0, &researcher_omq());
+        let bad = Request::new(QueryId(99), &db, AnswerMode::Complete);
+        let responses = engine.serve_batch(&[bad]);
+        assert!(matches!(responses[0], Err(ServeError::UnknownQuery(99))));
+    }
+
+    #[test]
+    fn mixed_catalogue_and_more_requests_than_workers() {
+        let office = office_omq();
+        let researcher = researcher_omq();
+        let mut engine = ServingEngine::new(3).with_data_parallelism(2);
+        let office_id = engine.register("office", &office).unwrap();
+        let researcher_id = engine.register("researcher", &researcher).unwrap();
+        let office_dbs: Vec<Database> = (0..8).map(|i| db(i, &office)).collect();
+        let researcher_dbs: Vec<Database> = (0..8).map(|i| db(i, &researcher)).collect();
+        let mut requests = Vec::new();
+        for d in &office_dbs {
+            requests.push(Request::new(office_id, d, AnswerMode::MinimalPartial));
+        }
+        for d in &researcher_dbs {
+            requests.push(Request::new(researcher_id, d, AnswerMode::MinimalPartial));
+        }
+        let responses = engine.serve_batch(&requests);
+        assert_eq!(responses.len(), 16);
+        for (request, response) in requests.iter().zip(&responses) {
+            let response = response.as_ref().unwrap();
+            assert_eq!(response.query, request.query);
+            assert!(!response.answers.is_empty());
+            assert!(response.stats.shards >= 1);
+        }
+        // Serving warmed the shared chase memos of both catalogued plans.
+        assert!(
+            engine
+                .plan(office_id)
+                .unwrap()
+                .chase_plan()
+                .memoized_bag_types()
+                > 0
+        );
+        assert!(
+            engine
+                .plan(researcher_id)
+                .unwrap()
+                .chase_plan()
+                .memoized_bag_types()
+                > 0
+        );
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let engine = ServingEngine::new(4);
+        assert!(engine.serve_batch(&[]).is_empty());
+        assert!(engine.is_empty());
+    }
+}

@@ -21,6 +21,14 @@
 //!   relation layout, chase rule-trigger tables) once per OMQ and evaluates
 //!   them over any number of databases via `QueryPlan::execute` — see
 //!   `examples/plan_reuse.rs`;
+//! * **shared-nothing parallel execution**: `QueryPlan::execute_parallel`
+//!   shards a database by Gaifman connected component (sound under
+//!   guardedness — the chase never crosses components) and chases +
+//!   enumerates the shards on scoped threads, merging answer streams
+//!   without losing constant delay;
+//! * a **batch-serving front end**: `ServingEngine` holds a catalogue of
+//!   compiled plans and serves batches of (query, database) requests across
+//!   a fixed worker pool;
 //! * all the substrates required along the way: a relational data model with
 //!   dense columnar indexes, conjunctive-query machinery (join trees,
 //!   acyclicity notions), the chase, the query-directed chase, and a
@@ -74,6 +82,7 @@ pub use omq_chase as chase;
 pub use omq_core as core;
 pub use omq_cq as cq;
 pub use omq_data as data;
+pub use omq_serve as serve;
 
 /// The most commonly used types, re-exported for convenient glob imports.
 pub mod prelude {
@@ -90,6 +99,42 @@ pub mod prelude {
         ColumnarIndex, ConstId, Database, Fact, MultiTuple, MultiValue, NullId, PartialTuple,
         PartialValue, RelId, Schema, Value,
     };
+    pub use omq_serve::{AnswerMode, AnswerSet, Request, Response, ServeError, ServingEngine};
+}
+
+/// Compile-time thread-safety contract of the serving stack.
+///
+/// The shared-nothing parallel pipeline hands these types across scoped
+/// threads — compiled plans and interner/index artefacts are shared
+/// read-only, instances and responses are moved between workers.  Each
+/// assertion fails the *build* (not a test) if a refactor introduces a
+/// non-`Send`/non-`Sync` field (an `Rc`, a raw pointer, a `RefCell`, …)
+/// anywhere in these types.
+mod thread_safety {
+    #[allow(dead_code)]
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[allow(dead_code)]
+    fn assertions() {
+        // Data substrate: databases (with their lazily built columnar
+        // indexes and shared interner snapshots) are read concurrently by
+        // every shard worker.
+        assert_send_sync::<omq_data::Database>();
+        assert_send_sync::<omq_data::ColumnarIndex>();
+        assert_send_sync::<omq_data::Interner>();
+        assert_send_sync::<omq_data::Schema>();
+        // Chase: one compiled chase plan is shared by all executions, with
+        // the bag-type memo behind a read-mostly lock.
+        assert_send_sync::<omq_chase::QchasePlan>();
+        // Core: compiled plans are shared, prepared instances are moved.
+        assert_send_sync::<omq_core::QueryPlan>();
+        assert_send_sync::<omq_core::PreparedInstance>();
+        assert_send_sync::<omq_core::PlanSkeleton>();
+        // Serving: one engine, many request threads.
+        assert_send_sync::<omq_serve::ServingEngine>();
+        assert_send_sync::<omq_serve::Request<'static>>();
+        assert_send_sync::<omq_serve::Response>();
+    }
 }
 
 #[cfg(test)]
