@@ -1,0 +1,43 @@
+use omq_answers::{Database, Ontology, OntologyMediatedQuery, QueryPlan};
+use omq_cq::ConjunctiveQuery;
+
+#[test]
+fn nullary_side_atom_tgd_parallel_vs_sequential() {
+    // Guarded TGD with a nullary side atom: P(x), Flag() -> Q(x).
+    let ontology = match Ontology::parse("P(x), Flag() -> Q(x)") {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("parse rejected nullary atom: {e}");
+            return;
+        }
+    };
+    let query = ConjunctiveQuery::parse("q(x) :- Q(x)").unwrap();
+    let omq = OntologyMediatedQuery::new(ontology, query).unwrap();
+    let plan = match QueryPlan::compile(&omq) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("compile rejected: {e}");
+            return;
+        }
+    };
+    let mut builder = Database::builder(omq.data_schema().clone());
+    builder = builder.fact("P", ["a"]).fact("P", ["b"]).fact("Flag", Vec::<String>::new());
+    let db = builder.build().unwrap();
+    eprintln!("components: {}", db.component_count());
+    let seq = plan.execute(&db).unwrap();
+    let par = plan.execute_parallel(&db, 4).unwrap();
+    let s: Vec<_> = seq
+        .enumerate_complete()
+        .unwrap()
+        .iter()
+        .map(|a| seq.format_complete(a))
+        .collect();
+    let p: Vec<_> = par
+        .enumerate_complete()
+        .unwrap()
+        .iter()
+        .map(|a| par.format_complete(a))
+        .collect();
+    eprintln!("sequential: {s:?}  parallel(shards={}): {p:?}", par.shard_count());
+    assert_eq!(s, p, "parallel execution lost answers");
+}
