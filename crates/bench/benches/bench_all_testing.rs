@@ -2,7 +2,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use omq_bench::generators::{university, UniversityConfig};
-use omq_core::OmqEngine;
+use omq_core::{OmqEngine, Semantics};
 use omq_data::Value;
 use std::time::Duration;
 
@@ -18,7 +18,11 @@ fn bench_all_testing(c: &mut Criterion) {
         });
         let engine = OmqEngine::preprocess(&omq, &db).expect("guarded OMQ");
         let tester = engine.all_tester().expect("free-connex query");
-        let answers = engine.enumerate_complete().expect("tractable");
+        let answers: Vec<Vec<omq_data::ConstId>> = engine
+            .answers(Semantics::Complete)
+            .expect("tractable")
+            .map(|a| a.into_complete().expect("complete semantics"))
+            .collect();
         let candidates: Vec<Vec<Value>> = answers
             .iter()
             .take(256)

@@ -3,7 +3,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use omq_bench::generators::{university, UniversityConfig};
 use omq_chase::ChaseConfig;
-use omq_core::{baseline::BruteForce, OmqEngine};
+use omq_core::{baseline::BruteForce, OmqEngine, Semantics};
 use std::time::Duration;
 
 fn bench_baseline(c: &mut Criterion) {
@@ -22,7 +22,10 @@ fn bench_baseline(c: &mut Criterion) {
             |b, _| {
                 b.iter(|| {
                     let engine = OmqEngine::preprocess(&omq, &db).expect("guarded OMQ");
-                    engine.enumerate_minimal_partial().expect("tractable").len()
+                    engine
+                        .answers(Semantics::MinimalPartial)
+                        .expect("tractable")
+                        .count()
                 });
             },
         );

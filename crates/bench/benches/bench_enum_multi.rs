@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use omq_bench::generators::{university, UniversityConfig};
-use omq_core::OmqEngine;
+use omq_core::{OmqEngine, Semantics};
 use std::time::Duration;
 
 fn bench_enum_multi(c: &mut Criterion) {
@@ -25,9 +25,10 @@ fn bench_enum_multi(c: &mut Criterion) {
             |b, _| {
                 b.iter(|| {
                     let mut count = 0usize;
-                    engine
-                        .stream_minimal_partial_multi(|_| count += 1)
-                        .expect("tractable");
+                    count += engine
+                        .answers(Semantics::MinimalPartialMulti)
+                        .expect("tractable")
+                        .count();
                     count
                 });
             },

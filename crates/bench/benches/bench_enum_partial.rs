@@ -2,7 +2,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use omq_bench::generators::{university, UniversityConfig};
-use omq_core::OmqEngine;
+use omq_core::{OmqEngine, Semantics};
 use std::time::Duration;
 
 fn bench_enum_partial(c: &mut Criterion) {
@@ -24,9 +24,10 @@ fn bench_enum_partial(c: &mut Criterion) {
             |b, _| {
                 b.iter(|| {
                     let mut count = 0usize;
-                    engine
-                        .stream_minimal_partial(|_| count += 1)
-                        .expect("tractable");
+                    count += engine
+                        .answers(Semantics::MinimalPartial)
+                        .expect("tractable")
+                        .count();
                     count
                 });
             },

@@ -1,18 +1,23 @@
-//! The experiment suite (E1–E13) and its table output.
+//! The experiment suite (E1–E14) and its table output.
 //!
 //! Every experiment returns a [`Table`]; the harness binary prints them,
 //! writes the machine-readable `BENCH_<exp>.json` counterparts (see
 //! [`crate::report`]), and `EXPERIMENTS.md` records a reference run together
 //! with the paper claim the experiment validates.
+//!
+//! The deprecated `enumerate_*`/`stream_*` engine wrappers are used
+//! deliberately in the older experiments: they time the legacy callback path
+//! next to the cursor path (E12/E14 report the iterator metric).
+#![allow(deprecated)]
 
 use crate::generators::{
     clustered_university, random_bipartite_graph, random_graph, sparse_boolean_matrix, university,
     ClusteredConfig, UniversityConfig,
 };
-use crate::measure::{linear_fit, measure_stream, DelayStats};
+use crate::measure::{linear_fit, measure_iterator, measure_stream, measure_take_k, DelayStats};
 use crate::reductions;
 use omq_chase::{ChaseConfig, QchaseConfig};
-use omq_core::{baseline::BruteForce, EngineConfig, OmqEngine, QueryPlan};
+use omq_core::{baseline::BruteForce, Answer, EngineConfig, OmqEngine, QueryPlan, Semantics};
 use omq_cq::acyclicity::AcyclicityReport;
 use omq_cq::ConjunctiveQuery;
 use std::time::Instant;
@@ -718,6 +723,7 @@ pub fn e12_plan_columnar(quick: bool) -> Table {
             "answers",
             "dense mean ns",
             "dense p99 ns",
+            "iter mean ns",
             "hash mean ns",
             "partial mean ns",
             "answers equal",
@@ -733,6 +739,7 @@ pub fn e12_plan_columnar(quick: bool) -> Table {
 
     let mut facts_axis: Vec<f64> = Vec::new();
     let mut dense_means: Vec<f64> = Vec::new();
+    let mut iter_means: Vec<f64> = Vec::new();
     let mut exec_micros_total = 0f64;
     let mut fresh_micros_total = 0f64;
     for researchers in university_sizes(quick) {
@@ -762,6 +769,13 @@ pub fn e12_plan_columnar(quick: bool) -> Table {
                 }
             },
         );
+        // The same answers through the pull-based cursor API — the metric a
+        // caller of `answers(Semantics::Complete)` actually experiences.
+        let iter = measure_iterator(|| {
+            instance
+                .answers(Semantics::Complete)
+                .expect("tractable query")
+        });
         // The same answers through the old hash-index loop.
         let hash = measure_stream(
             || instance.complete_structure().expect("tractable query"),
@@ -786,9 +800,11 @@ pub fn e12_plan_columnar(quick: bool) -> Table {
         // smaller sizes to keep the experiment's runtime bounded).
         let mut equal = plan_agrees_with_engine(&instance, &engine, researchers <= 1_000);
         equal &= dense.answers == hash.answers;
+        equal &= dense.answers == iter.answers;
 
         facts_axis.push(facts as f64);
         dense_means.push(dense.mean_delay_nanos as f64);
+        iter_means.push(iter.mean_delay_nanos as f64);
         table.push_row(vec![
             researchers.to_string(),
             facts.to_string(),
@@ -798,6 +814,7 @@ pub fn e12_plan_columnar(quick: bool) -> Table {
             dense.answers.to_string(),
             dense.mean_delay_nanos.to_string(),
             dense.p99_delay_nanos.to_string(),
+            iter.mean_delay_nanos.to_string(),
             hash.mean_delay_nanos.to_string(),
             partial.mean_delay_nanos.to_string(),
             equal.to_string(),
@@ -813,6 +830,8 @@ pub fn e12_plan_columnar(quick: bool) -> Table {
     );
     // Flat per-answer delay ⟺ slope ≈ 0 ns per fact.
     table.push_metric("dense_delay_slope_ns_per_fact", delay_slope);
+    let (iter_slope, _) = linear_fit(&facts_axis, &iter_means);
+    table.push_metric("iter_delay_slope_ns_per_fact", iter_slope);
     table
 }
 
@@ -979,6 +998,115 @@ pub fn e13_parallel_speedup(quick: bool) -> Table {
     table
 }
 
+/// E14 — the answer-cursor API: time-to-first-answer and `take(k)` cost
+/// versus database size, through `PreparedInstance::answers(Semantics)`.
+///
+/// The paper's DelayClin guarantee, read as an API contract, says: after the
+/// linear preprocessing, the first answer arrives after O(1) further work and
+/// the first `k` answers after `O(k)` — independent of `|D|`.  This
+/// experiment sweeps the database size, times the cursor construction
+/// (preprocessing), the delay to the first `next()` (TTFA) and a
+/// `take(k)` page on the minimal-partial semantics, and fits the per-fact
+/// slope of the page cost, which must be ~flat.  Every row also verifies the
+/// **prefix property** on all three semantics: `answers(sem).take(k)` equals
+/// the first `k` answers of the full enumeration (the CI gate).
+pub fn e14_cursor_pagination(quick: bool) -> Table {
+    const K: usize = 64;
+    let mut table = Table::new(
+        "E14",
+        "Answer cursor: time-to-first-answer and take(k) cost vs |D|",
+        &[
+            "researchers",
+            "|D| facts",
+            "answers() µs",
+            "ttfa ns",
+            "take(64) µs",
+            "page mean ns",
+            "full answers",
+            "full enum µs",
+            "prefix ok",
+        ],
+    );
+    let (omq, _) = university(&UniversityConfig {
+        researchers: 1,
+        ..Default::default()
+    });
+    let plan = QueryPlan::compile(&omq).expect("guarded OMQ");
+
+    let mut facts_axis: Vec<f64> = Vec::new();
+    let mut page_nanos: Vec<f64> = Vec::new();
+    let mut ttfa_nanos: Vec<f64> = Vec::new();
+    for researchers in university_sizes(quick) {
+        let (_, db) = university(&UniversityConfig {
+            researchers,
+            ..Default::default()
+        });
+        let facts = db.len();
+        let instance = plan.execute(&db).expect("guarded OMQ");
+
+        // A `take(k)` page: cursor construction (= enumeration
+        // preprocessing) plus k constant-work `next()` calls.
+        let page = measure_take_k(
+            || {
+                instance
+                    .answers(Semantics::MinimalPartial)
+                    .expect("tractable query")
+            },
+            K,
+        );
+        // The full enumeration through the same cursor, for scale.
+        let full = measure_iterator(|| {
+            instance
+                .answers(Semantics::MinimalPartial)
+                .expect("tractable query")
+        });
+
+        // Prefix property on all three semantics (multi-wildcards only at
+        // the smaller sizes: Algorithm 2's tester dominates beyond that).
+        let mut prefix_ok = true;
+        for sem in Semantics::ALL {
+            if sem == Semantics::MinimalPartialMulti && researchers > 1_000 {
+                continue;
+            }
+            let all: Vec<Answer> = instance.answers(sem).expect("tractable query").collect();
+            let prefix: Vec<Answer> = instance
+                .answers(sem)
+                .expect("tractable query")
+                .take(K)
+                .collect();
+            prefix_ok &= prefix == all[..K.min(all.len())];
+        }
+
+        facts_axis.push(facts as f64);
+        page_nanos.push(page.enumeration_micros as f64 * 1e3);
+        ttfa_nanos.push(page.first_delay_nanos as f64);
+        table.push_row(vec![
+            researchers.to_string(),
+            facts.to_string(),
+            page.preprocess_micros.to_string(),
+            page.first_delay_nanos.to_string(),
+            page.enumeration_micros.to_string(),
+            page.mean_delay_nanos.to_string(),
+            full.answers.to_string(),
+            full.enumeration_micros.to_string(),
+            prefix_ok.to_string(),
+        ]);
+    }
+    // The flat-delay assertion: the cost of a k-answer page must not grow
+    // with the database (slope in ns per fact ≈ 0; preprocessing, which is
+    // allowed to grow linearly, is excluded).
+    let (page_slope, _) = linear_fit(&facts_axis, &page_nanos);
+    let (ttfa_slope, _) = linear_fit(&facts_axis, &ttfa_nanos);
+    table.push_metric("take_k", K as f64);
+    table.push_metric("take_k_slope_ns_per_fact", page_slope);
+    table.push_metric("ttfa_slope_ns_per_fact", ttfa_slope);
+    table.push_metric(
+        "ttfa_max_nanos",
+        ttfa_nanos.iter().copied().fold(0.0, f64::max),
+    );
+    table
+}
+
 /// Runs one experiment by identifier.
 pub fn run_experiment(id: &str, quick: bool) -> Option<Table> {
     match id.to_ascii_uppercase().as_str() {
@@ -995,6 +1123,7 @@ pub fn run_experiment(id: &str, quick: bool) -> Option<Table> {
         "E11" => Some(e11_ablation(quick)),
         "E12" => Some(e12_plan_columnar(quick)),
         "E13" => Some(e13_parallel_speedup(quick)),
+        "E14" => Some(e14_cursor_pagination(quick)),
         _ => None,
     }
 }
@@ -1002,7 +1131,7 @@ pub fn run_experiment(id: &str, quick: bool) -> Option<Table> {
 /// Runs the full suite.
 pub fn run_all(quick: bool) -> Vec<Table> {
     [
-        "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13",
+        "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14",
     ]
     .iter()
     .filter_map(|id| run_experiment(id, quick))

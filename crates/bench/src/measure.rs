@@ -25,6 +25,9 @@ pub struct DelayStats {
     pub p99_delay_nanos: u128,
     /// Mean delay in nanoseconds.
     pub mean_delay_nanos: u128,
+    /// Time to the *first* answer after preprocessing, in nanoseconds — the
+    /// serving-layer "time to first answer" (0 when no answer was produced).
+    pub first_delay_nanos: u128,
 }
 
 impl DelayStats {
@@ -62,6 +65,48 @@ pub fn measure_stream<S>(
         enumerate(&mut state, &mut tick);
     }
     let enumeration_micros = enumeration_start.elapsed().as_micros();
+    finish_stats(preprocess_micros, enumeration_micros, delays)
+}
+
+/// Measures a pull-based enumeration through its `Iterator` interface — the
+/// metric the cursor API actually exposes to callers: `build` is the
+/// preprocessing (e.g. `instance.answers(sem)`), and every `next()` call is
+/// timed individually.
+///
+/// This measures the same quantity as [`measure_stream`]'s callback ticks,
+/// but through the iterator seam, so experiments can assert that the pull
+/// path has the same flat per-answer delay the paper states.
+pub fn measure_iterator<I: Iterator>(build: impl FnOnce() -> I) -> DelayStats {
+    measure_take_k(build, usize::MAX)
+}
+
+/// Like [`measure_iterator`], but stops after `k` answers — the cost profile
+/// of a `take(k)` page: preprocessing plus `O(k)` enumeration work.
+pub fn measure_take_k<I: Iterator>(build: impl FnOnce() -> I, k: usize) -> DelayStats {
+    let start = Instant::now();
+    let mut iter = build();
+    let preprocess_micros = start.elapsed().as_micros();
+
+    let mut delays: Vec<u128> = Vec::new();
+    let enumeration_start = Instant::now();
+    let mut last = Instant::now();
+    for answer in iter.by_ref().take(k) {
+        let now = Instant::now();
+        delays.push(now.duration_since(last).as_nanos());
+        last = now;
+        std::hint::black_box(&answer);
+    }
+    let enumeration_micros = enumeration_start.elapsed().as_micros();
+    // The rest of the stream is deliberately dropped unenumerated.
+    drop(iter);
+    finish_stats(preprocess_micros, enumeration_micros, delays)
+}
+
+fn finish_stats(
+    preprocess_micros: u128,
+    enumeration_micros: u128,
+    delays: Vec<u128>,
+) -> DelayStats {
     let answers = delays.len();
     let total_delay: u128 = delays.iter().sum();
     let max_delay = delays.iter().copied().max().unwrap_or(0);
@@ -83,6 +128,7 @@ pub fn measure_stream<S>(
         } else {
             total_delay / answers as u128
         },
+        first_delay_nanos: delays.first().copied().unwrap_or(0),
     }
 }
 
@@ -129,6 +175,18 @@ mod tests {
         assert_eq!(stats.answers, 100);
         assert!(stats.max_delay_nanos >= stats.mean_delay_nanos);
         assert!(stats.throughput() > 0.0);
+    }
+
+    #[test]
+    fn iterator_measurement_counts_and_bounds() {
+        let stats = measure_iterator(|| 0..1000u32);
+        assert_eq!(stats.answers, 1000);
+        assert!(stats.first_delay_nanos > 0);
+        let page = measure_take_k(|| 0..1000u32, 10);
+        assert_eq!(page.answers, 10);
+        let empty = measure_take_k(std::iter::empty::<u32>, 10);
+        assert_eq!(empty.answers, 0);
+        assert_eq!(empty.first_delay_nanos, 0);
     }
 
     #[test]

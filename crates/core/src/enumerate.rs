@@ -19,18 +19,25 @@
 //! are materialised from the per-node current tuples through the
 //! precompiled `answer_sources` columns.
 //!
+//! The traversal state lives in [`AnswerCursor`], which does **not** borrow
+//! the structure: every step takes the structure as an argument, so a cursor
+//! can sit next to the [`FreeConnexStructure`] it walks inside one owning
+//! value (the `AnswerStream` of [`crate::stream`] does exactly that).
+//! [`AnswerIter`] pairs a cursor with a borrowed structure for the common
+//! local-iteration case.
+//!
 //! [`JoinCsr`]: crate::preprocess::JoinCsr
 
 use crate::preprocess::FreeConnexStructure;
 use omq_data::Value;
 
-/// A constant-delay iterator over the answers of a preprocessed query.
+/// The resumable traversal state of one constant-delay enumeration run.
 ///
-/// Yields tuples over the query's answer positions (repeated answer variables
-/// repeat their value).  Tuples contain labelled nulls iff the structure was
-/// built without the `complete_only` relativisation.
-pub struct AnswerIter<'a> {
-    structure: &'a FreeConnexStructure,
+/// A cursor is created for one specific [`FreeConnexStructure`] and must be
+/// stepped with that same structure; mixing structures is a logic error
+/// (tuple indices would be interpreted against the wrong extensions).
+#[derive(Debug, Clone)]
+pub struct AnswerCursor {
     /// One entry per pre-order position reached so far.
     levels: Vec<Level>,
     /// Current tuple index per node (valid for nodes on the level stack).
@@ -39,6 +46,7 @@ pub struct AnswerIter<'a> {
 }
 
 /// Candidate cursor of one pre-order level.
+#[derive(Debug, Clone)]
 struct Level {
     node: usize,
     /// Candidate source: either all tuples of the node, or a CSR slice of the
@@ -47,6 +55,7 @@ struct Level {
     cursor: usize,
 }
 
+#[derive(Debug, Clone)]
 enum Cands {
     /// All tuples `0..len` (root or no predecessor variables).
     All { len: usize },
@@ -63,7 +72,7 @@ impl Cands {
     }
 }
 
-#[derive(Clone, Copy)]
+#[derive(Debug, Clone, Copy)]
 enum IterState {
     /// Boolean query: emit the empty tuple once if satisfiable.
     Boolean { emitted: bool },
@@ -73,9 +82,9 @@ enum IterState {
     Running { started: bool, done: bool },
 }
 
-impl<'a> AnswerIter<'a> {
-    /// Creates an iterator over the answers described by `structure`.
-    pub fn new(structure: &'a FreeConnexStructure) -> Self {
+impl AnswerCursor {
+    /// Creates a cursor positioned before the first answer of `structure`.
+    pub fn new(structure: &FreeConnexStructure) -> Self {
         let state = if let Some(satisfiable) = structure.boolean_satisfiable {
             if satisfiable {
                 IterState::Boolean { emitted: false }
@@ -90,20 +99,54 @@ impl<'a> AnswerIter<'a> {
                 done: false,
             }
         };
-        AnswerIter {
-            structure,
+        AnswerCursor {
             levels: Vec::with_capacity(structure.preorder.len()),
             cur_tuple: vec![0; structure.nodes.len()],
             state,
         }
     }
 
+    /// Produces the next answer, or `None` once the enumeration is
+    /// exhausted.  Constant work per call (in the size of the query).
+    pub fn next_answer(&mut self, structure: &FreeConnexStructure) -> Option<Vec<Value>> {
+        match self.state {
+            IterState::Empty => None,
+            IterState::Boolean { emitted } => {
+                if emitted {
+                    None
+                } else {
+                    self.state = IterState::Boolean { emitted: true };
+                    Some(Vec::new())
+                }
+            }
+            IterState::Running { started, done } => {
+                if done {
+                    return None;
+                }
+                let produced = if started {
+                    self.advance(structure)
+                } else {
+                    self.descend(structure, 0)
+                };
+                self.state = IterState::Running {
+                    started: true,
+                    done: !produced,
+                };
+                if produced {
+                    Some(self.current_answer(structure))
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
     /// Computes the candidate source for the node at pre-order position
     /// `depth` under the current per-node tuple choices.
     #[inline]
-    fn candidates_for(&self, depth: usize) -> (usize, Cands) {
-        let node = self.structure.preorder[depth];
-        let node_data = &self.structure.nodes[node];
+    fn candidates_for(&self, structure: &FreeConnexStructure, depth: usize) -> (usize, Cands) {
+        let node = structure.preorder[depth];
+        let node_data = &structure.nodes[node];
         let cands = match (&node_data.parent_join, node_data.parent) {
             (Some(join), Some(parent)) => {
                 let parent_tuple = self.cur_tuple[parent];
@@ -123,7 +166,7 @@ impl<'a> AnswerIter<'a> {
 
     /// Records the tuple selected by the cursor of `level`.
     #[inline]
-    fn bind(&mut self, level: usize) {
+    fn bind(&mut self, structure: &FreeConnexStructure, level: usize) {
         let Level {
             node,
             ref cands,
@@ -132,7 +175,7 @@ impl<'a> AnswerIter<'a> {
         let tuple_idx = match cands {
             Cands::All { .. } => cursor,
             Cands::Csr { start, .. } => {
-                let join = self.structure.nodes[node]
+                let join = structure.nodes[node]
                     .parent_join
                     .as_ref()
                     .expect("CSR candidates imply a parent join");
@@ -146,9 +189,9 @@ impl<'a> AnswerIter<'a> {
     /// first candidate at each level.  Returns `false` if some level has no
     /// candidate (which the progress condition rules out, but is handled
     /// defensively).
-    fn descend(&mut self, mut depth: usize) -> bool {
-        while depth < self.structure.preorder.len() {
-            let (node, cands) = self.candidates_for(depth);
+    fn descend(&mut self, structure: &FreeConnexStructure, mut depth: usize) -> bool {
+        while depth < structure.preorder.len() {
+            let (node, cands) = self.candidates_for(structure, depth);
             if cands.len() == 0 {
                 return false;
             }
@@ -157,22 +200,22 @@ impl<'a> AnswerIter<'a> {
                 cands,
                 cursor: 0,
             });
-            self.bind(depth);
+            self.bind(structure, depth);
             depth += 1;
         }
         true
     }
 
     /// Advances to the next full assignment; returns `false` when exhausted.
-    fn advance(&mut self) -> bool {
+    fn advance(&mut self, structure: &FreeConnexStructure) -> bool {
         loop {
             let Some(level) = self.levels.len().checked_sub(1) else {
                 return false;
             };
             self.levels[level].cursor += 1;
             if self.levels[level].cursor < self.levels[level].cands.len() {
-                self.bind(level);
-                if self.descend(level + 1) {
+                self.bind(structure, level);
+                if self.descend(structure, level + 1) {
                     return true;
                 }
                 // Defensive: treat a failed descent as exhaustion of this
@@ -185,14 +228,32 @@ impl<'a> AnswerIter<'a> {
     }
 
     /// Materialises the current answer through the precompiled sources.
-    fn current_answer(&self) -> Vec<Value> {
-        self.structure
+    fn current_answer(&self, structure: &FreeConnexStructure) -> Vec<Value> {
+        structure
             .answer_sources
             .iter()
-            .map(|&(node, col)| {
-                self.structure.nodes[node].extension.tuples[self.cur_tuple[node]][col]
-            })
+            .map(|&(node, col)| structure.nodes[node].extension.tuples[self.cur_tuple[node]][col])
             .collect()
+    }
+}
+
+/// A constant-delay iterator over the answers of a preprocessed query.
+///
+/// Yields tuples over the query's answer positions (repeated answer variables
+/// repeat their value).  Tuples contain labelled nulls iff the structure was
+/// built without the `complete_only` relativisation.
+pub struct AnswerIter<'a> {
+    structure: &'a FreeConnexStructure,
+    cursor: AnswerCursor,
+}
+
+impl<'a> AnswerIter<'a> {
+    /// Creates an iterator over the answers described by `structure`.
+    pub fn new(structure: &'a FreeConnexStructure) -> Self {
+        AnswerIter {
+            structure,
+            cursor: AnswerCursor::new(structure),
+        }
     }
 }
 
@@ -200,38 +261,11 @@ impl Iterator for AnswerIter<'_> {
     type Item = Vec<Value>;
 
     fn next(&mut self) -> Option<Self::Item> {
-        match self.state {
-            IterState::Empty => None,
-            IterState::Boolean { emitted } => {
-                if emitted {
-                    None
-                } else {
-                    self.state = IterState::Boolean { emitted: true };
-                    Some(Vec::new())
-                }
-            }
-            IterState::Running { started, done } => {
-                if done {
-                    return None;
-                }
-                let produced = if started {
-                    self.advance()
-                } else {
-                    self.descend(0)
-                };
-                self.state = IterState::Running {
-                    started: true,
-                    done: !produced,
-                };
-                if produced {
-                    Some(self.current_answer())
-                } else {
-                    None
-                }
-            }
-        }
+        self.cursor.next_answer(self.structure)
     }
 }
+
+impl std::iter::FusedIterator for AnswerIter<'_> {}
 
 /// Convenience: collects all answers of a preprocessed structure.
 pub fn collect_answers(structure: &FreeConnexStructure) -> Vec<Vec<Value>> {
@@ -324,6 +358,30 @@ mod tests {
         assert_eq!(first, second);
         // (a,b,u), (a,b,v), (a,c,w), (d,b,u), (d,b,v)
         assert_eq!(first.len(), 5);
+    }
+
+    #[test]
+    fn cursor_is_pausable_and_resumable() {
+        let database = db();
+        let q = ConjunctiveQuery::parse("q(x, y, z) :- R(x, y), S(y, z)").unwrap();
+        let s = FreeConnexStructure::build(&q, &database, true).unwrap();
+        let all: Vec<_> = AnswerIter::new(&s).collect();
+        // Drive the raw cursor by hand with pauses in between: the answer
+        // sequence must be identical to the uninterrupted iteration.
+        let mut cursor = AnswerCursor::new(&s);
+        let mut resumed = Vec::new();
+        while let Some(answer) = cursor.next_answer(&s) {
+            resumed.push(answer);
+            // A paused cursor is just a value; cloning it forks the
+            // enumeration state.
+            let mut fork = cursor.clone();
+            if let Some(peek) = fork.next_answer(&s) {
+                assert_eq!(peek, all[resumed.len()]);
+            }
+        }
+        assert_eq!(resumed, all);
+        // Stepping an exhausted cursor keeps returning `None` (fused).
+        assert!(cursor.next_answer(&s).is_none());
     }
 
     #[test]

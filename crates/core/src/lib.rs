@@ -21,6 +21,11 @@
 //!   (`QueryPlan::execute_parallel`), see [`parallel`];
 //! * brute-force baselines used by tests and benchmarks, see [`baseline`].
 //!
+//! All three enumeration modes are served by **one lazy cursor API**:
+//! `PreparedInstance::answers(Semantics)` returns an [`AnswerStream`]
+//! (`Iterator<Item = Answer>`) with constant work per `next()`, early
+//! termination via `take(k)`, and shard-sound chaining — see [`stream`].
+//!
 //! The top-level entry point is [`OmqEngine`] in [`omq_eval`]; serving
 //! workloads should use the compile-once/execute-many [`QueryPlan`] (and the
 //! `omq-serve` crate's batch front end) instead.
@@ -41,18 +46,22 @@ pub mod plan;
 pub mod preprocess;
 pub mod progress;
 pub mod single_testing;
+pub mod stream;
 pub mod yannakakis;
 
 pub use all_testing::AllTester;
 pub use baseline::BruteForce;
-pub use enumerate::{collect_answers, AnswerIter};
+pub use enumerate::{collect_answers, AnswerCursor, AnswerIter};
 pub use error::CoreError;
 pub use extension::{Extension, Tuple};
+pub use multi_enum::MultiEnumerator;
+pub use omq_data::{Answer, Semantics};
 pub use omq_eval::{EngineConfig, OmqEngine, PreprocessStats};
 pub use partial_enum::PartialEnumerator;
 pub use plan::{PreparedInstance, QueryPlan};
 pub use preprocess::{FreeConnexStructure, JoinCsr, PlanSkeleton};
 pub use progress::{ProgressIndex, ProgressTree};
+pub use stream::AnswerStream;
 
 /// Convenient `Result` alias for fallible operations in this crate.
 pub type Result<T> = std::result::Result<T, CoreError>;

@@ -11,7 +11,14 @@
 //! minimal element of the *ball* of `ā*` right away, and flushes the remainder
 //! of `L` at the end (Lemma 6.3 shows this outputs exactly the minimal partial
 //! answers with multi-wildcards, without repetition).
+//!
+//! [`MultiEnumerator`] runs the algorithm as a **pull-based cursor**: the
+//! single-wildcard answers are drawn lazily from the Algorithm 1 cursor, each
+//! drawn answer contributes at most one immediate output (the ball step), and
+//! the `L` flush is itself iterated lazily — so `take(k)` performs `O(k)`
+//! enumeration work and dropping the cursor mid-stream abandons the rest.
 
+use crate::error::CoreError;
 use crate::partial_enum::PartialEnumerator;
 use crate::preprocess::PlanSkeleton;
 use crate::single_testing;
@@ -20,6 +27,206 @@ use omq_cq::ConjunctiveQuery;
 use omq_data::wildcard::{multi_wildcard_ball, multi_wildcard_cone, set_partitions};
 use omq_data::{Database, MultiTuple, MultiValue, PartialTuple};
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+/// How the cursor reaches the chased database it tests candidates against:
+/// either a caller-provided borrow, or a shared shard vector (which makes the
+/// cursor `'static` and lets it outlive the `PreparedInstance` it came from).
+#[derive(Debug)]
+enum DbRef<'a> {
+    Borrowed(&'a Database),
+    Shard(Arc<Vec<Database>>, usize),
+}
+
+impl DbRef<'_> {
+    fn get(&self) -> &Database {
+        match self {
+            DbRef::Borrowed(db) => db,
+            DbRef::Shard(shards, idx) => &shards[*idx],
+        }
+    }
+}
+
+/// The Algorithm 2 enumerator — a lazy cursor over the minimal partial
+/// answers with multi-wildcards.
+///
+/// The side tables are ordered maps rather than hash maps, keeping the loop
+/// hash-free.  Honest trade-off: `f_table`/`l_pos` accumulate candidates
+/// across the whole run, so these lookups are log-bounded in the number of
+/// answers seen so far (the paper's F table is a RAM-model constant-time
+/// dictionary); in practice the cost is dominated by the homomorphism tester,
+/// whose results are cached in `tester_cache` (playing the role of the
+/// paper's preprocessed all-testing structures A₂: cones of different answers
+/// overlap heavily in their constant-free candidates).
+///
+/// The only fallible step after construction is the candidate tester; a
+/// tester error ends the stream and is reported by
+/// [`MultiEnumerator::error`].
+#[derive(Debug)]
+pub struct MultiEnumerator<'a> {
+    /// The Algorithm 1 cursor supplying the single-wildcard answers.
+    single: PartialEnumerator,
+    db: DbRef<'a>,
+    /// The list L (insertion order) with O(1) removal via an index map.
+    l_order: Vec<MultiTuple>,
+    l_alive: Vec<bool>,
+    l_pos: BTreeMap<MultiTuple, usize>,
+    /// The lookup table F: tuples that have been added to L or ruled out.
+    f_table: BTreeSet<MultiTuple>,
+    tester_cache: BTreeMap<MultiTuple, bool>,
+    /// `None` while single-wildcard answers are still being consumed;
+    /// `Some(i)` once the cursor is flushing `l_order[i..]`.
+    flush_pos: Option<usize>,
+    error: Option<CoreError>,
+}
+
+impl<'a> MultiEnumerator<'a> {
+    /// Preprocesses `query` over the chased instance `d0`.
+    ///
+    /// Requires the query to be acyclic and free-connex acyclic.
+    pub fn new(query: &ConjunctiveQuery, d0: &'a Database) -> Result<Self> {
+        let skeleton = PlanSkeleton::compile(query)?;
+        Self::with_skeleton(&skeleton, d0)
+    }
+
+    /// Preprocesses a compiled skeleton over the chased instance `d0`.
+    pub fn with_skeleton(skeleton: &PlanSkeleton, d0: &'a Database) -> Result<Self> {
+        Ok(Self::from_parts(
+            PartialEnumerator::with_skeleton(skeleton, d0)?,
+            DbRef::Borrowed(d0),
+        ))
+    }
+
+    /// Builds a `'static` cursor over one shard of a shared shard vector
+    /// (used by the owning `AnswerStream`).
+    pub(crate) fn for_shard(
+        skeleton: &PlanSkeleton,
+        shards: Arc<Vec<Database>>,
+        idx: usize,
+    ) -> Result<MultiEnumerator<'static>> {
+        let single = PartialEnumerator::with_skeleton(skeleton, &shards[idx])?;
+        Ok(MultiEnumerator::from_parts(
+            single,
+            DbRef::Shard(shards, idx),
+        ))
+    }
+
+    fn from_parts(single: PartialEnumerator, db: DbRef<'a>) -> MultiEnumerator<'a> {
+        MultiEnumerator {
+            single,
+            db,
+            l_order: Vec::new(),
+            l_alive: Vec::new(),
+            l_pos: BTreeMap::new(),
+            f_table: BTreeSet::new(),
+            tester_cache: BTreeMap::new(),
+            flush_pos: None,
+            error: None,
+        }
+    }
+
+    /// The error that ended the stream early, if any.  Check after the
+    /// iterator returns `None` when exactness matters.
+    pub fn error(&self) -> Option<&CoreError> {
+        self.error.as_ref()
+    }
+
+    /// Processes one single-wildcard answer: cone maintenance of `L`/`F`,
+    /// then the ball step, whose chosen minimal element (if any) is the
+    /// immediate output for this answer.
+    fn step(&mut self, a_star: &PartialTuple) -> Result<Option<MultiTuple>> {
+        let query = &self.single.structure().query;
+        let db = self.db.get();
+        // Candidates from the cone that are partial answers and not yet seen.
+        for candidate in multi_wildcard_cone(a_star) {
+            if self.f_table.contains(&candidate) {
+                continue;
+            }
+            if !test_cached(&mut self.tester_cache, query, db, &candidate)? {
+                continue;
+            }
+            self.f_table.insert(candidate.clone());
+            let pos = self.l_order.len();
+            self.l_order.push(candidate.clone());
+            self.l_alive.push(true);
+            self.l_pos.insert(candidate.clone(), pos);
+            // Prune: every tuple strictly dominated by `candidate` can never
+            // be a minimal answer; mark it in F and drop it from L.
+            for dominated in strictly_above(&candidate) {
+                self.f_table.insert(dominated.clone());
+                if let Some(&p) = self.l_pos.get(&dominated) {
+                    self.l_alive[p] = false;
+                }
+            }
+        }
+        // Output one minimal element of the ball of ā* right away.
+        let mut ball_answers: Vec<MultiTuple> = Vec::new();
+        for t in multi_wildcard_ball(a_star) {
+            if test_cached(&mut self.tester_cache, query, db, &t)? {
+                ball_answers.push(t);
+            }
+        }
+        ball_answers.sort();
+        let minimal = MultiTuple::minimal(&ball_answers);
+        if let Some(chosen) = minimal.first() {
+            if let Some(&p) = self.l_pos.get(chosen) {
+                self.l_alive[p] = false;
+            }
+            return Ok(Some(chosen.clone()));
+        }
+        Ok(None)
+    }
+}
+
+impl Iterator for MultiEnumerator<'_> {
+    type Item = MultiTuple;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.error.is_some() {
+            return None;
+        }
+        if self.flush_pos.is_none() {
+            while let Some(a_star) = self.single.next() {
+                match self.step(&a_star) {
+                    Ok(Some(t)) => return Some(t),
+                    Ok(None) => {}
+                    Err(e) => {
+                        self.error = Some(e);
+                        return None;
+                    }
+                }
+            }
+            // Single-wildcard answers exhausted: flush the remainder of L.
+            self.flush_pos = Some(0);
+        }
+        let pos = self.flush_pos.as_mut().expect("set above");
+        while *pos < self.l_order.len() {
+            let i = *pos;
+            *pos += 1;
+            if self.l_alive[i] {
+                return Some(self.l_order[i].clone());
+            }
+        }
+        None
+    }
+}
+
+impl std::iter::FusedIterator for MultiEnumerator<'_> {}
+
+/// The memoised partial-answer tester shared by the cone and ball steps.
+fn test_cached(
+    cache: &mut BTreeMap<MultiTuple, bool>,
+    query: &ConjunctiveQuery,
+    db: &Database,
+    candidate: &MultiTuple,
+) -> Result<bool> {
+    if let Some(&cached) = cache.get(candidate) {
+        return Ok(cached);
+    }
+    let result = single_testing::test_partial_multi(query, db, candidate)?;
+    cache.insert(candidate.clone(), result);
+    Ok(result)
+}
 
 /// Enumerates the minimal partial answers with multi-wildcards of `query`
 /// over the chased instance `d0`, invoking `output` exactly once per answer.
@@ -33,92 +240,21 @@ pub fn enumerate_minimal_partial_multi(
 }
 
 /// [`enumerate_minimal_partial_multi`] over a precompiled skeleton, reusing
-/// the query-side artefacts across databases.
+/// the query-side artefacts across databases.  Thin loop over
+/// [`MultiEnumerator`].
 pub fn enumerate_minimal_partial_multi_prepared(
     skeleton: &PlanSkeleton,
     d0: &Database,
     mut output: impl FnMut(MultiTuple),
 ) -> Result<()> {
-    let query = &skeleton.query;
-    // The list L (insertion order) with O(1) removal via an index map.  The
-    // side tables are ordered maps rather than hash maps, keeping the loop
-    // hash-free.  Honest trade-off: `f_table`/`l_pos` accumulate candidates
-    // across the whole run, so these lookups are log-bounded in the number
-    // of answers seen so far (the paper's F table is a RAM-model
-    // constant-time dictionary); in practice the cost is dominated by the
-    // homomorphism tester behind `test`, which is what a future
-    // preprocessed A₂ all-tester would remove.
-    let mut l_order: Vec<MultiTuple> = Vec::new();
-    let mut l_alive: Vec<bool> = Vec::new();
-    let mut l_pos: BTreeMap<MultiTuple, usize> = BTreeMap::new();
-    // The lookup table F: tuples that have been added to L or ruled out.
-    let mut f_table: BTreeSet<MultiTuple> = BTreeSet::new();
-    // Cache of the partial-answer tester: cones of different answers overlap
-    // heavily in their constant-free candidates, which are exactly the ones
-    // whose homomorphism test cannot use an index — caching keeps the
-    // per-answer work constant (this plays the role of the paper's
-    // preprocessed all-testing structures A₂).
-    let mut tester_cache: BTreeMap<MultiTuple, bool> = BTreeMap::new();
-    let mut test = |candidate: &MultiTuple| -> Result<bool> {
-        if let Some(&cached) = tester_cache.get(candidate) {
-            return Ok(cached);
-        }
-        let result = single_testing::test_partial_multi(query, d0, candidate)?;
-        tester_cache.insert(candidate.clone(), result);
-        Ok(result)
-    };
-
-    // Collect the single-wildcard answers first (Algorithm 1 is itself a
-    // streaming enumerator; the per-answer work below is constant, so
-    // processing them in order preserves the delay bound).
-    let single_answers = PartialEnumerator::with_skeleton(skeleton, d0)?.collect()?;
-
-    for a_star in &single_answers {
-        // Candidates from the cone that are partial answers and not yet seen.
-        for candidate in multi_wildcard_cone(a_star) {
-            if f_table.contains(&candidate) {
-                continue;
-            }
-            if !test(&candidate)? {
-                continue;
-            }
-            f_table.insert(candidate.clone());
-            let pos = l_order.len();
-            l_order.push(candidate.clone());
-            l_alive.push(true);
-            l_pos.insert(candidate.clone(), pos);
-            // Prune: every tuple strictly dominated by `candidate` can never be
-            // a minimal answer; mark it in F and drop it from L.
-            for dominated in strictly_above(&candidate) {
-                f_table.insert(dominated.clone());
-                if let Some(&p) = l_pos.get(&dominated) {
-                    l_alive[p] = false;
-                }
-            }
-        }
-        // Output one minimal element of the ball of ā* right away.
-        let mut ball_answers: Vec<MultiTuple> = Vec::new();
-        for t in multi_wildcard_ball(a_star) {
-            if test(&t)? {
-                ball_answers.push(t);
-            }
-        }
-        ball_answers.sort();
-        let minimal = MultiTuple::minimal(&ball_answers);
-        if let Some(chosen) = minimal.first() {
-            output(chosen.clone());
-            if let Some(&p) = l_pos.get(chosen) {
-                l_alive[p] = false;
-            }
-        }
+    let mut cursor = MultiEnumerator::with_skeleton(skeleton, d0)?;
+    for t in &mut cursor {
+        output(t);
     }
-    // Flush the remaining tuples of L.
-    for (pos, tuple) in l_order.into_iter().enumerate() {
-        if l_alive[pos] {
-            output(tuple);
-        }
+    match cursor.error() {
+        Some(e) => Err(e.clone()),
+        None => Ok(()),
     }
-    Ok(())
 }
 
 /// Convenience: collects the minimal partial answers with multi-wildcards.
@@ -204,7 +340,7 @@ pub fn minimal_partial_answers_complete_first_prepared(
     let complete_structure =
         crate::preprocess::FreeConnexStructure::materialize(skeleton, d0, true)?;
     let mut complete_iter = crate::enumerate::AnswerIter::new(&complete_structure);
-    let partial = PartialEnumerator::with_skeleton(skeleton, d0)?.collect()?;
+    let partial: Vec<PartialTuple> = PartialEnumerator::with_skeleton(skeleton, d0)?.collect();
 
     let mut output: Vec<PartialTuple> = Vec::new();
     let mut stored: Vec<PartialTuple> = Vec::new();
@@ -294,6 +430,16 @@ mod tests {
             "answer sets differ for {query_text}: fast={fast:?} oracle={oracle:?}"
         );
         assert_eq!(fast_set.len(), fast.len(), "duplicates for {query_text}");
+        // The lazy cursor yields the same sequence, and every prefix of it is
+        // reachable by early termination.
+        let mut cursor = MultiEnumerator::new(&q, db).unwrap();
+        let via_cursor: Vec<MultiTuple> = (&mut cursor).collect();
+        assert!(cursor.error().is_none());
+        assert_eq!(via_cursor, fast, "cursor diverges for {query_text}");
+        for k in [0, 1, 2, fast.len()] {
+            let prefix: Vec<MultiTuple> = MultiEnumerator::new(&q, db).unwrap().take(k).collect();
+            assert_eq!(prefix, fast[..k.min(fast.len())], "take({k}) diverges");
+        }
     }
 
     /// The Example 6.2 database: A(c) spawns R(c, n1), T(c, n1), S(c, n2) and

@@ -17,9 +17,11 @@ use crate::all_testing::AllTester;
 use crate::partial_enum::PartialEnumerator;
 use crate::plan::{PreparedInstance, QueryPlan};
 use crate::preprocess::FreeConnexStructure;
+use crate::stream::AnswerStream;
 use crate::Result;
 use omq_chase::{OntologyMediatedQuery, QchaseConfig};
-use omq_data::{ConstId, Database, MultiTuple, PartialTuple, Value};
+use omq_data::{Answer, ConstId, Database, MultiTuple, PartialTuple, Semantics, Value};
+use std::ops::ControlFlow;
 
 /// Configuration of [`OmqEngine::preprocess_with`].
 #[derive(Debug, Clone, Copy, Default)]
@@ -110,6 +112,34 @@ impl OmqEngine {
     }
 
     // ------------------------------------------------------------------
+    // The unified answer cursor.
+    // ------------------------------------------------------------------
+
+    /// Returns the lazy answer cursor for `semantics` — see
+    /// [`PreparedInstance::answers`].  Each call rebuilds the per-shard
+    /// enumeration structures (linear in the chase); after that,
+    /// `take(k)` on the returned stream costs `O(k)`.
+    pub fn answers(&self, semantics: Semantics) -> Result<AnswerStream> {
+        self.instance.answers(semantics)
+    }
+
+    /// Streams the answers of `semantics` with `ControlFlow`-style early
+    /// exit — see [`PreparedInstance::for_each_answer`].
+    pub fn for_each_answer(
+        &self,
+        semantics: Semantics,
+        f: impl FnMut(Answer) -> ControlFlow<()>,
+    ) -> Result<usize> {
+        self.instance.for_each_answer(semantics, f)
+    }
+
+    /// Single-tests an answer of any semantics — see
+    /// [`PreparedInstance::test`].
+    pub fn test(&self, answer: &Answer) -> Result<bool> {
+        self.instance.test(answer)
+    }
+
+    // ------------------------------------------------------------------
     // Complete answers.
     // ------------------------------------------------------------------
 
@@ -121,12 +151,16 @@ impl OmqEngine {
     }
 
     /// Enumerates all complete (certain) answers.
+    #[deprecated(note = "use `answers(Semantics::Complete)`")]
+    #[allow(deprecated)]
     pub fn enumerate_complete(&self) -> Result<Vec<Vec<ConstId>>> {
         self.instance.enumerate_complete()
     }
 
     /// Streams the complete answers to a callback (useful for measuring the
     /// per-answer delay).
+    #[deprecated(note = "use `answers(Semantics::Complete)` or `for_each_answer`")]
+    #[allow(deprecated)]
     pub fn stream_complete(&self, f: impl FnMut(&[Value])) -> Result<usize> {
         self.instance.stream_complete(f)
     }
@@ -143,11 +177,15 @@ impl OmqEngine {
     }
 
     /// Enumerates the minimal partial answers (single wildcard, Theorem 5.2).
+    #[deprecated(note = "use `answers(Semantics::MinimalPartial)`")]
+    #[allow(deprecated)]
     pub fn enumerate_minimal_partial(&self) -> Result<Vec<PartialTuple>> {
         self.instance.enumerate_minimal_partial()
     }
 
     /// Streams the minimal partial answers to a callback.
+    #[deprecated(note = "use `answers(Semantics::MinimalPartial)` or `for_each_answer`")]
+    #[allow(deprecated)]
     pub fn stream_minimal_partial(&self, f: impl FnMut(&PartialTuple)) -> Result<usize> {
         self.instance.stream_minimal_partial(f)
     }
@@ -160,11 +198,15 @@ impl OmqEngine {
 
     /// Enumerates the minimal partial answers with multi-wildcards
     /// (Theorem 6.1).
+    #[deprecated(note = "use `answers(Semantics::MinimalPartialMulti)`")]
+    #[allow(deprecated)]
     pub fn enumerate_minimal_partial_multi(&self) -> Result<Vec<MultiTuple>> {
         self.instance.enumerate_minimal_partial_multi()
     }
 
     /// Streams the minimal partial answers with multi-wildcards to a callback.
+    #[deprecated(note = "use `answers(Semantics::MinimalPartialMulti)` or `for_each_answer`")]
+    #[allow(deprecated)]
     pub fn stream_minimal_partial_multi(&self, f: impl FnMut(&MultiTuple)) -> Result<usize> {
         self.instance.stream_minimal_partial_multi(f)
     }
@@ -185,11 +227,15 @@ impl OmqEngine {
     }
 
     /// Single-tests a minimal partial answer (single wildcard).
+    #[deprecated(note = "use `test(&Answer::Partial(candidate))`")]
+    #[allow(deprecated)]
     pub fn test_minimal_partial(&self, candidate: &PartialTuple) -> Result<bool> {
         self.instance.test_minimal_partial(candidate)
     }
 
     /// Single-tests a minimal partial answer with multi-wildcards.
+    #[deprecated(note = "use `test(&Answer::Multi(candidate))`")]
+    #[allow(deprecated)]
     pub fn test_minimal_partial_multi(&self, candidate: &MultiTuple) -> Result<bool> {
         self.instance.test_minimal_partial_multi(candidate)
     }
@@ -206,6 +252,11 @@ impl OmqEngine {
     /// Builds a partial tuple from constant names and `*` wildcards.
     pub fn parse_partial(&self, spec: &[&str]) -> Result<PartialTuple> {
         self.instance.parse_partial(spec)
+    }
+
+    /// Renders any answer with constant names.
+    pub fn format_answer(&self, answer: &Answer) -> String {
+        self.instance.format_answer(answer)
     }
 
     /// Renders a complete answer with constant names.
@@ -225,6 +276,7 @@ impl OmqEngine {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::CoreError;

@@ -56,9 +56,9 @@ impl QueryPlan {
     /// The shards are chased concurrently (scoped threads, no extra
     /// dependencies) against the plan's shared bag-type memo, and the
     /// resulting [`PreparedInstance`] keeps one chased database per shard;
-    /// its enumerators chain the shard streams and re-filter the
-    /// wildcard-only answers, so every evaluation mode agrees with the
-    /// sequential [`QueryPlan::execute`] (see the module docs for the
+    /// its answer cursor (`PreparedInstance::answers`) chains the shard
+    /// streams and re-filters the wildcard-only answers, so every evaluation
+    /// mode agrees with the sequential [`QueryPlan::execute`] (see the module docs for the
     /// soundness argument and `tests/parallel_equivalence.rs` for the
     /// property tests).
     ///
@@ -233,6 +233,7 @@ const _: () = {
 };
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use omq_chase::{Ontology, OntologyMediatedQuery};

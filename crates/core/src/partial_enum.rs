@@ -9,6 +9,13 @@
 //! the `prune` step removes, from every `trees` list, the progress trees that
 //! are strictly dominated by the pattern just output — this is what guarantees
 //! that only *minimal* partial answers are produced, without repetition.
+//!
+//! The enumerator is a **pull-based cursor**: the recursive `enum` procedure
+//! of the paper is unrolled into an explicit frame stack
+//! ([`PartialEnumerator`] implements [`Iterator`]), so a caller can take the
+//! first `k` answers for `O(k)` cost, pause between answers, or drop the
+//! enumerator mid-stream.  The callback entry point
+//! ([`PartialEnumerator::enumerate`]) is a thin loop over the iterator.
 
 use crate::preprocess::{FreeConnexStructure, PlanSkeleton};
 use crate::progress::ProgressIndex;
@@ -16,11 +23,38 @@ use crate::Result;
 use omq_cq::{ConjunctiveQuery, VarId};
 use omq_data::{Database, PartialTuple, PartialValue};
 
-/// The Algorithm 1 enumerator.
+/// One suspended level of the unrolled `enum` recursion: the progress-tree
+/// entry currently applied at pre-order position `pos`, together with the
+/// undo-stack watermarks needed to roll its bindings back.
+#[derive(Debug, Clone, Copy)]
+struct EnumFrame {
+    /// Pre-order position of the open node this frame enumerates.
+    pos: usize,
+    /// The progress-tree entry currently applied at this level.
+    entry: usize,
+    /// `var_undo` length before this entry's pattern was merged.
+    var_base: usize,
+    /// `site_undo` length before this entry's sites were published.
+    site_base: usize,
+}
+
+/// Where the cursor stands between two `next` calls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Before the first answer: the next advance descends from the root.
+    Start,
+    /// Positioned *at* the answer just emitted: the next advance backtracks.
+    AtAnswer,
+    /// Exhausted.
+    Done,
+}
+
+/// The Algorithm 1 enumerator — a lazy cursor over the minimal partial
+/// answers.
 ///
 /// The enumeration phase mutates the preprocessed `trees` lists (pruning), so
-/// an enumerator is consumed by [`PartialEnumerator::enumerate`]; build a new
-/// one (linear time) to re-enumerate.
+/// the cursor is consumed as it is iterated; build a new one (linear time) to
+/// re-enumerate.
 ///
 /// The per-answer loop is hash-free: the variable assignment is a dense
 /// array indexed by [`VarId`], the `trees(v, h)` list for an open node is
@@ -44,6 +78,9 @@ pub struct PartialEnumerator {
     /// Reusable undo stack for variables bound by applied trees, with the
     /// same frame discipline as `site_undo`.
     var_undo: Vec<VarId>,
+    /// The explicit stack of the unrolled `enum` recursion.
+    frames: Vec<EnumFrame>,
+    phase: Phase,
 }
 
 impl PartialEnumerator {
@@ -78,6 +115,8 @@ impl PartialEnumerator {
             open_list,
             site_undo: Vec::new(),
             var_undo: Vec::new(),
+            frames: Vec::new(),
+            phase: Phase::Start,
         })
     }
 
@@ -86,27 +125,14 @@ impl PartialEnumerator {
         &self.structure
     }
 
-    /// Runs the enumeration, invoking `output` for every minimal partial
-    /// answer (exactly once each).
+    /// Runs the enumeration to completion, invoking `output` for every
+    /// minimal partial answer (exactly once each).  Thin wrapper over the
+    /// [`Iterator`] implementation.
     pub fn enumerate(mut self, mut output: impl FnMut(PartialTuple)) -> Result<()> {
-        if self.structure.empty {
-            return Ok(());
+        for answer in &mut self {
+            output(answer);
         }
-        if let Some(satisfiable) = self.structure.boolean_satisfiable {
-            if satisfiable {
-                output(PartialTuple(Vec::new()));
-            }
-            return Ok(());
-        }
-        self.enum_at(0, &mut output)?;
         Ok(())
-    }
-
-    /// Convenience: collects all minimal partial answers.
-    pub fn collect(self) -> Result<Vec<PartialTuple>> {
-        let mut out = Vec::new();
-        self.enumerate(|t| out.push(t))?;
-        Ok(out)
     }
 
     /// The `nextat` helper: the first pre-order position `≥ from` whose node
@@ -121,65 +147,107 @@ impl PartialEnumerator {
         })
     }
 
-    /// The recursive `enum` procedure of Algorithm 1.
-    fn enum_at(&mut self, from: usize, output: &mut impl FnMut(PartialTuple)) -> Result<()> {
-        let Some(pos) = self.next_open(from) else {
-            // End of atoms: output the answer and prune.
-            let answer = PartialTuple(
-                self.structure
-                    .answer_positions
-                    .iter()
-                    .map(|v| self.assignment[v.0 as usize].expect("answer variable bound"))
-                    .collect(),
-            );
-            output(answer);
-            self.prune();
-            return Ok(());
-        };
-        let node = self.structure.preorder[pos];
-        // The list for this node under the current predecessor binding was
-        // precomputed as a site of the tree that bound the predecessors (or
-        // as a root site).  `None` means no progress tree exists for the
-        // binding: nothing to enumerate below it (Lemma 5.4 rules this out;
-        // handled defensively).
-        let Some(list_id) = self.open_list[node] else {
-            return Ok(());
-        };
-        let mut cursor = self.index.head(list_id);
-        while let Some(entry) = cursor {
-            // Merge the tree's pattern into the assignment (already-bound
-            // variables keep their value; by join-tree connectivity they are
-            // predecessor variables of the tree's root and agree with the
-            // pattern).
-            let var_base = self.var_undo.len();
-            for i in 0..self.index.tree(entry).pattern.len() {
-                let (var, value) = self.index.tree(entry).pattern[i];
-                let slot = &mut self.assignment[var.0 as usize];
-                if slot.is_none() {
-                    *slot = Some(value);
-                    self.var_undo.push(var);
-                }
+    /// Applies `entry` at pre-order position `pos`: merges the tree's pattern
+    /// into the assignment (already-bound variables keep their value; by
+    /// join-tree connectivity they are predecessor variables of the tree's
+    /// root and agree with the pattern), publishes the tree's continuation
+    /// sites, and pushes the frame that remembers how to undo both.
+    fn apply(&mut self, pos: usize, entry: usize) {
+        let var_base = self.var_undo.len();
+        for i in 0..self.index.tree(entry).pattern.len() {
+            let (var, value) = self.index.tree(entry).pattern[i];
+            let slot = &mut self.assignment[var.0 as usize];
+            if slot.is_none() {
+                *slot = Some(value);
+                self.var_undo.push(var);
             }
-            // Publish the tree's continuation sites (undo frame delimited by
-            // the stack length — no per-tree allocation).
-            let undo_base = self.site_undo.len();
-            for i in 0..self.index.sites_of(entry).len() {
-                let (site_node, list) = self.index.sites_of(entry)[i];
-                self.site_undo.push((site_node, self.open_list[site_node]));
-                self.open_list[site_node] = list;
-            }
-            self.enum_at(pos + 1, output)?;
-            while self.site_undo.len() > undo_base {
+        }
+        let site_base = self.site_undo.len();
+        for i in 0..self.index.sites_of(entry).len() {
+            let (site_node, list) = self.index.sites_of(entry)[i];
+            self.site_undo.push((site_node, self.open_list[site_node]));
+            self.open_list[site_node] = list;
+        }
+        self.frames.push(EnumFrame {
+            pos,
+            entry,
+            var_base,
+            site_base,
+        });
+    }
+
+    /// Pops the deepest frame, rolls its bindings back, and moves its level
+    /// to the next progress tree of the same list; exhausted levels keep
+    /// popping.  Returns the pre-order position to resume the descent from,
+    /// or `None` when the whole traversal is exhausted.
+    fn backtrack(&mut self) -> Option<usize> {
+        while let Some(frame) = self.frames.pop() {
+            while self.site_undo.len() > frame.site_base {
                 let (site_node, old) = self.site_undo.pop().expect("frame non-empty");
                 self.open_list[site_node] = old;
             }
-            while self.var_undo.len() > var_base {
+            while self.var_undo.len() > frame.var_base {
                 let var = self.var_undo.pop().expect("frame non-empty");
                 self.assignment[var.0 as usize] = None;
             }
-            cursor = self.index.next_of(entry);
+            if let Some(next_entry) = self.index.next_of(frame.entry) {
+                self.apply(frame.pos, next_entry);
+                return Some(frame.pos + 1);
+            }
         }
-        Ok(())
+        None
+    }
+
+    /// Advances the machine to the next complete assignment — the unrolled
+    /// `enum` procedure of Algorithm 1.  `initial` selects between the very
+    /// first descent (from the root) and a backtrack-first continuation.
+    /// Returns `false` when the enumeration is exhausted.
+    fn advance(&mut self, initial: bool) -> bool {
+        let mut from = if initial {
+            0
+        } else {
+            match self.backtrack() {
+                Some(pos) => pos,
+                None => return false,
+            }
+        };
+        loop {
+            let Some(pos) = self.next_open(from) else {
+                // End of atoms: the assignment describes the next answer.
+                return true;
+            };
+            let node = self.structure.preorder[pos];
+            // The list for this node under the current predecessor binding
+            // was precomputed as a site of the tree that bound the
+            // predecessors (or as a root site).  `None` means no progress
+            // tree exists for the binding: nothing to enumerate below it
+            // (Lemma 5.4 rules this out; handled defensively).
+            let head = self.open_list[node].and_then(|list| self.index.head(list));
+            match head {
+                Some(entry) => {
+                    self.apply(pos, entry);
+                    from = pos + 1;
+                }
+                None => match self.backtrack() {
+                    Some(resume) => from = resume,
+                    None => return false,
+                },
+            }
+        }
+    }
+
+    /// Materialises the answer described by the current assignment and runs
+    /// the `prune` step against it.
+    fn emit(&mut self) -> PartialTuple {
+        let answer = PartialTuple(
+            self.structure
+                .answer_positions
+                .iter()
+                .map(|v| self.assignment[v.0 as usize].expect("answer variable bound"))
+                .collect(),
+        );
+        self.prune();
+        answer
     }
 
     /// The `prune` procedure: after outputting the answer described by the
@@ -245,13 +313,50 @@ impl PartialEnumerator {
     }
 }
 
+impl Iterator for PartialEnumerator {
+    type Item = PartialTuple;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match self.phase {
+            Phase::Done => None,
+            Phase::Start => {
+                if self.structure.empty {
+                    self.phase = Phase::Done;
+                    return None;
+                }
+                if let Some(satisfiable) = self.structure.boolean_satisfiable {
+                    self.phase = Phase::Done;
+                    return satisfiable.then(|| PartialTuple(Vec::new()));
+                }
+                if self.advance(true) {
+                    self.phase = Phase::AtAnswer;
+                    Some(self.emit())
+                } else {
+                    self.phase = Phase::Done;
+                    None
+                }
+            }
+            Phase::AtAnswer => {
+                if self.advance(false) {
+                    Some(self.emit())
+                } else {
+                    self.phase = Phase::Done;
+                    None
+                }
+            }
+        }
+    }
+}
+
+impl std::iter::FusedIterator for PartialEnumerator {}
+
 /// Convenience function: enumerates the minimal partial answers of `query`
 /// over the chased instance `d0`.
 pub fn minimal_partial_answers(
     query: &ConjunctiveQuery,
     d0: &Database,
 ) -> Result<Vec<PartialTuple>> {
-    PartialEnumerator::new(query, d0)?.collect()
+    Ok(PartialEnumerator::new(query, d0)?.collect())
 }
 
 #[cfg(test)]
@@ -264,7 +369,7 @@ mod tests {
 
     fn check_against_oracle(query_text: &str, db: &Database) {
         let q = ConjunctiveQuery::parse(query_text).unwrap();
-        let fast = minimal_partial_answers(&q, db).unwrap();
+        let fast: Vec<PartialTuple> = minimal_partial_answers(&q, db).unwrap();
         let oracle = baseline::cq_minimal_partial(&q, db);
         let fast_set: FxHashSet<PartialTuple> = fast.iter().cloned().collect();
         let oracle_set: FxHashSet<PartialTuple> = oracle.iter().cloned().collect();
@@ -277,6 +382,15 @@ mod tests {
             fast.len(),
             "duplicate answers for {query_text}"
         );
+        // The pull cursor yields the same sequence as the callback run, and
+        // every strict prefix of it is reachable by early termination.
+        let via_iter: Vec<PartialTuple> = PartialEnumerator::new(&q, db).unwrap().collect();
+        assert_eq!(via_iter, fast, "iterator diverges for {query_text}");
+        for k in [0, 1, 2, fast.len()] {
+            let prefix: Vec<PartialTuple> =
+                PartialEnumerator::new(&q, db).unwrap().take(k).collect();
+            assert_eq!(prefix, fast[..k.min(fast.len())], "take({k}) diverges");
+        }
     }
 
     /// A chase-like database: constants a,b,c,d,e and a few nulls attached to
@@ -336,6 +450,21 @@ mod tests {
         let mut star_counts: Vec<usize> = answers.iter().map(PartialTuple::star_count).collect();
         star_counts.sort_unstable();
         assert_eq!(star_counts, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn dropping_the_cursor_mid_stream_is_sound() {
+        let db = chaselike_db();
+        let q = ConjunctiveQuery::parse("q(x, y, z) :- A(x), R(x, y), S(y, z)").unwrap();
+        let mut cursor = PartialEnumerator::new(&q, &db).unwrap();
+        let first = cursor.next();
+        assert!(first.is_some());
+        drop(cursor);
+        // A fresh cursor re-enumerates from the start.
+        assert_eq!(
+            PartialEnumerator::new(&q, &db).unwrap().count(),
+            minimal_partial_answers(&q, &db).unwrap().len()
+        );
     }
 
     #[test]

@@ -22,10 +22,12 @@ use crate::multi_enum;
 use crate::partial_enum::PartialEnumerator;
 use crate::preprocess::{FreeConnexStructure, PlanSkeleton};
 use crate::single_testing;
+use crate::stream::AnswerStream;
 use crate::{EngineConfig, PreprocessStats, Result};
 use omq_chase::{OntologyMediatedQuery, QchasePlan};
 use omq_cq::acyclicity::AcyclicityReport;
-use omq_data::{ConstId, Database, MultiTuple, PartialTuple, Value};
+use omq_data::{Answer, ConstId, Database, MultiTuple, PartialTuple, Semantics, Value};
+use std::ops::ControlFlow;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -139,7 +141,7 @@ impl QueryPlan {
         };
         Ok(PreparedInstance {
             plan: self.clone(),
-            shards: vec![chased.database],
+            shards: Arc::new(vec![chased.database]),
             stats,
         })
     }
@@ -154,7 +156,7 @@ impl QueryPlan {
         debug_assert!(!shards.is_empty());
         PreparedInstance {
             plan: self.clone(),
-            shards,
+            shards: Arc::new(shards),
             stats,
         }
     }
@@ -165,17 +167,19 @@ impl QueryPlan {
 ///
 /// A sequential [`QueryPlan::execute`] produces exactly one *shard* (the
 /// whole chase); [`QueryPlan::execute_parallel`] produces one shard per
-/// Gaifman component group, chased independently.  Every `enumerate_*`,
-/// `stream_*` and `test_*` method is shard-aware and agrees with the
-/// sequential result (see `crate::parallel` for why sharding is sound);
-/// the structure-level accessors ([`PreparedInstance::complete_structure`]
-/// and friends) expose a single chased database and therefore require a
-/// single-shard instance.
+/// Gaifman component group, chased independently.  The unified cursor
+/// ([`PreparedInstance::answers`]) and the testers are shard-aware and agree
+/// with the sequential result (see `crate::parallel` for why sharding is
+/// sound); the structure-level accessors
+/// ([`PreparedInstance::complete_structure`] and friends) expose a single
+/// chased database and therefore require a single-shard instance.
 #[derive(Debug)]
 pub struct PreparedInstance {
     plan: QueryPlan,
-    /// The chased database(s), one per shard; never empty.
-    shards: Vec<Database>,
+    /// The chased database(s), one per shard; never empty.  Shared behind an
+    /// [`Arc`] so that [`AnswerStream`]s own the data they enumerate and can
+    /// outlive the instance.
+    shards: Arc<Vec<Database>>,
     stats: PreprocessStats,
 }
 
@@ -236,7 +240,77 @@ impl PreparedInstance {
     }
 
     // ------------------------------------------------------------------
-    // Complete answers.
+    // The unified answer cursor.
+    // ------------------------------------------------------------------
+
+    /// Returns the lazy answer cursor for `semantics` — the engine's one
+    /// enumeration entry point (Theorems 4.1(1), 5.2 and 6.1 of the paper).
+    ///
+    /// The call runs the per-shard enumeration preprocessing (linear in the
+    /// chase) and returns an [`AnswerStream`] whose `next()` is constant
+    /// work, so `answers(sem)?.take(k)` costs `O(k)` beyond preprocessing —
+    /// the complexity guarantee the paper is about, surfaced as an API.  The
+    /// stream owns shared handles to the plan and the shard data: it may
+    /// outlive this instance, be parked between requests (resumable
+    /// pagination), or be dropped mid-way.
+    ///
+    /// On sharded instances the per-shard streams are chained and the
+    /// cross-shard minimality filter for wildcard-only answers plus the
+    /// Boolean empty-tuple dedup run inside the cursor, so sequential and
+    /// parallel executions agree (see the `parallel` module docs).
+    pub fn answers(&self, semantics: Semantics) -> Result<AnswerStream> {
+        AnswerStream::build(self, semantics)
+    }
+
+    /// Streams the answers of `semantics` to `f` with `ControlFlow`-style
+    /// early exit; returns the number of answers delivered (including the
+    /// one `f` broke on).  Convenience wrapper over
+    /// [`PreparedInstance::answers`] for callback-shaped callers.
+    pub fn for_each_answer(
+        &self,
+        semantics: Semantics,
+        mut f: impl FnMut(Answer) -> ControlFlow<()>,
+    ) -> Result<usize> {
+        let mut stream = self.answers(semantics)?;
+        let mut delivered = 0usize;
+        for answer in &mut stream {
+            delivered += 1;
+            if f(answer).is_break() {
+                return Ok(delivered);
+            }
+        }
+        match stream.error() {
+            Some(e) => Err(e.clone()),
+            None => Ok(delivered),
+        }
+    }
+
+    /// Single-tests an answer of any semantics (Theorem 3.1), shard-aware:
+    /// the one testing entry point matching [`PreparedInstance::answers`].
+    pub fn test(&self, answer: &Answer) -> Result<bool> {
+        match answer {
+            Answer::Complete(tuple) => {
+                let values: Vec<Value> = tuple.iter().map(|&c| Value::Const(c)).collect();
+                for shard in self.shards.iter() {
+                    if single_testing::test_complete(self.omq().query(), shard, &values)? {
+                        return Ok(true);
+                    }
+                }
+                Ok(false)
+            }
+            Answer::Partial(t) => self.test_partial_impl(t),
+            Answer::Multi(t) => self.test_multi_impl(t),
+        }
+    }
+
+    /// The shard vector behind this instance, shared with the answer
+    /// streams it produces.
+    pub(crate) fn shared_shards(&self) -> &Arc<Vec<Database>> {
+        &self.shards
+    }
+
+    // ------------------------------------------------------------------
+    // Enumeration structures (single-shard, structure-level access).
     // ------------------------------------------------------------------
 
     /// Builds the constant-delay enumeration structure for complete answers
@@ -254,112 +328,87 @@ impl PreparedInstance {
         FreeConnexStructure::materialize(self.plan.skeleton()?, shard, false)
     }
 
-    /// Builds the per-shard complete-answer structures (the preprocessing
-    /// phase of the chained enumeration).
-    fn complete_structures(&self) -> Result<Vec<FreeConnexStructure>> {
-        let skeleton = self.plan.skeleton()?;
-        self.shards
-            .iter()
-            .map(|shard| FreeConnexStructure::materialize(skeleton, shard, true))
-            .collect()
-    }
-
-    /// Enumerates all complete (certain) answers.
-    pub fn enumerate_complete(&self) -> Result<Vec<Vec<ConstId>>> {
-        let mut out: Vec<Vec<ConstId>> = Vec::new();
-        let mut bad = false;
-        self.stream_complete(|answer| {
-            let mut tuple = Vec::with_capacity(answer.len());
-            for v in answer {
-                match v {
-                    Value::Const(c) => tuple.push(*c),
-                    Value::Null(_) => bad = true,
-                }
-            }
-            out.push(tuple);
-        })?;
-        if bad {
-            return Err(CoreError::Internal(
-                "complete answer contains a null".to_owned(),
-            ));
-        }
-        Ok(out)
-    }
-
-    /// Streams the complete answers to a callback (useful for measuring the
-    /// per-answer delay).
-    ///
-    /// On sharded instances the per-shard structures are all built during
-    /// preprocessing and their answer iterators chained, so the per-answer
-    /// delay stays constant.  A connected query's answers use constants of a
-    /// single Gaifman component, so the chained streams are disjoint; the
-    /// one exception is the Boolean query's empty tuple, which is emitted at
-    /// most once.
-    pub fn stream_complete(&self, mut f: impl FnMut(&[Value])) -> Result<usize> {
-        let structures = self.complete_structures()?;
-        let boolean = self.omq().query().is_boolean();
-        let mut count = 0usize;
-        'shards: for structure in &structures {
-            for answer in crate::enumerate::AnswerIter::new(structure) {
-                count += 1;
-                f(&answer);
-                if boolean {
-                    break 'shards;
-                }
-            }
-        }
-        Ok(count)
-    }
-
-    // ------------------------------------------------------------------
-    // Minimal partial answers.
-    // ------------------------------------------------------------------
-
-    /// Builds the Algorithm 1 enumerator (linear-time preprocessing of
-    /// Theorem 5.2).  The returned enumerator is consumed by a single
-    /// enumeration run; build a new one to re-enumerate.  Single-shard
-    /// instances only; sharded instances stream via
-    /// [`PreparedInstance::stream_minimal_partial`].
+    /// Builds the Algorithm 1 cursor (linear-time preprocessing of
+    /// Theorem 5.2).  The returned enumerator is an `Iterator` consumed by a
+    /// single enumeration run; build a new one to re-enumerate.
+    /// Single-shard instances only; sharded instances stream via
+    /// [`PreparedInstance::answers`].
     pub fn partial_enumerator(&self) -> Result<PartialEnumerator> {
         let shard = self.single_shard("partial_enumerator")?;
         PartialEnumerator::with_skeleton(self.plan.skeleton()?, shard)
     }
 
+    // ------------------------------------------------------------------
+    // Legacy per-mode surface: thin wrappers over the cursor.
+    // ------------------------------------------------------------------
+
+    /// Enumerates all complete (certain) answers.
+    #[deprecated(
+        note = "use `answers(Semantics::Complete)` — the lazy cursor supports early termination"
+    )]
+    pub fn enumerate_complete(&self) -> Result<Vec<Vec<ConstId>>> {
+        Ok(self
+            .answers(Semantics::Complete)?
+            .try_collect()?
+            .into_iter()
+            .map(|a| {
+                a.into_complete()
+                    .expect("complete stream yields complete answers")
+            })
+            .collect())
+    }
+
+    /// Streams the complete answers to a callback.
+    #[deprecated(
+        note = "use `answers(Semantics::Complete)`, or `for_each_answer` for callback-style \
+                streaming with early exit"
+    )]
+    pub fn stream_complete(&self, mut f: impl FnMut(&[Value])) -> Result<usize> {
+        self.for_each_answer(Semantics::Complete, |answer| {
+            let tuple = answer
+                .into_complete()
+                .expect("complete stream yields complete answers");
+            let values: Vec<Value> = tuple.into_iter().map(Value::Const).collect();
+            f(&values);
+            ControlFlow::Continue(())
+        })
+    }
+
     /// Enumerates the minimal partial answers (single wildcard, Theorem 5.2).
+    #[deprecated(
+        note = "use `answers(Semantics::MinimalPartial)` — the lazy cursor supports early \
+                termination"
+    )]
     pub fn enumerate_minimal_partial(&self) -> Result<Vec<PartialTuple>> {
-        let mut out = Vec::new();
-        self.stream_minimal_partial(|t| out.push(t.clone()))?;
-        Ok(out)
+        Ok(self
+            .answers(Semantics::MinimalPartial)?
+            .try_collect()?
+            .into_iter()
+            .map(|a| {
+                a.into_partial()
+                    .expect("partial stream yields partial answers")
+            })
+            .collect())
     }
 
     /// Streams the minimal partial answers to a callback.
-    ///
-    /// On sharded instances the per-shard Algorithm 1 enumerators are all
-    /// built during preprocessing and chained; shard-local minimality equals
-    /// global minimality for every answer carrying at least one constant,
-    /// and the constant-many wildcard-only tuples are re-filtered across
-    /// shards (see the `parallel` module docs).
+    #[deprecated(
+        note = "use `answers(Semantics::MinimalPartial)`, or `for_each_answer` for \
+                callback-style streaming with early exit"
+    )]
     pub fn stream_minimal_partial(&self, mut f: impl FnMut(&PartialTuple)) -> Result<usize> {
-        let skeleton = self.plan.skeleton()?;
-        let mut enumerators = Vec::with_capacity(self.shards.len());
-        for shard in &self.shards {
-            enumerators.push(PartialEnumerator::with_skeleton(skeleton, shard)?);
-        }
-        let mut merge = crate::parallel::WildcardMerge::partial(self.omq().arity());
-        let mut count = 0usize;
-        let mut emit = |t: PartialTuple| {
-            count += 1;
-            f(&t);
-        };
-        for enumerator in enumerators {
-            enumerator.enumerate(|t| merge.offer(t, &mut emit))?;
-        }
-        merge.flush(&mut emit);
-        Ok(count)
+        self.for_each_answer(Semantics::MinimalPartial, |answer| {
+            f(answer
+                .as_partial()
+                .expect("partial stream yields partial answers"));
+            ControlFlow::Continue(())
+        })
     }
 
     /// Enumerates the minimal partial answers with all complete answers first
-    /// (Proposition 2.1).
+    /// (Proposition 2.1).  This ordering guarantee is not expressible as a
+    /// plain [`Semantics`], so the method is not deprecated; it materialises
+    /// the full answer set by construction.
     pub fn enumerate_minimal_partial_complete_first(&self) -> Result<Vec<PartialTuple>> {
         if self.shards.len() == 1 {
             return multi_enum::minimal_partial_answers_complete_first_prepared(
@@ -368,7 +417,15 @@ impl PreparedInstance {
             );
         }
         // Sharded: merge, then stable-partition the complete answers first.
-        let merged = self.enumerate_minimal_partial()?;
+        let merged: Vec<PartialTuple> = self
+            .answers(Semantics::MinimalPartial)?
+            .try_collect()?
+            .into_iter()
+            .map(|a| {
+                a.into_partial()
+                    .expect("partial stream yields partial answers")
+            })
+            .collect();
         let (complete, partial): (Vec<_>, Vec<_>) =
             merged.into_iter().partition(PartialTuple::is_complete);
         Ok(complete.into_iter().chain(partial).collect())
@@ -376,31 +433,31 @@ impl PreparedInstance {
 
     /// Enumerates the minimal partial answers with multi-wildcards
     /// (Theorem 6.1).
+    #[deprecated(
+        note = "use `answers(Semantics::MinimalPartialMulti)` — the lazy cursor supports \
+                early termination"
+    )]
     pub fn enumerate_minimal_partial_multi(&self) -> Result<Vec<MultiTuple>> {
-        let mut out = Vec::new();
-        self.stream_minimal_partial_multi(|t| out.push(t.clone()))?;
-        Ok(out)
+        Ok(self
+            .answers(Semantics::MinimalPartialMulti)?
+            .try_collect()?
+            .into_iter()
+            .map(|a| a.into_multi().expect("multi stream yields multi answers"))
+            .collect())
     }
 
     /// Streams the minimal partial answers with multi-wildcards to a callback.
-    ///
-    /// Shard-aware with the same cross-shard wildcard-only filter as
-    /// [`PreparedInstance::stream_minimal_partial`].
+    #[deprecated(
+        note = "use `answers(Semantics::MinimalPartialMulti)`, or `for_each_answer` for \
+                callback-style streaming with early exit"
+    )]
     pub fn stream_minimal_partial_multi(&self, mut f: impl FnMut(&MultiTuple)) -> Result<usize> {
-        let skeleton = self.plan.skeleton()?;
-        let mut merge = crate::parallel::WildcardMerge::multi(self.omq().arity());
-        let mut count = 0usize;
-        let mut emit = |t: MultiTuple| {
-            count += 1;
-            f(&t);
-        };
-        for shard in &self.shards {
-            multi_enum::enumerate_minimal_partial_multi_prepared(skeleton, shard, |t| {
-                merge.offer(t, &mut emit)
-            })?;
-        }
-        merge.flush(&mut emit);
-        Ok(count)
+        self.for_each_answer(Semantics::MinimalPartialMulti, |answer| {
+            f(answer
+                .as_multi()
+                .expect("multi stream yields multi answers"));
+            ControlFlow::Continue(())
+        })
     }
 
     // ------------------------------------------------------------------
@@ -428,7 +485,7 @@ impl PreparedInstance {
             Err(CoreError::UnknownConstant(_)) => return Ok(false),
             Err(e) => return Err(e),
         };
-        for shard in &self.shards {
+        for shard in self.shards.iter() {
             if single_testing::test_complete(self.omq().query(), shard, &values)? {
                 return Ok(true);
             }
@@ -437,14 +494,25 @@ impl PreparedInstance {
     }
 
     /// Single-tests a minimal partial answer (single wildcard).
-    ///
-    /// Shard-aware: a candidate carrying at least one constant is an answer
-    /// only in the shard owning its constants, and every tuple dominating it
-    /// shares those constants, so the shard-local test is exact.  A
-    /// wildcard-only candidate's minimality is a cross-shard property; it is
-    /// resolved against the merged enumeration (constant-many candidates
-    /// exist, so this stays cheap relative to an enumeration pass).
+    #[deprecated(note = "use `test(&Answer::Partial(candidate))`")]
     pub fn test_minimal_partial(&self, candidate: &PartialTuple) -> Result<bool> {
+        self.test_partial_impl(candidate)
+    }
+
+    /// Single-tests a minimal partial answer with multi-wildcards.
+    #[deprecated(note = "use `test(&Answer::Multi(candidate))`")]
+    pub fn test_minimal_partial_multi(&self, candidate: &MultiTuple) -> Result<bool> {
+        self.test_multi_impl(candidate)
+    }
+
+    /// Shard-aware single-testing of a minimal partial answer: a candidate
+    /// carrying at least one constant is an answer only in the shard owning
+    /// its constants, and every tuple dominating it shares those constants,
+    /// so the shard-local test is exact.  A wildcard-only candidate's
+    /// minimality is a cross-shard property; it is resolved against the
+    /// merged enumeration (constant-many candidates exist, so this stays
+    /// cheap relative to an enumeration pass).
+    fn test_partial_impl(&self, candidate: &PartialTuple) -> Result<bool> {
         if self.shards.len() == 1 {
             return single_testing::test_minimal_partial(
                 self.omq().query(),
@@ -453,7 +521,7 @@ impl PreparedInstance {
             );
         }
         if candidate.0.iter().any(|v| !v.is_star()) {
-            for shard in &self.shards {
+            for shard in self.shards.iter() {
                 if single_testing::test_minimal_partial(self.omq().query(), shard, candidate)? {
                     return Ok(true);
                 }
@@ -461,15 +529,20 @@ impl PreparedInstance {
             return Ok(false);
         }
         let mut found = false;
-        self.stream_minimal_partial(|t| found |= t == candidate)?;
+        self.for_each_answer(Semantics::MinimalPartial, |answer| {
+            if answer.as_partial() == Some(candidate) {
+                found = true;
+                ControlFlow::Break(())
+            } else {
+                ControlFlow::Continue(())
+            }
+        })?;
         Ok(found)
     }
 
-    /// Single-tests a minimal partial answer with multi-wildcards.
-    ///
-    /// Shard-aware with the same split as
-    /// [`PreparedInstance::test_minimal_partial`].
-    pub fn test_minimal_partial_multi(&self, candidate: &MultiTuple) -> Result<bool> {
+    /// Shard-aware single-testing with multi-wildcards, with the same split
+    /// as [`PreparedInstance::test_partial_impl`].
+    fn test_multi_impl(&self, candidate: &MultiTuple) -> Result<bool> {
         if self.shards.len() == 1 {
             return single_testing::test_minimal_partial_multi(
                 self.omq().query(),
@@ -478,7 +551,7 @@ impl PreparedInstance {
             );
         }
         if candidate.0.iter().any(|v| !v.is_wild()) {
-            for shard in &self.shards {
+            for shard in self.shards.iter() {
                 if single_testing::test_minimal_partial_multi(self.omq().query(), shard, candidate)?
                 {
                     return Ok(true);
@@ -487,7 +560,14 @@ impl PreparedInstance {
             return Ok(false);
         }
         let mut found = false;
-        self.stream_minimal_partial_multi(|t| found |= t == candidate)?;
+        self.for_each_answer(Semantics::MinimalPartialMulti, |answer| {
+            if answer.as_multi() == Some(candidate) {
+                found = true;
+                ControlFlow::Break(())
+            } else {
+                ControlFlow::Continue(())
+            }
+        })?;
         Ok(found)
     }
 
@@ -525,6 +605,11 @@ impl PreparedInstance {
         Ok(PartialTuple(values))
     }
 
+    /// Renders any answer with constant names.
+    pub fn format_answer(&self, answer: &Answer) -> String {
+        answer.display_with(|c| self.symbols().const_name(c).to_owned())
+    }
+
     /// Renders a complete answer with constant names.
     pub fn format_complete(&self, answer: &[ConstId]) -> String {
         let names: Vec<&str> = answer
@@ -546,6 +631,7 @@ impl PreparedInstance {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::OmqEngine;

@@ -1,0 +1,346 @@
+//! The unified, lazy, pull-based answer cursor: [`AnswerStream`].
+//!
+//! `PreparedInstance::answers(Semantics)` is the one enumeration entry point
+//! of the engine: it runs the per-shard enumeration *preprocessing* (building
+//! the free-connex structures / Algorithm 1–2 cursors — linear in the chase)
+//! and returns an [`AnswerStream`], an `Iterator<Item = Answer>` with
+//! constant work per `next()` call.  This is the shape of the paper's
+//! central result: after linear preprocessing, taking the first `k` answers
+//! costs `O(k)`, independently of the database size — so `stream.take(k)`
+//! really is the cheap per-request bound a serving layer needs.
+//!
+//! Properties:
+//!
+//! * **Lazy.** No answer is materialised before it is pulled; dropping the
+//!   stream mid-way abandons the remaining enumeration with no other effect.
+//! * **Owning / resumable.** The stream holds clones of the plan's shared
+//!   `Arc` state and of the shard vector, so it is `'static`: it can be
+//!   returned from the function that executed the plan, parked inside a
+//!   paginating request handler, and resumed at any later point — the
+//!   `PreparedInstance` it came from may be dropped freely.
+//! * **Shard-sound.** On instances produced by `execute_parallel`, the
+//!   per-shard streams are chained lazily and the cross-shard wildcard
+//!   minimality filter (`WildcardMerge`) plus the Boolean empty-tuple dedup
+//!   are folded *into* the cursor, so sharded and sequential instances yield
+//!   the same answer multiset (property-tested in `tests/answer_stream.rs`).
+//!
+//! Errors after construction are rare (the tractability gate and the
+//! structure builds run inside `answers()`); if one does occur mid-stream —
+//! e.g. a tester failure inside Algorithm 2 — the stream ends and
+//! [`AnswerStream::error`] reports it, which the legacy `enumerate_*`
+//! wrappers turn back into a `Result`.
+
+use crate::enumerate::AnswerCursor;
+use crate::error::CoreError;
+use crate::multi_enum::MultiEnumerator;
+use crate::parallel::WildcardMerge;
+use crate::partial_enum::PartialEnumerator;
+use crate::plan::PreparedInstance;
+use crate::preprocess::FreeConnexStructure;
+use crate::Result;
+use omq_data::{Answer, MultiTuple, PartialTuple, Semantics, Value};
+use std::collections::VecDeque;
+
+/// One shard of the complete-answer stream: the materialised structure and
+/// the cursor walking it.
+#[derive(Debug)]
+struct CompleteShard {
+    structure: FreeConnexStructure,
+    cursor: AnswerCursor,
+}
+
+/// The semantics-specific machinery behind the stream.
+enum Inner {
+    Complete {
+        shards: Vec<CompleteShard>,
+        current: usize,
+        /// Boolean query: the empty tuple is emitted at most once across all
+        /// shards.
+        boolean: bool,
+        done: bool,
+    },
+    Partial {
+        shards: Vec<PartialEnumerator>,
+        current: usize,
+        /// `None` once flushed (all shards drained).
+        merge: Option<WildcardMerge<PartialTuple>>,
+        /// Answers released by the merge but not yet pulled.
+        pending: VecDeque<PartialTuple>,
+    },
+    Multi {
+        shards: Vec<MultiEnumerator<'static>>,
+        current: usize,
+        merge: Option<WildcardMerge<MultiTuple>>,
+        pending: VecDeque<MultiTuple>,
+    },
+}
+
+impl std::fmt::Debug for Inner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (name, shards, current) = match self {
+            Inner::Complete {
+                shards, current, ..
+            } => ("Complete", shards.len(), *current),
+            Inner::Partial {
+                shards, current, ..
+            } => ("Partial", shards.len(), *current),
+            Inner::Multi {
+                shards, current, ..
+            } => ("Multi", shards.len(), *current),
+        };
+        f.debug_struct("AnswerStreamInner")
+            .field("semantics", &name)
+            .field("shards", &shards)
+            .field("current", &current)
+            .finish()
+    }
+}
+
+/// A lazy, resumable cursor over the answers of a prepared instance, in one
+/// of the three [`Semantics`].  See the [module docs](self) for the
+/// guarantees and `PreparedInstance::answers` for the entry point.
+#[derive(Debug)]
+pub struct AnswerStream {
+    semantics: Semantics,
+    inner: Inner,
+    error: Option<CoreError>,
+    emitted: usize,
+}
+
+impl AnswerStream {
+    /// Builds the stream over a prepared instance: per-shard enumeration
+    /// preprocessing happens here (linear in the chase), so that every
+    /// subsequent `next()` is constant work.
+    pub(crate) fn build(instance: &PreparedInstance, semantics: Semantics) -> Result<Self> {
+        let skeleton = instance.plan().skeleton()?;
+        let arity = instance.omq().arity();
+        let shards = instance.shared_shards();
+        let inner = match semantics {
+            Semantics::Complete => {
+                let shards = shards
+                    .iter()
+                    .map(|shard| {
+                        let structure = FreeConnexStructure::materialize(skeleton, shard, true)?;
+                        let cursor = AnswerCursor::new(&structure);
+                        Ok(CompleteShard { structure, cursor })
+                    })
+                    .collect::<Result<Vec<_>>>()?;
+                Inner::Complete {
+                    shards,
+                    current: 0,
+                    boolean: instance.omq().query().is_boolean(),
+                    done: false,
+                }
+            }
+            Semantics::MinimalPartial => {
+                let cursors = shards
+                    .iter()
+                    .map(|shard| PartialEnumerator::with_skeleton(skeleton, shard))
+                    .collect::<Result<Vec<_>>>()?;
+                Inner::Partial {
+                    shards: cursors,
+                    current: 0,
+                    merge: Some(WildcardMerge::partial(arity)),
+                    pending: VecDeque::new(),
+                }
+            }
+            Semantics::MinimalPartialMulti => {
+                let cursors = (0..shards.len())
+                    .map(|idx| MultiEnumerator::for_shard(skeleton, shards.clone(), idx))
+                    .collect::<Result<Vec<_>>>()?;
+                Inner::Multi {
+                    shards: cursors,
+                    current: 0,
+                    merge: Some(WildcardMerge::multi(arity)),
+                    pending: VecDeque::new(),
+                }
+            }
+        };
+        Ok(AnswerStream {
+            semantics,
+            inner,
+            error: None,
+            emitted: 0,
+        })
+    }
+
+    /// The semantics this stream enumerates.  Every yielded [`Answer`] is of
+    /// the matching variant.
+    pub fn semantics(&self) -> Semantics {
+        self.semantics
+    }
+
+    /// Number of answers yielded so far — the natural `offset` for resumable
+    /// pagination.
+    pub fn emitted(&self) -> usize {
+        self.emitted
+    }
+
+    /// The error that terminated the stream early, if any.  A stream that
+    /// returned `None` with no error was exhausted normally.
+    pub fn error(&self) -> Option<&CoreError> {
+        self.error.as_ref()
+    }
+
+    /// Drains the stream into a `Result`: the remaining answers, or the
+    /// error that cut the enumeration short.
+    pub fn try_collect(mut self) -> Result<Vec<Answer>> {
+        let mut out = Vec::new();
+        for answer in &mut self {
+            out.push(answer);
+        }
+        match self.error {
+            Some(e) => Err(e),
+            None => Ok(out),
+        }
+    }
+
+    fn next_complete(&mut self) -> Option<Answer> {
+        let Inner::Complete {
+            shards,
+            current,
+            boolean,
+            done,
+        } = &mut self.inner
+        else {
+            unreachable!("semantics-checked dispatch");
+        };
+        if *done {
+            return None;
+        }
+        while *current < shards.len() {
+            let shard = &mut shards[*current];
+            match shard.cursor.next_answer(&shard.structure) {
+                Some(values) => {
+                    let tuple: Option<Vec<_>> = values
+                        .iter()
+                        .map(|v| match v {
+                            Value::Const(c) => Some(*c),
+                            Value::Null(_) => None,
+                        })
+                        .collect();
+                    let Some(tuple) = tuple else {
+                        // Cannot happen for structures built with the
+                        // `complete_only` relativisation; handled as a
+                        // reportable invariant violation.
+                        self.error = Some(CoreError::Internal(
+                            "complete answer contains a null".to_owned(),
+                        ));
+                        *done = true;
+                        return None;
+                    };
+                    if *boolean {
+                        // The empty tuple is the only Boolean answer: stop
+                        // after the first satisfiable shard.
+                        *done = true;
+                    }
+                    return Some(Answer::Complete(tuple));
+                }
+                None => *current += 1,
+            }
+        }
+        *done = true;
+        None
+    }
+
+    fn next_partial(&mut self) -> Option<Answer> {
+        let Inner::Partial {
+            shards,
+            current,
+            merge,
+            pending,
+        } = &mut self.inner
+        else {
+            unreachable!("semantics-checked dispatch");
+        };
+        loop {
+            if let Some(t) = pending.pop_front() {
+                return Some(Answer::Partial(t));
+            }
+            let live_merge = merge.as_mut()?;
+            if *current < shards.len() {
+                match shards[*current].next() {
+                    Some(t) => live_merge.offer(t, &mut |out| pending.push_back(out)),
+                    None => *current += 1,
+                }
+            } else {
+                // All shards drained: release the surviving wildcard-only
+                // answers, then drain `pending` on the next loop turns.
+                merge
+                    .take()
+                    .expect("merge checked live above")
+                    .flush(&mut |out| pending.push_back(out));
+                if pending.is_empty() {
+                    return None;
+                }
+            }
+        }
+    }
+
+    fn next_multi(&mut self) -> Option<Answer> {
+        let Inner::Multi {
+            shards,
+            current,
+            merge,
+            pending,
+        } = &mut self.inner
+        else {
+            unreachable!("semantics-checked dispatch");
+        };
+        loop {
+            if let Some(t) = pending.pop_front() {
+                return Some(Answer::Multi(t));
+            }
+            let live_merge = merge.as_mut()?;
+            if *current < shards.len() {
+                match shards[*current].next() {
+                    Some(t) => live_merge.offer(t, &mut |out| pending.push_back(out)),
+                    None => {
+                        if let Some(e) = shards[*current].error() {
+                            self.error = Some(e.clone());
+                            *merge = None;
+                            pending.clear();
+                            return None;
+                        }
+                        *current += 1;
+                    }
+                }
+            } else {
+                merge
+                    .take()
+                    .expect("merge checked live above")
+                    .flush(&mut |out| pending.push_back(out));
+                if pending.is_empty() {
+                    return None;
+                }
+            }
+        }
+    }
+}
+
+impl Iterator for AnswerStream {
+    type Item = Answer;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.error.is_some() {
+            return None;
+        }
+        let answer = match self.semantics {
+            Semantics::Complete => self.next_complete(),
+            Semantics::MinimalPartial => self.next_partial(),
+            Semantics::MinimalPartialMulti => self.next_multi(),
+        };
+        if answer.is_some() {
+            self.emitted += 1;
+        }
+        answer
+    }
+}
+
+impl std::iter::FusedIterator for AnswerStream {}
+
+// A stream is handed across request-handler threads by the serving layer.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<AnswerStream>();
+};

@@ -14,7 +14,10 @@
 //! * **wildcard tuples** for partial answers — both the single-wildcard variant
 //!   (`*`) and the multi-wildcard variant (`*1, *2, …`) together with their
 //!   preference orders `⪯` / `≺`, minimality filters, balls and cones, see
-//!   [`wildcard`].
+//!   [`wildcard`];
+//! * the **unified answer value** ([`Answer`]) and semantics selector
+//!   ([`Semantics`]) shared by the enumeration cursors upstream, see
+//!   [`answer`].
 //!
 //! Everything downstream (conjunctive queries, the chase, the enumeration
 //! engines) is built on top of these types.
@@ -22,6 +25,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod answer;
 pub mod columnar;
 pub mod database;
 pub mod error;
@@ -32,6 +36,7 @@ pub mod schema;
 pub mod value;
 pub mod wildcard;
 
+pub use answer::{Answer, Semantics};
 pub use columnar::{Column, ColumnarIndex};
 pub use database::{Database, DatabaseBuilder};
 pub use error::DataError;

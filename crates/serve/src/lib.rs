@@ -7,9 +7,20 @@
 //!
 //! * a **catalogue** of named, compiled [`QueryPlan`]s ([`ServingEngine::register`]);
 //! * [`ServingEngine::serve_batch`] evaluates a batch of
-//!   (query-id, database, answer-mode) [`Request`]s across a fixed pool of
+//!   (query-id, database, semantics) [`Request`]s across a fixed pool of
 //!   scoped worker threads (shared-nothing: workers pull requests off an
 //!   atomic cursor and never exchange state beyond the immutable catalogue);
+//! * per-request **work bounds**: [`Request::with_limit`] /
+//!   [`Request::with_offset`] page through an answer stream without ever
+//!   materialising the full answer set — the engine stops enumerating after
+//!   `offset + limit + 1` answers (the `+ 1` detects [`Response::truncated`]),
+//!   which is `O(limit)` enumeration work thanks to the constant-delay
+//!   cursor;
+//! * [`ServingEngine::serve_stream`] hands out the **lazy cursor itself**
+//!   ([`StreamedResponse`] wraps `omq_core::AnswerStream`): the caller pulls
+//!   answers one at a time, can stop at any point for `O(answers pulled)`
+//!   cost, and may park the stream across await points or requests — the
+//!   stream owns its data (it borrows neither the engine nor the request);
 //! * per-request **data parallelism** can be layered on top via
 //!   [`ServingEngine::with_data_parallelism`], which routes executions
 //!   through `QueryPlan::execute_parallel` (Gaifman-component sharding).
@@ -21,7 +32,7 @@
 //! use omq_chase::{Ontology, OntologyMediatedQuery};
 //! use omq_cq::ConjunctiveQuery;
 //! use omq_data::Database;
-//! use omq_serve::{AnswerMode, Request, ServingEngine};
+//! use omq_serve::{Request, Semantics, ServingEngine};
 //!
 //! let ontology = Ontology::parse("Researcher(x) -> exists y. HasOffice(x, y)")?;
 //! let query = ConjunctiveQuery::parse("q(x, y) :- HasOffice(x, y)")?;
@@ -32,11 +43,20 @@
 //!
 //! let db = Database::builder(omq.data_schema().clone())
 //!     .fact("Researcher", ["mary"])
+//!     .fact("Researcher", ["ada"])
 //!     .build()?;
+//!
+//! // Batch path: bounded per-request work via the builder.
 //! let responses = engine.serve_batch(&[
-//!     Request::new(offices, &db, AnswerMode::MinimalPartial),
+//!     Request::new(offices, &db, Semantics::MinimalPartial).with_limit(1),
 //! ]);
-//! assert_eq!(responses[0].as_ref().unwrap().answers.len(), 1); // (mary, *)
+//! let response = responses[0].as_ref().unwrap();
+//! assert_eq!(response.answers.len(), 1); // (mary, *) — or (ada, *)
+//! assert!(response.truncated); // one more answer existed
+//!
+//! // Streaming path: pull answers lazily off the cursor.
+//! let stream = engine.serve_stream(&Request::new(offices, &db, Semantics::MinimalPartial))?;
+//! assert_eq!(stream.count(), 2);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
@@ -44,11 +64,17 @@
 #![warn(missing_docs)]
 
 use omq_chase::OntologyMediatedQuery;
-use omq_core::{CoreError, EngineConfig, PreprocessStats, QueryPlan};
-use omq_data::{ConstId, Database, MultiTuple, PartialTuple};
+use omq_core::{AnswerStream, CoreError, EngineConfig, PreprocessStats, QueryPlan};
+use omq_data::{Answer, ConstId, Database, MultiTuple, PartialTuple};
 use rustc_hash::FxHashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub use omq_data::Semantics;
+
+/// The answer semantics of a request.
+#[deprecated(note = "use `Semantics` — `AnswerMode` is a pre-cursor-API alias")]
+pub type AnswerMode = Semantics;
 
 /// Errors raised by the serving front end.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -88,17 +114,6 @@ pub type Result<T> = std::result::Result<T, ServeError>;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct QueryId(usize);
 
-/// Which answer semantics a request asks for.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum AnswerMode {
-    /// Complete (certain) answers — Theorem 4.1(1).
-    Complete,
-    /// Minimal partial answers, single wildcard — Theorem 5.2.
-    MinimalPartial,
-    /// Minimal partial answers with multi-wildcards — Theorem 6.1.
-    MinimalPartialMulti,
-}
-
 /// The answers of one served request, in the semantics the request asked for.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum AnswerSet {
@@ -111,6 +126,39 @@ pub enum AnswerSet {
 }
 
 impl AnswerSet {
+    /// An empty answer set of the given semantics.
+    pub fn empty(semantics: Semantics) -> Self {
+        match semantics {
+            Semantics::Complete => AnswerSet::Complete(Vec::new()),
+            Semantics::MinimalPartial => AnswerSet::Partial(Vec::new()),
+            Semantics::MinimalPartialMulti => AnswerSet::Multi(Vec::new()),
+        }
+    }
+
+    /// The semantics of this answer set.
+    pub fn semantics(&self) -> Semantics {
+        match self {
+            AnswerSet::Complete(_) => Semantics::Complete,
+            AnswerSet::Partial(_) => Semantics::MinimalPartial,
+            AnswerSet::Multi(_) => Semantics::MinimalPartialMulti,
+        }
+    }
+
+    /// Appends one answer; the variant must match the set's semantics (which
+    /// holds by construction for answers pulled off a stream of the same
+    /// semantics).
+    fn push(&mut self, answer: Answer) {
+        match (self, answer) {
+            (AnswerSet::Complete(v), Answer::Complete(t)) => v.push(t),
+            (AnswerSet::Partial(v), Answer::Partial(t)) => v.push(t),
+            (AnswerSet::Multi(v), Answer::Multi(t)) => v.push(t),
+            (set, answer) => unreachable!(
+                "stream semantics {:?} yielded mismatched answer {answer:?}",
+                set.semantics()
+            ),
+        }
+    }
+
     /// Number of answers.
     pub fn len(&self) -> usize {
         match self {
@@ -126,7 +174,16 @@ impl AnswerSet {
     }
 }
 
-/// One unit of serving work: evaluate a catalogued query over a database.
+/// One unit of serving work: evaluate a catalogued query over a database,
+/// optionally bounded by a result window.
+///
+/// Built in builder style:
+///
+/// ```ignore
+/// Request::new(id, &db, Semantics::MinimalPartial)
+///     .with_offset(100)
+///     .with_limit(50)
+/// ```
 #[derive(Debug, Clone, Copy)]
 pub struct Request<'a> {
     /// The catalogued query to evaluate.
@@ -134,17 +191,41 @@ pub struct Request<'a> {
     /// The database to evaluate it over.
     pub database: &'a Database,
     /// The answer semantics to produce.
-    pub mode: AnswerMode,
+    pub semantics: Semantics,
+    /// Maximum number of answers to return (`None` = unbounded).  A bounded
+    /// request performs `O(offset + limit)` enumeration work, never
+    /// materialising the full answer set.
+    pub limit: Option<usize>,
+    /// Number of leading answers to skip — the pagination cursor.
+    pub offset: usize,
 }
 
 impl<'a> Request<'a> {
-    /// Builds a request.
-    pub fn new(query: QueryId, database: &'a Database, mode: AnswerMode) -> Self {
+    /// Builds an unbounded request.
+    pub fn new(query: QueryId, database: &'a Database, semantics: Semantics) -> Self {
         Request {
             query,
             database,
-            mode,
+            semantics,
+            limit: None,
+            offset: 0,
         }
+    }
+
+    /// Caps the number of answers returned.  A million-user front end sets
+    /// this on every request: the engine stops enumerating right after the
+    /// window (one extra probe detects truncation).
+    pub fn with_limit(mut self, limit: usize) -> Self {
+        self.limit = Some(limit);
+        self
+    }
+
+    /// Skips the first `offset` answers — combine with
+    /// [`Request::with_limit`] for stateless pagination (the enumeration
+    /// order is deterministic for a fixed plan and database).
+    pub fn with_offset(mut self, offset: usize) -> Self {
+        self.offset = offset;
+        self
     }
 }
 
@@ -153,11 +234,75 @@ impl<'a> Request<'a> {
 pub struct Response {
     /// The query that was evaluated.
     pub query: QueryId,
-    /// The answers, in the requested semantics.
+    /// The answers inside the request's `offset`/`limit` window, in the
+    /// requested semantics.
     pub answers: AnswerSet,
+    /// `true` iff more answers existed beyond the request's window.
+    pub truncated: bool,
     /// Preprocessing statistics of the execution behind this response.
     pub stats: PreprocessStats,
 }
+
+/// The lazy counterpart of [`Response`]: the request's answer window as a
+/// pullable cursor ([`Iterator<Item = Answer>`]).
+///
+/// The stream owns its data (plan handles plus chased shards), so it is
+/// independent of the borrow on the [`ServingEngine`] and of the request's
+/// database reference; it can be parked, resumed, or dropped mid-way, and
+/// every pulled answer costs constant enumeration work.
+#[derive(Debug)]
+pub struct StreamedResponse {
+    query: QueryId,
+    stats: PreprocessStats,
+    stream: AnswerStream,
+    /// Answers still to be yielded under the request's limit.
+    remaining: Option<usize>,
+}
+
+impl StreamedResponse {
+    /// The query this stream answers.
+    pub fn query(&self) -> QueryId {
+        self.query
+    }
+
+    /// Preprocessing statistics of the execution behind this stream.
+    pub fn stats(&self) -> &PreprocessStats {
+        &self.stats
+    }
+
+    /// The semantics of the yielded answers.
+    pub fn semantics(&self) -> Semantics {
+        self.stream.semantics()
+    }
+
+    /// The error that ended the stream early, if any.
+    pub fn error(&self) -> Option<&CoreError> {
+        self.stream.error()
+    }
+
+    /// Unwraps the underlying raw answer cursor (drops the limit bound).
+    pub fn into_stream(self) -> AnswerStream {
+        self.stream
+    }
+}
+
+impl Iterator for StreamedResponse {
+    type Item = Answer;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match &mut self.remaining {
+            Some(0) => None,
+            Some(n) => {
+                let answer = self.stream.next()?;
+                *n -= 1;
+                Some(answer)
+            }
+            None => self.stream.next(),
+        }
+    }
+}
+
+impl std::iter::FusedIterator for StreamedResponse {}
 
 /// A catalogue of compiled plans plus a fixed-size worker pool serving
 /// batches of (query, database) requests.  See the crate docs for an
@@ -251,25 +396,64 @@ impl ServingEngine {
         self.plans.is_empty()
     }
 
-    /// Serves one request on the calling thread.
-    pub fn serve_one(&self, request: &Request) -> Result<Response> {
+    /// Executes the request's plan over its database and opens the answer
+    /// cursor (the chase plus the per-shard enumeration preprocessing; every
+    /// answer pulled afterwards is constant work).
+    fn open_stream(&self, request: &Request) -> Result<(AnswerStream, PreprocessStats)> {
         let plan = self.plan(request.query)?;
         let instance = if self.data_parallelism > 1 {
             plan.execute_parallel(request.database, self.data_parallelism)?
         } else {
             plan.execute(request.database)?
         };
-        let answers = match request.mode {
-            AnswerMode::Complete => AnswerSet::Complete(instance.enumerate_complete()?),
-            AnswerMode::MinimalPartial => AnswerSet::Partial(instance.enumerate_minimal_partial()?),
-            AnswerMode::MinimalPartialMulti => {
-                AnswerSet::Multi(instance.enumerate_minimal_partial_multi()?)
+        let stream = instance.answers(request.semantics)?;
+        Ok((stream, *instance.stats()))
+    }
+
+    /// Serves one request lazily: returns the cursor over the request's
+    /// answer window instead of a materialised answer set.  The offset is
+    /// applied eagerly (skipped answers are enumerated but not built into a
+    /// response); the limit is enforced by the returned iterator.
+    pub fn serve_stream(&self, request: &Request) -> Result<StreamedResponse> {
+        let (mut stream, stats) = self.open_stream(request)?;
+        for _ in 0..request.offset {
+            if stream.next().is_none() {
+                break;
             }
-        };
+        }
+        if let Some(e) = stream.error() {
+            return Err(e.clone().into());
+        }
+        Ok(StreamedResponse {
+            query: request.query,
+            stats,
+            stream,
+            remaining: request.limit,
+        })
+    }
+
+    /// Serves one request on the calling thread, materialising the answers
+    /// of the request's window.  `O(offset + limit)` enumeration work for
+    /// bounded requests.
+    pub fn serve_one(&self, request: &Request) -> Result<Response> {
+        let mut streamed = self.serve_stream(request)?;
+        let mut answers = AnswerSet::empty(request.semantics);
+        for answer in &mut streamed {
+            answers.push(answer);
+        }
+        // The iterator stops at the limit; one extra probe on the raw stream
+        // detects whether the window cut the enumeration short.
+        let stats = streamed.stats;
+        let mut stream = streamed.stream;
+        let truncated = request.limit.is_some() && stream.next().is_some();
+        if let Some(e) = stream.error() {
+            return Err(e.clone().into());
+        }
         Ok(Response {
             query: request.query,
             answers,
-            stats: *instance.stats(),
+            truncated,
+            stats,
         })
     }
 
@@ -280,7 +464,8 @@ impl ServingEngine {
     /// atomic cursor, evaluate against the immutable catalogue (warming the
     /// plans' shared chase memos as a side effect), and only the collected
     /// results are merged at the end.  A failed request does not affect the
-    /// others.
+    /// others.  Per-request `limit`/`offset` windows are honoured, so a
+    /// batch of bounded requests never materialises an unbounded answer set.
     pub fn serve_batch(&self, requests: &[Request]) -> Vec<Result<Response>> {
         let n = requests.len();
         let workers = self.workers.min(n.max(1));
@@ -324,9 +509,11 @@ impl ServingEngine {
 // The whole point of the engine is to be shared across request threads.
 const _: () = {
     const fn assert_send_sync<T: Send + Sync>() {}
+    const fn assert_send<T: Send>() {}
     assert_send_sync::<ServingEngine>();
     assert_send_sync::<Request<'static>>();
     assert_send_sync::<Response>();
+    assert_send::<StreamedResponse>();
 };
 
 #[cfg(test)]
@@ -372,6 +559,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn batch_serving_matches_per_request_engines() {
         let office = office_omq();
         let mut engine = ServingEngine::new(4);
@@ -384,41 +572,157 @@ mod tests {
             .iter()
             .enumerate()
             .map(|(i, d)| {
-                let mode = match i % 3 {
-                    0 => AnswerMode::Complete,
-                    1 => AnswerMode::MinimalPartial,
-                    _ => AnswerMode::MinimalPartialMulti,
+                let semantics = match i % 3 {
+                    0 => Semantics::Complete,
+                    1 => Semantics::MinimalPartial,
+                    _ => Semantics::MinimalPartialMulti,
                 };
-                Request::new(office_id, d, mode)
+                Request::new(office_id, d, semantics)
             })
             .collect();
         let responses = engine.serve_batch(&requests);
         assert_eq!(responses.len(), requests.len());
         for (request, response) in requests.iter().zip(&responses) {
             let response = response.as_ref().unwrap();
+            assert!(!response.truncated, "unbounded requests never truncate");
             let reference = OmqEngine::preprocess(&office, request.database).unwrap();
-            match (&response.answers, request.mode) {
-                (AnswerSet::Complete(got), AnswerMode::Complete) => {
+            match (&response.answers, request.semantics) {
+                (AnswerSet::Complete(got), Semantics::Complete) => {
                     let want = reference.enumerate_complete().unwrap();
                     let got: BTreeSet<_> = got.iter().collect();
                     let want: BTreeSet<_> = want.iter().collect();
                     assert_eq!(got, want);
                 }
-                (AnswerSet::Partial(got), AnswerMode::MinimalPartial) => {
+                (AnswerSet::Partial(got), Semantics::MinimalPartial) => {
                     let want = reference.enumerate_minimal_partial().unwrap();
                     let got: BTreeSet<_> = got.iter().collect();
                     let want: BTreeSet<_> = want.iter().collect();
                     assert_eq!(got, want);
                 }
-                (AnswerSet::Multi(got), AnswerMode::MinimalPartialMulti) => {
+                (AnswerSet::Multi(got), Semantics::MinimalPartialMulti) => {
                     let want = reference.enumerate_minimal_partial_multi().unwrap();
                     let got: BTreeSet<_> = got.iter().collect();
                     let want: BTreeSet<_> = want.iter().collect();
                     assert_eq!(got, want);
                 }
-                (answers, mode) => panic!("mode {mode:?} produced {answers:?}"),
+                (answers, semantics) => panic!("semantics {semantics:?} produced {answers:?}"),
             }
         }
+    }
+
+    #[test]
+    fn limits_bound_responses_and_flag_truncation() {
+        let omq = researcher_omq();
+        let mut engine = ServingEngine::new(2);
+        let id = engine.register("q", &omq).unwrap();
+        let database = db(7, &omq); // 8 researchers -> 8 answers (one per person)
+        let full = engine
+            .serve_one(&Request::new(id, &database, Semantics::MinimalPartial))
+            .unwrap();
+        let total = full.answers.len();
+        assert!(total >= 2);
+        assert!(!full.truncated);
+
+        let bounded = engine
+            .serve_one(&Request::new(id, &database, Semantics::MinimalPartial).with_limit(2))
+            .unwrap();
+        assert_eq!(bounded.answers.len(), 2);
+        assert!(bounded.truncated);
+
+        // limit == total: everything fits, not truncated.
+        let exact = engine
+            .serve_one(&Request::new(id, &database, Semantics::MinimalPartial).with_limit(total))
+            .unwrap();
+        assert_eq!(exact.answers.len(), total);
+        assert!(!exact.truncated);
+
+        // Offset past the end: empty, not truncated.
+        let past = engine
+            .serve_one(
+                &Request::new(id, &database, Semantics::MinimalPartial)
+                    .with_offset(total + 5)
+                    .with_limit(2),
+            )
+            .unwrap();
+        assert!(past.answers.is_empty());
+        assert!(!past.truncated);
+    }
+
+    #[test]
+    fn pagination_reassembles_the_full_answer_set_in_order() {
+        let omq = office_omq();
+        let mut engine = ServingEngine::new(2);
+        let id = engine.register("office", &omq).unwrap();
+        let database = db(11, &omq);
+        let full = engine
+            .serve_one(&Request::new(id, &database, Semantics::MinimalPartial))
+            .unwrap();
+        let AnswerSet::Partial(full) = full.answers else {
+            panic!("semantics mismatch");
+        };
+        for page_size in [1usize, 2, 3, 7] {
+            let mut paged: Vec<PartialTuple> = Vec::new();
+            let mut offset = 0;
+            loop {
+                let page = engine
+                    .serve_one(
+                        &Request::new(id, &database, Semantics::MinimalPartial)
+                            .with_offset(offset)
+                            .with_limit(page_size),
+                    )
+                    .unwrap();
+                let AnswerSet::Partial(answers) = page.answers else {
+                    panic!("semantics mismatch");
+                };
+                let done = !page.truncated;
+                offset += answers.len();
+                paged.extend(answers);
+                if done {
+                    break;
+                }
+            }
+            assert_eq!(
+                paged, full,
+                "page size {page_size} loses or reorders answers"
+            );
+        }
+    }
+
+    #[test]
+    fn streamed_responses_are_lazy_and_owned() {
+        let omq = researcher_omq();
+        let mut engine = ServingEngine::new(2);
+        let id = engine.register("q", &omq).unwrap();
+        let database = db(9, &omq);
+        let full: Vec<Answer> = engine
+            .serve_stream(&Request::new(id, &database, Semantics::MinimalPartial))
+            .unwrap()
+            .collect();
+        assert!(!full.is_empty());
+
+        // take(k) through the streamed response honours the request limit.
+        let mut stream = engine
+            .serve_stream(&Request::new(id, &database, Semantics::MinimalPartial).with_limit(3))
+            .unwrap();
+        assert_eq!(stream.semantics(), Semantics::MinimalPartial);
+        let first: Vec<Answer> = (&mut stream).collect();
+        assert_eq!(first, full[..3.min(full.len())]);
+        assert!(stream.error().is_none());
+
+        // Offset streams resume exactly where the previous window ended.
+        let rest: Vec<Answer> = engine
+            .serve_stream(&Request::new(id, &database, Semantics::MinimalPartial).with_offset(3))
+            .unwrap()
+            .collect();
+        assert_eq!(rest, full[3.min(full.len())..]);
+
+        // Dropping a stream mid-way is fine, and streams outlive the borrow
+        // used to create them.
+        let mut abandoned = engine
+            .serve_stream(&Request::new(id, &database, Semantics::Complete))
+            .unwrap();
+        let _ = abandoned.next();
+        drop(abandoned);
     }
 
     #[test]
@@ -435,7 +739,7 @@ mod tests {
             Err(ServeError::UnknownQuery(99))
         ));
         let db = db(0, &researcher_omq());
-        let bad = Request::new(QueryId(99), &db, AnswerMode::Complete);
+        let bad = Request::new(QueryId(99), &db, Semantics::Complete);
         let responses = engine.serve_batch(&[bad]);
         assert!(matches!(responses[0], Err(ServeError::UnknownQuery(99))));
     }
@@ -451,10 +755,11 @@ mod tests {
         let researcher_dbs: Vec<Database> = (0..8).map(|i| db(i, &researcher)).collect();
         let mut requests = Vec::new();
         for d in &office_dbs {
-            requests.push(Request::new(office_id, d, AnswerMode::MinimalPartial));
+            requests.push(Request::new(office_id, d, Semantics::MinimalPartial));
         }
         for d in &researcher_dbs {
-            requests.push(Request::new(researcher_id, d, AnswerMode::MinimalPartial));
+            // Bounded requests mixed into the same batch.
+            requests.push(Request::new(researcher_id, d, Semantics::MinimalPartial).with_limit(2));
         }
         let responses = engine.serve_batch(&requests);
         assert_eq!(responses.len(), 16);
@@ -462,6 +767,9 @@ mod tests {
             let response = response.as_ref().unwrap();
             assert_eq!(response.query, request.query);
             assert!(!response.answers.is_empty());
+            if let Some(limit) = request.limit {
+                assert!(response.answers.len() <= limit);
+            }
             assert!(response.stats.shards >= 1);
         }
         // Serving warmed the shared chase memos of both catalogued plans.

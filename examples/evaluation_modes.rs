@@ -41,23 +41,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let (omq, db) = build_workload(researchers);
         let start = Instant::now();
         let engine = OmqEngine::preprocess(&omq, &db)?;
-        // Algorithm 1's own preprocessing (the trees lists) also counts as
-        // preprocessing; the delay is measured between answers only.
-        let enumerator = engine.partial_enumerator()?;
+        // The cursor's own preprocessing (Algorithm 1's trees lists) also
+        // counts as preprocessing; the delay is measured between `next()`s.
+        let stream = engine.answers(Semantics::MinimalPartial)?;
         let preprocess = start.elapsed().as_micros();
 
         let mut count = 0usize;
         let mut last = Instant::now();
         let mut max_delay = 0u128;
         let mut total_delay = 0u128;
-        enumerator.enumerate(|_| {
+        for _answer in stream {
             let now = Instant::now();
             let delay = now.duration_since(last).as_nanos();
             last = now;
             count += 1;
             total_delay += delay;
             max_delay = max_delay.max(delay);
-        })?;
+        }
         println!(
             "{researchers:<8}  {preprocess:<14}  {count:<7}  {:<14}  {max_delay}",
             total_delay / count.max(1) as u128
@@ -70,15 +70,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // All-testing: constant time per candidate after linear preprocessing.
     let tester = engine.all_tester()?;
-    let answers = engine.enumerate_complete()?;
-    let hit: Vec<Value> = answers[0].iter().map(|&c| Value::Const(c)).collect();
+    let answers: Vec<Answer> = engine.answers(Semantics::Complete)?.collect();
+    let first = answers[0].as_complete().expect("complete semantics");
+    let hit: Vec<Value> = first.iter().map(|&c| Value::Const(c)).collect();
     println!("\nall-testing a true answer:  {}", tester.test(&hit)?);
 
     // Single-testing of a partial answer.
-    let candidate = engine.parse_partial(&["p1", "o1", "*"])?;
+    let candidate = Answer::Partial(engine.parse_partial(&["p1", "o1", "*"])?);
     println!(
         "single-testing (p1, o1, *) as a minimal partial answer: {}",
-        engine.test_minimal_partial(&candidate)?
+        engine.test(&candidate)?
     );
 
     // Brute-force baseline agreement on a small instance.
@@ -87,7 +88,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let brute = BruteForce::new(&omq_small, &db_small, &ChaseConfig::default())?;
     println!(
         "\nbaseline agreement on 100 researchers: engine={} answers, baseline={} answers",
-        engine_small.enumerate_minimal_partial()?.len(),
+        engine_small.answers(Semantics::MinimalPartial)?.count(),
         brute.minimal_partial().len()
     );
     Ok(())

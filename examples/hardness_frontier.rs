@@ -37,7 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .fact("A", ["a"])
         .build()?;
     let engine = OmqEngine::preprocess(&omq, &db)?;
-    match engine.enumerate_minimal_partial() {
+    match engine.answers(Semantics::MinimalPartial) {
         Err(e) => println!("\nnon-free-connex query correctly rejected: {e}"),
         Ok(_) => println!("\nunexpected: intractable query was enumerated"),
     }

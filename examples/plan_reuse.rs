@@ -52,8 +52,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for tenant in 0..4 {
         let db = request_database(omq.data_schema(), tenant)?;
         let instance = plan.execute(&db)?;
-        let complete = instance.enumerate_complete()?;
-        let partial = instance.enumerate_minimal_partial()?;
+        let complete: Vec<Answer> = instance.answers(Semantics::Complete)?.collect();
+        let partial: Vec<Answer> = instance.answers(Semantics::MinimalPartial)?.collect();
         println!(
             "tenant {tenant}: {} facts -> {} chased ({} memo hits), \
              {} complete / {} minimal partial answers",
@@ -64,7 +64,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             partial.len(),
         );
         for answer in partial.iter().take(3) {
-            println!("    {}", instance.format_partial(answer));
+            println!("    {}", instance.format_answer(answer));
         }
     }
     println!(
@@ -77,8 +77,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let db = request_database(omq.data_schema(), 9)?;
     let engine = OmqEngine::preprocess(&omq, &db)?;
     assert_eq!(
-        engine.enumerate_minimal_partial()?.len(),
-        plan.execute(&db)?.enumerate_minimal_partial()?.len()
+        engine.answers(Semantics::MinimalPartial)?.count(),
+        plan.execute(&db)?
+            .answers(Semantics::MinimalPartial)?
+            .count()
     );
     println!("one-shot OmqEngine agrees with the plan path");
     Ok(())

@@ -38,19 +38,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         engine.stats().chase_micros
     );
 
+    // One lazy cursor API over all three semantics: `answers(Semantics)`
+    // returns an `Iterator<Item = Answer>` with constant work per `next()`.
     println!("\ncomplete (certain) answers:");
-    for answer in engine.enumerate_complete()? {
-        println!("  {}", engine.format_complete(&answer));
+    for answer in engine.answers(Semantics::Complete)? {
+        println!("  {}", engine.format_answer(&answer));
     }
 
     println!("\nminimal partial answers (single wildcard, Algorithm 1):");
-    for answer in engine.enumerate_minimal_partial()? {
-        println!("  {}", engine.format_partial(&answer));
+    for answer in engine.answers(Semantics::MinimalPartial)? {
+        println!("  {}", engine.format_answer(&answer));
     }
 
     println!("\nminimal partial answers with multi-wildcards (Algorithm 2):");
-    for answer in engine.enumerate_minimal_partial_multi()? {
-        println!("  {}", engine.format_multi(&answer));
+    for answer in engine.answers(Semantics::MinimalPartialMulti)? {
+        println!("  {}", engine.format_answer(&answer));
+    }
+
+    // Early termination: the first answer of a stream costs O(1) beyond the
+    // preprocessing, however large the database.
+    if let Some(first) = engine.answers(Semantics::MinimalPartial)?.next() {
+        println!(
+            "\nfirst partial answer off a fresh cursor: {}",
+            engine.format_answer(&first)
+        );
     }
 
     // Single-testing (Theorem 3.1).
@@ -59,10 +70,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "  (mary, room1, main1) complete?  {}",
         engine.test_complete_names(&["mary", "room1", "main1"])?
     );
-    let candidate = engine.parse_partial(&["john", "room4", "*"])?;
+    let candidate = Answer::Partial(engine.parse_partial(&["john", "room4", "*"])?);
     println!(
         "  (john, room4, *) minimal partial?  {}",
-        engine.test_minimal_partial(&candidate)?
+        engine.test(&candidate)?
     );
     Ok(())
 }

@@ -60,24 +60,44 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect::<Result<_, _>>()?;
     let mut requests = Vec::new();
     for (tenant, db) in dbs.iter().enumerate() {
-        let (query, mode) = if tenant % 2 == 0 {
-            (full, AnswerMode::MinimalPartial)
+        let (query, semantics) = if tenant % 2 == 0 {
+            (full, Semantics::MinimalPartial)
         } else {
-            (offices, AnswerMode::Complete)
+            (offices, Semantics::Complete)
         };
-        requests.push(Request::new(query, db, mode));
+        // Every request is bounded: a front end never materialises an
+        // unbounded answer set, and `truncated` tells it when to paginate.
+        requests.push(Request::new(query, db, semantics).with_limit(5));
     }
 
     for (tenant, response) in engine.serve_batch(&requests).iter().enumerate() {
         let response = response.as_ref().expect("request served");
         println!(
-            "tenant {tenant}: {} answers over {} shard(s) ({} chased facts, {} memo hits)",
+            "tenant {tenant}: {} answers{} over {} shard(s) ({} chased facts, {} memo hits)",
             response.answers.len(),
+            if response.truncated {
+                "+ (truncated)"
+            } else {
+                ""
+            },
             response.stats.shards,
             response.stats.chased_facts,
             response.stats.memo_hits,
         );
     }
+
+    // The lazy path: pull answers straight off the cursor; stopping early
+    // costs O(answers pulled) beyond the preprocessing.
+    let sample = &dbs[0];
+    let mut stream = engine.serve_stream(&Request::new(full, sample, Semantics::MinimalPartial))?;
+    println!("\nstreaming tenant 0 ({} semantics):", stream.semantics());
+    for answer in stream.by_ref().take(3) {
+        println!(
+            "    {}",
+            answer.display_with(|c| sample.const_name(c).to_owned())
+        );
+    }
+    drop(stream); // dropping mid-way abandons the rest of the enumeration
 
     // The same machinery, one level down: shard one database explicitly.
     let db = tenant_database(&schema, 42)?;
@@ -89,8 +109,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sequential = plan.execute(&db)?;
     let parallel = plan.execute_parallel(&db, 4)?;
     assert_eq!(
-        sequential.enumerate_minimal_partial()?.len(),
-        parallel.enumerate_minimal_partial()?.len()
+        sequential.answers(Semantics::MinimalPartial)?.count(),
+        parallel.answers(Semantics::MinimalPartial)?.count()
     );
     println!(
         "parallel execution over {} shards agrees with the sequential path",

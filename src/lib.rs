@@ -26,9 +26,15 @@
 //!   guardedness — the chase never crosses components) and chases +
 //!   enumerates the shards on scoped threads, merging answer streams
 //!   without losing constant delay;
+//! * a **unified lazy answer cursor**: `PreparedInstance::answers(Semantics)`
+//!   returns an `AnswerStream` — an `Iterator<Item = Answer>` over any of the
+//!   three semantics with constant work per `next()`, so `take(k)` costs
+//!   `O(k)` beyond the linear preprocessing; the stream owns its data and
+//!   survives the instance it came from (resumable pagination);
 //! * a **batch-serving front end**: `ServingEngine` holds a catalogue of
 //!   compiled plans and serves batches of (query, database) requests across
-//!   a fixed worker pool;
+//!   a fixed worker pool, with per-request `limit`/`offset` windows and a
+//!   `serve_stream` entry point handing out the lazy cursor itself;
 //! * all the substrates required along the way: a relational data model with
 //!   dense columnar indexes, conjunctive-query machinery (join trees,
 //!   acyclicity notions), the chase, the query-directed chase, and a
@@ -60,15 +66,20 @@
 //!     .build()?;
 //!
 //! // Linear-time preprocessing (query-directed chase), then constant-delay
-//! // enumeration.
+//! // enumeration through the unified lazy cursor.
 //! let engine = OmqEngine::preprocess(&omq, &db)?;
-//! let complete = engine.enumerate_complete()?;
+//! let complete: Vec<Answer> = engine.answers(Semantics::Complete)?.collect();
 //! assert_eq!(complete.len(), 1);
 //!
-//! let partial = engine.enumerate_minimal_partial()?;
-//! let rendered: Vec<String> = partial.iter().map(|t| engine.format_partial(t)).collect();
-//! assert_eq!(partial.len(), 3); // (mary,room1,main1), (john,room4,*), (mike,*,*)
-//! # let _ = rendered;
+//! // The cursor is pull-based: taking the first k answers costs O(k).
+//! let first = engine.answers(Semantics::MinimalPartial)?.next();
+//! assert!(first.is_some());
+//!
+//! let rendered: Vec<String> = engine
+//!     .answers(Semantics::MinimalPartial)?
+//!     .map(|a| engine.format_answer(&a))
+//!     .collect();
+//! assert_eq!(rendered.len(), 3); // (mary,room1,main1), (john,room4,*), (mike,*,*)
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 //!
@@ -91,15 +102,18 @@ pub mod prelude {
         QchasePlan, Tgd,
     };
     pub use omq_core::{
-        all_testing::AllTester, baseline::BruteForce, single_testing, EngineConfig, OmqEngine,
-        PartialEnumerator, PlanSkeleton, PreparedInstance, PreprocessStats, QueryPlan,
+        all_testing::AllTester, baseline::BruteForce, single_testing, AnswerStream, EngineConfig,
+        MultiEnumerator, OmqEngine, PartialEnumerator, PlanSkeleton, PreparedInstance,
+        PreprocessStats, QueryPlan,
     };
     pub use omq_cq::{acyclicity::AcyclicityReport, Atom, ConjunctiveQuery, Term, VarId};
     pub use omq_data::{
-        ColumnarIndex, ConstId, Database, Fact, MultiTuple, MultiValue, NullId, PartialTuple,
-        PartialValue, RelId, Schema, Value,
+        Answer, ColumnarIndex, ConstId, Database, Fact, MultiTuple, MultiValue, NullId,
+        PartialTuple, PartialValue, RelId, Schema, Semantics, Value,
     };
-    pub use omq_serve::{AnswerMode, AnswerSet, Request, Response, ServeError, ServingEngine};
+    pub use omq_serve::{
+        AnswerSet, Request, Response, ServeError, ServingEngine, StreamedResponse,
+    };
 }
 
 /// Compile-time thread-safety contract of the serving stack.
@@ -113,6 +127,9 @@ pub mod prelude {
 mod thread_safety {
     #[allow(dead_code)]
     fn assert_send_sync<T: Send + Sync>() {}
+
+    #[allow(dead_code)]
+    fn assert_send<T: Send>() {}
 
     #[allow(dead_code)]
     fn assertions() {
@@ -134,6 +151,9 @@ mod thread_safety {
         assert_send_sync::<omq_serve::ServingEngine>();
         assert_send_sync::<omq_serve::Request<'static>>();
         assert_send_sync::<omq_serve::Response>();
+        // Cursors are moved into per-request handler tasks.
+        assert_send::<omq_core::AnswerStream>();
+        assert_send::<omq_serve::StreamedResponse>();
     }
 }
 
@@ -151,7 +171,10 @@ mod tests {
             .build()
             .unwrap();
         let engine = OmqEngine::preprocess(&omq, &db).unwrap();
-        assert!(engine.enumerate_complete().unwrap().is_empty());
-        assert_eq!(engine.enumerate_minimal_partial().unwrap().len(), 1);
+        assert_eq!(engine.answers(Semantics::Complete).unwrap().count(), 0);
+        assert_eq!(
+            engine.answers(Semantics::MinimalPartial).unwrap().count(),
+            1
+        );
     }
 }

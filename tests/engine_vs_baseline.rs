@@ -1,6 +1,12 @@
 //! Randomised integration tests: the constant-delay engines must agree with
 //! the brute-force chase-and-join baseline on every evaluation mode.
 
+// The deprecated `enumerate_*`/`stream_*`/`test_minimal_*` wrappers are
+// exercised on purpose: they are thin shims over the `answers()` cursor now,
+// and this suite is their regression harness (the cursor itself is covered
+// by `tests/answer_stream.rs`).
+#![allow(deprecated)]
+
 use omq::prelude::*;
 use omq_bench::generators::{university, UniversityConfig};
 use std::collections::BTreeSet;

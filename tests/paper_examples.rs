@@ -1,5 +1,11 @@
 //! End-to-end integration tests reproducing the worked examples of the paper.
 
+// The deprecated `enumerate_*`/`stream_*`/`test_minimal_*` wrappers are
+// exercised on purpose: they are thin shims over the `answers()` cursor now,
+// and this suite is their regression harness (the cursor itself is covered
+// by `tests/answer_stream.rs`).
+#![allow(deprecated)]
+
 use omq::prelude::*;
 
 fn office_db(omq: &OntologyMediatedQuery) -> Database {

@@ -12,6 +12,12 @@
 //! and the merge filter has to drop or keep wildcard-only answers based on
 //! what *other* shards produced.
 
+// The deprecated `enumerate_*`/`stream_*`/`test_minimal_*` wrappers are
+// exercised on purpose: they are thin shims over the `answers()` cursor now,
+// and this suite is their regression harness (the cursor itself is covered
+// by `tests/answer_stream.rs`).
+#![allow(deprecated)]
+
 use omq::prelude::*;
 use proptest::prelude::*;
 use std::collections::BTreeMap;

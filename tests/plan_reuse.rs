@@ -8,6 +8,12 @@
 //! tables, and the dense columnar enumeration structures rebuilt per
 //! database.
 
+// The deprecated `enumerate_*`/`stream_*`/`test_minimal_*` wrappers are
+// exercised on purpose: they are thin shims over the `answers()` cursor now,
+// and this suite is their regression harness (the cursor itself is covered
+// by `tests/answer_stream.rs`).
+#![allow(deprecated)]
+
 use omq::prelude::*;
 use proptest::prelude::*;
 use std::collections::BTreeSet;
