@@ -1,4 +1,4 @@
-//! The experiment suite (E1–E14) and its table output.
+//! The experiment suite (E1–E15) and its table output.
 //!
 //! Every experiment returns a [`Table`]; the harness binary prints them,
 //! writes the machine-readable `BENCH_<exp>.json` counterparts (see
@@ -1107,6 +1107,205 @@ pub fn e14_cursor_pagination(quick: bool) -> Table {
     table
 }
 
+/// E15 — the session API: ingest throughput through transactional commits,
+/// and the post-commit time-to-first-answer of a fresh snapshot, versus
+/// store size.
+///
+/// The session model (`Store` / `Txn` / `Snapshot` + `ServingEngine`) claims
+/// that (1) data changes are batch commits whose cost is linear in the batch,
+/// (2) a pinned snapshot's answers are immune to concurrent commits, and
+/// (3) a fresh snapshot sees the new facts through the *same* compiled plan,
+/// paying only the data-linear preprocessing again.  This experiment ingests
+/// the university workload through fixed-size transactions, then pins a
+/// snapshot, commits a late batch, and checks:
+///
+/// * the pinned snapshot's answer multiset is unchanged (isolation),
+/// * the fresh snapshot's answers equal a from-scratch evaluation of the
+///   merged database (freshness) — both folded into the `answers equal`
+///   column, the CI gate;
+/// * the post-commit TTFA (plan execution over the fresh snapshot + the
+///   first `next()`) as the store grows — linear in `|D|` by the paper's
+///   preprocessing bound, with the cursor delay itself flat.
+pub fn e15_live_store(quick: bool) -> Table {
+    const FACTS_PER_TXN: usize = 256;
+    let mut table = Table::new(
+        "E15",
+        "Live store: txn ingest throughput and post-commit snapshot TTFA",
+        &[
+            "researchers",
+            "|D| facts",
+            "txns",
+            "ingest µs",
+            "facts/s",
+            "epoch",
+            "ttfa µs",
+            "first next() ns",
+            "answers",
+            "answers equal",
+        ],
+    );
+    let (omq, _) = university(&UniversityConfig {
+        researchers: 1,
+        ..Default::default()
+    });
+
+    let mut facts_axis: Vec<f64> = Vec::new();
+    let mut ttfa_micros_axis: Vec<f64> = Vec::new();
+    let mut last_throughput = 0.0f64;
+    for researchers in university_sizes(quick) {
+        let (_, generated) = university(&UniversityConfig {
+            researchers,
+            ..Default::default()
+        });
+
+        // The session: one engine, one registered query, one store.
+        let mut engine = omq_serve::ServingEngine::new(2);
+        let q = engine.register_query("office", &omq).expect("guarded OMQ");
+
+        // Ingest the generated facts through fixed-size transactions.
+        let ingest_start = Instant::now();
+        let mut txn = omq_serve::Txn::new();
+        let mut staged = 0usize;
+        let mut txns = 0usize;
+        for fact in generated.facts() {
+            let rel = generated.schema().name(fact.rel);
+            let args: Vec<&str> = fact
+                .args
+                .iter()
+                .map(|&v| match v {
+                    omq_data::Value::Const(c) => generated.const_name(c),
+                    omq_data::Value::Null(_) => unreachable!("generator emits S-databases"),
+                })
+                .collect();
+            txn = txn.insert(rel, &args);
+            staged += 1;
+            if staged == FACTS_PER_TXN {
+                engine.register_data(txn).expect("valid batch");
+                txn = omq_serve::Txn::new();
+                staged = 0;
+                txns += 1;
+            }
+        }
+        if staged > 0 {
+            engine.register_data(txn).expect("valid batch");
+            txns += 1;
+        }
+        let ingest_micros = ingest_start.elapsed().as_micros();
+        let facts = engine.store().len();
+        let throughput = if ingest_micros == 0 {
+            0.0
+        } else {
+            facts as f64 / (ingest_micros as f64 / 1e6)
+        };
+        last_throughput = throughput;
+
+        // Pin the loaded epoch and record its answers.
+        let pinned = engine.snapshot();
+        // Plans are cheap clones (shared `Arc` state): clone the handle out
+        // of the engine so the later `register_data` commit can borrow it
+        // mutably — the very pattern a writer task uses in production.
+        let plan = engine.plan(q).expect("registered").clone();
+        let mut before: Vec<Answer> = plan
+            .execute(&pinned)
+            .expect("guarded OMQ")
+            .answers(Semantics::MinimalPartial)
+            .expect("tractable query")
+            .collect();
+        before.sort();
+
+        // A late commit: complete chains, so fresh snapshots gain answers.
+        let late: Vec<[String; 2]> = (0..8)
+            .map(|i| [format!("zz_extra{i}"), format!("zz_office{i}")])
+            .collect();
+        let late_buildings: Vec<[String; 2]> = (0..8)
+            .map(|i| [format!("zz_office{i}"), "zz_hq".to_owned()])
+            .collect();
+        engine
+            .register_data(
+                omq_serve::Txn::new()
+                    .insert_all("HasOffice", &late)
+                    .insert_all("InBuilding", &late_buildings),
+            )
+            .expect("valid batch");
+
+        // Isolation: the pinned snapshot's answer multiset is unchanged.
+        let mut pinned_after: Vec<Answer> = plan
+            .execute(&pinned)
+            .expect("guarded OMQ")
+            .answers(Semantics::MinimalPartial)
+            .expect("tractable query")
+            .collect();
+        pinned_after.sort();
+        let isolated = pinned_after == before;
+
+        // Freshness: a fresh snapshot equals a from-scratch evaluation of
+        // the merged database (generator facts + the late batch).
+        let fresh = engine.snapshot();
+        let page = measure_take_k(
+            || {
+                plan.execute(&fresh)
+                    .expect("guarded OMQ")
+                    .answers(Semantics::MinimalPartial)
+                    .expect("tractable query")
+            },
+            1,
+        );
+        let mut merged = generated.clone();
+        for row in &late {
+            merged
+                .add_named_fact("HasOffice", row)
+                .expect("schema fits");
+        }
+        for row in &late_buildings {
+            merged
+                .add_named_fact("InBuilding", row)
+                .expect("schema fits");
+        }
+        let reference_instance = plan.execute(&merged).expect("guarded OMQ");
+        let mut reference: Vec<String> = reference_instance
+            .answers(Semantics::MinimalPartial)
+            .expect("tractable query")
+            .map(|a| reference_instance.format_answer(&a))
+            .collect();
+        reference.sort();
+        let fresh_instance = plan.execute(&fresh).expect("guarded OMQ");
+        let mut fresh_answers: Vec<String> = fresh_instance
+            .answers(Semantics::MinimalPartial)
+            .expect("tractable query")
+            .map(|a| fresh_instance.format_answer(&a))
+            .collect();
+        fresh_answers.sort();
+        let fresh_matches = fresh_answers == reference;
+        let gained = fresh_answers.len() > before.len();
+        let answers_equal = isolated && fresh_matches && gained;
+
+        let ttfa_micros = page.preprocess_micros + page.first_delay_nanos / 1_000;
+        facts_axis.push(facts as f64);
+        ttfa_micros_axis.push(ttfa_micros as f64);
+        table.push_row(vec![
+            researchers.to_string(),
+            facts.to_string(),
+            txns.to_string(),
+            ingest_micros.to_string(),
+            format!("{throughput:.0}"),
+            engine.epoch().to_string(),
+            ttfa_micros.to_string(),
+            page.first_delay_nanos.to_string(),
+            fresh_answers.len().to_string(),
+            answers_equal.to_string(),
+        ]);
+    }
+    let (ttfa_slope, _) = linear_fit(&facts_axis, &ttfa_micros_axis);
+    table.push_metric("facts_per_txn", FACTS_PER_TXN as f64);
+    table.push_metric("ingest_facts_per_sec", last_throughput);
+    table.push_metric("post_commit_ttfa_slope_us_per_fact", ttfa_slope);
+    table.push_metric(
+        "post_commit_ttfa_max_us",
+        ttfa_micros_axis.iter().copied().fold(0.0, f64::max),
+    );
+    table
+}
+
 /// Runs one experiment by identifier.
 pub fn run_experiment(id: &str, quick: bool) -> Option<Table> {
     match id.to_ascii_uppercase().as_str() {
@@ -1124,6 +1323,7 @@ pub fn run_experiment(id: &str, quick: bool) -> Option<Table> {
         "E12" => Some(e12_plan_columnar(quick)),
         "E13" => Some(e13_parallel_speedup(quick)),
         "E14" => Some(e14_cursor_pagination(quick)),
+        "E15" => Some(e15_live_store(quick)),
         _ => None,
     }
 }
@@ -1132,6 +1332,7 @@ pub fn run_experiment(id: &str, quick: bool) -> Option<Table> {
 pub fn run_all(quick: bool) -> Vec<Table> {
     [
         "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14",
+        "E15",
     ]
     .iter()
     .filter_map(|id| run_experiment(id, quick))
@@ -1195,6 +1396,20 @@ mod tests {
         assert!(names.contains(&"speedup_4_threads"));
         assert!(names.contains(&"delay_ratio_4_threads_vs_1"));
         assert!(names.contains(&"components"));
+    }
+
+    #[test]
+    fn e15_sessions_are_isolated_and_export_metrics() {
+        let table = e15_live_store(true);
+        assert_eq!(table.rows.len(), 4);
+        // The acceptance gate: pinned snapshots unchanged by the late
+        // commit, fresh snapshots equal to the from-scratch reference.
+        let equal_col = table.headers.len() - 1;
+        assert!(table.rows.iter().all(|r| r[equal_col] == "true"));
+        let names: Vec<&str> = table.metrics.iter().map(|(k, _)| k.as_str()).collect();
+        assert!(names.contains(&"ingest_facts_per_sec"));
+        assert!(names.contains(&"post_commit_ttfa_slope_us_per_fact"));
+        assert!(names.contains(&"facts_per_txn"));
     }
 
     #[test]

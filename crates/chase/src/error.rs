@@ -51,7 +51,15 @@ impl fmt::Display for ChaseError {
     }
 }
 
-impl std::error::Error for ChaseError {}
+impl std::error::Error for ChaseError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ChaseError::Cq(e) => Some(e),
+            ChaseError::Data(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<omq_cq::CqError> for ChaseError {
     fn from(e: omq_cq::CqError) -> Self {

@@ -65,7 +65,16 @@ impl fmt::Display for CoreError {
     }
 }
 
-impl std::error::Error for CoreError {}
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Cq(e) => Some(e),
+            CoreError::Chase(e) => Some(e),
+            CoreError::Data(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<omq_cq::CqError> for CoreError {
     fn from(e: omq_cq::CqError) -> Self {

@@ -65,7 +65,15 @@ impl QueryPlan {
     /// Falls back to the sequential path when `threads <= 1`, when the
     /// query's body is not connected (answers could combine values from
     /// several components), or when the database has a single component.
-    pub fn execute_parallel(&self, db: &Database, threads: usize) -> Result<PreparedInstance> {
+    ///
+    /// Like [`QueryPlan::execute`], accepts `&Database` or a store
+    /// [`omq_data::Snapshot`].
+    pub fn execute_parallel(
+        &self,
+        db: impl AsRef<Database>,
+        threads: usize,
+    ) -> Result<PreparedInstance> {
+        let db = db.as_ref();
         if threads <= 1 || !self.omq().query().is_connected() {
             return self.execute(db);
         }
@@ -402,7 +410,7 @@ mod tests {
     fn single_shard_structure_apis_error_on_sharded_instances() {
         let omq = office_omq();
         let plan = QueryPlan::compile(&omq).unwrap();
-        let parallel = plan.execute_parallel(&component_db(), 2).unwrap();
+        let parallel = plan.execute_parallel(component_db(), 2).unwrap();
         assert!(parallel.shard_count() > 1);
         assert!(matches!(
             parallel.complete_structure(),

@@ -125,9 +125,16 @@ impl QueryPlan {
     /// (query-directed chase, reusing the plan's memoised bag-type tables)
     /// and returns a [`PreparedInstance`] exposing every evaluation mode.
     ///
+    /// Accepts anything that views a [`Database`] — `&Database` as before,
+    /// or a store [`omq_data::Snapshot`] pinned at some epoch.  Snapshots of
+    /// one epoch share a single database allocation, so repeated executions
+    /// over them reuse the already-built columnar indexes instead of
+    /// recomputing per request.
+    ///
     /// For multi-core execution over component-rich databases see
     /// [`QueryPlan::execute_parallel`].
-    pub fn execute(&self, db: &Database) -> Result<PreparedInstance> {
+    pub fn execute(&self, db: impl AsRef<Database>) -> Result<PreparedInstance> {
+        let db = db.as_ref();
         let start = Instant::now();
         let chased = self.inner.chase.chase(db)?;
         let stats = PreprocessStats {
@@ -743,10 +750,10 @@ mod tests {
     fn second_execution_reuses_chase_memo() {
         let omq = office_omq();
         let plan = QueryPlan::compile(&omq).unwrap();
-        let first = plan.execute(&db_one()).unwrap();
+        let first = plan.execute(db_one()).unwrap();
         let types = plan.chase_plan().memoized_bag_types();
         assert!(types > 0);
-        let second = plan.execute(&db_one()).unwrap();
+        let second = plan.execute(db_one()).unwrap();
         // Same shape, so the second run hits the memo for every bag.
         assert!(second.stats().memo_hits >= first.stats().memo_hits);
         assert_eq!(plan.chase_plan().memoized_bag_types(), types);

@@ -46,7 +46,14 @@ impl fmt::Display for CqError {
     }
 }
 
-impl std::error::Error for CqError {}
+impl std::error::Error for CqError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CqError::Data(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<omq_data::DataError> for CqError {
     fn from(e: omq_data::DataError) -> Self {

@@ -108,6 +108,12 @@ pub struct ColumnarIndex {
     /// Mention CSR: value code → fact indices mentioning the value.
     mention_offsets: Vec<u32>,
     mention_facts: Vec<usize>,
+    /// The owning database's [`Database::revision`] at build time.  Because
+    /// the database drops the index on every mutation, an index that is
+    /// reachable always carries the current revision — the tag makes the
+    /// invariant checkable (and lets copy-on-write snapshots assert that a
+    /// shared index belongs to the data it serves).
+    revision: u64,
 }
 
 impl ColumnarIndex {
@@ -153,6 +159,7 @@ impl ColumnarIndex {
             columns,
             mention_offsets,
             mention_facts,
+            revision: db.revision(),
         }
     }
 
@@ -226,6 +233,13 @@ impl ColumnarIndex {
     pub fn relation_count(&self) -> usize {
         self.columns.len()
     }
+
+    /// The [`Database::revision`] this index was built at (invariant 1: equal
+    /// to the owning database's current revision whenever the index is
+    /// reachable).
+    pub fn revision(&self) -> u64 {
+        self.revision
+    }
 }
 
 #[cfg(test)]
@@ -292,9 +306,14 @@ mod tests {
         let r = db.schema().relation_id("R").unwrap();
         let a = Value::Const(db.const_id("a").unwrap());
         assert_eq!(db.facts_with(r, 0, a).len(), 2); // builds the index
+        let built_at = db.columnar().revision();
+        assert_eq!(built_at, db.revision());
         db.add_named_fact("R", &["a", "z"]).unwrap(); // invalidates it
         assert_eq!(db.facts_with(r, 0, a).len(), 3); // rebuilt lazily
         let z = Value::Const(db.const_id("z").unwrap());
         assert_eq!(db.facts_mentioning(z).len(), 1);
+        // The rebuilt index carries the post-mutation revision tag.
+        assert!(db.columnar().revision() > built_at);
+        assert_eq!(db.columnar().revision(), db.revision());
     }
 }

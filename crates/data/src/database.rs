@@ -46,6 +46,11 @@ pub struct Database {
     /// Lazily built columnar index; reset on every mutation.
     columnar: OnceLock<ColumnarIndex>,
     next_null: u32,
+    /// Monotone mutation counter: bumped by every operation that changes the
+    /// fact table or the schema (`add_fact`, `add_relation`, `absorb`).  The
+    /// columnar index records the revision it was built at, and store
+    /// epochs/snapshots use it as a cheap identity tag.
+    revision: u64,
 }
 
 impl Clone for Database {
@@ -65,6 +70,7 @@ impl Clone for Database {
             null_code: self.null_code.clone(),
             columnar: OnceLock::new(),
             next_null: self.next_null,
+            revision: self.revision,
         }
     }
 }
@@ -84,6 +90,7 @@ impl Database {
             null_code: Vec::new(),
             columnar: OnceLock::new(),
             next_null: 0,
+            revision: 0,
         }
     }
 
@@ -107,13 +114,18 @@ impl Database {
     /// lists are extended and the columnar index is invalidated so that the
     /// next lookup sees columns for the new symbol as well.
     pub fn add_relation(&mut self, name: &str, arity: usize) -> Result<RelId> {
+        let before = self.schema.len();
         let id = self.schema.add_relation(name, arity)?;
-        while self.by_relation.len() < self.schema.len() {
-            self.by_relation.push(Vec::new());
+        if self.schema.len() > before {
+            while self.by_relation.len() < self.schema.len() {
+                self.by_relation.push(Vec::new());
+            }
+            // A previously built index has no columns for the new relation;
+            // rebuild on the next lookup.  Re-declaring an existing relation
+            // (same arity) is a true no-op: the index and revision stand.
+            self.columnar = OnceLock::new();
+            self.revision += 1;
         }
-        // A previously built index has no columns for the new relation;
-        // rebuild on the next lookup.
-        self.columnar = OnceLock::new();
         Ok(id)
     }
 
@@ -219,6 +231,7 @@ impl Database {
         self.fact_set.insert(fact.clone());
         self.facts.push(fact);
         self.columnar = OnceLock::new();
+        self.revision += 1;
         Ok(true)
     }
 
@@ -262,7 +275,18 @@ impl Database {
     /// The columnar index of this database, building it in one linear pass if
     /// a mutation invalidated (or nothing yet requested) it.
     pub fn columnar(&self) -> &ColumnarIndex {
-        self.columnar.get_or_init(|| ColumnarIndex::build(self))
+        let index = self.columnar.get_or_init(|| ColumnarIndex::build(self));
+        // Mutations drop the index, so a reachable index is always current.
+        debug_assert_eq!(index.revision(), self.revision);
+        index
+    }
+
+    /// The monotone mutation counter of this database: bumped by every
+    /// `add_fact`/`add_relation`/`absorb`.  Two databases cloned from one
+    /// another diverge in revision as soon as either mutates, which makes the
+    /// revision a cheap identity tag for copy-on-write snapshots.
+    pub fn revision(&self) -> u64 {
+        self.revision
     }
 
     /// Returns `true` iff the fact is present.
@@ -411,6 +435,7 @@ impl Database {
             self.by_relation.push(Vec::new());
         }
         self.columnar = OnceLock::new();
+        self.revision += 1;
         // Relation ids may differ between the two schemas; remap by name.
         for fact in other.facts() {
             let name = other.schema().name(fact.rel).to_owned();
@@ -575,6 +600,14 @@ impl Database {
     pub fn display_fact(&self, fact: &Fact) -> String {
         let args: Vec<String> = fact.args.iter().map(|&v| self.display_value(v)).collect();
         format!("{}({})", self.schema.name(fact.rel), args.join(","))
+    }
+}
+
+/// The identity conversion, so that APIs taking `impl AsRef<Database>` (plan
+/// execution, serving) accept `&Database` and store snapshots uniformly.
+impl AsRef<Database> for Database {
+    fn as_ref(&self) -> &Database {
+        self
     }
 }
 
@@ -795,6 +828,13 @@ mod tests {
         let empty = db.add_relation("Q_db", 2).unwrap();
         assert!(db.facts_of(empty).is_empty());
         assert!(db.facts_with(empty, 0, mary).is_empty());
+        // Re-declaring an existing relation (same arity) is a true no-op:
+        // the revision stands and the built index is not discarded.
+        let _ = db.columnar(); // force the index
+        let revision = db.revision();
+        assert_eq!(db.add_relation("Q_db", 2).unwrap(), empty);
+        assert_eq!(db.revision(), revision);
+        assert!(db.columnar.get().is_some(), "index survived the no-op");
     }
 
     #[test]

@@ -59,6 +59,15 @@ impl Interner {
         self.names.len()
     }
 
+    /// The version of this interner snapshot: the monotone count of interned
+    /// symbols.  Because the interner is append-only, two snapshots with the
+    /// same version resolve every identifier identically — a cheap staleness
+    /// tag for the copy-on-write `Arc<Interner>` sharing between databases
+    /// (the analogue of `Database::revision` for the constant table).
+    pub fn version(&self) -> u64 {
+        self.names.len() as u64
+    }
+
     /// Returns `true` if nothing has been interned yet.
     pub fn is_empty(&self) -> bool {
         self.names.is_empty()
@@ -85,6 +94,8 @@ mod tests {
         let a2 = interner.intern("mary");
         assert_eq!(a, a2);
         assert_ne!(a, b);
+        // Re-interning does not advance the version; new symbols do.
+        assert_eq!(interner.version(), 2);
         assert_eq!(interner.resolve(a), "mary");
         assert_eq!(interner.resolve(b), "john");
         assert_eq!(interner.len(), 2);

@@ -17,7 +17,11 @@
 //!   [`wildcard`];
 //! * the **unified answer value** ([`Answer`]) and semantics selector
 //!   ([`Semantics`]) shared by the enumeration cursors upstream, see
-//!   [`answer`].
+//!   [`answer`];
+//! * the long-lived **fact store** with transactional batch ingestion and
+//!   copy-on-write, epoch-tagged snapshots ([`Store`] / [`Txn`] /
+//!   [`Snapshot`]) — the session substrate of the serving layer, see
+//!   [`store`].
 //!
 //! Everything downstream (conjunctive queries, the chase, the enumeration
 //! engines) is built on top of these types.
@@ -33,6 +37,7 @@ pub mod fact;
 pub mod gaifman;
 pub mod interner;
 pub mod schema;
+pub mod store;
 pub mod value;
 pub mod wildcard;
 
@@ -43,6 +48,7 @@ pub use error::DataError;
 pub use fact::Fact;
 pub use interner::Interner;
 pub use schema::{RelId, Relation, Schema};
+pub use store::{CommitReceipt, Snapshot, Store, Txn};
 pub use value::{ConstId, NullId, Value};
 pub use wildcard::{
     multi_wildcard_ball, multi_wildcard_cone, MultiTuple, MultiValue, PartialTuple, PartialValue,

@@ -1,62 +1,81 @@
-//! A concurrent batch-serving front end over compiled OMQ query plans.
+//! A session-oriented serving front end: one long-lived [`Store`] plus a
+//! catalogue of named, compiled OMQ plans.
 //!
 //! The compile-once/execute-many split of `omq-core` (`QueryPlan` /
 //! `PreparedInstance`) was built for serving workloads: a fixed catalogue of
-//! ontology-mediated queries compiled up front, per-request databases only
-//! charged the data-linear work.  [`ServingEngine`] is that front end:
+//! ontology-mediated queries compiled up front, per-request evaluation only
+//! charged the data-linear work.  [`ServingEngine`] is that front end, now
+//! organised as a **session** over live data:
 //!
-//! * a **catalogue** of named, compiled [`QueryPlan`]s ([`ServingEngine::register`]);
-//! * [`ServingEngine::serve_batch`] evaluates a batch of
-//!   (query-id, database, semantics) [`Request`]s across a fixed pool of
-//!   scoped worker threads (shared-nothing: workers pull requests off an
-//!   atomic cursor and never exchange state beyond the immutable catalogue);
+//! * a **store**: the engine owns one [`Store`] — a mutable fact store with
+//!   transactional batch ingestion ([`ServingEngine::register_data`] commits
+//!   a [`Txn`]) and cheap copy-on-write [`Snapshot`]s
+//!   ([`ServingEngine::snapshot`]).  Registering a query merges its data
+//!   schema into the store, so the store always accepts the facts the
+//!   catalogue can query;
+//! * a **catalogue** of named, compiled [`QueryPlan`]s
+//!   ([`ServingEngine::register_query`]), addressable by [`QueryId`] or by
+//!   name;
+//! * **owned requests**: a [`Request`] is a plain value naming a catalogued
+//!   query (by id or name) and the data to evaluate it over — the store head,
+//!   a pinned [`Snapshot`], or an ad-hoc database — with optional
+//!   `limit`/`offset` work bounds.  Requests borrow nothing, so they can be
+//!   built, queued, cloned, and shipped across threads freely;
+//! * **snapshot pinning**: [`ServingEngine::serve_batch`] /
+//!   [`ServingEngine::serve_stream`] pin one snapshot per request at open
+//!   time, so concurrent commits never invalidate an in-flight enumeration —
+//!   an [`AnswerStream`] opened on a snapshot keeps yielding after
+//!   arbitrarily many commits, and after the engine itself is dropped;
 //! * per-request **work bounds**: [`Request::with_limit`] /
 //!   [`Request::with_offset`] page through an answer stream without ever
-//!   materialising the full answer set — the engine stops enumerating after
-//!   `offset + limit + 1` answers (the `+ 1` detects [`Response::truncated`]),
-//!   which is `O(limit)` enumeration work thanks to the constant-delay
-//!   cursor;
-//! * [`ServingEngine::serve_stream`] hands out the **lazy cursor itself**
-//!   ([`StreamedResponse`] wraps `omq_core::AnswerStream`): the caller pulls
-//!   answers one at a time, can stop at any point for `O(answers pulled)`
-//!   cost, and may park the stream across await points or requests — the
-//!   stream owns its data (it borrows neither the engine nor the request);
-//! * per-request **data parallelism** can be layered on top via
+//!   materialising the full answer set (`O(offset + limit)` enumeration work
+//!   thanks to the constant-delay cursor);
+//! * per-request **data parallelism** via
 //!   [`ServingEngine::with_data_parallelism`], which routes executions
 //!   through `QueryPlan::execute_parallel` (Gaifman-component sharding).
 //!
-//! All catalogue state is immutable during serving and `ServingEngine` is
-//! `Send + Sync`, so one engine can be shared by any number of callers.
+//! The catalogue and the store head are only mutated through `&mut self`
+//! entry points; serving itself is `&self` and `ServingEngine` is
+//! `Send + Sync`, so one engine can be shared by any number of reader
+//! threads between writes.
 //!
 //! ```
 //! use omq_chase::{Ontology, OntologyMediatedQuery};
 //! use omq_cq::ConjunctiveQuery;
-//! use omq_data::Database;
-//! use omq_serve::{Request, Semantics, ServingEngine};
+//! use omq_serve::{Request, Semantics, ServingEngine, Txn};
 //!
 //! let ontology = Ontology::parse("Researcher(x) -> exists y. HasOffice(x, y)")?;
 //! let query = ConjunctiveQuery::parse("q(x, y) :- HasOffice(x, y)")?;
 //! let omq = OntologyMediatedQuery::new(ontology, query)?;
 //!
+//! // The session: one engine owning a store plus a catalogue.
 //! let mut engine = ServingEngine::new(4);
-//! let offices = engine.register("offices", &omq)?;
+//! let offices = engine.register_query("offices", &omq)?;
+//! engine.register_data(
+//!     Txn::new()
+//!         .insert("Researcher", ["mary"])
+//!         .insert("Researcher", ["ada"]),
+//! )?;
 //!
-//! let db = Database::builder(omq.data_schema().clone())
-//!     .fact("Researcher", ["mary"])
-//!     .fact("Researcher", ["ada"])
-//!     .build()?;
-//!
-//! // Batch path: bounded per-request work via the builder.
+//! // Requests are owned values naming a query; by default they evaluate
+//! // over the store head, pinned per request.
 //! let responses = engine.serve_batch(&[
-//!     Request::new(offices, &db, Semantics::MinimalPartial).with_limit(1),
+//!     Request::new(offices, Semantics::MinimalPartial).with_limit(1),
 //! ]);
 //! let response = responses[0].as_ref().unwrap();
 //! assert_eq!(response.answers.len(), 1); // (mary, *) — or (ada, *)
 //! assert!(response.truncated); // one more answer existed
 //!
-//! // Streaming path: pull answers lazily off the cursor.
-//! let stream = engine.serve_stream(&Request::new(offices, &db, Semantics::MinimalPartial))?;
-//! assert_eq!(stream.count(), 2);
+//! // Pin a snapshot: later commits never change what it answers.
+//! let pinned = engine.snapshot();
+//! engine.register_data(Txn::new().insert("Researcher", ["bob"]))?;
+//! let before =
+//!     engine.serve_one(&Request::new(offices, Semantics::MinimalPartial).at(pinned))?;
+//! assert_eq!(before.answers.len(), 2);
+//!
+//! // A fresh request (here by name) sees the new facts — same compiled plan.
+//! let after = engine.serve_stream(&Request::by_name("offices", Semantics::MinimalPartial))?;
+//! assert_eq!(after.count(), 3);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
@@ -69,12 +88,19 @@ use omq_data::{Answer, ConstId, Database, MultiTuple, PartialTuple};
 use rustc_hash::FxHashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
-pub use omq_data::Semantics;
+pub use omq_data::{CommitReceipt, DataError, Semantics, Snapshot, Store, Txn};
 
 /// The answer semantics of a request.
 #[deprecated(note = "use `Semantics` — `AnswerMode` is a pre-cursor-API alias")]
 pub type AnswerMode = Semantics;
+
+/// Pre-session `Request<'a>` borrowed its database and therefore carried a
+/// lifetime.  Requests are owned values now; this alias keeps old type
+/// annotations compiling while they migrate.
+#[deprecated(note = "requests are owned now — use `Request` (no lifetime parameter)")]
+pub type BorrowedRequest<'a> = Request;
 
 /// Errors raised by the serving front end.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -83,6 +109,10 @@ pub enum ServeError {
     DuplicateQuery(String),
     /// A request referenced a query id that is not in the catalogue.
     UnknownQuery(usize),
+    /// A request referenced a query name that is not in the catalogue.
+    UnknownQueryName(String),
+    /// A store/data error bubbled up from ingestion or schema merging.
+    Data(DataError),
     /// A compilation or execution error bubbled up from the core engine.
     Core(CoreError),
 }
@@ -94,16 +124,32 @@ impl fmt::Display for ServeError {
                 write!(f, "query `{name}` is already registered")
             }
             ServeError::UnknownQuery(id) => write!(f, "unknown query id {id}"),
+            ServeError::UnknownQueryName(name) => write!(f, "unknown query name `{name}`"),
+            ServeError::Data(e) => write!(f, "store error: {e}"),
             ServeError::Core(e) => write!(f, "core engine error: {e}"),
         }
     }
 }
 
-impl std::error::Error for ServeError {}
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Data(e) => Some(e),
+            ServeError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<CoreError> for ServeError {
     fn from(e: CoreError) -> Self {
         ServeError::Core(e)
+    }
+}
+
+impl From<DataError> for ServeError {
+    fn from(e: DataError) -> Self {
+        ServeError::Data(e)
     }
 }
 
@@ -113,6 +159,142 @@ pub type Result<T> = std::result::Result<T, ServeError>;
 /// Handle to a compiled plan in a [`ServingEngine`] catalogue.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct QueryId(usize);
+
+/// Names a catalogued query inside a [`Request`]: by compiled handle or by
+/// registration name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryRef {
+    /// A [`QueryId`] returned by [`ServingEngine::register_query`].
+    Id(QueryId),
+    /// The name the query was registered under.
+    Name(String),
+}
+
+impl From<QueryId> for QueryRef {
+    fn from(id: QueryId) -> Self {
+        QueryRef::Id(id)
+    }
+}
+
+impl From<&str> for QueryRef {
+    fn from(name: &str) -> Self {
+        QueryRef::Name(name.to_owned())
+    }
+}
+
+impl From<String> for QueryRef {
+    fn from(name: String) -> Self {
+        QueryRef::Name(name)
+    }
+}
+
+/// Names the data a [`Request`] evaluates over.
+#[derive(Debug, Clone, Default)]
+pub enum DataRef {
+    /// The engine's store head, pinned to a fresh [`Snapshot`] when the
+    /// request is opened (the default).
+    #[default]
+    Head,
+    /// A caller-pinned snapshot: the request sees exactly this epoch, no
+    /// matter how many commits happen in between.
+    Snapshot(Snapshot),
+    /// An ad-hoc database outside the engine's store (e.g. per-tenant data
+    /// shipped with the request).
+    Database(Arc<Database>),
+}
+
+/// One unit of serving work: evaluate a catalogued query over some data,
+/// optionally bounded by a result window.
+///
+/// A request is an **owned value** — it names its query ([`QueryRef`]) and
+/// its data ([`DataRef`]) instead of borrowing them, so requests can be
+/// built ahead of time, queued, cloned, and moved across threads.  Built in
+/// builder style:
+///
+/// ```ignore
+/// Request::new(id, Semantics::MinimalPartial)  // store head…
+///     .at(snapshot)                            // …or a pinned snapshot
+///     .with_offset(100)
+///     .with_limit(50)
+/// ```
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// The catalogued query to evaluate (by id or by name).
+    pub query: QueryRef,
+    /// The data to evaluate it over (store head by default).
+    pub data: DataRef,
+    /// The answer semantics to produce.
+    pub semantics: Semantics,
+    /// Maximum number of answers to return (`None` = unbounded).  A bounded
+    /// request performs `O(offset + limit)` enumeration work, never
+    /// materialising the full answer set.
+    pub limit: Option<usize>,
+    /// Number of leading answers to skip — the pagination cursor.
+    pub offset: usize,
+}
+
+impl Request {
+    /// Builds an unbounded request over the engine's store head.
+    pub fn new(query: impl Into<QueryRef>, semantics: Semantics) -> Self {
+        Request {
+            query: query.into(),
+            data: DataRef::Head,
+            semantics,
+            limit: None,
+            offset: 0,
+        }
+    }
+
+    /// Builds a request addressing the query by its registration name.
+    pub fn by_name(name: &str, semantics: Semantics) -> Self {
+        Request::new(name, semantics)
+    }
+
+    /// Evaluates over a pinned [`Snapshot`] instead of the store head.  Use
+    /// one snapshot across several requests for a consistent multi-request
+    /// read (e.g. the pages of one pagination session).
+    pub fn at(mut self, snapshot: Snapshot) -> Self {
+        self.data = DataRef::Snapshot(snapshot);
+        self
+    }
+
+    /// Evaluates over an ad-hoc database outside the engine's store.
+    /// Accepts an owned [`Database`] or a shared `Arc<Database>` (use the
+    /// latter to reuse one database across requests without copying).
+    pub fn with_database(mut self, database: impl Into<Arc<Database>>) -> Self {
+        self.data = DataRef::Database(database.into());
+        self
+    }
+
+    /// Pre-session constructor: borrow a database for one request.  The
+    /// database is **cloned** into the owned request; callers that reuse a
+    /// database across requests should share an `Arc<Database>` via
+    /// [`Request::with_database`] instead.
+    #[deprecated(
+        note = "use `Request::new(query, semantics).with_database(...)` — requests \
+                         own their data now"
+    )]
+    pub fn for_database(query: QueryId, database: &Database, semantics: Semantics) -> Self {
+        Request::new(query, semantics).with_database(database.clone())
+    }
+
+    /// Caps the number of answers returned.  A million-user front end sets
+    /// this on every request: the engine stops enumerating right after the
+    /// window (one extra probe detects truncation).
+    pub fn with_limit(mut self, limit: usize) -> Self {
+        self.limit = Some(limit);
+        self
+    }
+
+    /// Skips the first `offset` answers — combine with
+    /// [`Request::with_limit`] for stateless pagination (the enumeration
+    /// order is deterministic for a fixed plan and database; pin one
+    /// [`Snapshot`] across the pages to also fix the data).
+    pub fn with_offset(mut self, offset: usize) -> Self {
+        self.offset = offset;
+        self
+    }
+}
 
 /// The answers of one served request, in the semantics the request asked for.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -174,66 +356,14 @@ impl AnswerSet {
     }
 }
 
-/// One unit of serving work: evaluate a catalogued query over a database,
-/// optionally bounded by a result window.
-///
-/// Built in builder style:
-///
-/// ```ignore
-/// Request::new(id, &db, Semantics::MinimalPartial)
-///     .with_offset(100)
-///     .with_limit(50)
-/// ```
-#[derive(Debug, Clone, Copy)]
-pub struct Request<'a> {
-    /// The catalogued query to evaluate.
-    pub query: QueryId,
-    /// The database to evaluate it over.
-    pub database: &'a Database,
-    /// The answer semantics to produce.
-    pub semantics: Semantics,
-    /// Maximum number of answers to return (`None` = unbounded).  A bounded
-    /// request performs `O(offset + limit)` enumeration work, never
-    /// materialising the full answer set.
-    pub limit: Option<usize>,
-    /// Number of leading answers to skip — the pagination cursor.
-    pub offset: usize,
-}
-
-impl<'a> Request<'a> {
-    /// Builds an unbounded request.
-    pub fn new(query: QueryId, database: &'a Database, semantics: Semantics) -> Self {
-        Request {
-            query,
-            database,
-            semantics,
-            limit: None,
-            offset: 0,
-        }
-    }
-
-    /// Caps the number of answers returned.  A million-user front end sets
-    /// this on every request: the engine stops enumerating right after the
-    /// window (one extra probe detects truncation).
-    pub fn with_limit(mut self, limit: usize) -> Self {
-        self.limit = Some(limit);
-        self
-    }
-
-    /// Skips the first `offset` answers — combine with
-    /// [`Request::with_limit`] for stateless pagination (the enumeration
-    /// order is deterministic for a fixed plan and database).
-    pub fn with_offset(mut self, offset: usize) -> Self {
-        self.offset = offset;
-        self
-    }
-}
-
 /// The response to one [`Request`].
 #[derive(Debug, Clone)]
 pub struct Response {
-    /// The query that was evaluated.
+    /// The query that was evaluated (resolved to its catalogue id).
     pub query: QueryId,
+    /// The store epoch the request was served at (`None` for ad-hoc
+    /// databases outside the store).
+    pub epoch: Option<u64>,
     /// The answers inside the request's `offset`/`limit` window, in the
     /// requested semantics.
     pub answers: AnswerSet,
@@ -247,12 +377,14 @@ pub struct Response {
 /// pullable cursor ([`Iterator<Item = Answer>`]).
 ///
 /// The stream owns its data (plan handles plus chased shards), so it is
-/// independent of the borrow on the [`ServingEngine`] and of the request's
-/// database reference; it can be parked, resumed, or dropped mid-way, and
-/// every pulled answer costs constant enumeration work.
+/// independent of the engine, the request, and the store: it can be parked,
+/// resumed, or dropped mid-way, survives concurrent
+/// [`ServingEngine::register_data`] commits, and every pulled answer costs
+/// constant enumeration work.
 #[derive(Debug)]
 pub struct StreamedResponse {
     query: QueryId,
+    epoch: Option<u64>,
     stats: PreprocessStats,
     stream: AnswerStream,
     /// Answers still to be yielded under the request's limit.
@@ -263,6 +395,11 @@ impl StreamedResponse {
     /// The query this stream answers.
     pub fn query(&self) -> QueryId {
         self.query
+    }
+
+    /// The store epoch pinned by this stream (`None` for ad-hoc databases).
+    pub fn epoch(&self) -> Option<u64> {
+        self.epoch
     }
 
     /// Preprocessing statistics of the execution behind this stream.
@@ -304,11 +441,11 @@ impl Iterator for StreamedResponse {
 
 impl std::iter::FusedIterator for StreamedResponse {}
 
-/// A catalogue of compiled plans plus a fixed-size worker pool serving
-/// batches of (query, database) requests.  See the crate docs for an
-/// end-to-end example.
+/// A serving session: one [`Store`] plus a catalogue of compiled plans and a
+/// fixed-size worker pool.  See the crate docs for an end-to-end example.
 #[derive(Debug)]
 pub struct ServingEngine {
+    store: Store,
     plans: Vec<(String, QueryPlan)>,
     by_name: FxHashMap<String, usize>,
     workers: usize,
@@ -316,17 +453,29 @@ pub struct ServingEngine {
 }
 
 impl ServingEngine {
-    /// Creates an engine with a pool of `workers` threads for batch serving
-    /// (clamped to at least one).  Requests are evaluated sequentially
-    /// within a worker; see [`ServingEngine::with_data_parallelism`] to also
-    /// shard individual executions.
+    /// Creates an engine with an empty store and a pool of `workers` threads
+    /// for batch serving (clamped to at least one).  The store schema grows
+    /// automatically as queries are registered; see
+    /// [`ServingEngine::with_store`] to start from preloaded data.
     pub fn new(workers: usize) -> Self {
         ServingEngine {
+            store: Store::new(omq_data::Schema::new()),
             plans: Vec::new(),
             by_name: FxHashMap::default(),
             workers: workers.max(1),
             data_parallelism: 1,
         }
+    }
+
+    /// Replaces the engine's store (e.g. with a bulk-preloaded one).  Any
+    /// queries already registered keep their plans; their data schemas are
+    /// re-merged into the new store.
+    pub fn with_store(mut self, store: Store) -> Result<Self> {
+        self.store = store;
+        for (_, plan) in &self.plans {
+            self.store.merge_schema(plan.omq().data_schema())?;
+        }
+        Ok(self)
     }
 
     /// Additionally shards every execution over up to `threads` threads via
@@ -344,15 +493,48 @@ impl ServingEngine {
         self.workers
     }
 
-    /// Compiles `omq` with default configuration and adds it to the
-    /// catalogue under `name`.
-    pub fn register(&mut self, name: &str, omq: &OntologyMediatedQuery) -> Result<QueryId> {
+    /// The engine's store (read access; commits go through
+    /// [`ServingEngine::register_data`]).
+    pub fn store(&self) -> &Store {
+        &self.store
+    }
+
+    /// Mutable access to the store, for operations beyond
+    /// [`ServingEngine::register_data`] (bulk preloads, manual schema
+    /// merges).
+    pub fn store_mut(&mut self) -> &mut Store {
+        &mut self.store
+    }
+
+    /// Pins the current store head (see [`Store::snapshot`]): cheap, and
+    /// immune to later commits.
+    pub fn snapshot(&self) -> Snapshot {
+        self.store.snapshot()
+    }
+
+    /// The store's current epoch.
+    pub fn epoch(&self) -> u64 {
+        self.store.epoch()
+    }
+
+    /// Commits a transaction of data changes to the engine's store
+    /// (commit-or-rollback; see [`Store::commit`]).  In-flight streams and
+    /// pinned snapshots are unaffected; requests opened afterwards against
+    /// the head see the new facts — through the same compiled plans, nothing
+    /// is recompiled.
+    pub fn register_data(&mut self, txn: Txn) -> Result<CommitReceipt> {
+        Ok(self.store.commit(txn)?)
+    }
+
+    /// Compiles `omq` with default configuration, adds it to the catalogue
+    /// under `name`, and merges its data schema into the store.
+    pub fn register_query(&mut self, name: &str, omq: &OntologyMediatedQuery) -> Result<QueryId> {
         let plan = QueryPlan::compile(omq)?;
         self.register_plan(name, plan)
     }
 
     /// Compiles `omq` with an explicit configuration and catalogues it.
-    pub fn register_with(
+    pub fn register_query_with(
         &mut self,
         name: &str,
         omq: &OntologyMediatedQuery,
@@ -362,15 +544,34 @@ impl ServingEngine {
         self.register_plan(name, plan)
     }
 
-    /// Adds an already-compiled plan to the catalogue under `name`.
+    /// Adds an already-compiled plan to the catalogue under `name`, merging
+    /// its data schema into the store.
     pub fn register_plan(&mut self, name: &str, plan: QueryPlan) -> Result<QueryId> {
         if self.by_name.contains_key(name) {
             return Err(ServeError::DuplicateQuery(name.to_owned()));
         }
+        self.store.merge_schema(plan.omq().data_schema())?;
         let id = self.plans.len();
         self.plans.push((name.to_owned(), plan));
         self.by_name.insert(name.to_owned(), id);
         Ok(QueryId(id))
+    }
+
+    /// Pre-session name for [`ServingEngine::register_query`].
+    #[deprecated(note = "use `register_query`")]
+    pub fn register(&mut self, name: &str, omq: &OntologyMediatedQuery) -> Result<QueryId> {
+        self.register_query(name, omq)
+    }
+
+    /// Pre-session name for [`ServingEngine::register_query_with`].
+    #[deprecated(note = "use `register_query_with`")]
+    pub fn register_with(
+        &mut self,
+        name: &str,
+        omq: &OntologyMediatedQuery,
+        config: &EngineConfig,
+    ) -> Result<QueryId> {
+        self.register_query_with(name, omq, config)
     }
 
     /// Looks up a catalogued query by name.
@@ -396,18 +597,44 @@ impl ServingEngine {
         self.plans.is_empty()
     }
 
-    /// Executes the request's plan over its database and opens the answer
-    /// cursor (the chase plus the per-shard enumeration preprocessing; every
-    /// answer pulled afterwards is constant work).
-    fn open_stream(&self, request: &Request) -> Result<(AnswerStream, PreprocessStats)> {
-        let plan = self.plan(request.query)?;
+    /// Resolves a query reference to its catalogue id and compiled plan.
+    fn resolve_query(&self, query: &QueryRef) -> Result<(QueryId, &QueryPlan)> {
+        let id = match query {
+            QueryRef::Id(id) => *id,
+            QueryRef::Name(name) => self
+                .query_id(name)
+                .ok_or_else(|| ServeError::UnknownQueryName(name.clone()))?,
+        };
+        Ok((id, self.plan(id)?))
+    }
+
+    /// Executes the request's plan over its (pinned) data and opens the
+    /// answer cursor (the chase plus the per-shard enumeration
+    /// preprocessing; every answer pulled afterwards is constant work).
+    fn open_stream(
+        &self,
+        request: &Request,
+    ) -> Result<(QueryId, Option<u64>, AnswerStream, PreprocessStats)> {
+        let (id, plan) = self.resolve_query(&request.query)?;
+        // Pin the data *before* executing: `Head` resolves to a snapshot of
+        // the store at this instant, so the returned stream is isolated from
+        // every later commit.
+        let pinned;
+        let (db, epoch): (&Database, Option<u64>) = match &request.data {
+            DataRef::Head => {
+                pinned = self.store.snapshot();
+                (pinned.database(), Some(pinned.epoch()))
+            }
+            DataRef::Snapshot(snapshot) => (snapshot.database(), Some(snapshot.epoch())),
+            DataRef::Database(db) => (db, None),
+        };
         let instance = if self.data_parallelism > 1 {
-            plan.execute_parallel(request.database, self.data_parallelism)?
+            plan.execute_parallel(db, self.data_parallelism)?
         } else {
-            plan.execute(request.database)?
+            plan.execute(db)?
         };
         let stream = instance.answers(request.semantics)?;
-        Ok((stream, *instance.stats()))
+        Ok((id, epoch, stream, *instance.stats()))
     }
 
     /// Serves one request lazily: returns the cursor over the request's
@@ -415,7 +642,7 @@ impl ServingEngine {
     /// applied eagerly (skipped answers are enumerated but not built into a
     /// response); the limit is enforced by the returned iterator.
     pub fn serve_stream(&self, request: &Request) -> Result<StreamedResponse> {
-        let (mut stream, stats) = self.open_stream(request)?;
+        let (query, epoch, mut stream, stats) = self.open_stream(request)?;
         for _ in 0..request.offset {
             if stream.next().is_none() {
                 break;
@@ -425,7 +652,8 @@ impl ServingEngine {
             return Err(e.clone().into());
         }
         Ok(StreamedResponse {
-            query: request.query,
+            query,
+            epoch,
             stats,
             stream,
             remaining: request.limit,
@@ -443,14 +671,20 @@ impl ServingEngine {
         }
         // The iterator stops at the limit; one extra probe on the raw stream
         // detects whether the window cut the enumeration short.
-        let stats = streamed.stats;
-        let mut stream = streamed.stream;
+        let StreamedResponse {
+            query,
+            epoch,
+            stats,
+            mut stream,
+            ..
+        } = streamed;
         let truncated = request.limit.is_some() && stream.next().is_some();
         if let Some(e) = stream.error() {
             return Err(e.clone().into());
         }
         Ok(Response {
-            query: request.query,
+            query,
+            epoch,
             answers,
             truncated,
             stats,
@@ -463,9 +697,10 @@ impl ServingEngine {
     /// Shared-nothing scheduling: workers claim request indices off an
     /// atomic cursor, evaluate against the immutable catalogue (warming the
     /// plans' shared chase memos as a side effect), and only the collected
-    /// results are merged at the end.  A failed request does not affect the
-    /// others.  Per-request `limit`/`offset` windows are honoured, so a
-    /// batch of bounded requests never materialises an unbounded answer set.
+    /// results are merged at the end.  Each request pins its own snapshot at
+    /// open time.  A failed request does not affect the others.  Per-request
+    /// `limit`/`offset` windows are honoured, so a batch of bounded requests
+    /// never materialises an unbounded answer set.
     pub fn serve_batch(&self, requests: &[Request]) -> Vec<Result<Response>> {
         let n = requests.len();
         let workers = self.workers.min(n.max(1));
@@ -506,13 +741,16 @@ impl ServingEngine {
     }
 }
 
-// The whole point of the engine is to be shared across request threads.
+// The whole point of the engine is to be shared across request threads, and
+// requests/snapshots are the values shipped between them.
 const _: () = {
     const fn assert_send_sync<T: Send + Sync>() {}
     const fn assert_send<T: Send>() {}
     assert_send_sync::<ServingEngine>();
-    assert_send_sync::<Request<'static>>();
+    assert_send_sync::<Request>();
     assert_send_sync::<Response>();
+    assert_send_sync::<Snapshot>();
+    assert_send_sync::<Txn>();
     assert_send::<StreamedResponse>();
 };
 
@@ -558,16 +796,31 @@ mod tests {
         builder.build().unwrap()
     }
 
+    /// Seeds the engine's own store with the same facts as `db(i, ..)`.
+    fn seed_store(engine: &mut ServingEngine, i: usize, with_buildings: bool) {
+        let mut txn = Txn::new();
+        for r in 0..=i {
+            txn = txn.insert("Researcher", [format!("p{i}_{r}")]);
+            if r % 2 == 0 {
+                txn = txn.insert("HasOffice", [format!("p{i}_{r}"), format!("o{i}_{r}")]);
+            }
+            if with_buildings && r % 4 == 0 {
+                txn = txn.insert("InBuilding", [format!("o{i}_{r}"), format!("b{i}")]);
+            }
+        }
+        engine.register_data(txn).unwrap();
+    }
+
     #[test]
     #[allow(deprecated)]
     fn batch_serving_matches_per_request_engines() {
         let office = office_omq();
         let mut engine = ServingEngine::new(4);
-        let office_id = engine.register("office", &office).unwrap();
+        let office_id = engine.register_query("office", &office).unwrap();
         assert_eq!(engine.query_id("office"), Some(office_id));
         assert_eq!(engine.len(), 1);
 
-        let dbs: Vec<Database> = (0..12).map(|i| db(i, &office)).collect();
+        let dbs: Vec<Arc<Database>> = (0..12).map(|i| Arc::new(db(i, &office))).collect();
         let requests: Vec<Request> = dbs
             .iter()
             .enumerate()
@@ -577,15 +830,16 @@ mod tests {
                     1 => Semantics::MinimalPartial,
                     _ => Semantics::MinimalPartialMulti,
                 };
-                Request::new(office_id, d, semantics)
+                Request::new(office_id, semantics).with_database(d.clone())
             })
             .collect();
         let responses = engine.serve_batch(&requests);
         assert_eq!(responses.len(), requests.len());
-        for (request, response) in requests.iter().zip(&responses) {
+        for ((request, database), response) in requests.iter().zip(&dbs).zip(&responses) {
             let response = response.as_ref().unwrap();
             assert!(!response.truncated, "unbounded requests never truncate");
-            let reference = OmqEngine::preprocess(&office, request.database).unwrap();
+            assert_eq!(response.epoch, None, "ad-hoc data has no store epoch");
+            let reference = OmqEngine::preprocess(&office, database).unwrap();
             match (&response.answers, request.semantics) {
                 (AnswerSet::Complete(got), Semantics::Complete) => {
                     let want = reference.enumerate_complete().unwrap();
@@ -611,27 +865,95 @@ mod tests {
     }
 
     #[test]
+    fn store_backed_requests_pin_snapshots() {
+        let omq = researcher_omq();
+        let mut engine = ServingEngine::new(2);
+        let id = engine.register_query("q", &omq).unwrap();
+        // Registering the query merged its data schema into the store.
+        assert!(engine.store().schema().relation_id("Researcher").is_some());
+        seed_store(&mut engine, 5, false);
+
+        let head = engine
+            .serve_one(&Request::new(id, Semantics::MinimalPartial))
+            .unwrap();
+        assert_eq!(head.epoch, Some(engine.epoch()));
+        let before = head.answers.len();
+        assert!(before > 0);
+
+        // Pin, then commit more researchers.
+        let pinned = engine.snapshot();
+        engine
+            .register_data(
+                Txn::new()
+                    .insert("Researcher", ["fresh0"])
+                    .insert("Researcher", ["fresh1"]),
+            )
+            .unwrap();
+
+        // The pinned snapshot still answers exactly as before…
+        let at_pin = engine
+            .serve_one(&Request::new(id, Semantics::MinimalPartial).at(pinned.clone()))
+            .unwrap();
+        assert_eq!(at_pin.answers.len(), before);
+        assert_eq!(at_pin.epoch, Some(pinned.epoch()));
+        // …while the head (and a by-name request) sees the new facts.
+        let at_head = engine
+            .serve_one(&Request::by_name("q", Semantics::MinimalPartial))
+            .unwrap();
+        assert_eq!(at_head.answers.len(), before + 2);
+        assert_eq!(at_head.epoch, Some(engine.epoch()));
+    }
+
+    #[test]
+    fn streams_survive_commits_and_engine_drop() {
+        let omq = researcher_omq();
+        let mut engine = ServingEngine::new(2);
+        let id = engine.register_query("q", &omq).unwrap();
+        seed_store(&mut engine, 7, false);
+
+        let full: Vec<Answer> = engine
+            .serve_stream(&Request::new(id, Semantics::MinimalPartial))
+            .unwrap()
+            .collect();
+        assert!(full.len() >= 4);
+
+        let mut stream = engine
+            .serve_stream(&Request::new(id, Semantics::MinimalPartial))
+            .unwrap();
+        let first = stream.next().unwrap();
+        assert_eq!(first, full[0]);
+        // Commit between pulls: the in-flight stream is pinned.
+        engine
+            .register_data(Txn::new().insert("Researcher", ["late"]))
+            .unwrap();
+        // Drop the whole engine (store included): the stream owns its data.
+        drop(engine);
+        let rest: Vec<Answer> = stream.collect();
+        assert_eq!(rest, full[1..]);
+    }
+
+    #[test]
     fn limits_bound_responses_and_flag_truncation() {
         let omq = researcher_omq();
         let mut engine = ServingEngine::new(2);
-        let id = engine.register("q", &omq).unwrap();
-        let database = db(7, &omq); // 8 researchers -> 8 answers (one per person)
+        let id = engine.register_query("q", &omq).unwrap();
+        seed_store(&mut engine, 7, false); // 8 researchers -> 8 answers
         let full = engine
-            .serve_one(&Request::new(id, &database, Semantics::MinimalPartial))
+            .serve_one(&Request::new(id, Semantics::MinimalPartial))
             .unwrap();
         let total = full.answers.len();
         assert!(total >= 2);
         assert!(!full.truncated);
 
         let bounded = engine
-            .serve_one(&Request::new(id, &database, Semantics::MinimalPartial).with_limit(2))
+            .serve_one(&Request::new(id, Semantics::MinimalPartial).with_limit(2))
             .unwrap();
         assert_eq!(bounded.answers.len(), 2);
         assert!(bounded.truncated);
 
         // limit == total: everything fits, not truncated.
         let exact = engine
-            .serve_one(&Request::new(id, &database, Semantics::MinimalPartial).with_limit(total))
+            .serve_one(&Request::new(id, Semantics::MinimalPartial).with_limit(total))
             .unwrap();
         assert_eq!(exact.answers.len(), total);
         assert!(!exact.truncated);
@@ -639,7 +961,7 @@ mod tests {
         // Offset past the end: empty, not truncated.
         let past = engine
             .serve_one(
-                &Request::new(id, &database, Semantics::MinimalPartial)
+                &Request::new(id, Semantics::MinimalPartial)
                     .with_offset(total + 5)
                     .with_limit(2),
             )
@@ -649,13 +971,14 @@ mod tests {
     }
 
     #[test]
-    fn pagination_reassembles_the_full_answer_set_in_order() {
+    fn pagination_over_a_pinned_snapshot_ignores_commits() {
         let omq = office_omq();
         let mut engine = ServingEngine::new(2);
-        let id = engine.register("office", &omq).unwrap();
-        let database = db(11, &omq);
+        let id = engine.register_query("office", &omq).unwrap();
+        seed_store(&mut engine, 11, true);
+        let session = engine.snapshot();
         let full = engine
-            .serve_one(&Request::new(id, &database, Semantics::MinimalPartial))
+            .serve_one(&Request::new(id, Semantics::MinimalPartial).at(session.clone()))
             .unwrap();
         let AnswerSet::Partial(full) = full.answers else {
             panic!("semantics mismatch");
@@ -666,7 +989,8 @@ mod tests {
             loop {
                 let page = engine
                     .serve_one(
-                        &Request::new(id, &database, Semantics::MinimalPartial)
+                        &Request::new(id, Semantics::MinimalPartial)
+                            .at(session.clone())
                             .with_offset(offset)
                             .with_limit(page_size),
                     )
@@ -677,6 +1001,13 @@ mod tests {
                 let done = !page.truncated;
                 offset += answers.len();
                 paged.extend(answers);
+                // A commit in the middle of the pagination session: pages
+                // pinned to `session` must not notice.
+                engine
+                    .register_data(
+                        Txn::new().insert("Researcher", [format!("mid{page_size}_{offset}")]),
+                    )
+                    .unwrap();
                 if done {
                     break;
                 }
@@ -692,45 +1023,45 @@ mod tests {
     fn streamed_responses_are_lazy_and_owned() {
         let omq = researcher_omq();
         let mut engine = ServingEngine::new(2);
-        let id = engine.register("q", &omq).unwrap();
-        let database = db(9, &omq);
+        let id = engine.register_query("q", &omq).unwrap();
+        seed_store(&mut engine, 9, false);
         let full: Vec<Answer> = engine
-            .serve_stream(&Request::new(id, &database, Semantics::MinimalPartial))
+            .serve_stream(&Request::new(id, Semantics::MinimalPartial))
             .unwrap()
             .collect();
         assert!(!full.is_empty());
 
         // take(k) through the streamed response honours the request limit.
         let mut stream = engine
-            .serve_stream(&Request::new(id, &database, Semantics::MinimalPartial).with_limit(3))
+            .serve_stream(&Request::new(id, Semantics::MinimalPartial).with_limit(3))
             .unwrap();
         assert_eq!(stream.semantics(), Semantics::MinimalPartial);
+        assert_eq!(stream.epoch(), Some(engine.epoch()));
         let first: Vec<Answer> = (&mut stream).collect();
         assert_eq!(first, full[..3.min(full.len())]);
         assert!(stream.error().is_none());
 
         // Offset streams resume exactly where the previous window ended.
         let rest: Vec<Answer> = engine
-            .serve_stream(&Request::new(id, &database, Semantics::MinimalPartial).with_offset(3))
+            .serve_stream(&Request::new(id, Semantics::MinimalPartial).with_offset(3))
             .unwrap()
             .collect();
         assert_eq!(rest, full[3.min(full.len())..]);
 
-        // Dropping a stream mid-way is fine, and streams outlive the borrow
-        // used to create them.
+        // Dropping a stream mid-way is fine.
         let mut abandoned = engine
-            .serve_stream(&Request::new(id, &database, Semantics::Complete))
+            .serve_stream(&Request::new(id, Semantics::Complete))
             .unwrap();
         let _ = abandoned.next();
         drop(abandoned);
     }
 
     #[test]
-    fn catalogue_names_are_unique_and_ids_checked() {
+    fn catalogue_names_are_unique_and_refs_checked() {
         let mut engine = ServingEngine::new(2);
-        let id = engine.register("q", &researcher_omq()).unwrap();
+        let id = engine.register_query("q", &researcher_omq()).unwrap();
         assert!(matches!(
-            engine.register("q", &researcher_omq()),
+            engine.register_query("q", &researcher_omq()),
             Err(ServeError::DuplicateQuery(_))
         ));
         assert!(engine.plan(id).is_ok());
@@ -738,10 +1069,26 @@ mod tests {
             engine.plan(QueryId(99)),
             Err(ServeError::UnknownQuery(99))
         ));
-        let db = db(0, &researcher_omq());
-        let bad = Request::new(QueryId(99), &db, Semantics::Complete);
-        let responses = engine.serve_batch(&[bad]);
+        let bad_id = Request::new(QueryId(99), Semantics::Complete);
+        let responses = engine.serve_batch(&[bad_id]);
         assert!(matches!(responses[0], Err(ServeError::UnknownQuery(99))));
+        let bad_name = Request::by_name("nope", Semantics::Complete);
+        assert!(matches!(
+            engine.serve_one(&bad_name),
+            Err(ServeError::UnknownQueryName(_))
+        ));
+    }
+
+    #[test]
+    fn invalid_txns_do_not_move_the_epoch() {
+        let mut engine = ServingEngine::new(1);
+        engine.register_query("q", &researcher_omq()).unwrap();
+        let epoch = engine.epoch();
+        assert!(matches!(
+            engine.register_data(Txn::new().insert("Nope", ["x"])),
+            Err(ServeError::Data(DataError::UnknownRelation(_)))
+        ));
+        assert_eq!(engine.epoch(), epoch);
     }
 
     #[test]
@@ -749,23 +1096,30 @@ mod tests {
         let office = office_omq();
         let researcher = researcher_omq();
         let mut engine = ServingEngine::new(3).with_data_parallelism(2);
-        let office_id = engine.register("office", &office).unwrap();
-        let researcher_id = engine.register("researcher", &researcher).unwrap();
-        let office_dbs: Vec<Database> = (0..8).map(|i| db(i, &office)).collect();
-        let researcher_dbs: Vec<Database> = (0..8).map(|i| db(i, &researcher)).collect();
+        let office_id = engine.register_query("office", &office).unwrap();
+        let researcher_id = engine.register_query("researcher", &researcher).unwrap();
+        let office_dbs: Vec<Arc<Database>> = (0..8).map(|i| Arc::new(db(i, &office))).collect();
+        let researcher_dbs: Vec<Arc<Database>> =
+            (0..8).map(|i| Arc::new(db(i, &researcher))).collect();
         let mut requests = Vec::new();
         for d in &office_dbs {
-            requests.push(Request::new(office_id, d, Semantics::MinimalPartial));
+            requests
+                .push(Request::new(office_id, Semantics::MinimalPartial).with_database(d.clone()));
         }
         for d in &researcher_dbs {
-            // Bounded requests mixed into the same batch.
-            requests.push(Request::new(researcher_id, d, Semantics::MinimalPartial).with_limit(2));
+            // Bounded requests mixed into the same batch, addressed by name.
+            requests.push(
+                Request::by_name("researcher", Semantics::MinimalPartial)
+                    .with_database(d.clone())
+                    .with_limit(2),
+            );
         }
         let responses = engine.serve_batch(&requests);
         assert_eq!(responses.len(), 16);
-        for (request, response) in requests.iter().zip(&responses) {
+        for (i, (request, response)) in requests.iter().zip(&responses).enumerate() {
             let response = response.as_ref().unwrap();
-            assert_eq!(response.query, request.query);
+            let expected = if i < 8 { office_id } else { researcher_id };
+            assert_eq!(response.query, expected);
             assert!(!response.answers.is_empty());
             if let Some(limit) = request.limit {
                 assert!(response.answers.len() <= limit);
@@ -792,9 +1146,55 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_keep_working() {
+        let omq = researcher_omq();
+        let mut engine = ServingEngine::new(2);
+        let id = engine.register("q", &omq).unwrap();
+        let database = db(3, &omq);
+        let response = engine
+            .serve_one(&Request::for_database(
+                id,
+                &database,
+                Semantics::MinimalPartial,
+            ))
+            .unwrap();
+        assert!(!response.answers.is_empty());
+        let _typed: BorrowedRequest<'static> = Request::new(id, Semantics::Complete);
+    }
+
+    #[test]
+    fn with_store_preloads_and_remerges_schemas() {
+        let omq = researcher_omq();
+        let mut schema = omq_data::Schema::new();
+        schema.add_relation("Researcher", 1).unwrap();
+        let mut store = Store::new(schema);
+        store
+            .commit(Txn::new().insert("Researcher", ["pre"]))
+            .unwrap();
+        let mut engine = ServingEngine::new(2);
+        let id = engine.register_query("q", &omq).unwrap();
+        let mut engine = engine.with_store(store).unwrap();
+        // The re-merge added the query's remaining relations.
+        assert!(engine.store().schema().relation_id("HasOffice").is_some());
+        let response = engine
+            .serve_one(&Request::new(id, Semantics::MinimalPartial))
+            .unwrap();
+        assert_eq!(response.answers.len(), 1); // (pre, *)
+        engine
+            .register_data(Txn::new().insert("HasOffice", ["pre", "office"]))
+            .unwrap();
+        let response = engine
+            .serve_one(&Request::new(id, Semantics::Complete))
+            .unwrap();
+        assert_eq!(response.answers.len(), 1); // (pre, office)
+    }
+
+    #[test]
     fn empty_batch_is_fine() {
         let engine = ServingEngine::new(4);
         assert!(engine.serve_batch(&[]).is_empty());
         assert!(engine.is_empty());
+        assert_eq!(engine.epoch(), 0);
     }
 }

@@ -1,10 +1,12 @@
-//! Quickstart: the running example of the paper (Examples 1.1 and 2.2).
+//! Quickstart: the running example of the paper (Examples 1.1 and 2.2),
+//! served through the session API — a `ServingEngine` owning a long-lived
+//! `Store` plus a catalogue of registered queries.
 //!
 //! Run with `cargo run --example quickstart`.
 
 use omq::prelude::*;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> omq::Result<()> {
     // The ontology: every researcher has an office, offices are offices, and
     // every office is in some building.
     let ontology = Ontology::parse(
@@ -18,62 +20,98 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("ontology is ELI:     {}", omq.is_eli());
     println!("query classification: {:?}", omq.classify());
 
-    // The database of Example 1.1: mike has no listed office, john's office
-    // has no listed building.
-    let db = Database::builder(omq.data_schema().clone())
-        .fact("Researcher", ["mary"])
-        .fact("Researcher", ["john"])
-        .fact("Researcher", ["mike"])
-        .fact("HasOffice", ["mary", "room1"])
-        .fact("HasOffice", ["john", "room4"])
-        .fact("InBuilding", ["room1", "main1"])
-        .build()?;
+    // The session: registering the query compiles its plan exactly once and
+    // merges its data schema into the engine's store.
+    let mut engine = ServingEngine::new(2);
+    let offices = engine.register_query("offices", &omq)?;
 
-    // Linear-time preprocessing: the query-directed chase.
-    let engine = OmqEngine::preprocess(&omq, &db)?;
+    // The database of Example 1.1, ingested as one atomic transaction: mike
+    // has no listed office, john's office has no listed building.
+    let receipt = engine.register_data(
+        Txn::new()
+            .insert("Researcher", ["mary"])
+            .insert("Researcher", ["john"])
+            .insert("Researcher", ["mike"])
+            .insert("HasOffice", ["mary", "room1"])
+            .insert("HasOffice", ["john", "room4"])
+            .insert("InBuilding", ["room1", "main1"]),
+    )?;
     println!(
-        "\npreprocessing: {} input facts -> {} chased facts in {} µs",
-        engine.stats().input_facts,
-        engine.stats().chased_facts,
-        engine.stats().chase_micros
+        "\ningested {} facts in one commit -> store epoch {}",
+        receipt.new_facts, receipt.epoch
     );
 
-    // One lazy cursor API over all three semantics: `answers(Semantics)`
-    // returns an `Iterator<Item = Answer>` with constant work per `next()`.
-    println!("\ncomplete (certain) answers:");
-    for answer in engine.answers(Semantics::Complete)? {
-        println!("  {}", engine.format_answer(&answer));
+    // Serve the three semantics off the store head.  Each request pins a
+    // snapshot, runs the linear-time preprocessing (query-directed chase),
+    // and enumerates through the constant-delay cursor.
+    let snapshot = engine.snapshot();
+    for (title, semantics) in [
+        ("complete (certain) answers", Semantics::Complete),
+        (
+            "minimal partial answers (single wildcard, Algorithm 1)",
+            Semantics::MinimalPartial,
+        ),
+        (
+            "minimal partial answers with multi-wildcards (Algorithm 2)",
+            Semantics::MinimalPartialMulti,
+        ),
+    ] {
+        println!("\n{title}:");
+        for answer in engine.serve_stream(&Request::new(offices, semantics))? {
+            println!(
+                "  {}",
+                answer.display_with(|c| snapshot.const_name(c).to_owned())
+            );
+        }
     }
 
-    println!("\nminimal partial answers (single wildcard, Algorithm 1):");
-    for answer in engine.answers(Semantics::MinimalPartial)? {
-        println!("  {}", engine.format_answer(&answer));
-    }
-
-    println!("\nminimal partial answers with multi-wildcards (Algorithm 2):");
-    for answer in engine.answers(Semantics::MinimalPartialMulti)? {
-        println!("  {}", engine.format_answer(&answer));
-    }
+    // Snapshot isolation: pin the current epoch, then commit more data.  The
+    // pinned snapshot keeps answering exactly as before; fresh requests see
+    // the new facts through the same compiled plan.
+    let pinned = engine.snapshot();
+    engine.register_data(
+        Txn::new()
+            .insert("HasOffice", ["mike", "room9"])
+            .insert("InBuilding", ["room9", "main1"]),
+    )?;
+    let old = engine.serve_one(&Request::new(offices, Semantics::Complete).at(pinned.clone()))?;
+    let new = engine.serve_one(&Request::new(offices, Semantics::Complete))?;
+    println!(
+        "\nafter a concurrent commit: pinned snapshot (epoch {}) still has {} complete answer(s), \
+         the head (epoch {}) has {}",
+        pinned.epoch(),
+        old.answers.len(),
+        engine.epoch(),
+        new.answers.len()
+    );
 
     // Early termination: the first answer of a stream costs O(1) beyond the
-    // preprocessing, however large the database.
-    if let Some(first) = engine.answers(Semantics::MinimalPartial)?.next() {
+    // preprocessing, however large the store.  (Rendering uses a snapshot of
+    // the same epoch as the stream — the pre-commit snapshot's interner does
+    // not know the constants committed after it.)
+    let head = engine.snapshot();
+    if let Some(first) = engine
+        .serve_stream(&Request::new(offices, Semantics::MinimalPartial))?
+        .next()
+    {
         println!(
             "\nfirst partial answer off a fresh cursor: {}",
-            engine.format_answer(&first)
+            first.display_with(|c| head.const_name(c).to_owned())
         );
     }
 
-    // Single-testing (Theorem 3.1).
-    println!("\nsingle tests:");
+    // Single-testing (Theorem 3.1) through the plan layer, evaluated over a
+    // pinned snapshot without recomputing any index.
+    let instance = engine.plan(offices)?.execute(&pinned)?;
+    println!("\nsingle tests (against the pinned snapshot):");
     println!(
         "  (mary, room1, main1) complete?  {}",
-        engine.test_complete_names(&["mary", "room1", "main1"])?
+        instance.test_complete_names(&["mary", "room1", "main1"])?
     );
-    let candidate = Answer::Partial(engine.parse_partial(&["john", "room4", "*"])?);
+    let candidate = Answer::Partial(instance.parse_partial(&["john", "room4", "*"])?);
     println!(
         "  (john, room4, *) minimal partial?  {}",
-        engine.test(&candidate)?
+        instance.test(&candidate)?
     );
     Ok(())
 }

@@ -1,16 +1,22 @@
 //! Batch serving and shared-nothing parallel execution.
 //!
 //! The production shape this workspace grows toward: a fixed catalogue of
-//! ontology-mediated queries compiled up front, batches of (query, database)
-//! requests served across a worker pool (`ServingEngine`), and individual
-//! large, component-rich databases additionally sharded by Gaifman
-//! connected component (`QueryPlan::execute_parallel`).
+//! ontology-mediated queries compiled up front, batches of owned requests
+//! served across a worker pool (`ServingEngine`), and individual large,
+//! component-rich databases additionally sharded by Gaifman connected
+//! component (`QueryPlan::execute_parallel`).
+//!
+//! This example serves **ad-hoc, per-tenant databases** shipped with the
+//! requests (`Request::with_database`); see `examples/live_store.rs` for the
+//! session model where the engine owns a long-lived `Store` with
+//! transactional ingestion and pinned snapshots.
 //!
 //! Run with `cargo run --example serving`.
 
 use omq::prelude::*;
+use std::sync::Arc;
 
-fn tenant_database(schema: &Schema, tenant: usize) -> Result<Database, Box<dyn std::error::Error>> {
+fn tenant_database(schema: &Schema, tenant: usize) -> omq::Result<Arc<Database>> {
     // Each tenant ships several independent departments — disjoint constant
     // ranges, so every department is its own Gaifman component and the
     // database shards cleanly.
@@ -28,10 +34,10 @@ fn tenant_database(schema: &Schema, tenant: usize) -> Result<Database, Box<dyn s
             }
         }
     }
-    Ok(builder.build()?)
+    Ok(Arc::new(builder.build()?))
 }
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> omq::Result<()> {
     let ontology = Ontology::parse(
         "Researcher(x) -> exists y. HasOffice(x, y)\n\
          HasOffice(x, y) -> Office(y)\n\
@@ -43,31 +49,35 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The catalogue: compile every query of the workload exactly once.
     let mut engine = ServingEngine::new(4).with_data_parallelism(2);
-    let full = engine.register(
+    let full = engine.register_query(
         "full",
         &OntologyMediatedQuery::new(ontology.clone(), full_query)?,
     )?;
-    let offices = engine.register(
+    let offices = engine.register_query(
         "offices",
         &OntologyMediatedQuery::new(ontology, office_query)?,
     )?;
+    // Catalogued queries are addressable by handle or by name.
+    assert_eq!(engine.query_id("offices"), Some(offices));
     println!("catalogue: {} compiled plans\n", engine.len());
 
     // A batch of per-tenant requests, mixed across queries and semantics.
+    // Requests are owned values: they name the query (by id or name) and
+    // carry their data, so they can be built ahead of time and queued.
     let schema = engine.plan(full)?.omq().data_schema().clone();
-    let dbs: Vec<Database> = (0..6)
+    let dbs: Vec<Arc<Database>> = (0..6)
         .map(|tenant| tenant_database(&schema, tenant))
-        .collect::<Result<_, _>>()?;
+        .collect::<omq::Result<_>>()?;
     let mut requests = Vec::new();
     for (tenant, db) in dbs.iter().enumerate() {
-        let (query, semantics) = if tenant % 2 == 0 {
-            (full, Semantics::MinimalPartial)
+        let request = if tenant % 2 == 0 {
+            Request::new(full, Semantics::MinimalPartial)
         } else {
-            (offices, Semantics::Complete)
+            Request::by_name("offices", Semantics::Complete)
         };
         // Every request is bounded: a front end never materialises an
         // unbounded answer set, and `truncated` tells it when to paginate.
-        requests.push(Request::new(query, db, semantics).with_limit(5));
+        requests.push(request.with_database(db.clone()).with_limit(5));
     }
 
     for (tenant, response) in engine.serve_batch(&requests).iter().enumerate() {
@@ -88,8 +98,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The lazy path: pull answers straight off the cursor; stopping early
     // costs O(answers pulled) beyond the preprocessing.
-    let sample = &dbs[0];
-    let mut stream = engine.serve_stream(&Request::new(full, sample, Semantics::MinimalPartial))?;
+    let sample = dbs[0].clone();
+    let mut stream = engine.serve_stream(
+        &Request::new(full, Semantics::MinimalPartial).with_database(sample.clone()),
+    )?;
     println!("\nstreaming tenant 0 ({} semantics):", stream.semantics());
     for answer in stream.by_ref().take(3) {
         println!(
@@ -106,8 +118,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         db.component_count()
     );
     let plan = engine.plan(full)?;
-    let sequential = plan.execute(&db)?;
-    let parallel = plan.execute_parallel(&db, 4)?;
+    let sequential = plan.execute(&*db)?;
+    let parallel = plan.execute_parallel(&*db, 4)?;
     assert_eq!(
         sequential.answers(Semantics::MinimalPartial)?.count(),
         parallel.answers(Semantics::MinimalPartial)?.count()

@@ -1,0 +1,133 @@
+//! The facade-level error type: one [`enum@Error`] for the whole stack.
+//!
+//! Every layer of the workspace has its own error type (`omq_data::DataError`,
+//! `omq_cq::CqError`, `omq_chase::ChaseError`, `omq_core::CoreError`,
+//! `omq_serve::ServeError`).  [`enum@Error`] unifies them behind `From`
+//! conversions, so one `?` works across layers in application code, and
+//! implements [`std::error::Error::source`] so the originating layer stays
+//! inspectable through the standard chain.
+
+use std::fmt;
+
+/// Any error of the OMQ stack, tagged by the layer it originated in.
+///
+/// Constructed via the `From` impls (i.e. by `?`); match on the variant to
+/// dispatch by layer, or walk [`std::error::Error::source`] to find root
+/// causes (layers wrap each other: a `Core` error may carry a `Chase` error
+/// carrying a `Data` error).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// Data-model layer: schemas, databases, the store (`omq-data`).
+    Data(omq_data::DataError),
+    /// Conjunctive-query layer: parsing, acyclicity (`omq-cq`).
+    Cq(omq_cq::CqError),
+    /// Ontology/chase layer: TGDs, the query-directed chase (`omq-chase`).
+    Chase(omq_chase::ChaseError),
+    /// Core engine layer: plans, enumeration, testing (`omq-core`).
+    Core(omq_core::CoreError),
+    /// Serving layer: catalogue, sessions, requests (`omq-serve`).
+    Serve(omq_serve::ServeError),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Prefix the originating layer (the workspace convention, cf.
+        // `CoreError::Cq` → "query error: …") rather than delegating
+        // verbatim, so chain printers that walk `source()` do not show the
+        // identical message twice in a row.
+        match self {
+            Error::Data(e) => write!(f, "data layer: {e}"),
+            Error::Cq(e) => write!(f, "query layer: {e}"),
+            Error::Chase(e) => write!(f, "chase layer: {e}"),
+            Error::Core(e) => write!(f, "core layer: {e}"),
+            Error::Serve(e) => write!(f, "serving layer: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Data(e) => Some(e),
+            Error::Cq(e) => Some(e),
+            Error::Chase(e) => Some(e),
+            Error::Core(e) => Some(e),
+            Error::Serve(e) => Some(e),
+        }
+    }
+}
+
+impl From<omq_data::DataError> for Error {
+    fn from(e: omq_data::DataError) -> Self {
+        Error::Data(e)
+    }
+}
+
+impl From<omq_cq::CqError> for Error {
+    fn from(e: omq_cq::CqError) -> Self {
+        Error::Cq(e)
+    }
+}
+
+impl From<omq_chase::ChaseError> for Error {
+    fn from(e: omq_chase::ChaseError) -> Self {
+        Error::Chase(e)
+    }
+}
+
+impl From<omq_core::CoreError> for Error {
+    fn from(e: omq_core::CoreError) -> Self {
+        Error::Core(e)
+    }
+}
+
+impl From<omq_serve::ServeError> for Error {
+    fn from(e: omq_serve::ServeError) -> Self {
+        Error::Serve(e)
+    }
+}
+
+/// Convenient `Result` alias over the facade [`enum@Error`].
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn conversions_and_sources_cover_every_layer() {
+        let data: Error = omq_data::DataError::UnknownRelation("R".into()).into();
+        assert!(matches!(data, Error::Data(_)));
+        assert!(data.source().is_some());
+
+        let cq: Error = omq_cq::CqError::Parse("bad".into()).into();
+        assert!(matches!(cq, Error::Cq(_)));
+
+        let chase: Error = omq_chase::ChaseError::NotGuarded("t".into()).into();
+        assert!(matches!(chase, Error::Chase(_)));
+
+        // A nested error keeps its full chain: Core -> Chase -> Data.
+        let nested: Error = omq_core::CoreError::Chase(omq_chase::ChaseError::Data(
+            omq_data::DataError::UnknownRelation("R".into()),
+        ))
+        .into();
+        let chase_src = nested.source().unwrap().source().unwrap();
+        assert!(chase_src.source().is_some());
+        assert!(chase_src.source().unwrap().source().is_none());
+
+        let serve: Error =
+            omq_serve::ServeError::Data(omq_data::DataError::NonCanonicalWildcards).into();
+        assert!(matches!(serve, Error::Serve(_)));
+        assert!(serve.source().unwrap().source().is_some());
+
+        // Display prefixes the layer in front of the inner message.
+        assert_eq!(
+            Error::from(omq_data::DataError::UnknownRelation("R".into())).to_string(),
+            format!(
+                "data layer: {}",
+                omq_data::DataError::UnknownRelation("R".into())
+            )
+        );
+    }
+}

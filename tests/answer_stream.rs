@@ -219,10 +219,10 @@ proptest! {
     fn serving_pagination_reassembles(random_db in db_strategy(), page_size in 1..5usize) {
         let omq = office_omq();
         let mut engine = ServingEngine::new(2);
-        let id = engine.register("office", &omq).unwrap();
-        let db = random_db.to_database(omq.data_schema());
+        let id = engine.register_query("office", &omq).unwrap();
+        let db = std::sync::Arc::new(random_db.to_database(omq.data_schema()));
         let full = engine
-            .serve_one(&Request::new(id, &db, Semantics::MinimalPartial))
+            .serve_one(&Request::new(id, Semantics::MinimalPartial).with_database(db.clone()))
             .unwrap();
         prop_assert!(!full.truncated);
         let AnswerSet::Partial(full) = full.answers else {
@@ -233,7 +233,8 @@ proptest! {
         loop {
             let page = engine
                 .serve_one(
-                    &Request::new(id, &db, Semantics::MinimalPartial)
+                    &Request::new(id, Semantics::MinimalPartial)
+                        .with_database(db.clone())
                         .with_offset(offset)
                         .with_limit(page_size),
                 )

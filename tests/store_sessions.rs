@@ -1,0 +1,291 @@
+//! Property tests of the session layer: snapshot isolation, transactional
+//! atomicity, and stream ownership across concurrent commits.
+//!
+//! The contract under test (`Store` / `Txn` / `Snapshot` + `ServingEngine`):
+//!
+//! * **snapshot stability** — commits after `snapshot()` never change that
+//!   snapshot's answer multiset (in fact, not even the answer *order*);
+//! * **stream ownership** — an `AnswerStream` opened on a snapshot keeps
+//!   yielding after concurrent commits and after the store/engine is
+//!   dropped;
+//! * **rollback** — an uncommitted (or rejected) transaction leaves the
+//!   store byte-identical: the head is the very same allocation;
+//! * **freshness** — a fresh snapshot sees committed facts through the same
+//!   compiled plan, agreeing with a from-scratch evaluation of the merged
+//!   database.
+
+use omq::prelude::*;
+use proptest::prelude::*;
+
+/// The office OMQ of the running example: guarded, acyclic, free-connex.
+fn office_omq() -> OntologyMediatedQuery {
+    let ontology = Ontology::parse(
+        "Researcher(x) -> exists y. HasOffice(x, y)\n\
+         HasOffice(x, y) -> Office(y)\n\
+         Office(x) -> exists y. InBuilding(x, y)",
+    )
+    .unwrap();
+    let query =
+        ConjunctiveQuery::parse("q(x1, x2, x3) :- HasOffice(x1, x2), InBuilding(x2, x3)").unwrap();
+    OntologyMediatedQuery::new(ontology, query).unwrap()
+}
+
+/// A random office workload split into an initial load and a sequence of
+/// later commits (each commit is a batch of facts).
+#[derive(Debug, Clone)]
+struct RandomWorkload {
+    initial: Vec<(usize, usize, usize)>,
+    commits: Vec<Vec<(usize, usize, usize)>>,
+}
+
+/// Each `(r, o, b)` triple wires researcher `p{r}` to office `o{o}` in
+/// building `b{b}` — with the office/building facts dropped modulo small
+/// primes so incomplete chains (wildcard answers) keep showing up.
+fn workload_strategy() -> impl Strategy<Value = RandomWorkload> {
+    let triple = || (0..12usize, 0..8usize, 0..4usize);
+    (
+        prop::collection::vec(triple(), 1..12),
+        prop::collection::vec(prop::collection::vec(triple(), 1..6), 0..4),
+    )
+        .prop_map(|(initial, commits)| RandomWorkload { initial, commits })
+}
+
+fn txn_of(batch: &[(usize, usize, usize)]) -> Txn {
+    let mut txn = Txn::new();
+    for &(r, o, b) in batch {
+        txn = txn.insert("Researcher", [format!("p{r}")]);
+        if r % 3 != 0 {
+            txn = txn.insert("HasOffice", [format!("p{r}"), format!("o{o}")]);
+        }
+        if b % 2 == 0 {
+            txn = txn.insert("InBuilding", [format!("o{o}"), format!("b{b}")]);
+        }
+    }
+    txn
+}
+
+/// Applies the same batch to a plain `Database` (the reference path).
+fn apply_to_database(db: &mut Database, batch: &[(usize, usize, usize)]) {
+    for &(r, o, b) in batch {
+        db.add_named_fact("Researcher", &[format!("p{r}")]).unwrap();
+        if r % 3 != 0 {
+            db.add_named_fact("HasOffice", &[format!("p{r}"), format!("o{o}")])
+                .unwrap();
+        }
+        if b % 2 == 0 {
+            db.add_named_fact("InBuilding", &[format!("o{o}"), format!("b{b}")])
+                .unwrap();
+        }
+    }
+}
+
+/// Renders an instance's answers as a sorted multiset of strings.
+fn answer_multiset(instance: &PreparedInstance, semantics: Semantics) -> Vec<String> {
+    let mut rendered: Vec<String> = instance
+        .answers(semantics)
+        .unwrap()
+        .map(|a| instance.format_answer(&a))
+        .collect();
+    rendered.sort();
+    rendered
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// (a) Commits after `snapshot()` never change that snapshot's answers:
+    /// the exact sequence (order included) is replayed after every commit,
+    /// and a fresh snapshot agrees with a from-scratch reference database.
+    #[test]
+    fn commits_never_change_a_pinned_snapshots_answers(workload in workload_strategy()) {
+        let omq = office_omq();
+        let plan = QueryPlan::compile(&omq).unwrap();
+        let mut store = Store::new(omq.data_schema().clone());
+        store.commit(txn_of(&workload.initial)).unwrap();
+        let mut reference = Database::new(omq.data_schema().clone());
+        apply_to_database(&mut reference, &workload.initial);
+
+        let pinned = store.snapshot();
+        let pinned_answers: Vec<Vec<Answer>> = Semantics::ALL
+            .into_iter()
+            .map(|sem| plan.execute(&pinned).unwrap().answers(sem).unwrap().collect())
+            .collect();
+
+        for batch in &workload.commits {
+            store.commit(txn_of(batch)).unwrap();
+            apply_to_database(&mut reference, batch);
+            for (sem, before) in Semantics::ALL.into_iter().zip(&pinned_answers) {
+                // Identical sequence from the pinned snapshot, not just an
+                // equal multiset.
+                let after: Vec<Answer> = plan
+                    .execute(&pinned)
+                    .unwrap()
+                    .answers(sem)
+                    .unwrap()
+                    .collect();
+                prop_assert_eq!(&after, before);
+                // The fresh snapshot agrees with the reference database.
+                let fresh_instance = plan.execute(store.snapshot()).unwrap();
+                let reference_instance = plan.execute(&reference).unwrap();
+                prop_assert_eq!(
+                    answer_multiset(&fresh_instance, sem),
+                    answer_multiset(&reference_instance, sem)
+                );
+            }
+        }
+    }
+
+    /// (b) An `AnswerStream` taken from a snapshot survives concurrent
+    /// commits and the drop of the store: the suffix pulled afterwards is
+    /// exactly the suffix of the pre-commit enumeration.
+    #[test]
+    fn streams_survive_concurrent_commits_and_store_drop(
+        workload in workload_strategy(),
+        pulled_before in 0..4usize,
+    ) {
+        let omq = office_omq();
+        let plan = QueryPlan::compile(&omq).unwrap();
+        let mut store = Store::new(omq.data_schema().clone());
+        store.commit(txn_of(&workload.initial)).unwrap();
+
+        let full: Vec<Answer> = plan
+            .execute(store.snapshot())
+            .unwrap()
+            .answers(Semantics::MinimalPartial)
+            .unwrap()
+            .collect();
+        let mut stream = plan
+            .execute(store.snapshot())
+            .unwrap()
+            .answers(Semantics::MinimalPartial)
+            .unwrap();
+        let head: Vec<Answer> = (&mut stream).take(pulled_before).collect();
+        prop_assert_eq!(&head[..], &full[..head.len()]);
+
+        // Commits land while the stream is parked — on another thread, so
+        // writer and reader genuinely interleave.
+        std::thread::scope(|scope| {
+            let handle = scope.spawn(move || {
+                for batch in &workload.commits {
+                    store.commit(txn_of(batch)).unwrap();
+                }
+                store.commit(txn_of(&[(11, 7, 2)])).unwrap();
+                drop(store);
+            });
+            handle.join().unwrap();
+        });
+
+        // The parked stream finishes its pinned enumeration untouched.
+        let tail: Vec<Answer> = stream.collect();
+        prop_assert_eq!(&tail[..], &full[head.len()..]);
+    }
+
+    /// (c) Rollback (dropping a transaction, or a rejected commit) leaves
+    /// the store byte-identical — the head is the very same allocation, the
+    /// epoch unchanged.
+    #[test]
+    fn rollback_leaves_the_store_byte_identical(
+        workload in workload_strategy(),
+        reject_at in 0..6usize,
+    ) {
+        let omq = office_omq();
+        let mut store = Store::new(omq.data_schema().clone());
+        store.commit(txn_of(&workload.initial)).unwrap();
+        let before = store.snapshot();
+        let facts_before = store.len();
+
+        // Dropping an uncommitted transaction never touches the store.
+        let staged = workload
+            .commits
+            .iter()
+            .fold(Txn::new(), |txn, batch| {
+                batch.iter().fold(txn, |t, &(r, _, _)| {
+                    t.insert("Researcher", [format!("p{r}")])
+                })
+            });
+        staged.rollback();
+        prop_assert!(store.snapshot().ptr_eq(&before));
+        prop_assert_eq!(store.epoch(), before.epoch());
+        prop_assert_eq!(store.len(), facts_before);
+
+        // A rejected commit (valid prefix, invalid operation at `reject_at`)
+        // is a rollback too: nothing of the batch lands.
+        let mut txn = Txn::new();
+        for i in 0..reject_at {
+            txn = txn.insert("Researcher", [format!("valid{i}")]);
+        }
+        txn = txn.insert("NoSuchRelation", ["boom"]);
+        prop_assert!(store.commit(txn).is_err());
+        prop_assert!(store.snapshot().ptr_eq(&before));
+        prop_assert_eq!(store.epoch(), before.epoch());
+        prop_assert_eq!(store.len(), facts_before);
+    }
+}
+
+/// The acceptance scenario, end to end through `ServingEngine`: a registered
+/// query returns identical answer multisets from a pinned snapshot before
+/// and after a concurrent `Txn` commit, and a fresh snapshot sees the new
+/// facts without the plan being recompiled.
+#[test]
+fn served_snapshots_are_isolated_and_fresh_requests_see_commits() {
+    let omq = office_omq();
+    let mut engine = ServingEngine::new(2);
+    let q = engine.register_query("office", &omq).unwrap();
+    engine
+        .register_data(
+            Txn::new()
+                .insert("Researcher", ["mary"])
+                .insert("Researcher", ["john"])
+                .insert("HasOffice", ["mary", "room1"])
+                .insert("InBuilding", ["room1", "main1"]),
+        )
+        .unwrap();
+
+    let pinned = engine.snapshot();
+    let chase_types_before = engine.plan(q).unwrap().chase_plan().memoized_bag_types();
+    let before = engine
+        .serve_one(&Request::new(q, Semantics::MinimalPartial).at(pinned.clone()))
+        .unwrap();
+
+    // The commit races an in-flight stream on another thread.
+    let mut parked = engine
+        .serve_stream(&Request::new(q, Semantics::MinimalPartial).at(pinned.clone()))
+        .unwrap();
+    let first = parked.next();
+    std::thread::scope(|scope| {
+        let engine = &mut engine;
+        scope
+            .spawn(move || {
+                engine
+                    .register_data(
+                        Txn::new()
+                            .insert("Researcher", ["ada"])
+                            .insert("HasOffice", ["ada", "lab2"])
+                            .insert("InBuilding", ["lab2", "west"]),
+                    )
+                    .unwrap();
+            })
+            .join()
+            .unwrap();
+    });
+
+    // Pinned snapshot: identical answer multiset after the commit.
+    let after = engine
+        .serve_one(&Request::new(q, Semantics::MinimalPartial).at(pinned.clone()))
+        .unwrap();
+    assert_eq!(before.answers, after.answers);
+    assert_eq!(after.epoch, Some(pinned.epoch()));
+
+    // The parked stream drains its pinned epoch: first + rest == before.
+    let rest = parked.count();
+    assert_eq!(first.is_some() as usize + rest, before.answers.len());
+
+    // A fresh request sees ada's complete chain; the compiled plan was
+    // reused, not recompiled (its chase memo only grew or stayed).
+    let fresh = engine
+        .serve_one(&Request::new(q, Semantics::MinimalPartial))
+        .unwrap();
+    assert_eq!(fresh.answers.len(), before.answers.len() + 1);
+    assert_eq!(fresh.epoch, Some(engine.epoch()));
+    assert!(engine.plan(q).unwrap().chase_plan().memoized_bag_types() >= chase_types_before);
+}
