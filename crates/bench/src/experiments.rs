@@ -1,4 +1,4 @@
-//! The experiment suite (E1–E15) and its table output.
+//! The experiment suite (E1–E16) and its table output.
 //!
 //! Every experiment returns a [`Table`]; the harness binary prints them,
 //! writes the machine-readable `BENCH_<exp>.json` counterparts (see
@@ -1306,6 +1306,177 @@ pub fn e15_live_store(quick: bool) -> Table {
     table
 }
 
+/// E16 — incremental maintenance: the post-commit time-to-first-answer of a
+/// delta-chase refresh versus a full rebuild, as the store grows.
+///
+/// `PreparedInstance::refresh` claims that after a component-local commit,
+/// only the dirty Gaifman components are re-chased and re-indexed while every
+/// untouched shard is spliced in by pointer — so the post-commit TTFA is
+/// proportional to the *delta*, not to `|D|`.  This experiment loads the
+/// clustered (component-rich) university workload through a `Store`, commits
+/// a fixed six-fact single-component delta, and times, at growing `|D|`:
+///
+/// * **refresh ttfa** — `refresh(head, receipt)` + first `next()` of the
+///   answer stream (the fresh, delta-sized shard streams first);
+/// * **rebuild ttfa** — from-scratch `QueryPlan::execute` + first `next()`.
+///
+/// The `answers equal` column is the CI gate: the refreshed instance must
+/// reuse at least one shard *and* agree with the from-scratch evaluation on
+/// every semantics.  The exported slopes are the delta-proportionality
+/// metric: the rebuild TTFA grows linearly in `|D|` while the refresh TTFA
+/// stays ~flat (its slope is bounded by the per-fact cost of the dirty-set
+/// computation, orders of magnitude below the rebuild slope).
+pub fn e16_incremental_maintenance(quick: bool) -> Table {
+    let mut table = Table::new(
+        "E16",
+        "Delta-chase refresh: post-commit TTFA vs full rebuild",
+        &[
+            "clusters",
+            "|D| facts",
+            "shards",
+            "reused",
+            "delta facts",
+            "refresh ttfa µs",
+            "rebuild ttfa µs",
+            "speedup",
+            "answers equal",
+        ],
+    );
+    let per_cluster = if quick { 64 } else { 250 };
+    let cluster_counts: Vec<usize> = if quick {
+        vec![4, 8, 16, 32]
+    } else {
+        vec![16, 32, 64, 128, 256]
+    };
+
+    let mut facts_axis: Vec<f64> = Vec::new();
+    let mut refresh_axis: Vec<f64> = Vec::new();
+    let mut rebuild_axis: Vec<f64> = Vec::new();
+    let mut last_speedup = 0.0f64;
+    let mut delta_facts = 0usize;
+    for clusters in cluster_counts {
+        let (omq, generated) = clustered_university(&ClusteredConfig {
+            clusters,
+            researchers_per_cluster: per_cluster,
+            ..Default::default()
+        });
+        let plan = QueryPlan::compile(&omq).expect("guarded OMQ");
+
+        // Load the generated facts through the transactional store.
+        let mut store = omq_data::Store::new(generated.schema().clone());
+        let mut txn = omq_data::Txn::new();
+        for fact in generated.facts() {
+            let rel = generated.schema().name(fact.rel);
+            let args: Vec<&str> = fact
+                .args
+                .iter()
+                .map(|&v| match v {
+                    omq_data::Value::Const(c) => generated.const_name(c),
+                    omq_data::Value::Null(_) => unreachable!("generator emits S-databases"),
+                })
+                .collect();
+            txn = txn.insert(rel, &args);
+        }
+        store.commit(txn).expect("valid load");
+        let baseline = plan.execute_tracked(store.snapshot()).expect("guarded OMQ");
+
+        // The fixed-size, component-local delta: one fresh building holding
+        // two complete researcher chains — a single new Gaifman component.
+        let receipt = store
+            .commit(
+                omq_data::Txn::new()
+                    .insert("Researcher", ["delta_p0"])
+                    .insert("HasOffice", ["delta_p0", "delta_o0"])
+                    .insert("InBuilding", ["delta_o0", "delta_hq"])
+                    .insert("Researcher", ["delta_p1"])
+                    .insert("HasOffice", ["delta_p1", "delta_o1"])
+                    .insert("InBuilding", ["delta_o1", "delta_hq"]),
+            )
+            .expect("valid delta");
+        delta_facts = receipt.new_facts;
+        let head = store.snapshot();
+        let facts = store.len();
+
+        // Post-commit TTFA, both ways: build-to-first-answer, end to end.
+        let refresh_page = measure_take_k(
+            || {
+                baseline
+                    .refresh(&head, &receipt)
+                    .expect("incremental refresh")
+                    .answers(Semantics::MinimalPartial)
+                    .expect("tractable query")
+            },
+            1,
+        );
+        let rebuild_page = measure_take_k(
+            || {
+                plan.execute(&head)
+                    .expect("guarded OMQ")
+                    .answers(Semantics::MinimalPartial)
+                    .expect("tractable query")
+            },
+            1,
+        );
+
+        // The gate: the refresh was genuinely incremental (shards reused)
+        // and indistinguishable from a from-scratch evaluation.
+        let refreshed = baseline
+            .refresh(&head, &receipt)
+            .expect("incremental refresh");
+        let scratch = plan.execute(&head).expect("guarded OMQ");
+        let mut answers_equal = refreshed.stats().reused_shards > 0;
+        for sem in Semantics::ALL {
+            // Algorithm 2's tester dominates beyond this size (cf. E14).
+            if sem == Semantics::MinimalPartialMulti && facts > 20_000 {
+                continue;
+            }
+            let mut incremental: Vec<String> = refreshed
+                .answers(sem)
+                .expect("tractable query")
+                .map(|a| refreshed.format_answer(&a))
+                .collect();
+            let mut reference: Vec<String> = scratch
+                .answers(sem)
+                .expect("tractable query")
+                .map(|a| scratch.format_answer(&a))
+                .collect();
+            incremental.sort();
+            reference.sort();
+            answers_equal &= incremental == reference;
+        }
+
+        let refresh_ttfa = refresh_page.preprocess_micros + refresh_page.first_delay_nanos / 1_000;
+        let rebuild_ttfa = rebuild_page.preprocess_micros + rebuild_page.first_delay_nanos / 1_000;
+        let speedup = rebuild_ttfa as f64 / refresh_ttfa.max(1) as f64;
+        last_speedup = speedup;
+        facts_axis.push(facts as f64);
+        refresh_axis.push(refresh_ttfa as f64);
+        rebuild_axis.push(rebuild_ttfa as f64);
+        table.push_row(vec![
+            clusters.to_string(),
+            facts.to_string(),
+            refreshed.shard_count().to_string(),
+            refreshed.stats().reused_shards.to_string(),
+            delta_facts.to_string(),
+            refresh_ttfa.to_string(),
+            rebuild_ttfa.to_string(),
+            format!("{speedup:.1}"),
+            answers_equal.to_string(),
+        ]);
+    }
+    let (refresh_slope, _) = linear_fit(&facts_axis, &refresh_axis);
+    let (rebuild_slope, _) = linear_fit(&facts_axis, &rebuild_axis);
+    table.push_metric("delta_facts", delta_facts as f64);
+    table.push_metric("post_commit_refresh_slope_us_per_fact", refresh_slope);
+    table.push_metric("full_rebuild_slope_us_per_fact", rebuild_slope);
+    table.push_metric("ttfa_speedup_at_max", last_speedup);
+    table.push_metric(
+        "refresh_ttfa_max_us",
+        refresh_axis.iter().copied().fold(0.0, f64::max),
+    );
+    table
+}
+
 /// Runs one experiment by identifier.
 pub fn run_experiment(id: &str, quick: bool) -> Option<Table> {
     match id.to_ascii_uppercase().as_str() {
@@ -1324,6 +1495,7 @@ pub fn run_experiment(id: &str, quick: bool) -> Option<Table> {
         "E13" => Some(e13_parallel_speedup(quick)),
         "E14" => Some(e14_cursor_pagination(quick)),
         "E15" => Some(e15_live_store(quick)),
+        "E16" => Some(e16_incremental_maintenance(quick)),
         _ => None,
     }
 }
@@ -1332,7 +1504,7 @@ pub fn run_experiment(id: &str, quick: bool) -> Option<Table> {
 pub fn run_all(quick: bool) -> Vec<Table> {
     [
         "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14",
-        "E15",
+        "E15", "E16",
     ]
     .iter()
     .filter_map(|id| run_experiment(id, quick))
@@ -1410,6 +1582,23 @@ mod tests {
         assert!(names.contains(&"ingest_facts_per_sec"));
         assert!(names.contains(&"post_commit_ttfa_slope_us_per_fact"));
         assert!(names.contains(&"facts_per_txn"));
+    }
+
+    #[test]
+    fn e16_refresh_is_incremental_and_equivalent() {
+        let table = e16_incremental_maintenance(true);
+        assert_eq!(table.rows.len(), 4);
+        // The acceptance gate: the refresh reused shards and agrees with the
+        // from-scratch evaluation on every semantics.
+        let equal_col = table.headers.len() - 1;
+        assert!(table.rows.iter().all(|r| r[equal_col] == "true"));
+        // Every row spliced at least one untouched shard in by pointer.
+        assert!(table.rows.iter().all(|r| r[3] != "0"));
+        let names: Vec<&str> = table.metrics.iter().map(|(k, _)| k.as_str()).collect();
+        assert!(names.contains(&"post_commit_refresh_slope_us_per_fact"));
+        assert!(names.contains(&"full_rebuild_slope_us_per_fact"));
+        assert!(names.contains(&"ttfa_speedup_at_max"));
+        assert!(names.contains(&"delta_facts"));
     }
 
     #[test]

@@ -182,11 +182,35 @@ impl QchasePlan {
     /// tables accumulated by earlier calls whenever the extended schema
     /// matches (otherwise the run falls back to a private table).
     pub fn chase(&self, db: &Database) -> Result<QueryDirectedChase> {
-        let mut result = db.clone();
-        for (name, arity) in &self.relations {
-            result.add_relation(name, *arity)?;
+        Ok(self
+            .chase_many(std::slice::from_ref(db))?
+            .pop()
+            .expect("one part in, one chase out"))
+    }
+
+    /// Computes the query-directed chase of every database in `parts` as one
+    /// batch: a single memo snapshot (and a single publish) serves them all,
+    /// and bag types discovered while chasing one part are immediately
+    /// reusable by the next (intra-batch memoisation).
+    ///
+    /// All parts must share one schema layout — the memo fingerprint is
+    /// derived from the first part, and bag signatures embed `RelId`s.  The
+    /// intended callers satisfy this by construction: Gaifman-component
+    /// shards of one database (parallel execution, delta-chase maintenance)
+    /// all clone the parent schema.  An empty batch returns no chases.
+    pub fn chase_many(&self, parts: &[Database]) -> Result<Vec<QueryDirectedChase>> {
+        if parts.is_empty() {
+            return Ok(Vec::new());
         }
-        let fingerprint: Vec<(String, usize)> = result
+        let mut prepared = Vec::with_capacity(parts.len());
+        for db in parts {
+            let mut result = db.clone();
+            for (name, arity) in &self.relations {
+                result.add_relation(name, *arity)?;
+            }
+            prepared.push(result);
+        }
+        let fingerprint: Vec<(String, usize)> = prepared[0]
             .schema()
             .iter()
             .map(|(_, rel)| (rel.name.clone(), rel.arity))
@@ -235,9 +259,12 @@ impl QchasePlan {
         };
         let snapshot_ground = local.ground.len();
         let snapshot_graft = local.graft.len();
-        let chased = self.chase_prepared(db, result, &mut local.ground, &mut local.graft)?;
-        // Publish only on a miss: a fully warm run leaves the tables at their
-        // snapshot size and never upgrades to the write lock.
+        let mut out = Vec::with_capacity(parts.len());
+        for (db, result) in parts.iter().zip(prepared) {
+            out.push(self.chase_prepared(db, result, &mut local.ground, &mut local.graft)?);
+        }
+        // Publish only on a miss: a fully warm batch leaves the tables at
+        // their snapshot size and never upgrades to the write lock.
         if shareable && (local.ground.len() > snapshot_ground || local.graft.len() > snapshot_graft)
         {
             let mut memo = self.memo.write().expect("qchase memo poisoned");
@@ -248,7 +275,7 @@ impl QchasePlan {
                 memo.graft.entry(signature).or_insert(template);
             }
         }
-        Ok(chased)
+        Ok(out)
     }
 
     /// The chase proper, over a `result` database that already contains the
@@ -685,6 +712,26 @@ mod tests {
         assert_eq!(second.database.len(), fresh.database.len());
         assert_eq!(second.grafts, fresh.grafts);
         let _ = first;
+    }
+
+    #[test]
+    fn chase_many_agrees_with_per_part_chases() {
+        let omq = office_omq();
+        let plan = QchasePlan::new(&omq, &QchaseConfig::default()).unwrap();
+        let db = office_db();
+        let parts = db.shard_by_component();
+        assert!(parts.len() > 1);
+        let batch = plan.chase_many(&parts).unwrap();
+        assert_eq!(batch.len(), parts.len());
+        for (part, chased) in parts.iter().zip(&batch) {
+            let solo = query_directed_chase(part, &omq, &QchaseConfig::default()).unwrap();
+            assert_eq!(chased.database.len(), solo.database.len());
+            assert_eq!(chased.grafts, solo.grafts);
+        }
+        // Intra-batch memoisation: a later part reuses bag types discovered
+        // while chasing an earlier one, within a single snapshot/publish.
+        assert!(batch.iter().skip(1).any(|c| c.memo_hits > 0));
+        assert!(plan.chase_many(&[]).unwrap().is_empty());
     }
 
     #[test]

@@ -35,7 +35,7 @@ use std::sync::Arc;
 #[derive(Debug)]
 enum DbRef<'a> {
     Borrowed(&'a Database),
-    Shard(Arc<Vec<Database>>, usize),
+    Shard(Arc<Vec<Arc<Database>>>, usize),
 }
 
 impl DbRef<'_> {
@@ -101,7 +101,7 @@ impl<'a> MultiEnumerator<'a> {
     /// (used by the owning `AnswerStream`).
     pub(crate) fn for_shard(
         skeleton: &PlanSkeleton,
-        shards: Arc<Vec<Database>>,
+        shards: Arc<Vec<Arc<Database>>>,
         idx: usize,
     ) -> Result<MultiEnumerator<'static>> {
         let single = PartialEnumerator::with_skeleton(skeleton, &shards[idx])?;

@@ -47,6 +47,10 @@ pub struct PreprocessStats {
     pub saturation_converged: bool,
     /// Number of Gaifman shards the execution ran over (1 for sequential).
     pub shards: usize,
+    /// Shards spliced in unchanged from a predecessor instance by
+    /// [`crate::PreparedInstance::refresh`] (0 for fresh executions).  Their
+    /// chase output and columnar indexes were not recomputed.
+    pub reused_shards: usize,
 }
 
 /// A fully preprocessed ontology-mediated query over a fixed database.

@@ -26,7 +26,10 @@ use crate::stream::AnswerStream;
 use crate::{EngineConfig, PreprocessStats, Result};
 use omq_chase::{OntologyMediatedQuery, QchasePlan};
 use omq_cq::acyclicity::AcyclicityReport;
-use omq_data::{Answer, ConstId, Database, MultiTuple, PartialTuple, Semantics, Value};
+use omq_data::{
+    Answer, CommitReceipt, ConstId, Database, MultiTuple, PartialTuple, Semantics, Value,
+};
+use rustc_hash::{FxHashMap, FxHashSet};
 use std::ops::ControlFlow;
 use std::sync::Arc;
 use std::time::Instant;
@@ -145,11 +148,64 @@ impl QueryPlan {
             memo_hits: chased.memo_hits,
             saturation_converged: chased.saturation_converged,
             shards: 1,
+            reused_shards: 0,
         };
         Ok(PreparedInstance {
             plan: self.clone(),
-            shards: Arc::new(vec![chased.database]),
+            shards: Arc::new(vec![Arc::new(chased.database)]),
             stats,
+            provenance: None,
+        })
+    }
+
+    /// Like [`QueryPlan::execute`], but shards the database by Gaifman
+    /// component (one shard per component, keyed by its stable component
+    /// root) and records the keys as *provenance*, enabling incremental
+    /// maintenance via [`PreparedInstance::refresh`]: after a store commit,
+    /// only the components the commit touched are re-chased, and every
+    /// untouched shard is spliced into the refreshed instance unchanged.
+    ///
+    /// Sharding is only sound for connected query bodies (see the `parallel`
+    /// module docs); for a disconnected query — or an empty database, which
+    /// has no components to key — this falls back to the sequential
+    /// [`QueryPlan::execute`] and the resulting instance carries no
+    /// provenance, so `refresh` on it degrades to a full re-execution
+    /// (still tracked, so the *next* refresh is incremental again when
+    /// possible).
+    pub fn execute_tracked(&self, db: impl AsRef<Database>) -> Result<PreparedInstance> {
+        let db = db.as_ref();
+        if !self.omq().query().is_connected() || db.is_empty() {
+            return self.execute(db);
+        }
+        let start = Instant::now();
+        let keyed = db.shard_by_component_keyed();
+        let (keys, parts): (Vec<Option<u32>>, Vec<Database>) = keyed.into_iter().unzip();
+        let chased = self.inner.chase.chase_many(&parts)?;
+        let mut stats = PreprocessStats {
+            input_facts: db.len(),
+            saturation_converged: true,
+            shards: chased.len(),
+            ..PreprocessStats::default()
+        };
+        let mut shards = Vec::with_capacity(chased.len());
+        for part in chased {
+            stats.chased_facts += part.database.len();
+            stats.grafts += part.grafts;
+            stats.memo_hits += part.memo_hits;
+            stats.saturation_converged &= part.saturation_converged;
+            shards.push(Arc::new(part.database));
+        }
+        stats.chase_micros = start.elapsed().as_micros();
+        let provenance = Some(Arc::new(Provenance {
+            source_revision: db.revision(),
+            schema_len: db.schema().len(),
+            keys,
+        }));
+        Ok(PreparedInstance {
+            plan: self.clone(),
+            shards: Arc::new(shards),
+            stats,
+            provenance,
         })
     }
 
@@ -163,10 +219,28 @@ impl QueryPlan {
         debug_assert!(!shards.is_empty());
         PreparedInstance {
             plan: self.clone(),
-            shards: Arc::new(shards),
+            shards: Arc::new(shards.into_iter().map(Arc::new).collect()),
             stats,
+            provenance: None,
         }
     }
+}
+
+/// Where a tracked instance's shards came from: the source database's
+/// revision and the stable component key of every shard, in shard order.
+/// [`PreparedInstance::refresh`] matches these keys against the refreshed
+/// database's component partition to decide which shards can be reused.
+#[derive(Debug)]
+struct Provenance {
+    /// `Database::revision` of the source at execution time.
+    source_revision: u64,
+    /// Number of schema relations at execution time; a schema that grew in
+    /// the meantime (e.g. `add_relation` in a later transaction) invalidates
+    /// the chase outputs' relation-id layout.
+    schema_len: usize,
+    /// Per shard, its stable component key: the canonical component root
+    /// (`None` for the nullary pseudo-component).
+    keys: Vec<Option<u32>>,
 }
 
 /// A plan executed over one database: the query-directed chase `ch^q_O(D)`
@@ -183,11 +257,17 @@ impl QueryPlan {
 #[derive(Debug)]
 pub struct PreparedInstance {
     plan: QueryPlan,
-    /// The chased database(s), one per shard; never empty.  Shared behind an
-    /// [`Arc`] so that [`AnswerStream`]s own the data they enumerate and can
-    /// outlive the instance.
-    shards: Arc<Vec<Database>>,
+    /// The chased database(s), one per shard; never empty.  The vector is
+    /// shared behind an [`Arc`] so that [`AnswerStream`]s own the data they
+    /// enumerate and can outlive the instance; each *shard* is additionally
+    /// its own [`Arc`] so that [`PreparedInstance::refresh`] can splice
+    /// untouched shards — chase output, columnar indexes and all — into a
+    /// successor instance without copying a fact.
+    shards: Arc<Vec<Arc<Database>>>,
     stats: PreprocessStats,
+    /// Component keys of the shards, present iff the instance was produced
+    /// by [`QueryPlan::execute_tracked`] (or a refresh thereof).
+    provenance: Option<Arc<Provenance>>,
 }
 
 impl PreparedInstance {
@@ -218,7 +298,11 @@ impl PreparedInstance {
     /// sets naively — remap each shard's nulls into a disjoint range first
     /// (e.g. via [`Database::null_counter`] offsets).  The answer semantics
     /// are unaffected: no enumerator or tester ever exposes a raw null.
-    pub fn shards(&self) -> &[Database] {
+    ///
+    /// Each shard sits behind its own [`Arc`]: instances produced by
+    /// [`PreparedInstance::refresh`] share the untouched shards of their
+    /// predecessor by pointer (observable via [`Arc::ptr_eq`]).
+    pub fn shards(&self) -> &[Arc<Database>] {
         &self.shards
     }
 
@@ -239,6 +323,176 @@ impl PreparedInstance {
             [single] => Ok(single),
             _ => Err(CoreError::ShardedInstance(op.to_owned())),
         }
+    }
+
+    /// Incrementally re-executes the plan after a store commit, reusing
+    /// every shard whose Gaifman component the commit did not touch.
+    ///
+    /// `db` is the store's head *after* the commit and `receipt` the
+    /// [`CommitReceipt`] that commit returned.  The dirty components are read
+    /// off the receipt's delta window (`db.facts()[receipt.base_facts..]`):
+    /// only those are re-chased (sharing the plan's bag-type memo), and the
+    /// remaining shards of `self` are spliced into the new instance by
+    /// [`Arc`]-clone — their chase output and columnar indexes are not
+    /// recomputed ([`PreprocessStats::reused_shards`] counts them).  The
+    /// freshly chased shards are ordered *first*, so the time to the first
+    /// answer of a post-refresh [`PreparedInstance::answers`] stream scales
+    /// with the delta's chase, not with `|D|`.
+    ///
+    /// Falls back to a full (tracked) re-execution whenever incremental
+    /// maintenance would be unsound or the lineage cannot be verified:
+    ///
+    /// * `self` carries no provenance (sequential/parallel execution,
+    ///   disconnected query, or empty source database);
+    /// * the commit added relation symbols, or the schema length changed
+    ///   (chase outputs bake in relation ids);
+    /// * the receipt does not chain `self`'s source revision to `db`'s
+    ///   current revision (a commit was skipped, or `db` mutated since);
+    /// * an insert merged two previously separate components (the reusable
+    ///   partition no longer exists).
+    ///
+    /// The fallback is transparent: the result is always answer-equivalent
+    /// to `self.plan().execute(db)` (property-tested in
+    /// `tests/incremental_maintenance.rs`).
+    ///
+    /// # Errors
+    ///
+    /// Besides chase errors, surfaces [`omq_data::DataError::StaleIndex`]
+    /// (as `CoreError::Data`) if a shard selected for reuse carries a
+    /// columnar index that no longer matches the shard's revision — a bug
+    /// guard; shards are immutable once published.
+    pub fn refresh(
+        &self,
+        db: impl AsRef<Database>,
+        receipt: &CommitReceipt,
+    ) -> Result<PreparedInstance> {
+        let db = db.as_ref();
+        let Some(prov) = &self.provenance else {
+            return self.plan.execute_tracked(db);
+        };
+        if receipt.new_relations > 0
+            || prov.source_revision != receipt.base_revision
+            || db.revision() != receipt.revision
+            || db.schema().len() != prov.schema_len
+            || receipt.base_facts > db.len()
+            || prov.keys.len() != self.shards.len()
+        {
+            return self.plan.execute_tracked(db);
+        }
+        if receipt.new_facts == 0 {
+            // No-effect commit: the head did not change, share everything.
+            let mut stats = self.stats;
+            stats.chase_micros = 0;
+            stats.reused_shards = self.shards.len();
+            return Ok(PreparedInstance {
+                plan: self.plan.clone(),
+                shards: Arc::clone(&self.shards),
+                stats,
+                provenance: self.provenance.clone(),
+            });
+        }
+        let start = Instant::now();
+        // Dirty set: the components the delta facts landed in, under the
+        // *new* head's partition.
+        let mut dirty: FxHashSet<u32> = FxHashSet::default();
+        let mut nullary_dirty = false;
+        for fact in &db.facts()[receipt.base_facts..] {
+            match fact.args.first() {
+                Some(&v) => {
+                    let Some(root) = db.component_root(v) else {
+                        // A fact argument always has a component root; treat
+                        // a miss as lineage corruption and rebuild.
+                        return self.plan.execute_tracked(db);
+                    };
+                    dirty.insert(root);
+                }
+                None => nullary_dirty = true,
+            }
+        }
+        // Re-canonicalise every old shard key against the new partition.  If
+        // two old components collapsed onto one root, a delta fact bridged
+        // them: the old shard boundaries are gone, fall back to a rebuild.
+        let mut owner: FxHashMap<u32, usize> = FxHashMap::default();
+        let mut new_keys: Vec<Option<u32>> = Vec::with_capacity(prov.keys.len());
+        for (idx, key) in prov.keys.iter().enumerate() {
+            match key {
+                Some(old_root) => {
+                    let Some(root) = db.component_root_of_code(*old_root) else {
+                        return self.plan.execute_tracked(db);
+                    };
+                    if owner.insert(root, idx).is_some() {
+                        return self.plan.execute_tracked(db);
+                    }
+                    new_keys.push(Some(root));
+                }
+                None => new_keys.push(None),
+            }
+        }
+        // Re-chase the dirty components from the new head.  Each component
+        // database carries *all* of the component's facts (old and new), so
+        // grown components and brand-new ones are handled uniformly.
+        let mut fresh_roots: Vec<u32> = dirty.iter().copied().collect();
+        fresh_roots.sort_unstable();
+        let mut parts: Vec<Database> = fresh_roots
+            .iter()
+            .map(|&root| db.component_database(root))
+            .collect();
+        if nullary_dirty {
+            parts.push(db.nullary_database());
+        }
+        let chased = self.plan.chase_plan().chase_many(&parts)?;
+        let mut stats = PreprocessStats {
+            input_facts: db.len(),
+            saturation_converged: self.stats.saturation_converged,
+            ..PreprocessStats::default()
+        };
+        // Fresh shards first: they derive from the new head (so the symbol
+        // shard resolves every constant, including ones this commit minted)
+        // and they are delta-sized, which is what makes post-refresh
+        // time-to-first-answer proportional to the delta.
+        let fresh_keys = fresh_roots
+            .iter()
+            .map(|&root| Some(root))
+            .chain(nullary_dirty.then_some(None));
+        let mut shards: Vec<Arc<Database>> = Vec::new();
+        let mut keys: Vec<Option<u32>> = Vec::new();
+        for (part, key) in chased.into_iter().zip(fresh_keys) {
+            stats.chased_facts += part.database.len();
+            stats.grafts += part.grafts;
+            stats.memo_hits += part.memo_hits;
+            stats.saturation_converged &= part.saturation_converged;
+            shards.push(Arc::new(part.database));
+            keys.push(key);
+        }
+        // Then the untouched shards of the predecessor, spliced by pointer.
+        for (old_idx, key) in new_keys.iter().enumerate() {
+            let clean = match key {
+                Some(root) => !dirty.contains(root),
+                None => !nullary_dirty,
+            };
+            if !clean {
+                continue;
+            }
+            let shard = &self.shards[old_idx];
+            shard.verify_columnar()?;
+            stats.chased_facts += shard.len();
+            stats.reused_shards += 1;
+            shards.push(Arc::clone(shard));
+            keys.push(*key);
+        }
+        stats.shards = shards.len();
+        stats.chase_micros = start.elapsed().as_micros();
+        let provenance = Some(Arc::new(Provenance {
+            source_revision: db.revision(),
+            schema_len: prov.schema_len,
+            keys,
+        }));
+        Ok(PreparedInstance {
+            plan: self.plan.clone(),
+            shards: Arc::new(shards),
+            stats,
+            provenance,
+        })
     }
 
     /// Preprocessing statistics of this execution.
@@ -312,7 +566,7 @@ impl PreparedInstance {
 
     /// The shard vector behind this instance, shared with the answer
     /// streams it produces.
-    pub(crate) fn shared_shards(&self) -> &Arc<Vec<Database>> {
+    pub(crate) fn shared_shards(&self) -> &Arc<Vec<Arc<Database>>> {
         &self.shards
     }
 
@@ -646,6 +900,7 @@ mod tests {
     use omq_cq::ConjunctiveQuery;
     use omq_data::Schema;
     use rustc_hash::FxHashSet;
+    use std::collections::BTreeSet;
 
     fn office_omq() -> OntologyMediatedQuery {
         let ontology = Ontology::parse(
@@ -757,6 +1012,198 @@ mod tests {
         // Same shape, so the second run hits the memo for every bag.
         assert!(second.stats().memo_hits >= first.stats().memo_hits);
         assert_eq!(plan.chase_plan().memoized_bag_types(), types);
+    }
+
+    fn answer_set(instance: &PreparedInstance, semantics: Semantics) -> BTreeSet<String> {
+        instance
+            .answers(semantics)
+            .unwrap()
+            .map(|a| instance.format_answer(&a))
+            .collect()
+    }
+
+    #[test]
+    fn execute_tracked_matches_execute_on_every_semantics() {
+        let omq = office_omq();
+        let plan = QueryPlan::compile(&omq).unwrap();
+        for db in [db_one(), db_two()] {
+            let plain = plan.execute(&db).unwrap();
+            let tracked = plan.execute_tracked(&db).unwrap();
+            assert!(tracked.shard_count() > 1, "component-rich data shards");
+            assert_eq!(tracked.stats().reused_shards, 0);
+            for semantics in [
+                Semantics::Complete,
+                Semantics::MinimalPartial,
+                Semantics::MinimalPartialMulti,
+            ] {
+                assert_eq!(
+                    answer_set(&plain, semantics),
+                    answer_set(&tracked, semantics)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tracked_execution_of_a_disconnected_query_falls_back() {
+        let ontology = Ontology::new();
+        let query = ConjunctiveQuery::parse("q(x, y) :- Researcher(x), InBuilding(y, z)").unwrap();
+        let omq = OntologyMediatedQuery::new(ontology, query).unwrap();
+        let plan = QueryPlan::compile(&omq).unwrap();
+        let tracked = plan.execute_tracked(db_one()).unwrap();
+        // Sharding a disconnected query would lose cross-component answers.
+        assert_eq!(tracked.shard_count(), 1);
+    }
+
+    fn store_with(facts: &[(&str, &[&str])]) -> omq_data::Store {
+        let mut store = omq_data::Store::new(schema());
+        let mut txn = omq_data::Txn::new();
+        for (rel, args) in facts {
+            txn = txn.insert(rel, args);
+        }
+        store.commit(txn).unwrap();
+        store
+    }
+
+    #[test]
+    fn refresh_reuses_untouched_component_shards_by_pointer() {
+        let omq = office_omq();
+        let plan = QueryPlan::compile(&omq).unwrap();
+        let mut store = store_with(&[
+            ("Researcher", &["mary"]),
+            ("HasOffice", &["mary", "room1"]),
+            ("InBuilding", &["room1", "main1"]),
+            ("Researcher", &["john"]),
+            ("HasOffice", &["john", "room4"]),
+            ("Researcher", &["mike"]),
+        ]);
+        let base = plan.execute_tracked(store.snapshot()).unwrap();
+        assert_eq!(base.shard_count(), 3);
+        // A delta inside john's component only.
+        let receipt = store
+            .commit(omq_data::Txn::new().insert("InBuilding", ["room4", "main2"]))
+            .unwrap();
+        let head = store.snapshot();
+        let refreshed = base.refresh(&head, &receipt).unwrap();
+        assert_eq!(refreshed.shard_count(), 3);
+        assert_eq!(refreshed.stats().reused_shards, 2);
+        // The two untouched shards are shared with the predecessor by
+        // pointer; the dirty component was re-chased into a fresh shard,
+        // ordered first.
+        let shared = refreshed
+            .shards()
+            .iter()
+            .filter(|shard| base.shards().iter().any(|old| Arc::ptr_eq(shard, old)))
+            .count();
+        assert_eq!(shared, 2);
+        assert!(
+            !base
+                .shards()
+                .iter()
+                .any(|old| Arc::ptr_eq(&refreshed.shards()[0], old)),
+            "the fresh shard leads the shard order"
+        );
+        // Answers agree with a from-scratch execution over the new head.
+        let scratch = plan.execute(&head).unwrap();
+        for semantics in [
+            Semantics::Complete,
+            Semantics::MinimalPartial,
+            Semantics::MinimalPartialMulti,
+        ] {
+            assert_eq!(
+                answer_set(&scratch, semantics),
+                answer_set(&refreshed, semantics)
+            );
+        }
+        // New constants minted by the commit resolve through the refreshed
+        // instance (the symbol shard derives from the new head).
+        assert!(refreshed
+            .test_complete_names(&["john", "room4", "main2"])
+            .unwrap());
+    }
+
+    #[test]
+    fn refresh_falls_back_on_merges_relations_and_untracked_instances() {
+        let omq = office_omq();
+        let plan = QueryPlan::compile(&omq).unwrap();
+        let mut store = store_with(&[
+            ("Researcher", &["mary"]),
+            ("HasOffice", &["mary", "room1"]),
+            ("Researcher", &["john"]),
+            ("HasOffice", &["john", "room4"]),
+        ]);
+        let base = plan.execute_tracked(store.snapshot()).unwrap();
+        assert_eq!(base.shard_count(), 2);
+        // A bridging fact merges the two components: no shard is reusable.
+        let receipt = store
+            .commit(omq_data::Txn::new().insert("InBuilding", ["room1", "room4"]))
+            .unwrap();
+        let merged = base.refresh(store.snapshot(), &receipt).unwrap();
+        assert_eq!(merged.stats().reused_shards, 0);
+        assert_eq!(merged.shard_count(), 1);
+        // A commit that adds a relation symbol invalidates the baked-in
+        // relation-id layout: full rebuild.
+        let receipt = store
+            .commit(
+                omq_data::Txn::new()
+                    .add_relation("Lab", 1)
+                    .insert("Lab", ["l1"]),
+            )
+            .unwrap();
+        let rebuilt = merged.refresh(store.snapshot(), &receipt).unwrap();
+        assert_eq!(rebuilt.stats().reused_shards, 0);
+        // An untracked instance (plain `execute`) has no provenance: refresh
+        // degrades to a full tracked execution.
+        let untracked = plan.execute(store.snapshot()).unwrap();
+        let receipt = store
+            .commit(omq_data::Txn::new().insert("Researcher", ["zoe"]))
+            .unwrap();
+        let from_untracked = untracked.refresh(store.snapshot(), &receipt).unwrap();
+        assert_eq!(from_untracked.stats().reused_shards, 0);
+        // …and the *next* refresh over it is incremental again.
+        let receipt = store
+            .commit(omq_data::Txn::new().insert("Researcher", ["amy"]))
+            .unwrap();
+        let incremental = from_untracked.refresh(store.snapshot(), &receipt).unwrap();
+        assert!(incremental.stats().reused_shards > 0);
+    }
+
+    #[test]
+    fn refresh_shares_everything_on_a_no_effect_commit() {
+        let omq = office_omq();
+        let plan = QueryPlan::compile(&omq).unwrap();
+        let mut store = store_with(&[("Researcher", &["mary"]), ("Researcher", &["john"])]);
+        let base = plan.execute_tracked(store.snapshot()).unwrap();
+        let receipt = store
+            .commit(omq_data::Txn::new().insert("Researcher", ["mary"]))
+            .unwrap();
+        assert_eq!(receipt.new_facts, 0);
+        let refreshed = base.refresh(store.snapshot(), &receipt).unwrap();
+        assert_eq!(refreshed.stats().reused_shards, base.shard_count());
+        assert!(Arc::ptr_eq(base.shared_shards(), refreshed.shared_shards()));
+    }
+
+    #[test]
+    fn refresh_rejects_a_skipped_receipt_via_full_rebuild() {
+        let omq = office_omq();
+        let plan = QueryPlan::compile(&omq).unwrap();
+        let mut store = store_with(&[("Researcher", &["mary"]), ("Researcher", &["john"])]);
+        let base = plan.execute_tracked(store.snapshot()).unwrap();
+        // Two commits, but only the second receipt is handed to refresh:
+        // the revision chain does not connect, so nothing may be reused.
+        store
+            .commit(omq_data::Txn::new().insert("Researcher", ["zoe"]))
+            .unwrap();
+        let second = store
+            .commit(omq_data::Txn::new().insert("Researcher", ["amy"]))
+            .unwrap();
+        let refreshed = base.refresh(store.snapshot(), &second).unwrap();
+        assert_eq!(refreshed.stats().reused_shards, 0);
+        let scratch = plan.execute(store.snapshot()).unwrap();
+        assert_eq!(
+            answer_set(&scratch, Semantics::MinimalPartial),
+            answer_set(&refreshed, Semantics::MinimalPartial)
+        );
     }
 
     #[test]

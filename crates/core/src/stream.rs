@@ -1,45 +1,52 @@
 //! The unified, lazy, pull-based answer cursor: [`AnswerStream`].
 //!
 //! `PreparedInstance::answers(Semantics)` is the one enumeration entry point
-//! of the engine: it runs the per-shard enumeration *preprocessing* (building
-//! the free-connex structures / Algorithm 1–2 cursors — linear in the chase)
-//! and returns an [`AnswerStream`], an `Iterator<Item = Answer>` with
-//! constant work per `next()` call.  This is the shape of the paper's
-//! central result: after linear preprocessing, taking the first `k` answers
-//! costs `O(k)`, independently of the database size — so `stream.take(k)`
-//! really is the cheap per-request bound a serving layer needs.
+//! of the engine: it checks the tractability gate and returns an
+//! [`AnswerStream`], an `Iterator<Item = Answer>` whose per-shard
+//! enumeration *preprocessing* (building the free-connex structures /
+//! Algorithm 1–2 cursors — linear in that shard's chase) runs lazily, the
+//! first time the cursor reaches the shard.  After a shard's preprocessing,
+//! every `next()` within it is constant work.  This is the shape of the
+//! paper's central result — after linear preprocessing, taking the first `k`
+//! answers costs `O(k)` — sharpened per shard: `stream.take(k)` only pays
+//! for the shards it actually enters.  In particular, after an incremental
+//! [`crate::PreparedInstance::refresh`] the freshly chased (delta-sized)
+//! shards come first, so the time to the first answer scales with the delta,
+//! not with `|D|`.
 //!
 //! Properties:
 //!
-//! * **Lazy.** No answer is materialised before it is pulled; dropping the
-//!   stream mid-way abandons the remaining enumeration with no other effect.
+//! * **Lazy.** No answer is materialised before it is pulled, and no shard's
+//!   enumeration structure is built before the cursor reaches the shard;
+//!   dropping the stream mid-way abandons the remaining work.
 //! * **Owning / resumable.** The stream holds clones of the plan's shared
 //!   `Arc` state and of the shard vector, so it is `'static`: it can be
 //!   returned from the function that executed the plan, parked inside a
 //!   paginating request handler, and resumed at any later point — the
 //!   `PreparedInstance` it came from may be dropped freely.
-//! * **Shard-sound.** On instances produced by `execute_parallel`, the
-//!   per-shard streams are chained lazily and the cross-shard wildcard
-//!   minimality filter (`WildcardMerge`) plus the Boolean empty-tuple dedup
-//!   are folded *into* the cursor, so sharded and sequential instances yield
-//!   the same answer multiset (property-tested in `tests/answer_stream.rs`).
+//! * **Shard-sound.** On multi-shard instances the per-shard streams are
+//!   chained lazily and the cross-shard wildcard minimality filter
+//!   (`WildcardMerge`) plus the Boolean empty-tuple dedup are folded *into*
+//!   the cursor, so sharded and sequential instances yield the same answer
+//!   multiset (property-tested in `tests/answer_stream.rs`).
 //!
-//! Errors after construction are rare (the tractability gate and the
-//! structure builds run inside `answers()`); if one does occur mid-stream —
-//! e.g. a tester failure inside Algorithm 2 — the stream ends and
-//! [`AnswerStream::error`] reports it, which the legacy `enumerate_*`
-//! wrappers turn back into a `Result`.
+//! The tractability gate still fails inside `answers()`; errors from the
+//! per-shard structure builds now surface mid-stream, like the Algorithm 2
+//! tester failures always did: the stream ends and [`AnswerStream::error`]
+//! reports it, which `try_collect`/`for_each_answer` and the legacy
+//! `enumerate_*` wrappers turn back into a `Result`.
 
 use crate::enumerate::AnswerCursor;
 use crate::error::CoreError;
 use crate::multi_enum::MultiEnumerator;
 use crate::parallel::WildcardMerge;
 use crate::partial_enum::PartialEnumerator;
-use crate::plan::PreparedInstance;
+use crate::plan::{PreparedInstance, QueryPlan};
 use crate::preprocess::FreeConnexStructure;
 use crate::Result;
-use omq_data::{Answer, MultiTuple, PartialTuple, Semantics, Value};
+use omq_data::{Answer, Database, MultiTuple, PartialTuple, Semantics, Value};
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// One shard of the complete-answer stream: the materialised structure and
 /// the cursor walking it.
@@ -49,27 +56,29 @@ struct CompleteShard {
     cursor: AnswerCursor,
 }
 
-/// The semantics-specific machinery behind the stream.
+/// The semantics-specific machinery behind the stream.  Each variant holds
+/// at most the *current* shard's enumeration state; the next shard's is
+/// built on demand when the current one drains.  One stream exists per
+/// paginating request, so the size spread between the variants is not worth
+/// an indirection on the per-answer hot path.
+#[allow(clippy::large_enum_variant)]
 enum Inner {
     Complete {
-        shards: Vec<CompleteShard>,
-        current: usize,
+        current: Option<CompleteShard>,
         /// Boolean query: the empty tuple is emitted at most once across all
         /// shards.
         boolean: bool,
         done: bool,
     },
     Partial {
-        shards: Vec<PartialEnumerator>,
-        current: usize,
+        current: Option<PartialEnumerator>,
         /// `None` once flushed (all shards drained).
         merge: Option<WildcardMerge<PartialTuple>>,
         /// Answers released by the merge but not yet pulled.
         pending: VecDeque<PartialTuple>,
     },
     Multi {
-        shards: Vec<MultiEnumerator<'static>>,
-        current: usize,
+        current: Option<MultiEnumerator<'static>>,
         merge: Option<WildcardMerge<MultiTuple>>,
         pending: VecDeque<MultiTuple>,
     },
@@ -77,21 +86,14 @@ enum Inner {
 
 impl std::fmt::Debug for Inner {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let (name, shards, current) = match self {
-            Inner::Complete {
-                shards, current, ..
-            } => ("Complete", shards.len(), *current),
-            Inner::Partial {
-                shards, current, ..
-            } => ("Partial", shards.len(), *current),
-            Inner::Multi {
-                shards, current, ..
-            } => ("Multi", shards.len(), *current),
+        let (name, live) = match self {
+            Inner::Complete { current, .. } => ("Complete", current.is_some()),
+            Inner::Partial { current, .. } => ("Partial", current.is_some()),
+            Inner::Multi { current, .. } => ("Multi", current.is_some()),
         };
         f.debug_struct("AnswerStreamInner")
             .field("semantics", &name)
-            .field("shards", &shards)
-            .field("current", &current)
+            .field("current_shard_live", &live)
             .finish()
     }
 }
@@ -102,62 +104,48 @@ impl std::fmt::Debug for Inner {
 #[derive(Debug)]
 pub struct AnswerStream {
     semantics: Semantics,
+    /// The plan, kept for the compiled skeleton the lazy shard builds need.
+    plan: QueryPlan,
+    /// The shard vector, shared with the instance (and its successors).
+    shards: Arc<Vec<Arc<Database>>>,
+    /// Index of the next shard whose enumeration state has not been built.
+    next_shard: usize,
     inner: Inner,
     error: Option<CoreError>,
     emitted: usize,
 }
 
 impl AnswerStream {
-    /// Builds the stream over a prepared instance: per-shard enumeration
-    /// preprocessing happens here (linear in the chase), so that every
-    /// subsequent `next()` is constant work.
+    /// Builds the stream over a prepared instance.  Only the tractability
+    /// gate runs here; the per-shard enumeration preprocessing (linear in
+    /// each shard's chase) is deferred until the cursor reaches the shard.
     pub(crate) fn build(instance: &PreparedInstance, semantics: Semantics) -> Result<Self> {
-        let skeleton = instance.plan().skeleton()?;
+        // Fail the intractable cases eagerly — the skeleton is compiled at
+        // plan build time, so this is a cheap check, not per-shard work.
+        instance.plan().skeleton()?;
         let arity = instance.omq().arity();
-        let shards = instance.shared_shards();
         let inner = match semantics {
-            Semantics::Complete => {
-                let shards = shards
-                    .iter()
-                    .map(|shard| {
-                        let structure = FreeConnexStructure::materialize(skeleton, shard, true)?;
-                        let cursor = AnswerCursor::new(&structure);
-                        Ok(CompleteShard { structure, cursor })
-                    })
-                    .collect::<Result<Vec<_>>>()?;
-                Inner::Complete {
-                    shards,
-                    current: 0,
-                    boolean: instance.omq().query().is_boolean(),
-                    done: false,
-                }
-            }
-            Semantics::MinimalPartial => {
-                let cursors = shards
-                    .iter()
-                    .map(|shard| PartialEnumerator::with_skeleton(skeleton, shard))
-                    .collect::<Result<Vec<_>>>()?;
-                Inner::Partial {
-                    shards: cursors,
-                    current: 0,
-                    merge: Some(WildcardMerge::partial(arity)),
-                    pending: VecDeque::new(),
-                }
-            }
-            Semantics::MinimalPartialMulti => {
-                let cursors = (0..shards.len())
-                    .map(|idx| MultiEnumerator::for_shard(skeleton, shards.clone(), idx))
-                    .collect::<Result<Vec<_>>>()?;
-                Inner::Multi {
-                    shards: cursors,
-                    current: 0,
-                    merge: Some(WildcardMerge::multi(arity)),
-                    pending: VecDeque::new(),
-                }
-            }
+            Semantics::Complete => Inner::Complete {
+                current: None,
+                boolean: instance.omq().query().is_boolean(),
+                done: false,
+            },
+            Semantics::MinimalPartial => Inner::Partial {
+                current: None,
+                merge: Some(WildcardMerge::partial(arity)),
+                pending: VecDeque::new(),
+            },
+            Semantics::MinimalPartialMulti => Inner::Multi {
+                current: None,
+                merge: Some(WildcardMerge::multi(arity)),
+                pending: VecDeque::new(),
+            },
         };
         Ok(AnswerStream {
             semantics,
+            plan: instance.plan().clone(),
+            shards: Arc::clone(instance.shared_shards()),
+            next_shard: 0,
             inner,
             error: None,
             emitted: 0,
@@ -197,7 +185,6 @@ impl AnswerStream {
 
     fn next_complete(&mut self) -> Option<Answer> {
         let Inner::Complete {
-            shards,
             current,
             boolean,
             done,
@@ -208,44 +195,62 @@ impl AnswerStream {
         if *done {
             return None;
         }
-        while *current < shards.len() {
-            let shard = &mut shards[*current];
-            match shard.cursor.next_answer(&shard.structure) {
-                Some(values) => {
-                    let tuple: Option<Vec<_>> = values
-                        .iter()
-                        .map(|v| match v {
-                            Value::Const(c) => Some(*c),
-                            Value::Null(_) => None,
-                        })
-                        .collect();
-                    let Some(tuple) = tuple else {
-                        // Cannot happen for structures built with the
-                        // `complete_only` relativisation; handled as a
-                        // reportable invariant violation.
-                        self.error = Some(CoreError::Internal(
-                            "complete answer contains a null".to_owned(),
-                        ));
+        loop {
+            if let Some(shard) = current.as_mut() {
+                match shard.cursor.next_answer(&shard.structure) {
+                    Some(values) => {
+                        let tuple: Option<Vec<_>> = values
+                            .iter()
+                            .map(|v| match v {
+                                Value::Const(c) => Some(*c),
+                                Value::Null(_) => None,
+                            })
+                            .collect();
+                        let Some(tuple) = tuple else {
+                            // Cannot happen for structures built with the
+                            // `complete_only` relativisation; handled as a
+                            // reportable invariant violation.
+                            self.error = Some(CoreError::Internal(
+                                "complete answer contains a null".to_owned(),
+                            ));
+                            *done = true;
+                            return None;
+                        };
+                        if *boolean {
+                            // The empty tuple is the only Boolean answer:
+                            // stop after the first satisfiable shard.
+                            *done = true;
+                        }
+                        return Some(Answer::Complete(tuple));
+                    }
+                    None => *current = None,
+                }
+            } else if self.next_shard < self.shards.len() {
+                let idx = self.next_shard;
+                self.next_shard += 1;
+                let skeleton = self.plan.skeleton().expect("checked at stream build");
+                let built = FreeConnexStructure::materialize(skeleton, &self.shards[idx], true)
+                    .map(|structure| {
+                        let cursor = AnswerCursor::new(&structure);
+                        CompleteShard { structure, cursor }
+                    });
+                match built {
+                    Ok(shard) => *current = Some(shard),
+                    Err(e) => {
+                        self.error = Some(e);
                         *done = true;
                         return None;
-                    };
-                    if *boolean {
-                        // The empty tuple is the only Boolean answer: stop
-                        // after the first satisfiable shard.
-                        *done = true;
                     }
-                    return Some(Answer::Complete(tuple));
                 }
-                None => *current += 1,
+            } else {
+                *done = true;
+                return None;
             }
         }
-        *done = true;
-        None
     }
 
     fn next_partial(&mut self) -> Option<Answer> {
         let Inner::Partial {
-            shards,
             current,
             merge,
             pending,
@@ -258,10 +263,23 @@ impl AnswerStream {
                 return Some(Answer::Partial(t));
             }
             let live_merge = merge.as_mut()?;
-            if *current < shards.len() {
-                match shards[*current].next() {
+            if let Some(cursor) = current.as_mut() {
+                match cursor.next() {
                     Some(t) => live_merge.offer(t, &mut |out| pending.push_back(out)),
-                    None => *current += 1,
+                    None => *current = None,
+                }
+            } else if self.next_shard < self.shards.len() {
+                let idx = self.next_shard;
+                self.next_shard += 1;
+                let skeleton = self.plan.skeleton().expect("checked at stream build");
+                match PartialEnumerator::with_skeleton(skeleton, &self.shards[idx]) {
+                    Ok(cursor) => *current = Some(cursor),
+                    Err(e) => {
+                        self.error = Some(e);
+                        *merge = None;
+                        pending.clear();
+                        return None;
+                    }
                 }
             } else {
                 // All shards drained: release the surviving wildcard-only
@@ -279,7 +297,6 @@ impl AnswerStream {
 
     fn next_multi(&mut self) -> Option<Answer> {
         let Inner::Multi {
-            shards,
             current,
             merge,
             pending,
@@ -292,17 +309,30 @@ impl AnswerStream {
                 return Some(Answer::Multi(t));
             }
             let live_merge = merge.as_mut()?;
-            if *current < shards.len() {
-                match shards[*current].next() {
+            if let Some(cursor) = current.as_mut() {
+                match cursor.next() {
                     Some(t) => live_merge.offer(t, &mut |out| pending.push_back(out)),
                     None => {
-                        if let Some(e) = shards[*current].error() {
+                        if let Some(e) = cursor.error() {
                             self.error = Some(e.clone());
                             *merge = None;
                             pending.clear();
                             return None;
                         }
-                        *current += 1;
+                        *current = None;
+                    }
+                }
+            } else if self.next_shard < self.shards.len() {
+                let idx = self.next_shard;
+                self.next_shard += 1;
+                let skeleton = self.plan.skeleton().expect("checked at stream build");
+                match MultiEnumerator::for_shard(skeleton, Arc::clone(&self.shards), idx) {
+                    Ok(cursor) => *current = Some(cursor),
+                    Err(e) => {
+                        self.error = Some(e);
+                        *merge = None;
+                        pending.clear();
+                        return None;
                     }
                 }
             } else {

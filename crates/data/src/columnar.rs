@@ -240,6 +240,29 @@ impl ColumnarIndex {
     pub fn revision(&self) -> u64 {
         self.revision
     }
+
+    /// Checks that this index is current for `db`, i.e. that it was built at
+    /// `db`'s present revision.
+    ///
+    /// The owning database upholds invariant 1 by dropping its index on every
+    /// mutation, so an index reached through [`Database::columnar`] is always
+    /// current.  A *detached* index — a clone held across a mutation, or an
+    /// index belonging to a shard that was refreshed underneath it — can go
+    /// stale; executors that reuse shard indexes across epochs call this
+    /// before trusting the index and surface [`DataError::StaleIndex`]
+    /// instead of a debug assertion.
+    ///
+    /// [`DataError::StaleIndex`]: crate::DataError::StaleIndex
+    pub fn verify_against(&self, db: &Database) -> crate::Result<()> {
+        if self.revision == db.revision() {
+            Ok(())
+        } else {
+            Err(crate::DataError::StaleIndex {
+                index_revision: self.revision,
+                database_revision: db.revision(),
+            })
+        }
+    }
 }
 
 #[cfg(test)]

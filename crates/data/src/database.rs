@@ -27,7 +27,12 @@ const NO_CODE: u32 = u32::MAX;
 ///   `adom(D)`), maintained incrementally via per-kind code tables,
 /// * a [`ColumnarIndex`] — CSR arrays keyed by `(relation, position)` and by
 ///   value code — built lazily in one linear pass and invalidated by every
-///   mutation, see [`crate::columnar`] for the invariants.
+///   mutation, see [`crate::columnar`] for the invariants,
+/// * an **incremental Gaifman component index**: a union-find over value
+///   codes with intrusive per-component fact lists, maintained by
+///   [`Database::add_fact`] in near-constant amortised time, so delta-chase
+///   maintenance can locate and extract a dirty component in time
+///   proportional to that component — never by rescanning the fact table.
 #[derive(Debug, Default)]
 pub struct Database {
     schema: Schema,
@@ -45,6 +50,22 @@ pub struct Database {
     null_code: Vec<u32>,
     /// Lazily built columnar index; reset on every mutation.
     columnar: OnceLock<ColumnarIndex>,
+    /// Incremental union-find over dense value codes: `comp_parent[c]` is the
+    /// parent of code `c`, roots satisfy `comp_parent[c] == c`.  Two codes
+    /// share a root iff their values are in the same Gaifman connected
+    /// component.  Maintained by `add_fact` with path-halving finds.
+    comp_parent: Vec<u32>,
+    /// Head of the intrusive fact list of the component rooted at each code
+    /// (`NO_CODE` if empty).  Non-empty only at canonical roots: unions
+    /// concatenate the lists in O(1) and clear the absorbed root's slots.
+    comp_head: Vec<u32>,
+    /// Tail of the intrusive per-root fact list (`NO_CODE` if empty).
+    comp_tail: Vec<u32>,
+    /// Per-fact `next` pointer of the intrusive component fact lists
+    /// (`NO_CODE` terminates a list).
+    comp_next: Vec<u32>,
+    /// Indices of nullary facts (no arguments): the pseudo-component.
+    nullary_facts: Vec<u32>,
     next_null: u32,
     /// Monotone mutation counter: bumped by every operation that changes the
     /// fact table or the schema (`add_fact`, `add_relation`, `absorb`).  The
@@ -69,6 +90,11 @@ impl Clone for Database {
             const_code: self.const_code.clone(),
             null_code: self.null_code.clone(),
             columnar: OnceLock::new(),
+            comp_parent: self.comp_parent.clone(),
+            comp_head: self.comp_head.clone(),
+            comp_tail: self.comp_tail.clone(),
+            comp_next: self.comp_next.clone(),
+            nullary_facts: self.nullary_facts.clone(),
             next_null: self.next_null,
             revision: self.revision,
         }
@@ -89,6 +115,11 @@ impl Database {
             const_code: Vec::new(),
             null_code: Vec::new(),
             columnar: OnceLock::new(),
+            comp_parent: Vec::new(),
+            comp_head: Vec::new(),
+            comp_tail: Vec::new(),
+            comp_next: Vec::new(),
+            nullary_facts: Vec::new(),
             next_null: 0,
             revision: 0,
         }
@@ -227,6 +258,23 @@ impl Database {
                 self.reserve_null(n);
             }
         }
+        // Maintain the incremental component index: all argument values of a
+        // fact are Gaifman-connected, so union their codes and append the
+        // fact to the surviving root's intrusive list.
+        self.comp_next.push(NO_CODE);
+        match fact.args.first() {
+            Some(&head) => {
+                let code = self.value_code(head).expect("code assigned above");
+                let mut root = self.find_compress(code);
+                for &v in &fact.args[1..] {
+                    let code = self.value_code(v).expect("code assigned above");
+                    let other = self.find_compress(code);
+                    root = self.union_roots(root, other);
+                }
+                self.append_to_component(root, idx as u32);
+            }
+            None => self.nullary_facts.push(idx as u32),
+        }
         self.by_relation[fact.rel.0 as usize].push(idx);
         self.fact_set.insert(fact.clone());
         self.facts.push(fact);
@@ -253,9 +301,63 @@ impl Database {
             }
         };
         if *table == NO_CODE {
-            *table = u32::try_from(self.adom.len()).expect("adom overflow");
+            let code = u32::try_from(self.adom.len()).expect("adom overflow");
+            *table = code;
             self.adom.push(v);
+            // A fresh value starts as its own singleton component.
+            self.comp_parent.push(code);
+            self.comp_head.push(NO_CODE);
+            self.comp_tail.push(NO_CODE);
         }
+    }
+
+    /// Read-only union-find lookup: walks parents without compressing.
+    fn find(&self, mut i: u32) -> u32 {
+        while self.comp_parent[i as usize] != i {
+            i = self.comp_parent[i as usize];
+        }
+        i
+    }
+
+    /// Union-find lookup with path halving (mutating fast path).
+    fn find_compress(&mut self, mut i: u32) -> u32 {
+        while self.comp_parent[i as usize] != i {
+            let grand = self.comp_parent[self.comp_parent[i as usize] as usize];
+            self.comp_parent[i as usize] = grand;
+            i = grand;
+        }
+        i
+    }
+
+    /// Unions two canonical roots, concatenating `a`'s fact list onto `b`'s
+    /// in O(1), and returns the surviving root.
+    fn union_roots(&mut self, a: u32, b: u32) -> u32 {
+        if a == b {
+            return a;
+        }
+        self.comp_parent[a as usize] = b;
+        if self.comp_head[a as usize] != NO_CODE {
+            if self.comp_head[b as usize] == NO_CODE {
+                self.comp_head[b as usize] = self.comp_head[a as usize];
+            } else {
+                self.comp_next[self.comp_tail[b as usize] as usize] = self.comp_head[a as usize];
+            }
+            self.comp_tail[b as usize] = self.comp_tail[a as usize];
+            self.comp_head[a as usize] = NO_CODE;
+            self.comp_tail[a as usize] = NO_CODE;
+        }
+        b
+    }
+
+    /// Appends fact `idx` to the intrusive fact list of the canonical root
+    /// `root` (`comp_next[idx]` must already exist and terminate the list).
+    fn append_to_component(&mut self, root: u32, idx: u32) {
+        if self.comp_head[root as usize] == NO_CODE {
+            self.comp_head[root as usize] = idx;
+        } else {
+            self.comp_next[self.comp_tail[root as usize] as usize] = idx;
+        }
+        self.comp_tail[root as usize] = idx;
     }
 
     /// The dense value code of `v` (its index in [`Database::adom`]), if the
@@ -279,6 +381,25 @@ impl Database {
         // Mutations drop the index, so a reachable index is always current.
         debug_assert_eq!(index.revision(), self.revision);
         index
+    }
+
+    /// The columnar index if it has already been built (and not invalidated
+    /// by a mutation) — never triggers a build.
+    pub fn columnar_if_built(&self) -> Option<&ColumnarIndex> {
+        self.columnar.get()
+    }
+
+    /// Verifies that the built columnar index (if any) matches this
+    /// database's revision, surfacing [`DataError::StaleIndex`] as a typed
+    /// error instead of the internal debug assertion.  Executors that splice
+    /// previously indexed shards into a refreshed instance call this before
+    /// serving lookups from the reused index; a database without a built
+    /// index trivially passes (the next lookup builds a current one).
+    pub fn verify_columnar(&self) -> Result<()> {
+        match self.columnar.get() {
+            Some(index) => index.verify_against(self),
+            None => Ok(()),
+        }
     }
 
     /// The monotone mutation counter of this database: bumped by every
@@ -476,28 +597,10 @@ impl Database {
     /// are grouped into one pseudo-component of their own.  Returns the
     /// per-fact labels and the number of components; labels are dense
     /// (`0..count`) in order of first appearance in the fact table.
+    ///
+    /// Served from the incrementally maintained union-find (one linear pass
+    /// over the fact table, no re-derivation of the partition).
     pub fn fact_components(&self) -> (Vec<u32>, usize) {
-        // Union-find over dense value codes.
-        let mut parent: Vec<u32> = (0..self.adom.len() as u32).collect();
-        fn find(parent: &mut [u32], mut i: u32) -> u32 {
-            while parent[i as usize] != i {
-                let grand = parent[parent[i as usize] as usize];
-                parent[i as usize] = grand;
-                i = grand;
-            }
-            i
-        }
-        for fact in &self.facts {
-            let mut args = fact.args.iter();
-            if let Some(&head) = args.next() {
-                let head = self.value_code(head).expect("fact values are in the adom");
-                for &v in args {
-                    let code = self.value_code(v).expect("fact values are in the adom");
-                    let (a, b) = (find(&mut parent, head), find(&mut parent, code));
-                    parent[a as usize] = b;
-                }
-            }
-        }
         const UNLABELLED: u32 = u32::MAX;
         let mut label_of_root: Vec<u32> = vec![UNLABELLED; self.adom.len()];
         let mut nullary_label = UNLABELLED;
@@ -507,7 +610,7 @@ impl Database {
             let label = match fact.args.first() {
                 Some(&v) => {
                     let code = self.value_code(v).expect("fact values are in the adom");
-                    let root = find(&mut parent, code) as usize;
+                    let root = self.find(code) as usize;
                     if label_of_root[root] == UNLABELLED {
                         label_of_root[root] = count;
                         count += 1;
@@ -525,6 +628,97 @@ impl Database {
             labels.push(label);
         }
         (labels, count as usize)
+    }
+
+    /// The canonical component root — a dense value code — of the Gaifman
+    /// connected component containing `v`, or `None` if `v` does not occur
+    /// in the database.
+    ///
+    /// Roots are a property of the current partition: a later insert can
+    /// merge two components, after which both old roots resolve (via
+    /// [`Database::component_root_of_code`]) to one surviving root.  Value
+    /// codes are append-stable, so a root obtained at an older revision can
+    /// always be re-canonicalised against a newer clone of the database.
+    pub fn component_root(&self, v: Value) -> Option<u32> {
+        self.value_code(v).map(|code| self.find(code))
+    }
+
+    /// Re-canonicalises a dense value code (possibly obtained from an older
+    /// revision of this database's lineage) to its current component root.
+    /// Returns `None` if the code is out of range for this database.
+    pub fn component_root_of_code(&self, code: u32) -> Option<u32> {
+        ((code as usize) < self.comp_parent.len()).then(|| self.find(code))
+    }
+
+    /// The fact indices of the component canonically rooted at `root`, in
+    /// insertion order.  `root` must be a canonical root (as returned by
+    /// [`Database::component_root`]); a non-canonical code yields an empty
+    /// list because unions move the intrusive fact list to the surviving
+    /// root.  Costs time proportional to the component, not the database.
+    pub fn component_fact_indices(&self, root: u32) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut cur = match self.comp_head.get(root as usize) {
+            Some(&head) => head,
+            None => return out,
+        };
+        while cur != NO_CODE {
+            out.push(cur as usize);
+            cur = self.comp_next[cur as usize];
+        }
+        // Unions concatenate lists, so restore global insertion order.
+        out.sort_unstable();
+        out
+    }
+
+    /// The indices of the nullary facts (the pseudo-component), in insertion
+    /// order.
+    pub fn nullary_fact_indices(&self) -> &[u32] {
+        &self.nullary_facts
+    }
+
+    /// Extracts the single component rooted at `root` as an independent
+    /// database sharing this database's interner snapshot (like one shard of
+    /// [`Database::shard_by_component`]).  Time proportional to the
+    /// component.
+    pub fn component_database(&self, root: u32) -> Database {
+        let mut out = self.derived_empty();
+        for idx in self.component_fact_indices(root) {
+            out.add_fact(self.facts[idx].clone())
+                .expect("shard schema is a clone of the parent schema");
+        }
+        out
+    }
+
+    /// Extracts the nullary pseudo-component as an independent database
+    /// sharing this database's interner snapshot.
+    pub fn nullary_database(&self) -> Database {
+        let mut out = self.derived_empty();
+        for &idx in &self.nullary_facts {
+            out.add_fact(self.facts[idx as usize].clone())
+                .expect("shard schema is a clone of the parent schema");
+        }
+        out
+    }
+
+    /// Partitions the facts into one database per Gaifman component, each
+    /// tagged with its stable key: the canonical component root (`None` for
+    /// the nullary pseudo-component, which sorts last).  This is the keyed
+    /// form of [`Database::shard_by_component`] used by delta-chase
+    /// maintenance, which must recognise untouched components across
+    /// revisions of one database lineage.
+    pub fn shard_by_component_keyed(&self) -> Vec<(Option<u32>, Database)> {
+        let mut out = Vec::new();
+        for code in 0..self.comp_head.len() {
+            // Non-empty fact lists live only at canonical roots.
+            if self.comp_head[code] != NO_CODE {
+                let root = code as u32;
+                out.push((Some(root), self.component_database(root)));
+            }
+        }
+        if !self.nullary_facts.is_empty() {
+            out.push((None, self.nullary_database()));
+        }
+        out
     }
 
     /// Number of connected components of the Gaifman graph (values that
@@ -889,6 +1083,76 @@ mod tests {
         assert_eq!(db.component_count(), 4);
         let shards = db.shard_by_component();
         assert_eq!(shards.iter().map(Database::len).sum::<usize>(), db.len());
+    }
+
+    #[test]
+    fn component_roots_and_keyed_shards_track_inserts() {
+        let mut db = office_db();
+        let mary = Value::Const(db.const_id("mary").unwrap());
+        let room1 = Value::Const(db.const_id("room1").unwrap());
+        let mike = Value::Const(db.const_id("mike").unwrap());
+        assert_eq!(db.component_root(mary), db.component_root(room1));
+        assert_ne!(db.component_root(mary), db.component_root(mike));
+        // Keyed shards partition the facts and agree with the roots.
+        let keyed = db.shard_by_component_keyed();
+        assert_eq!(keyed.len(), 3);
+        assert_eq!(keyed.iter().map(|(_, s)| s.len()).sum::<usize>(), db.len());
+        for (key, shard) in &keyed {
+            let root = key.expect("no nullary facts in the office db");
+            assert!(shard.shares_interner_with(&db));
+            for fact in shard.facts() {
+                assert_eq!(db.component_root(fact.args[0]), Some(root));
+            }
+        }
+        // Extracting a component yields exactly its facts, insertion order.
+        let root = db.component_root(mary).unwrap();
+        assert_eq!(db.component_fact_indices(root), vec![0, 3, 5]);
+        assert_eq!(db.component_database(root).len(), 3);
+        // A bridging fact merges two components: both old roots
+        // re-canonicalise to the one survivor, which owns all the facts.
+        let old_mary = root;
+        let old_mike = db.component_root(mike).unwrap();
+        db.add_named_fact("HasOffice", &["mike", "room1"]).unwrap();
+        let merged = db.component_root(mary).unwrap();
+        assert_eq!(db.component_root(mike), Some(merged));
+        assert_eq!(db.component_root_of_code(old_mary), Some(merged));
+        assert_eq!(db.component_root_of_code(old_mike), Some(merged));
+        assert_eq!(db.component_count(), 2);
+        assert_eq!(db.component_database(merged).len(), 5);
+        assert_eq!(db.component_root_of_code(u32::MAX - 1), None);
+    }
+
+    #[test]
+    fn keyed_shards_put_the_nullary_pseudo_component_last() {
+        let mut db = office_db();
+        db.add_relation("Flag", 0).unwrap();
+        db.add_fact(Fact::new(db.schema().relation_id("Flag").unwrap(), vec![]))
+            .unwrap();
+        assert_eq!(db.nullary_fact_indices(), &[6]);
+        assert_eq!(db.nullary_database().len(), 1);
+        let keyed = db.shard_by_component_keyed();
+        assert_eq!(keyed.len(), 4);
+        assert_eq!(keyed.last().unwrap().0, None);
+        assert_eq!(keyed.iter().map(|(_, s)| s.len()).sum::<usize>(), db.len());
+    }
+
+    #[test]
+    fn stale_columnar_index_is_a_typed_error() {
+        let mut db = office_db();
+        let detached = db.columnar().clone();
+        assert!(detached.verify_against(&db).is_ok());
+        assert!(db.verify_columnar().is_ok());
+        db.add_named_fact("Researcher", &["zoe"]).unwrap();
+        let err = detached.verify_against(&db).unwrap_err();
+        assert!(matches!(err, DataError::StaleIndex { .. }));
+        assert!(err.to_string().contains("stale columnar index"));
+        // The owning database never serves a stale index: the mutation
+        // dropped it, so the typed check passes before and after a rebuild.
+        assert!(db.columnar_if_built().is_none());
+        assert!(db.verify_columnar().is_ok());
+        let _ = db.columnar();
+        assert!(db.columnar_if_built().is_some());
+        assert!(db.verify_columnar().is_ok());
     }
 
     #[test]

@@ -37,6 +37,16 @@ pub enum DataError {
     /// A multi-wildcard tuple violated the canonical numbering condition
     /// (a wildcard `*_j` with `j > 1` must be preceded by `*_{j-1}`).
     NonCanonicalWildcards,
+    /// A [`crate::ColumnarIndex`] was executed against a database whose
+    /// revision differs from the one the index was built at (e.g. a cloned
+    /// index outliving a mutation, or a reused shard that was refreshed
+    /// underneath it).
+    StaleIndex {
+        /// The revision the index was built at.
+        index_revision: u64,
+        /// The current revision of the database it was checked against.
+        database_revision: u64,
+    },
 }
 
 impl fmt::Display for DataError {
@@ -71,6 +81,14 @@ impl fmt::Display for DataError {
                     "multi-wildcard tuple does not use canonical wildcard numbering"
                 )
             }
+            DataError::StaleIndex {
+                index_revision,
+                database_revision,
+            } => write!(
+                f,
+                "stale columnar index: built at revision {index_revision}, \
+                 database is at revision {database_revision}"
+            ),
         }
     }
 }

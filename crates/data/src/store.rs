@@ -151,6 +151,14 @@ impl Txn {
 }
 
 /// The outcome of a successful [`Store::commit`].
+///
+/// Besides the ingestion counts, a receipt records the **delta window** of
+/// the commit: the head's [`Database::revision`] and fact count immediately
+/// before the commit and the revision immediately after.  Facts are
+/// append-only, so the slice `head.facts()[base_facts..]` of the post-commit
+/// head is exactly what this commit inserted — the hook delta-chase
+/// maintenance (`PreparedInstance::refresh` in `omq-core`) uses to re-chase
+/// only the dirtied Gaifman components.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CommitReceipt {
     /// The store's epoch after the commit (snapshots taken from now on carry
@@ -163,6 +171,14 @@ pub struct CommitReceipt {
     pub duplicate_facts: usize,
     /// Number of relation symbols the transaction added to the schema.
     pub new_relations: usize,
+    /// The head database's revision immediately before this commit applied
+    /// (equal to [`CommitReceipt::revision`] for a no-effect commit).
+    pub base_revision: u64,
+    /// The head database's revision immediately after this commit applied.
+    pub revision: u64,
+    /// The head's fact count immediately before this commit applied; the
+    /// commit's inserted facts are `head.facts()[base_facts..]`.
+    pub base_facts: usize,
 }
 
 /// An immutable view of a [`Store`] at one epoch.
@@ -352,15 +368,25 @@ impl Store {
                 new_facts: 0,
                 duplicate_facts: staged_inserts,
                 new_relations: 0,
+                base_revision: self.head.revision(),
+                revision: self.head.revision(),
+                base_facts: self.head.len(),
             });
         }
-        // Phase 2: apply. Infallible after validation.
+        // Phase 2: apply. Infallible after validation.  The delta window is
+        // captured before `make_mut`: a copy-on-write clone preserves the
+        // revision, so the base names the pre-commit state either way.
+        let base_revision = self.head.revision();
+        let base_facts = self.head.len();
         let db = Arc::make_mut(&mut self.head);
         let mut receipt = CommitReceipt {
             epoch: 0,
             new_facts: 0,
             duplicate_facts: 0,
             new_relations: 0,
+            base_revision,
+            revision: 0,
+            base_facts,
         };
         for op in txn.ops {
             match op {
@@ -385,6 +411,7 @@ impl Store {
         }
         self.epoch += 1;
         receipt.epoch = self.epoch;
+        receipt.revision = self.head.revision();
         Ok(receipt)
     }
 
@@ -544,6 +571,39 @@ mod tests {
             .commit(Txn::new().add_relation("Flag", 1).insert("Flag", ["on"]))
             .unwrap();
         assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn receipts_record_the_delta_window() {
+        let mut store = Store::new(office_schema());
+        let r1 = store
+            .commit(Txn::new().insert("Researcher", ["mary"]))
+            .unwrap();
+        assert_eq!(r1.base_facts, 0);
+        assert_eq!(r1.base_revision, 0);
+        assert_eq!(r1.revision, store.snapshot().revision());
+        assert!(r1.revision > r1.base_revision);
+        let head = store.snapshot();
+        let r2 = store
+            .commit(
+                Txn::new()
+                    .insert("Researcher", ["mary"])
+                    .insert("HasOffice", ["mary", "room1"]),
+            )
+            .unwrap();
+        assert_eq!(r2.base_facts, 1);
+        assert_eq!(r2.base_revision, head.revision());
+        assert_eq!(r2.new_facts, 1);
+        // Facts are append-only: the delta slice is exactly the inserts.
+        let new_head = store.snapshot();
+        assert_eq!(new_head.facts()[r2.base_facts..].len(), r2.new_facts);
+        // A no-effect commit reports an empty window at the current state.
+        let r3 = store
+            .commit(Txn::new().insert("Researcher", ["mary"]))
+            .unwrap();
+        assert_eq!(r3.base_revision, r3.revision);
+        assert_eq!(r3.base_facts, store.len());
+        assert_eq!(r3.revision, new_head.revision());
     }
 
     #[test]

@@ -83,7 +83,9 @@
 #![warn(missing_docs)]
 
 use omq_chase::OntologyMediatedQuery;
-use omq_core::{AnswerStream, CoreError, EngineConfig, PreprocessStats, QueryPlan};
+use omq_core::{
+    AnswerStream, CoreError, EngineConfig, PreparedInstance, PreprocessStats, QueryPlan,
+};
 use omq_data::{Answer, ConstId, Database, MultiTuple, PartialTuple};
 use rustc_hash::FxHashMap;
 use std::fmt;
@@ -450,6 +452,14 @@ pub struct ServingEngine {
     by_name: FxHashMap<String, usize>,
     workers: usize,
     data_parallelism: usize,
+    /// Warm prepared instances over the store head, aligned with `plans`.
+    /// Kept fresh by [`ServingEngine::register_data`] via incremental
+    /// `PreparedInstance::refresh`; an entry is `None` when warming failed
+    /// (the slow per-request path still serves the query).
+    warm: Vec<Option<Arc<PreparedInstance>>>,
+    /// The store epoch `warm` was computed at; `u64::MAX` marks the cache
+    /// invalidated (e.g. after raw [`ServingEngine::store_mut`] access).
+    warm_epoch: u64,
 }
 
 impl ServingEngine {
@@ -464,17 +474,21 @@ impl ServingEngine {
             by_name: FxHashMap::default(),
             workers: workers.max(1),
             data_parallelism: 1,
+            warm: Vec::new(),
+            warm_epoch: 0,
         }
     }
 
     /// Replaces the engine's store (e.g. with a bulk-preloaded one).  Any
     /// queries already registered keep their plans; their data schemas are
-    /// re-merged into the new store.
+    /// re-merged into the new store and their warm instances are rebuilt
+    /// over the new head.
     pub fn with_store(mut self, store: Store) -> Result<Self> {
         self.store = store;
         for (_, plan) in &self.plans {
             self.store.merge_schema(plan.omq().data_schema())?;
         }
+        self.rewarm_all();
         Ok(self)
     }
 
@@ -501,8 +515,12 @@ impl ServingEngine {
 
     /// Mutable access to the store, for operations beyond
     /// [`ServingEngine::register_data`] (bulk preloads, manual schema
-    /// merges).
+    /// merges).  Handing out raw access invalidates the engine's warm
+    /// prepared cache; the next [`ServingEngine::register_data`] rebuilds it.
     pub fn store_mut(&mut self) -> &mut Store {
+        // The epoch counter starts at 0 and increments, so `u64::MAX` can
+        // never equal a real epoch: a permanent "stale" mark until rewarmed.
+        self.warm_epoch = u64::MAX;
         &mut self.store
     }
 
@@ -522,8 +540,30 @@ impl ServingEngine {
     /// pinned snapshots are unaffected; requests opened afterwards against
     /// the head see the new facts — through the same compiled plans, nothing
     /// is recompiled.
+    ///
+    /// After the commit, every catalogued query's warm prepared instance is
+    /// brought forward incrementally via `PreparedInstance::refresh`: only
+    /// the Gaifman components the commit touched are re-chased, untouched
+    /// shards are shared with the previous instance, and subsequent
+    /// store-head requests serve from the refreshed cache with
+    /// time-to-first-answer proportional to the delta.
     pub fn register_data(&mut self, txn: Txn) -> Result<CommitReceipt> {
-        Ok(self.store.commit(txn)?)
+        let receipt = self.store.commit(txn)?;
+        let head = self.store.snapshot();
+        // Warming is best-effort: a refresh that cannot verify its lineage
+        // falls back to a full tracked execution internally, and an entry
+        // that errors outright is dropped (the slow path still serves it).
+        let mut warm = std::mem::take(&mut self.warm);
+        warm.resize(self.plans.len(), None);
+        for (entry, (_, plan)) in warm.iter_mut().zip(&self.plans) {
+            *entry = match entry.take() {
+                Some(prev) => prev.refresh(&head, &receipt).ok().map(Arc::new),
+                None => Self::warm_one(plan, &head),
+            };
+        }
+        self.warm = warm;
+        self.warm_epoch = self.store.epoch();
+        Ok(receipt)
     }
 
     /// Compiles `omq` with default configuration, adds it to the catalogue
@@ -545,16 +585,62 @@ impl ServingEngine {
     }
 
     /// Adds an already-compiled plan to the catalogue under `name`, merging
-    /// its data schema into the store.
+    /// its data schema into the store and warming a prepared instance over
+    /// the current head.
     pub fn register_plan(&mut self, name: &str, plan: QueryPlan) -> Result<QueryId> {
         if self.by_name.contains_key(name) {
             return Err(ServeError::DuplicateQuery(name.to_owned()));
         }
-        self.store.merge_schema(plan.omq().data_schema())?;
+        let schema_grew = self.store.merge_schema(plan.omq().data_schema())?;
         let id = self.plans.len();
         self.plans.push((name.to_owned(), plan));
         self.by_name.insert(name.to_owned(), id);
+        if schema_grew || self.warm_epoch != self.store.epoch() {
+            // The merge moved the epoch (older warm instances bake in the
+            // previous relation-id layout), or the cache was invalidated:
+            // rebuild everything over the current head.
+            self.rewarm_all();
+        } else {
+            let head = self.store.snapshot();
+            let warmed = Self::warm_one(&self.plans[id].1, &head);
+            self.warm.push(warmed);
+        }
         Ok(QueryId(id))
+    }
+
+    /// Warms one plan over the store head.  An empty head is deliberately
+    /// not executed: there is nothing to chase, and the execution would pin
+    /// the plan's shared chase-memo fingerprint to the store's merged schema
+    /// layout, disabling memoisation for ad-hoc databases laid out over the
+    /// query's own data schema.
+    fn warm_one(plan: &QueryPlan, head: &Snapshot) -> Option<Arc<PreparedInstance>> {
+        if head.database().is_empty() {
+            return None;
+        }
+        plan.execute_tracked(head).ok().map(Arc::new)
+    }
+
+    /// Rebuilds the warm prepared cache for every catalogued query over the
+    /// current store head.
+    fn rewarm_all(&mut self) {
+        let head = self.store.snapshot();
+        self.warm = self
+            .plans
+            .iter()
+            .map(|(_, plan)| Self::warm_one(plan, &head))
+            .collect();
+        self.warm_epoch = self.store.epoch();
+    }
+
+    /// The warm prepared instance cached for `id` at the current store
+    /// epoch, if one exists.  Store-head requests are served from this
+    /// instance; it is refreshed incrementally by
+    /// [`ServingEngine::register_data`].
+    pub fn warm_instance(&self, id: QueryId) -> Option<Arc<PreparedInstance>> {
+        if self.warm_epoch != self.store.epoch() {
+            return None;
+        }
+        self.warm.get(id.0).cloned().flatten()
     }
 
     /// Pre-session name for [`ServingEngine::register_query`].
@@ -623,6 +709,16 @@ impl ServingEngine {
         let (db, epoch): (&Database, Option<u64>) = match &request.data {
             DataRef::Head => {
                 pinned = self.store.snapshot();
+                // Warm fast path: the head was already executed (and kept
+                // fresh incrementally across commits), so the request only
+                // pays for opening the cursor — after a delta commit, time
+                // to the first answer is proportional to the delta.
+                if self.warm_epoch == pinned.epoch() {
+                    if let Some(instance) = self.warm.get(id.0).and_then(Option::as_ref) {
+                        let stream = instance.answers(request.semantics)?;
+                        return Ok((id, Some(pinned.epoch()), stream, *instance.stats()));
+                    }
+                }
                 (pinned.database(), Some(pinned.epoch()))
             }
             DataRef::Snapshot(snapshot) => (snapshot.database(), Some(snapshot.epoch())),
@@ -1188,6 +1284,65 @@ mod tests {
             .serve_one(&Request::new(id, Semantics::Complete))
             .unwrap();
         assert_eq!(response.answers.len(), 1); // (pre, office)
+    }
+
+    #[test]
+    fn warm_cache_serves_the_head_and_refreshes_incrementally() {
+        let omq = office_omq();
+        let mut engine = ServingEngine::new(2);
+        let id = engine.register_query("office", &omq).unwrap();
+        // An empty store is never warmed (nothing to chase).
+        assert!(engine.warm_instance(id).is_none());
+        seed_store(&mut engine, 7, true);
+        let warm = engine
+            .warm_instance(id)
+            .expect("the commit warms the cache");
+        assert!(warm.shard_count() > 1, "component-rich head is sharded");
+        // Head requests serve from the warm instance: the response carries
+        // its exact execution stats.
+        let response = engine
+            .serve_one(&Request::new(id, Semantics::MinimalPartial))
+            .unwrap();
+        assert_eq!(response.stats.shards, warm.stats().shards);
+        assert_eq!(response.epoch, Some(engine.epoch()));
+
+        // A single-component delta: the cache is refreshed incrementally —
+        // every previous shard is reused, only the new component is chased.
+        let before = warm.shard_count();
+        engine
+            .register_data(
+                Txn::new()
+                    .insert("Researcher", ["delta"])
+                    .insert("HasOffice", ["delta", "delta_office"]),
+            )
+            .unwrap();
+        let refreshed = engine.warm_instance(id).expect("still warm after commit");
+        assert_eq!(refreshed.stats().reused_shards, before);
+
+        // Answers served off the warm head agree with a from-scratch
+        // execution over the same snapshot.
+        let head = engine.snapshot();
+        let response = engine
+            .serve_one(&Request::new(id, Semantics::MinimalPartial))
+            .unwrap();
+        let AnswerSet::Partial(got) = response.answers else {
+            panic!("semantics mismatch");
+        };
+        let scratch = engine.plan(id).unwrap().execute(&head).unwrap();
+        let want: BTreeSet<PartialTuple> = scratch
+            .answers(Semantics::MinimalPartial)
+            .unwrap()
+            .map(|a| a.into_partial().unwrap())
+            .collect();
+        assert_eq!(got.into_iter().collect::<BTreeSet<_>>(), want);
+
+        // Raw store access invalidates the cache; the next commit rebuilds.
+        let _ = engine.store_mut();
+        assert!(engine.warm_instance(id).is_none());
+        engine
+            .register_data(Txn::new().insert("Researcher", ["post"]))
+            .unwrap();
+        assert!(engine.warm_instance(id).is_some());
     }
 
     #[test]

@@ -12,10 +12,15 @@
 //!   store byte-identical: the head is the very same allocation;
 //! * **freshness** — a fresh snapshot sees committed facts through the same
 //!   compiled plan, agreeing with a from-scratch evaluation of the merged
-//!   database.
+//!   database;
+//! * **refresh isolation** — incremental refreshes
+//!   ([`PreparedInstance::refresh`]) landing behind a parked stream never
+//!   perturb it, and each refreshed instance shares its untouched shards
+//!   with its predecessor by pointer.
 
 use omq::prelude::*;
 use proptest::prelude::*;
+use std::sync::Arc;
 
 /// The office OMQ of the running example: guarded, acyclic, free-connex.
 fn office_omq() -> OntologyMediatedQuery {
@@ -219,6 +224,49 @@ proptest! {
         prop_assert!(store.snapshot().ptr_eq(&before));
         prop_assert_eq!(store.epoch(), before.epoch());
         prop_assert_eq!(store.len(), facts_before);
+    }
+
+    /// (d) A stream parked on the pre-refresh instance replays its exact
+    /// byte-identical suffix while a chain of incremental refreshes lands;
+    /// and every shard a refresh reports as reused is pointer-shared (the
+    /// same `Arc` allocation) with its predecessor instance.
+    #[test]
+    fn refreshes_share_shards_and_leave_parked_streams_untouched(
+        workload in workload_strategy(),
+        pulled_before in 0..4usize,
+    ) {
+        let omq = office_omq();
+        let plan = QueryPlan::compile(&omq).unwrap();
+        let mut store = Store::new(omq.data_schema().clone());
+        store.commit(txn_of(&workload.initial)).unwrap();
+
+        let mut maintained = plan.execute_tracked(store.snapshot()).unwrap();
+        let full: Vec<Answer> = maintained
+            .answers(Semantics::MinimalPartial)
+            .unwrap()
+            .collect();
+        let mut parked = maintained.answers(Semantics::MinimalPartial).unwrap();
+        let head: Vec<Answer> = (&mut parked).take(pulled_before).collect();
+        prop_assert_eq!(&head[..], &full[..head.len()]);
+
+        for batch in &workload.commits {
+            let receipt = store.commit(txn_of(batch)).unwrap();
+            let prev = maintained;
+            maintained = prev.refresh(store.snapshot(), &receipt).unwrap();
+            // Reused shards are *the* predecessor allocations, not copies —
+            // and nothing else is (fresh shards are freshly chased).
+            let shared = maintained
+                .shards()
+                .iter()
+                .filter(|s| prev.shards().iter().any(|p| Arc::ptr_eq(p, s)))
+                .count();
+            prop_assert_eq!(shared, maintained.stats().reused_shards);
+        }
+
+        // The parked stream, opened before any refresh, drains the exact
+        // suffix of the pre-refresh enumeration.
+        let tail: Vec<Answer> = parked.collect();
+        prop_assert_eq!(&tail[..], &full[head.len()..]);
     }
 }
 
