@@ -1,0 +1,152 @@
+//! The perf-trajectory CI gate: records harness runs into `bench_history/`
+//! and fails (exit 1) when a gated metric regresses beyond tolerance.
+//!
+//! Usage (after `harness --quick --json-dir reports E12 E14 E16 E17`):
+//!
+//! ```text
+//! trajectory check  --reports reports                  # diff vs baseline
+//! trajectory record --reports reports                  # append to history
+//! trajectory record --reports reports --set-baseline   # promote baseline
+//! ```
+//!
+//! Flags: `--reports DIR` (where the `BENCH_<exp>.json` files are, default
+//! `.`), `--history DIR` (default `bench_history`), `--full` (full-size
+//! sweeps; the default fingerprint is the `--quick` mode CI runs).
+//!
+//! Exit codes: `0` clean (`check` with no baseline passes with a warning —
+//! the first run of a new fingerprint has nothing to compare against),
+//! `1` regression detected, `2` usage or I/O error.
+
+use omq_bench::trajectory;
+use std::path::PathBuf;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut command: Option<String> = None;
+    let mut reports = PathBuf::from(".");
+    let mut history = PathBuf::from("bench_history");
+    let mut quick = true;
+    let mut set_baseline = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--reports" | "--history" => {
+                let flag = args[i].clone();
+                i += 1;
+                let Some(dir) = args.get(i) else {
+                    eprintln!("{flag} requires a directory argument");
+                    std::process::exit(2);
+                };
+                if flag == "--reports" {
+                    reports = PathBuf::from(dir);
+                } else {
+                    history = PathBuf::from(dir);
+                }
+            }
+            "--full" => quick = false,
+            "--quick" => quick = true,
+            "--set-baseline" => set_baseline = true,
+            a if a.starts_with('-') => {
+                eprintln!(
+                    "unknown flag `{a}` (expected --reports DIR, --history DIR, --quick, --full, \
+                     --set-baseline)"
+                );
+                std::process::exit(2);
+            }
+            a if command.is_none() => command = Some(a.to_owned()),
+            a => {
+                eprintln!("unexpected argument `{a}`");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let fingerprint = trajectory::fingerprint(quick);
+    let commit = trajectory::commit_digest(&PathBuf::from("."));
+    let unix_time = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let run = match trajectory::collect_run(&reports, &fingerprint, commit, unix_time) {
+        Ok(run) => run,
+        Err(e) => {
+            eprintln!("trajectory: {e}");
+            eprintln!(
+                "run the gated experiments first: harness --quick --json-dir {} {}",
+                reports.display(),
+                trajectory::gated_experiments().join(" ")
+            );
+            std::process::exit(2);
+        }
+    };
+
+    match command.as_deref() {
+        Some("record") => {
+            let promoted = match trajectory::record(&history, &run, set_baseline) {
+                Ok(promoted) => promoted,
+                Err(e) => {
+                    eprintln!("trajectory: {e}");
+                    std::process::exit(2);
+                }
+            };
+            println!(
+                "recorded {} metrics at commit {} into {}{}",
+                run.metrics.len(),
+                run.commit,
+                trajectory::history_path(&history, &fingerprint).display(),
+                if promoted { " (baseline updated)" } else { "" }
+            );
+        }
+        Some("check") => {
+            let baseline = match trajectory::load_baseline(&history, &fingerprint) {
+                Ok(baseline) => baseline,
+                Err(e) => {
+                    eprintln!("trajectory: {e}");
+                    std::process::exit(2);
+                }
+            };
+            let Some(baseline) = baseline else {
+                eprintln!(
+                    "trajectory: no baseline for fingerprint `{fingerprint}` in {} — \
+                     record one with `trajectory record --set-baseline`; passing",
+                    history.display()
+                );
+                return;
+            };
+            println!(
+                "gated metrics vs baseline {} (fingerprint {fingerprint}):",
+                baseline.commit
+            );
+            for gate in trajectory::gated_metrics() {
+                let key = format!("{}/{}", gate.experiment, gate.metric);
+                let base = baseline.metrics.get(&key);
+                let cur = run.metrics.get(&key);
+                println!(
+                    "  {key}: {} -> {}",
+                    base.map_or("-".to_owned(), |v| format!("{v:.3}")),
+                    cur.map_or("-".to_owned(), |v| format!("{v:.3}"))
+                );
+            }
+            let regressions = trajectory::check(&baseline, &run);
+            if regressions.is_empty() {
+                println!("trajectory: clean");
+                return;
+            }
+            eprintln!("trajectory: {} regression(s) detected:", regressions.len());
+            for regression in &regressions {
+                eprintln!("  {}", regression.describe());
+            }
+            std::process::exit(1);
+        }
+        other => {
+            eprintln!(
+                "usage: trajectory <record|check> [--reports DIR] [--history DIR] [--quick|--full] \
+                 [--set-baseline]{}",
+                other.map_or(String::new(), |o| format!(" (got `{o}`)"))
+            );
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,4 +1,4 @@
-//! The experiment suite (E1–E16) and its table output.
+//! The experiment suite (E1–E17) and its table output.
 //!
 //! Every experiment returns a [`Table`]; the harness binary prints them,
 //! writes the machine-readable `BENCH_<exp>.json` counterparts (see
@@ -14,9 +14,11 @@ use crate::generators::{
     clustered_university, random_bipartite_graph, random_graph, sparse_boolean_matrix, university,
     ClusteredConfig, UniversityConfig,
 };
-use crate::measure::{linear_fit, measure_iterator, measure_stream, measure_take_k, DelayStats};
+use crate::measure::{
+    linear_fit, measure_drain, measure_iterator, measure_stream, measure_take_k, DelayStats,
+};
 use crate::reductions;
-use omq_chase::{ChaseConfig, QchaseConfig};
+use omq_chase::{ChaseConfig, FactArena, QchaseConfig};
 use omq_core::{baseline::BruteForce, Answer, EngineConfig, OmqEngine, QueryPlan, Semantics};
 use omq_cq::acyclicity::AcyclicityReport;
 use omq_cq::ConjunctiveQuery;
@@ -687,7 +689,7 @@ fn enumerate_via_hash_index(
             return;
         };
         for &tuple_idx in candidates {
-            let tuple = &node_data.extension.tuples[tuple_idx];
+            let tuple = node_data.extension.tuple(tuple_idx);
             let mut newly_bound: Vec<VarId> = Vec::new();
             for (pos, &var) in node_data.extension.vars.iter().enumerate() {
                 if let std::collections::hash_map::Entry::Vacant(e) = assignment.entry(var) {
@@ -724,6 +726,7 @@ pub fn e12_plan_columnar(quick: bool) -> Table {
             "dense mean ns",
             "dense p99 ns",
             "iter mean ns",
+            "iter p99 ns",
             "hash mean ns",
             "partial mean ns",
             "answers equal",
@@ -739,7 +742,9 @@ pub fn e12_plan_columnar(quick: bool) -> Table {
 
     let mut facts_axis: Vec<f64> = Vec::new();
     let mut dense_means: Vec<f64> = Vec::new();
+    let mut dense_p99s: Vec<f64> = Vec::new();
     let mut iter_means: Vec<f64> = Vec::new();
+    let mut iter_p99s: Vec<f64> = Vec::new();
     let mut exec_micros_total = 0f64;
     let mut fresh_micros_total = 0f64;
     for researchers in university_sizes(quick) {
@@ -804,7 +809,9 @@ pub fn e12_plan_columnar(quick: bool) -> Table {
 
         facts_axis.push(facts as f64);
         dense_means.push(dense.mean_delay_nanos as f64);
+        dense_p99s.push(dense.p99_delay_nanos as f64);
         iter_means.push(iter.mean_delay_nanos as f64);
+        iter_p99s.push(iter.p99_delay_nanos as f64);
         table.push_row(vec![
             researchers.to_string(),
             facts.to_string(),
@@ -815,6 +822,7 @@ pub fn e12_plan_columnar(quick: bool) -> Table {
             dense.mean_delay_nanos.to_string(),
             dense.p99_delay_nanos.to_string(),
             iter.mean_delay_nanos.to_string(),
+            iter.p99_delay_nanos.to_string(),
             hash.mean_delay_nanos.to_string(),
             partial.mean_delay_nanos.to_string(),
             equal.to_string(),
@@ -832,6 +840,24 @@ pub fn e12_plan_columnar(quick: bool) -> Table {
     table.push_metric("dense_delay_slope_ns_per_fact", delay_slope);
     let (iter_slope, _) = linear_fit(&facts_axis, &iter_means);
     table.push_metric("iter_delay_slope_ns_per_fact", iter_slope);
+    // Absolute per-answer delay at the largest database — mean and p99, the
+    // trajectory-gated "constant" of DelayClin (see `crate::trajectory`).
+    table.push_metric(
+        "dense_mean_ns_at_max",
+        dense_means.last().copied().unwrap_or(0.0),
+    );
+    table.push_metric(
+        "dense_p99_ns_at_max",
+        dense_p99s.last().copied().unwrap_or(0.0),
+    );
+    table.push_metric(
+        "iter_mean_ns_at_max",
+        iter_means.last().copied().unwrap_or(0.0),
+    );
+    table.push_metric(
+        "iter_p99_ns_at_max",
+        iter_p99s.last().copied().unwrap_or(0.0),
+    );
     table
 }
 
@@ -1022,6 +1048,7 @@ pub fn e14_cursor_pagination(quick: bool) -> Table {
             "ttfa ns",
             "take(64) µs",
             "page mean ns",
+            "page p99 ns",
             "full answers",
             "full enum µs",
             "prefix ok",
@@ -1035,6 +1062,8 @@ pub fn e14_cursor_pagination(quick: bool) -> Table {
 
     let mut facts_axis: Vec<f64> = Vec::new();
     let mut page_nanos: Vec<f64> = Vec::new();
+    let mut page_means: Vec<f64> = Vec::new();
+    let mut page_p99s: Vec<f64> = Vec::new();
     let mut ttfa_nanos: Vec<f64> = Vec::new();
     for researchers in university_sizes(quick) {
         let (_, db) = university(&UniversityConfig {
@@ -1079,6 +1108,8 @@ pub fn e14_cursor_pagination(quick: bool) -> Table {
 
         facts_axis.push(facts as f64);
         page_nanos.push(page.enumeration_micros as f64 * 1e3);
+        page_means.push(page.mean_delay_nanos as f64);
+        page_p99s.push(page.p99_delay_nanos as f64);
         ttfa_nanos.push(page.first_delay_nanos as f64);
         table.push_row(vec![
             researchers.to_string(),
@@ -1087,6 +1118,7 @@ pub fn e14_cursor_pagination(quick: bool) -> Table {
             page.first_delay_nanos.to_string(),
             page.enumeration_micros.to_string(),
             page.mean_delay_nanos.to_string(),
+            page.p99_delay_nanos.to_string(),
             full.answers.to_string(),
             full.enumeration_micros.to_string(),
             prefix_ok.to_string(),
@@ -1103,6 +1135,16 @@ pub fn e14_cursor_pagination(quick: bool) -> Table {
     table.push_metric(
         "ttfa_max_nanos",
         ttfa_nanos.iter().copied().fold(0.0, f64::max),
+    );
+    // Absolute page-delay constants at the largest database — mean and p99,
+    // gated by the perf-trajectory lab (see `crate::trajectory`).
+    table.push_metric(
+        "page_mean_ns_at_max",
+        page_means.last().copied().unwrap_or(0.0),
+    );
+    table.push_metric(
+        "page_p99_ns_at_max",
+        page_p99s.last().copied().unwrap_or(0.0),
     );
     table
 }
@@ -1477,6 +1519,176 @@ pub fn e16_incremental_maintenance(quick: bool) -> Table {
     table
 }
 
+/// E17 — batched hot-path enumeration: the per-answer cost of draining an
+/// [`omq_core::AnswerStream`] one `next()` at a time versus in `next_batch`
+/// blocks, and the staging cost of the chase's [`FactArena`] versus per-fact
+/// `Vec<Fact>` allocation (the pre-arena staging discipline).
+///
+/// Batching does not change what is computed — the property tests pin
+/// `next_batch(k)` to `k × next()` answer-for-answer — it only amortises the
+/// per-pull dispatch (semantics match, shard bookkeeping, iterator plumbing)
+/// over a block.  Both drains are timed with [`measure_drain`]: two clock
+/// reads bracket the whole loop, because per-answer instrumentation à la
+/// [`measure_take_k`] costs two `Instant::now` calls per answer, the same
+/// order of magnitude as the constant under comparison.
+pub fn e17_batched_enumeration(quick: bool) -> Table {
+    const BATCH: usize = 256;
+    const STAGING_ROUNDS: usize = 8;
+    let mut table = Table::new(
+        "E17",
+        "Batched enumeration and arena staging: dispatch amortisation",
+        &[
+            "researchers",
+            "|D| facts",
+            "answers",
+            "next() ns/ans",
+            "batch ns/ans",
+            "speedup",
+            "partial next() ns/ans",
+            "partial batch ns/ans",
+            "vec stage ns/fact",
+            "arena stage ns/fact",
+            "answers equal",
+        ],
+    );
+    let (omq, _) = university(&UniversityConfig {
+        researchers: 1,
+        ..Default::default()
+    });
+    let plan = QueryPlan::compile(&omq).expect("guarded OMQ");
+
+    let mut batch_speedup_at_max = 0.0;
+    let mut partial_speedup_at_max = 0.0;
+    let mut arena_speedup_at_max = 0.0;
+    let mut unbatched_at_max = 0.0;
+    let mut batched_at_max = 0.0;
+    for researchers in university_sizes(quick) {
+        let (_, db) = university(&UniversityConfig {
+            researchers,
+            ..Default::default()
+        });
+        let facts = db.len();
+        let instance = plan.execute(&db).expect("guarded OMQ");
+
+        // One `next()` call per answer — the per-tuple pull everyone wrote
+        // before `next_batch` existed.
+        let drain_next = |sem: Semantics| {
+            measure_drain(
+                || instance.answers(sem).expect("tractable query"),
+                |stream| {
+                    let mut n = 0usize;
+                    // Explicit `next()` per answer is the thing under test —
+                    // a `for` desugars identically but hides the call.
+                    #[allow(clippy::while_let_on_iterator)]
+                    while let Some(answer) = stream.next() {
+                        std::hint::black_box(&answer);
+                        n += 1;
+                    }
+                    n
+                },
+            )
+        };
+        // The same answers pulled in `BATCH`-sized blocks.
+        let drain_batch = |sem: Semantics| {
+            measure_drain(
+                || (instance.answers(sem).expect("tractable query"), Vec::new()),
+                |(stream, block)| {
+                    let mut n = 0usize;
+                    loop {
+                        let got = stream.next_batch(block, BATCH);
+                        if got == 0 {
+                            break;
+                        }
+                        for answer in block.drain(..) {
+                            std::hint::black_box(&answer);
+                        }
+                        n += got;
+                    }
+                    n
+                },
+            )
+        };
+        let complete_next = drain_next(Semantics::Complete);
+        let complete_batch = drain_batch(Semantics::Complete);
+        let partial_next = drain_next(Semantics::MinimalPartial);
+        let partial_batch = drain_batch(Semantics::MinimalPartial);
+
+        // Arena-vs-malloc staging: push every database fact through the two
+        // staging disciplines the chase has used — a fresh `Vec<Fact>` per
+        // round (one argument-vector allocation per fact, all freed at the
+        // end of the round) versus one recycled [`FactArena`].
+        let base_facts = db.facts();
+        let vec_stage = measure_drain(
+            || (),
+            |_| {
+                let mut n = 0usize;
+                for _ in 0..STAGING_ROUNDS {
+                    let mut staged: Vec<omq_data::Fact> = Vec::new();
+                    for fact in base_facts {
+                        staged.push(omq_data::Fact::new(fact.rel, fact.args.clone()));
+                    }
+                    for fact in &staged {
+                        std::hint::black_box(fact);
+                        n += 1;
+                    }
+                }
+                n
+            },
+        );
+        let arena_stage = measure_drain(FactArena::new, |arena| {
+            let mut n = 0usize;
+            for _ in 0..STAGING_ROUNDS {
+                arena.clear();
+                for fact in base_facts {
+                    arena.push_fact(fact.rel, &fact.args);
+                }
+                for staged in arena.facts() {
+                    std::hint::black_box(&staged);
+                    n += 1;
+                }
+            }
+            n
+        });
+
+        let speedup =
+            complete_next.per_answer_nanos() / complete_batch.per_answer_nanos().max(1e-9);
+        let partial_speedup =
+            partial_next.per_answer_nanos() / partial_batch.per_answer_nanos().max(1e-9);
+        let arena_speedup = vec_stage.per_answer_nanos() / arena_stage.per_answer_nanos().max(1e-9);
+        let equal = complete_next.answers == complete_batch.answers
+            && partial_next.answers == partial_batch.answers;
+
+        batch_speedup_at_max = speedup;
+        partial_speedup_at_max = partial_speedup;
+        arena_speedup_at_max = arena_speedup;
+        unbatched_at_max = complete_next.per_answer_nanos();
+        batched_at_max = complete_batch.per_answer_nanos();
+        table.push_row(vec![
+            researchers.to_string(),
+            facts.to_string(),
+            complete_next.answers.to_string(),
+            format!("{:.1}", complete_next.per_answer_nanos()),
+            format!("{:.1}", complete_batch.per_answer_nanos()),
+            format!("{speedup:.2}"),
+            format!("{:.1}", partial_next.per_answer_nanos()),
+            format!("{:.1}", partial_batch.per_answer_nanos()),
+            format!("{:.1}", vec_stage.per_answer_nanos()),
+            format!("{:.1}", arena_stage.per_answer_nanos()),
+            equal.to_string(),
+        ]);
+    }
+    table.push_metric("batch_size", BATCH as f64);
+    table.push_metric("staging_rounds", STAGING_ROUNDS as f64);
+    // The acceptance gate: batched pulls amortise dispatch to ≥1.5× lower
+    // mean per-answer cost at the largest database.
+    table.push_metric("batch_speedup_at_max", batch_speedup_at_max);
+    table.push_metric("partial_batch_speedup_at_max", partial_speedup_at_max);
+    table.push_metric("arena_staging_speedup_at_max", arena_speedup_at_max);
+    table.push_metric("unbatched_ns_per_answer_at_max", unbatched_at_max);
+    table.push_metric("batched_ns_per_answer_at_max", batched_at_max);
+    table
+}
+
 /// Runs one experiment by identifier.
 pub fn run_experiment(id: &str, quick: bool) -> Option<Table> {
     match id.to_ascii_uppercase().as_str() {
@@ -1496,6 +1708,7 @@ pub fn run_experiment(id: &str, quick: bool) -> Option<Table> {
         "E14" => Some(e14_cursor_pagination(quick)),
         "E15" => Some(e15_live_store(quick)),
         "E16" => Some(e16_incremental_maintenance(quick)),
+        "E17" => Some(e17_batched_enumeration(quick)),
         _ => None,
     }
 }
@@ -1504,7 +1717,7 @@ pub fn run_experiment(id: &str, quick: bool) -> Option<Table> {
 pub fn run_all(quick: bool) -> Vec<Table> {
     [
         "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14",
-        "E15", "E16",
+        "E15", "E16", "E17",
     ]
     .iter()
     .filter_map(|id| run_experiment(id, quick))
@@ -1599,6 +1812,24 @@ mod tests {
         assert!(names.contains(&"full_rebuild_slope_us_per_fact"));
         assert!(names.contains(&"ttfa_speedup_at_max"));
         assert!(names.contains(&"delta_facts"));
+    }
+
+    #[test]
+    fn e17_batched_drains_agree_and_export_metrics() {
+        let table = e17_batched_enumeration(true);
+        assert_eq!(table.rows.len(), 4);
+        // The correctness gate: batched and unbatched drains produce the
+        // same number of answers on both semantics, at every size.  (The
+        // ≥1.5× speedup gate is asserted on the release-build JSON report,
+        // not here — debug-build ratios are meaningless.)
+        let equal_col = table.headers.len() - 1;
+        assert!(table.rows.iter().all(|r| r[equal_col] == "true"));
+        let names: Vec<&str> = table.metrics.iter().map(|(k, _)| k.as_str()).collect();
+        assert!(names.contains(&"batch_speedup_at_max"));
+        assert!(names.contains(&"arena_staging_speedup_at_max"));
+        assert!(names.contains(&"unbatched_ns_per_answer_at_max"));
+        assert!(names.contains(&"batched_ns_per_answer_at_max"));
+        assert!(names.contains(&"batch_size"));
     }
 
     #[test]

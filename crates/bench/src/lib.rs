@@ -18,12 +18,16 @@
 //! * E10 — comparison against the brute-force baseline;
 //! * E11 — ablations (chase depth, memoisation);
 //! * E12 — the plan/instance split: plan-reuse amortisation and
-//!   columnar-vs-hash per-answer delay distributions.
+//!   columnar-vs-hash per-answer delay distributions;
+//! * E17 — batched hot-path enumeration: `next_batch` dispatch amortisation
+//!   and arena-vs-malloc chase staging.
 //!
 //! See `EXPERIMENTS.md` at the workspace root for the paper-vs-measured
 //! discussion and `cargo run -p omq-bench --bin harness --release` to
 //! regenerate every table.  The harness also writes machine-readable
-//! `BENCH_<exp>.json` reports (see [`report`]).
+//! `BENCH_<exp>.json` reports (see [`report`]), which the perf-trajectory
+//! lab (see [`trajectory`] and the `trajectory` binary) persists across
+//! commits into `bench_history/` and gates CI on.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -33,8 +37,10 @@ pub mod generators;
 pub mod measure;
 pub mod reductions;
 pub mod report;
+pub mod trajectory;
 
 pub use experiments::{run_all, run_experiment, Table};
 pub use generators::{university, UniversityConfig};
-pub use measure::{measure_stream, DelayStats};
+pub use measure::{measure_drain, measure_stream, DelayStats, DrainStats};
 pub use report::write_json_reports;
+pub use trajectory::{check as trajectory_check, GatedMetric, Regression, RunRecord};

@@ -102,6 +102,56 @@ pub fn measure_take_k<I: Iterator>(build: impl FnOnce() -> I, k: usize) -> Delay
     finish_stats(preprocess_micros, enumeration_micros, delays)
 }
 
+/// Timing of one *drained* enumeration: total wall-clock only, no per-answer
+/// clock reads.
+///
+/// [`measure_take_k`] calls `Instant::now` twice per answer to observe the
+/// delay *distribution*; that observation overhead is itself on the order of
+/// the constant being measured, so it is the wrong tool for comparing two
+/// pull strategies (per-answer `next()` vs `next_batch` blocks).  A drain
+/// measurement times the whole loop once and divides — the difference between
+/// two drains is exactly the per-answer dispatch cost the batched API
+/// amortises (experiment E17).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DrainStats {
+    /// Wall-clock microseconds spent in the build closure.
+    pub preprocess_micros: u128,
+    /// Number of answers drained.
+    pub answers: usize,
+    /// Total wall-clock nanoseconds of the drain loop.
+    pub total_nanos: u128,
+}
+
+impl DrainStats {
+    /// Mean per-answer cost of the drain, in nanoseconds.
+    pub fn per_answer_nanos(&self) -> f64 {
+        if self.answers == 0 {
+            return 0.0;
+        }
+        self.total_nanos as f64 / self.answers as f64
+    }
+}
+
+/// Measures a two-phase drain: `build` the source, then `drain` it to
+/// exhaustion (returning how many answers were pulled).  Only two clock reads
+/// bracket the drain — see [`DrainStats`] for why.
+pub fn measure_drain<S>(
+    build: impl FnOnce() -> S,
+    drain: impl FnOnce(&mut S) -> usize,
+) -> DrainStats {
+    let start = Instant::now();
+    let mut state = build();
+    let preprocess_micros = start.elapsed().as_micros();
+    let drain_start = Instant::now();
+    let answers = drain(&mut state);
+    let total_nanos = drain_start.elapsed().as_nanos();
+    DrainStats {
+        preprocess_micros,
+        answers,
+        total_nanos,
+    }
+}
+
 fn finish_stats(
     preprocess_micros: u128,
     enumeration_micros: u128,
@@ -187,6 +237,27 @@ mod tests {
         let empty = measure_take_k(std::iter::empty::<u32>, 10);
         assert_eq!(empty.answers, 0);
         assert_eq!(empty.first_delay_nanos, 0);
+    }
+
+    #[test]
+    fn drain_measurement_totals() {
+        let stats = measure_drain(
+            || (0..500u32).collect::<Vec<u32>>(),
+            |v| {
+                let mut n = 0;
+                for x in v.iter() {
+                    std::hint::black_box(x);
+                    n += 1;
+                }
+                n
+            },
+        );
+        assert_eq!(stats.answers, 500);
+        assert!(stats.total_nanos > 0);
+        assert!(stats.per_answer_nanos() > 0.0);
+        let empty = measure_drain(|| (), |_| 0);
+        assert_eq!(empty.answers, 0);
+        assert_eq!(empty.per_answer_nanos(), 0.0);
     }
 
     #[test]

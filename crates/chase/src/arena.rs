@@ -1,0 +1,122 @@
+//! A bump arena for staging chase-generated facts.
+//!
+//! Every chase loop in this crate stages a batch of derived facts before
+//! appending them to the [`Database`](omq_data::Database): the bounded chase
+//! stages one round of trigger heads, the query-directed chase stages one
+//! saturation round and the grafted null trees.  Staging through `Vec<Fact>`
+//! costs two heap allocations per derived fact (the staging slot plus the
+//! fact's own `Vec<Value>` argument vector), all freed at the end of the
+//! round.  A [`FactArena`] replaces that with three flat buffers — relation
+//! ids, argument values, and offsets delimiting each fact's arguments — that
+//! grow bump-style and are *reused*: across rounds within one chase, and,
+//! through the pool kept by [`QchasePlan`](crate::QchasePlan), across
+//! [`chase_many`](crate::QchasePlan::chase_many) calls.  After warm-up, a
+//! chase round allocates only for the facts that actually enter the database.
+
+use omq_data::{RelId, Value};
+
+/// A reusable flat buffer of staged `(relation, arguments)` facts.
+///
+/// Push with [`FactArena::push_fact`], drain by iterating
+/// [`FactArena::facts`], recycle with [`FactArena::clear`] (which keeps the
+/// buffer capacity).
+#[derive(Debug, Clone, Default)]
+pub struct FactArena {
+    /// Relation of the `i`-th staged fact.
+    rels: Vec<RelId>,
+    /// `offsets[i]..offsets[i+1]` delimits fact `i`'s arguments in `values`.
+    /// Empty until the first push; always `rels.len() + 1` entries afterwards.
+    offsets: Vec<u32>,
+    /// All staged arguments, back to back.
+    values: Vec<Value>,
+}
+
+impl FactArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stages one fact.
+    pub fn push_fact(&mut self, rel: RelId, args: &[Value]) {
+        if self.offsets.is_empty() {
+            self.offsets.push(0);
+        }
+        self.rels.push(rel);
+        self.values.extend_from_slice(args);
+        self.offsets
+            .push(u32::try_from(self.values.len()).expect("fact arena overflow"));
+    }
+
+    /// Number of staged facts.
+    pub fn len(&self) -> usize {
+        self.rels.len()
+    }
+
+    /// Returns `true` iff no facts are staged.
+    pub fn is_empty(&self) -> bool {
+        self.rels.is_empty()
+    }
+
+    /// Iterates the staged facts in push order.
+    pub fn facts(&self) -> impl Iterator<Item = (RelId, &[Value])> + '_ {
+        self.rels.iter().enumerate().map(move |(i, &rel)| {
+            let start = self.offsets[i] as usize;
+            let end = self.offsets[i + 1] as usize;
+            (rel, &self.values[start..end])
+        })
+    }
+
+    /// Forgets the staged facts but keeps the buffer capacity — the whole
+    /// point of reusing the arena.
+    pub fn clear(&mut self) {
+        self.rels.clear();
+        self.offsets.clear();
+        self.values.clear();
+    }
+
+    /// Capacity of the argument buffer, in values (a reuse diagnostic for the
+    /// perf lab).
+    pub fn values_capacity(&self) -> usize {
+        self.values.capacity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omq_data::ConstId;
+
+    #[test]
+    fn push_iterate_clear_round_trip() {
+        let mut arena = FactArena::new();
+        assert!(arena.is_empty());
+        let a = Value::Const(ConstId(0));
+        let b = Value::Const(ConstId(1));
+        arena.push_fact(RelId(0), &[a, b]);
+        arena.push_fact(RelId(1), &[b]);
+        arena.push_fact(RelId(2), &[]);
+        assert_eq!(arena.len(), 3);
+        let staged: Vec<(RelId, Vec<Value>)> = arena
+            .facts()
+            .map(|(rel, args)| (rel, args.to_vec()))
+            .collect();
+        assert_eq!(
+            staged,
+            vec![
+                (RelId(0), vec![a, b]),
+                (RelId(1), vec![b]),
+                (RelId(2), vec![]),
+            ]
+        );
+        let capacity = arena.values_capacity();
+        arena.clear();
+        assert!(arena.is_empty());
+        assert_eq!(arena.facts().count(), 0);
+        // Clearing recycles the buffers instead of freeing them.
+        assert_eq!(arena.values_capacity(), capacity);
+        arena.push_fact(RelId(3), &[a]);
+        assert_eq!(arena.len(), 1);
+        assert_eq!(arena.facts().next(), Some((RelId(3), &[a][..])));
+    }
+}

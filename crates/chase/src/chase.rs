@@ -8,11 +8,12 @@
 //! the property tests; the production path of the library uses the
 //! query-directed chase of [`crate::qchase`] instead.
 
+use crate::arena::FactArena;
 use crate::error::ChaseError;
 use crate::ontology::Ontology;
 use crate::Result;
 use omq_cq::{Assignment, HomSearch, Term};
-use omq_data::{Database, Fact, NullId, Value};
+use omq_data::{Database, NullId, Value};
 use rustc_hash::{FxHashMap, FxHashSet};
 
 /// Configuration of the bounded chase.
@@ -60,6 +61,22 @@ pub struct ChaseResult {
 
 /// Runs the bounded fair oblivious chase of `db` with `ontology`.
 pub fn chase(db: &Database, ontology: &Ontology, config: &ChaseConfig) -> Result<ChaseResult> {
+    let mut arena = FactArena::new();
+    chase_in(db, ontology, config, &mut arena)
+}
+
+/// [`chase`] staging each round's derived facts in a caller-provided
+/// [`FactArena`] instead of a throwaway `Vec<Fact>`.  The arena is cleared on
+/// entry and left cleared on success, so one arena can serve many chases —
+/// the query-directed chase pools arenas across its (thousands of) bag
+/// chases, paying the staging allocation once per pool entry instead of once
+/// per derived fact.
+pub fn chase_in(
+    db: &Database,
+    ontology: &Ontology,
+    config: &ChaseConfig,
+    arena: &mut FactArena,
+) -> Result<ChaseResult> {
     let mut result = db.clone();
     // Make sure every relation symbol of the ontology exists in the schema.
     let mut relations: Vec<(String, usize)> = ontology.relations()?.into_iter().collect();
@@ -74,8 +91,9 @@ pub fn chase(db: &Database, ontology: &Ontology, config: &ChaseConfig) -> Result
     let mut truncated = false;
     let mut steps = 0usize;
 
+    let mut scratch: Vec<Value> = Vec::new();
     loop {
-        let mut new_facts: Vec<Fact> = Vec::new();
+        arena.clear();
         let mut new_nulls: Vec<(NullId, usize)> = Vec::new();
         for (tgd_idx, tgd) in ontology.tgds().iter().enumerate() {
             let body_query = &body_queries[tgd_idx];
@@ -116,23 +134,20 @@ pub fn chase(db: &Database, ontology: &Ontology, config: &ChaseConfig) -> Result
                 }
                 for atom in tgd.head() {
                     let rel = result.schema().require(&atom.relation)?;
-                    let args: Vec<Value> = atom
-                        .terms
-                        .iter()
-                        .map(|t| match t {
-                            Term::Var(v) => extension[v],
-                            Term::Const(_) => unreachable!("TGDs have no constants"),
-                        })
-                        .collect();
-                    new_facts.push(Fact::new(rel, args));
+                    scratch.clear();
+                    scratch.extend(atom.terms.iter().map(|t| match t {
+                        Term::Var(v) => extension[v],
+                        Term::Const(_) => unreachable!("TGDs have no constants"),
+                    }));
+                    arena.push_fact(rel, &scratch);
                 }
             }
         }
-        if new_facts.is_empty() {
+        if arena.is_empty() {
             break;
         }
-        for fact in new_facts {
-            result.add_fact(fact)?;
+        for (rel, args) in arena.facts() {
+            result.add_fact_ref(rel, args)?;
             if result.len() > config.max_facts {
                 return Err(ChaseError::ChaseBudgetExceeded {
                     max_facts: config.max_facts,
@@ -141,6 +156,7 @@ pub fn chase(db: &Database, ontology: &Ontology, config: &ChaseConfig) -> Result
         }
         let _ = new_nulls;
     }
+    arena.clear();
 
     Ok(ChaseResult {
         database: result,

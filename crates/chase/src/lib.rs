@@ -22,6 +22,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod chase;
 pub mod error;
 pub mod horn;
@@ -31,7 +32,8 @@ pub mod qchase;
 pub mod simulation;
 pub mod tgd;
 
-pub use chase::{chase, ChaseConfig, ChaseResult};
+pub use arena::FactArena;
+pub use chase::{chase, chase_in, ChaseConfig, ChaseResult};
 pub use error::ChaseError;
 pub use horn::HornFormula;
 pub use omq::OntologyMediatedQuery;

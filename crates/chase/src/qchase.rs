@@ -29,12 +29,14 @@
 //! depends only on the ontology, not on the data (experiment E2 validates the
 //! linearity empirically, experiment E11 ablates the memoisation).
 
-use crate::chase::{chase, ChaseConfig};
+use crate::arena::FactArena;
+use crate::chase::{chase_in, ChaseConfig};
 use crate::omq::OntologyMediatedQuery;
 use crate::Result;
-use omq_data::{Database, Fact, NullId, RelId, Value};
+use omq_data::{Database, NullId, RelId, Value};
 use rustc_hash::{FxHashMap, FxHashSet};
-use std::sync::RwLock;
+use std::collections::hash_map::Entry;
+use std::sync::{Mutex, RwLock};
 
 /// Configuration of the query-directed chase.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -136,6 +138,11 @@ pub struct QchasePlan {
     /// serialize; the write lock is taken only to set the fingerprint on the
     /// first run and to publish newly discovered bag types.
     memo: RwLock<PlanMemo>,
+    /// Recycled staging arenas: each [`QchasePlan::chase_many`] call checks
+    /// out a pair (round staging + bag chases), so the per-round and per-bag
+    /// staging buffers are allocated once per concurrent execution, not once
+    /// per chase.
+    arenas: Mutex<Vec<FactArena>>,
 }
 
 impl QchasePlan {
@@ -159,7 +166,26 @@ impl QchasePlan {
             tree_depth,
             saturation_depth,
             memo: RwLock::new(PlanMemo::default()),
+            arenas: Mutex::new(Vec::new()),
         })
+    }
+
+    /// Checks a cleared arena out of the pool (or makes a fresh one).
+    fn acquire_arena(&self) -> FactArena {
+        self.arenas
+            .lock()
+            .expect("qchase arena pool poisoned")
+            .pop()
+            .unwrap_or_default()
+    }
+
+    /// Returns an arena to the pool for the next `chase_many` call.
+    fn release_arena(&self, mut arena: FactArena) {
+        arena.clear();
+        self.arenas
+            .lock()
+            .expect("qchase arena pool poisoned")
+            .push(arena);
     }
 
     /// The OMQ this plan chases for.
@@ -259,10 +285,32 @@ impl QchasePlan {
         };
         let snapshot_ground = local.ground.len();
         let snapshot_graft = local.graft.len();
+        // One pair of pooled staging arenas serves the whole batch: `stage`
+        // buffers each saturation round / graft batch, `bag_arena` is threaded
+        // through every bag chase.
+        let mut stage = self.acquire_arena();
+        let mut bag_arena = self.acquire_arena();
         let mut out = Vec::with_capacity(parts.len());
         for (db, result) in parts.iter().zip(prepared) {
-            out.push(self.chase_prepared(db, result, &mut local.ground, &mut local.graft)?);
+            let chased = self.chase_prepared(
+                db,
+                result,
+                &mut local.ground,
+                &mut local.graft,
+                &mut stage,
+                &mut bag_arena,
+            );
+            match chased {
+                Ok(chased) => out.push(chased),
+                Err(e) => {
+                    self.release_arena(stage);
+                    self.release_arena(bag_arena);
+                    return Err(e);
+                }
+            }
         }
+        self.release_arena(stage);
+        self.release_arena(bag_arena);
         // Publish only on a miss: a fully warm batch leaves the tables at
         // their snapshot size and never upgrades to the write lock.
         if shareable && (local.ground.len() > snapshot_ground || local.graft.len() > snapshot_graft)
@@ -286,6 +334,8 @@ impl QchasePlan {
         mut result: Database,
         ground_memo: &mut FxHashMap<BagSignature, Vec<(RelId, Vec<usize>)>>,
         graft_memo: &mut FxHashMap<BagSignature, GraftTemplate>,
+        stage: &mut FactArena,
+        bag_arena: &mut FactArena,
     ) -> Result<QueryDirectedChase> {
         let ontology = self.omq.ontology();
         let config = &self.config;
@@ -300,9 +350,10 @@ impl QchasePlan {
             max_depth: self.saturation_depth,
             max_facts: config.max_bag_facts,
         };
+        let mut scratch: Vec<Value> = Vec::new();
         while saturation_rounds < config.max_saturation_rounds {
             saturation_rounds += 1;
-            let mut new_facts: Vec<Fact> = Vec::new();
+            stage.clear();
             let mut seen_bags: FxHashSet<Vec<Value>> = FxHashSet::default();
             let fact_count = result.len();
             for idx in 0..fact_count {
@@ -311,33 +362,40 @@ impl QchasePlan {
                     continue;
                 }
                 let (signature, ordering) = bag_signature(&result, &guard_values);
-                let derived = if config.memoize {
-                    if let Some(cached) = ground_memo.get(&signature) {
-                        memo_hits += 1;
-                        cached.clone()
-                    } else {
-                        let derived =
-                            derive_ground(&result, &ordering, ontology, &saturation_config)?;
-                        ground_memo.insert(signature, derived.clone());
-                        derived
+                let derived_cold;
+                let derived: &[(RelId, Vec<usize>)] = if config.memoize {
+                    match ground_memo.entry(signature) {
+                        Entry::Occupied(cached) => {
+                            memo_hits += 1;
+                            cached.into_mut()
+                        }
+                        Entry::Vacant(slot) => slot.insert(derive_ground(
+                            &result,
+                            &ordering,
+                            ontology,
+                            &saturation_config,
+                            bag_arena,
+                        )?),
                     }
                 } else {
-                    derive_ground(&result, &ordering, ontology, &saturation_config)?
+                    derived_cold =
+                        derive_ground(&result, &ordering, ontology, &saturation_config, bag_arena)?;
+                    &derived_cold
                 };
                 for (rel, positions) in derived {
-                    let args: Vec<Value> = positions.iter().map(|&i| ordering[i]).collect();
-                    let fact = Fact::new(rel, args);
-                    if !result.contains_fact(&fact) {
-                        new_facts.push(fact);
+                    scratch.clear();
+                    scratch.extend(positions.iter().map(|&i| ordering[i]));
+                    if !result.contains_fact_ref(*rel, &scratch) {
+                        stage.push_fact(*rel, &scratch);
                     }
                 }
             }
-            if new_facts.is_empty() {
+            if stage.is_empty() {
                 saturation_converged = true;
                 break;
             }
-            for fact in new_facts {
-                result.add_fact(fact)?;
+            for (rel, args) in stage.facts() {
+                result.add_fact_ref(rel, args)?;
             }
             // Adding facts can change bag types, so the memo must be kept
             // keyed by full bag signatures (it is) — no invalidation needed.
@@ -351,24 +409,32 @@ impl QchasePlan {
         let mut grafted_sets: FxHashSet<Vec<Value>> = FxHashSet::default();
         let mut grafts = 0usize;
         let fact_count = result.len();
-        let mut pending: Vec<Fact> = Vec::new();
+        stage.clear();
         for idx in 0..fact_count {
             let guard_values = sorted_values(&result.fact(idx).args);
             if !grafted_sets.insert(guard_values.clone()) {
                 continue;
             }
             let (signature, ordering) = bag_signature(&result, &guard_values);
-            let template = if config.memoize {
-                if let Some(cached) = graft_memo.get(&signature) {
-                    memo_hits += 1;
-                    cached.clone()
-                } else {
-                    let template = derive_template(&result, &ordering, ontology, &graft_config)?;
-                    graft_memo.insert(signature, template.clone());
-                    template
+            let template_cold;
+            let template: &GraftTemplate = if config.memoize {
+                match graft_memo.entry(signature) {
+                    Entry::Occupied(cached) => {
+                        memo_hits += 1;
+                        cached.into_mut()
+                    }
+                    Entry::Vacant(slot) => slot.insert(derive_template(
+                        &result,
+                        &ordering,
+                        ontology,
+                        &graft_config,
+                        bag_arena,
+                    )?),
                 }
             } else {
-                derive_template(&result, &ordering, ontology, &graft_config)?
+                template_cold =
+                    derive_template(&result, &ordering, ontology, &graft_config, bag_arena)?;
+                &template_cold
             };
             if template.is_empty() {
                 continue;
@@ -376,22 +442,20 @@ impl QchasePlan {
             grafts += 1;
             // Instantiate the template with fresh nulls.
             let mut null_map: FxHashMap<usize, NullId> = FxHashMap::default();
-            for (rel, args) in &template {
-                let values: Vec<Value> = args
-                    .iter()
-                    .map(|a| match a {
-                        TemplateArg::BagConst(i) => ordering[*i],
-                        TemplateArg::LocalNull(n) => {
-                            let id = *null_map.entry(*n).or_insert_with(|| result.fresh_null());
-                            Value::Null(id)
-                        }
-                    })
-                    .collect();
-                pending.push(Fact::new(*rel, values));
+            for (rel, args) in template {
+                scratch.clear();
+                scratch.extend(args.iter().map(|a| match a {
+                    TemplateArg::BagConst(i) => ordering[*i],
+                    TemplateArg::LocalNull(n) => {
+                        let id = *null_map.entry(*n).or_insert_with(|| result.fresh_null());
+                        Value::Null(id)
+                    }
+                }));
+                stage.push_fact(*rel, &scratch);
             }
         }
-        for fact in pending {
-            result.add_fact(fact)?;
+        for (rel, args) in stage.facts() {
+            result.add_fact_ref(rel, args)?;
         }
 
         Ok(QueryDirectedChase {
@@ -460,10 +524,11 @@ fn derive_ground(
     ordering: &[Value],
     ontology: &crate::ontology::Ontology,
     config: &ChaseConfig,
+    arena: &mut FactArena,
 ) -> Result<Vec<(RelId, Vec<usize>)>> {
     let keep: FxHashSet<Value> = ordering.iter().copied().collect();
     let bag = db.restrict_to(&keep);
-    let chased = chase(&bag, ontology, config)?;
+    let chased = chase_in(&bag, ontology, config, arena)?;
     let index: FxHashMap<Value, usize> =
         ordering.iter().enumerate().map(|(i, &v)| (v, i)).collect();
     let mut out = Vec::new();
@@ -490,10 +555,11 @@ fn derive_template(
     ordering: &[Value],
     ontology: &crate::ontology::Ontology,
     config: &ChaseConfig,
+    arena: &mut FactArena,
 ) -> Result<GraftTemplate> {
     let keep: FxHashSet<Value> = ordering.iter().copied().collect();
     let bag = db.restrict_to(&keep);
-    let chased = chase(&bag, ontology, config)?;
+    let chased = chase_in(&bag, ontology, config, arena)?;
     let index: FxHashMap<Value, usize> =
         ordering.iter().enumerate().map(|(i, &v)| (v, i)).collect();
     let mut null_ids: FxHashMap<NullId, usize> = FxHashMap::default();
@@ -533,7 +599,7 @@ mod tests {
     use super::*;
     use crate::ontology::Ontology;
     use omq_cq::ConjunctiveQuery;
-    use omq_data::Schema;
+    use omq_data::{Fact, Schema};
 
     fn office_omq() -> OntologyMediatedQuery {
         let ontology = Ontology::parse(

@@ -141,6 +141,73 @@ impl AnswerCursor {
         }
     }
 
+    /// Batched pull: produces up to `limit` answers, invoking `emit` once per
+    /// answer with the answer values in a reused scratch buffer.  Equivalent
+    /// to `limit` calls of [`AnswerCursor::next_answer`] (same answers, same
+    /// order), but the state machine is entered once per batch and no
+    /// per-answer `Vec<Value>` is allocated — the caller copies out of the
+    /// scratch slice in whatever shape it needs.  Returns the number of
+    /// answers emitted; a return `< limit` means the enumeration is
+    /// exhausted.
+    pub fn fill_with(
+        &mut self,
+        structure: &FreeConnexStructure,
+        limit: usize,
+        mut emit: impl FnMut(&[Value]),
+    ) -> usize {
+        if limit == 0 {
+            return 0;
+        }
+        match self.state {
+            IterState::Empty => 0,
+            IterState::Boolean { emitted } => {
+                if emitted {
+                    0
+                } else {
+                    self.state = IterState::Boolean { emitted: true };
+                    emit(&[]);
+                    1
+                }
+            }
+            IterState::Running { started, done } => {
+                if done {
+                    return 0;
+                }
+                let mut started = started;
+                let mut produced = 0usize;
+                let mut scratch: Vec<Value> = Vec::with_capacity(structure.answer_sources.len());
+                while produced < limit {
+                    let stepped = if started {
+                        self.advance(structure)
+                    } else {
+                        self.descend(structure, 0)
+                    };
+                    started = true;
+                    if !stepped {
+                        self.state = IterState::Running {
+                            started: true,
+                            done: true,
+                        };
+                        return produced;
+                    }
+                    scratch.clear();
+                    scratch.extend(structure.answer_sources.iter().map(|&(node, col)| {
+                        structure.nodes[node]
+                            .extension
+                            .value(self.cur_tuple[node], col)
+                    }));
+                    emit(&scratch);
+                    produced += 1;
+                }
+                self.state = IterState::Running {
+                    started,
+                    done: false,
+                };
+                produced
+            }
+        }
+    }
+
     /// Computes the candidate source for the node at pre-order position
     /// `depth` under the current per-node tuple choices.
     #[inline]
@@ -232,7 +299,11 @@ impl AnswerCursor {
         structure
             .answer_sources
             .iter()
-            .map(|&(node, col)| structure.nodes[node].extension.tuples[self.cur_tuple[node]][col])
+            .map(|&(node, col)| {
+                structure.nodes[node]
+                    .extension
+                    .value(self.cur_tuple[node], col)
+            })
             .collect()
     }
 }

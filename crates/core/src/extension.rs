@@ -11,16 +11,28 @@ use omq_data::{Database, Value};
 use rustc_hash::{FxHashMap, FxHashSet};
 
 /// A tuple of values, ordered consistently with an [`Extension`]'s variables.
+/// Owned tuples are only built at seams that need them (hash keys, answer
+/// materialisation); the extension itself stores its rows flat.
 pub type Tuple = Vec<Value>;
 
 /// The extension of an atom (or of a derived relation): a set of distinct
 /// tuples over an ordered list of variables.
+///
+/// Rows are stored **flat and row-major** (`data[i * width..(i + 1) * width]`
+/// is tuple `i`): one contiguous allocation per extension instead of one
+/// `Vec<Value>` per tuple, so the per-answer loops that walk neighbouring
+/// tuples (`JoinCsr` parent joins, answer materialisation) stay within one
+/// cache-friendly block and the builders stop paying a heap allocation per
+/// row.
 #[derive(Debug, Clone)]
 pub struct Extension {
     /// The variables, in a fixed order.
     pub vars: Vec<VarId>,
-    /// The distinct tuples.
-    pub tuples: Vec<Tuple>,
+    /// Flat row-major tuple storage; `vars.len()` values per row.
+    data: Vec<Value>,
+    /// Number of rows (kept explicitly: zero-arity extensions have
+    /// `width == 0`, so the row count cannot be derived from `data`).
+    rows: usize,
 }
 
 impl Extension {
@@ -28,8 +40,41 @@ impl Extension {
     pub fn empty(vars: Vec<VarId>) -> Self {
         Extension {
             vars,
-            tuples: Vec::new(),
+            data: Vec::new(),
+            rows: 0,
         }
+    }
+
+    /// Number of values per row.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Tuple `i` as a value slice (length [`Extension::width`]).
+    #[inline]
+    pub fn tuple(&self, i: usize) -> &[Value] {
+        let w = self.vars.len();
+        &self.data[i * w..(i + 1) * w]
+    }
+
+    /// The value at row `i`, column `col`.
+    #[inline]
+    pub fn value(&self, i: usize, col: usize) -> Value {
+        self.data[i * self.vars.len() + col]
+    }
+
+    /// Iterates over the rows as value slices.
+    pub fn rows(&self) -> impl Iterator<Item = &[Value]> + '_ {
+        (0..self.rows).map(move |i| self.tuple(i))
+    }
+
+    /// Appends a row (length must equal [`Extension::width`]; uniqueness is
+    /// the caller's concern).
+    pub fn push_row(&mut self, row: &[Value]) {
+        debug_assert_eq!(row.len(), self.vars.len());
+        self.data.extend_from_slice(row);
+        self.rows += 1;
     }
 
     /// Materialises the extension of `atom` over `db`: the distinct bindings
@@ -87,57 +132,79 @@ impl Extension {
             }
         }
         // Narrow the candidates through the most selective constant column.
-        let mut candidates: &[usize] = db.facts_of(rel);
+        let mut candidates: Option<&[usize]> = None;
         for (pos, slot) in slots.iter().enumerate() {
             if let Slot::Check(value) = slot {
                 let narrowed = db.facts_with(rel, pos, *value);
-                if narrowed.len() < candidates.len() {
-                    candidates = narrowed;
+                if candidates.map(|c| narrowed.len() < c.len()).unwrap_or(true) {
+                    candidates = Some(narrowed);
                 }
             }
         }
 
-        let mut tuples: Vec<Tuple> = Vec::new();
+        // Scan through the structure-of-arrays columns: each checked position
+        // reads one contiguous `Value` column instead of chasing the per-fact
+        // `args` allocation.  Candidate fact ids are remapped to column rows
+        // once; the unrestricted scan walks rows `0..n` sequentially.
+        let columnar = db.columnar();
+        let cols = columnar
+            .rel_columns(rel)
+            .expect("relation is in the schema the index was built from");
+        let col_slices: Vec<&[Value]> = (0..atom.arity()).map(|p| cols.column(p)).collect();
+
+        let mut out = Extension::empty(vars);
         let mut seen: FxHashSet<Tuple> = FxHashSet::default();
-        let mut scratch: Tuple = vec![Value::Const(omq_data::ConstId(0)); vars.len()];
-        'facts: for &fact_idx in candidates {
-            let fact = db.fact(fact_idx);
-            for (pos, slot) in slots.iter().enumerate() {
-                let actual = fact.args[pos];
+        let mut scratch: Tuple = vec![Value::Const(omq_data::ConstId(0)); out.vars.len()];
+        let mut visit = |row: usize| {
+            for (slot, column) in slots.iter().zip(&col_slices) {
+                let actual = column[row];
                 match slot {
                     Slot::Check(expected) => {
                         if *expected != actual {
-                            continue 'facts;
+                            return;
                         }
                     }
                     Slot::First(col, drop_null) => {
                         if *drop_null && actual.is_null() {
-                            continue 'facts;
+                            return;
                         }
                         scratch[*col] = actual;
                     }
                     Slot::Repeat(col) => {
                         if scratch[*col] != actual {
-                            continue 'facts;
+                            return;
                         }
                     }
                 }
             }
-            if seen.insert(scratch.clone()) {
-                tuples.push(scratch.clone());
+            if !seen.contains(&scratch) {
+                seen.insert(scratch.clone());
+                out.push_row(&scratch);
+            }
+        };
+        match candidates {
+            Some(fact_ids) => {
+                for &idx in fact_ids {
+                    visit(columnar.row_of_fact(idx) as usize);
+                }
+            }
+            None => {
+                for row in 0..cols.rows() {
+                    visit(row);
+                }
             }
         }
-        Extension { vars, tuples }
+        out
     }
 
     /// Number of tuples.
     pub fn len(&self) -> usize {
-        self.tuples.len()
+        self.rows
     }
 
     /// Returns `true` iff the extension has no tuples.
     pub fn is_empty(&self) -> bool {
-        self.tuples.is_empty()
+        self.rows == 0
     }
 
     /// Position of a variable within [`Extension::vars`], if present.
@@ -153,17 +220,15 @@ impl Extension {
             .map(|v| self.position_of(*v).expect("projection variable present"))
             .collect();
         let mut seen: FxHashSet<Tuple> = FxHashSet::default();
-        let mut tuples = Vec::new();
-        for t in &self.tuples {
+        let mut out = Extension::empty(keep.to_vec());
+        for t in self.rows() {
             let projected: Tuple = positions.iter().map(|&p| t[p]).collect();
-            if seen.insert(projected.clone()) {
-                tuples.push(projected);
+            if !seen.contains(&projected) {
+                out.push_row(&projected);
+                seen.insert(projected);
             }
         }
-        Extension {
-            vars: keep.to_vec(),
-            tuples,
-        }
+        out
     }
 
     /// The variables shared with another extension, in this extension's order.
@@ -182,8 +247,9 @@ impl Extension {
     pub fn semijoin(&mut self, other: &Extension) -> bool {
         let shared = self.shared_vars(other);
         if shared.is_empty() {
-            if other.is_empty() && !self.tuples.is_empty() {
-                self.tuples.clear();
+            if other.is_empty() && self.rows != 0 {
+                self.data.clear();
+                self.rows = 0;
                 return true;
             }
             return false;
@@ -197,14 +263,28 @@ impl Extension {
             .map(|v| self.position_of(*v).expect("shared variable"))
             .collect();
         let keys: FxHashSet<Tuple> = other
-            .tuples
-            .iter()
+            .rows()
             .map(|t| other_positions.iter().map(|&p| t[p]).collect())
             .collect();
-        let before = self.tuples.len();
-        self.tuples
-            .retain(|t| keys.contains(&my_positions.iter().map(|&p| t[p]).collect::<Tuple>()));
-        self.tuples.len() != before
+        // In-place compaction of the flat storage: surviving rows are copied
+        // down over the dropped ones (`Value` is `Copy`), no reallocation.
+        let w = self.vars.len();
+        let before = self.rows;
+        let mut probe: Tuple = Vec::with_capacity(my_positions.len());
+        let mut kept = 0usize;
+        for i in 0..self.rows {
+            probe.clear();
+            probe.extend(my_positions.iter().map(|&p| self.data[i * w + p]));
+            if keys.contains(&probe) {
+                if kept != i {
+                    self.data.copy_within(i * w..(i + 1) * w, kept * w);
+                }
+                kept += 1;
+            }
+        }
+        self.data.truncate(kept * w);
+        self.rows = kept;
+        self.rows != before
     }
 
     /// Builds an index from the projection onto `key_vars` to the indices of
@@ -215,7 +295,7 @@ impl Extension {
             .map(|v| self.position_of(*v).expect("key variable present"))
             .collect();
         let mut index: FxHashMap<Tuple, Vec<usize>> = FxHashMap::default();
-        for (i, t) in self.tuples.iter().enumerate() {
+        for (i, t) in self.rows().enumerate() {
             let key: Tuple = positions.iter().map(|&p| t[p]).collect();
             index.entry(key).or_default().push(i);
         }
@@ -224,12 +304,12 @@ impl Extension {
 
     /// A hash set of the tuples (for membership tests).
     pub fn tuple_set(&self) -> FxHashSet<Tuple> {
-        self.tuples.iter().cloned().collect()
+        self.rows().map(<[Value]>::to_vec).collect()
     }
 
     /// Looks up the value of `v` in tuple `idx`.
     pub fn value_at(&self, idx: usize, v: VarId) -> Option<Value> {
-        self.position_of(v).map(|p| self.tuples[idx][p])
+        self.position_of(v).map(|p| self.value(idx, p))
     }
 }
 

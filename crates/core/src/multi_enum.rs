@@ -131,6 +131,52 @@ impl<'a> MultiEnumerator<'a> {
         self.error.as_ref()
     }
 
+    /// Batched pull: produces up to `limit` answers, invoking `emit` for each,
+    /// without re-entering [`Iterator::next`] per tuple.  Returns the number
+    /// produced; fewer than `limit` means the stream ended (exhausted or
+    /// failed — check [`MultiEnumerator::error`]).
+    pub fn fill_with(&mut self, limit: usize, mut emit: impl FnMut(MultiTuple)) -> usize {
+        if limit == 0 || self.error.is_some() {
+            return 0;
+        }
+        let mut produced = 0usize;
+        if self.flush_pos.is_none() {
+            // Interleave the single-wildcard pull with the cone and ball
+            // steps, one answer at a time: `step` has side effects on `L`/`F`,
+            // so pulling ahead of the emitted prefix would lose work when the
+            // caller stops at `limit`.
+            while produced < limit {
+                let Some(a_star) = self.single.next() else {
+                    // Single-wildcard answers exhausted: flush the rest of L.
+                    self.flush_pos = Some(0);
+                    break;
+                };
+                match self.step(&a_star) {
+                    Ok(Some(t)) => {
+                        emit(t);
+                        produced += 1;
+                    }
+                    Ok(None) => {}
+                    Err(e) => {
+                        self.error = Some(e);
+                        return produced;
+                    }
+                }
+            }
+        }
+        if let Some(pos) = self.flush_pos.as_mut() {
+            while *pos < self.l_order.len() && produced < limit {
+                let i = *pos;
+                *pos += 1;
+                if self.l_alive[i] {
+                    emit(self.l_order[i].clone());
+                    produced += 1;
+                }
+            }
+        }
+        produced
+    }
+
     /// Processes one single-wildcard answer: cone maintenance of `L`/`F`,
     /// then the ball step, whose chosen minimal element (if any) is the
     /// immediate output for this answer.

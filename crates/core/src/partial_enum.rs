@@ -250,6 +250,55 @@ impl PartialEnumerator {
         answer
     }
 
+    /// Batched pull: produces up to `limit` answers, invoking `emit` for each,
+    /// without re-entering [`Iterator::next`] per tuple.  Returns the number
+    /// produced; fewer than `limit` means the enumeration is exhausted.
+    pub fn fill_with(&mut self, limit: usize, mut emit: impl FnMut(PartialTuple)) -> usize {
+        if limit == 0 {
+            return 0;
+        }
+        let mut produced = 0usize;
+        loop {
+            match self.phase {
+                Phase::Done => return produced,
+                Phase::Start => {
+                    if self.structure.empty {
+                        self.phase = Phase::Done;
+                        return produced;
+                    }
+                    if let Some(satisfiable) = self.structure.boolean_satisfiable {
+                        self.phase = Phase::Done;
+                        if satisfiable {
+                            emit(PartialTuple(Vec::new()));
+                            produced += 1;
+                        }
+                        return produced;
+                    }
+                    if self.advance(true) {
+                        self.phase = Phase::AtAnswer;
+                        emit(self.emit());
+                        produced += 1;
+                    } else {
+                        self.phase = Phase::Done;
+                        return produced;
+                    }
+                }
+                Phase::AtAnswer => {
+                    if self.advance(false) {
+                        emit(self.emit());
+                        produced += 1;
+                    } else {
+                        self.phase = Phase::Done;
+                        return produced;
+                    }
+                }
+            }
+            if produced == limit {
+                return produced;
+            }
+        }
+    }
+
     /// The `prune` procedure: after outputting the answer described by the
     /// current assignment, remove from every `trees` list the progress trees
     /// that are strictly dominated (same nodes, strictly more wildcards

@@ -1122,6 +1122,106 @@ mod tests {
             .unwrap());
     }
 
+    /// Every instance shape the batching property tests sweep: both example
+    /// databases, sequential (one shard) and tracked (one shard per Gaifman
+    /// component) execution.
+    fn batching_instances(plan: &QueryPlan) -> Vec<PreparedInstance> {
+        let mut instances = Vec::new();
+        for db in [db_one(), db_two()] {
+            instances.push(plan.execute(&db).unwrap());
+            let tracked = plan.execute_tracked(&db).unwrap();
+            assert!(tracked.shard_count() > 1, "component-rich data shards");
+            instances.push(tracked);
+        }
+        instances
+    }
+
+    #[test]
+    fn next_batch_equals_repeated_next_on_every_semantics_and_sharding() {
+        let omq = office_omq();
+        let plan = QueryPlan::compile(&omq).unwrap();
+        for instance in batching_instances(&plan) {
+            for semantics in Semantics::ALL {
+                let reference: Vec<Answer> = instance.answers(semantics).unwrap().collect();
+                assert!(!reference.is_empty());
+                for k in [1, 2, 3, reference.len(), reference.len() + 7] {
+                    // Draining purely through `next_batch(k)` yields the same
+                    // answers in the same order as repeated `next()`.
+                    let mut stream = instance.answers(semantics).unwrap();
+                    let mut batched: Vec<Answer> = Vec::new();
+                    loop {
+                        let before = batched.len();
+                        let got = stream.next_batch(&mut batched, k);
+                        assert_eq!(batched.len(), before + got);
+                        assert!(got <= k);
+                        if got == 0 {
+                            break;
+                        }
+                    }
+                    assert_eq!(batched, reference, "k = {k}");
+                    // An exhausted stream stays exhausted on both pulls.
+                    assert_eq!(stream.next_batch(&mut batched, k), 0);
+                    assert!(stream.next().is_none());
+                    assert_eq!(batched, reference);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mid_stream_interleaving_of_next_next_batch_and_fill() {
+        let omq = office_omq();
+        let plan = QueryPlan::compile(&omq).unwrap();
+        // A deterministic xorshift schedule: each step pulls via `next()`,
+        // `next_batch(k)` or `fill` with a pseudo-random small k, so batch
+        // boundaries land at every offset — including mid-shard and across
+        // shard handovers — over the different instances and semantics.
+        let mut seed: u64 = 0x9e3779b97f4a7c15;
+        let mut rng = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for instance in batching_instances(&plan) {
+            for semantics in Semantics::ALL {
+                let reference: Vec<Answer> = instance.answers(semantics).unwrap().collect();
+                for _schedule in 0..8 {
+                    let mut stream = instance.answers(semantics).unwrap();
+                    let mut got: Vec<Answer> = Vec::new();
+                    loop {
+                        let r = rng();
+                        let k = (r >> 8) as usize % 4 + 1;
+                        match r % 3 {
+                            0 => match stream.next() {
+                                Some(answer) => got.push(answer),
+                                None => break,
+                            },
+                            1 => {
+                                // The prefix invariant holds mid-stream, not
+                                // just at exhaustion.
+                                assert_eq!(got, reference[..got.len()]);
+                                if stream.next_batch(&mut got, k) == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {
+                                let placeholder = Answer::Complete(Vec::new());
+                                let mut buf = vec![placeholder; k];
+                                let n = stream.fill(&mut buf);
+                                got.extend(buf.into_iter().take(n));
+                                if n < k {
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    assert_eq!(got, reference);
+                }
+            }
+        }
+    }
+
     #[test]
     fn refresh_falls_back_on_merges_relations_and_untracked_instances() {
         let omq = office_omq();

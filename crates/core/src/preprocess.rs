@@ -425,7 +425,7 @@ impl FreeConnexStructure {
             for t in 0..parent_len {
                 let key: Tuple = parent_positions
                     .iter()
-                    .map(|&p| nodes[parent].extension.tuples[t][p])
+                    .map(|&p| nodes[parent].extension.value(t, p))
                     .collect();
                 if let Some(matching) = nodes[i].index.get(&key) {
                     tuples.extend(matching.iter().map(|&m| m as u32));
@@ -492,7 +492,7 @@ mod tests {
         let root_node = &s.nodes[root];
         for child in &root_node.children {
             let child_node = &s.nodes[*child];
-            for t in &root_node.extension.tuples {
+            for t in root_node.extension.rows() {
                 let key: Vec<Value> = child_node
                     .pred_vars
                     .iter()
@@ -502,7 +502,7 @@ mod tests {
             }
             // The dense parent join agrees with the hash index.
             let join = child_node.parent_join.as_ref().expect("shared vars");
-            for (t_idx, t) in root_node.extension.tuples.iter().enumerate() {
+            for (t_idx, t) in root_node.extension.rows().enumerate() {
                 let key: Vec<Value> = child_node
                     .pred_vars
                     .iter()

@@ -469,7 +469,7 @@ fn expand(
         return Ok(cached.clone());
     }
     let node_data = &structure.nodes[node];
-    let tuple = &node_data.extension.tuples[tuple_idx];
+    let tuple = node_data.extension.tuple(tuple_idx);
     let own_pattern: Vec<(VarId, PartialValue)> = node_data
         .extension
         .vars

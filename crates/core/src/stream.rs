@@ -48,6 +48,10 @@ use omq_data::{Answer, Database, MultiTuple, PartialTuple, Semantics, Value};
 use std::collections::VecDeque;
 use std::sync::Arc;
 
+/// Cap on the eager reservation `next_batch` performs on its output vector,
+/// so drain-everything requests (`k = usize::MAX`) do not over-allocate.
+const BATCH_RESERVE_CAP: usize = 1024;
+
 /// One shard of the complete-answer stream: the materialised structure and
 /// the cursor walking it.
 #[derive(Debug)]
@@ -180,6 +184,241 @@ impl AnswerStream {
         match self.error {
             Some(e) => Err(e),
             None => Ok(out),
+        }
+    }
+
+    /// Batched pull: appends up to `k` answers to `out` and returns how many
+    /// were appended.  Equivalent to `k` calls to `next()` (same answers, same
+    /// order, resumable mid-stream), but each enumerator refills an internal
+    /// block without re-entering the per-answer dispatch, so the per-answer
+    /// constant is lower.  Fewer than `k` appended means the stream ended —
+    /// exhausted, or failed (check [`AnswerStream::error`]).
+    pub fn next_batch(&mut self, out: &mut Vec<Answer>, k: usize) -> usize {
+        out.reserve(k.min(BATCH_RESERVE_CAP));
+        self.pull_batch(k, &mut |a| out.push(a))
+    }
+
+    /// Batched pull into a preallocated buffer: overwrites a prefix of `buf`
+    /// and returns its length.  Same semantics as [`AnswerStream::next_batch`]
+    /// with `k = buf.len()`.
+    pub fn fill(&mut self, buf: &mut [Answer]) -> usize {
+        let mut i = 0usize;
+        let k = buf.len();
+        self.pull_batch(k, &mut |a| {
+            buf[i] = a;
+            i += 1;
+        })
+    }
+
+    /// The shared batched-pull engine behind `next_batch` and `fill`,
+    /// monomorphised over the sink.
+    fn pull_batch(&mut self, k: usize, sink: &mut impl FnMut(Answer)) -> usize {
+        if k == 0 || self.error.is_some() {
+            return 0;
+        }
+        let produced = match self.semantics {
+            Semantics::Complete => self.batch_complete(k, sink),
+            Semantics::MinimalPartial => self.batch_partial(k, sink),
+            Semantics::MinimalPartialMulti => self.batch_multi(k, sink),
+        };
+        self.emitted += produced;
+        produced
+    }
+
+    fn batch_complete(&mut self, k: usize, sink: &mut impl FnMut(Answer)) -> usize {
+        let Inner::Complete {
+            current,
+            boolean,
+            done,
+        } = &mut self.inner
+        else {
+            unreachable!("semantics-checked dispatch");
+        };
+        if *done {
+            return 0;
+        }
+        let mut produced = 0usize;
+        loop {
+            if produced == k {
+                return produced;
+            }
+            if let Some(shard) = current.as_mut() {
+                // Boolean queries emit at most one (empty) tuple overall.
+                let limit = if *boolean { 1 } else { k - produced };
+                let mut invariant_null = false;
+                let stepped = shard.cursor.fill_with(&shard.structure, limit, |values| {
+                    if invariant_null {
+                        return;
+                    }
+                    let tuple: Option<Vec<_>> = values
+                        .iter()
+                        .map(|v| match v {
+                            Value::Const(c) => Some(*c),
+                            Value::Null(_) => None,
+                        })
+                        .collect();
+                    match tuple {
+                        Some(tuple) => {
+                            sink(Answer::Complete(tuple));
+                            produced += 1;
+                        }
+                        // Cannot happen for structures built with the
+                        // `complete_only` relativisation; handled as a
+                        // reportable invariant violation.
+                        None => invariant_null = true,
+                    }
+                });
+                if invariant_null {
+                    self.error = Some(CoreError::Internal(
+                        "complete answer contains a null".to_owned(),
+                    ));
+                    *done = true;
+                    return produced;
+                }
+                if *boolean && stepped > 0 {
+                    *done = true;
+                    return produced;
+                }
+                if stepped < limit {
+                    *current = None;
+                }
+            } else if self.next_shard < self.shards.len() {
+                let idx = self.next_shard;
+                self.next_shard += 1;
+                let skeleton = self.plan.skeleton().expect("checked at stream build");
+                let built = FreeConnexStructure::materialize(skeleton, &self.shards[idx], true)
+                    .map(|structure| {
+                        let cursor = AnswerCursor::new(&structure);
+                        CompleteShard { structure, cursor }
+                    });
+                match built {
+                    Ok(shard) => *current = Some(shard),
+                    Err(e) => {
+                        self.error = Some(e);
+                        *done = true;
+                        return produced;
+                    }
+                }
+            } else {
+                *done = true;
+                return produced;
+            }
+        }
+    }
+
+    fn batch_partial(&mut self, k: usize, sink: &mut impl FnMut(Answer)) -> usize {
+        let Inner::Partial {
+            current,
+            merge,
+            pending,
+        } = &mut self.inner
+        else {
+            unreachable!("semantics-checked dispatch");
+        };
+        let mut produced = 0usize;
+        loop {
+            while produced < k {
+                let Some(t) = pending.pop_front() else { break };
+                sink(Answer::Partial(t));
+                produced += 1;
+            }
+            if produced == k {
+                return produced;
+            }
+            let Some(live_merge) = merge.as_mut() else {
+                return produced;
+            };
+            if let Some(cursor) = current.as_mut() {
+                let want = k - produced;
+                let stepped = cursor.fill_with(want, |t| {
+                    live_merge.offer(t, &mut |out| pending.push_back(out));
+                });
+                if stepped < want {
+                    *current = None;
+                }
+            } else if self.next_shard < self.shards.len() {
+                let idx = self.next_shard;
+                self.next_shard += 1;
+                let skeleton = self.plan.skeleton().expect("checked at stream build");
+                match PartialEnumerator::with_skeleton(skeleton, &self.shards[idx]) {
+                    Ok(cursor) => *current = Some(cursor),
+                    Err(e) => {
+                        self.error = Some(e);
+                        *merge = None;
+                        pending.clear();
+                        return produced;
+                    }
+                }
+            } else {
+                merge
+                    .take()
+                    .expect("merge checked live above")
+                    .flush(&mut |out| pending.push_back(out));
+                if pending.is_empty() {
+                    return produced;
+                }
+            }
+        }
+    }
+
+    fn batch_multi(&mut self, k: usize, sink: &mut impl FnMut(Answer)) -> usize {
+        let Inner::Multi {
+            current,
+            merge,
+            pending,
+        } = &mut self.inner
+        else {
+            unreachable!("semantics-checked dispatch");
+        };
+        let mut produced = 0usize;
+        loop {
+            while produced < k {
+                let Some(t) = pending.pop_front() else { break };
+                sink(Answer::Multi(t));
+                produced += 1;
+            }
+            if produced == k {
+                return produced;
+            }
+            let Some(live_merge) = merge.as_mut() else {
+                return produced;
+            };
+            if let Some(cursor) = current.as_mut() {
+                let want = k - produced;
+                let stepped = cursor.fill_with(want, |t| {
+                    live_merge.offer(t, &mut |out| pending.push_back(out));
+                });
+                if stepped < want {
+                    if let Some(e) = cursor.error() {
+                        self.error = Some(e.clone());
+                        *merge = None;
+                        pending.clear();
+                        return produced;
+                    }
+                    *current = None;
+                }
+            } else if self.next_shard < self.shards.len() {
+                let idx = self.next_shard;
+                self.next_shard += 1;
+                let skeleton = self.plan.skeleton().expect("checked at stream build");
+                match MultiEnumerator::for_shard(skeleton, Arc::clone(&self.shards), idx) {
+                    Ok(cursor) => *current = Some(cursor),
+                    Err(e) => {
+                        self.error = Some(e);
+                        *merge = None;
+                        pending.clear();
+                        return produced;
+                    }
+                }
+            } else {
+                merge
+                    .take()
+                    .expect("merge checked live above")
+                    .flush(&mut |out| pending.push_back(out));
+                if pending.is_empty() {
+                    return produced;
+                }
+            }
         }
     }
 

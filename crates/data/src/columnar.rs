@@ -99,12 +99,46 @@ impl Column {
     }
 }
 
+/// Structure-of-arrays argument storage of one relation: all arguments at
+/// position `p` of the relation's facts stored contiguously, in
+/// [`Database::facts_of`] order.  Dense scans (extension building, parent
+/// joins) walk one cache-friendly column per inspected position instead of
+/// chasing one heap-allocated `Fact::args` vector per row.
+#[derive(Debug, Clone, Default)]
+pub struct RelColumns {
+    /// Number of facts of the relation — the row count of every column.
+    rows: usize,
+    /// Column-major values: position `p` occupies
+    /// `values[p * rows..(p + 1) * rows]`.
+    values: Vec<Value>,
+}
+
+impl RelColumns {
+    /// Number of facts of the relation (rows of each column).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// The contiguous argument column at `pos`: entry `k` is the argument at
+    /// `pos` of the `k`-th fact of the relation, in [`Database::facts_of`]
+    /// order.
+    #[inline]
+    pub fn column(&self, pos: usize) -> &[Value] {
+        &self.values[pos * self.rows..(pos + 1) * self.rows]
+    }
+}
+
 /// The dense columnar index of a [`Database`]; see the module docs for the
 /// layout and its invariants.
 #[derive(Debug, Clone, Default)]
 pub struct ColumnarIndex {
     /// `columns[rel][pos]`, sized by the schema at build time.
     columns: Vec<Vec<Column>>,
+    /// Structure-of-arrays argument storage, one [`RelColumns`] per relation.
+    arg_columns: Vec<RelColumns>,
+    /// Global fact index → its row within its relation's [`RelColumns`]
+    /// (i.e. its position in [`Database::facts_of`]).
+    row_of_fact: Vec<u32>,
     /// Mention CSR: value code → fact indices mentioning the value.
     mention_offsets: Vec<u32>,
     mention_facts: Vec<usize>,
@@ -128,6 +162,23 @@ impl ColumnarIndex {
                 per_pos.push(Self::build_column(db, rel, pos, adom_len));
             }
             columns.push(per_pos);
+        }
+
+        // SoA argument columns: one column-major block per relation, rows in
+        // `facts_of` order, plus the global fact → row remap.
+        let mut arg_columns: Vec<RelColumns> = Vec::with_capacity(schema.len());
+        let mut row_of_fact = vec![0u32; db.len()];
+        for (rel, relation) in schema.iter() {
+            let fact_ids = db.facts_of(rel);
+            let rows = fact_ids.len();
+            let mut values = vec![Value::Null(crate::value::NullId(0)); rows * relation.arity];
+            for (row, &idx) in fact_ids.iter().enumerate() {
+                row_of_fact[idx] = row as u32;
+                for (pos, &v) in db.fact(idx).args.iter().enumerate() {
+                    values[pos * rows + row] = v;
+                }
+            }
+            arg_columns.push(RelColumns { rows, values });
         }
 
         // Mention CSR over global value codes: count, prefix-sum, fill.
@@ -157,6 +208,8 @@ impl ColumnarIndex {
 
         ColumnarIndex {
             columns,
+            arg_columns,
+            row_of_fact,
             mention_offsets,
             mention_facts,
             revision: db.revision(),
@@ -208,6 +261,20 @@ impl ColumnarIndex {
     /// The column of `(rel, pos)` (empty column if out of range).
     pub fn column(&self, rel: RelId, pos: usize) -> Option<&Column> {
         self.columns.get(rel.0 as usize).and_then(|c| c.get(pos))
+    }
+
+    /// The structure-of-arrays argument columns of `rel`, or `None` if the
+    /// relation is out of range for this index.
+    #[inline]
+    pub fn rel_columns(&self, rel: RelId) -> Option<&RelColumns> {
+        self.arg_columns.get(rel.0 as usize)
+    }
+
+    /// The row of a global fact index within its relation's [`RelColumns`]
+    /// (its position in [`Database::facts_of`]).
+    #[inline]
+    pub fn row_of_fact(&self, idx: usize) -> u32 {
+        self.row_of_fact[idx]
     }
 
     /// Fact indices of `rel` whose argument at `pos` has value code `code`.
@@ -321,6 +388,24 @@ mod tests {
         assert!(index.facts_mentioning_code(adom_len).is_empty());
         assert!(index.facts_mentioning_code(adom_len + 1).is_empty());
         assert!(index.facts_mentioning_code(u32::MAX - 1).is_empty());
+    }
+
+    #[test]
+    fn soa_columns_mirror_fact_arguments() {
+        let db = db();
+        let index = db.columnar();
+        for (rel, relation) in db.schema().iter() {
+            let cols = index.rel_columns(rel).unwrap();
+            assert_eq!(cols.rows(), db.facts_of(rel).len());
+            for pos in 0..relation.arity {
+                let column = cols.column(pos);
+                for (row, &idx) in db.facts_of(rel).iter().enumerate() {
+                    assert_eq!(column[row], db.fact(idx).args[pos]);
+                    assert_eq!(index.row_of_fact(idx) as usize, row);
+                }
+            }
+        }
+        assert!(index.rel_columns(RelId(99)).is_none());
     }
 
     #[test]

@@ -7,7 +7,8 @@ use crate::interner::Interner;
 use crate::schema::{RelId, Schema};
 use crate::value::{ConstId, NullId, Value};
 use crate::Result;
-use rustc_hash::FxHashSet;
+use rustc_hash::{FxHashMap, FxHashSet, FxHasher};
+use std::hash::{Hash, Hasher};
 use std::sync::{Arc, OnceLock};
 
 /// Sentinel for "value has no code yet" in the dense code tables.
@@ -41,7 +42,12 @@ pub struct Database {
     /// only a database that interns a *new* constant pays for a private copy.
     consts: Arc<Interner>,
     facts: Vec<Fact>,
-    fact_set: FxHashSet<Fact>,
+    /// Fact-dedup index: hash of `(rel, args)` → indices into `facts` with
+    /// that hash (almost always one).  Keyed by hash instead of by owned
+    /// `Fact` so membership tests take a *borrowed* `(RelId, &[Value])` pair
+    /// — the chase's saturation loop probes candidate facts without building
+    /// them — and so inserting never clones the fact a second time.
+    fact_lookup: FxHashMap<u64, Vec<u32>>,
     by_relation: Vec<Vec<usize>>,
     adom: Vec<Value>,
     /// `ConstId` → value code (`NO_CODE` if the constant is not in the adom).
@@ -84,7 +90,7 @@ impl Clone for Database {
             schema: self.schema.clone(),
             consts: self.consts.clone(),
             facts: self.facts.clone(),
-            fact_set: self.fact_set.clone(),
+            fact_lookup: self.fact_lookup.clone(),
             by_relation: self.by_relation.clone(),
             adom: self.adom.clone(),
             const_code: self.const_code.clone(),
@@ -109,7 +115,7 @@ impl Database {
             schema,
             consts: Arc::new(Interner::new()),
             facts: Vec::new(),
-            fact_set: FxHashSet::default(),
+            fact_lookup: FxHashMap::default(),
             by_relation: vec![Vec::new(); relation_count],
             adom: Vec::new(),
             const_code: Vec::new(),
@@ -248,9 +254,39 @@ impl Database {
                 actual: fact.args.len(),
             });
         }
-        if self.fact_set.contains(&fact) {
+        if self.contains_fact_ref(fact.rel, &fact.args) {
             return Ok(false);
         }
+        self.insert_new_fact(fact);
+        Ok(true)
+    }
+
+    /// Adds a fact given by relation id and a **borrowed** argument slice —
+    /// the allocation-conscious twin of [`Database::add_fact`].  A duplicate
+    /// costs one hash probe and zero allocations; only a genuinely new fact
+    /// copies `args` into the fact table.  This is the append path the
+    /// arena-backed chase drives: candidate facts live in a bump arena and
+    /// are only materialised here when they turn out to be new.
+    pub fn add_fact_ref(&mut self, rel: RelId, args: &[Value]) -> Result<bool> {
+        let arity = self.schema.arity(rel);
+        if arity != args.len() {
+            return Err(DataError::ArityMismatch {
+                relation: self.schema.name(rel).to_owned(),
+                expected: arity,
+                actual: args.len(),
+            });
+        }
+        if self.contains_fact_ref(rel, args) {
+            return Ok(false);
+        }
+        self.insert_new_fact(Fact::new(rel, args.to_vec()));
+        Ok(true)
+    }
+
+    /// The shared insert path behind [`Database::add_fact`] /
+    /// [`Database::add_fact_ref`].  The caller has checked the arity and that
+    /// the fact is not present.
+    fn insert_new_fact(&mut self, fact: Fact) {
         let idx = self.facts.len();
         for &v in &fact.args {
             self.assign_code(v);
@@ -276,11 +312,23 @@ impl Database {
             None => self.nullary_facts.push(idx as u32),
         }
         self.by_relation[fact.rel.0 as usize].push(idx);
-        self.fact_set.insert(fact.clone());
+        let key = Self::fact_key(fact.rel, &fact.args);
+        self.fact_lookup
+            .entry(key)
+            .or_default()
+            .push(u32::try_from(idx).expect("fact table overflow"));
         self.facts.push(fact);
         self.columnar = OnceLock::new();
         self.revision += 1;
-        Ok(true)
+    }
+
+    /// The dedup-index key of a fact: an FxHash over `(rel, args)`.
+    #[inline]
+    fn fact_key(rel: RelId, args: &[Value]) -> u64 {
+        let mut hasher = FxHasher::default();
+        rel.hash(&mut hasher);
+        args.hash(&mut hasher);
+        hasher.finish()
     }
 
     /// Assigns a dense value code to `v` if it does not have one yet,
@@ -412,7 +460,20 @@ impl Database {
 
     /// Returns `true` iff the fact is present.
     pub fn contains_fact(&self, fact: &Fact) -> bool {
-        self.fact_set.contains(fact)
+        self.contains_fact_ref(fact.rel, &fact.args)
+    }
+
+    /// Borrowed-key membership test: like [`Database::contains_fact`] but
+    /// without requiring an owned [`Fact`], so hot loops (chase saturation,
+    /// differential harnesses) can probe without allocating.
+    pub fn contains_fact_ref(&self, rel: RelId, args: &[Value]) -> bool {
+        match self.fact_lookup.get(&Self::fact_key(rel, args)) {
+            Some(indices) => indices.iter().any(|&idx| {
+                let fact = &self.facts[idx as usize];
+                fact.rel == rel && fact.args == args
+            }),
+            None => false,
+        }
     }
 
     /// Total number of facts.

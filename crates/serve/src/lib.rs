@@ -158,6 +158,11 @@ impl From<DataError> for ServeError {
 /// Convenient `Result` alias for fallible operations in this crate.
 pub type Result<T> = std::result::Result<T, ServeError>;
 
+/// Block size for the serving layer's batched pulls off an [`AnswerStream`]
+/// (offset skipping and response collection).  Large enough to amortise the
+/// per-block dispatch, small enough to keep bounded-window requests cheap.
+const SERVE_BLOCK: usize = 256;
+
 /// Handle to a compiled plan in a [`ServingEngine`] catalogue.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct QueryId(usize);
@@ -422,6 +427,22 @@ impl StreamedResponse {
     /// Unwraps the underlying raw answer cursor (drops the limit bound).
     pub fn into_stream(self) -> AnswerStream {
         self.stream
+    }
+
+    /// Batched pull: appends up to `k` answers to `out` (clipped to the
+    /// request's remaining `limit`) and returns how many were appended.
+    /// Equivalent to `k` calls to `next()`, at a lower per-answer cost —
+    /// see [`AnswerStream::next_batch`].
+    pub fn next_batch(&mut self, out: &mut Vec<Answer>, k: usize) -> usize {
+        let want = match self.remaining {
+            Some(n) => k.min(n),
+            None => k,
+        };
+        let produced = self.stream.next_batch(out, want);
+        if let Some(n) = &mut self.remaining {
+            *n -= produced;
+        }
+        produced
     }
 }
 
@@ -739,10 +760,18 @@ impl ServingEngine {
     /// response); the limit is enforced by the returned iterator.
     pub fn serve_stream(&self, request: &Request) -> Result<StreamedResponse> {
         let (query, epoch, mut stream, stats) = self.open_stream(request)?;
-        for _ in 0..request.offset {
-            if stream.next().is_none() {
+        // Skip the offset in batched blocks: same enumeration work as pulling
+        // one-by-one, minus the per-answer dispatch, and bounded memory (the
+        // skipped block is recycled, never accumulated).
+        let mut to_skip = request.offset;
+        let mut block: Vec<Answer> = Vec::new();
+        while to_skip > 0 {
+            let n = stream.next_batch(&mut block, to_skip.min(SERVE_BLOCK));
+            if n == 0 {
                 break;
             }
+            to_skip -= n;
+            block.clear();
         }
         if let Some(e) = stream.error() {
             return Err(e.clone().into());
@@ -762,8 +791,11 @@ impl ServingEngine {
     pub fn serve_one(&self, request: &Request) -> Result<Response> {
         let mut streamed = self.serve_stream(request)?;
         let mut answers = AnswerSet::empty(request.semantics);
-        for answer in &mut streamed {
-            answers.push(answer);
+        let mut block: Vec<Answer> = Vec::new();
+        while streamed.next_batch(&mut block, SERVE_BLOCK) > 0 {
+            for answer in block.drain(..) {
+                answers.push(answer);
+            }
         }
         // The iterator stops at the limit; one extra probe on the raw stream
         // detects whether the window cut the enumeration short.
@@ -892,6 +924,12 @@ mod tests {
         builder.build().unwrap()
     }
 
+    /// Drains a freshly opened stream for `request` into a vector — the
+    /// reassembly step shared by the pagination/stream tests.
+    fn collect_stream(engine: &ServingEngine, request: &Request) -> Vec<Answer> {
+        engine.serve_stream(request).unwrap().collect()
+    }
+
     /// Seeds the engine's own store with the same facts as `db(i, ..)`.
     fn seed_store(engine: &mut ServingEngine, i: usize, with_buildings: bool) {
         let mut txn = Txn::new();
@@ -1007,10 +1045,7 @@ mod tests {
         let id = engine.register_query("q", &omq).unwrap();
         seed_store(&mut engine, 7, false);
 
-        let full: Vec<Answer> = engine
-            .serve_stream(&Request::new(id, Semantics::MinimalPartial))
-            .unwrap()
-            .collect();
+        let full = collect_stream(&engine, &Request::new(id, Semantics::MinimalPartial));
         assert!(full.len() >= 4);
 
         let mut stream = engine
@@ -1121,10 +1156,7 @@ mod tests {
         let mut engine = ServingEngine::new(2);
         let id = engine.register_query("q", &omq).unwrap();
         seed_store(&mut engine, 9, false);
-        let full: Vec<Answer> = engine
-            .serve_stream(&Request::new(id, Semantics::MinimalPartial))
-            .unwrap()
-            .collect();
+        let full = collect_stream(&engine, &Request::new(id, Semantics::MinimalPartial));
         assert!(!full.is_empty());
 
         // take(k) through the streamed response honours the request limit.
@@ -1138,10 +1170,10 @@ mod tests {
         assert!(stream.error().is_none());
 
         // Offset streams resume exactly where the previous window ended.
-        let rest: Vec<Answer> = engine
-            .serve_stream(&Request::new(id, Semantics::MinimalPartial).with_offset(3))
-            .unwrap()
-            .collect();
+        let rest = collect_stream(
+            &engine,
+            &Request::new(id, Semantics::MinimalPartial).with_offset(3),
+        );
         assert_eq!(rest, full[3.min(full.len())..]);
 
         // Dropping a stream mid-way is fine.
@@ -1343,6 +1375,38 @@ mod tests {
             .register_data(Txn::new().insert("Researcher", ["post"]))
             .unwrap();
         assert!(engine.warm_instance(id).is_some());
+    }
+
+    #[test]
+    fn batched_pulls_match_single_pulls_through_the_serving_layer() {
+        let omq = office_omq();
+        let mut engine = ServingEngine::new(2);
+        let id = engine.register_query("office", &omq).unwrap();
+        seed_store(&mut engine, 11, true);
+        for semantics in [
+            Semantics::Complete,
+            Semantics::MinimalPartial,
+            Semantics::MinimalPartialMulti,
+        ] {
+            let full = collect_stream(&engine, &Request::new(id, semantics));
+            // Reassemble the whole answer set through bounded windows pulled
+            // with `next_batch`, in uneven block sizes.
+            let mut batched: Vec<Answer> = Vec::new();
+            let mut stream = engine.serve_stream(&Request::new(id, semantics)).unwrap();
+            for k in [1usize, 2, 3, 5, 64] {
+                stream.next_batch(&mut batched, k);
+            }
+            batched.extend(stream);
+            assert_eq!(batched, full, "{semantics:?} batched pull diverges");
+            // Limits clip batched pulls exactly like single pulls.
+            let mut window: Vec<Answer> = Vec::new();
+            let mut bounded = engine
+                .serve_stream(&Request::new(id, semantics).with_limit(3))
+                .unwrap();
+            assert_eq!(bounded.next_batch(&mut window, 64), 3.min(full.len()));
+            assert_eq!(window, full[..3.min(full.len())]);
+            assert_eq!(bounded.next_batch(&mut window, 64), 0);
+        }
     }
 
     #[test]

@@ -6,6 +6,9 @@
 //! * **prefix property** — `answers(sem)?.take(k)` yields exactly the first
 //!   `k` answers of the full enumeration, for every `k` and every semantics,
 //!   on sequential *and* sharded (`execute_parallel`) instances;
+//! * **batch equivalence** — `next_batch(k)` produces exactly the answers of
+//!   `k` successive `next()` calls, under arbitrary mid-stream interleaving
+//!   of the pull styles (`next` / `next_batch` / `fill`);
 //! * **wrapper equivalence** — the deprecated `enumerate_*` wrappers return
 //!   the same sequences as draining the cursor;
 //! * **drop soundness** — a stream dropped mid-way (including before the
@@ -131,6 +134,66 @@ proptest! {
                             k, semantics, instance.shard_count()
                         );
                     }
+                }
+            }
+        }
+    }
+
+    /// `next_batch(k)` ≡ `k × next()`: a random interleaving of `next()`,
+    /// `next_batch(k)` and `fill` pulls reproduces the plain drain exactly —
+    /// same answers, same order — on all three semantics, sequential and
+    /// sharded, with batch boundaries landing at arbitrary offsets
+    /// (mid-shard, across shard handovers, into the merge flush).
+    #[test]
+    fn next_batch_interleaves_with_next(
+        random_db in db_strategy(),
+        threads in 1..5usize,
+        schedule in prop::collection::vec((0..3usize, 1..5usize), 1..24),
+    ) {
+        for omq in [office_omq(), building_omq()] {
+            let plan = QueryPlan::compile(&omq).unwrap();
+            let db = random_db.to_database(omq.data_schema());
+            for instance in [plan.execute(&db).unwrap(), plan.execute_parallel(&db, threads).unwrap()] {
+                for semantics in Semantics::ALL {
+                    let full = drain(&instance, semantics);
+                    let mut stream = instance.answers(semantics).unwrap();
+                    let mut got: Vec<Answer> = Vec::new();
+                    'pulls: for &(style, k) in schedule.iter().cycle().take(schedule.len() * 8) {
+                        match style {
+                            0 => match stream.next() {
+                                Some(answer) => got.push(answer),
+                                None => break 'pulls,
+                            },
+                            1 => {
+                                // The prefix invariant holds mid-stream,
+                                // not just at exhaustion.
+                                prop_assert_eq!(&got[..], &full[..got.len()]);
+                                if stream.next_batch(&mut got, k) == 0 {
+                                    break 'pulls;
+                                }
+                            }
+                            _ => {
+                                let mut buf = vec![Answer::Complete(Vec::new()); k];
+                                let n = stream.fill(&mut buf);
+                                got.extend(buf.into_iter().take(n));
+                                if n < k {
+                                    break 'pulls;
+                                }
+                            }
+                        }
+                    }
+                    // Whatever the schedule left unpulled, finish batched;
+                    // the complete drains must agree answer-for-answer.
+                    while stream.next_batch(&mut got, 7) > 0 {}
+                    prop_assert_eq!(
+                        &got[..],
+                        &full[..],
+                        "batched drain diverges ({:?}, {} shards)",
+                        semantics,
+                        instance.shard_count()
+                    );
+                    prop_assert_eq!(stream.emitted(), full.len());
+                    prop_assert!(stream.error().is_none());
                 }
             }
         }
