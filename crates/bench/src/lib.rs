@@ -20,7 +20,10 @@
 //! * E12 — the plan/instance split: plan-reuse amortisation and
 //!   columnar-vs-hash per-answer delay distributions;
 //! * E17 — batched hot-path enumeration: `next_batch` dispatch amortisation
-//!   and arena-vs-malloc chase staging.
+//!   and arena-vs-malloc chase staging;
+//! * E18 — aggregate fast paths: non-materializing `count()`/`exists()`
+//!   versus drain-and-count, allocation-free batched partial emission, and
+//!   the chunked scan kernels versus scalar loops.
 //!
 //! See `EXPERIMENTS.md` at the workspace root for the paper-vs-measured
 //! discussion and `cargo run -p omq-bench --bin harness --release` to

@@ -103,6 +103,27 @@ pub const GATES: &[GatedMetric] = &[
         tolerance_pct: 50.0,
         abs_floor: 1.0,
     },
+    GatedMetric {
+        experiment: "E17",
+        metric: "partial_batch_speedup_at_max",
+        direction: Direction::HigherIsBetter,
+        tolerance_pct: 50.0,
+        abs_floor: 1.0,
+    },
+    GatedMetric {
+        experiment: "E18",
+        metric: "count_speedup_at_max",
+        direction: Direction::HigherIsBetter,
+        tolerance_pct: 50.0,
+        abs_floor: 1.0,
+    },
+    GatedMetric {
+        experiment: "E18",
+        metric: "partial_batch_speedup_at_max",
+        direction: Direction::HigherIsBetter,
+        tolerance_pct: 50.0,
+        abs_floor: 1.0,
+    },
 ];
 
 /// The gated metrics (see [`GATES`]).
@@ -645,6 +666,9 @@ mod tests {
             ("E14/page_mean_ns_at_max", 800.0),
             ("E16/post_commit_refresh_slope_us_per_fact", 0.4),
             ("E17/batch_speedup_at_max", 3.0),
+            ("E17/partial_batch_speedup_at_max", 2.0),
+            ("E18/count_speedup_at_max", 4.0),
+            ("E18/partial_batch_speedup_at_max", 2.0),
         ])
     }
 

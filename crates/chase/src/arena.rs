@@ -1,7 +1,7 @@
 //! A bump arena for staging chase-generated facts.
 //!
 //! Every chase loop in this crate stages a batch of derived facts before
-//! appending them to the [`Database`](omq_data::Database): the bounded chase
+//! appending them to the [`Database`]: the bounded chase
 //! stages one round of trigger heads, the query-directed chase stages one
 //! saturation round and the grafted null trees.  Staging through `Vec<Fact>`
 //! costs two heap allocations per derived fact (the staging slot plus the
@@ -13,7 +13,7 @@
 //! [`chase_many`](crate::QchasePlan::chase_many) calls.  After warm-up, a
 //! chase round allocates only for the facts that actually enter the database.
 
-use omq_data::{RelId, Value};
+use omq_data::{Database, RelId, Value};
 
 /// A reusable flat buffer of staged `(relation, arguments)` facts.
 ///
@@ -65,6 +65,19 @@ impl FactArena {
             let end = self.offsets[i + 1] as usize;
             (rel, &self.values[start..end])
         })
+    }
+
+    /// Appends every staged fact to `db` in push order — the one
+    /// staging-copy flush shared by the bounded chase round loop and both
+    /// query-directed chase phases (saturation and grafting).  Facts the
+    /// database already contains are deduplicated by
+    /// [`Database::add_fact_ref`]; returns how many were actually new.
+    pub fn flush_into(&self, db: &mut Database) -> omq_data::Result<usize> {
+        let mut added = 0usize;
+        for (rel, args) in self.facts() {
+            added += usize::from(db.add_fact_ref(rel, args)?);
+        }
+        Ok(added)
     }
 
     /// Forgets the staged facts but keeps the buffer capacity — the whole

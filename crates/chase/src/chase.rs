@@ -146,13 +146,11 @@ pub fn chase_in(
         if arena.is_empty() {
             break;
         }
-        for (rel, args) in arena.facts() {
-            result.add_fact_ref(rel, args)?;
-            if result.len() > config.max_facts {
-                return Err(ChaseError::ChaseBudgetExceeded {
-                    max_facts: config.max_facts,
-                });
-            }
+        arena.flush_into(&mut result)?;
+        if result.len() > config.max_facts {
+            return Err(ChaseError::ChaseBudgetExceeded {
+                max_facts: config.max_facts,
+            });
         }
         let _ = new_nulls;
     }

@@ -394,9 +394,7 @@ impl QchasePlan {
                 saturation_converged = true;
                 break;
             }
-            for (rel, args) in stage.facts() {
-                result.add_fact_ref(rel, args)?;
-            }
+            stage.flush_into(&mut result)?;
             // Adding facts can change bag types, so the memo must be kept
             // keyed by full bag signatures (it is) — no invalidation needed.
         }
@@ -454,9 +452,7 @@ impl QchasePlan {
                 stage.push_fact(*rel, &scratch);
             }
         }
-        for (rel, args) in stage.facts() {
-            result.add_fact_ref(rel, args)?;
-        }
+        stage.flush_into(&mut result)?;
 
         Ok(QueryDirectedChase {
             database: result,

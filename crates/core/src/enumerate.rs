@@ -28,8 +28,8 @@
 //!
 //! [`JoinCsr`]: crate::preprocess::JoinCsr
 
-use crate::preprocess::FreeConnexStructure;
-use omq_data::Value;
+use crate::preprocess::{FreeConnexStructure, JoinCsr};
+use omq_data::{kernels, Value};
 
 /// The resumable traversal state of one constant-delay enumeration run.
 ///
@@ -42,6 +42,10 @@ pub struct AnswerCursor {
     levels: Vec<Level>,
     /// Current tuple index per node (valid for nodes on the level stack).
     cur_tuple: Vec<usize>,
+    /// Reused answer-materialisation buffer for [`AnswerCursor::fill_with`];
+    /// lives on the cursor so batched pulls allocate it once per stream, not
+    /// once per batch.
+    scratch: Vec<Value>,
     state: IterState,
 }
 
@@ -102,6 +106,7 @@ impl AnswerCursor {
         AnswerCursor {
             levels: Vec::with_capacity(structure.preorder.len()),
             cur_tuple: vec![0; structure.nodes.len()],
+            scratch: Vec::with_capacity(structure.answer_sources.len()),
             state,
         }
     }
@@ -175,7 +180,11 @@ impl AnswerCursor {
                 }
                 let mut started = started;
                 let mut produced = 0usize;
-                let mut scratch: Vec<Value> = Vec::with_capacity(structure.answer_sources.len());
+                // The scratch buffer is a cursor field, detached for the
+                // duration of the batch so the traversal methods can borrow
+                // `self` mutably while `emit` sees the materialised slice.
+                let mut scratch = std::mem::take(&mut self.scratch);
+                let mut exhausted = false;
                 while produced < limit {
                     let stepped = if started {
                         self.advance(structure)
@@ -184,11 +193,8 @@ impl AnswerCursor {
                     };
                     started = true;
                     if !stepped {
-                        self.state = IterState::Running {
-                            started: true,
-                            done: true,
-                        };
-                        return produced;
+                        exhausted = true;
+                        break;
                     }
                     scratch.clear();
                     scratch.extend(structure.answer_sources.iter().map(|&(node, col)| {
@@ -199,9 +205,10 @@ impl AnswerCursor {
                     emit(&scratch);
                     produced += 1;
                 }
+                self.scratch = scratch;
                 self.state = IterState::Running {
-                    started,
-                    done: false,
+                    started: true,
+                    done: exhausted,
                 };
                 produced
             }
@@ -343,6 +350,139 @@ pub fn collect_answers(structure: &FreeConnexStructure) -> Vec<Vec<Value>> {
     AnswerIter::new(structure).collect()
 }
 
+/// Candidate tuples of `node` under the bindings recorded in `cur_tuple`:
+/// either every extension row, or the CSR slice of the node's parent join
+/// keyed by the parent's current tuple.  The standalone twin of
+/// [`AnswerCursor::candidates_for`], usable without cursor state.
+enum NodeCands<'a> {
+    All(usize),
+    Csr {
+        join: &'a JoinCsr,
+        start: usize,
+        len: usize,
+    },
+}
+
+impl NodeCands<'_> {
+    #[inline]
+    fn len(&self) -> usize {
+        match self {
+            NodeCands::All(len) | NodeCands::Csr { len, .. } => *len,
+        }
+    }
+}
+
+#[inline]
+fn node_cands<'a>(
+    structure: &'a FreeConnexStructure,
+    cur_tuple: &[usize],
+    node: usize,
+) -> NodeCands<'a> {
+    let node_data = &structure.nodes[node];
+    match (&node_data.parent_join, node_data.parent) {
+        (Some(join), Some(parent)) => {
+            let parent_tuple = cur_tuple[parent];
+            let start = join.offsets[parent_tuple] as usize;
+            let end = join.offsets[parent_tuple + 1] as usize;
+            NodeCands::Csr {
+                join,
+                start,
+                len: end - start,
+            }
+        }
+        _ => NodeCands::All(node_data.extension.len()),
+    }
+}
+
+/// Counts the answers of a preprocessed structure **without materialising a
+/// single tuple** — the aggregate fast path behind
+/// `PreparedInstance::count`.
+///
+/// The traversal walks the same pre-order candidate tree as
+/// [`AnswerCursor`], but stops one level short: because every tuple at every
+/// node extends to a full answer (the progress condition) and the full query
+/// `q₁` makes assignments and answers correspond one-to-one, the number of
+/// answers below a depth-`n-2` prefix is exactly the *fan-out* of the last
+/// pre-order node.  That fan-out is a CSR range length, so the deepest level
+/// collapses into [`kernels::sum_csr_lens`] / [`kernels::range_len`] folds
+/// over the offset arrays — `O(prefixes at depth n-2)` work instead of
+/// `O(answers)`, with the leaf level never visited at all.
+pub fn count_answers(structure: &FreeConnexStructure) -> u64 {
+    if let Some(satisfiable) = structure.boolean_satisfiable {
+        return u64::from(satisfiable);
+    }
+    if structure.empty {
+        return 0;
+    }
+    let n = structure.preorder.len();
+    if n == 1 {
+        return structure.nodes[structure.preorder[0]].extension.len() as u64;
+    }
+    let mut cur_tuple = vec![0usize; structure.nodes.len()];
+    count_prefixes(structure, &mut cur_tuple, 0)
+}
+
+/// Counts the answers extending the bindings of `cur_tuple` for the nodes at
+/// pre-order positions `0..depth`.  Only called with `depth <= n - 2`.
+fn count_prefixes(structure: &FreeConnexStructure, cur_tuple: &mut [usize], depth: usize) -> u64 {
+    let n = structure.preorder.len();
+    let node = structure.preorder[depth];
+    if depth == n - 2 {
+        let leaf = structure.preorder[n - 1];
+        let leaf_data = &structure.nodes[leaf];
+        // Does the leaf's candidate slice depend on *this* node's choice?
+        let leaf_keyed_here = leaf_data.parent == Some(node) && leaf_data.parent_join.is_some();
+        let cands = node_cands(structure, cur_tuple, node);
+        if leaf_keyed_here {
+            let leaf_join = leaf_data
+                .parent_join
+                .as_ref()
+                .expect("leaf_keyed_here implies a parent join");
+            match cands {
+                // Dense: fan-outs over all rows telescope in O(1).
+                NodeCands::All(len) => kernels::range_len(&leaf_join.offsets, 0, len),
+                // Sparse: fold the fan-outs of the candidate tuple ids with
+                // the chunked CSR kernel.
+                NodeCands::Csr { join, start, len } => {
+                    kernels::sum_csr_lens(&leaf_join.offsets, &join.tuples[start..start + len])
+                }
+            }
+        } else {
+            // The leaf's candidates are keyed by an ancestor bound at a
+            // shallower depth (or by nothing): its count is one constant
+            // factor for every candidate of this node.
+            let here = cands.len() as u64;
+            here * node_cands(structure, cur_tuple, leaf).len() as u64
+        }
+    } else {
+        let mut total = 0u64;
+        match node_cands(structure, cur_tuple, node) {
+            NodeCands::All(len) => {
+                for t in 0..len {
+                    cur_tuple[node] = t;
+                    total += count_prefixes(structure, cur_tuple, depth + 1);
+                }
+            }
+            NodeCands::Csr { join, start, len } => {
+                for i in 0..len {
+                    cur_tuple[node] = join.tuples[start + i] as usize;
+                    total += count_prefixes(structure, cur_tuple, depth + 1);
+                }
+            }
+        }
+        total
+    }
+}
+
+/// Emptiness probe: `true` iff the structure has at least one answer.
+/// Constant work — one cursor descent, no materialisation beyond the first
+/// tuple's indices.
+pub fn has_answer(structure: &FreeConnexStructure) -> bool {
+    AnswerCursor::new(structure)
+        .next_answer(structure)
+        .is_some()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -462,5 +602,47 @@ mod tests {
         let q = ConjunctiveQuery::parse("q(x, y, u, v) :- R(x, y), S(u, v)").unwrap();
         let s = FreeConnexStructure::build(&q, &database, true).unwrap();
         assert_eq!(collect_answers(&s).len(), 9);
+    }
+
+    #[test]
+    fn counting_walk_agrees_with_enumeration() {
+        let database = db();
+        for text in [
+            "q(x, y) :- R(x, y)",
+            "q(x, y, z) :- R(x, y), S(y, z)",
+            "q(x) :- R(x, y), T(x)",
+            "q(x, y, z) :- R(x, y), S(y, z), T(x)",
+            "q(x, y, u, v) :- R(x, y), S(u, v)",
+            "q(x, x, y) :- R(x, y)",
+            "q(y) :- R('a', y)",
+            "q(x, y, z, w) :- R(x, y), S(y, z), S(y, w)",
+        ] {
+            let q = ConjunctiveQuery::parse(text).unwrap();
+            for complete_only in [false, true] {
+                let s = FreeConnexStructure::build(&q, &database, complete_only).unwrap();
+                let drained = collect_answers(&s).len() as u64;
+                assert_eq!(count_answers(&s), drained, "query {text}");
+                assert_eq!(has_answer(&s), drained > 0, "query {text}");
+            }
+        }
+    }
+
+    #[test]
+    fn counting_walk_handles_boolean_and_empty() {
+        let database = db();
+        let sat = ConjunctiveQuery::parse("q() :- R(x, y), S(y, z)").unwrap();
+        let s = FreeConnexStructure::build(&sat, &database, true).unwrap();
+        assert_eq!(count_answers(&s), 1);
+        assert!(has_answer(&s));
+
+        let unsat = ConjunctiveQuery::parse("q() :- S(x, y), T(y)").unwrap();
+        let s = FreeConnexStructure::build(&unsat, &database, true).unwrap();
+        assert_eq!(count_answers(&s), 0);
+        assert!(!has_answer(&s));
+
+        let missing = ConjunctiveQuery::parse("q(x) :- Missing(x)").unwrap();
+        let s = FreeConnexStructure::build(&missing, &database, true).unwrap();
+        assert_eq!(count_answers(&s), 0);
+        assert!(!has_answer(&s));
     }
 }

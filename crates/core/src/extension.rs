@@ -132,46 +132,74 @@ impl Extension {
             }
         }
         // Narrow the candidates through the most selective constant column.
-        let mut candidates: Option<&[usize]> = None;
+        let mut candidates: Option<(usize, Value, &[usize])> = None;
         for (pos, slot) in slots.iter().enumerate() {
             if let Slot::Check(value) = slot {
                 let narrowed = db.facts_with(rel, pos, *value);
-                if candidates.map(|c| narrowed.len() < c.len()).unwrap_or(true) {
-                    candidates = Some(narrowed);
+                if candidates
+                    .map(|(_, _, c)| narrowed.len() < c.len())
+                    .unwrap_or(true)
+                {
+                    candidates = Some((pos, *value, narrowed));
                 }
             }
         }
 
         // Scan through the structure-of-arrays columns: each checked position
         // reads one contiguous `Value` column instead of chasing the per-fact
-        // `args` allocation.  Candidate fact ids are remapped to column rows
-        // once; the unrestricted scan walks rows `0..n` sequentially.
+        // `args` allocation.  The unrestricted scan walks rows `0..n`
+        // sequentially.
         let columnar = db.columnar();
         let cols = columnar
             .rel_columns(rel)
             .expect("relation is in the schema the index was built from");
         let col_slices: Vec<&[Value]> = (0..atom.arity()).map(|p| cols.column(p)).collect();
 
+        // Constant positions resolve to a packed row-id list before the
+        // binding loop runs.  A selective constant remaps its CSR fact ids to
+        // column rows (one random access per match); a dense one is cheaper
+        // to rediscover with a chunked vectorized column scan
+        // ([`omq_data::kernels::select_eq`]) than to remap row by row.  Any
+        // further constant columns refine the list in place, so the binding
+        // loop below only ever sees rows whose constants already matched.
+        let mut row_list: Option<Vec<u32>> = None;
+        if let Some((best_pos, best_value, narrowed)) = candidates {
+            let mut rows: Vec<u32> = Vec::new();
+            if narrowed.len() * 4 >= cols.rows() {
+                omq_data::kernels::select_eq(col_slices[best_pos], best_value, &mut rows);
+            } else {
+                rows.extend(narrowed.iter().map(|&idx| columnar.row_of_fact(idx)));
+            }
+            for (pos, slot) in slots.iter().enumerate() {
+                if let Slot::Check(value) = slot {
+                    if pos != best_pos {
+                        omq_data::kernels::retain_matching(col_slices[pos], *value, &mut rows);
+                    }
+                }
+            }
+            row_list = Some(rows);
+        }
+
         let mut out = Extension::empty(vars);
         let mut seen: FxHashSet<Tuple> = FxHashSet::default();
         let mut scratch: Tuple = vec![Value::Const(omq_data::ConstId(0)); out.vars.len()];
         let mut visit = |row: usize| {
             for (slot, column) in slots.iter().zip(&col_slices) {
-                let actual = column[row];
                 match slot {
+                    // Constants were verified by the row-list refinement (or
+                    // there are none on the unrestricted path).
                     Slot::Check(expected) => {
-                        if *expected != actual {
-                            return;
-                        }
+                        debug_assert_eq!(*expected, column[row]);
                     }
                     Slot::First(col, drop_null) => {
+                        let actual = column[row];
                         if *drop_null && actual.is_null() {
                             return;
                         }
                         scratch[*col] = actual;
                     }
                     Slot::Repeat(col) => {
-                        if scratch[*col] != actual {
+                        if scratch[*col] != column[row] {
                             return;
                         }
                     }
@@ -182,10 +210,10 @@ impl Extension {
                 out.push_row(&scratch);
             }
         };
-        match candidates {
-            Some(fact_ids) => {
-                for &idx in fact_ids {
-                    visit(columnar.row_of_fact(idx) as usize);
+        match &row_list {
+            Some(rows) => {
+                for &row in rows {
+                    visit(row as usize);
                 }
             }
             None => {

@@ -229,6 +229,55 @@ impl<T: MergeTuple> WildcardMerge<T> {
             }
         }
     }
+
+    /// Non-materialising twin of [`WildcardMerge::offer`] for the aggregate
+    /// fast paths: updates the domination/seen state from a *borrowed* tuple
+    /// and reports whether the tuple counts immediately (`true` for
+    /// constant-bearing answers, whose shard-local minimality is global) or
+    /// was parked against the wildcard patterns (`false`).  Parked tuples are
+    /// accounted for by [`WildcardMerge::survivors`] at the end.
+    pub(crate) fn observe(&mut self, t: &T) -> bool {
+        for pattern in &mut self.patterns {
+            if !pattern.dominated && t.dominates(&pattern.tuple) {
+                pattern.dominated = true;
+            }
+        }
+        if t.constant_free() {
+            self.patterns
+                .iter_mut()
+                .find(|p| p.tuple == *t)
+                .expect("the pattern list covers every wildcard-only tuple of the arity")
+                .seen = true;
+            false
+        } else {
+            true
+        }
+    }
+
+    /// Folds another merge of the **same arity and semantics** into this one.
+    /// Both sides were constructed by the same `partial`/`multi` constructor,
+    /// so their pattern lists are identical and positionally aligned; a
+    /// pattern is seen (dominated) globally iff it is seen (dominated) in
+    /// either side.  This is the associative combine of the embarrassingly
+    /// parallel per-shard counting reduce.
+    pub(crate) fn absorb(&mut self, other: Self) {
+        debug_assert_eq!(self.patterns.len(), other.patterns.len());
+        for (mine, theirs) in self.patterns.iter_mut().zip(other.patterns) {
+            debug_assert!(mine.tuple == theirs.tuple);
+            mine.seen |= theirs.seen;
+            mine.dominated |= theirs.dominated;
+        }
+    }
+
+    /// Number of globally minimal wildcard-only answers currently parked:
+    /// what [`WildcardMerge::flush`] would emit.  Call once, after every
+    /// shard's answers have been observed.
+    pub(crate) fn survivors(&self) -> u64 {
+        self.patterns
+            .iter()
+            .filter(|p| p.seen && !p.dominated)
+            .count() as u64
+    }
 }
 
 // `QueryPlan` and `PreparedInstance` are the artefacts shared across the

@@ -18,7 +18,7 @@
 //! ([`PartialEnumerator::enumerate`]) is a thin loop over the iterator.
 
 use crate::preprocess::{FreeConnexStructure, PlanSkeleton};
-use crate::progress::ProgressIndex;
+use crate::progress::{ProgressIndex, ProgressTree};
 use crate::Result;
 use omq_cq::{ConjunctiveQuery, VarId};
 use omq_data::{Database, PartialTuple, PartialValue};
@@ -60,8 +60,8 @@ enum Phase {
 /// array indexed by [`VarId`], the `trees(v, h)` list for an open node is
 /// read from precomputed *continuation sites* (see
 /// [`ProgressIndex::sites_of`]) instead of hashing the predecessor binding,
-/// and the `prune` step locates dominated trees by binary search over
-/// presorted lists.
+/// and the `prune` step locates dominated trees with one hash probe per
+/// candidate weakening through a pooled probe tree.
 #[derive(Debug)]
 pub struct PartialEnumerator {
     structure: FreeConnexStructure,
@@ -81,6 +81,18 @@ pub struct PartialEnumerator {
     /// The explicit stack of the unrolled `enum` recursion.
     frames: Vec<EnumFrame>,
     phase: Phase,
+    /// Reused answer buffer for [`PartialEnumerator::fill_values`]: batched
+    /// pulls materialise each answer into this scratch and hand out a slice,
+    /// so no per-answer `PartialTuple` vector is allocated.
+    emit_scratch: Vec<PartialValue>,
+    /// Pooled scratch of the `prune` step (entry removals, base pattern,
+    /// weakenable positions, candidate probe tree).  Pruning runs once per
+    /// answer; keeping these as fields removes its per-answer heap
+    /// allocations.
+    prune_removals: Vec<usize>,
+    prune_base: Vec<(VarId, PartialValue)>,
+    prune_weakenable: Vec<usize>,
+    prune_probe: ProgressTree,
 }
 
 impl PartialEnumerator {
@@ -117,6 +129,15 @@ impl PartialEnumerator {
             var_undo: Vec::new(),
             frames: Vec::new(),
             phase: Phase::Start,
+            emit_scratch: Vec::new(),
+            prune_removals: Vec::new(),
+            prune_base: Vec::new(),
+            prune_weakenable: Vec::new(),
+            prune_probe: ProgressTree {
+                root: 0,
+                nodes: Vec::new(),
+                pattern: Vec::new(),
+            },
         })
     }
 
@@ -253,59 +274,110 @@ impl PartialEnumerator {
     /// Batched pull: produces up to `limit` answers, invoking `emit` for each,
     /// without re-entering [`Iterator::next`] per tuple.  Returns the number
     /// produced; fewer than `limit` means the enumeration is exhausted.
+    ///
+    /// Thin owning wrapper over [`PartialEnumerator::fill_values`] for
+    /// callers that need `PartialTuple`s to keep.
     pub fn fill_with(&mut self, limit: usize, mut emit: impl FnMut(PartialTuple)) -> usize {
+        self.fill_values(limit, |values| emit(PartialTuple(values.to_vec())))
+    }
+
+    /// Allocation-free batched pull: produces up to `limit` answers, invoking
+    /// `emit` once per answer with the answer values in a scratch buffer
+    /// reused across answers *and* across batches.  Same answers in the same
+    /// order as [`Iterator::next`], but the only per-answer heap traffic left
+    /// is whatever the caller's `emit` does with the slice — counting and
+    /// merge probing consume it in place.  Returns the number produced; fewer
+    /// than `limit` means the enumeration is exhausted.
+    pub fn fill_values(&mut self, limit: usize, mut emit: impl FnMut(&[PartialValue])) -> usize {
         if limit == 0 {
             return 0;
         }
         let mut produced = 0usize;
+        // Detach the scratch so the traversal below can borrow `self`
+        // mutably while `emit` sees the materialised slice.
+        let mut scratch = std::mem::take(&mut self.emit_scratch);
         loop {
             match self.phase {
-                Phase::Done => return produced,
+                Phase::Done => break,
                 Phase::Start => {
                     if self.structure.empty {
                         self.phase = Phase::Done;
-                        return produced;
+                        break;
                     }
                     if let Some(satisfiable) = self.structure.boolean_satisfiable {
                         self.phase = Phase::Done;
                         if satisfiable {
-                            emit(PartialTuple(Vec::new()));
+                            emit(&[]);
                             produced += 1;
                         }
-                        return produced;
+                        break;
                     }
                     if self.advance(true) {
                         self.phase = Phase::AtAnswer;
-                        emit(self.emit());
+                        self.materialise_into(&mut scratch);
+                        emit(&scratch);
+                        self.prune();
                         produced += 1;
                     } else {
                         self.phase = Phase::Done;
-                        return produced;
+                        break;
                     }
                 }
                 Phase::AtAnswer => {
                     if self.advance(false) {
-                        emit(self.emit());
+                        self.materialise_into(&mut scratch);
+                        emit(&scratch);
+                        self.prune();
                         produced += 1;
                     } else {
                         self.phase = Phase::Done;
-                        return produced;
+                        break;
                     }
                 }
             }
             if produced == limit {
-                return produced;
+                break;
             }
         }
+        self.emit_scratch = scratch;
+        produced
+    }
+
+    /// Copies the answer described by the current assignment into `out`.
+    #[inline]
+    fn materialise_into(&self, out: &mut Vec<PartialValue>) {
+        out.clear();
+        out.extend(
+            self.structure
+                .answer_positions
+                .iter()
+                .map(|v| self.assignment[v.0 as usize].expect("answer variable bound")),
+        );
     }
 
     /// The `prune` procedure: after outputting the answer described by the
     /// current assignment, remove from every `trees` list the progress trees
     /// that are strictly dominated (same nodes, strictly more wildcards
-    /// compatible with the output pattern).  Lookups go through the
-    /// node's active list and binary search — no hashing.
+    /// compatible with the output pattern).  Each candidate weakening is one
+    /// hash probe against the index's tree→entry table, through a pooled
+    /// probe tree — prune runs once per answer, and this loop is the bulk of
+    /// the enumeration phase's per-answer constant.
     fn prune(&mut self) {
-        let mut removals: Vec<usize> = Vec::new();
+        // The scratch buffers are pooled on the enumerator (prune runs once
+        // per answer); they are detached for the duration of the pass because
+        // `subtrees()` keeps `self.index` borrowed.
+        let mut removals = std::mem::take(&mut self.prune_removals);
+        let mut base = std::mem::take(&mut self.prune_base);
+        let mut weakenable = std::mem::take(&mut self.prune_weakenable);
+        let mut probe = std::mem::replace(
+            &mut self.prune_probe,
+            ProgressTree {
+                root: 0,
+                nodes: Vec::new(),
+                pattern: Vec::new(),
+            },
+        );
+        removals.clear();
         for (root, nodes, vars) in self.index.subtrees() {
             // Progress trees carry constants on the predecessor variables of
             // their root; if the output assigns a wildcard there, no tree in
@@ -318,47 +390,62 @@ impl PartialEnumerator {
                 continue;
             }
             // The list holding trees rooted here under the output's
-            // predecessor binding is the node's active list.
+            // predecessor binding is the node's active list; with no active
+            // list, no tree can be dominated.
             let Some(list_id) = self.open_list[root] else {
                 continue;
             };
             // Base pattern: the output restricted to the subtree's variables.
-            let base: Vec<(VarId, PartialValue)> = vars
-                .iter()
-                .map(|v| (*v, self.assignment[v.0 as usize].expect("variable bound")))
-                .collect();
+            base.clear();
+            base.extend(
+                vars.iter()
+                    .map(|v| (*v, self.assignment[v.0 as usize].expect("variable bound"))),
+            );
             // Predecessor variables of the subtree root must stay non-wildcard
             // (condition (1) of progress trees), so only the other constant
             // positions may be weakened.
-            let weakenable: Vec<usize> = base
-                .iter()
-                .enumerate()
-                .filter(|(_, (v, value))| {
-                    matches!(value, PartialValue::Const(_)) && !pred_vars.contains(v)
-                })
-                .map(|(i, _)| i)
-                .collect();
+            weakenable.clear();
+            weakenable.extend(
+                base.iter()
+                    .enumerate()
+                    .filter(|(_, (v, value))| {
+                        matches!(value, PartialValue::Const(_)) && !pred_vars.contains(v)
+                    })
+                    .map(|(i, _)| i),
+            );
             if weakenable.is_empty() {
                 continue;
             }
+            probe.root = root;
+            probe.nodes.clear();
+            probe.nodes.extend_from_slice(nodes);
             // All non-empty subsets of weakenable positions.
             let subset_count: u64 = 1u64 << weakenable.len().min(63);
-            let mut pattern = base.clone();
             for mask in 1..subset_count {
-                pattern.copy_from_slice(&base);
+                probe.pattern.clear();
+                probe.pattern.extend_from_slice(&base);
                 for (bit, &pos) in weakenable.iter().enumerate() {
                     if mask & (1 << bit) != 0 {
-                        pattern[pos].1 = PartialValue::Star;
+                        probe.pattern[pos].1 = PartialValue::Star;
                     }
                 }
-                if let Some(entry) = self.index.find_in_list(list_id, nodes, &pattern) {
+                if let Some(entry) = self.index.entry_of(&probe) {
+                    // A tree's pattern pins its predecessor binding, so a
+                    // matching tree necessarily lives in the active list.
+                    debug_assert!(
+                        self.index.find_in_list(list_id, nodes, &probe.pattern) == Some(entry)
+                    );
                     removals.push(entry);
                 }
             }
         }
-        for entry in removals {
+        for &entry in &removals {
             self.index.remove_entry(entry);
         }
+        self.prune_removals = removals;
+        self.prune_base = base;
+        self.prune_weakenable = weakenable;
+        self.prune_probe = probe;
     }
 }
 
@@ -552,6 +639,37 @@ mod tests {
 
         let unsat = ConjunctiveQuery::parse("q(x) :- Missing(x)").unwrap();
         assert!(minimal_partial_answers(&unsat, &db).unwrap().is_empty());
+    }
+
+    #[test]
+    fn fill_values_matches_the_iterator() {
+        let db = chaselike_db();
+        let q = ConjunctiveQuery::parse("q(x, y, z) :- A(x), R(x, y), S(y, z)").unwrap();
+        let via_iter: Vec<PartialTuple> = PartialEnumerator::new(&q, &db).unwrap().collect();
+        let mut cursor = PartialEnumerator::new(&q, &db).unwrap();
+        let mut batched: Vec<PartialTuple> = Vec::new();
+        loop {
+            let got = cursor.fill_values(2, |values| batched.push(PartialTuple(values.to_vec())));
+            if got < 2 {
+                break;
+            }
+        }
+        assert_eq!(batched, via_iter);
+        // An exhausted cursor keeps returning zero without emitting.
+        assert_eq!(cursor.fill_values(4, |_| panic!("no more answers")), 0);
+
+        // Boolean queries emit one empty slice.
+        let boolean = ConjunctiveQuery::parse("q() :- R(x, y), S(y, z)").unwrap();
+        let mut cursor = PartialEnumerator::new(&boolean, &db).unwrap();
+        let mut empties = 0usize;
+        assert_eq!(
+            cursor.fill_values(8, |values| {
+                assert!(values.is_empty());
+                empties += 1;
+            }),
+            1
+        );
+        assert_eq!(empties, 1);
     }
 
     #[test]

@@ -19,6 +19,7 @@
 use crate::all_testing::AllTester;
 use crate::error::CoreError;
 use crate::multi_enum;
+use crate::parallel::WildcardMerge;
 use crate::partial_enum::PartialEnumerator;
 use crate::preprocess::{FreeConnexStructure, PlanSkeleton};
 use crate::single_testing;
@@ -33,6 +34,10 @@ use rustc_hash::{FxHashMap, FxHashSet};
 use std::ops::ControlFlow;
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Pull granularity of the wildcard counting loops: large enough to amortise
+/// the batched-cursor dispatch, small enough to stay cache-resident.
+const COUNT_BATCH: usize = 256;
 
 #[derive(Debug)]
 struct PlanInner {
@@ -568,6 +573,149 @@ impl PreparedInstance {
     /// streams it produces.
     pub(crate) fn shared_shards(&self) -> &Arc<Vec<Arc<Database>>> {
         &self.shards
+    }
+
+    // ------------------------------------------------------------------
+    // Aggregate fast paths: count and exists without materialisation.
+    // ------------------------------------------------------------------
+
+    /// Counts the answers of `semantics` **without materialising a single
+    /// [`Answer`] tuple** — always equal to `answers(semantics)?.count()`,
+    /// but structurally cheaper:
+    ///
+    /// * complete answers are counted by the prefix walk of
+    ///   [`crate::enumerate::count_answers`], which folds the deepest
+    ///   enumeration level into CSR fan-out sums instead of visiting it;
+    /// * wildcard semantics drive the shard enumerators through their
+    ///   allocation-free batched pulls and feed a borrowed-tuple minimality
+    ///   filter ([`crate::parallel`]), so constant-bearing answers are
+    ///   counted in place and only the wildcard-only patterns are tracked;
+    /// * shards are counted independently and reduced (count is associative
+    ///   — the embarrassingly parallel half of the sharded execution), on
+    ///   scoped threads when the instance is sharded.
+    pub fn count(&self, semantics: Semantics) -> Result<u64> {
+        let skeleton = self.plan.skeleton()?;
+        match semantics {
+            Semantics::Complete => {
+                let counts = self.map_shards(|shard| {
+                    let structure = FreeConnexStructure::materialize(skeleton, shard, true)?;
+                    Ok(crate::enumerate::count_answers(&structure))
+                })?;
+                if skeleton.boolean {
+                    // The stream dedups the Boolean empty tuple across
+                    // shards: the query is satisfiable, or it is not.
+                    Ok(u64::from(counts.iter().any(|&c| c > 0)))
+                } else {
+                    Ok(counts.iter().sum())
+                }
+            }
+            Semantics::MinimalPartial => {
+                let arity = skeleton.answer_positions.len();
+                let parts = self.map_shards(|shard| {
+                    let mut cursor = PartialEnumerator::with_skeleton(skeleton, shard)?;
+                    let mut merge = WildcardMerge::partial(arity);
+                    let mut counted = 0u64;
+                    let mut probe = PartialTuple(Vec::new());
+                    loop {
+                        let got = cursor.fill_values(COUNT_BATCH, |values| {
+                            probe.0.clear();
+                            probe.0.extend_from_slice(values);
+                            counted += u64::from(merge.observe(&probe));
+                        });
+                        if got < COUNT_BATCH {
+                            break;
+                        }
+                    }
+                    Ok((counted, merge))
+                })?;
+                let mut total = 0u64;
+                let mut merge = WildcardMerge::partial(arity);
+                for (counted, shard_merge) in parts {
+                    total += counted;
+                    merge.absorb(shard_merge);
+                }
+                Ok(total + merge.survivors())
+            }
+            Semantics::MinimalPartialMulti => {
+                let arity = skeleton.answer_positions.len();
+                let parts = self.map_shards(|shard| {
+                    let mut cursor = multi_enum::MultiEnumerator::with_skeleton(skeleton, shard)?;
+                    let mut merge = WildcardMerge::multi(arity);
+                    let mut counted = 0u64;
+                    loop {
+                        let got = cursor.fill_with(COUNT_BATCH, |t| {
+                            counted += u64::from(merge.observe(&t));
+                        });
+                        if got < COUNT_BATCH {
+                            break;
+                        }
+                    }
+                    if let Some(e) = cursor.error() {
+                        return Err(e.clone());
+                    }
+                    Ok((counted, merge))
+                })?;
+                let mut total = 0u64;
+                let mut merge = WildcardMerge::multi(arity);
+                for (counted, shard_merge) in parts {
+                    total += counted;
+                    merge.absorb(shard_merge);
+                }
+                Ok(total + merge.survivors())
+            }
+        }
+    }
+
+    /// Emptiness probe for `semantics` — always equal to
+    /// `answers(semantics)?.next().is_some()`, without materialising any
+    /// answer and without running the wildcard enumeration at all:
+    ///
+    /// * complete answers need one cursor descent per shard (first hit
+    ///   wins);
+    /// * for the wildcard semantics a non-empty enumeration structure
+    ///   already guarantees an answer (Lemma 5.4's progress invariant), and
+    ///   the cross-shard minimality filter only ever replaces answers with
+    ///   dominating ones, so it cannot empty a non-empty union.
+    pub fn exists(&self, semantics: Semantics) -> Result<bool> {
+        let skeleton = self.plan.skeleton()?;
+        let complete_only = semantics == Semantics::Complete;
+        for shard in self.shards.iter() {
+            let structure = FreeConnexStructure::materialize(skeleton, shard, complete_only)?;
+            let found = if complete_only {
+                crate::enumerate::has_answer(&structure)
+            } else if let Some(satisfiable) = structure.boolean_satisfiable {
+                satisfiable
+            } else {
+                !structure.empty
+            };
+            if found {
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+
+    /// Applies `f` to every shard, on scoped worker threads when the
+    /// instance is sharded — the map half of the aggregate reduces above.
+    fn map_shards<R: Send>(&self, f: impl Fn(&Database) -> Result<R> + Sync) -> Result<Vec<R>> {
+        if self.shards.len() <= 1 {
+            return self.shards.iter().map(|shard| f(shard)).collect();
+        }
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .iter()
+                .map(|shard| {
+                    let shard: &Database = shard;
+                    let f = &f;
+                    scope.spawn(move || f(shard))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard aggregate worker panicked"))
+                .collect()
+        })
     }
 
     // ------------------------------------------------------------------
@@ -1165,6 +1313,39 @@ mod tests {
                     assert_eq!(batched, reference);
                 }
             }
+        }
+    }
+
+    #[test]
+    fn count_and_exists_agree_with_the_stream() {
+        let omq = office_omq();
+        let plan = QueryPlan::compile(&omq).unwrap();
+        for instance in batching_instances(&plan) {
+            for semantics in Semantics::ALL {
+                let drained = instance.answers(semantics).unwrap().count() as u64;
+                assert_eq!(instance.count(semantics).unwrap(), drained);
+                assert_eq!(instance.exists(semantics).unwrap(), drained > 0);
+            }
+        }
+        // Boolean query: one empty tuple, deduped across shards.
+        let ontology = omq.ontology().clone();
+        let boolean = ConjunctiveQuery::parse("q() :- HasOffice(x, y)").unwrap();
+        let bomq = OntologyMediatedQuery::new(ontology, boolean).unwrap();
+        let bplan = QueryPlan::compile(&bomq).unwrap();
+        for instance in batching_instances(&bplan) {
+            for semantics in Semantics::ALL {
+                let drained = instance.answers(semantics).unwrap().count() as u64;
+                assert_eq!(instance.count(semantics).unwrap(), drained);
+                assert_eq!(drained, 1);
+                assert!(instance.exists(semantics).unwrap());
+            }
+        }
+        // Empty data: zero everywhere.
+        let empty = Database::builder(schema()).build().unwrap();
+        let instance = plan.execute(&empty).unwrap();
+        for semantics in Semantics::ALL {
+            assert_eq!(instance.count(semantics).unwrap(), 0);
+            assert!(!instance.exists(semantics).unwrap());
         }
     }
 

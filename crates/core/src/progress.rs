@@ -343,6 +343,16 @@ impl ProgressIndex {
             .map(|pos| sorted[pos])
     }
 
+    /// Looks up the arena entry holding exactly `probe` (same root, nodes and
+    /// pattern), live or removed.  One hash lookup — the prune step probes
+    /// every candidate weakening of an output this way, which beats a binary
+    /// search over the list (each probe of which re-compares the node and
+    /// pattern vectors) by a constant factor that matters at once-per-answer
+    /// frequency.
+    pub fn entry_of(&self, probe: &ProgressTree) -> Option<usize> {
+        self.locations.get(probe).copied()
+    }
+
     /// Removes an entry by id (constant-time unlink).  Returns `true` iff it
     /// was live.
     pub fn remove_entry(&mut self, entry_id: usize) -> bool {

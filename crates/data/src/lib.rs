@@ -10,6 +10,9 @@
 //! * **facts** and finite **instances / databases** with dense columnar
 //!   indexes that play the role of the RAM-model lookup tables assumed by the
 //!   paper, see [`Database`] and [`columnar::ColumnarIndex`];
+//! * chunked, auto-vectorizable **scan kernels** over those columnar layouts
+//!   (membership tests, join-partner counting, CSR fan-out sums), see
+//!   [`kernels`];
 //! * the **Gaifman graph** of a database and guarded sets, see [`gaifman`];
 //! * **wildcard tuples** for partial answers — both the single-wildcard variant
 //!   (`*`) and the multi-wildcard variant (`*1, *2, …`) together with their
@@ -36,6 +39,7 @@ pub mod error;
 pub mod fact;
 pub mod gaifman;
 pub mod interner;
+pub mod kernels;
 pub mod schema;
 pub mod store;
 pub mod value;

@@ -380,6 +380,27 @@ pub struct Response {
     pub stats: PreprocessStats,
 }
 
+/// The response to an aggregate request ([`ServingEngine::count`]): the
+/// total number of answers of the request's query under its semantics at
+/// the served epoch, with no answer tuples materialised along the way.
+#[derive(Debug, Clone)]
+pub struct CountResponse {
+    /// The query that was counted (resolved to its catalogue id).
+    pub query: QueryId,
+    /// The store epoch the aggregate was served at (`None` for ad-hoc
+    /// databases outside the store).
+    pub epoch: Option<u64>,
+    /// The semantics the answers were counted under.
+    pub semantics: Semantics,
+    /// Total number of answers — what draining an unbounded [`Request`] of
+    /// the same semantics would return, computed without materialising it.
+    pub count: u64,
+    /// `count > 0`, for symmetry with [`ServingEngine::exists`].
+    pub exists: bool,
+    /// Preprocessing statistics of the execution behind this aggregate.
+    pub stats: PreprocessStats,
+}
+
 /// The lazy counterpart of [`Response`]: the request's answer window as a
 /// pullable cursor ([`Iterator<Item = Answer>`]).
 ///
@@ -715,29 +736,30 @@ impl ServingEngine {
         Ok((id, self.plan(id)?))
     }
 
-    /// Executes the request's plan over its (pinned) data and opens the
-    /// answer cursor (the chase plus the per-shard enumeration
-    /// preprocessing; every answer pulled afterwards is constant work).
-    fn open_stream(
+    /// Executes the request's plan over its (pinned) data: the chase plus
+    /// shard preparation, shared by the streaming and aggregate entry
+    /// points.  Returns the prepared instance behind a shared handle — the
+    /// warm head instance when the fast path hits, a freshly executed one
+    /// otherwise.
+    fn resolve_instance(
         &self,
         request: &Request,
-    ) -> Result<(QueryId, Option<u64>, AnswerStream, PreprocessStats)> {
+    ) -> Result<(QueryId, Option<u64>, Arc<PreparedInstance>)> {
         let (id, plan) = self.resolve_query(&request.query)?;
         // Pin the data *before* executing: `Head` resolves to a snapshot of
-        // the store at this instant, so the returned stream is isolated from
-        // every later commit.
+        // the store at this instant, so the returned instance is isolated
+        // from every later commit.
         let pinned;
         let (db, epoch): (&Database, Option<u64>) = match &request.data {
             DataRef::Head => {
                 pinned = self.store.snapshot();
                 // Warm fast path: the head was already executed (and kept
                 // fresh incrementally across commits), so the request only
-                // pays for opening the cursor — after a delta commit, time
+                // pays for opening its cursor — after a delta commit, time
                 // to the first answer is proportional to the delta.
                 if self.warm_epoch == pinned.epoch() {
                     if let Some(instance) = self.warm.get(id.0).and_then(Option::as_ref) {
-                        let stream = instance.answers(request.semantics)?;
-                        return Ok((id, Some(pinned.epoch()), stream, *instance.stats()));
+                        return Ok((id, Some(pinned.epoch()), Arc::clone(instance)));
                     }
                 }
                 (pinned.database(), Some(pinned.epoch()))
@@ -750,8 +772,45 @@ impl ServingEngine {
         } else {
             plan.execute(db)?
         };
+        Ok((id, epoch, Arc::new(instance)))
+    }
+
+    /// Opens the answer cursor of a request (every answer pulled afterwards
+    /// is constant work).
+    fn open_stream(
+        &self,
+        request: &Request,
+    ) -> Result<(QueryId, Option<u64>, AnswerStream, PreprocessStats)> {
+        let (id, epoch, instance) = self.resolve_instance(request)?;
         let stream = instance.answers(request.semantics)?;
         Ok((id, epoch, stream, *instance.stats()))
+    }
+
+    /// Serves the aggregate form of a request: how many answers the query
+    /// has under the request's semantics at the served epoch, computed
+    /// through the non-materialising fast paths of
+    /// [`PreparedInstance::count`] — no answer tuple is ever built.  The
+    /// request's `limit`/`offset` window describes an answer page and does
+    /// not apply to aggregates; it is ignored.
+    pub fn count(&self, request: &Request) -> Result<CountResponse> {
+        let (query, epoch, instance) = self.resolve_instance(request)?;
+        let count = instance.count(request.semantics)?;
+        Ok(CountResponse {
+            query,
+            epoch,
+            semantics: request.semantics,
+            count,
+            exists: count > 0,
+            stats: *instance.stats(),
+        })
+    }
+
+    /// Emptiness probe for a request — like [`ServingEngine::count`] but
+    /// cheaper: per-shard constant-work probes through
+    /// [`PreparedInstance::exists`], no enumeration at all.
+    pub fn exists(&self, request: &Request) -> Result<bool> {
+        let (_, _, instance) = self.resolve_instance(request)?;
+        Ok(instance.exists(request.semantics)?)
     }
 
     /// Serves one request lazily: returns the cursor over the request's
@@ -877,6 +936,7 @@ const _: () = {
     assert_send_sync::<ServingEngine>();
     assert_send_sync::<Request>();
     assert_send_sync::<Response>();
+    assert_send_sync::<CountResponse>();
     assert_send_sync::<Snapshot>();
     assert_send_sync::<Txn>();
     assert_send::<StreamedResponse>();
@@ -943,6 +1003,39 @@ mod tests {
             }
         }
         engine.register_data(txn).unwrap();
+    }
+
+    #[test]
+    fn count_requests_match_drained_answer_sets() {
+        let office = office_omq();
+        let mut engine = ServingEngine::new(2);
+        let id = engine.register_query("office", &office).unwrap();
+        seed_store(&mut engine, 6, true);
+
+        for semantics in Semantics::ALL {
+            // Against the warm store head: the served epoch is pinned.
+            let request = Request::new(id, semantics);
+            let counted = engine.count(&request).unwrap();
+            let drained = collect_stream(&engine, &request).len() as u64;
+            assert_eq!(counted.count, drained, "{semantics:?}");
+            assert_eq!(counted.query, id);
+            assert_eq!(counted.epoch, Some(engine.epoch()));
+            assert_eq!(counted.semantics, semantics);
+            assert_eq!(counted.exists, drained > 0);
+            assert_eq!(engine.exists(&request).unwrap(), drained > 0);
+
+            // Against an ad-hoc database: no epoch, window fields ignored.
+            let adhoc = Arc::new(db(3, &office));
+            let request = Request::new(id, semantics)
+                .with_database(Arc::clone(&adhoc))
+                .with_offset(1)
+                .with_limit(2);
+            let counted = engine.count(&request).unwrap();
+            let unbounded = Request::new(id, semantics).with_database(adhoc);
+            let drained = collect_stream(&engine, &unbounded).len() as u64;
+            assert_eq!(counted.count, drained, "{semantics:?} ad-hoc");
+            assert_eq!(counted.epoch, None);
+        }
     }
 
     #[test]

@@ -159,8 +159,8 @@ pub mod prelude {
         NullId, PartialTuple, PartialValue, RelId, Schema, Semantics, Snapshot, Store, Txn, Value,
     };
     pub use omq_serve::{
-        AnswerSet, DataRef, QueryId, QueryRef, Request, Response, ServeError, ServingEngine,
-        StreamedResponse,
+        AnswerSet, CountResponse, DataRef, QueryId, QueryRef, Request, Response, ServeError,
+        ServingEngine, StreamedResponse,
     };
 }
 
@@ -204,6 +204,7 @@ mod thread_safety {
         assert_send_sync::<omq_serve::ServingEngine>();
         assert_send_sync::<omq_serve::Request>();
         assert_send_sync::<omq_serve::Response>();
+        assert_send_sync::<omq_serve::CountResponse>();
         // The facade error crosses thread boundaries inside responses.
         assert_send_sync::<crate::Error>();
         // Cursors are moved into per-request handler tasks.

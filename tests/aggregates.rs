@@ -1,0 +1,209 @@
+//! Property tests of the aggregate fast paths: `count` and `exists` never
+//! materialise an `Answer`, yet must agree exactly with draining the cursor.
+//!
+//! The contract under test (`PreparedInstance::count` / `exists`):
+//!
+//! * **count equivalence** — `count(sem) == answers(sem)?.count()` for every
+//!   semantics, on sequential *and* sharded (`execute_parallel`) instances,
+//!   over random databases (the sharded case exercises the borrowed-tuple
+//!   minimality merge and its associative `absorb` reduce);
+//! * **exists equivalence** — `exists(sem) == answers(sem)?.next().is_some()`
+//!   under the same sweep, including the Lemma 5.4 shortcut for the wildcard
+//!   semantics (non-empty structure ⇒ some minimal answer);
+//! * **commit stability** — the equivalences keep holding across store
+//!   commits, on the freshly executed head and on instances refreshed
+//!   incrementally from a predecessor;
+//! * **serving parity** — `ServingEngine::count` reports the drained length
+//!   of the unbounded request at the served epoch, ignoring the
+//!   `limit`/`offset` window.
+
+use omq::prelude::*;
+use proptest::prelude::*;
+
+/// The office OMQ of the running example: guarded, acyclic, free-connex.
+fn office_omq() -> OntologyMediatedQuery {
+    let ontology = Ontology::parse(
+        "Researcher(x) -> exists y. HasOffice(x, y)\n\
+         HasOffice(x, y) -> Office(y)\n\
+         Office(x) -> exists y. InBuilding(x, y)",
+    )
+    .unwrap();
+    let query =
+        ConjunctiveQuery::parse("q(x1, x2, x3) :- HasOffice(x1, x2), InBuilding(x2, x3)").unwrap();
+    OntologyMediatedQuery::new(ontology, query).unwrap()
+}
+
+/// Same ontology, projected to the building only: researchers without any
+/// listed office/building answer with the all-star tuple, whose minimality
+/// (and hence whose *count* contribution) is a cross-shard property — the
+/// stress case for counting through the merge filter.
+fn building_omq() -> OntologyMediatedQuery {
+    let ontology = Ontology::parse(
+        "Researcher(x) -> exists y. HasOffice(x, y)\n\
+         HasOffice(x, y) -> Office(y)\n\
+         Office(x) -> exists y. InBuilding(x, y)",
+    )
+    .unwrap();
+    let query = ConjunctiveQuery::parse("q(x3) :- HasOffice(x1, x2), InBuilding(x2, x3)").unwrap();
+    OntologyMediatedQuery::new(ontology, query).unwrap()
+}
+
+/// A random office database assembled from independent researcher/office/
+/// building wirings; disjoint constant ranges per "island" make the Gaifman
+/// component count scale with the input.
+#[derive(Debug, Clone)]
+struct RandomDb {
+    researchers: Vec<usize>,
+    offices: Vec<(usize, usize)>,
+    buildings: Vec<(usize, usize)>,
+}
+
+fn db_strategy() -> impl Strategy<Value = RandomDb> {
+    (
+        prop::collection::vec(0..10usize, 1..10),
+        prop::collection::vec((0..10usize, 0..6usize), 0..8),
+        prop::collection::vec((0..6usize, 0..4usize), 0..6),
+    )
+        .prop_map(|(researchers, offices, buildings)| RandomDb {
+            researchers,
+            offices,
+            buildings,
+        })
+}
+
+impl RandomDb {
+    fn to_database(&self, schema: &Schema) -> Database {
+        let mut builder = Database::builder(schema.clone());
+        for &r in &self.researchers {
+            builder = builder.fact("Researcher", [format!("p{r}")]);
+        }
+        for &(r, o) in &self.offices {
+            builder = builder.fact("HasOffice", [format!("p{r}"), format!("o{o}")]);
+        }
+        for &(o, b) in &self.buildings {
+            builder = builder.fact("InBuilding", [format!("o{o}"), format!("b{b}")]);
+        }
+        builder.build().unwrap()
+    }
+
+    fn to_txn(&self, tag: &str) -> Txn {
+        let mut txn = Txn::new();
+        for &r in &self.researchers {
+            txn = txn.insert("Researcher", [format!("{tag}p{r}")]);
+        }
+        for &(r, o) in &self.offices {
+            txn = txn.insert("HasOffice", [format!("{tag}p{r}"), format!("{tag}o{o}")]);
+        }
+        for &(o, b) in &self.buildings {
+            txn = txn.insert("InBuilding", [format!("{tag}o{o}"), format!("{tag}b{b}")]);
+        }
+        txn
+    }
+}
+
+/// Asserts `count`/`exists` against a full drain of the cursor, for one
+/// instance and one semantics.
+fn assert_aggregates_match(instance: &PreparedInstance, semantics: Semantics) {
+    let mut stream = instance.answers(semantics).unwrap();
+    let drained = (&mut stream).count() as u64;
+    assert!(stream.error().is_none(), "stream ended with an error");
+    assert_eq!(
+        instance.count(semantics).unwrap(),
+        drained,
+        "count() diverges from drain ({semantics:?}, {} shards)",
+        instance.shard_count()
+    );
+    assert_eq!(
+        instance.exists(semantics).unwrap(),
+        drained > 0,
+        "exists() diverges from next().is_some() ({semantics:?})",
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Count and exists equivalence across semantics × sharding × random
+    /// databases.
+    #[test]
+    fn count_and_exists_agree_with_draining(
+        random_db in db_strategy(),
+        threads in 1..5usize,
+    ) {
+        for omq in [office_omq(), building_omq()] {
+            let plan = QueryPlan::compile(&omq).unwrap();
+            let db = random_db.to_database(omq.data_schema());
+            for instance in [
+                plan.execute(&db).unwrap(),
+                plan.execute_parallel(&db, threads).unwrap(),
+            ] {
+                for semantics in Semantics::ALL {
+                    assert_aggregates_match(&instance, semantics);
+                }
+            }
+        }
+    }
+
+    /// The equivalences hold across store commits: on instances executed
+    /// from each head and on instances refreshed incrementally from their
+    /// predecessor.
+    #[test]
+    fn count_and_exists_survive_commits(
+        first in db_strategy(),
+        second in db_strategy(),
+    ) {
+        for omq in [office_omq(), building_omq()] {
+            let plan = QueryPlan::compile(&omq).unwrap();
+            let mut store = Store::new(omq.data_schema().clone());
+            store.commit(first.to_txn("a")).unwrap();
+            let head_one = store.snapshot();
+            let base = plan.execute_tracked(head_one.database()).unwrap();
+            for semantics in Semantics::ALL {
+                assert_aggregates_match(&base, semantics);
+            }
+            let receipt = store.commit(second.to_txn("b")).unwrap();
+            let head_two = store.snapshot();
+            let refreshed = base.refresh(head_two.database(), &receipt).unwrap();
+            let rebuilt = plan.execute(head_two.database()).unwrap();
+            for semantics in Semantics::ALL {
+                assert_aggregates_match(&refreshed, semantics);
+                assert_aggregates_match(&rebuilt, semantics);
+                prop_assert_eq!(
+                    refreshed.count(semantics).unwrap(),
+                    rebuilt.count(semantics).unwrap(),
+                    "refreshed and rebuilt counts diverge ({:?})", semantics
+                );
+            }
+        }
+    }
+}
+
+/// `ServingEngine::count` reports the drained length of the unbounded
+/// request, at the served epoch, ignoring the request's window.
+#[test]
+fn served_counts_match_served_answer_sets() {
+    let omq = building_omq();
+    let mut engine = ServingEngine::new(2);
+    let id = engine.register_query("buildings", &omq).unwrap();
+    engine
+        .register_data(
+            Txn::new()
+                .insert("Researcher", ["mary"])
+                .insert("Researcher", ["john"])
+                .insert("HasOffice", ["mary", "room1"])
+                .insert("InBuilding", ["room1", "main"]),
+        )
+        .unwrap();
+    for semantics in Semantics::ALL {
+        let windowed = Request::new(id, semantics).with_offset(1).with_limit(1);
+        let counted = engine.count(&windowed).unwrap();
+        let drained = engine
+            .serve_stream(&Request::new(id, semantics))
+            .unwrap()
+            .count() as u64;
+        assert_eq!(counted.count, drained, "{semantics:?}");
+        assert_eq!(counted.epoch, Some(engine.epoch()));
+        assert_eq!(counted.exists, drained > 0);
+        assert_eq!(engine.exists(&windowed).unwrap(), drained > 0);
+    }
+}
