@@ -55,7 +55,7 @@ fn main() {
             .filter_map(|id| {
                 let table = experiments::run_experiment(id, quick);
                 if table.is_none() {
-                    eprintln!("unknown experiment `{id}` (expected E1..E18)");
+                    eprintln!("unknown experiment `{id}` (expected E1..E19)");
                 }
                 table
             })

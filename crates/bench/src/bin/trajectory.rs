@@ -1,7 +1,7 @@
 //! The perf-trajectory CI gate: records harness runs into `bench_history/`
 //! and fails (exit 1) when a gated metric regresses beyond tolerance.
 //!
-//! Usage (after `harness --quick --json-dir reports E12 E14 E16 E17 E18`):
+//! Usage (after `harness --quick --json-dir reports E12 E14 E16 E17 E18 E19`):
 //!
 //! ```text
 //! trajectory check  --reports reports                  # diff vs baseline

@@ -23,7 +23,11 @@
 //!   and arena-vs-malloc chase staging;
 //! * E18 — aggregate fast paths: non-materializing `count()`/`exists()`
 //!   versus drain-and-count, allocation-free batched partial emission, and
-//!   the chunked scan kernels versus scalar loops.
+//!   the chunked scan kernels versus scalar loops;
+//! * E19 — the network front end (`omq-server`): closed-loop wire fetch
+//!   latency (p50/p99), sustained request throughput, post-commit
+//!   time-to-first-page, and the pinned-cursor isolation gate under a
+//!   concurrent commit writer.
 //!
 //! See `EXPERIMENTS.md` at the workspace root for the paper-vs-measured
 //! discussion and `cargo run -p omq-bench --bin harness --release` to

@@ -58,8 +58,9 @@ pub struct GatedMetric {
 }
 
 /// The gated metrics: the enumeration-delay constants (E12), the pagination
-/// constants (E14), the incremental-maintenance slope (E16) and the batching
-/// amortisation (E17).
+/// constants (E14), the incremental-maintenance slope (E16), the batching
+/// amortisation (E17/E18) and the network front end's serving figures plus
+/// its pinned-isolation gate (E19).
 pub const GATES: &[GatedMetric] = &[
     GatedMetric {
         experiment: "E12",
@@ -124,6 +125,40 @@ pub const GATES: &[GatedMetric] = &[
         tolerance_pct: 50.0,
         abs_floor: 1.0,
     },
+    // E19's latency figures from a 1-CPU CI runner are scheduling-bound
+    // (the event loop's idle sleep dominates a round trip), so the
+    // tolerances are very loose — these gates catch step changes like a
+    // lost warm-refresh path or an accidental full-drain per page, not
+    // jitter.
+    GatedMetric {
+        experiment: "E19",
+        metric: "fetch_p50_us_at_max",
+        direction: Direction::LowerIsBetter,
+        tolerance_pct: 200.0,
+        abs_floor: 1_000.0,
+    },
+    GatedMetric {
+        experiment: "E19",
+        metric: "qps_at_max",
+        direction: Direction::HigherIsBetter,
+        tolerance_pct: 75.0,
+        abs_floor: 100.0,
+    },
+    GatedMetric {
+        experiment: "E19",
+        metric: "post_commit_ttfp_us_at_max",
+        direction: Direction::LowerIsBetter,
+        tolerance_pct: 200.0,
+        abs_floor: 3_000.0,
+    },
+    // The isolation gate is exact (1.0 or 0.0): any drop trips it.
+    GatedMetric {
+        experiment: "E19",
+        metric: "answers_equal",
+        direction: Direction::HigherIsBetter,
+        tolerance_pct: 0.0,
+        abs_floor: 0.5,
+    },
 ];
 
 /// The gated metrics (see [`GATES`]).
@@ -146,7 +181,7 @@ pub fn gated_experiments() -> Vec<&'static str> {
 /// Version of the gate set; bumping it retires old baselines (the
 /// fingerprint changes, so `check` reports "no baseline" instead of
 /// comparing incomparable runs).
-pub const GATE_SET_VERSION: u32 = 1;
+pub const GATE_SET_VERSION: u32 = 2;
 
 /// The config fingerprint a run is keyed by: the size mode (quick vs full
 /// sweeps measure different databases) and the gate-set version.
@@ -669,6 +704,10 @@ mod tests {
             ("E17/partial_batch_speedup_at_max", 2.0),
             ("E18/count_speedup_at_max", 4.0),
             ("E18/partial_batch_speedup_at_max", 2.0),
+            ("E19/fetch_p50_us_at_max", 700.0),
+            ("E19/qps_at_max", 1_500.0),
+            ("E19/post_commit_ttfp_us_at_max", 4_000.0),
+            ("E19/answers_equal", 1.0),
         ])
     }
 

@@ -167,6 +167,23 @@ const SERVE_BLOCK: usize = 256;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct QueryId(usize);
 
+impl QueryId {
+    /// The catalogue index behind the handle.  Stable for the lifetime of
+    /// the engine (plans are never evicted), so out-of-process front ends
+    /// can carry it over a wire and rebuild the handle with
+    /// [`QueryId::from_index`].
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// Rebuilds a handle from a catalogue index (e.g. decoded off a wire).
+    /// An index that names no catalogued plan is not an error here — it
+    /// fails at use time with [`ServeError::UnknownQuery`].
+    pub fn from_index(index: usize) -> QueryId {
+        QueryId(index)
+    }
+}
+
 /// Names a catalogued query inside a [`Request`]: by compiled handle or by
 /// registration name.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -707,6 +724,11 @@ impl ServingEngine {
         self.by_name.get(name).copied().map(QueryId)
     }
 
+    /// The name a catalogued query was registered under.
+    pub fn query_name(&self, id: QueryId) -> Option<&str> {
+        self.plans.get(id.0).map(|(name, _)| name.as_str())
+    }
+
     /// The compiled plan behind a query id.
     pub fn plan(&self, id: QueryId) -> Result<&QueryPlan> {
         self.plans
@@ -764,6 +786,13 @@ impl ServingEngine {
                 }
                 (pinned.database(), Some(pinned.epoch()))
             }
+            // Caller-pinned snapshots always execute from scratch — even
+            // when the snapshot still *is* the store head.  Serving the
+            // warm (incrementally refreshed) instance here would be sound
+            // multiset-wise, but its answer *order* differs from a fresh
+            // execute (refreshed shards stream first), and the same pinned
+            // snapshot must replay the same sequence whether or not the
+            // head has moved on since.
             DataRef::Snapshot(snapshot) => (snapshot.database(), Some(snapshot.epoch())),
             DataRef::Database(db) => (db, None),
         };

@@ -1,0 +1,601 @@
+//! Per-connection state machines.
+//!
+//! One [`Connection`] owns everything a TCP peer has going: the frame
+//! decoder reassembling its byte stream, a write buffer with partial-write
+//! offset (the event loop writes as much as the socket accepts and comes
+//! back later), its pinned snapshots, and its open cursors.  Cursors and
+//! snapshots are **connection-scoped**: handles are meaningless on any
+//! other connection, and dropping the connection releases them all.
+//!
+//! The request handler itself is synchronous and socket-free — it consumes
+//! decoded payloads and appends encoded responses to the write buffer —
+//! which is what makes it unit-testable without a socket and reusable
+//! across event-loop shapes.
+//!
+//! # Locking discipline
+//!
+//! The engine sits behind one `RwLock`: commits and query registrations
+//! take the write lock; opening cursors, counts and probes take the read
+//! lock.  Crucially, **fetch takes no lock at all** — a cursor owns its
+//! `StreamedResponse`, which owns its pinned data, so paging answers runs
+//! concurrently with commits by construction (the copy-on-write store never
+//! mutates a pinned snapshot).  That is the snapshot-pinning invariant on
+//! the wire: the pages of a cursor opened at epoch `e` replay exactly
+//! epoch `e`.
+
+use crate::protocol::{
+    render_answer, ClientFrame, ErrorCode, FrameDecoder, FrameTooLarge, ServerFrame, TxnOp,
+    MAX_PAGE,
+};
+use omq_data::{Answer, Snapshot, Txn};
+use omq_serve::{QueryId, Request, ServingEngine, StreamedResponse};
+use rustc_hash::FxHashMap;
+use std::sync::RwLock;
+
+/// The server state every connection shares: the engine behind its lock.
+#[derive(Debug)]
+pub struct Shared {
+    /// The serving engine.  Write lock for commits/registrations, read lock
+    /// for opening cursors and aggregates; never held across a fetch.
+    pub engine: RwLock<ServingEngine>,
+}
+
+/// An open cursor: the answer stream plus the snapshot it is pinned to
+/// (kept for rendering constants through the pinned interner).
+struct Cursor {
+    stream: StreamedResponse,
+    snap: Snapshot,
+    done: bool,
+}
+
+/// Why the connection must close after the write buffer drains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CloseReason {
+    /// The client said goodbye; close is graceful.
+    Bye,
+    /// The byte stream is unrecoverable (oversized length prefix).
+    Fatal,
+}
+
+/// The state machine of one connected peer.
+pub struct Connection {
+    decoder: FrameDecoder,
+    /// Encoded, not-yet-flushed response bytes.
+    outbuf: Vec<u8>,
+    /// How much of `outbuf` has already been written to the socket.
+    out_start: usize,
+    cursors: FxHashMap<u64, Cursor>,
+    snapshots: FxHashMap<u64, Snapshot>,
+    next_handle: u64,
+    closing: Option<CloseReason>,
+    /// Scratch buffer for batched pulls, recycled across fetches.
+    scratch: Vec<Answer>,
+}
+
+impl Connection {
+    /// A fresh connection with empty buffers and no handles.
+    pub fn new() -> Self {
+        Connection {
+            decoder: FrameDecoder::new(),
+            outbuf: Vec::new(),
+            out_start: 0,
+            cursors: FxHashMap::default(),
+            snapshots: FxHashMap::default(),
+            next_handle: 1,
+            closing: None,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Feeds bytes read off the socket and processes every complete frame
+    /// they finish.  Responses accumulate in the write buffer.
+    pub fn on_bytes(&mut self, bytes: &[u8], shared: &Shared) {
+        self.decoder.feed(bytes);
+        self.pump(shared);
+    }
+
+    /// Processes buffered complete frames (separate from [`Connection::on_bytes`]
+    /// so backpressure can pause and later resume consumption without new
+    /// socket reads).
+    pub fn pump(&mut self, shared: &Shared) {
+        while self.closing.is_none() {
+            match self.decoder.next_frame() {
+                Ok(Some(payload)) => self.on_payload(&payload, shared),
+                Ok(None) => break,
+                Err(FrameTooLarge { declared }) => {
+                    // The length prefix cannot be trusted, so there is no
+                    // next frame boundary: report and hang up.
+                    self.send(&ServerFrame::Error {
+                        code: ErrorCode::FrameTooLarge,
+                        message: FrameTooLarge { declared }.to_string(),
+                    });
+                    self.closing = Some(CloseReason::Fatal);
+                }
+            }
+        }
+    }
+
+    fn on_payload(&mut self, payload: &[u8], shared: &Shared) {
+        // A framed-but-malformed payload is the client's problem, not the
+        // connection's: answer with a protocol error and keep going (the
+        // length prefix kept the stream in sync).
+        let frame = match ClientFrame::decode(payload) {
+            Ok(frame) => frame,
+            Err(violation) => {
+                self.send(&ServerFrame::Error {
+                    code: ErrorCode::MalformedFrame,
+                    message: violation.message,
+                });
+                return;
+            }
+        };
+        let response = self.handle(frame, shared);
+        self.send(&response);
+    }
+
+    fn handle(&mut self, frame: ClientFrame, shared: &Shared) -> ServerFrame {
+        match frame {
+            ClientFrame::Register {
+                name,
+                ontology,
+                query,
+            } => register(&name, &ontology, &query, shared),
+            ClientFrame::Commit { ops } => commit(ops, shared),
+            ClientFrame::Pin => {
+                let snap = shared.engine.read().expect("engine lock").snapshot();
+                let epoch = snap.epoch();
+                let handle = self.fresh_handle();
+                self.snapshots.insert(handle, snap);
+                ServerFrame::Pinned {
+                    snapshot: handle,
+                    epoch,
+                }
+            }
+            ClientFrame::OpenCursor {
+                query,
+                semantics,
+                snapshot,
+                offset,
+                limit,
+            } => {
+                let pinned = match self.resolve_pin(snapshot) {
+                    Ok(pinned) => pinned,
+                    Err(response) => return response,
+                };
+                // A caller-pinned snapshot replays its epoch via a fresh
+                // execute (stable order no matter where the head is); an
+                // unpinned open evaluates at the head and rides the engine's
+                // warm instance, so post-commit time-to-first-page tracks
+                // the delta, not the database.
+                let mut request = Request::new(to_query_ref(&query), semantics);
+                if let Some(snap) = &pinned {
+                    request = request.at(snap.clone());
+                }
+                request = request.with_offset(offset as usize);
+                if let Some(limit) = limit {
+                    request = request.with_limit(limit as usize);
+                }
+                let (snap, opened) = {
+                    let engine = shared.engine.read().expect("engine lock");
+                    // Taken under the same read lock as the serve — commits
+                    // write-lock the engine, so this snapshot is exactly the
+                    // head the stream executes over.
+                    let snap = pinned.unwrap_or_else(|| engine.snapshot());
+                    (snap, engine.serve_stream(&request))
+                };
+                match opened {
+                    Ok(stream) => {
+                        let epoch = stream.epoch().unwrap_or_else(|| snap.epoch());
+                        let handle = self.fresh_handle();
+                        self.cursors.insert(
+                            handle,
+                            Cursor {
+                                stream,
+                                snap,
+                                done: false,
+                            },
+                        );
+                        ServerFrame::CursorOpened {
+                            cursor: handle,
+                            epoch,
+                            semantics,
+                        }
+                    }
+                    Err(e) => error_frame(ErrorCode::for_serve(&e), &e),
+                }
+            }
+            ClientFrame::Fetch { cursor, k } => self.fetch(cursor, k),
+            ClientFrame::Count {
+                query,
+                semantics,
+                snapshot,
+            } => {
+                let pinned = match self.resolve_pin(snapshot) {
+                    Ok(pinned) => pinned,
+                    Err(response) => return response,
+                };
+                let mut request = Request::new(to_query_ref(&query), semantics);
+                if let Some(snap) = &pinned {
+                    request = request.at(snap.clone());
+                }
+                let (epoch, counted) = {
+                    let engine = shared.engine.read().expect("engine lock");
+                    let epoch = pinned
+                        .map(|snap| snap.epoch())
+                        .unwrap_or_else(|| engine.snapshot().epoch());
+                    (epoch, engine.count(&request))
+                };
+                match counted {
+                    Ok(response) => ServerFrame::Counted {
+                        count: response.count,
+                        exists: response.exists,
+                        epoch,
+                    },
+                    Err(e) => error_frame(ErrorCode::for_serve(&e), &e),
+                }
+            }
+            ClientFrame::Exists {
+                query,
+                semantics,
+                snapshot,
+            } => {
+                let pinned = match self.resolve_pin(snapshot) {
+                    Ok(pinned) => pinned,
+                    Err(response) => return response,
+                };
+                let mut request = Request::new(to_query_ref(&query), semantics);
+                if let Some(snap) = &pinned {
+                    request = request.at(snap.clone());
+                }
+                let (epoch, probed) = {
+                    let engine = shared.engine.read().expect("engine lock");
+                    let epoch = pinned
+                        .map(|snap| snap.epoch())
+                        .unwrap_or_else(|| engine.snapshot().epoch());
+                    (epoch, engine.exists(&request))
+                };
+                match probed {
+                    Ok(exists) => ServerFrame::Exists { exists, epoch },
+                    Err(e) => error_frame(ErrorCode::for_serve(&e), &e),
+                }
+            }
+            ClientFrame::CloseCursor { cursor } => {
+                if self.cursors.remove(&cursor).is_some() {
+                    ServerFrame::CursorClosed { cursor }
+                } else {
+                    ServerFrame::Error {
+                        code: ErrorCode::UnknownCursor,
+                        message: format!("no open cursor {cursor} on this connection"),
+                    }
+                }
+            }
+            ClientFrame::ReleaseSnapshot { snapshot } => {
+                if self.snapshots.remove(&snapshot).is_some() {
+                    ServerFrame::SnapshotReleased { snapshot }
+                } else {
+                    ServerFrame::Error {
+                        code: ErrorCode::UnknownSnapshot,
+                        message: format!("no pinned snapshot {snapshot} on this connection"),
+                    }
+                }
+            }
+            ClientFrame::Bye => {
+                self.closing = Some(CloseReason::Bye);
+                ServerFrame::Bye
+            }
+        }
+    }
+
+    /// One page off a cursor: `O(k)` enumeration work, no engine lock.
+    fn fetch(&mut self, handle: u64, k: u64) -> ServerFrame {
+        let Some(cursor) = self.cursors.get_mut(&handle) else {
+            return ServerFrame::Error {
+                code: ErrorCode::UnknownCursor,
+                message: format!("no open cursor {handle} on this connection"),
+            };
+        };
+        let k = (k as usize).clamp(1, MAX_PAGE);
+        self.scratch.clear();
+        let produced = if cursor.done {
+            0
+        } else {
+            cursor.stream.next_batch(&mut self.scratch, k)
+        };
+        // A short page means the enumeration is exhausted; remember it so
+        // further fetches stay cheap instead of re-probing the stream.
+        if produced < k {
+            cursor.done = true;
+        }
+        let db = cursor.snap.database();
+        let answers = self
+            .scratch
+            .iter()
+            .map(|answer| render_answer(answer, db))
+            .collect();
+        ServerFrame::Page {
+            cursor: handle,
+            answers,
+            done: produced < k,
+        }
+    }
+
+    /// Looks up an explicitly pinned snapshot, or `None` for a head request
+    /// (head requests resolve their data inside the engine, where the warm
+    /// instance fast path lives).
+    fn resolve_pin(&self, handle: Option<u64>) -> Result<Option<Snapshot>, ServerFrame> {
+        match handle {
+            None => Ok(None),
+            Some(handle) => self
+                .snapshots
+                .get(&handle)
+                .cloned()
+                .map(Some)
+                .ok_or_else(|| ServerFrame::Error {
+                    code: ErrorCode::UnknownSnapshot,
+                    message: format!("no pinned snapshot {handle} on this connection"),
+                }),
+        }
+    }
+
+    fn fresh_handle(&mut self) -> u64 {
+        let handle = self.next_handle;
+        self.next_handle += 1;
+        handle
+    }
+
+    fn send(&mut self, frame: &ServerFrame) {
+        self.outbuf.extend_from_slice(&frame.encode());
+    }
+
+    /// The encoded bytes still to be written to the socket.
+    pub fn pending_out(&self) -> &[u8] {
+        &self.outbuf[self.out_start..]
+    }
+
+    /// Records that the socket accepted `n` bytes of [`Connection::pending_out`].
+    pub fn advance_out(&mut self, n: usize) {
+        self.out_start += n;
+        debug_assert!(self.out_start <= self.outbuf.len());
+        if self.out_start == self.outbuf.len() {
+            self.outbuf.clear();
+            self.out_start = 0;
+        } else if self.out_start >= 64 * 1024 {
+            self.outbuf.drain(..self.out_start);
+            self.out_start = 0;
+        }
+    }
+
+    /// Whether the connection has asked to close (after its buffer drains).
+    pub fn closing(&self) -> Option<CloseReason> {
+        self.closing
+    }
+
+    /// Open cursors on this connection (for tests and introspection).
+    pub fn cursor_count(&self) -> usize {
+        self.cursors.len()
+    }
+
+    /// Pinned snapshots on this connection (for tests and introspection).
+    pub fn snapshot_count(&self) -> usize {
+        self.snapshots.len()
+    }
+}
+
+impl Default for Connection {
+    fn default() -> Self {
+        Connection::new()
+    }
+}
+
+fn to_query_ref(target: &crate::protocol::QueryTarget) -> omq_serve::QueryRef {
+    match target {
+        crate::protocol::QueryTarget::Id(id) => {
+            omq_serve::QueryRef::Id(QueryId::from_index(*id as usize))
+        }
+        crate::protocol::QueryTarget::Name(name) => omq_serve::QueryRef::Name(name.clone()),
+    }
+}
+
+fn error_frame(code: ErrorCode, e: &dyn std::fmt::Display) -> ServerFrame {
+    ServerFrame::Error {
+        code,
+        message: e.to_string(),
+    }
+}
+
+fn register(name: &str, ontology: &str, query: &str, shared: &Shared) -> ServerFrame {
+    let ontology = match omq_chase::Ontology::parse(ontology) {
+        Ok(o) => o,
+        Err(e) => return error_frame(ErrorCode::for_chase(&e), &e),
+    };
+    let cq = match omq_cq::ConjunctiveQuery::parse(query) {
+        Ok(q) => q,
+        Err(e) => return error_frame(ErrorCode::for_cq(&e), &e),
+    };
+    let omq = match omq_chase::OntologyMediatedQuery::new(ontology, cq) {
+        Ok(omq) => omq,
+        Err(e) => return error_frame(ErrorCode::for_chase(&e), &e),
+    };
+    let mut engine = shared.engine.write().expect("engine lock");
+    match engine.register_query(name, &omq) {
+        Ok(id) => ServerFrame::Registered {
+            id: id.index() as u64,
+            name: name.to_owned(),
+        },
+        Err(e) => error_frame(ErrorCode::for_serve(&e), &e),
+    }
+}
+
+fn commit(ops: Vec<TxnOp>, shared: &Shared) -> ServerFrame {
+    let mut txn = Txn::new();
+    for op in ops {
+        txn = match op {
+            TxnOp::Insert { relation, tuple } => txn.insert(&relation, tuple),
+            TxnOp::AddRelation { relation, arity } => txn.add_relation(&relation, arity),
+        };
+    }
+    let mut engine = shared.engine.write().expect("engine lock");
+    match engine.register_data(txn) {
+        Ok(receipt) => ServerFrame::Committed {
+            epoch: receipt.epoch,
+            new_facts: receipt.new_facts as u64,
+            duplicate_facts: receipt.duplicate_facts as u64,
+        },
+        Err(e) => error_frame(ErrorCode::for_serve(&e), &e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omq_data::Semantics;
+
+    fn shared() -> Shared {
+        Shared {
+            engine: RwLock::new(ServingEngine::new(1)),
+        }
+    }
+
+    fn drain(conn: &mut Connection) -> Vec<ServerFrame> {
+        let mut decoder = FrameDecoder::new();
+        decoder.feed(conn.pending_out());
+        let n = conn.pending_out().len();
+        conn.advance_out(n);
+        let mut frames = Vec::new();
+        while let Some(payload) = decoder.next_frame().unwrap() {
+            frames.push(ServerFrame::decode(&payload).unwrap());
+        }
+        frames
+    }
+
+    #[test]
+    fn full_session_over_the_state_machine_alone() {
+        let shared = shared();
+        let mut conn = Connection::new();
+        let frames = [
+            ClientFrame::Register {
+                name: "q".into(),
+                ontology: "Researcher(x) -> exists y. HasOffice(x, y)".into(),
+                query: "q(x, y) :- HasOffice(x, y)".into(),
+            },
+            ClientFrame::Commit {
+                ops: vec![TxnOp::Insert {
+                    relation: "Researcher".into(),
+                    tuple: vec!["ada".into()],
+                }],
+            },
+            ClientFrame::OpenCursor {
+                query: crate::protocol::QueryTarget::Name("q".into()),
+                semantics: Semantics::MinimalPartial,
+                snapshot: None,
+                offset: 0,
+                limit: None,
+            },
+        ];
+        for frame in &frames {
+            conn.on_bytes(&frame.encode(), &shared);
+        }
+        let responses = drain(&mut conn);
+        assert!(matches!(
+            responses[0],
+            ServerFrame::Registered { id: 0, .. }
+        ));
+        // Registration merges the query's schema into the store (one epoch),
+        // the commit is the next one.
+        assert!(matches!(
+            responses[1],
+            ServerFrame::Committed {
+                epoch: 2,
+                new_facts: 1,
+                ..
+            }
+        ));
+        let ServerFrame::CursorOpened {
+            cursor, epoch: 2, ..
+        } = responses[2]
+        else {
+            panic!("expected opened cursor, got {:?}", responses[2]);
+        };
+        conn.on_bytes(&ClientFrame::Fetch { cursor, k: 10 }.encode(), &shared);
+        let responses = drain(&mut conn);
+        let ServerFrame::Page { answers, done, .. } = &responses[0] else {
+            panic!("expected page, got {:?}", responses[0]);
+        };
+        assert_eq!(answers, &vec![vec!["ada".to_owned(), "*".to_owned()]]);
+        assert!(done);
+        conn.on_bytes(&ClientFrame::CloseCursor { cursor }.encode(), &shared);
+        assert!(matches!(
+            drain(&mut conn)[0],
+            ServerFrame::CursorClosed { .. }
+        ));
+        assert_eq!(conn.cursor_count(), 0);
+    }
+
+    #[test]
+    fn malformed_payload_answers_an_error_and_keeps_the_connection() {
+        let shared = shared();
+        let mut conn = Connection::new();
+        conn.on_bytes(&crate::protocol::frame_payload(b"{ not json"), &shared);
+        conn.on_bytes(&ClientFrame::Pin.encode(), &shared);
+        let responses = drain(&mut conn);
+        assert!(matches!(
+            responses[0],
+            ServerFrame::Error {
+                code: ErrorCode::MalformedFrame,
+                ..
+            }
+        ));
+        // The next frame on the same connection still works.
+        assert!(matches!(responses[1], ServerFrame::Pinned { .. }));
+        assert!(conn.closing().is_none());
+    }
+
+    #[test]
+    fn unknown_handles_are_client_errors() {
+        let shared = shared();
+        let mut conn = Connection::new();
+        conn.on_bytes(&ClientFrame::Fetch { cursor: 99, k: 1 }.encode(), &shared);
+        conn.on_bytes(
+            &ClientFrame::OpenCursor {
+                query: crate::protocol::QueryTarget::Name("nope".into()),
+                semantics: Semantics::Complete,
+                snapshot: Some(42),
+                offset: 0,
+                limit: None,
+            }
+            .encode(),
+            &shared,
+        );
+        let responses = drain(&mut conn);
+        assert!(matches!(
+            responses[0],
+            ServerFrame::Error {
+                code: ErrorCode::UnknownCursor,
+                ..
+            }
+        ));
+        assert!(matches!(
+            responses[1],
+            ServerFrame::Error {
+                code: ErrorCode::UnknownSnapshot,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn oversized_prefix_closes_after_reporting() {
+        let shared = shared();
+        let mut conn = Connection::new();
+        conn.on_bytes(&(u32::MAX).to_be_bytes(), &shared);
+        assert_eq!(conn.closing(), Some(CloseReason::Fatal));
+        let responses = drain(&mut conn);
+        assert!(matches!(
+            responses[0],
+            ServerFrame::Error {
+                code: ErrorCode::FrameTooLarge,
+                ..
+            }
+        ));
+    }
+}

@@ -1,0 +1,61 @@
+//! # omq-server — a network front end over the OMQ serving engine
+//!
+//! The paper's guarantee — constant-delay enumeration after linear
+//! preprocessing (Lutz & Przybyłko, PODS 2022) — reaches remote callers
+//! only if the wire preserves the cursor discipline the in-process layers
+//! built: answers are *pulled*, a page of `k` answers costs `O(k)` after
+//! preprocessing, and a cursor's pages replay one pinned epoch no matter
+//! what commits concurrently.  This crate is that wire:
+//!
+//! - [`protocol`] — the length-prefixed JSON frame codec (hand-rolled on
+//!   [`json`]; the workspace is hermetic, no crates.io), incremental
+//!   reassembly under torn reads, wire [`ErrorCode`]s partitioned into
+//!   client faults (4xx) and server failures (5xx);
+//! - [`conn`] — per-connection state machines holding connection-scoped
+//!   snapshot and cursor handles, socket-free and unit-testable;
+//! - [`server`] — the accept/event loop over nonblocking `std::net`
+//!   sockets: one acceptor, `N` workers that own their connections,
+//!   write-buffer backpressure ([`HIGH_WATER`]) so slow readers stall
+//!   their own producers and nothing else;
+//! - [`client`] — a small blocking client used by the examples, the
+//!   end-to-end tests and the E19 load harness in `omq-bench`.
+//!
+//! The serving semantics on the wire are exactly the in-process ones: a
+//! cursor maps onto `ServingEngine::serve_stream` and its pages onto
+//! `AnswerStream::next_batch`; `count`/`exists` map onto the
+//! non-materialising aggregate paths; commits map onto transactional
+//! `register_data`.  The end-to-end tests check the strongest form of
+//! that claim — the paged answer sequence of a pinned wire cursor is
+//! byte-identical to an in-process drain at the pinned epoch, under a
+//! concurrent commit writer.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod errors;
+
+pub mod client;
+pub mod conn;
+pub mod json;
+pub mod protocol;
+pub mod server;
+
+pub use client::{Client, ClientError, WireCommit, WireCount, WireCursor, WirePage, WireSnapshot};
+pub use conn::{CloseReason, Connection, Shared};
+pub use protocol::{
+    render_answer, ClientFrame, ErrorCode, FrameDecoder, QueryTarget, ServerFrame, TxnOp,
+    MAX_FRAME_LEN, MAX_PAGE, MAX_WIRE_INT,
+};
+pub use server::{Server, ServerConfig, HIGH_WATER};
+
+#[cfg(test)]
+mod assertions {
+    /// The shared state and the running server handle must be usable from
+    /// multiple threads (workers, plus whoever holds `shared_engine`).
+    #[test]
+    fn shared_state_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<super::Shared>();
+        assert_send_sync::<super::Server>();
+    }
+}

@@ -1,0 +1,991 @@
+//! The `omq` wire protocol: length-prefixed JSON frames.
+//!
+//! Every frame on the wire is a 4-byte big-endian length followed by that
+//! many bytes of UTF-8 JSON — one object per frame, tagged by its `"t"`
+//! member.  The same framing runs in both directions; [`ClientFrame`] is
+//! what clients send, [`ServerFrame`] what the server answers, and both
+//! sides reassemble frames from arbitrary byte chunks with [`FrameDecoder`]
+//! (TCP does not respect frame boundaries).
+//!
+//! # Grammar
+//!
+//! ```text
+//! frame        := u32_be(len) payload            len = |payload| ≤ MAX_FRAME_LEN
+//! payload      := JSON object with member "t"
+//!
+//! client  "t"  : register | commit | pin | open | fetch | count | exists
+//!              | close_cursor | release | bye
+//! server  "t"  : registered | committed | pinned | opened | page | counted
+//!              | exists | cursor_closed | released | bye | error
+//! ```
+//!
+//! Answers travel as arrays of strings: constants by their interned name,
+//! the single wildcard as `"*"`, multi-wildcards as `"*1"`, `"*2"`, … — the
+//! rendering is [`render_answer`], shared by the server, the load harness
+//! and the end-to-end tests so "byte-identical to an in-process drain" is
+//! checkable by string equality.
+//!
+//! # Error discipline
+//!
+//! A syntactically intact frame whose payload is rejected (bad JSON, missing
+//! field, unknown tag) is answered with an [`ServerFrame::Error`] carrying
+//! [`ErrorCode::MalformedFrame`] — the connection stays up, because the
+//! length prefix keeps the stream in sync.  Only a corrupt length prefix
+//! (declared length above [`MAX_FRAME_LEN`]) is fatal: past that there is no
+//! way to find the next frame boundary, so the connection is closed.  Error
+//! codes below 500 are the client's fault ([`ErrorCode::is_client_error`]);
+//! 5xx codes are server-side failures.
+
+use crate::json::{self, Json};
+use omq_data::{Answer, Database, MultiValue, PartialValue, Semantics};
+use std::fmt;
+
+/// Hard cap on the payload length of one frame (8 MiB).  A declared length
+/// beyond this is treated as a corrupt stream, not a large frame.
+pub const MAX_FRAME_LEN: usize = 8 * 1024 * 1024;
+
+/// Upper bound on the `k` of one fetch — pagination is the backpressure
+/// mechanism, so a single page is kept bounded.
+pub const MAX_PAGE: usize = 65_536;
+
+/// Integers on the wire are carried as exact JSON integers in
+/// `0..=MAX_WIRE_INT` (`i64::MAX`).  Every wire integer is a sequential
+/// counter (handle, epoch, count, page size), so the bound is nowhere near
+/// reachable; values above it would degrade to floating point in many JSON
+/// implementations.
+pub const MAX_WIRE_INT: u64 = i64::MAX as u64;
+
+/// One transaction operation inside a [`ClientFrame::Commit`] batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TxnOp {
+    /// Insert one fact: relation name plus constant names.
+    Insert {
+        /// Relation symbol.
+        relation: String,
+        /// Constant names, one per position.
+        tuple: Vec<String>,
+    },
+    /// Add a relation symbol to the store schema.
+    AddRelation {
+        /// Relation symbol.
+        relation: String,
+        /// Its arity.
+        arity: usize,
+    },
+}
+
+/// Names a registered query inside a request: by the id returned at
+/// registration, or by registration name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryTarget {
+    /// A query id from a previous `registered` response.
+    Id(u64),
+    /// The name the query was registered under.
+    Name(String),
+}
+
+/// A frame sent by a client.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientFrame {
+    /// Parse + compile an ontology-mediated query and add it to the server's
+    /// catalogue.
+    Register {
+        /// Catalogue name for the query.
+        name: String,
+        /// Ontology text (TGDs, `omq_chase::Ontology::parse` syntax).
+        ontology: String,
+        /// Conjunctive-query text (`omq_cq::ConjunctiveQuery::parse` syntax).
+        query: String,
+    },
+    /// Commit a transaction batch to the server's store.
+    Commit {
+        /// The operations, applied atomically (commit-or-rollback).
+        ops: Vec<TxnOp>,
+    },
+    /// Pin the store head: later commits never change what the returned
+    /// snapshot handle answers.
+    Pin,
+    /// Open an answer cursor.  The cursor pins its snapshot at open time —
+    /// the store head, or a previously pinned handle — and every later page
+    /// replays that one epoch.
+    OpenCursor {
+        /// Which query to enumerate.
+        query: QueryTarget,
+        /// Answer semantics.
+        semantics: Semantics,
+        /// A snapshot handle from a previous `pin` (`None` = pin the head
+        /// at open time).
+        snapshot: Option<u64>,
+        /// Leading answers to skip before the first page.
+        offset: u64,
+        /// Total answers the cursor may yield (`None` = unbounded).
+        limit: Option<u64>,
+    },
+    /// Pull the next page of at most `k` answers off a cursor — `O(k)` work
+    /// server-side, mapped directly onto `AnswerStream::next_batch`.
+    Fetch {
+        /// Cursor handle from `opened`.
+        cursor: u64,
+        /// Page size (clamped to [`MAX_PAGE`]).
+        k: u64,
+    },
+    /// Count the query's answers without materialising them.
+    Count {
+        /// Which query to count.
+        query: QueryTarget,
+        /// Answer semantics to count under.
+        semantics: Semantics,
+        /// Optional pinned snapshot handle (`None` = head).
+        snapshot: Option<u64>,
+    },
+    /// Probe whether the query has any answer at all (cheaper than `count`).
+    Exists {
+        /// Which query to probe.
+        query: QueryTarget,
+        /// Answer semantics to probe under.
+        semantics: Semantics,
+        /// Optional pinned snapshot handle (`None` = head).
+        snapshot: Option<u64>,
+    },
+    /// Release a cursor without draining it.
+    CloseCursor {
+        /// Cursor handle to drop.
+        cursor: u64,
+    },
+    /// Release a pinned snapshot handle.
+    ReleaseSnapshot {
+        /// Snapshot handle to drop.
+        snapshot: u64,
+    },
+    /// Graceful goodbye; the server answers [`ServerFrame::Bye`] and closes.
+    Bye,
+}
+
+/// A frame sent by the server.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServerFrame {
+    /// Response to [`ClientFrame::Register`].
+    Registered {
+        /// Catalogue id of the new query.
+        id: u64,
+        /// The name it was registered under (echoed).
+        name: String,
+    },
+    /// Response to [`ClientFrame::Commit`].
+    Committed {
+        /// Store epoch after the commit.
+        epoch: u64,
+        /// Facts that were new to the store.
+        new_facts: u64,
+        /// Staged facts that were already present.
+        duplicate_facts: u64,
+    },
+    /// Response to [`ClientFrame::Pin`].
+    Pinned {
+        /// Connection-scoped snapshot handle.
+        snapshot: u64,
+        /// The epoch the snapshot is pinned at.
+        epoch: u64,
+    },
+    /// Response to [`ClientFrame::OpenCursor`].
+    CursorOpened {
+        /// Connection-scoped cursor handle.
+        cursor: u64,
+        /// The epoch the cursor is pinned at — every page of this cursor
+        /// replays this epoch, no matter what commits in the meantime.
+        epoch: u64,
+        /// The cursor's answer semantics (echoed).
+        semantics: Semantics,
+    },
+    /// Response to [`ClientFrame::Fetch`]: one page of answers.
+    Page {
+        /// The cursor the page came off (echoed).
+        cursor: u64,
+        /// Rendered answers, see [`render_answer`].
+        answers: Vec<Vec<String>>,
+        /// `true` iff the cursor is exhausted (a short page implies it).
+        done: bool,
+    },
+    /// Response to [`ClientFrame::Count`].
+    Counted {
+        /// Number of answers under the requested semantics.
+        count: u64,
+        /// `count > 0`.
+        exists: bool,
+        /// The epoch the aggregate was served at.
+        epoch: u64,
+    },
+    /// Response to [`ClientFrame::Exists`].
+    Exists {
+        /// Whether any answer exists.
+        exists: bool,
+        /// The epoch the probe was served at.
+        epoch: u64,
+    },
+    /// Response to [`ClientFrame::CloseCursor`].
+    CursorClosed {
+        /// The released handle (echoed).
+        cursor: u64,
+    },
+    /// Response to [`ClientFrame::ReleaseSnapshot`].
+    SnapshotReleased {
+        /// The released handle (echoed).
+        snapshot: u64,
+    },
+    /// Response to [`ClientFrame::Bye`]; the server closes after sending it.
+    Bye,
+    /// Any request that could not be served.  The connection stays open
+    /// (framing is intact); the code tells the client whose fault it was.
+    Error {
+        /// What went wrong, machine-readable.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+/// Machine-readable wire error codes.
+///
+/// Codes below 500 mean the request was at fault and retrying it unchanged
+/// will fail again; 5xx codes mean the server failed and the request may be
+/// valid.  The split is the wire-level surface of the unified `omq::Error`:
+/// see `omq::Error::wire_code` for the full mapping table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorCode {
+    /// 400 — the frame was not a valid protocol request (bad JSON, missing
+    /// or ill-typed field, unknown tag).
+    MalformedFrame,
+    /// 404 — the named or numbered query is not in the catalogue.
+    UnknownQuery,
+    /// 405 — the cursor handle is unknown on this connection.
+    UnknownCursor,
+    /// 406 — the snapshot handle is unknown on this connection.
+    UnknownSnapshot,
+    /// 409 — the query name is already registered.
+    DuplicateQuery,
+    /// 410 — the request does not fit the store's schema (unknown relation,
+    /// arity mismatch, unknown constant, ill-formed tuple).
+    SchemaMismatch,
+    /// 411 — the submitted query/ontology was rejected at compile time
+    /// (parse error, not guarded, not acyclic, not free-connex).
+    BadQuery,
+    /// 413 — the frame's declared length exceeds [`MAX_FRAME_LEN`]; fatal,
+    /// the stream cannot be resynchronised.
+    FrameTooLarge,
+    /// 500 — a server-side failure (internal invariant, resource exhaustion,
+    /// poisoned lock); not the request's fault.
+    Internal,
+}
+
+impl ErrorCode {
+    /// The numeric code carried on the wire.
+    pub fn as_u16(self) -> u16 {
+        match self {
+            ErrorCode::MalformedFrame => 400,
+            ErrorCode::UnknownQuery => 404,
+            ErrorCode::UnknownCursor => 405,
+            ErrorCode::UnknownSnapshot => 406,
+            ErrorCode::DuplicateQuery => 409,
+            ErrorCode::SchemaMismatch => 410,
+            ErrorCode::BadQuery => 411,
+            ErrorCode::FrameTooLarge => 413,
+            ErrorCode::Internal => 500,
+        }
+    }
+
+    /// Decodes a wire code.
+    pub fn from_u16(code: u16) -> Option<ErrorCode> {
+        let code = match code {
+            400 => ErrorCode::MalformedFrame,
+            404 => ErrorCode::UnknownQuery,
+            405 => ErrorCode::UnknownCursor,
+            406 => ErrorCode::UnknownSnapshot,
+            409 => ErrorCode::DuplicateQuery,
+            410 => ErrorCode::SchemaMismatch,
+            411 => ErrorCode::BadQuery,
+            413 => ErrorCode::FrameTooLarge,
+            500 => ErrorCode::Internal,
+            _ => return None,
+        };
+        Some(code)
+    }
+
+    /// Every wire error code, for exhaustive table tests.
+    pub const ALL: [ErrorCode; 9] = [
+        ErrorCode::MalformedFrame,
+        ErrorCode::UnknownQuery,
+        ErrorCode::UnknownCursor,
+        ErrorCode::UnknownSnapshot,
+        ErrorCode::DuplicateQuery,
+        ErrorCode::SchemaMismatch,
+        ErrorCode::BadQuery,
+        ErrorCode::FrameTooLarge,
+        ErrorCode::Internal,
+    ];
+
+    /// `true` iff the request was at fault (4xx): retrying it unchanged will
+    /// fail again.  `false` means a server-side failure (5xx).
+    pub fn is_client_error(self) -> bool {
+        self.as_u16() < 500
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = match self {
+            ErrorCode::MalformedFrame => "malformed-frame",
+            ErrorCode::UnknownQuery => "unknown-query",
+            ErrorCode::UnknownCursor => "unknown-cursor",
+            ErrorCode::UnknownSnapshot => "unknown-snapshot",
+            ErrorCode::DuplicateQuery => "duplicate-query",
+            ErrorCode::SchemaMismatch => "schema-mismatch",
+            ErrorCode::BadQuery => "bad-query",
+            ErrorCode::FrameTooLarge => "frame-too-large",
+            ErrorCode::Internal => "internal",
+        };
+        write!(f, "{} {kind}", self.as_u16())
+    }
+}
+
+/// A payload that was framed correctly but is not a valid protocol request.
+/// Answered with [`ErrorCode::MalformedFrame`]; never fatal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtocolViolation {
+    /// What was wrong with the payload.
+    pub message: String,
+}
+
+impl fmt::Display for ProtocolViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "malformed frame: {}", self.message)
+    }
+}
+
+impl std::error::Error for ProtocolViolation {}
+
+fn violation(message: impl Into<String>) -> ProtocolViolation {
+    ProtocolViolation {
+        message: message.into(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Framing: length prefix + reassembly.
+// ---------------------------------------------------------------------------
+
+/// Encodes one payload into a length-prefixed frame.
+pub fn frame_payload(payload: &[u8]) -> Vec<u8> {
+    assert!(payload.len() <= MAX_FRAME_LEN, "oversized outgoing frame");
+    let mut out = Vec::with_capacity(4 + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// A corrupt length prefix: the declared payload length exceeds
+/// [`MAX_FRAME_LEN`].  Fatal for the connection — with the prefix untrusted
+/// there is no next frame boundary to resynchronise at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameTooLarge {
+    /// The length the prefix declared.
+    pub declared: usize,
+}
+
+impl fmt::Display for FrameTooLarge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "declared frame length {} exceeds the {MAX_FRAME_LEN}-byte cap",
+            self.declared
+        )
+    }
+}
+
+impl std::error::Error for FrameTooLarge {}
+
+/// Incremental frame reassembly: feed it byte chunks as they arrive off the
+/// socket (torn at arbitrary boundaries), pull complete payloads out.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    start: usize,
+}
+
+impl FrameDecoder {
+    /// A fresh decoder with an empty buffer.
+    pub fn new() -> Self {
+        FrameDecoder::default()
+    }
+
+    /// Appends newly received bytes.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        // Compact lazily: reclaim consumed prefix before growing the buffer.
+        if self.start > 0 && (self.start >= 4096 || self.start == self.buf.len()) {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Number of buffered, not-yet-consumed bytes.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Pops the next complete payload, if one has fully arrived.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, FrameTooLarge> {
+        let avail = &self.buf[self.start..];
+        if avail.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_be_bytes([avail[0], avail[1], avail[2], avail[3]]) as usize;
+        if len > MAX_FRAME_LEN {
+            return Err(FrameTooLarge { declared: len });
+        }
+        if avail.len() < 4 + len {
+            return Ok(None);
+        }
+        let payload = avail[4..4 + len].to_vec();
+        self.start += 4 + len;
+        Ok(Some(payload))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Payload encoding/decoding.
+// ---------------------------------------------------------------------------
+
+fn semantics_name(semantics: Semantics) -> &'static str {
+    match semantics {
+        Semantics::Complete => "complete",
+        Semantics::MinimalPartial => "minimal-partial",
+        Semantics::MinimalPartialMulti => "minimal-partial-multi",
+    }
+}
+
+fn parse_semantics(name: &str) -> Result<Semantics, ProtocolViolation> {
+    match name {
+        "complete" => Ok(Semantics::Complete),
+        "minimal-partial" => Ok(Semantics::MinimalPartial),
+        "minimal-partial-multi" => Ok(Semantics::MinimalPartialMulti),
+        other => Err(violation(format!("unknown semantics `{other}`"))),
+    }
+}
+
+fn query_target_json(query: &QueryTarget) -> Json {
+    match query {
+        QueryTarget::Id(id) => Json::uint(*id),
+        QueryTarget::Name(name) => Json::str(name.clone()),
+    }
+}
+
+fn field<'a>(obj: &'a Json, key: &str) -> Result<&'a Json, ProtocolViolation> {
+    obj.get(key)
+        .ok_or_else(|| violation(format!("missing field `{key}`")))
+}
+
+fn str_field(obj: &Json, key: &str) -> Result<String, ProtocolViolation> {
+    field(obj, key)?
+        .as_str()
+        .map(str::to_owned)
+        .ok_or_else(|| violation(format!("field `{key}` must be a string")))
+}
+
+fn u64_field(obj: &Json, key: &str) -> Result<u64, ProtocolViolation> {
+    field(obj, key)?
+        .as_u64()
+        .ok_or_else(|| violation(format!("field `{key}` must be a non-negative integer")))
+}
+
+fn bool_field(obj: &Json, key: &str) -> Result<bool, ProtocolViolation> {
+    field(obj, key)?
+        .as_bool()
+        .ok_or_else(|| violation(format!("field `{key}` must be a boolean")))
+}
+
+fn opt_u64_field(obj: &Json, key: &str) -> Result<Option<u64>, ProtocolViolation> {
+    match obj.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => v
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| violation(format!("field `{key}` must be a non-negative integer"))),
+    }
+}
+
+fn query_field(obj: &Json) -> Result<QueryTarget, ProtocolViolation> {
+    match field(obj, "query")? {
+        Json::Str(name) => Ok(QueryTarget::Name(name.clone())),
+        v => v
+            .as_u64()
+            .map(QueryTarget::Id)
+            .ok_or_else(|| violation("field `query` must be a string or a non-negative integer")),
+    }
+}
+
+fn semantics_field(obj: &Json) -> Result<Semantics, ProtocolViolation> {
+    parse_semantics(&str_field(obj, "semantics")?)
+}
+
+impl ClientFrame {
+    /// Serialises the frame payload (no length prefix).
+    pub fn to_json(&self) -> Json {
+        match self {
+            ClientFrame::Register {
+                name,
+                ontology,
+                query,
+            } => Json::obj([
+                ("t", Json::str("register")),
+                ("name", Json::str(name.clone())),
+                ("ontology", Json::str(ontology.clone())),
+                ("query", Json::str(query.clone())),
+            ]),
+            ClientFrame::Commit { ops } => {
+                let ops = ops
+                    .iter()
+                    .map(|op| match op {
+                        TxnOp::Insert { relation, tuple } => Json::obj([
+                            ("op", Json::str("insert")),
+                            ("rel", Json::str(relation.clone())),
+                            (
+                                "tuple",
+                                Json::Arr(tuple.iter().map(|c| Json::str(c.clone())).collect()),
+                            ),
+                        ]),
+                        TxnOp::AddRelation { relation, arity } => Json::obj([
+                            ("op", Json::str("add_relation")),
+                            ("rel", Json::str(relation.clone())),
+                            ("arity", Json::uint(*arity as u64)),
+                        ]),
+                    })
+                    .collect();
+                Json::obj([("t", Json::str("commit")), ("ops", Json::Arr(ops))])
+            }
+            ClientFrame::Pin => Json::obj([("t", Json::str("pin"))]),
+            ClientFrame::OpenCursor {
+                query,
+                semantics,
+                snapshot,
+                offset,
+                limit,
+            } => {
+                let mut members = vec![
+                    ("t", Json::str("open")),
+                    ("query", query_target_json(query)),
+                    ("semantics", Json::str(semantics_name(*semantics))),
+                    ("offset", Json::uint(*offset)),
+                ];
+                if let Some(s) = snapshot {
+                    members.push(("snapshot", Json::uint(*s)));
+                }
+                if let Some(l) = limit {
+                    members.push(("limit", Json::uint(*l)));
+                }
+                Json::obj(members)
+            }
+            ClientFrame::Fetch { cursor, k } => Json::obj([
+                ("t", Json::str("fetch")),
+                ("cursor", Json::uint(*cursor)),
+                ("k", Json::uint(*k)),
+            ]),
+            ClientFrame::Count {
+                query,
+                semantics,
+                snapshot,
+            }
+            | ClientFrame::Exists {
+                query,
+                semantics,
+                snapshot,
+            } => {
+                let tag = if matches!(self, ClientFrame::Count { .. }) {
+                    "count"
+                } else {
+                    "exists"
+                };
+                let mut members = vec![
+                    ("t", Json::str(tag)),
+                    ("query", query_target_json(query)),
+                    ("semantics", Json::str(semantics_name(*semantics))),
+                ];
+                if let Some(s) = snapshot {
+                    members.push(("snapshot", Json::uint(*s)));
+                }
+                Json::obj(members)
+            }
+            ClientFrame::CloseCursor { cursor } => Json::obj([
+                ("t", Json::str("close_cursor")),
+                ("cursor", Json::uint(*cursor)),
+            ]),
+            ClientFrame::ReleaseSnapshot { snapshot } => Json::obj([
+                ("t", Json::str("release")),
+                ("snapshot", Json::uint(*snapshot)),
+            ]),
+            ClientFrame::Bye => Json::obj([("t", Json::str("bye"))]),
+        }
+    }
+
+    /// Encodes the frame, length prefix included.
+    pub fn encode(&self) -> Vec<u8> {
+        frame_payload(self.to_json().to_json().as_bytes())
+    }
+
+    /// Decodes a frame payload (no length prefix).
+    pub fn decode(payload: &[u8]) -> Result<ClientFrame, ProtocolViolation> {
+        let doc = decode_object(payload)?;
+        let tag = str_field(&doc, "t")?;
+        match tag.as_str() {
+            "register" => Ok(ClientFrame::Register {
+                name: str_field(&doc, "name")?,
+                ontology: str_field(&doc, "ontology")?,
+                query: str_field(&doc, "query")?,
+            }),
+            "commit" => {
+                let ops = field(&doc, "ops")?
+                    .as_arr()
+                    .ok_or_else(|| violation("field `ops` must be an array"))?;
+                let ops = ops
+                    .iter()
+                    .map(|op| {
+                        let kind = str_field(op, "op")?;
+                        match kind.as_str() {
+                            "insert" => {
+                                let tuple = field(op, "tuple")?
+                                    .as_arr()
+                                    .ok_or_else(|| violation("field `tuple` must be an array"))?
+                                    .iter()
+                                    .map(|c| {
+                                        c.as_str().map(str::to_owned).ok_or_else(|| {
+                                            violation("tuple entries must be strings")
+                                        })
+                                    })
+                                    .collect::<Result<Vec<String>, _>>()?;
+                                Ok(TxnOp::Insert {
+                                    relation: str_field(op, "rel")?,
+                                    tuple,
+                                })
+                            }
+                            "add_relation" => Ok(TxnOp::AddRelation {
+                                relation: str_field(op, "rel")?,
+                                arity: u64_field(op, "arity")? as usize,
+                            }),
+                            other => Err(violation(format!("unknown txn op `{other}`"))),
+                        }
+                    })
+                    .collect::<Result<Vec<TxnOp>, _>>()?;
+                Ok(ClientFrame::Commit { ops })
+            }
+            "pin" => Ok(ClientFrame::Pin),
+            "open" => Ok(ClientFrame::OpenCursor {
+                query: query_field(&doc)?,
+                semantics: semantics_field(&doc)?,
+                snapshot: opt_u64_field(&doc, "snapshot")?,
+                offset: opt_u64_field(&doc, "offset")?.unwrap_or(0),
+                limit: opt_u64_field(&doc, "limit")?,
+            }),
+            "fetch" => Ok(ClientFrame::Fetch {
+                cursor: u64_field(&doc, "cursor")?,
+                k: u64_field(&doc, "k")?,
+            }),
+            "count" => Ok(ClientFrame::Count {
+                query: query_field(&doc)?,
+                semantics: semantics_field(&doc)?,
+                snapshot: opt_u64_field(&doc, "snapshot")?,
+            }),
+            "exists" => Ok(ClientFrame::Exists {
+                query: query_field(&doc)?,
+                semantics: semantics_field(&doc)?,
+                snapshot: opt_u64_field(&doc, "snapshot")?,
+            }),
+            "close_cursor" => Ok(ClientFrame::CloseCursor {
+                cursor: u64_field(&doc, "cursor")?,
+            }),
+            "release" => Ok(ClientFrame::ReleaseSnapshot {
+                snapshot: u64_field(&doc, "snapshot")?,
+            }),
+            "bye" => Ok(ClientFrame::Bye),
+            other => Err(violation(format!("unknown request tag `{other}`"))),
+        }
+    }
+}
+
+impl ServerFrame {
+    /// Serialises the frame payload (no length prefix).
+    pub fn to_json(&self) -> Json {
+        match self {
+            ServerFrame::Registered { id, name } => Json::obj([
+                ("t", Json::str("registered")),
+                ("id", Json::uint(*id)),
+                ("name", Json::str(name.clone())),
+            ]),
+            ServerFrame::Committed {
+                epoch,
+                new_facts,
+                duplicate_facts,
+            } => Json::obj([
+                ("t", Json::str("committed")),
+                ("epoch", Json::uint(*epoch)),
+                ("new_facts", Json::uint(*new_facts)),
+                ("duplicate_facts", Json::uint(*duplicate_facts)),
+            ]),
+            ServerFrame::Pinned { snapshot, epoch } => Json::obj([
+                ("t", Json::str("pinned")),
+                ("snapshot", Json::uint(*snapshot)),
+                ("epoch", Json::uint(*epoch)),
+            ]),
+            ServerFrame::CursorOpened {
+                cursor,
+                epoch,
+                semantics,
+            } => Json::obj([
+                ("t", Json::str("opened")),
+                ("cursor", Json::uint(*cursor)),
+                ("epoch", Json::uint(*epoch)),
+                ("semantics", Json::str(semantics_name(*semantics))),
+            ]),
+            ServerFrame::Page {
+                cursor,
+                answers,
+                done,
+            } => Json::obj([
+                ("t", Json::str("page")),
+                ("cursor", Json::uint(*cursor)),
+                (
+                    "answers",
+                    Json::Arr(
+                        answers
+                            .iter()
+                            .map(|a| Json::Arr(a.iter().map(|v| Json::str(v.clone())).collect()))
+                            .collect(),
+                    ),
+                ),
+                ("done", Json::Bool(*done)),
+            ]),
+            ServerFrame::Counted {
+                count,
+                exists,
+                epoch,
+            } => Json::obj([
+                ("t", Json::str("counted")),
+                ("count", Json::uint(*count)),
+                ("exists", Json::Bool(*exists)),
+                ("epoch", Json::uint(*epoch)),
+            ]),
+            ServerFrame::Exists { exists, epoch } => Json::obj([
+                ("t", Json::str("exists")),
+                ("exists", Json::Bool(*exists)),
+                ("epoch", Json::uint(*epoch)),
+            ]),
+            ServerFrame::CursorClosed { cursor } => Json::obj([
+                ("t", Json::str("cursor_closed")),
+                ("cursor", Json::uint(*cursor)),
+            ]),
+            ServerFrame::SnapshotReleased { snapshot } => Json::obj([
+                ("t", Json::str("released")),
+                ("snapshot", Json::uint(*snapshot)),
+            ]),
+            ServerFrame::Bye => Json::obj([("t", Json::str("bye"))]),
+            ServerFrame::Error { code, message } => Json::obj([
+                ("t", Json::str("error")),
+                ("code", Json::uint(code.as_u16() as u64)),
+                ("message", Json::str(message.clone())),
+            ]),
+        }
+    }
+
+    /// Encodes the frame, length prefix included.
+    pub fn encode(&self) -> Vec<u8> {
+        frame_payload(self.to_json().to_json().as_bytes())
+    }
+
+    /// Decodes a frame payload (no length prefix).
+    pub fn decode(payload: &[u8]) -> Result<ServerFrame, ProtocolViolation> {
+        let doc = decode_object(payload)?;
+        let tag = str_field(&doc, "t")?;
+        match tag.as_str() {
+            "registered" => Ok(ServerFrame::Registered {
+                id: u64_field(&doc, "id")?,
+                name: str_field(&doc, "name")?,
+            }),
+            "committed" => Ok(ServerFrame::Committed {
+                epoch: u64_field(&doc, "epoch")?,
+                new_facts: u64_field(&doc, "new_facts")?,
+                duplicate_facts: u64_field(&doc, "duplicate_facts")?,
+            }),
+            "pinned" => Ok(ServerFrame::Pinned {
+                snapshot: u64_field(&doc, "snapshot")?,
+                epoch: u64_field(&doc, "epoch")?,
+            }),
+            "opened" => Ok(ServerFrame::CursorOpened {
+                cursor: u64_field(&doc, "cursor")?,
+                epoch: u64_field(&doc, "epoch")?,
+                semantics: semantics_field(&doc)?,
+            }),
+            "page" => {
+                let answers = field(&doc, "answers")?
+                    .as_arr()
+                    .ok_or_else(|| violation("field `answers` must be an array"))?
+                    .iter()
+                    .map(|a| {
+                        a.as_arr()
+                            .ok_or_else(|| violation("answers must be arrays"))?
+                            .iter()
+                            .map(|v| {
+                                v.as_str()
+                                    .map(str::to_owned)
+                                    .ok_or_else(|| violation("answer entries must be strings"))
+                            })
+                            .collect::<Result<Vec<String>, _>>()
+                    })
+                    .collect::<Result<Vec<Vec<String>>, _>>()?;
+                Ok(ServerFrame::Page {
+                    cursor: u64_field(&doc, "cursor")?,
+                    answers,
+                    done: bool_field(&doc, "done")?,
+                })
+            }
+            "counted" => Ok(ServerFrame::Counted {
+                count: u64_field(&doc, "count")?,
+                exists: bool_field(&doc, "exists")?,
+                epoch: u64_field(&doc, "epoch")?,
+            }),
+            "exists" => Ok(ServerFrame::Exists {
+                exists: bool_field(&doc, "exists")?,
+                epoch: u64_field(&doc, "epoch")?,
+            }),
+            "cursor_closed" => Ok(ServerFrame::CursorClosed {
+                cursor: u64_field(&doc, "cursor")?,
+            }),
+            "released" => Ok(ServerFrame::SnapshotReleased {
+                snapshot: u64_field(&doc, "snapshot")?,
+            }),
+            "bye" => Ok(ServerFrame::Bye),
+            "error" => {
+                let raw = u64_field(&doc, "code")?;
+                let code = u16::try_from(raw)
+                    .ok()
+                    .and_then(ErrorCode::from_u16)
+                    .ok_or_else(|| violation(format!("unknown error code {raw}")))?;
+                Ok(ServerFrame::Error {
+                    code,
+                    message: str_field(&doc, "message")?,
+                })
+            }
+            other => Err(violation(format!("unknown response tag `{other}`"))),
+        }
+    }
+}
+
+fn decode_object(payload: &[u8]) -> Result<Json, ProtocolViolation> {
+    let text = std::str::from_utf8(payload).map_err(|_| violation("frame payload is not UTF-8"))?;
+    let doc = json::parse(text).map_err(|e| violation(format!("invalid JSON: {e}")))?;
+    if !matches!(doc, Json::Obj(_)) {
+        return Err(violation("frame payload must be a JSON object"));
+    }
+    Ok(doc)
+}
+
+// ---------------------------------------------------------------------------
+// Answer rendering.
+// ---------------------------------------------------------------------------
+
+/// Renders one answer as the wire carries it: constants by their interned
+/// name in `db`, the single wildcard as `"*"`, multi-wildcards as `"*k"`.
+///
+/// The server, the load harness and the end-to-end tests all render through
+/// this one function, so "the paged sequence is byte-identical to an
+/// in-process drain" is a plain string comparison.
+pub fn render_answer(answer: &Answer, db: &Database) -> Vec<String> {
+    match answer {
+        Answer::Complete(t) => t.iter().map(|&c| db.const_name(c).to_owned()).collect(),
+        Answer::Partial(t) => {
+            t.0.iter()
+                .map(|v| match v {
+                    PartialValue::Const(c) => db.const_name(*c).to_owned(),
+                    PartialValue::Star => "*".to_owned(),
+                })
+                .collect()
+        }
+        Answer::Multi(t) => {
+            t.0.iter()
+                .map(|v| match v {
+                    MultiValue::Const(c) => db.const_name(*c).to_owned(),
+                    MultiValue::Wild(k) => format!("*{k}"),
+                })
+                .collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn framing_reassembles_across_torn_reads() {
+        let frames: Vec<Vec<u8>> = vec![
+            ClientFrame::Pin.encode(),
+            ClientFrame::Fetch { cursor: 7, k: 32 }.encode(),
+            ClientFrame::Bye.encode(),
+        ];
+        let wire: Vec<u8> = frames.concat();
+        for chunk in [1usize, 2, 3, 5, wire.len()] {
+            let mut decoder = FrameDecoder::new();
+            let mut got = Vec::new();
+            for piece in wire.chunks(chunk) {
+                decoder.feed(piece);
+                while let Some(payload) = decoder.next_frame().unwrap() {
+                    got.push(ClientFrame::decode(&payload).unwrap());
+                }
+            }
+            assert_eq!(
+                got,
+                vec![
+                    ClientFrame::Pin,
+                    ClientFrame::Fetch { cursor: 7, k: 32 },
+                    ClientFrame::Bye
+                ],
+                "chunk size {chunk}"
+            );
+            assert_eq!(decoder.pending(), 0);
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_fatal() {
+        let mut decoder = FrameDecoder::new();
+        decoder.feed(&(MAX_FRAME_LEN as u32 + 1).to_be_bytes());
+        assert!(decoder.next_frame().is_err());
+    }
+
+    #[test]
+    fn malformed_payloads_report_but_do_not_panic() {
+        for payload in [
+            &b"not json"[..],
+            b"[1,2,3]",
+            b"{\"t\":\"nope\"}",
+            b"{\"t\":\"fetch\",\"cursor\":\"x\",\"k\":1}",
+            b"{\"t\":\"fetch\",\"k\":1}",
+            b"{\"t\":\"open\",\"query\":true,\"semantics\":\"complete\"}",
+            b"{\"t\":\"open\",\"query\":\"q\",\"semantics\":\"certain\"}",
+            b"{\"t\":\"commit\",\"ops\":[{\"op\":\"upsert\"}]}",
+            b"\xff\xfe",
+        ] {
+            assert!(ClientFrame::decode(payload).is_err());
+        }
+        assert!(ServerFrame::decode(b"{\"t\":\"error\",\"code\":999,\"message\":\"\"}").is_err());
+    }
+
+    #[test]
+    fn error_codes_partition_into_client_and_server_faults() {
+        for code in ErrorCode::ALL {
+            assert_eq!(ErrorCode::from_u16(code.as_u16()), Some(code));
+            assert_eq!(code.is_client_error(), code.as_u16() < 500);
+            assert!(code.to_string().starts_with(&code.as_u16().to_string()));
+        }
+        assert!(ErrorCode::from_u16(200).is_none());
+        assert!(!ErrorCode::Internal.is_client_error());
+        assert!(ErrorCode::MalformedFrame.is_client_error());
+    }
+}

@@ -1,0 +1,278 @@
+//! The TCP event loop: accept thread plus worker poll loops.
+//!
+//! The shape is thread-per-core-style over nonblocking `std::net` sockets
+//! (the workspace is hermetic — no async runtime, no epoll crate): an
+//! acceptor thread hands fresh connections round-robin to `N` workers, and
+//! each worker owns its connections outright, sweeping them in a poll loop
+//! — read what's there, run the state machine, flush what fits.  No
+//! connection ever migrates between workers, so there is no cross-worker
+//! synchronisation beyond the shared engine lock and the handoff inbox.
+//!
+//! **Backpressure** is built into the sweep: a connection whose write
+//! buffer exceeds [`HIGH_WATER`] is not *read* again until the buffer
+//! drains below it.  A client that stops draining pages therefore stops
+//! the server from producing more of them — the `O(k)`-per-fetch
+//! discipline extends to memory, not just time.
+//!
+//! The poll sweep sleeps `IDLE_SLEEP` (500 µs) when a pass makes no progress;
+//! latency under load is bounded by the sweep, not the sleep, and the
+//! sleep keeps idle workers off the CPU.
+
+use crate::conn::{CloseReason, Connection, Shared};
+use omq_serve::ServingEngine;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Write-buffer level (bytes) above which a connection is no longer read:
+/// the peer must drain what it asked for before it may ask for more.
+pub const HIGH_WATER: usize = 256 * 1024;
+
+/// How long an idle worker sleeps between poll sweeps.
+const IDLE_SLEEP: Duration = Duration::from_micros(500);
+
+/// Read chunk size per sweep pass.
+const READ_CHUNK: usize = 64 * 1024;
+
+/// Configuration for [`Server::start`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Address to bind (use port 0 for an ephemeral port; see
+    /// [`Server::local_addr`]).
+    pub addr: SocketAddr,
+    /// Worker threads sweeping connections (≥ 1).
+    pub workers: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".parse().expect("loopback literal"),
+            workers: 2,
+        }
+    }
+}
+
+/// One worker-owned connection: the socket plus its state machine.
+struct Slot {
+    stream: TcpStream,
+    conn: Connection,
+}
+
+/// A running OMQ server: the acceptor, its workers, and the shared engine.
+///
+/// Dropping the server shuts it down (see [`Server::shutdown`]); clients
+/// connected at that point see the socket close.
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds the configured address and starts the acceptor and worker
+    /// threads over `engine`.
+    pub fn start(engine: ServingEngine, config: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(config.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            engine: RwLock::new(engine),
+        });
+        let stop = Arc::new(AtomicBool::new(false));
+        let workers = config.workers.max(1);
+
+        // Handoff inboxes: the acceptor pushes, each worker drains its own.
+        let inboxes: Vec<Arc<Mutex<Vec<TcpStream>>>> = (0..workers)
+            .map(|_| Arc::new(Mutex::new(Vec::new())))
+            .collect();
+
+        let mut threads = Vec::with_capacity(workers + 1);
+        for inbox in &inboxes {
+            let inbox = Arc::clone(inbox);
+            let shared = Arc::clone(&shared);
+            let stop = Arc::clone(&stop);
+            threads.push(std::thread::spawn(move || worker_loop(inbox, shared, stop)));
+        }
+        {
+            let stop = Arc::clone(&stop);
+            threads.push(std::thread::spawn(move || {
+                accept_loop(listener, inboxes, stop)
+            }));
+        }
+        Ok(Server {
+            shared,
+            addr,
+            stop,
+            threads,
+        })
+    }
+
+    /// The bound address (resolves port 0 to the actual ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared engine, for in-process introspection alongside the wire
+    /// (e.g. comparing a wire-paged cursor against an in-process drain at
+    /// the same epoch).  Lock discipline is the caller's: holding the write
+    /// lock stalls every connection's commits and cursor opens.
+    pub fn shared_engine(&self) -> Arc<Shared> {
+        Arc::clone(&self.shared)
+    }
+
+    /// Stops the acceptor and workers and joins them.  In-flight
+    /// connections are closed; the engine (and its store) survives inside
+    /// the returned `Arc` if the caller kept one.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the acceptor promptly: it polls with the same idle sleep
+        // as the workers, so joining is bounded by one sweep.
+        for thread in self.threads.drain(..) {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    inboxes: Vec<Arc<Mutex<Vec<TcpStream>>>>,
+    stop: Arc<AtomicBool>,
+) {
+    let mut next = 0usize;
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if stream.set_nonblocking(true).is_err() || stream.set_nodelay(true).is_err() {
+                    continue; // peer already gone
+                }
+                inboxes[next].lock().expect("inbox lock").push(stream);
+                next = (next + 1) % inboxes.len();
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(IDLE_SLEEP);
+            }
+            Err(_) => std::thread::sleep(IDLE_SLEEP),
+        }
+    }
+}
+
+fn worker_loop(inbox: Arc<Mutex<Vec<TcpStream>>>, shared: Arc<Shared>, stop: Arc<AtomicBool>) {
+    let mut slots: Vec<Slot> = Vec::new();
+    let mut read_buf = vec![0u8; READ_CHUNK];
+    while !stop.load(Ordering::SeqCst) {
+        // Adopt newly accepted connections.
+        {
+            let mut inbox = inbox.lock().expect("inbox lock");
+            for stream in inbox.drain(..) {
+                slots.push(Slot {
+                    stream,
+                    conn: Connection::new(),
+                });
+            }
+        }
+        let mut progressed = false;
+        let mut i = 0;
+        while i < slots.len() {
+            match sweep_slot(&mut slots[i], &shared, &mut read_buf) {
+                SweepOutcome::Progress => {
+                    progressed = true;
+                    i += 1;
+                }
+                SweepOutcome::Idle => i += 1,
+                SweepOutcome::Close => {
+                    slots.swap_remove(i);
+                    progressed = true;
+                }
+            }
+        }
+        if !progressed {
+            std::thread::sleep(IDLE_SLEEP);
+        }
+    }
+}
+
+enum SweepOutcome {
+    Progress,
+    Idle,
+    Close,
+}
+
+/// One pass over one connection: flush, then (unless backpressured or
+/// closing) read + process, then flush what that produced.
+fn sweep_slot(slot: &mut Slot, shared: &Shared, read_buf: &mut [u8]) -> SweepOutcome {
+    let mut progressed = false;
+
+    if !flush(slot, &mut progressed) {
+        return SweepOutcome::Close;
+    }
+
+    if let Some(reason) = slot.conn.closing() {
+        if slot.conn.pending_out().is_empty() || reason == CloseReason::Fatal {
+            // Graceful goodbyes drain first; a corrupt stream does not get
+            // to wait on a slow reader.
+            let _ = slot.stream.flush();
+            return SweepOutcome::Close;
+        }
+        return if progressed {
+            SweepOutcome::Progress
+        } else {
+            SweepOutcome::Idle
+        };
+    }
+
+    // Backpressure: a peer that is not draining its pages is not read.
+    if slot.conn.pending_out().len() < HIGH_WATER {
+        match slot.stream.read(read_buf) {
+            Ok(0) => return SweepOutcome::Close, // peer hung up
+            Ok(n) => {
+                slot.conn.on_bytes(&read_buf[..n], shared);
+                progressed = true;
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {}
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return SweepOutcome::Close,
+        }
+    }
+
+    if !flush(slot, &mut progressed) {
+        return SweepOutcome::Close;
+    }
+    if progressed {
+        SweepOutcome::Progress
+    } else {
+        SweepOutcome::Idle
+    }
+}
+
+/// Writes as much pending output as the socket accepts.  Returns `false`
+/// iff the connection is dead.
+fn flush(slot: &mut Slot, progressed: &mut bool) -> bool {
+    while !slot.conn.pending_out().is_empty() {
+        match slot.stream.write(slot.conn.pending_out()) {
+            Ok(0) => return false,
+            Ok(n) => {
+                slot.conn.advance_out(n);
+                *progressed = true;
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return false,
+        }
+    }
+    true
+}

@@ -1,0 +1,290 @@
+//! Property tests for the wire-protocol codec.
+//!
+//! Three invariants, each over randomly generated frames:
+//!
+//! 1. **Round-trip**: `decode(encode(f)) == f` for every frame type, with
+//!    payload strings ranging over escapes, multi-byte UTF-8 and astral
+//!    characters;
+//! 2. **Torn-read reassembly**: concatenating encoded frames and feeding
+//!    the bytes to a [`FrameDecoder`] in chunks of arbitrary (generated)
+//!    sizes yields exactly the original frame sequence;
+//! 3. **Malformed-frame rejection**: corrupting the *payload* of a framed
+//!    message never panics and never kills the stream — decoding fails
+//!    cleanly (or yields some valid frame, if the corruption happened to
+//!    preserve well-formedness), and subsequent frames still decode.
+
+use omq_data::Semantics;
+use omq_server::{ClientFrame, FrameDecoder, QueryTarget, ServerFrame, TxnOp};
+use proptest::prelude::*;
+use proptest::strategy::BoxedStrategy;
+
+/// Characters deliberately stressing the JSON writer/parser: ASCII,
+/// escapes, control chars, multi-byte UTF-8, an astral-plane code point.
+const CHARS: &[char] = &[
+    'a',
+    'b',
+    'Z',
+    '0',
+    ' ',
+    '_',
+    '-',
+    '"',
+    '\\',
+    '/',
+    '\n',
+    '\r',
+    '\t',
+    '\u{8}',
+    '\u{c}',
+    '\u{1}',
+    'é',
+    'ß',
+    '→',
+    '\u{1F600}',
+];
+
+fn arb_string(max_len: usize) -> BoxedStrategy<String> {
+    prop::collection::vec(0usize..CHARS.len(), 0..max_len)
+        .prop_map(|picks| picks.into_iter().map(|i| CHARS[i]).collect())
+        .boxed()
+}
+
+fn arb_semantics() -> BoxedStrategy<Semantics> {
+    prop_oneof![
+        Just(Semantics::Complete),
+        Just(Semantics::MinimalPartial),
+        Just(Semantics::MinimalPartialMulti),
+    ]
+    .boxed()
+}
+
+fn arb_query_target() -> BoxedStrategy<QueryTarget> {
+    prop_oneof![
+        (0u64..1024).prop_map(QueryTarget::Id),
+        arb_string(6).prop_map(QueryTarget::Name),
+    ]
+    .boxed()
+}
+
+fn arb_txn_op() -> BoxedStrategy<TxnOp> {
+    prop_oneof![
+        (arb_string(5), prop::collection::vec(arb_string(4), 0..4))
+            .prop_map(|(relation, tuple)| TxnOp::Insert { relation, tuple }),
+        (arb_string(5), 0usize..6)
+            .prop_map(|(relation, arity)| TxnOp::AddRelation { relation, arity }),
+    ]
+    .boxed()
+}
+
+fn arb_opt_u64() -> BoxedStrategy<Option<u64>> {
+    prop_oneof![Just(None), (0u64..omq_server::MAX_WIRE_INT).prop_map(Some),].boxed()
+}
+
+fn arb_client_frame() -> BoxedStrategy<ClientFrame> {
+    prop_oneof![
+        (arb_string(6), arb_string(24), arb_string(24)).prop_map(|(name, ontology, query)| {
+            ClientFrame::Register {
+                name,
+                ontology,
+                query,
+            }
+        }),
+        prop::collection::vec(arb_txn_op(), 0..5).prop_map(|ops| ClientFrame::Commit { ops }),
+        Just(ClientFrame::Pin),
+        (
+            arb_query_target(),
+            arb_semantics(),
+            arb_opt_u64(),
+            (0u64..1 << 40, arb_opt_u64()),
+        )
+            .prop_map(|(query, semantics, snapshot, (offset, limit))| {
+                ClientFrame::OpenCursor {
+                    query,
+                    semantics,
+                    snapshot,
+                    offset,
+                    limit,
+                }
+            }),
+        (
+            0u64..omq_server::MAX_WIRE_INT,
+            0u64..omq_server::MAX_WIRE_INT
+        )
+            .prop_map(|(cursor, k)| ClientFrame::Fetch { cursor, k }),
+        (arb_query_target(), arb_semantics(), arb_opt_u64()).prop_map(
+            |(query, semantics, snapshot)| ClientFrame::Count {
+                query,
+                semantics,
+                snapshot
+            }
+        ),
+        (arb_query_target(), arb_semantics(), arb_opt_u64()).prop_map(
+            |(query, semantics, snapshot)| ClientFrame::Exists {
+                query,
+                semantics,
+                snapshot
+            }
+        ),
+        (0u64..omq_server::MAX_WIRE_INT).prop_map(|cursor| ClientFrame::CloseCursor { cursor }),
+        (0u64..omq_server::MAX_WIRE_INT)
+            .prop_map(|snapshot| ClientFrame::ReleaseSnapshot { snapshot }),
+        Just(ClientFrame::Bye),
+    ]
+    .boxed()
+}
+
+fn arb_answer() -> BoxedStrategy<Vec<String>> {
+    prop::collection::vec(arb_string(5), 0..4).boxed()
+}
+
+fn arb_server_frame() -> BoxedStrategy<ServerFrame> {
+    use omq_server::ErrorCode;
+    prop_oneof![
+        (0u64..1024, arb_string(6)).prop_map(|(id, name)| ServerFrame::Registered { id, name }),
+        (0u64..omq_server::MAX_WIRE_INT, 0u64..1 << 32, 0u64..1 << 32).prop_map(
+            |(epoch, new_facts, duplicate_facts)| ServerFrame::Committed {
+                epoch,
+                new_facts,
+                duplicate_facts
+            }
+        ),
+        (
+            0u64..omq_server::MAX_WIRE_INT,
+            0u64..omq_server::MAX_WIRE_INT
+        )
+            .prop_map(|(snapshot, epoch)| ServerFrame::Pinned { snapshot, epoch }),
+        (
+            0u64..omq_server::MAX_WIRE_INT,
+            0u64..omq_server::MAX_WIRE_INT,
+            arb_semantics()
+        )
+            .prop_map(|(cursor, epoch, semantics)| ServerFrame::CursorOpened {
+                cursor,
+                epoch,
+                semantics
+            }),
+        (
+            0u64..omq_server::MAX_WIRE_INT,
+            prop::collection::vec(arb_answer(), 0..5),
+            prop_oneof![Just(true), Just(false)],
+        )
+            .prop_map(|(cursor, answers, done)| ServerFrame::Page {
+                cursor,
+                answers,
+                done
+            }),
+        (
+            0u64..1 << 48,
+            prop_oneof![Just(true), Just(false)],
+            0u64..omq_server::MAX_WIRE_INT
+        )
+            .prop_map(|(count, exists, epoch)| ServerFrame::Counted {
+                count,
+                exists,
+                epoch
+            }),
+        (
+            prop_oneof![Just(true), Just(false)],
+            0u64..omq_server::MAX_WIRE_INT
+        )
+            .prop_map(|(exists, epoch)| ServerFrame::Exists { exists, epoch }),
+        (0u64..omq_server::MAX_WIRE_INT).prop_map(|cursor| ServerFrame::CursorClosed { cursor }),
+        (0u64..omq_server::MAX_WIRE_INT)
+            .prop_map(|snapshot| ServerFrame::SnapshotReleased { snapshot }),
+        Just(ServerFrame::Bye),
+        (0usize..ErrorCode::ALL.len(), arb_string(12)).prop_map(|(i, message)| {
+            ServerFrame::Error {
+                code: ErrorCode::ALL[i],
+                message,
+            }
+        }),
+    ]
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Round-trip: every client frame decodes back to itself.
+    #[test]
+    fn client_frames_round_trip(frame in arb_client_frame()) {
+        let encoded = frame.encode();
+        let mut decoder = FrameDecoder::new();
+        decoder.feed(&encoded);
+        let payload = decoder.next_frame().unwrap().expect("one whole frame");
+        prop_assert_eq!(ClientFrame::decode(&payload).unwrap(), frame);
+        prop_assert_eq!(decoder.pending(), 0);
+    }
+
+    /// Round-trip: every server frame decodes back to itself.
+    #[test]
+    fn server_frames_round_trip(frame in arb_server_frame()) {
+        let encoded = frame.encode();
+        let mut decoder = FrameDecoder::new();
+        decoder.feed(&encoded);
+        let payload = decoder.next_frame().unwrap().expect("one whole frame");
+        prop_assert_eq!(ServerFrame::decode(&payload).unwrap(), frame);
+    }
+
+    /// Torn reads: a frame sequence split at arbitrary byte boundaries
+    /// reassembles to exactly the original sequence.
+    #[test]
+    fn torn_reads_reassemble(
+        frames in prop::collection::vec(arb_client_frame(), 1..6),
+        cuts in prop::collection::vec(1usize..48, 0..64),
+    ) {
+        let wire: Vec<u8> = frames.iter().flat_map(|f| f.encode()).collect();
+        let mut decoder = FrameDecoder::new();
+        let mut got = Vec::new();
+        let mut pos = 0;
+        // Feed chunks of the generated sizes, then whatever remains.
+        for cut in cuts {
+            if pos >= wire.len() {
+                break;
+            }
+            let end = (pos + cut).min(wire.len());
+            decoder.feed(&wire[pos..end]);
+            pos = end;
+            while let Some(payload) = decoder.next_frame().unwrap() {
+                got.push(ClientFrame::decode(&payload).unwrap());
+            }
+        }
+        decoder.feed(&wire[pos..]);
+        while let Some(payload) = decoder.next_frame().unwrap() {
+            got.push(ClientFrame::decode(&payload).unwrap());
+        }
+        prop_assert_eq!(got, frames);
+        prop_assert_eq!(decoder.pending(), 0);
+    }
+
+    /// Corrupting payload bytes never panics, and — because the length
+    /// prefix still frames the payload — never desynchronises the stream:
+    /// the next frame decodes cleanly.
+    #[test]
+    fn corrupted_payloads_fail_cleanly_and_locally(
+        frame in arb_client_frame(),
+        flips in prop::collection::vec((0usize..4096, 1u8..255), 1..4),
+    ) {
+        let mut payload = frame.to_json().to_json().into_bytes();
+        for (pos, xor) in flips {
+            if payload.is_empty() {
+                break;
+            }
+            let idx = pos % payload.len();
+            payload[idx] ^= xor;
+        }
+        // Decoding the corrupted payload must not panic; success is allowed
+        // (the corruption may have produced another well-formed frame).
+        let _ = ClientFrame::decode(&payload);
+
+        // Framing survives: corrupted frame, then a pristine one.
+        let mut wire = omq_server::protocol::frame_payload(&payload);
+        wire.extend_from_slice(&ClientFrame::Pin.encode());
+        let mut decoder = FrameDecoder::new();
+        decoder.feed(&wire);
+        let first = decoder.next_frame().unwrap().expect("corrupted frame is still framed");
+        prop_assert_eq!(first, payload);
+        let second = decoder.next_frame().unwrap().expect("next frame intact");
+        prop_assert_eq!(ClientFrame::decode(&second).unwrap(), ClientFrame::Pin);
+    }
+}

@@ -1,0 +1,362 @@
+//! End-to-end tests over real TCP sockets.
+//!
+//! These run the full stack — blocking [`Client`] → wire protocol → event
+//! loop → per-connection state machine → `ServingEngine` — on an ephemeral
+//! loopback port.  The centrepiece is the snapshot-pinning acceptance test:
+//! two concurrent clients, one committing transactions while the other
+//! pages a pinned cursor, with the paged sequence required to be
+//! **byte-identical** to an in-process `AnswerStream` drain opened at the
+//! pinned epoch.
+
+use omq_data::Semantics;
+use omq_serve::{Request, ServingEngine};
+use omq_server::{
+    render_answer, Client, ClientError, ErrorCode, QueryTarget, Server, ServerConfig, TxnOp,
+};
+use std::time::Duration;
+
+const ONTOLOGY: &str = "Researcher(x) -> exists y. HasOffice(x, y)\n\
+                        HasOffice(x, y) -> Office(y)\n\
+                        Office(x) -> exists y. InBuilding(x, y)";
+const QUERY: &str = "q(x1, x2, x3) :- HasOffice(x1, x2), InBuilding(x2, x3)";
+
+fn start_server(workers: usize) -> Server {
+    Server::start(
+        ServingEngine::new(1),
+        ServerConfig {
+            addr: "127.0.0.1:0".parse().unwrap(),
+            workers,
+        },
+    )
+    .expect("bind ephemeral port")
+}
+
+fn connect(server: &Server) -> Client {
+    let client = Client::connect(server.local_addr()).expect("connect");
+    client
+        .set_timeout(Some(Duration::from_secs(30)))
+        .expect("timeout");
+    client
+}
+
+fn seed_facts(n: usize) -> Vec<TxnOp> {
+    let mut ops = Vec::new();
+    for i in 0..n {
+        ops.push(TxnOp::Insert {
+            relation: "Researcher".into(),
+            tuple: vec![format!("r{i:03}")],
+        });
+        if i % 2 == 0 {
+            ops.push(TxnOp::Insert {
+                relation: "HasOffice".into(),
+                tuple: vec![format!("r{i:03}"), format!("o{i:03}")],
+            });
+        }
+        if i % 4 == 0 {
+            ops.push(TxnOp::Insert {
+                relation: "InBuilding".into(),
+                tuple: vec![format!("o{i:03}"), format!("b{}", i / 8)],
+            });
+        }
+    }
+    ops
+}
+
+#[test]
+fn full_session_over_tcp() {
+    let server = start_server(2);
+    let mut client = connect(&server);
+
+    let id = client
+        .register_query("offices", ONTOLOGY, QUERY)
+        .expect("register");
+    assert_eq!(id, 0);
+
+    let commit = client.commit(seed_facts(8)).expect("commit");
+    assert!(commit.new_facts > 0);
+
+    // Aggregates agree with a full drain.
+    let count = client
+        .count(
+            QueryTarget::Name("offices".into()),
+            Semantics::MinimalPartial,
+            None,
+        )
+        .expect("count");
+    assert!(count.exists);
+    let cursor = client
+        .open_cursor(QueryTarget::Id(id), Semantics::MinimalPartial, None)
+        .expect("open");
+    assert_eq!(cursor.epoch, count.epoch);
+    let answers = client.drain_cursor(cursor, 3).expect("drain");
+    assert_eq!(answers.len() as u64, count.count);
+    // Every researcher appears; unknown offices/buildings render as `*`.
+    assert!(answers.iter().any(|a| a.contains(&"*".to_owned())));
+    client.close_cursor(cursor).expect("close");
+
+    // Paging with a window: offset 2, limit 3 is the same slice of the
+    // unbounded drain.
+    let window = client
+        .open_cursor_window(
+            QueryTarget::Id(id),
+            Semantics::MinimalPartial,
+            None,
+            2,
+            Some(3),
+        )
+        .expect("open window");
+    let paged = client.drain_cursor(window, 2).expect("drain window");
+    assert_eq!(paged, answers[2..5].to_vec());
+
+    assert!(client
+        .exists(QueryTarget::Id(id), Semantics::Complete, None)
+        .expect("exists"));
+    client.bye().expect("bye");
+    server.shutdown();
+}
+
+#[test]
+fn epochs_advance_and_errors_are_classified() {
+    let server = start_server(1);
+    let mut client = connect(&server);
+    client
+        .register_query("offices", ONTOLOGY, QUERY)
+        .expect("register");
+
+    // Each commit advances the epoch.
+    let first = client.commit(seed_facts(2)).expect("commit 1");
+    let second = client
+        .commit(vec![TxnOp::Insert {
+            relation: "Researcher".into(),
+            tuple: vec!["zz".into()],
+        }])
+        .expect("commit 2");
+    assert!(second.epoch > first.epoch);
+
+    // Unknown query name → 404, a client fault.
+    let err = client
+        .count(QueryTarget::Name("nope".into()), Semantics::Complete, None)
+        .expect_err("unknown query");
+    match err {
+        ClientError::Server { code, .. } => {
+            assert_eq!(code, ErrorCode::UnknownQuery);
+            assert!(code.is_client_error());
+        }
+        other => panic!("expected server error, got {other}"),
+    }
+
+    // Unknown relation in a commit → schema mismatch.
+    let err = client
+        .commit(vec![TxnOp::Insert {
+            relation: "NoSuchRel".into(),
+            tuple: vec!["x".into()],
+        }])
+        .expect_err("bad relation");
+    match err {
+        ClientError::Server { code, .. } => assert_eq!(code, ErrorCode::SchemaMismatch),
+        other => panic!("expected server error, got {other}"),
+    }
+
+    // Ill-formed query text → 411.
+    let err = client
+        .register_query("broken", ONTOLOGY, "q(x :- R(x)")
+        .expect_err("bad query");
+    match err {
+        ClientError::Server { code, .. } => assert_eq!(code, ErrorCode::BadQuery),
+        other => panic!("expected server error, got {other}"),
+    }
+
+    // Duplicate registration → 409.
+    let err = client
+        .register_query("offices", ONTOLOGY, QUERY)
+        .expect_err("duplicate");
+    match err {
+        ClientError::Server { code, .. } => assert_eq!(code, ErrorCode::DuplicateQuery),
+        other => panic!("expected server error, got {other}"),
+    }
+
+    // The connection survived all four errors.
+    assert!(client
+        .exists(
+            QueryTarget::Name("offices".into()),
+            Semantics::MinimalPartial,
+            None
+        )
+        .expect("still serving"));
+    client.bye().expect("bye");
+}
+
+/// The acceptance test: a cursor pinned at epoch `e` replays exactly epoch
+/// `e` while another client commits concurrently — and the paged sequence
+/// is byte-identical to an in-process drain opened at the same pinned
+/// snapshot.
+#[test]
+fn pinned_cursor_is_isolated_from_concurrent_commits() {
+    let server = start_server(2);
+    let mut reader = connect(&server);
+    reader
+        .register_query("offices", ONTOLOGY, QUERY)
+        .expect("register");
+    reader.commit(seed_facts(24)).expect("seed");
+
+    // Pin over the wire, then grab the same snapshot in-process and open
+    // the reference stream *before* any concurrent commit.
+    let pinned = reader.pin().expect("pin");
+    let shared = server.shared_engine();
+    let (snap, reference_stream) = {
+        let engine = shared.engine.read().expect("engine lock");
+        let snap = engine.snapshot();
+        assert_eq!(
+            snap.epoch(),
+            pinned.epoch,
+            "wire pin and in-process snapshot must agree before the writer starts"
+        );
+        let stream = engine
+            .serve_stream(&Request::by_name("offices", Semantics::MinimalPartial).at(snap.clone()))
+            .expect("reference stream");
+        (snap, stream)
+    };
+
+    let cursor = reader
+        .open_cursor(
+            QueryTarget::Name("offices".into()),
+            Semantics::MinimalPartial,
+            Some(pinned.handle),
+        )
+        .expect("open pinned cursor");
+    assert_eq!(cursor.epoch, pinned.epoch);
+
+    // A second client hammers commits while the first pages.
+    let addr = server.local_addr();
+    let writer = std::thread::spawn(move || {
+        let mut writer = Client::connect(addr).expect("writer connect");
+        let mut last_epoch = 0;
+        for round in 0..20 {
+            let receipt = writer
+                .insert_all(
+                    "Researcher",
+                    (0..5).map(|i| vec![format!("new{round:02}_{i}")]),
+                )
+                .expect("concurrent commit");
+            assert!(receipt.epoch > last_epoch);
+            last_epoch = receipt.epoch;
+        }
+        writer.bye().expect("writer bye");
+        last_epoch
+    });
+
+    // Page slowly (k = 2) so plenty of commits land mid-enumeration.
+    let mut wire_answers = Vec::new();
+    loop {
+        let page = reader.fetch(cursor, 2).expect("fetch");
+        wire_answers.extend(page.answers);
+        if page.done {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let final_epoch = writer.join().expect("writer thread");
+    assert!(final_epoch > pinned.epoch, "commits really happened");
+
+    // Byte-identical to the in-process drain at the pinned epoch.
+    let reference: Vec<Vec<String>> = reference_stream
+        .map(|answer| render_answer(&answer, snap.database()))
+        .collect();
+    assert_eq!(wire_answers, reference);
+    assert!(!wire_answers.is_empty());
+
+    // A fresh head cursor (same connection) sees the committed facts.
+    let head_count = reader
+        .count(
+            QueryTarget::Name("offices".into()),
+            Semantics::MinimalPartial,
+            None,
+        )
+        .expect("head count");
+    assert!(head_count.count > wire_answers.len() as u64);
+    assert_eq!(head_count.epoch, final_epoch);
+
+    reader.close_cursor(cursor).expect("close");
+    reader
+        .release(omq_server::WireSnapshot {
+            handle: pinned.handle,
+            epoch: pinned.epoch,
+        })
+        .expect("release");
+    reader.bye().expect("bye");
+    server.shutdown();
+}
+
+/// Malformed bytes on the wire get an error frame, not a hangup; an
+/// oversized length prefix closes the connection after reporting.
+#[test]
+fn protocol_errors_over_tcp() {
+    use std::io::{Read, Write};
+
+    let server = start_server(1);
+
+    // A framed-but-malformed payload: error response, connection survives.
+    let mut raw = std::net::TcpStream::connect(server.local_addr()).expect("connect");
+    raw.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    let junk = b"{\"t\":\"open\",\"query\":[]}";
+    raw.write_all(&(junk.len() as u32).to_be_bytes()).unwrap();
+    raw.write_all(junk).unwrap();
+    let mut decoder = omq_server::FrameDecoder::new();
+    let mut buf = [0u8; 4096];
+    let frame = loop {
+        if let Some(payload) = decoder.next_frame().unwrap() {
+            break omq_server::ServerFrame::decode(&payload).unwrap();
+        }
+        let n = raw.read(&mut buf).unwrap();
+        assert!(n > 0, "server hung up on a recoverable error");
+        decoder.feed(&buf[..n]);
+    };
+    assert!(matches!(
+        frame,
+        omq_server::ServerFrame::Error {
+            code: ErrorCode::MalformedFrame,
+            ..
+        }
+    ));
+    // Still alive: a well-formed request on the same socket round-trips.
+    raw.write_all(&omq_server::ClientFrame::Pin.encode())
+        .unwrap();
+    let frame = loop {
+        if let Some(payload) = decoder.next_frame().unwrap() {
+            break omq_server::ServerFrame::decode(&payload).unwrap();
+        }
+        let n = raw.read(&mut buf).unwrap();
+        assert!(n > 0, "server hung up after recovering");
+        decoder.feed(&buf[..n]);
+    };
+    assert!(matches!(frame, omq_server::ServerFrame::Pinned { .. }));
+
+    // An oversized length prefix: error frame, then close.
+    let mut raw = std::net::TcpStream::connect(server.local_addr()).expect("connect");
+    raw.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    raw.write_all(&u32::MAX.to_be_bytes()).unwrap();
+    let mut decoder = omq_server::FrameDecoder::new();
+    let mut saw_error = false;
+    loop {
+        match raw.read(&mut buf) {
+            Ok(0) => break, // server closed, as specified
+            Ok(n) => {
+                decoder.feed(&buf[..n]);
+                while let Some(payload) = decoder.next_frame().unwrap() {
+                    let frame = omq_server::ServerFrame::decode(&payload).unwrap();
+                    assert!(matches!(
+                        frame,
+                        omq_server::ServerFrame::Error {
+                            code: ErrorCode::FrameTooLarge,
+                            ..
+                        }
+                    ));
+                    saw_error = true;
+                }
+            }
+            Err(e) => panic!("read failed before close: {e}"),
+        }
+    }
+    assert!(saw_error, "the close was reported before hanging up");
+    server.shutdown();
+}

@@ -29,6 +29,27 @@ pub enum Error {
     Serve(omq_serve::ServeError),
 }
 
+impl Error {
+    /// The wire [`ErrorCode`](omq_server::ErrorCode) this error maps onto
+    /// when it crosses the `omq-server` network boundary.
+    ///
+    /// The classification lives in `omq-server` (one table for in-process
+    /// and over-the-wire callers); this method dispatches by originating
+    /// layer.  Codes below 500 mean the request was at fault (unknown
+    /// query, schema mismatch, ill-formed query text); 5xx codes mean the
+    /// server side failed — see
+    /// [`ErrorCode::is_client_error`](omq_server::ErrorCode::is_client_error).
+    pub fn wire_code(&self) -> omq_server::ErrorCode {
+        match self {
+            Error::Data(e) => omq_server::ErrorCode::for_data(e),
+            Error::Cq(e) => omq_server::ErrorCode::for_cq(e),
+            Error::Chase(e) => omq_server::ErrorCode::for_chase(e),
+            Error::Core(e) => omq_server::ErrorCode::for_core(e),
+            Error::Serve(e) => omq_server::ErrorCode::for_serve(e),
+        }
+    }
+}
+
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         // Prefix the originating layer (the workspace convention, cf.
@@ -129,5 +150,116 @@ mod tests {
                 omq_data::DataError::UnknownRelation("R".into())
             )
         );
+    }
+
+    /// The table: one row per representative error, with the wire code a
+    /// client sees and whose fault it is.  A client that gets a 4xx knows
+    /// the request itself must change; a 5xx means retry-or-report.
+    #[test]
+    fn wire_codes_classify_every_layer() {
+        use omq_server::ErrorCode;
+        let table: &[(Error, ErrorCode, bool)] = &[
+            // (error, expected wire code, is the client at fault?)
+            (
+                omq_data::DataError::UnknownRelation("R".into()).into(),
+                ErrorCode::SchemaMismatch,
+                true,
+            ),
+            (
+                omq_data::DataError::ArityMismatch {
+                    relation: "R".into(),
+                    expected: 2,
+                    actual: 3,
+                }
+                .into(),
+                ErrorCode::SchemaMismatch,
+                true,
+            ),
+            (
+                omq_data::DataError::NonCanonicalWildcards.into(),
+                ErrorCode::SchemaMismatch,
+                true,
+            ),
+            (
+                omq_data::DataError::StaleIndex {
+                    index_revision: 1,
+                    database_revision: 2,
+                }
+                .into(),
+                ErrorCode::Internal,
+                false,
+            ),
+            (
+                omq_cq::CqError::Parse("bad".into()).into(),
+                ErrorCode::BadQuery,
+                true,
+            ),
+            (
+                omq_cq::CqError::UnboundAnswerVariable("x".into()).into(),
+                ErrorCode::BadQuery,
+                true,
+            ),
+            (
+                omq_chase::ChaseError::NotGuarded("t".into()).into(),
+                ErrorCode::BadQuery,
+                true,
+            ),
+            (
+                omq_chase::ChaseError::ChaseBudgetExceeded { max_facts: 10 }.into(),
+                ErrorCode::Internal,
+                false,
+            ),
+            (
+                omq_core::CoreError::NotFreeConnex("q".into()).into(),
+                ErrorCode::BadQuery,
+                true,
+            ),
+            (
+                omq_core::CoreError::UnknownConstant("c".into()).into(),
+                ErrorCode::SchemaMismatch,
+                true,
+            ),
+            (
+                omq_core::CoreError::Internal("bug".into()).into(),
+                ErrorCode::Internal,
+                false,
+            ),
+            (
+                omq_serve::ServeError::UnknownQueryName("q".into()).into(),
+                ErrorCode::UnknownQuery,
+                true,
+            ),
+            (
+                omq_serve::ServeError::UnknownQuery(7).into(),
+                ErrorCode::UnknownQuery,
+                true,
+            ),
+            (
+                omq_serve::ServeError::DuplicateQuery("q".into()).into(),
+                ErrorCode::DuplicateQuery,
+                true,
+            ),
+            // Nested: the classification follows the root cause.
+            (
+                omq_core::CoreError::Chase(omq_chase::ChaseError::Data(
+                    omq_data::DataError::UnknownRelation("R".into()),
+                ))
+                .into(),
+                ErrorCode::SchemaMismatch,
+                true,
+            ),
+            (
+                omq_serve::ServeError::Core(omq_core::CoreError::Internal("bug".into())).into(),
+                ErrorCode::Internal,
+                false,
+            ),
+        ];
+        for (error, expected, client_fault) in table {
+            let code = error.wire_code();
+            assert_eq!(code, *expected, "{error}");
+            assert_eq!(code.is_client_error(), *client_fault, "{error}");
+            // The code survives the wire: u16 round-trip is lossless.
+            assert_eq!(ErrorCode::from_u16(code.as_u16()), Some(code), "{error}");
+        }
     }
 }

@@ -133,6 +133,7 @@ pub use omq_core as core;
 pub use omq_cq as cq;
 pub use omq_data as data;
 pub use omq_serve as serve;
+pub use omq_server as server;
 
 mod error;
 
@@ -162,6 +163,7 @@ pub mod prelude {
         AnswerSet, CountResponse, DataRef, QueryId, QueryRef, Request, Response, ServeError,
         ServingEngine, StreamedResponse,
     };
+    pub use omq_server::{Client, ErrorCode, QueryTarget, Server, ServerConfig, TxnOp};
 }
 
 /// Compile-time thread-safety contract of the serving stack.
