@@ -24,13 +24,37 @@
 //! epoch `e`.
 
 use crate::protocol::{
-    render_answer, ClientFrame, ErrorCode, FrameDecoder, FrameTooLarge, ServerFrame, TxnOp,
-    MAX_PAGE,
+    answer_wire_len, render_answer, ClientFrame, ErrorCode, FrameDecoder, FrameTooLarge,
+    ServerFrame, TxnOp, MAX_FRAME_LEN, MAX_PAGE, MAX_PAGE_BYTES,
 };
 use omq_data::{Answer, Snapshot, Txn};
 use omq_serve::{QueryId, Request, ServingEngine, StreamedResponse};
 use rustc_hash::FxHashMap;
+use std::collections::VecDeque;
 use std::sync::RwLock;
+
+/// Write-buffer level (bytes) above which a connection stops producing:
+/// the event loop stops *reading* it, and [`Connection::pump`] stops
+/// consuming frames the decoder already holds — so a burst of pipelined
+/// requests cannot amplify into unbounded response memory.  The peer must
+/// drain what it asked for before it gets more.
+pub const HIGH_WATER: usize = 256 * 1024;
+
+/// Answers are pulled off a cursor's stream in chunks of at most this many
+/// while filling a page — keeps the batched-pull fast path of
+/// `next_batch` while bounding how many rendered answers can pile up in
+/// [`Cursor::pending`] past the page's byte budget.
+const PULL_CHUNK: usize = 1024;
+
+/// Hard ceiling on one rendered answer: even alone in a page it must fit a
+/// frame, with generous allowance for the page envelope.  An answer past
+/// this is undeliverable and the fetch reports an error instead.
+const MAX_SINGLE_ANSWER_BYTES: usize = MAX_FRAME_LEN - 1024;
+
+/// Cap on error-frame messages.  They echo client-supplied text (unknown
+/// tags, names, parse errors over submitted query text), so without a cap
+/// they could themselves approach the frame limit.
+const MAX_ERROR_MESSAGE_BYTES: usize = 1024;
 
 /// The server state every connection shares: the engine behind its lock.
 #[derive(Debug)]
@@ -45,7 +69,13 @@ pub struct Shared {
 struct Cursor {
     stream: StreamedResponse,
     snap: Snapshot,
-    done: bool,
+    /// The stream has been pulled dry.  The wire-level `done` flag also
+    /// requires [`Cursor::pending`] to be empty.
+    exhausted: bool,
+    /// Rendered answers already pulled off the stream but deferred by a
+    /// page's byte cap ([`MAX_PAGE_BYTES`]); the next fetch serves these
+    /// before pulling again.
+    pending: VecDeque<Vec<String>>,
 }
 
 /// Why the connection must close after the write buffer drains.
@@ -87,20 +117,26 @@ impl Connection {
         }
     }
 
-    /// Feeds bytes read off the socket and processes every complete frame
-    /// they finish.  Responses accumulate in the write buffer.
+    /// Feeds bytes read off the socket and processes complete frames up to
+    /// the backpressure mark.  Responses accumulate in the write buffer.
     pub fn on_bytes(&mut self, bytes: &[u8], shared: &Shared) {
         self.decoder.feed(bytes);
         self.pump(shared);
     }
 
-    /// Processes buffered complete frames (separate from [`Connection::on_bytes`]
-    /// so backpressure can pause and later resume consumption without new
-    /// socket reads).
-    pub fn pump(&mut self, shared: &Shared) {
-        while self.closing.is_none() {
+    /// Processes buffered complete frames; returns whether any frame was
+    /// consumed.  Backpressure is enforced *here*, not only at the socket
+    /// read: once the write buffer passes [`HIGH_WATER`] the pump stops,
+    /// the decoder retains the unconsumed frames, and the event loop calls
+    /// `pump` again on a later sweep once the buffer has drained.
+    pub fn pump(&mut self, shared: &Shared) -> bool {
+        let mut progressed = false;
+        while self.closing.is_none() && self.pending_out().len() < HIGH_WATER {
             match self.decoder.next_frame() {
-                Ok(Some(payload)) => self.on_payload(&payload, shared),
+                Ok(Some(payload)) => {
+                    self.on_payload(&payload, shared);
+                    progressed = true;
+                }
                 Ok(None) => break,
                 Err(FrameTooLarge { declared }) => {
                     // The length prefix cannot be trusted, so there is no
@@ -110,9 +146,11 @@ impl Connection {
                         message: FrameTooLarge { declared }.to_string(),
                     });
                     self.closing = Some(CloseReason::Fatal);
+                    progressed = true;
                 }
             }
         }
+        progressed
     }
 
     fn on_payload(&mut self, payload: &[u8], shared: &Shared) {
@@ -124,7 +162,7 @@ impl Connection {
             Err(violation) => {
                 self.send(&ServerFrame::Error {
                     code: ErrorCode::MalformedFrame,
-                    message: violation.message,
+                    message: clip(violation.message),
                 });
                 return;
             }
@@ -192,7 +230,8 @@ impl Connection {
                             Cursor {
                                 stream,
                                 snap,
-                                done: false,
+                                exhausted: false,
+                                pending: VecDeque::new(),
                             },
                         );
                         ServerFrame::CursorOpened {
@@ -287,6 +326,13 @@ impl Connection {
     }
 
     /// One page off a cursor: `O(k)` enumeration work, no engine lock.
+    ///
+    /// Pages are bounded twice over: by `k` answers and by
+    /// [`MAX_PAGE_BYTES`] of encoded payload — constant names are
+    /// client-supplied, so `k` alone bounds nothing.  A byte-capped page
+    /// ships short with `done: false` and parks the already-rendered rest
+    /// in [`Cursor::pending`] for the next fetch; no page frame can ever
+    /// approach [`MAX_FRAME_LEN`].
     fn fetch(&mut self, handle: u64, k: u64) -> ServerFrame {
         let Some(cursor) = self.cursors.get_mut(&handle) else {
             return ServerFrame::Error {
@@ -295,27 +341,62 @@ impl Connection {
             };
         };
         let k = (k as usize).clamp(1, MAX_PAGE);
-        self.scratch.clear();
-        let produced = if cursor.done {
-            0
-        } else {
-            cursor.stream.next_batch(&mut self.scratch, k)
-        };
-        // A short page means the enumeration is exhausted; remember it so
-        // further fetches stay cheap instead of re-probing the stream.
-        if produced < k {
-            cursor.done = true;
+        let mut answers: Vec<Vec<String>> = Vec::new();
+        let mut bytes = 0usize;
+        loop {
+            // Serve rendered answers first: leftovers a previous page's
+            // byte cap deferred, then whatever the pull below appended.
+            while answers.len() < k {
+                let Some(front) = cursor.pending.front() else {
+                    break;
+                };
+                // +1 for the comma separating answers in the array.
+                let len = answer_wire_len(front) + 1;
+                if answers.is_empty() && len > MAX_SINGLE_ANSWER_BYTES {
+                    // Undeliverable even alone.  Leave it queued so every
+                    // retry fails identically; the client's move is to
+                    // close the cursor.
+                    return ServerFrame::Error {
+                        code: ErrorCode::Internal,
+                        message: format!(
+                            "answer of {len} encoded bytes exceeds the \
+                             {MAX_FRAME_LEN}-byte frame cap; close the cursor"
+                        ),
+                    };
+                }
+                if !answers.is_empty() && bytes + len > MAX_PAGE_BYTES {
+                    // Page full by bytes; the rest stays queued.
+                    return ServerFrame::Page {
+                        cursor: handle,
+                        answers,
+                        done: false,
+                    };
+                }
+                bytes += len;
+                answers.push(cursor.pending.pop_front().expect("front checked"));
+            }
+            if answers.len() >= k || bytes >= MAX_PAGE_BYTES || cursor.exhausted {
+                break;
+            }
+            // Pull the next chunk off the stream and render it.
+            let want = (k - answers.len()).min(PULL_CHUNK);
+            self.scratch.clear();
+            let produced = cursor.stream.next_batch(&mut self.scratch, want);
+            if produced < want {
+                cursor.exhausted = true;
+            }
+            let db = cursor.snap.database();
+            cursor
+                .pending
+                .extend(self.scratch.iter().map(|answer| render_answer(answer, db)));
+            if produced == 0 {
+                break;
+            }
         }
-        let db = cursor.snap.database();
-        let answers = self
-            .scratch
-            .iter()
-            .map(|answer| render_answer(answer, db))
-            .collect();
         ServerFrame::Page {
             cursor: handle,
             answers,
-            done: produced < k,
+            done: cursor.exhausted && cursor.pending.is_empty(),
         }
     }
 
@@ -344,7 +425,23 @@ impl Connection {
     }
 
     fn send(&mut self, frame: &ServerFrame) {
-        self.outbuf.extend_from_slice(&frame.encode());
+        let bytes = frame.encode();
+        // Last-resort guard: nothing above should produce a frame past the
+        // cap (pages are byte-capped, messages clipped), but an oversized
+        // response must never reach the wire — the peer would read its
+        // length prefix as stream corruption.  Degrade to a bounded error.
+        if bytes.len() > 4 + MAX_FRAME_LEN {
+            let fallback = ServerFrame::Error {
+                code: ErrorCode::Internal,
+                message: format!(
+                    "response frame of {} bytes exceeds the {MAX_FRAME_LEN}-byte cap",
+                    bytes.len() - 4
+                ),
+            };
+            self.outbuf.extend_from_slice(&fallback.encode());
+            return;
+        }
+        self.outbuf.extend_from_slice(&bytes);
     }
 
     /// The encoded bytes still to be written to the socket.
@@ -368,6 +465,12 @@ impl Connection {
     /// Whether the connection has asked to close (after its buffer drains).
     pub fn closing(&self) -> Option<CloseReason> {
         self.closing
+    }
+
+    /// Bytes received off the socket but not yet consumed as frames —
+    /// non-zero when backpressure paused the pump mid-burst.
+    pub fn buffered_in(&self) -> usize {
+        self.decoder.pending()
     }
 
     /// Open cursors on this connection (for tests and introspection).
@@ -399,8 +502,21 @@ fn to_query_ref(target: &crate::protocol::QueryTarget) -> omq_serve::QueryRef {
 fn error_frame(code: ErrorCode, e: &dyn std::fmt::Display) -> ServerFrame {
     ServerFrame::Error {
         code,
-        message: e.to_string(),
+        message: clip(e.to_string()),
     }
+}
+
+/// Bounds an error message at [`MAX_ERROR_MESSAGE_BYTES`] (messages echo
+/// client-supplied text, so the error frame itself must stay small).
+fn clip(message: String) -> String {
+    if message.len() <= MAX_ERROR_MESSAGE_BYTES {
+        return message;
+    }
+    let mut end = MAX_ERROR_MESSAGE_BYTES;
+    while !message.is_char_boundary(end) {
+        end -= 1;
+    }
+    format!("{}… [truncated]", &message[..end])
 }
 
 fn register(name: &str, ontology: &str, query: &str, shared: &Shared) -> ServerFrame {
@@ -597,5 +713,163 @@ mod tests {
                 ..
             }
         ));
+    }
+
+    /// Pages are capped by encoded bytes, not just `k`: large constant
+    /// names split one fetch into several short pages, `done` stays the
+    /// end-of-stream signal, and no page frame approaches the frame cap.
+    #[test]
+    fn pages_split_under_the_byte_cap() {
+        let shared = shared();
+        let mut conn = Connection::new();
+        // 8 facts with ~300 KiB constants ≈ 2.4 MiB rendered — k = 100
+        // must split into ≥ 3 pages under the 1 MiB byte cap.
+        let big = |i: usize| format!("{}{i}", "x".repeat(300 * 1024));
+        let frames = [
+            ClientFrame::Register {
+                name: "q".into(),
+                ontology: "Researcher(x) -> exists y. HasOffice(x, y)".into(),
+                query: "q(x) :- Researcher(x)".into(),
+            },
+            ClientFrame::Commit {
+                ops: (0..8)
+                    .map(|i| TxnOp::Insert {
+                        relation: "Researcher".into(),
+                        tuple: vec![big(i)],
+                    })
+                    .collect(),
+            },
+            ClientFrame::OpenCursor {
+                query: crate::protocol::QueryTarget::Name("q".into()),
+                semantics: Semantics::Complete,
+                snapshot: None,
+                offset: 0,
+                limit: None,
+            },
+        ];
+        for frame in &frames {
+            conn.on_bytes(&frame.encode(), &shared);
+        }
+        let responses = drain(&mut conn);
+        let ServerFrame::CursorOpened { cursor, .. } = responses[2] else {
+            panic!("expected opened cursor, got {:?}", responses[2]);
+        };
+        let mut pages = 0usize;
+        let mut got = Vec::new();
+        conn.on_bytes(&ClientFrame::Fetch { cursor, k: 100 }.encode(), &shared);
+        loop {
+            let responses = drain(&mut conn);
+            let ServerFrame::Page { answers, done, .. } = &responses[0] else {
+                panic!("expected page, got {:?}", responses[0]);
+            };
+            assert!(
+                !answers.is_empty(),
+                "every page before exhaustion makes progress"
+            );
+            let encoded: usize = answers.iter().map(|a| answer_wire_len(a) + 1).sum();
+            assert!(encoded <= MAX_PAGE_BYTES + 1, "page within the byte cap");
+            got.extend(answers.clone());
+            pages += 1;
+            assert!(pages < 32, "no livelock");
+            if *done {
+                break;
+            }
+            conn.on_bytes(&ClientFrame::Fetch { cursor, k: 100 }.encode(), &shared);
+        }
+        assert!(
+            pages >= 3,
+            "the byte cap split the fetch, got {pages} pages"
+        );
+        assert_eq!(got.len(), 8, "no answer lost or duplicated across pages");
+    }
+
+    /// A pipelined burst stops producing responses at the high-water mark;
+    /// the decoder retains the rest and `pump` resumes after draining.
+    #[test]
+    fn pipelined_bursts_stop_at_high_water_and_resume() {
+        let shared = shared();
+        let mut conn = Connection::new();
+        const N: usize = 16_384;
+        let mut burst = Vec::new();
+        for _ in 0..N {
+            burst.extend_from_slice(&ClientFrame::Pin.encode());
+        }
+        conn.on_bytes(&burst, &shared);
+        assert!(
+            conn.pending_out().len() >= HIGH_WATER,
+            "the pump ran up to the mark"
+        );
+        assert!(
+            conn.pending_out().len() < HIGH_WATER + 128,
+            "…but overshot by at most one response frame: {}",
+            conn.pending_out().len()
+        );
+        assert!(conn.buffered_in() > 0, "unconsumed frames were retained");
+
+        // Drain-and-pump sweeps serve the whole burst without new reads.
+        let mut decoder = FrameDecoder::new();
+        let mut responses = 0usize;
+        loop {
+            decoder.feed(conn.pending_out());
+            let n = conn.pending_out().len();
+            conn.advance_out(n);
+            while let Some(payload) = decoder.next_frame().unwrap() {
+                assert!(matches!(
+                    ServerFrame::decode(&payload).unwrap(),
+                    ServerFrame::Pinned { .. }
+                ));
+                responses += 1;
+            }
+            if !conn.pump(&shared) && conn.pending_out().is_empty() {
+                break;
+            }
+        }
+        assert_eq!(responses, N);
+        assert_eq!(conn.buffered_in(), 0);
+        assert_eq!(conn.snapshot_count(), N);
+    }
+
+    /// The last-resort `send` guard: an encoded frame past the cap is
+    /// replaced by a bounded error frame instead of corrupting the stream.
+    #[test]
+    fn oversized_outgoing_frames_degrade_to_a_bounded_error() {
+        let mut conn = Connection::new();
+        conn.send(&ServerFrame::Error {
+            code: ErrorCode::Internal,
+            message: "x".repeat(crate::protocol::MAX_FRAME_LEN + 1),
+        });
+        let responses = drain(&mut conn);
+        match &responses[0] {
+            ServerFrame::Error {
+                code: ErrorCode::Internal,
+                message,
+            } => {
+                assert!(message.contains("exceeds"), "{message}");
+                assert!(message.len() < 256);
+            }
+            other => panic!("expected bounded error frame, got {other:?}"),
+        }
+    }
+
+    /// Error messages echoing client-supplied text are clipped so the
+    /// error frame itself stays far below the frame cap.
+    #[test]
+    fn error_messages_echoing_client_text_are_clipped() {
+        let shared = shared();
+        let mut conn = Connection::new();
+        let tag = "t".repeat(2 * 1024 * 1024);
+        let payload = format!("{{\"t\":\"{tag}\"}}");
+        conn.on_bytes(&crate::protocol::frame_payload(payload.as_bytes()), &shared);
+        let responses = drain(&mut conn);
+        let ServerFrame::Error {
+            code: ErrorCode::MalformedFrame,
+            message,
+        } = &responses[0]
+        else {
+            panic!("expected malformed-frame error, got {:?}", responses[0]);
+        };
+        assert!(message.len() < 2048, "clipped to {}", message.len());
+        assert!(message.ends_with("[truncated]"));
+        assert!(conn.closing().is_none(), "still a recoverable error");
     }
 }

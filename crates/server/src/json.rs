@@ -183,6 +183,7 @@ fn write_escaped(s: &str, out: &mut String) {
 /// Parses one JSON document (trailing whitespace allowed, nothing else).
 pub fn parse(input: &str) -> Result<Json, JsonError> {
     let mut p = Parser {
+        text: input,
         bytes: input.as_bytes(),
         pos: 0,
     };
@@ -196,6 +197,9 @@ pub fn parse(input: &str) -> Result<Json, JsonError> {
 }
 
 struct Parser<'a> {
+    /// The input as a `&str` — scalar decoding slices it at `pos`, which
+    /// every advance keeps on a char boundary (ASCII steps or `len_utf8`).
+    text: &'a str,
     bytes: &'a [u8],
     pos: usize,
 }
@@ -360,11 +364,15 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 scalar (the input is a `&str`, so
-                    // slicing at char boundaries is safe).
-                    let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid UTF-8"))?;
-                    let c = s.chars().next().ok_or_else(|| self.err("empty input"))?;
+                    // Consume one UTF-8 scalar.  `pos` is always on a char
+                    // boundary, so the slice is O(1) — crucially NOT a
+                    // `from_utf8` revalidation of the whole remaining
+                    // input, which would make long strings parse in O(n²).
+                    let rest = self
+                        .text
+                        .get(self.pos..)
+                        .ok_or_else(|| self.err("invalid UTF-8"))?;
+                    let c = rest.chars().next().ok_or_else(|| self.err("empty input"))?;
                     if (c as u32) < 0x20 {
                         return Err(self.err("unescaped control character in string"));
                     }

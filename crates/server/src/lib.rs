@@ -15,8 +15,10 @@
 //!   snapshot and cursor handles, socket-free and unit-testable;
 //! - [`server`] — the accept/event loop over nonblocking `std::net`
 //!   sockets: one acceptor, `N` workers that own their connections,
-//!   write-buffer backpressure ([`HIGH_WATER`]) so slow readers stall
-//!   their own producers and nothing else;
+//!   write-buffer backpressure ([`HIGH_WATER`]) at both the read *and*
+//!   the frame pump so slow readers and pipelined bursts stall their own
+//!   producers and nothing else, page frames byte-capped at
+//!   [`MAX_PAGE_BYTES`] so no response can outgrow the frame limit;
 //! - [`client`] — a small blocking client used by the examples, the
 //!   end-to-end tests and the E19 load harness in `omq-bench`.
 //!
@@ -43,8 +45,8 @@ pub mod server;
 pub use client::{Client, ClientError, WireCommit, WireCount, WireCursor, WirePage, WireSnapshot};
 pub use conn::{CloseReason, Connection, Shared};
 pub use protocol::{
-    render_answer, ClientFrame, ErrorCode, FrameDecoder, QueryTarget, ServerFrame, TxnOp,
-    MAX_FRAME_LEN, MAX_PAGE, MAX_WIRE_INT,
+    answer_wire_len, render_answer, ClientFrame, ErrorCode, FrameDecoder, QueryTarget, ServerFrame,
+    TxnOp, MAX_FRAME_LEN, MAX_PAGE, MAX_PAGE_BYTES, MAX_WIRE_INT,
 };
 pub use server::{Server, ServerConfig, HIGH_WATER};
 

@@ -48,6 +48,15 @@ pub const MAX_FRAME_LEN: usize = 8 * 1024 * 1024;
 /// mechanism, so a single page is kept bounded.
 pub const MAX_PAGE: usize = 65_536;
 
+/// Soft cap on the encoded bytes of rendered answers inside one `page`
+/// frame (1 MiB).  Constant names are client-supplied with no length
+/// bound, so `k` alone does not bound a page: a fetch stops adding
+/// answers once the next one would push the page past this cap and
+/// defers the rest to the following fetch.  Page frames therefore stay
+/// far below [`MAX_FRAME_LEN`] by construction, and `done` — not page
+/// length — is the end-of-stream signal.
+pub const MAX_PAGE_BYTES: usize = 1024 * 1024;
+
 /// Integers on the wire are carried as exact JSON integers in
 /// `0..=MAX_WIRE_INT` (`i64::MAX`).  Every wire integer is a sequential
 /// counter (handle, epoch, count, page size), so the bound is nowhere near
@@ -203,7 +212,10 @@ pub enum ServerFrame {
         cursor: u64,
         /// Rendered answers, see [`render_answer`].
         answers: Vec<Vec<String>>,
-        /// `true` iff the cursor is exhausted (a short page implies it).
+        /// `true` iff the cursor is exhausted.  A page may come up short
+        /// of `k` without being the last one — pages are capped by
+        /// encoded bytes ([`MAX_PAGE_BYTES`]) as well as by `k` — so this
+        /// flag, not page length, signals the end of the stream.
         done: bool,
     },
     /// Response to [`ClientFrame::Count`].
@@ -374,8 +386,14 @@ fn violation(message: impl Into<String>) -> ProtocolViolation {
 // ---------------------------------------------------------------------------
 
 /// Encodes one payload into a length-prefixed frame.
+///
+/// Never panics on size: a payload above [`MAX_FRAME_LEN`] is framed
+/// faithfully and it is the *peer* that rejects it as a corrupt stream.
+/// Well-behaved senders keep payloads under the cap — the server bounds
+/// its pages by [`MAX_PAGE_BYTES`], clips error messages, and degrades
+/// anything still oversized to a bounded error frame before it reaches
+/// the wire (see `Connection::send`).
 pub fn frame_payload(payload: &[u8]) -> Vec<u8> {
-    assert!(payload.len() <= MAX_FRAME_LEN, "oversized outgoing frame");
     let mut out = Vec::with_capacity(4 + payload.len());
     out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
     out.extend_from_slice(payload);
@@ -890,6 +908,29 @@ fn decode_object(payload: &[u8]) -> Result<Json, ProtocolViolation> {
 // Answer rendering.
 // ---------------------------------------------------------------------------
 
+/// Exact number of bytes one rendered answer occupies as a JSON array
+/// inside a `page` frame's `answers` member, mirroring [`crate::json`]'s
+/// writer escapes.  The connection layer uses it to cap pages at
+/// [`MAX_PAGE_BYTES`] *before* encoding them, so no outgoing frame can
+/// approach [`MAX_FRAME_LEN`] however large `k` or the constant names are.
+pub fn answer_wire_len(answer: &[String]) -> usize {
+    let mut len = 2; // the brackets
+    if !answer.is_empty() {
+        len += answer.len() - 1; // the commas
+    }
+    for value in answer {
+        len += 2; // the quotes
+        for c in value.chars() {
+            len += match c {
+                '"' | '\\' | '\n' | '\r' | '\t' => 2,
+                c if (c as u32) < 0x20 => 6, // \u00xx
+                c => c.len_utf8(),
+            };
+        }
+    }
+    len
+}
+
 /// Renders one answer as the wire carries it: constants by their interned
 /// name in `db`, the single wildcard as `"*"`, multi-wildcards as `"*k"`.
 ///
@@ -975,6 +1016,27 @@ mod tests {
             assert!(ClientFrame::decode(payload).is_err());
         }
         assert!(ServerFrame::decode(b"{\"t\":\"error\",\"code\":999,\"message\":\"\"}").is_err());
+    }
+
+    #[test]
+    fn answer_wire_len_matches_the_encoder_exactly() {
+        for answer in [
+            vec![],
+            vec!["plain".to_owned()],
+            vec!["*".to_owned(), "*17".to_owned()],
+            vec![
+                "quote\"".to_owned(),
+                "back\\slash".to_owned(),
+                "nl\n tab\t cr\r".to_owned(),
+                "nul\u{1}bel\u{7}".to_owned(),
+                "é\u{1F600}".to_owned(),
+                String::new(),
+            ],
+        ] {
+            let encoded =
+                Json::Arr(answer.iter().map(|v| Json::str(v.clone())).collect()).to_json();
+            assert_eq!(answer_wire_len(&answer), encoded.len(), "{answer:?}");
+        }
     }
 
     #[test]

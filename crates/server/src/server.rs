@@ -8,16 +8,21 @@
 //! connection ever migrates between workers, so there is no cross-worker
 //! synchronisation beyond the shared engine lock and the handoff inbox.
 //!
-//! **Backpressure** is built into the sweep: a connection whose write
-//! buffer exceeds [`HIGH_WATER`] is not *read* again until the buffer
-//! drains below it.  A client that stops draining pages therefore stops
-//! the server from producing more of them — the `O(k)`-per-fetch
-//! discipline extends to memory, not just time.
+//! **Backpressure** is enforced at both ends of the state machine: a
+//! connection whose write buffer exceeds [`HIGH_WATER`] is not *read*
+//! again until the buffer drains below it, and the frame pump itself
+//! stops consuming already-buffered pipelined frames at the same mark
+//! (the decoder retains them; the sweep resumes the pump after each
+//! drain).  A client that stops draining pages — or pipelines thousands
+//! of fetches in one burst — therefore stops the server from producing
+//! more of them: the `O(k)`-per-fetch discipline extends to memory, not
+//! just time.
 //!
 //! The poll sweep sleeps `IDLE_SLEEP` (500 µs) when a pass makes no progress;
 //! latency under load is bounded by the sweep, not the sleep, and the
 //! sleep keeps idle workers off the CPU.
 
+pub use crate::conn::HIGH_WATER;
 use crate::conn::{CloseReason, Connection, Shared};
 use omq_serve::ServingEngine;
 use std::io::{ErrorKind, Read, Write};
@@ -25,14 +30,14 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
-use std::time::Duration;
-
-/// Write-buffer level (bytes) above which a connection is no longer read:
-/// the peer must drain what it asked for before it may ask for more.
-pub const HIGH_WATER: usize = 256 * 1024;
+use std::time::{Duration, Instant};
 
 /// How long an idle worker sleeps between poll sweeps.
 const IDLE_SLEEP: Duration = Duration::from_micros(500);
+
+/// How long a fatally-errored connection may keep draining its final
+/// error frame before the worker gives up on a peer that is not reading.
+const FATAL_DRAIN_GRACE: Duration = Duration::from_millis(250);
 
 /// Read chunk size per sweep pass.
 const READ_CHUNK: usize = 64 * 1024;
@@ -60,6 +65,10 @@ impl Default for ServerConfig {
 struct Slot {
     stream: TcpStream,
     conn: Connection,
+    /// Set on the first sweep that finds a fatal close still waiting on
+    /// unflushed bytes; the connection closes at the deadline even if the
+    /// peer never reads its final error frame.
+    fatal_deadline: Option<Instant>,
 }
 
 /// A running OMQ server: the acceptor, its workers, and the shared engine.
@@ -182,13 +191,23 @@ fn worker_loop(inbox: Arc<Mutex<Vec<TcpStream>>>, shared: Arc<Shared>, stop: Arc
                 slots.push(Slot {
                     stream,
                     conn: Connection::new(),
+                    fatal_deadline: None,
                 });
             }
         }
         let mut progressed = false;
         let mut i = 0;
         while i < slots.len() {
-            match sweep_slot(&mut slots[i], &shared, &mut read_buf) {
+            // Contain panics per connection: a request that blows up takes
+            // down its own slot, not the worker — a dead worker would keep
+            // receiving fresh connections from the acceptor's round-robin
+            // and leave them hanging forever.
+            let slot = &mut slots[i];
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                sweep_slot(slot, &shared, &mut read_buf)
+            }))
+            .unwrap_or(SweepOutcome::Close);
+            match outcome {
                 SweepOutcome::Progress => {
                     progressed = true;
                     i += 1;
@@ -212,8 +231,9 @@ enum SweepOutcome {
     Close,
 }
 
-/// One pass over one connection: flush, then (unless backpressured or
-/// closing) read + process, then flush what that produced.
+/// One pass over one connection: flush, resume any frames backpressure
+/// parked, then (unless backpressured or closing) read + process, then
+/// flush what that produced.
 fn sweep_slot(slot: &mut Slot, shared: &Shared, read_buf: &mut [u8]) -> SweepOutcome {
     let mut progressed = false;
 
@@ -221,12 +241,31 @@ fn sweep_slot(slot: &mut Slot, shared: &Shared, read_buf: &mut [u8]) -> SweepOut
         return SweepOutcome::Close;
     }
 
+    // Resume frames the decoder retained under backpressure: the pump
+    // stops once the write buffer passes HIGH_WATER, so the drain above
+    // may have unblocked it.
+    if slot.conn.closing().is_none() && slot.conn.pump(shared) {
+        progressed = true;
+        if !flush(slot, &mut progressed) {
+            return SweepOutcome::Close;
+        }
+    }
+
     if let Some(reason) = slot.conn.closing() {
-        if slot.conn.pending_out().is_empty() || reason == CloseReason::Fatal {
-            // Graceful goodbyes drain first; a corrupt stream does not get
-            // to wait on a slow reader.
+        if slot.conn.pending_out().is_empty() {
             let _ = slot.stream.flush();
             return SweepOutcome::Close;
+        }
+        if reason == CloseReason::Fatal {
+            // The final error frame gets a short bounded grace to drain —
+            // the client deserves to see *why* it is being hung up on —
+            // but a corrupt stream does not wait on a peer that never
+            // reads.
+            let now = Instant::now();
+            let deadline = *slot.fatal_deadline.get_or_insert(now + FATAL_DRAIN_GRACE);
+            if now >= deadline {
+                return SweepOutcome::Close;
+            }
         }
         return if progressed {
             SweepOutcome::Progress
