@@ -19,6 +19,11 @@ use omq_bench::{experiments, report};
 use std::path::PathBuf;
 
 fn main() {
+    // E20 spawns this very binary as its worker fleet: when the cluster
+    // environment variables are set, become a worker instead of a harness.
+    if omq_cluster::maybe_run_worker() {
+        return;
+    }
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick" || a == "-q");
     let no_json = args.iter().any(|a| a == "--no-json");
@@ -55,7 +60,7 @@ fn main() {
             .filter_map(|id| {
                 let table = experiments::run_experiment(id, quick);
                 if table.is_none() {
-                    eprintln!("unknown experiment `{id}` (expected E1..E19)");
+                    eprintln!("unknown experiment `{id}` (expected E1..E20)");
                 }
                 table
             })

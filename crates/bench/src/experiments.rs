@@ -1,4 +1,4 @@
-//! The experiment suite (E1–E19) and its table output.
+//! The experiment suite (E1–E20) and its table output.
 //!
 //! Every experiment returns a [`Table`]; the harness binary prints them,
 //! writes the machine-readable `BENCH_<exp>.json` counterparts (see
@@ -2068,6 +2068,7 @@ pub fn e19_network_serving(quick: bool) -> Table {
             ServerConfig {
                 addr: "127.0.0.1:0".parse().expect("loopback addr"),
                 workers: 2,
+                ..ServerConfig::default()
             },
         )
         .expect("bind ephemeral port");
@@ -2223,6 +2224,204 @@ pub fn e19_network_serving(quick: bool) -> Table {
     table
 }
 
+/// E20 — distributed execution over real worker **processes**: end-to-end
+/// speedup versus worker count on the component-rich clustered university
+/// workload, shard-shipping volume, work-stealing placement, and fault
+/// recovery (a worker killed mid-shard).
+///
+/// The worker fleet is this very harness binary: `main` calls
+/// `omq_cluster::maybe_run_worker()` first thing, so when the coordinator
+/// spawns `current_exe()` with the cluster environment variables set, the
+/// child becomes a worker instead of re-running the experiments.
+///
+/// Every row drains the full distributed `AnswerStream`
+/// (minimal-partial semantics) and compares the answer multiset against the
+/// sequential in-process run — that `answers equal` column, including the
+/// kill row, is the acceptance gate exported as the `answers_equal` metric.
+/// Wall-clock times include everything a deployment would pay: process
+/// spawn, plan compilation on each worker, fact shipping, evaluation,
+/// page parsing, and the cross-shard reduce.  `speedup` is measured against
+/// the 1-worker distributed run (isolating scaling from the fixed wire
+/// overhead, which `distribution_overhead_x` reports separately against the
+/// sequential engine); on a 1-CPU CI runner the processes share one core,
+/// so the speedup magnitudes are only meaningful on multicore hosts and the
+/// trajectory gate on them is deliberately loose.
+///
+/// The kill row re-runs the 2-worker configuration with small pages and a
+/// fault injected into worker 0 (connection dropped cold after 2 pages):
+/// the coordinator must detect the death, requeue the unacknowledged shard
+/// on the survivor, and still produce exactly the sequential answers —
+/// `kill_reassignments` records how many shards were replayed.
+pub fn e20_distributed_execution(quick: bool) -> Table {
+    use omq_cluster::{execute, ClusterConfig, ClusterStats, Kill, WorkerSpawn};
+    use std::collections::BTreeMap;
+    use std::time::Duration;
+
+    let gen_config = if quick {
+        ClusteredConfig {
+            clusters: 8,
+            researchers_per_cluster: 125,
+            ..Default::default()
+        }
+    } else {
+        ClusteredConfig {
+            clusters: 16,
+            researchers_per_cluster: 500,
+            ..Default::default()
+        }
+    };
+    let (omq, db) = clustered_university(&gen_config);
+    let plan = QueryPlan::compile(&omq).expect("guarded OMQ");
+    // Warm the shared chase memo (bag-type tables are data-independent).
+    let _ = plan.execute(&db).expect("guarded OMQ");
+    let start = Instant::now();
+    let instance = plan.execute(&db).expect("guarded OMQ");
+    let mut stream = instance
+        .answers(Semantics::MinimalPartial)
+        .expect("tractable query");
+    let mut baseline: BTreeMap<Answer, usize> = BTreeMap::new();
+    for answer in &mut stream {
+        *baseline.entry(answer).or_default() += 1;
+    }
+    let sequential_micros = start.elapsed().as_micros().max(1);
+
+    let spawn = WorkerSpawn::Command {
+        program: std::env::current_exe().expect("current executable"),
+        args: Vec::new(),
+    };
+    let run_once = |workers: usize,
+                    kill: Option<Kill>,
+                    page_answers: Option<usize>|
+     -> (BTreeMap<Answer, usize>, ClusterStats, u128) {
+        let config = ClusterConfig {
+            workers,
+            worker_timeout: Duration::from_secs(120),
+            spawn: spawn.clone(),
+            kill,
+            page_answers,
+            ..ClusterConfig::default()
+        };
+        let start = Instant::now();
+        let run = execute(
+            crate::generators::UNIVERSITY_ONTOLOGY_TEXT,
+            crate::generators::UNIVERSITY_QUERY_TEXT,
+            &db,
+            Semantics::MinimalPartial,
+            &config,
+        )
+        .expect("cluster run starts");
+        let mut stream = run.stream;
+        let mut counts: BTreeMap<Answer, usize> = BTreeMap::new();
+        for answer in &mut stream {
+            *counts.entry(answer).or_default() += 1;
+        }
+        assert!(
+            stream.error().is_none(),
+            "cluster stream failed: {:?}",
+            stream.error()
+        );
+        let micros = start.elapsed().as_micros().max(1);
+        (counts, run.handle.finish(), micros)
+    };
+
+    let mut table = Table::new(
+        "E20",
+        "Distributed execution: speedup over worker processes, shipping, fault recovery",
+        &[
+            "workers",
+            "shards",
+            "wall µs",
+            "speedup",
+            "answers",
+            "shipped KiB",
+            "steals",
+            "reassigned",
+            "kill",
+            "answers equal",
+        ],
+    );
+
+    let mut all_equal = true;
+    let mut wall_1_worker = 1u128;
+    let mut push_row = |table: &mut Table,
+                        workers: usize,
+                        counts: &BTreeMap<Answer, usize>,
+                        stats: ClusterStats,
+                        micros: u128,
+                        speedup_base: u128,
+                        killed: bool| {
+        let equal = *counts == baseline;
+        all_equal = all_equal && equal;
+        table.push_row(vec![
+            workers.to_string(),
+            stats.shards.to_string(),
+            micros.to_string(),
+            format!("{:.2}x", speedup_base as f64 / micros as f64),
+            counts.values().sum::<usize>().to_string(),
+            format!("{:.0}", stats.shipped_bytes as f64 / 1024.0),
+            stats.steals.to_string(),
+            stats.reassignments.to_string(),
+            killed.to_string(),
+            equal.to_string(),
+        ]);
+        equal
+    };
+
+    let mut shipped_at_max = 0.0;
+    let mut steals_at_max = 0.0;
+    for workers in [1usize, 2, 4] {
+        let (counts, stats, micros) = run_once(workers, None, None);
+        if workers == 1 {
+            wall_1_worker = micros;
+            table.push_metric("wall_micros_1_worker", micros as f64);
+            table.push_metric(
+                "distribution_overhead_x",
+                micros as f64 / sequential_micros as f64,
+            );
+        } else {
+            table.push_metric(
+                &format!("speedup_{workers}_workers"),
+                wall_1_worker as f64 / micros as f64,
+            );
+        }
+        if workers == 4 {
+            shipped_at_max = stats.shipped_bytes as f64;
+            steals_at_max = stats.steals as f64;
+        }
+        push_row(
+            &mut table,
+            workers,
+            &counts,
+            stats,
+            micros,
+            wall_1_worker,
+            false,
+        );
+    }
+
+    // The fault row: kill worker 0 after two small pages, mid-shard.
+    let (counts, stats, micros) = run_once(
+        2,
+        Some(Kill {
+            worker: 0,
+            after_pages: 2,
+        }),
+        Some(32),
+    );
+    assert_eq!(stats.worker_failures, 1, "kill row stats: {stats:?}");
+    push_row(&mut table, 2, &counts, stats, micros, wall_1_worker, true);
+    table.push_metric("kill_reassignments", stats.reassignments as f64);
+
+    table.push_metric("sequential_exec_micros", sequential_micros as f64);
+    table.push_metric("input_facts", db.len() as f64);
+    table.push_metric("shipped_bytes_at_max", shipped_at_max);
+    table.push_metric("steals_at_max", steals_at_max);
+    // The acceptance gate: 1.0 iff every row — the kill row included —
+    // reproduced the sequential answer multiset exactly.
+    table.push_metric("answers_equal", if all_equal { 1.0 } else { 0.0 });
+    table
+}
+
 /// Runs one experiment by identifier.
 pub fn run_experiment(id: &str, quick: bool) -> Option<Table> {
     match id.to_ascii_uppercase().as_str() {
@@ -2245,6 +2444,7 @@ pub fn run_experiment(id: &str, quick: bool) -> Option<Table> {
         "E17" => Some(e17_batched_enumeration(quick)),
         "E18" => Some(e18_aggregate_fast_paths(quick)),
         "E19" => Some(e19_network_serving(quick)),
+        "E20" => Some(e20_distributed_execution(quick)),
         _ => None,
     }
 }
@@ -2253,7 +2453,7 @@ pub fn run_experiment(id: &str, quick: bool) -> Option<Table> {
 pub fn run_all(quick: bool) -> Vec<Table> {
     [
         "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14",
-        "E15", "E16", "E17", "E18", "E19",
+        "E15", "E16", "E17", "E18", "E19", "E20",
     ]
     .iter()
     .filter_map(|id| run_experiment(id, quick))

@@ -43,20 +43,25 @@ impl Default for UniversityConfig {
     }
 }
 
+/// Source text of the running example's ontology — exported so experiments
+/// that ship the OMQ over a wire (E20) send exactly what
+/// [`university_ontology`] parses.
+pub const UNIVERSITY_ONTOLOGY_TEXT: &str = "Researcher(x) -> exists y. HasOffice(x, y)\n\
+                                            HasOffice(x, y) -> Office(y)\n\
+                                            Office(x) -> exists y. InBuilding(x, y)";
+
+/// Source text of the running example's query (see
+/// [`UNIVERSITY_ONTOLOGY_TEXT`]).
+pub const UNIVERSITY_QUERY_TEXT: &str = "q(x1, x2, x3) :- HasOffice(x1, x2), InBuilding(x2, x3)";
+
 /// The ontology of the running example (Example 1.1).
 pub fn university_ontology() -> Ontology {
-    Ontology::parse(
-        "Researcher(x) -> exists y. HasOffice(x, y)\n\
-         HasOffice(x, y) -> Office(y)\n\
-         Office(x) -> exists y. InBuilding(x, y)",
-    )
-    .expect("static ontology parses")
+    Ontology::parse(UNIVERSITY_ONTOLOGY_TEXT).expect("static ontology parses")
 }
 
 /// The query of the running example.
 pub fn university_query() -> ConjunctiveQuery {
-    ConjunctiveQuery::parse("q(x1, x2, x3) :- HasOffice(x1, x2), InBuilding(x2, x3)")
-        .expect("static query parses")
+    ConjunctiveQuery::parse(UNIVERSITY_QUERY_TEXT).expect("static query parses")
 }
 
 /// The data schema of the running example.

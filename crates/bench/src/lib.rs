@@ -27,7 +27,10 @@
 //! * E19 — the network front end (`omq-server`): closed-loop wire fetch
 //!   latency (p50/p99), sustained request throughput, post-commit
 //!   time-to-first-page, and the pinned-cursor isolation gate under a
-//!   concurrent commit writer.
+//!   concurrent commit writer;
+//! * E20 — distributed execution (`omq-cluster`): end-to-end speedup over
+//!   real worker processes, shard-shipping volume, work-stealing placement,
+//!   and the answers-equal gate including a worker killed mid-shard.
 //!
 //! See `EXPERIMENTS.md` at the workspace root for the paper-vs-measured
 //! discussion and `cargo run -p omq-bench --bin harness --release` to

@@ -59,8 +59,9 @@ pub struct GatedMetric {
 
 /// The gated metrics: the enumeration-delay constants (E12), the pagination
 /// constants (E14), the incremental-maintenance slope (E16), the batching
-/// amortisation (E17/E18) and the network front end's serving figures plus
-/// its pinned-isolation gate (E19).
+/// amortisation (E17/E18), the network front end's serving figures plus
+/// its pinned-isolation gate (E19), and the distributed scaling figure plus
+/// its answers-equal gate including the killed-worker row (E20).
 pub const GATES: &[GatedMetric] = &[
     GatedMetric {
         experiment: "E12",
@@ -159,6 +160,26 @@ pub const GATES: &[GatedMetric] = &[
         tolerance_pct: 0.0,
         abs_floor: 0.5,
     },
+    // E20's scaling figure from a 1-CPU CI runner is near 1.0 (four worker
+    // processes share one core), so the gate is loose and only catches a
+    // collapse — e.g. the work-stealing queue serialising every shard onto
+    // one worker.
+    GatedMetric {
+        experiment: "E20",
+        metric: "speedup_4_workers",
+        direction: Direction::HigherIsBetter,
+        tolerance_pct: 75.0,
+        abs_floor: 0.5,
+    },
+    // Exact gate: every E20 row — including the killed-worker row — must
+    // reproduce the sequential answer multiset.
+    GatedMetric {
+        experiment: "E20",
+        metric: "answers_equal",
+        direction: Direction::HigherIsBetter,
+        tolerance_pct: 0.0,
+        abs_floor: 0.5,
+    },
 ];
 
 /// The gated metrics (see [`GATES`]).
@@ -181,7 +202,7 @@ pub fn gated_experiments() -> Vec<&'static str> {
 /// Version of the gate set; bumping it retires old baselines (the
 /// fingerprint changes, so `check` reports "no baseline" instead of
 /// comparing incomparable runs).
-pub const GATE_SET_VERSION: u32 = 2;
+pub const GATE_SET_VERSION: u32 = 3;
 
 /// The config fingerprint a run is keyed by: the size mode (quick vs full
 /// sweeps measure different databases) and the gate-set version.
@@ -708,6 +729,8 @@ mod tests {
             ("E19/qps_at_max", 1_500.0),
             ("E19/post_commit_ttfp_us_at_max", 4_000.0),
             ("E19/answers_equal", 1.0),
+            ("E20/speedup_4_workers", 1.2),
+            ("E20/answers_equal", 1.0),
         ])
     }
 

@@ -1,0 +1,17 @@
+//! Standalone cluster worker: dials the coordinator named by
+//! `OMQ_CLUSTER_WORKER_ADDR` and serves shards until dismissed.
+//!
+//! The coordinator spawns this binary once per worker when configured with
+//! `WorkerSpawn::Command`; all parameters (address, worker index, fault
+//! injection for tests) arrive through the environment, so there is no
+//! argument parsing here.
+
+fn main() {
+    if !omq_cluster::maybe_run_worker() {
+        eprintln!(
+            "omq-cluster-worker: not spawned by a coordinator ({} is unset)",
+            omq_cluster::worker::WORKER_ADDR_ENV
+        );
+        std::process::exit(2);
+    }
+}

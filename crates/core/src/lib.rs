@@ -19,6 +19,10 @@
 //! * **shared-nothing parallel execution**: Gaifman-component sharding of
 //!   the chase and the enumeration pipeline across scoped threads
 //!   (`QueryPlan::execute_parallel`), see [`parallel`];
+//! * the **distributed execution seam**: [`RemoteShard`] answer sources and
+//!   `AnswerStream::from_remote`, which run the same cross-shard reduce over
+//!   pages produced by worker processes (used by `omq-cluster`), see
+//!   [`remote`];
 //! * brute-force baselines used by tests and benchmarks, see [`baseline`].
 //!
 //! All three enumeration modes are served by **one lazy cursor API**:
@@ -45,6 +49,7 @@ pub mod partial_enum;
 pub mod plan;
 pub mod preprocess;
 pub mod progress;
+pub mod remote;
 pub mod single_testing;
 pub mod stream;
 pub mod yannakakis;
@@ -61,6 +66,7 @@ pub use partial_enum::PartialEnumerator;
 pub use plan::{PreparedInstance, QueryPlan};
 pub use preprocess::{FreeConnexStructure, JoinCsr, PlanSkeleton};
 pub use progress::{ProgressIndex, ProgressTree};
+pub use remote::RemoteShard;
 pub use stream::AnswerStream;
 
 /// Convenient `Result` alias for fallible operations in this crate.

@@ -43,6 +43,7 @@ use crate::parallel::WildcardMerge;
 use crate::partial_enum::PartialEnumerator;
 use crate::plan::{PreparedInstance, QueryPlan};
 use crate::preprocess::FreeConnexStructure;
+use crate::remote::RemoteState;
 use crate::Result;
 use omq_data::{Answer, Database, MultiTuple, PartialTuple, Semantics, Value};
 use std::collections::VecDeque;
@@ -86,6 +87,9 @@ enum Inner {
         merge: Option<WildcardMerge<MultiTuple>>,
         pending: VecDeque<MultiTuple>,
     },
+    /// Answers arrive pre-enumerated from remote shard executors; only the
+    /// cross-shard reduce runs here.  See [`crate::remote`].
+    Remote(RemoteState),
 }
 
 impl std::fmt::Debug for Inner {
@@ -94,6 +98,7 @@ impl std::fmt::Debug for Inner {
             Inner::Complete { current, .. } => ("Complete", current.is_some()),
             Inner::Partial { current, .. } => ("Partial", current.is_some()),
             Inner::Multi { current, .. } => ("Multi", current.is_some()),
+            Inner::Remote(_) => ("Remote", true),
         };
         f.debug_struct("AnswerStreamInner")
             .field("semantics", &name)
@@ -156,6 +161,22 @@ impl AnswerStream {
         })
     }
 
+    /// Builds a stream over remote shard sources (no local shards; the
+    /// cross-shard reduce runs in [`RemoteState`]).  The public entry point
+    /// is [`AnswerStream::from_remote`] in [`crate::remote`], which performs
+    /// the tractability check before constructing the state.
+    pub(crate) fn with_remote(plan: QueryPlan, semantics: Semantics, state: RemoteState) -> Self {
+        AnswerStream {
+            semantics,
+            plan,
+            shards: Arc::new(Vec::new()),
+            next_shard: 0,
+            inner: Inner::Remote(state),
+            error: None,
+            emitted: 0,
+        }
+    }
+
     /// The semantics this stream enumerates.  Every yielded [`Answer`] is of
     /// the matching variant.
     pub fn semantics(&self) -> Semantics {
@@ -216,10 +237,18 @@ impl AnswerStream {
         if k == 0 || self.error.is_some() {
             return 0;
         }
-        let produced = match self.semantics {
-            Semantics::Complete => self.batch_complete(k, sink),
-            Semantics::MinimalPartial => self.batch_partial(k, sink),
-            Semantics::MinimalPartialMulti => self.batch_multi(k, sink),
+        // Remote sources carry their own reduce; the semantics dispatch
+        // below is for locally chased shards.
+        let produced = if let Inner::Remote(state) = &mut self.inner {
+            let (produced, error) = state.pull(k, sink);
+            self.error = error;
+            produced
+        } else {
+            match self.semantics {
+                Semantics::Complete => self.batch_complete(k, sink),
+                Semantics::MinimalPartial => self.batch_partial(k, sink),
+                Semantics::MinimalPartialMulti => self.batch_multi(k, sink),
+            }
         };
         self.emitted += produced;
         produced
@@ -593,6 +622,14 @@ impl Iterator for AnswerStream {
     fn next(&mut self) -> Option<Self::Item> {
         if self.error.is_some() {
             return None;
+        }
+        if let Inner::Remote(state) = &mut self.inner {
+            let mut out = None;
+            let (produced, error) = state.pull(1, &mut |a| out = Some(a));
+            debug_assert!(produced <= 1);
+            self.error = error;
+            self.emitted += produced;
+            return out;
         }
         let answer = match self.semantics {
             Semantics::Complete => self.next_complete(),

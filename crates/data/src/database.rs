@@ -856,6 +856,57 @@ impl Database {
         let args: Vec<String> = fact.args.iter().map(|&v| self.display_value(v)).collect();
         format!("{}({})", self.schema.name(fact.rel), args.join(","))
     }
+
+    // ------------------------------------------------------------------
+    // Named-row export/import (process-portable shard serialisation).
+    // ------------------------------------------------------------------
+
+    /// Exports every fact as `(relation name, constant names)` rows — the
+    /// process-portable form of a database: names are stable across
+    /// interners, while [`ConstId`]s and [`RelId`]s are not.  The cluster
+    /// coordinator ships shards this way and workers rebuild them with
+    /// [`Database::from_fact_rows`]; `export ∘ import` preserves the fact
+    /// *set* exactly (order included).
+    ///
+    /// Fails with [`DataError::UnexportableNull`] if a fact mentions a
+    /// labelled null: nulls have no name, and base databases — the only
+    /// thing worth shipping — never contain them (nulls are minted by the
+    /// chase, which runs downstream of export).
+    pub fn export_fact_rows(&self) -> Result<Vec<(String, Vec<String>)>> {
+        self.facts
+            .iter()
+            .map(|fact| {
+                let args = fact
+                    .args
+                    .iter()
+                    .map(|&v| match v {
+                        Value::Const(c) => Ok(self.const_name(c).to_owned()),
+                        Value::Null(_) => Err(DataError::UnexportableNull {
+                            relation: self.schema.name(fact.rel).to_owned(),
+                        }),
+                    })
+                    .collect::<Result<Vec<String>>>()?;
+                Ok((self.schema.name(fact.rel).to_owned(), args))
+            })
+            .collect()
+    }
+
+    /// Rebuilds a database from named rows (the inverse of
+    /// [`Database::export_fact_rows`]) over `schema`.  Constants are
+    /// interned in row order, so two processes importing the same rows
+    /// agree on every constant *name* — which is all the wire carries —
+    /// even though their numeric [`ConstId`]s need not match a third
+    /// process's.
+    pub fn from_fact_rows<S: AsRef<str>>(
+        schema: Schema,
+        rows: &[(String, Vec<S>)],
+    ) -> Result<Database> {
+        let mut db = Database::new(schema);
+        for (relation, args) in rows {
+            db.add_named_fact(relation, args)?;
+        }
+        Ok(db)
+    }
 }
 
 /// The identity conversion, so that APIs taking `impl AsRef<Database>` (plan
@@ -1243,5 +1294,42 @@ mod tests {
         let zoe = Value::Const(db.const_id("zoe").unwrap());
         assert_eq!(db.facts_with(researcher, 0, zoe).len(), 1);
         assert_eq!(db.facts_of(researcher).len(), 4);
+    }
+
+    #[test]
+    fn named_rows_round_trip_and_shards_stay_portable() {
+        let db = office_db();
+        let rows = db.export_fact_rows().unwrap();
+        assert_eq!(rows.len(), db.len());
+        assert_eq!(rows[3].0, "HasOffice");
+        assert_eq!(rows[3].1, vec!["mary".to_owned(), "room1".to_owned()]);
+        let rebuilt = Database::from_fact_rows(db.schema().clone(), &rows).unwrap();
+        assert_eq!(rebuilt.len(), db.len());
+        for (fact, other) in db.facts().iter().zip(rebuilt.facts()) {
+            assert_eq!(db.display_fact(fact), rebuilt.display_fact(other));
+        }
+        // Component shards export/import independently: the re-imported
+        // shard renders the same facts even though its interner is fresh.
+        for shard in db.shard_by_component() {
+            let rows = shard.export_fact_rows().unwrap();
+            let rebuilt = Database::from_fact_rows(shard.schema().clone(), &rows).unwrap();
+            let render = |d: &Database| -> Vec<String> {
+                d.facts().iter().map(|f| d.display_fact(f)).collect()
+            };
+            assert_eq!(render(&shard), render(&rebuilt));
+        }
+    }
+
+    #[test]
+    fn null_bearing_facts_refuse_to_export() {
+        let mut db = office_db();
+        let null = db.fresh_null();
+        let researcher = db.schema().relation_id("Researcher").unwrap();
+        db.add_fact(Fact::new(researcher, vec![Value::Null(null)]))
+            .unwrap();
+        assert!(matches!(
+            db.export_fact_rows(),
+            Err(DataError::UnexportableNull { relation }) if relation == "Researcher"
+        ));
     }
 }

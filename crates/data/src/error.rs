@@ -37,6 +37,14 @@ pub enum DataError {
     /// A multi-wildcard tuple violated the canonical numbering condition
     /// (a wildcard `*_j` with `j > 1` must be preceded by `*_{j-1}`).
     NonCanonicalWildcards,
+    /// A fact mentioning a labelled null was exported as named rows.  Rows
+    /// travel by constant *name* (e.g. between cluster processes), and a
+    /// null has none; base databases — the only thing shipped — never
+    /// contain nulls (nulls are minted by the chase, downstream of export).
+    UnexportableNull {
+        /// The relation of the offending fact.
+        relation: String,
+    },
     /// A [`crate::ColumnarIndex`] was executed against a database whose
     /// revision differs from the one the index was built at (e.g. a cloned
     /// index outliving a mutation, or a reused shard that was refreshed
@@ -81,6 +89,11 @@ impl fmt::Display for DataError {
                     "multi-wildcard tuple does not use canonical wildcard numbering"
                 )
             }
+            DataError::UnexportableNull { relation } => write!(
+                f,
+                "a fact of relation `{relation}` mentions a labelled null \
+                 and cannot be exported as named rows"
+            ),
             DataError::StaleIndex {
                 index_revision,
                 database_revision,

@@ -56,6 +56,33 @@ const MAX_SINGLE_ANSWER_BYTES: usize = MAX_FRAME_LEN - 1024;
 /// they could themselves approach the frame limit.
 const MAX_ERROR_MESSAGE_BYTES: usize = 1024;
 
+/// Per-connection resource quotas.
+///
+/// Cursors and pinned snapshots are the two handle kinds a client can
+/// accumulate; each pins data (a snapshot keeps its epoch's store alive,
+/// a cursor additionally owns an enumeration state), so without a cap one
+/// connection could pin unbounded memory with a loop of `pin`/`open`
+/// requests.  Exceeding a quota is a *recoverable* client fault
+/// ([`ErrorCode::QuotaExceeded`], 429): the request fails, the connection
+/// stays up, and releasing any handle makes room.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConnectionQuotas {
+    /// Maximum simultaneously open cursors.
+    pub max_cursors: usize,
+    /// Maximum simultaneously pinned snapshots (explicit `pin` handles;
+    /// cursor-internal snapshots count against `max_cursors` instead).
+    pub max_snapshots: usize,
+}
+
+impl Default for ConnectionQuotas {
+    fn default() -> Self {
+        ConnectionQuotas {
+            max_cursors: 1024,
+            max_snapshots: 4096,
+        }
+    }
+}
+
 /// The server state every connection shares: the engine behind its lock.
 #[derive(Debug)]
 pub struct Shared {
@@ -98,13 +125,20 @@ pub struct Connection {
     snapshots: FxHashMap<u64, Snapshot>,
     next_handle: u64,
     closing: Option<CloseReason>,
+    quotas: ConnectionQuotas,
     /// Scratch buffer for batched pulls, recycled across fetches.
     scratch: Vec<Answer>,
 }
 
 impl Connection {
-    /// A fresh connection with empty buffers and no handles.
+    /// A fresh connection with empty buffers, no handles, and the default
+    /// [`ConnectionQuotas`].
     pub fn new() -> Self {
+        Connection::with_quotas(ConnectionQuotas::default())
+    }
+
+    /// A fresh connection with explicit resource quotas.
+    pub fn with_quotas(quotas: ConnectionQuotas) -> Self {
         Connection {
             decoder: FrameDecoder::new(),
             outbuf: Vec::new(),
@@ -113,6 +147,7 @@ impl Connection {
             snapshots: FxHashMap::default(),
             next_handle: 1,
             closing: None,
+            quotas,
             scratch: Vec::new(),
         }
     }
@@ -180,6 +215,16 @@ impl Connection {
             } => register(&name, &ontology, &query, shared),
             ClientFrame::Commit { ops } => commit(ops, shared),
             ClientFrame::Pin => {
+                if self.snapshots.len() >= self.quotas.max_snapshots {
+                    return ServerFrame::Error {
+                        code: ErrorCode::QuotaExceeded,
+                        message: format!(
+                            "connection quota of {} pinned snapshots reached; \
+                             release one and retry",
+                            self.quotas.max_snapshots
+                        ),
+                    };
+                }
                 let snap = shared.engine.read().expect("engine lock").snapshot();
                 let epoch = snap.epoch();
                 let handle = self.fresh_handle();
@@ -196,6 +241,16 @@ impl Connection {
                 offset,
                 limit,
             } => {
+                if self.cursors.len() >= self.quotas.max_cursors {
+                    return ServerFrame::Error {
+                        code: ErrorCode::QuotaExceeded,
+                        message: format!(
+                            "connection quota of {} open cursors reached; \
+                             close one and retry",
+                            self.quotas.max_cursors
+                        ),
+                    };
+                }
                 let pinned = match self.resolve_pin(snapshot) {
                     Ok(pinned) => pinned,
                     Err(response) => return response,
@@ -240,7 +295,7 @@ impl Connection {
                             semantics,
                         }
                     }
-                    Err(e) => error_frame(ErrorCode::for_serve(&e), &e),
+                    Err(e) => error_frame(crate::errors::wire_code_for_serve(&e), &e),
                 }
             }
             ClientFrame::Fetch { cursor, k } => self.fetch(cursor, k),
@@ -270,7 +325,7 @@ impl Connection {
                         exists: response.exists,
                         epoch,
                     },
-                    Err(e) => error_frame(ErrorCode::for_serve(&e), &e),
+                    Err(e) => error_frame(crate::errors::wire_code_for_serve(&e), &e),
                 }
             }
             ClientFrame::Exists {
@@ -295,7 +350,7 @@ impl Connection {
                 };
                 match probed {
                     Ok(exists) => ServerFrame::Exists { exists, epoch },
-                    Err(e) => error_frame(ErrorCode::for_serve(&e), &e),
+                    Err(e) => error_frame(crate::errors::wire_code_for_serve(&e), &e),
                 }
             }
             ClientFrame::CloseCursor { cursor } => {
@@ -538,7 +593,7 @@ fn register(name: &str, ontology: &str, query: &str, shared: &Shared) -> ServerF
             id: id.index() as u64,
             name: name.to_owned(),
         },
-        Err(e) => error_frame(ErrorCode::for_serve(&e), &e),
+        Err(e) => error_frame(crate::errors::wire_code_for_serve(&e), &e),
     }
 }
 
@@ -557,7 +612,7 @@ fn commit(ops: Vec<TxnOp>, shared: &Shared) -> ServerFrame {
             new_facts: receipt.new_facts as u64,
             duplicate_facts: receipt.duplicate_facts as u64,
         },
-        Err(e) => error_frame(ErrorCode::for_serve(&e), &e),
+        Err(e) => error_frame(crate::errors::wire_code_for_serve(&e), &e),
     }
 }
 
@@ -788,8 +843,13 @@ mod tests {
     #[test]
     fn pipelined_bursts_stop_at_high_water_and_resume() {
         let shared = shared();
-        let mut conn = Connection::new();
         const N: usize = 16_384;
+        // The burst pins N snapshots on purpose; lift the quota so what is
+        // under test stays the backpressure, not the quota.
+        let mut conn = Connection::with_quotas(ConnectionQuotas {
+            max_snapshots: N,
+            ..ConnectionQuotas::default()
+        });
         let mut burst = Vec::new();
         for _ in 0..N {
             burst.extend_from_slice(&ClientFrame::Pin.encode());
@@ -849,6 +909,74 @@ mod tests {
             }
             other => panic!("expected bounded error frame, got {other:?}"),
         }
+    }
+
+    /// Exceeding a handle quota is a 429 that leaves the connection up;
+    /// releasing any handle makes room and the retry succeeds.
+    #[test]
+    fn quota_exceeded_is_recoverable_by_releasing_a_handle() {
+        let shared = shared();
+        let mut conn = Connection::with_quotas(ConnectionQuotas {
+            max_cursors: 1,
+            max_snapshots: 2,
+        });
+        conn.on_bytes(
+            &ClientFrame::Register {
+                name: "q".into(),
+                ontology: "Researcher(x) -> exists y. HasOffice(x, y)".into(),
+                query: "q(x) :- Researcher(x)".into(),
+            }
+            .encode(),
+            &shared,
+        );
+        let open = ClientFrame::OpenCursor {
+            query: crate::protocol::QueryTarget::Name("q".into()),
+            semantics: Semantics::Complete,
+            snapshot: None,
+            offset: 0,
+            limit: None,
+        };
+        // Two pins fit, the third is over quota.
+        for frame in [&ClientFrame::Pin, &ClientFrame::Pin, &ClientFrame::Pin] {
+            conn.on_bytes(&frame.encode(), &shared);
+        }
+        // One cursor fits, the second is over quota.
+        conn.on_bytes(&open.encode(), &shared);
+        conn.on_bytes(&open.encode(), &shared);
+        let responses = drain(&mut conn);
+        assert!(matches!(
+            responses[1],
+            ServerFrame::Pinned { snapshot: 1, .. }
+        ));
+        assert!(matches!(responses[2], ServerFrame::Pinned { .. }));
+        let ServerFrame::Error { code, message } = &responses[3] else {
+            panic!("expected quota error, got {:?}", responses[3]);
+        };
+        assert_eq!(*code, ErrorCode::QuotaExceeded);
+        assert!(code.is_client_error(), "quota faults are the client's");
+        assert!(message.contains("snapshots"), "{message}");
+        assert!(matches!(responses[4], ServerFrame::CursorOpened { .. }));
+        assert!(matches!(
+            responses[5],
+            ServerFrame::Error {
+                code: ErrorCode::QuotaExceeded,
+                ..
+            }
+        ));
+        assert!(conn.closing().is_none(), "connection survives the 429s");
+        assert_eq!(conn.snapshot_count(), 2);
+        assert_eq!(conn.cursor_count(), 1);
+
+        // Release one snapshot; the retry now fits.
+        conn.on_bytes(
+            &ClientFrame::ReleaseSnapshot { snapshot: 1 }.encode(),
+            &shared,
+        );
+        conn.on_bytes(&ClientFrame::Pin.encode(), &shared);
+        let responses = drain(&mut conn);
+        assert!(matches!(responses[0], ServerFrame::SnapshotReleased { .. }));
+        assert!(matches!(responses[1], ServerFrame::Pinned { .. }));
+        assert_eq!(conn.snapshot_count(), 2);
     }
 
     /// Error messages echoing client-supplied text are clipped so the

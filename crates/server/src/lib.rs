@@ -7,10 +7,11 @@
 //! preprocessing, and a cursor's pages replay one pinned epoch no matter
 //! what commits concurrently.  This crate is that wire:
 //!
-//! - [`protocol`] — the length-prefixed JSON frame codec (hand-rolled on
-//!   [`json`]; the workspace is hermetic, no crates.io), incremental
-//!   reassembly under torn reads, wire [`ErrorCode`]s partitioned into
-//!   client faults (4xx) and server failures (5xx);
+//! - [`protocol`] — the server frame grammar over the shared `omq-wire`
+//!   codec (length-prefixed JSON frames, hand-rolled on [`json`]; the
+//!   workspace is hermetic, no crates.io), incremental reassembly under
+//!   torn reads, wire [`ErrorCode`]s partitioned into client faults (4xx)
+//!   and server failures (5xx);
 //! - [`conn`] — per-connection state machines holding connection-scoped
 //!   snapshot and cursor handles, socket-free and unit-testable;
 //! - [`server`] — the accept/event loop over nonblocking `std::net`
@@ -38,12 +39,14 @@ mod errors;
 
 pub mod client;
 pub mod conn;
-pub mod json;
 pub mod protocol;
 pub mod server;
 
+pub use omq_wire::json;
+
 pub use client::{Client, ClientError, WireCommit, WireCount, WireCursor, WirePage, WireSnapshot};
-pub use conn::{CloseReason, Connection, Shared};
+pub use conn::{CloseReason, Connection, ConnectionQuotas, Shared};
+pub use errors::wire_code_for_serve;
 pub use protocol::{
     answer_wire_len, render_answer, ClientFrame, ErrorCode, FrameDecoder, QueryTarget, ServerFrame,
     TxnOp, MAX_FRAME_LEN, MAX_PAGE, MAX_PAGE_BYTES, MAX_WIRE_INT,

@@ -2,10 +2,12 @@
 //!
 //! Every frame on the wire is a 4-byte big-endian length followed by that
 //! many bytes of UTF-8 JSON — one object per frame, tagged by its `"t"`
-//! member.  The same framing runs in both directions; [`ClientFrame`] is
-//! what clients send, [`ServerFrame`] what the server answers, and both
-//! sides reassemble frames from arbitrary byte chunks with [`FrameDecoder`]
-//! (TCP does not respect frame boundaries).
+//! member.  The framing substrate (encoder, [`FrameDecoder`] reassembly
+//! under torn reads, the [`MAX_FRAME_LEN`] cap, [`ErrorCode`]s and the
+//! payload field accessors) lives in `omq-wire`, shared with the cluster
+//! protocol; this module defines the *server* frame grammar on top of it:
+//! [`ClientFrame`] is what clients send, [`ServerFrame`] what the server
+//! answers.
 //!
 //! # Grammar
 //!
@@ -21,9 +23,9 @@
 //!
 //! Answers travel as arrays of strings: constants by their interned name,
 //! the single wildcard as `"*"`, multi-wildcards as `"*1"`, `"*2"`, … — the
-//! rendering is [`render_answer`], shared by the server, the load harness
-//! and the end-to-end tests so "byte-identical to an in-process drain" is
-//! checkable by string equality.
+//! rendering is [`render_answer`], shared by the server, the cluster, the
+//! load harness and the end-to-end tests so "byte-identical to an
+//! in-process drain" is checkable by string equality.
 //!
 //! # Error discipline
 //!
@@ -36,13 +38,19 @@
 //! codes below 500 are the client's fault ([`ErrorCode::is_client_error`]);
 //! 5xx codes are server-side failures.
 
-use crate::json::{self, Json};
-use omq_data::{Answer, Database, MultiValue, PartialValue, Semantics};
-use std::fmt;
+use crate::json::Json;
+use omq_data::Semantics;
+use omq_wire::{
+    bool_field, decode_object, field, opt_u64_field, semantics_field, semantics_name, str_field,
+    u64_field, violation,
+};
 
-/// Hard cap on the payload length of one frame (8 MiB).  A declared length
-/// beyond this is treated as a corrupt stream, not a large frame.
-pub const MAX_FRAME_LEN: usize = 8 * 1024 * 1024;
+// The wire substrate, re-exported so `crate::protocol::{frame_payload, …}`
+// keeps working for the connection layer and downstream users.
+pub use omq_wire::{
+    answer_wire_len, frame_payload, render_answer, ErrorCode, FrameDecoder, FrameTooLarge,
+    ProtocolViolation, MAX_FRAME_LEN, MAX_WIRE_INT,
+};
 
 /// Upper bound on the `k` of one fetch — pagination is the backpressure
 /// mechanism, so a single page is kept bounded.
@@ -56,13 +64,6 @@ pub const MAX_PAGE: usize = 65_536;
 /// far below [`MAX_FRAME_LEN`] by construction, and `done` — not page
 /// length — is the end-of-stream signal.
 pub const MAX_PAGE_BYTES: usize = 1024 * 1024;
-
-/// Integers on the wire are carried as exact JSON integers in
-/// `0..=MAX_WIRE_INT` (`i64::MAX`).  Every wire integer is a sequential
-/// counter (handle, epoch, count, page size), so the bound is nowhere near
-/// reachable; values above it would degrade to floating point in many JSON
-/// implementations.
-pub const MAX_WIRE_INT: u64 = i64::MAX as u64;
 
 /// One transaction operation inside a [`ClientFrame::Commit`] batch.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -256,278 +257,10 @@ pub enum ServerFrame {
     },
 }
 
-/// Machine-readable wire error codes.
-///
-/// Codes below 500 mean the request was at fault and retrying it unchanged
-/// will fail again; 5xx codes mean the server failed and the request may be
-/// valid.  The split is the wire-level surface of the unified `omq::Error`:
-/// see `omq::Error::wire_code` for the full mapping table.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum ErrorCode {
-    /// 400 — the frame was not a valid protocol request (bad JSON, missing
-    /// or ill-typed field, unknown tag).
-    MalformedFrame,
-    /// 404 — the named or numbered query is not in the catalogue.
-    UnknownQuery,
-    /// 405 — the cursor handle is unknown on this connection.
-    UnknownCursor,
-    /// 406 — the snapshot handle is unknown on this connection.
-    UnknownSnapshot,
-    /// 409 — the query name is already registered.
-    DuplicateQuery,
-    /// 410 — the request does not fit the store's schema (unknown relation,
-    /// arity mismatch, unknown constant, ill-formed tuple).
-    SchemaMismatch,
-    /// 411 — the submitted query/ontology was rejected at compile time
-    /// (parse error, not guarded, not acyclic, not free-connex).
-    BadQuery,
-    /// 413 — the frame's declared length exceeds [`MAX_FRAME_LEN`]; fatal,
-    /// the stream cannot be resynchronised.
-    FrameTooLarge,
-    /// 500 — a server-side failure (internal invariant, resource exhaustion,
-    /// poisoned lock); not the request's fault.
-    Internal,
-}
-
-impl ErrorCode {
-    /// The numeric code carried on the wire.
-    pub fn as_u16(self) -> u16 {
-        match self {
-            ErrorCode::MalformedFrame => 400,
-            ErrorCode::UnknownQuery => 404,
-            ErrorCode::UnknownCursor => 405,
-            ErrorCode::UnknownSnapshot => 406,
-            ErrorCode::DuplicateQuery => 409,
-            ErrorCode::SchemaMismatch => 410,
-            ErrorCode::BadQuery => 411,
-            ErrorCode::FrameTooLarge => 413,
-            ErrorCode::Internal => 500,
-        }
-    }
-
-    /// Decodes a wire code.
-    pub fn from_u16(code: u16) -> Option<ErrorCode> {
-        let code = match code {
-            400 => ErrorCode::MalformedFrame,
-            404 => ErrorCode::UnknownQuery,
-            405 => ErrorCode::UnknownCursor,
-            406 => ErrorCode::UnknownSnapshot,
-            409 => ErrorCode::DuplicateQuery,
-            410 => ErrorCode::SchemaMismatch,
-            411 => ErrorCode::BadQuery,
-            413 => ErrorCode::FrameTooLarge,
-            500 => ErrorCode::Internal,
-            _ => return None,
-        };
-        Some(code)
-    }
-
-    /// Every wire error code, for exhaustive table tests.
-    pub const ALL: [ErrorCode; 9] = [
-        ErrorCode::MalformedFrame,
-        ErrorCode::UnknownQuery,
-        ErrorCode::UnknownCursor,
-        ErrorCode::UnknownSnapshot,
-        ErrorCode::DuplicateQuery,
-        ErrorCode::SchemaMismatch,
-        ErrorCode::BadQuery,
-        ErrorCode::FrameTooLarge,
-        ErrorCode::Internal,
-    ];
-
-    /// `true` iff the request was at fault (4xx): retrying it unchanged will
-    /// fail again.  `false` means a server-side failure (5xx).
-    pub fn is_client_error(self) -> bool {
-        self.as_u16() < 500
-    }
-}
-
-impl fmt::Display for ErrorCode {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let kind = match self {
-            ErrorCode::MalformedFrame => "malformed-frame",
-            ErrorCode::UnknownQuery => "unknown-query",
-            ErrorCode::UnknownCursor => "unknown-cursor",
-            ErrorCode::UnknownSnapshot => "unknown-snapshot",
-            ErrorCode::DuplicateQuery => "duplicate-query",
-            ErrorCode::SchemaMismatch => "schema-mismatch",
-            ErrorCode::BadQuery => "bad-query",
-            ErrorCode::FrameTooLarge => "frame-too-large",
-            ErrorCode::Internal => "internal",
-        };
-        write!(f, "{} {kind}", self.as_u16())
-    }
-}
-
-/// A payload that was framed correctly but is not a valid protocol request.
-/// Answered with [`ErrorCode::MalformedFrame`]; never fatal.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ProtocolViolation {
-    /// What was wrong with the payload.
-    pub message: String,
-}
-
-impl fmt::Display for ProtocolViolation {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "malformed frame: {}", self.message)
-    }
-}
-
-impl std::error::Error for ProtocolViolation {}
-
-fn violation(message: impl Into<String>) -> ProtocolViolation {
-    ProtocolViolation {
-        message: message.into(),
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Framing: length prefix + reassembly.
-// ---------------------------------------------------------------------------
-
-/// Encodes one payload into a length-prefixed frame.
-///
-/// Never panics on size: a payload above [`MAX_FRAME_LEN`] is framed
-/// faithfully and it is the *peer* that rejects it as a corrupt stream.
-/// Well-behaved senders keep payloads under the cap — the server bounds
-/// its pages by [`MAX_PAGE_BYTES`], clips error messages, and degrades
-/// anything still oversized to a bounded error frame before it reaches
-/// the wire (see `Connection::send`).
-pub fn frame_payload(payload: &[u8]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(4 + payload.len());
-    out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
-    out.extend_from_slice(payload);
-    out
-}
-
-/// A corrupt length prefix: the declared payload length exceeds
-/// [`MAX_FRAME_LEN`].  Fatal for the connection — with the prefix untrusted
-/// there is no next frame boundary to resynchronise at.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct FrameTooLarge {
-    /// The length the prefix declared.
-    pub declared: usize,
-}
-
-impl fmt::Display for FrameTooLarge {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "declared frame length {} exceeds the {MAX_FRAME_LEN}-byte cap",
-            self.declared
-        )
-    }
-}
-
-impl std::error::Error for FrameTooLarge {}
-
-/// Incremental frame reassembly: feed it byte chunks as they arrive off the
-/// socket (torn at arbitrary boundaries), pull complete payloads out.
-#[derive(Debug, Default)]
-pub struct FrameDecoder {
-    buf: Vec<u8>,
-    start: usize,
-}
-
-impl FrameDecoder {
-    /// A fresh decoder with an empty buffer.
-    pub fn new() -> Self {
-        FrameDecoder::default()
-    }
-
-    /// Appends newly received bytes.
-    pub fn feed(&mut self, bytes: &[u8]) {
-        // Compact lazily: reclaim consumed prefix before growing the buffer.
-        if self.start > 0 && (self.start >= 4096 || self.start == self.buf.len()) {
-            self.buf.drain(..self.start);
-            self.start = 0;
-        }
-        self.buf.extend_from_slice(bytes);
-    }
-
-    /// Number of buffered, not-yet-consumed bytes.
-    pub fn pending(&self) -> usize {
-        self.buf.len() - self.start
-    }
-
-    /// Pops the next complete payload, if one has fully arrived.
-    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, FrameTooLarge> {
-        let avail = &self.buf[self.start..];
-        if avail.len() < 4 {
-            return Ok(None);
-        }
-        let len = u32::from_be_bytes([avail[0], avail[1], avail[2], avail[3]]) as usize;
-        if len > MAX_FRAME_LEN {
-            return Err(FrameTooLarge { declared: len });
-        }
-        if avail.len() < 4 + len {
-            return Ok(None);
-        }
-        let payload = avail[4..4 + len].to_vec();
-        self.start += 4 + len;
-        Ok(Some(payload))
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Payload encoding/decoding.
-// ---------------------------------------------------------------------------
-
-fn semantics_name(semantics: Semantics) -> &'static str {
-    match semantics {
-        Semantics::Complete => "complete",
-        Semantics::MinimalPartial => "minimal-partial",
-        Semantics::MinimalPartialMulti => "minimal-partial-multi",
-    }
-}
-
-fn parse_semantics(name: &str) -> Result<Semantics, ProtocolViolation> {
-    match name {
-        "complete" => Ok(Semantics::Complete),
-        "minimal-partial" => Ok(Semantics::MinimalPartial),
-        "minimal-partial-multi" => Ok(Semantics::MinimalPartialMulti),
-        other => Err(violation(format!("unknown semantics `{other}`"))),
-    }
-}
-
 fn query_target_json(query: &QueryTarget) -> Json {
     match query {
         QueryTarget::Id(id) => Json::uint(*id),
         QueryTarget::Name(name) => Json::str(name.clone()),
-    }
-}
-
-fn field<'a>(obj: &'a Json, key: &str) -> Result<&'a Json, ProtocolViolation> {
-    obj.get(key)
-        .ok_or_else(|| violation(format!("missing field `{key}`")))
-}
-
-fn str_field(obj: &Json, key: &str) -> Result<String, ProtocolViolation> {
-    field(obj, key)?
-        .as_str()
-        .map(str::to_owned)
-        .ok_or_else(|| violation(format!("field `{key}` must be a string")))
-}
-
-fn u64_field(obj: &Json, key: &str) -> Result<u64, ProtocolViolation> {
-    field(obj, key)?
-        .as_u64()
-        .ok_or_else(|| violation(format!("field `{key}` must be a non-negative integer")))
-}
-
-fn bool_field(obj: &Json, key: &str) -> Result<bool, ProtocolViolation> {
-    field(obj, key)?
-        .as_bool()
-        .ok_or_else(|| violation(format!("field `{key}` must be a boolean")))
-}
-
-fn opt_u64_field(obj: &Json, key: &str) -> Result<Option<u64>, ProtocolViolation> {
-    match obj.get(key) {
-        None | Some(Json::Null) => Ok(None),
-        Some(v) => v
-            .as_u64()
-            .map(Some)
-            .ok_or_else(|| violation(format!("field `{key}` must be a non-negative integer"))),
     }
 }
 
@@ -539,10 +272,6 @@ fn query_field(obj: &Json) -> Result<QueryTarget, ProtocolViolation> {
             .map(QueryTarget::Id)
             .ok_or_else(|| violation("field `query` must be a string or a non-negative integer")),
     }
-}
-
-fn semantics_field(obj: &Json) -> Result<Semantics, ProtocolViolation> {
-    parse_semantics(&str_field(obj, "semantics")?)
 }
 
 impl ClientFrame {
@@ -895,109 +624,35 @@ impl ServerFrame {
     }
 }
 
-fn decode_object(payload: &[u8]) -> Result<Json, ProtocolViolation> {
-    let text = std::str::from_utf8(payload).map_err(|_| violation("frame payload is not UTF-8"))?;
-    let doc = json::parse(text).map_err(|e| violation(format!("invalid JSON: {e}")))?;
-    if !matches!(doc, Json::Obj(_)) {
-        return Err(violation("frame payload must be a JSON object"));
-    }
-    Ok(doc)
-}
-
-// ---------------------------------------------------------------------------
-// Answer rendering.
-// ---------------------------------------------------------------------------
-
-/// Exact number of bytes one rendered answer occupies as a JSON array
-/// inside a `page` frame's `answers` member, mirroring [`crate::json`]'s
-/// writer escapes.  The connection layer uses it to cap pages at
-/// [`MAX_PAGE_BYTES`] *before* encoding them, so no outgoing frame can
-/// approach [`MAX_FRAME_LEN`] however large `k` or the constant names are.
-pub fn answer_wire_len(answer: &[String]) -> usize {
-    let mut len = 2; // the brackets
-    if !answer.is_empty() {
-        len += answer.len() - 1; // the commas
-    }
-    for value in answer {
-        len += 2; // the quotes
-        for c in value.chars() {
-            len += match c {
-                '"' | '\\' | '\n' | '\r' | '\t' => 2,
-                c if (c as u32) < 0x20 => 6, // \u00xx
-                c => c.len_utf8(),
-            };
-        }
-    }
-    len
-}
-
-/// Renders one answer as the wire carries it: constants by their interned
-/// name in `db`, the single wildcard as `"*"`, multi-wildcards as `"*k"`.
-///
-/// The server, the load harness and the end-to-end tests all render through
-/// this one function, so "the paged sequence is byte-identical to an
-/// in-process drain" is a plain string comparison.
-pub fn render_answer(answer: &Answer, db: &Database) -> Vec<String> {
-    match answer {
-        Answer::Complete(t) => t.iter().map(|&c| db.const_name(c).to_owned()).collect(),
-        Answer::Partial(t) => {
-            t.0.iter()
-                .map(|v| match v {
-                    PartialValue::Const(c) => db.const_name(*c).to_owned(),
-                    PartialValue::Star => "*".to_owned(),
-                })
-                .collect()
-        }
-        Answer::Multi(t) => {
-            t.0.iter()
-                .map(|v| match v {
-                    MultiValue::Const(c) => db.const_name(*c).to_owned(),
-                    MultiValue::Wild(k) => format!("*{k}"),
-                })
-                .collect()
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    /// The codec itself (torn reads, oversized prefixes, wire-length
+    /// arithmetic) is tested in `omq-wire`; what remains here is the frame
+    /// *grammar* — that it decodes through the shared codec.
     #[test]
-    fn framing_reassembles_across_torn_reads() {
-        let frames: Vec<Vec<u8>> = vec![
+    fn frames_decode_through_the_shared_codec() {
+        let frames = [
             ClientFrame::Pin.encode(),
             ClientFrame::Fetch { cursor: 7, k: 32 }.encode(),
             ClientFrame::Bye.encode(),
         ];
-        let wire: Vec<u8> = frames.concat();
-        for chunk in [1usize, 2, 3, 5, wire.len()] {
-            let mut decoder = FrameDecoder::new();
-            let mut got = Vec::new();
-            for piece in wire.chunks(chunk) {
-                decoder.feed(piece);
-                while let Some(payload) = decoder.next_frame().unwrap() {
-                    got.push(ClientFrame::decode(&payload).unwrap());
-                }
-            }
-            assert_eq!(
-                got,
-                vec![
-                    ClientFrame::Pin,
-                    ClientFrame::Fetch { cursor: 7, k: 32 },
-                    ClientFrame::Bye
-                ],
-                "chunk size {chunk}"
-            );
-            assert_eq!(decoder.pending(), 0);
-        }
-    }
-
-    #[test]
-    fn oversized_length_prefix_is_fatal() {
         let mut decoder = FrameDecoder::new();
-        decoder.feed(&(MAX_FRAME_LEN as u32 + 1).to_be_bytes());
-        assert!(decoder.next_frame().is_err());
+        decoder.feed(&frames.concat());
+        let mut got = Vec::new();
+        while let Some(payload) = decoder.next_frame().unwrap() {
+            got.push(ClientFrame::decode(&payload).unwrap());
+        }
+        assert_eq!(
+            got,
+            vec![
+                ClientFrame::Pin,
+                ClientFrame::Fetch { cursor: 7, k: 32 },
+                ClientFrame::Bye
+            ]
+        );
+        assert_eq!(decoder.pending(), 0);
     }
 
     #[test]
@@ -1016,38 +671,5 @@ mod tests {
             assert!(ClientFrame::decode(payload).is_err());
         }
         assert!(ServerFrame::decode(b"{\"t\":\"error\",\"code\":999,\"message\":\"\"}").is_err());
-    }
-
-    #[test]
-    fn answer_wire_len_matches_the_encoder_exactly() {
-        for answer in [
-            vec![],
-            vec!["plain".to_owned()],
-            vec!["*".to_owned(), "*17".to_owned()],
-            vec![
-                "quote\"".to_owned(),
-                "back\\slash".to_owned(),
-                "nl\n tab\t cr\r".to_owned(),
-                "nul\u{1}bel\u{7}".to_owned(),
-                "é\u{1F600}".to_owned(),
-                String::new(),
-            ],
-        ] {
-            let encoded =
-                Json::Arr(answer.iter().map(|v| Json::str(v.clone())).collect()).to_json();
-            assert_eq!(answer_wire_len(&answer), encoded.len(), "{answer:?}");
-        }
-    }
-
-    #[test]
-    fn error_codes_partition_into_client_and_server_faults() {
-        for code in ErrorCode::ALL {
-            assert_eq!(ErrorCode::from_u16(code.as_u16()), Some(code));
-            assert_eq!(code.is_client_error(), code.as_u16() < 500);
-            assert!(code.to_string().starts_with(&code.as_u16().to_string()));
-        }
-        assert!(ErrorCode::from_u16(200).is_none());
-        assert!(!ErrorCode::Internal.is_client_error());
-        assert!(ErrorCode::MalformedFrame.is_client_error());
     }
 }

@@ -23,7 +23,7 @@
 //! sleep keeps idle workers off the CPU.
 
 pub use crate::conn::HIGH_WATER;
-use crate::conn::{CloseReason, Connection, Shared};
+use crate::conn::{CloseReason, Connection, ConnectionQuotas, Shared};
 use omq_serve::ServingEngine;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -50,6 +50,8 @@ pub struct ServerConfig {
     pub addr: SocketAddr,
     /// Worker threads sweeping connections (≥ 1).
     pub workers: usize,
+    /// Per-connection resource quotas (open cursors, pinned snapshots).
+    pub quotas: ConnectionQuotas,
 }
 
 impl Default for ServerConfig {
@@ -57,6 +59,7 @@ impl Default for ServerConfig {
         ServerConfig {
             addr: "127.0.0.1:0".parse().expect("loopback literal"),
             workers: 2,
+            quotas: ConnectionQuotas::default(),
         }
     }
 }
@@ -105,7 +108,10 @@ impl Server {
             let inbox = Arc::clone(inbox);
             let shared = Arc::clone(&shared);
             let stop = Arc::clone(&stop);
-            threads.push(std::thread::spawn(move || worker_loop(inbox, shared, stop)));
+            let quotas = config.quotas;
+            threads.push(std::thread::spawn(move || {
+                worker_loop(inbox, shared, stop, quotas)
+            }));
         }
         {
             let stop = Arc::clone(&stop);
@@ -180,7 +186,12 @@ fn accept_loop(
     }
 }
 
-fn worker_loop(inbox: Arc<Mutex<Vec<TcpStream>>>, shared: Arc<Shared>, stop: Arc<AtomicBool>) {
+fn worker_loop(
+    inbox: Arc<Mutex<Vec<TcpStream>>>,
+    shared: Arc<Shared>,
+    stop: Arc<AtomicBool>,
+    quotas: ConnectionQuotas,
+) {
     let mut slots: Vec<Slot> = Vec::new();
     let mut read_buf = vec![0u8; READ_CHUNK];
     while !stop.load(Ordering::SeqCst) {
@@ -190,7 +201,7 @@ fn worker_loop(inbox: Arc<Mutex<Vec<TcpStream>>>, shared: Arc<Shared>, stop: Arc
             for stream in inbox.drain(..) {
                 slots.push(Slot {
                     stream,
-                    conn: Connection::new(),
+                    conn: Connection::with_quotas(quotas),
                     fatal_deadline: None,
                 });
             }

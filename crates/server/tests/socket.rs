@@ -26,6 +26,7 @@ fn start_server(workers: usize) -> Server {
         ServerConfig {
             addr: "127.0.0.1:0".parse().unwrap(),
             workers,
+            ..ServerConfig::default()
         },
     )
     .expect("bind ephemeral port")

@@ -1,0 +1,132 @@
+//! The wire error-code vocabulary, shared by every protocol.
+//!
+//! Codes below 500 mean the request was at fault and retrying it unchanged
+//! will fail again; 5xx codes mean the serving side failed and the request
+//! may be valid.  The split is the wire-level surface of the unified
+//! `omq::Error`: see `omq::Error::wire_code` for the full mapping table.
+
+use std::fmt;
+
+/// Machine-readable wire error codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorCode {
+    /// 400 — the frame was not a valid protocol request (bad JSON, missing
+    /// or ill-typed field, unknown tag).
+    MalformedFrame,
+    /// 404 — the named or numbered query is not in the catalogue.
+    UnknownQuery,
+    /// 405 — the cursor handle is unknown on this connection.
+    UnknownCursor,
+    /// 406 — the snapshot handle is unknown on this connection.
+    UnknownSnapshot,
+    /// 409 — the query name is already registered.
+    DuplicateQuery,
+    /// 410 — the request does not fit the store's schema (unknown relation,
+    /// arity mismatch, unknown constant, ill-formed tuple).
+    SchemaMismatch,
+    /// 411 — the submitted query/ontology was rejected at compile time
+    /// (parse error, not guarded, not acyclic, not free-connex).
+    BadQuery,
+    /// 413 — the frame's declared length exceeds
+    /// [`MAX_FRAME_LEN`](crate::MAX_FRAME_LEN); fatal, the stream cannot be
+    /// resynchronised.
+    FrameTooLarge,
+    /// 429 — the connection exceeded a per-connection resource quota (too
+    /// many open cursors or pinned snapshots).  Release a handle and retry.
+    QuotaExceeded,
+    /// 500 — a server-side failure (internal invariant, resource exhaustion,
+    /// poisoned lock); not the request's fault.
+    Internal,
+}
+
+impl ErrorCode {
+    /// The numeric code carried on the wire.
+    pub fn as_u16(self) -> u16 {
+        match self {
+            ErrorCode::MalformedFrame => 400,
+            ErrorCode::UnknownQuery => 404,
+            ErrorCode::UnknownCursor => 405,
+            ErrorCode::UnknownSnapshot => 406,
+            ErrorCode::DuplicateQuery => 409,
+            ErrorCode::SchemaMismatch => 410,
+            ErrorCode::BadQuery => 411,
+            ErrorCode::FrameTooLarge => 413,
+            ErrorCode::QuotaExceeded => 429,
+            ErrorCode::Internal => 500,
+        }
+    }
+
+    /// Decodes a wire code.
+    pub fn from_u16(code: u16) -> Option<ErrorCode> {
+        let code = match code {
+            400 => ErrorCode::MalformedFrame,
+            404 => ErrorCode::UnknownQuery,
+            405 => ErrorCode::UnknownCursor,
+            406 => ErrorCode::UnknownSnapshot,
+            409 => ErrorCode::DuplicateQuery,
+            410 => ErrorCode::SchemaMismatch,
+            411 => ErrorCode::BadQuery,
+            413 => ErrorCode::FrameTooLarge,
+            429 => ErrorCode::QuotaExceeded,
+            500 => ErrorCode::Internal,
+            _ => return None,
+        };
+        Some(code)
+    }
+
+    /// Every wire error code, for exhaustive table tests.
+    pub const ALL: [ErrorCode; 10] = [
+        ErrorCode::MalformedFrame,
+        ErrorCode::UnknownQuery,
+        ErrorCode::UnknownCursor,
+        ErrorCode::UnknownSnapshot,
+        ErrorCode::DuplicateQuery,
+        ErrorCode::SchemaMismatch,
+        ErrorCode::BadQuery,
+        ErrorCode::FrameTooLarge,
+        ErrorCode::QuotaExceeded,
+        ErrorCode::Internal,
+    ];
+
+    /// `true` iff the request was at fault (4xx): retrying it unchanged will
+    /// fail again.  `false` means a server-side failure (5xx).
+    pub fn is_client_error(self) -> bool {
+        self.as_u16() < 500
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = match self {
+            ErrorCode::MalformedFrame => "malformed-frame",
+            ErrorCode::UnknownQuery => "unknown-query",
+            ErrorCode::UnknownCursor => "unknown-cursor",
+            ErrorCode::UnknownSnapshot => "unknown-snapshot",
+            ErrorCode::DuplicateQuery => "duplicate-query",
+            ErrorCode::SchemaMismatch => "schema-mismatch",
+            ErrorCode::BadQuery => "bad-query",
+            ErrorCode::FrameTooLarge => "frame-too-large",
+            ErrorCode::QuotaExceeded => "quota-exceeded",
+            ErrorCode::Internal => "internal",
+        };
+        write!(f, "{} {kind}", self.as_u16())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_codes_partition_into_client_and_server_faults() {
+        for code in ErrorCode::ALL {
+            assert_eq!(ErrorCode::from_u16(code.as_u16()), Some(code));
+            assert_eq!(code.is_client_error(), code.as_u16() < 500);
+            assert!(code.to_string().starts_with(&code.as_u16().to_string()));
+        }
+        assert!(ErrorCode::from_u16(200).is_none());
+        assert!(!ErrorCode::Internal.is_client_error());
+        assert!(ErrorCode::MalformedFrame.is_client_error());
+        assert!(ErrorCode::QuotaExceeded.is_client_error());
+    }
+}

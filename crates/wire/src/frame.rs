@@ -1,0 +1,150 @@
+//! The length-prefix codec: 4-byte big-endian length + payload.
+//!
+//! Every frame on the wire — client/server and coordinator/worker alike —
+//! is a `u32` big-endian length followed by that many bytes of UTF-8 JSON.
+//! TCP does not respect frame boundaries, so both sides reassemble frames
+//! from arbitrary byte chunks with [`FrameDecoder`].
+//!
+//! ```text
+//! frame := u32_be(len) payload            len = |payload| ≤ MAX_FRAME_LEN
+//! ```
+//!
+//! The split between recoverable and fatal failures lives here: a declared
+//! length above [`MAX_FRAME_LEN`] means the prefix cannot be trusted and
+//! there is no next frame boundary to resynchronise at — [`FrameTooLarge`],
+//! fatal.  Everything *inside* a well-framed payload is the payload layer's
+//! problem and never kills the stream.
+
+use std::fmt;
+
+/// Hard cap on the payload length of one frame (8 MiB).  A declared length
+/// beyond this is treated as a corrupt stream, not a large frame.
+pub const MAX_FRAME_LEN: usize = 8 * 1024 * 1024;
+
+/// Integers on the wire are carried as exact JSON integers in
+/// `0..=MAX_WIRE_INT` (`i64::MAX`).  Every wire integer is a sequential
+/// counter (handle, epoch, count, page size), so the bound is nowhere near
+/// reachable; values above it would degrade to floating point in many JSON
+/// implementations.
+pub const MAX_WIRE_INT: u64 = i64::MAX as u64;
+
+/// Encodes one payload into a length-prefixed frame.
+///
+/// Never panics on size: a payload above [`MAX_FRAME_LEN`] is framed
+/// faithfully and it is the *peer* that rejects it as a corrupt stream.
+/// Well-behaved senders keep payloads under the cap — the server bounds
+/// its pages by encoded bytes, clips error messages, and degrades anything
+/// still oversized to a bounded error frame before it reaches the wire.
+pub fn frame_payload(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// A corrupt length prefix: the declared payload length exceeds
+/// [`MAX_FRAME_LEN`].  Fatal for the connection — with the prefix untrusted
+/// there is no next frame boundary to resynchronise at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameTooLarge {
+    /// The length the prefix declared.
+    pub declared: usize,
+}
+
+impl fmt::Display for FrameTooLarge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "declared frame length {} exceeds the {MAX_FRAME_LEN}-byte cap",
+            self.declared
+        )
+    }
+}
+
+impl std::error::Error for FrameTooLarge {}
+
+/// Incremental frame reassembly: feed it byte chunks as they arrive off the
+/// socket (torn at arbitrary boundaries), pull complete payloads out.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    start: usize,
+}
+
+impl FrameDecoder {
+    /// A fresh decoder with an empty buffer.
+    pub fn new() -> Self {
+        FrameDecoder::default()
+    }
+
+    /// Appends newly received bytes.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        // Compact lazily: reclaim consumed prefix before growing the buffer.
+        if self.start > 0 && (self.start >= 4096 || self.start == self.buf.len()) {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Number of buffered, not-yet-consumed bytes.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Pops the next complete payload, if one has fully arrived.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, FrameTooLarge> {
+        let avail = &self.buf[self.start..];
+        if avail.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_be_bytes([avail[0], avail[1], avail[2], avail[3]]) as usize;
+        if len > MAX_FRAME_LEN {
+            return Err(FrameTooLarge { declared: len });
+        }
+        if avail.len() < 4 + len {
+            return Ok(None);
+        }
+        let payload = avail[4..4 + len].to_vec();
+        self.start += 4 + len;
+        Ok(Some(payload))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn framing_reassembles_across_torn_reads() {
+        let payloads: [&[u8]; 3] = [b"{\"t\":\"pin\"}", b"", b"{\"t\":\"bye\",\"n\":42}"];
+        let wire: Vec<u8> = payloads.iter().flat_map(|p| frame_payload(p)).collect();
+        for chunk in [1usize, 2, 3, 5, wire.len()] {
+            let mut decoder = FrameDecoder::new();
+            let mut got: Vec<Vec<u8>> = Vec::new();
+            for piece in wire.chunks(chunk) {
+                decoder.feed(piece);
+                while let Some(payload) = decoder.next_frame().unwrap() {
+                    got.push(payload);
+                }
+            }
+            assert_eq!(got, payloads, "chunk size {chunk}");
+            assert_eq!(decoder.pending(), 0);
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_fatal() {
+        let mut decoder = FrameDecoder::new();
+        decoder.feed(&(MAX_FRAME_LEN as u32 + 1).to_be_bytes());
+        assert!(decoder.next_frame().is_err());
+    }
+
+    #[test]
+    fn a_frame_exactly_at_the_cap_is_accepted() {
+        let payload = vec![b'x'; MAX_FRAME_LEN];
+        let mut decoder = FrameDecoder::new();
+        decoder.feed(&frame_payload(&payload));
+        assert_eq!(decoder.next_frame().unwrap().unwrap().len(), MAX_FRAME_LEN);
+    }
+}

@@ -1,0 +1,52 @@
+//! # omq-wire — the shared wire substrate of the network-facing crates
+//!
+//! Both network front ends of the workspace — the client-facing TCP server
+//! (`omq-server`) and the coordinator/worker cluster runtime
+//! (`omq-cluster`) — speak length-prefixed JSON frames.  This crate is the
+//! one copy of everything those protocols share, factored out of
+//! `omq-server::protocol` so the codec exists (and is property-tested)
+//! exactly once:
+//!
+//! - [`json`] — the hand-rolled JSON value, parser and writer (the
+//!   workspace is hermetic: the vendored `serde` stub has no `serde_json`);
+//! - [`frame`] — the length-prefix codec: [`frame_payload`],
+//!   [`FrameDecoder`] (incremental reassembly under torn reads), the
+//!   [`MAX_FRAME_LEN`] cap and the fatal [`FrameTooLarge`] error;
+//! - [`payload`] — shared payload plumbing: [`ProtocolViolation`] (the
+//!   recoverable half of the fatal-vs-recoverable split), typed field
+//!   accessors and the [`Semantics`](omq_data::Semantics) spelling;
+//! - [`answers`] — the rendered-answer convention (constants by interned
+//!   name, `"*"`, `"*k"`): [`render_answer`], the byte-exact
+//!   [`answer_wire_len`], and [`parse_answer`], the inverse used by the
+//!   cluster coordinator to fold worker pages back into typed
+//!   [`Answer`](omq_data::Answer)s;
+//! - [`code`] — the wire [`ErrorCode`] vocabulary, partitioned into client
+//!   faults (4xx) and server failures (5xx).
+//!
+//! # Error discipline (shared by every consumer)
+//!
+//! A syntactically intact frame whose payload is rejected (bad JSON,
+//! missing field, unknown tag) is a [`ProtocolViolation`] — recoverable,
+//! because the length prefix keeps the byte stream in sync.  Only a corrupt
+//! length prefix (declared length above [`MAX_FRAME_LEN`]) is fatal
+//! ([`FrameTooLarge`]): past it there is no way to find the next frame
+//! boundary, so the connection must close.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod classify;
+
+pub mod answers;
+pub mod code;
+pub mod frame;
+pub mod json;
+pub mod payload;
+
+pub use answers::{answer_wire_len, parse_answer, render_answer};
+pub use code::ErrorCode;
+pub use frame::{frame_payload, FrameDecoder, FrameTooLarge, MAX_FRAME_LEN, MAX_WIRE_INT};
+pub use payload::{
+    bool_field, decode_object, field, opt_u64_field, parse_semantics, semantics_field,
+    semantics_name, str_field, u64_field, violation, ProtocolViolation,
+};

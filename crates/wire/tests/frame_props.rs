@@ -1,0 +1,83 @@
+//! Property tests for the shared frame codec (moved here from
+//! `omq-server` when the codec was factored out — one codec, tested once).
+//!
+//! Two invariants, each over randomly generated payloads:
+//!
+//! 1. **Torn-read reassembly**: concatenating encoded frames and feeding
+//!    the bytes to a [`FrameDecoder`] in chunks of arbitrary (generated)
+//!    sizes yields exactly the original payload sequence;
+//! 2. **Payload opacity**: the framing layer delivers arbitrary payload
+//!    bytes verbatim — corruption inside a payload never desynchronises the
+//!    stream, because the length prefix alone frames it.
+
+use omq_wire::{frame_payload, FrameDecoder};
+use proptest::prelude::*;
+use proptest::strategy::BoxedStrategy;
+
+fn arb_payload(max_len: usize) -> BoxedStrategy<Vec<u8>> {
+    prop::collection::vec(0u32..256, 0..max_len)
+        .prop_map(|bytes| bytes.into_iter().map(|b| b as u8).collect())
+        .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Torn reads: a frame sequence split at arbitrary byte boundaries
+    /// reassembles to exactly the original sequence.
+    #[test]
+    fn torn_reads_reassemble(
+        payloads in prop::collection::vec(arb_payload(48), 1..6),
+        cuts in prop::collection::vec(1usize..48, 0..64),
+    ) {
+        let wire: Vec<u8> = payloads.iter().flat_map(|p| frame_payload(p)).collect();
+        let mut decoder = FrameDecoder::new();
+        let mut got: Vec<Vec<u8>> = Vec::new();
+        let mut pos = 0;
+        // Feed chunks of the generated sizes, then whatever remains.
+        for cut in cuts {
+            if pos >= wire.len() {
+                break;
+            }
+            let end = (pos + cut).min(wire.len());
+            decoder.feed(&wire[pos..end]);
+            pos = end;
+            while let Some(payload) = decoder.next_frame().unwrap() {
+                got.push(payload);
+            }
+        }
+        decoder.feed(&wire[pos..]);
+        while let Some(payload) = decoder.next_frame().unwrap() {
+            got.push(payload);
+        }
+        prop_assert_eq!(got, payloads);
+        prop_assert_eq!(decoder.pending(), 0);
+    }
+
+    /// Corrupting payload bytes never desynchronises the stream: the
+    /// corrupted payload is delivered verbatim and the next frame decodes
+    /// cleanly.
+    #[test]
+    fn corrupted_payloads_stay_framed(
+        payload in arb_payload(256),
+        flips in prop::collection::vec((0usize..4096, 1u8..255), 1..4),
+    ) {
+        let mut corrupted = payload;
+        for (pos, xor) in flips {
+            if corrupted.is_empty() {
+                break;
+            }
+            let idx = pos % corrupted.len();
+            corrupted[idx] ^= xor;
+        }
+        let mut wire = frame_payload(&corrupted);
+        wire.extend_from_slice(&frame_payload(b"{\"t\":\"pin\"}"));
+        let mut decoder = FrameDecoder::new();
+        decoder.feed(&wire);
+        let first = decoder.next_frame().unwrap().expect("corrupted frame is still framed");
+        prop_assert_eq!(first, corrupted);
+        let second = decoder.next_frame().unwrap().expect("next frame intact");
+        prop_assert_eq!(second, b"{\"t\":\"pin\"}".to_vec());
+        prop_assert_eq!(decoder.pending(), 0);
+    }
+}

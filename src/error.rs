@@ -27,6 +27,8 @@ pub enum Error {
     Core(omq_core::CoreError),
     /// Serving layer: catalogue, sessions, requests (`omq-serve`).
     Serve(omq_serve::ServeError),
+    /// Distributed layer: coordinator/worker runs (`omq-cluster`).
+    Cluster(omq_cluster::ClusterError),
 }
 
 impl Error {
@@ -45,7 +47,8 @@ impl Error {
             Error::Cq(e) => omq_server::ErrorCode::for_cq(e),
             Error::Chase(e) => omq_server::ErrorCode::for_chase(e),
             Error::Core(e) => omq_server::ErrorCode::for_core(e),
-            Error::Serve(e) => omq_server::ErrorCode::for_serve(e),
+            Error::Serve(e) => omq_server::wire_code_for_serve(e),
+            Error::Cluster(e) => e.wire_code(),
         }
     }
 }
@@ -62,6 +65,7 @@ impl fmt::Display for Error {
             Error::Chase(e) => write!(f, "chase layer: {e}"),
             Error::Core(e) => write!(f, "core layer: {e}"),
             Error::Serve(e) => write!(f, "serving layer: {e}"),
+            Error::Cluster(e) => write!(f, "cluster layer: {e}"),
         }
     }
 }
@@ -74,6 +78,7 @@ impl std::error::Error for Error {
             Error::Chase(e) => Some(e),
             Error::Core(e) => Some(e),
             Error::Serve(e) => Some(e),
+            Error::Cluster(e) => Some(e),
         }
     }
 }
@@ -105,6 +110,12 @@ impl From<omq_core::CoreError> for Error {
 impl From<omq_serve::ServeError> for Error {
     fn from(e: omq_serve::ServeError) -> Self {
         Error::Serve(e)
+    }
+}
+
+impl From<omq_cluster::ClusterError> for Error {
+    fn from(e: omq_cluster::ClusterError) -> Self {
+        Error::Cluster(e)
     }
 }
 
@@ -141,6 +152,11 @@ mod tests {
             omq_serve::ServeError::Data(omq_data::DataError::NonCanonicalWildcards).into();
         assert!(matches!(serve, Error::Serve(_)));
         assert!(serve.source().unwrap().source().is_some());
+
+        let cluster: Error =
+            omq_cluster::ClusterError::Cq(omq_cq::CqError::Parse("bad".into())).into();
+        assert!(matches!(cluster, Error::Cluster(_)));
+        assert!(cluster.source().unwrap().source().is_some());
 
         // Display prefixes the layer in front of the inner message.
         assert_eq!(
@@ -252,6 +268,24 @@ mod tests {
                 omq_serve::ServeError::Core(omq_core::CoreError::Internal("bug".into())).into(),
                 ErrorCode::Internal,
                 false,
+            ),
+            // Distributed runs share the taxonomy: a bad query is the
+            // client's fault wherever it fails to compile; infrastructure
+            // trouble (no workers, dead sockets) is server-side.
+            (
+                omq_cluster::ClusterError::Cq(omq_cq::CqError::Parse("bad".into())).into(),
+                ErrorCode::BadQuery,
+                true,
+            ),
+            (
+                omq_cluster::ClusterError::NoWorkers("timed out".into()).into(),
+                ErrorCode::Internal,
+                false,
+            ),
+            (
+                omq_cluster::ClusterError::Protocol("stray frame".into()).into(),
+                ErrorCode::MalformedFrame,
+                true,
             ),
         ];
         for (error, expected, client_fault) in table {

@@ -24,6 +24,11 @@
 //!   shards a database by Gaifman connected component (sound under
 //!   guardedness) and chases + enumerates the shards on scoped threads,
 //!   merging answer streams without losing constant delay;
+//! * **distributed execution**: `omq::cluster::execute` runs the same
+//!   sharded pipeline across worker *processes* — a coordinator ships fact
+//!   shards over the wire, places them with a work-stealing queue, survives
+//!   worker death by reassigning unacknowledged shards, and reduces the
+//!   returned pages into an ordinary `AnswerStream`;
 //! * a **unified lazy answer cursor**: `PreparedInstance::answers(Semantics)`
 //!   returns an `AnswerStream` — an `Iterator<Item = Answer>` over any of the
 //!   three semantics with constant work per `next()`, so `take(k)` costs
@@ -129,6 +134,7 @@
 #![warn(missing_docs)]
 
 pub use omq_chase as chase;
+pub use omq_cluster as cluster;
 pub use omq_core as core;
 pub use omq_cq as cq;
 pub use omq_data as data;
@@ -164,6 +170,8 @@ pub mod prelude {
         ServingEngine, StreamedResponse,
     };
     pub use omq_server::{Client, ErrorCode, QueryTarget, Server, ServerConfig, TxnOp};
+
+    pub use omq_cluster::{ClusterConfig, ClusterRun, ClusterStats, WorkerSpawn};
 }
 
 /// Compile-time thread-safety contract of the serving stack.
